@@ -1,0 +1,299 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) on the abstract machine, plus Bechamel
+   wall-clock micro-benchmarks of the actual OCaml execution.
+
+   Usage: main.exe [fig16a|fig16b|fig17|fig18|table2|ablation|wallclock|all]  *)
+
+open Ft_ir
+module E = Ft_workloads.Experiments
+module Machine = Ft_machine.Machine
+module Grad = Ft_ad.Grad
+module Interp = Ft_backend.Interp
+module Sub = Ft_workloads.Subdivnet
+module Lf = Ft_workloads.Longformer
+module Fw = Ft_baselines.Fw
+module Tensor = Ft_runtime.Tensor
+
+let scale = E.paper_scale
+
+let fmt_cell = function
+  | E.Time m -> Machine.time_to_string m.Machine.time
+  | E.Oom _ -> "OOM"
+  | E.Ice _ -> "ICE"
+  | E.Not_reported -> "-"
+
+let print_table ~title ~frameworks ~grad () =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%-12s %-4s" "workload" "dev";
+  List.iter (fun f -> Printf.printf " %14s" (E.framework_name f)) frameworks;
+  Printf.printf " %10s\n" "FT speedup";
+  let speedups = ref [] in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun device ->
+          Printf.printf "%-12s %-4s" (E.workload_name w)
+            (Types.device_to_string device);
+          let cells =
+            List.map
+              (fun f ->
+                if List.mem f (E.frameworks_for w) then
+                  E.cell ~grad ~device ~scale f w
+                else E.Not_reported)
+              frameworks
+          in
+          List.iter (fun c -> Printf.printf " %14s" (fmt_cell c)) cells;
+          (* FT speedup over the best successful baseline *)
+          let ft_time =
+            match cells with
+            | c :: _ -> E.cell_time c
+            | [] -> None
+          in
+          let best_baseline =
+            List.filteri (fun k _ -> k > 0) cells
+            |> List.filter_map E.cell_time
+            |> List.fold_left Float.min infinity
+          in
+          (match ft_time with
+           | Some t when best_baseline < infinity ->
+             let s = best_baseline /. t in
+             speedups := s :: !speedups;
+             Printf.printf " %9.2fx" s
+           | _ -> Printf.printf " %10s" "-");
+          print_newline ())
+        [ Types.Cpu; Types.Gpu ])
+    E.all_workloads;
+  match !speedups with
+  | [] -> ()
+  | ss ->
+    let n = float_of_int (List.length ss) in
+    let geo = exp (List.fold_left (fun a s -> a +. log s) 0.0 ss /. n) in
+    let mx = List.fold_left Float.max 0.0 ss in
+    Printf.printf
+      "FreeTensor speedup over best baseline: %.2fx geomean, %.2fx max\n" geo
+      mx
+
+(* ------------------------------------------------------------- *)
+
+let fig16a () =
+  print_table
+    ~title:"Fig. 16(a): end-to-end time WITHOUT differentiation"
+    ~frameworks:
+      [ E.Freetensor; E.Torchlike; E.Jaxlike; E.Tvmlike; E.Julialike;
+        E.Dgllike ]
+    ~grad:false ()
+
+let fig16b () =
+  print_table
+    ~title:
+      "Fig. 16(b): end-to-end time WITH differentiation (forward + backward)"
+    ~frameworks:[ E.Freetensor; E.Torchlike; E.Jaxlike; E.Julialike ]
+    ~grad:true ()
+
+let fig17 () =
+  Printf.printf "\n== Fig. 17: speedup analysis of SubdivNet on GPU ==\n";
+  let ft_cell = E.cell ~device:Types.Gpu ~scale E.Freetensor E.Subdiv in
+  let bl_cell = E.cell ~device:Types.Gpu ~scale E.Torchlike E.Subdiv in
+  match ft_cell, bl_cell with
+  | E.Time ft, E.Time bl ->
+    let pct a b = 100.0 *. a /. b in
+    Printf.printf "%-22s %14s %14s %10s\n" "metric" "FreeTensor"
+      "best baseline" "FT/base";
+    Printf.printf "%-22s %14d %14d %9.1f%%\n" "kernel invocations"
+      ft.Machine.kernels bl.Machine.kernels
+      (pct
+         (float_of_int ft.Machine.kernels)
+         (float_of_int bl.Machine.kernels));
+    Printf.printf "%-22s %13sB %13sB %9.2f%%\n" "DRAM access"
+      (Machine.si ft.Machine.dram_bytes)
+      (Machine.si bl.Machine.dram_bytes)
+      (pct ft.Machine.dram_bytes bl.Machine.dram_bytes);
+    Printf.printf "%-22s %13sB %13sB %9.2f%%\n" "L2 access"
+      (Machine.si ft.Machine.l2_bytes)
+      (Machine.si bl.Machine.l2_bytes)
+      (pct ft.Machine.l2_bytes bl.Machine.l2_bytes);
+    Printf.printf "%-22s %14s %14s %9.2f%%\n" "FLOP"
+      (Machine.si ft.Machine.flops)
+      (Machine.si bl.Machine.flops)
+      (pct ft.Machine.flops bl.Machine.flops)
+  | _ -> Printf.printf "unexpected OOM/ICE in Fig. 17 cells\n"
+
+let fig18 () =
+  Printf.printf
+    "\n== Fig. 18: selective intermediate tensor materialization ==\n";
+  Printf.printf "%-12s %-4s %22s %22s %8s\n" "workload" "dev" "FT(-) fwd+bwd"
+    "FT(+) fwd+bwd" "speedup";
+  List.iter
+    (fun w ->
+      List.iter
+        (fun device ->
+          let show mode = E.ft_grad_breakdown ~mode ~device ~scale w in
+          let fmt = function
+            | Ok (f, b) ->
+              Printf.sprintf "%s + %s"
+                (Machine.time_to_string f)
+                (Machine.time_to_string b)
+            | Error e -> e
+          in
+          let minus = show Grad.Materialize_all in
+          let plus = show Grad.Selective in
+          Printf.printf "%-12s %-4s %22s %22s" (E.workload_name w)
+            (Types.device_to_string device)
+            (fmt minus) (fmt plus);
+          (match minus, plus with
+           | Ok (f1, b1), Ok (f2, b2) ->
+             Printf.printf " %7.2fx" ((f1 +. b1) /. (f2 +. b2))
+           | _ -> Printf.printf " %8s" "-");
+          print_newline ())
+        [ Types.Cpu; Types.Gpu ])
+    [ E.Subdiv; E.Longf; E.Softr ]
+
+let ablation () =
+  Printf.printf
+    "\n== Ablation: contribution of each auto-scheduling pass ==\n";
+  Printf.printf
+    "(estimated slowdown when the pass is disabled; 1.00x = no effect)\n";
+  Printf.printf "%-12s %-4s" "workload" "dev";
+  List.iter
+    (fun p -> Printf.printf " %16s" (Ft_auto.Auto.pass_name p))
+    Ft_auto.Auto.all_passes;
+  print_newline ();
+  List.iter
+    (fun w ->
+      List.iter
+        (fun device ->
+          let rows, full = E.ablation ~device ~scale w in
+          Printf.printf "%-12s %-4s" (E.workload_name w)
+            (Types.device_to_string device);
+          List.iter
+            (fun (_, t) -> Printf.printf " %15.2fx" (t /. full))
+            rows;
+          print_newline ())
+        [ Types.Cpu; Types.Gpu ])
+    E.all_workloads
+
+let table2 () =
+  Printf.printf "\n== Table 2: compiling time, FreeTensor vs TVM ==\n";
+  Printf.printf "%-16s %14s %28s\n" "case" "FreeTensor" "TVM (rounds x each)";
+  List.iter
+    (fun w ->
+      List.iter
+        (fun device ->
+          let ct = E.compile_times ~device ~scale w in
+          let tvm_str =
+            match ct.E.tvm with
+            | Ok (rounds, spr) ->
+              Printf.sprintf "%s (%d x %s)"
+                (Machine.time_to_string (float_of_int rounds *. spr))
+                rounds
+                (Machine.time_to_string spr)
+            | Error e -> e
+          in
+          Printf.printf "%-16s %14s %28s\n"
+            (Printf.sprintf "%s %s" (E.workload_name w)
+               (String.uppercase_ascii (Types.device_to_string device)))
+            (Machine.time_to_string ct.E.ft_seconds)
+            tvm_str)
+        [ Types.Cpu; Types.Gpu ])
+    E.all_workloads
+
+(* ------------------------------------------------------------- *)
+(* Bechamel wall-clock benchmarks of the real OCaml execution, at small
+   scale: the FreeTensor program under the reference interpreter vs the
+   operator-chain baseline doing the same numeric work. *)
+
+let wallclock () =
+  let open Bechamel in
+  (* SubdivNet *)
+  let sub_c = Sub.default in
+  let e, adj = Sub.gen_inputs sub_c in
+  let sub_fn = Sub.ft_func sub_c in
+  let sub_y =
+    Tensor.zeros Types.F32 [| sub_c.Sub.n_faces; sub_c.Sub.in_feats |]
+  in
+  let t_sub_ft =
+    Test.make ~name:"subdivnet/freetensor-interp"
+      (Staged.stage (fun () ->
+           Interp.run_func sub_fn [ ("e", e); ("adj", adj); ("y", sub_y) ]))
+  in
+  let t_sub_bl =
+    Test.make ~name:"subdivnet/operator-baseline"
+      (Staged.stage (fun () ->
+           let fw = Fw.create Types.Cpu in
+           ignore (Sub.baseline fw e adj)))
+  in
+  let sub_compiled = Ft_backend.Compile_exec.compile sub_fn in
+  let t_sub_cc =
+    Test.make ~name:"subdivnet/freetensor-compiled"
+      (Staged.stage (fun () ->
+           sub_compiled.Ft_backend.Compile_exec.cd_run
+             [ ("e", e); ("adj", adj); ("y", sub_y) ]
+             []))
+  in
+  (* Longformer *)
+  let lf_c = { Lf.seq_len = 128; feat_len = 16; w = 8 } in
+  let q, k, v = Lf.gen_inputs lf_c in
+  let lf_fn = Lf.ft_func lf_c in
+  let lf_y = Tensor.zeros Types.F32 [| lf_c.Lf.seq_len; lf_c.Lf.feat_len |] in
+  let t_lf_ft =
+    Test.make ~name:"longformer/freetensor-interp"
+      (Staged.stage (fun () ->
+           Interp.run_func lf_fn [ ("Q", q); ("K", k); ("V", v); ("Y", lf_y) ]))
+  in
+  let t_lf_bl =
+    Test.make ~name:"longformer/operator-baseline"
+      (Staged.stage (fun () ->
+           let fw = Fw.create Types.Cpu in
+           ignore (Lf.baseline fw q k v ~w:lf_c.Lf.w)))
+  in
+  let lf_compiled = Ft_backend.Compile_exec.compile lf_fn in
+  let t_lf_cc =
+    Test.make ~name:"longformer/freetensor-compiled"
+      (Staged.stage (fun () ->
+           lf_compiled.Ft_backend.Compile_exec.cd_run
+             [ ("Q", q); ("K", k); ("V", v); ("Y", lf_y) ]
+             []))
+  in
+  let tests =
+    Test.make_grouped ~name:"wallclock"
+      [ t_sub_ft; t_sub_cc; t_sub_bl; t_lf_ft; t_lf_cc; t_lf_bl ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf
+    "\n== Wall-clock (Bechamel, reference interpreter, small scale) ==\n";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-42s %14.0f ns/run\n" name est
+      | _ -> Printf.printf "%-42s %14s\n" name "n/a")
+    (List.sort compare rows)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Unix.gettimeofday () in
+  (match which with
+   | "fig16a" -> fig16a ()
+   | "fig16b" -> fig16b ()
+   | "fig17" -> fig17 ()
+   | "fig18" -> fig18 ()
+   | "table2" -> table2 ()
+   | "ablation" -> ablation ()
+   | "wallclock" -> wallclock ()
+   | "all" | _ ->
+     fig16a ();
+     fig16b ();
+     fig17 ();
+     fig18 ();
+     table2 ();
+     ablation ();
+     wallclock ());
+  Printf.printf "\n(total bench time: %.1f s)\n" (Unix.gettimeofday () -. t0)

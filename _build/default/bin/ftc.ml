@@ -1,0 +1,160 @@
+(* ftc — the FreeTensor compiler driver.
+
+   Subcommands:
+     ftc show <workload>                print the free-form program
+     ftc schedule <workload> [-d dev]   print the auto-scheduled program
+     ftc codegen <workload> [-d dev]    print generated OpenMP C / CUDA
+     ftc grad <workload> [--all]        print forward+backward ASTs
+     ftc estimate <workload> [-d dev]   abstract-machine cost estimate
+     ftc run <workload>                 execute and check vs reference  *)
+
+open Freetensor
+open Cmdliner
+module Sub = Ft_workloads.Subdivnet
+module Lf = Ft_workloads.Longformer
+module Sr = Ft_workloads.Softras
+module Gat = Ft_workloads.Gat
+
+type wl =
+  | W_subdivnet
+  | W_longformer
+  | W_softras
+  | W_gat
+
+let wl_conv =
+  Arg.enum
+    [ ("subdivnet", W_subdivnet); ("longformer", W_longformer);
+      ("softras", W_softras); ("gat", W_gat) ]
+
+let func_of = function
+  | W_subdivnet -> Sub.ft_func Sub.default
+  | W_longformer -> Lf.ft_func Lf.default
+  | W_softras -> Sr.ft_func Sr.default
+  | W_gat ->
+    let _, _, n_edges = Gat.gen_graph Gat.default in
+    Gat.ft_func Gat.default ~n_edges
+
+let device_conv = Arg.enum [ ("cpu", Types.Cpu); ("gpu", Types.Gpu) ]
+
+let wl_arg =
+  Arg.(
+    required
+    & pos 0 (some wl_conv) None
+    & info [] ~docv:"WORKLOAD"
+        ~doc:"One of subdivnet, longformer, softras, gat.")
+
+let device_arg =
+  Arg.(
+    value
+    & opt device_conv Types.Cpu
+    & info [ "d"; "device" ] ~docv:"DEVICE" ~doc:"Target device (cpu|gpu).")
+
+let show_cmd =
+  let run w = print_string (Printer.func_to_string (func_of w)) in
+  Cmd.v (Cmd.info "show" ~doc:"Print the free-form program")
+    Term.(const run $ wl_arg)
+
+let schedule_cmd =
+  let run w device =
+    let fn = Auto.run ~device (func_of w) in
+    print_string (Printer.func_to_string fn)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Print the auto-scheduled program")
+    Term.(const run $ wl_arg $ device_arg)
+
+let codegen_cmd =
+  let run w device =
+    let c = Compile.build ~device (func_of w) in
+    print_string c.Compile.c_source
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Print generated OpenMP C or CUDA source")
+    Term.(const run $ wl_arg $ device_arg)
+
+let grad_cmd =
+  let run w materialize_all =
+    let mode =
+      if materialize_all then Grad.Materialize_all else Grad.Selective
+    in
+    let g = Grad.grad ~mode (func_of w) in
+    print_endline "==== instrumented forward ====";
+    print_string (Printer.func_to_string g.Grad.forward);
+    print_endline "\n==== backward ====";
+    print_string (Printer.func_to_string g.Grad.backward);
+    Printf.printf "\n%d tape(s); %d state(s) recomputed\n"
+      (List.length g.Grad.tapes)
+      (List.length g.Grad.recomputed)
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Materialize every intermediate (the FT(-) of Fig. 18).")
+  in
+  Cmd.v
+    (Cmd.info "grad" ~doc:"Differentiate and print the gradient program")
+    Term.(const run $ wl_arg $ all_arg)
+
+let estimate_cmd =
+  let run w device =
+    let c = Compile.build ~device (func_of w) in
+    let m = Compile.estimate c in
+    Printf.printf "%s\n" (Machine.metrics_to_string m)
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Cost estimate on the abstract machine")
+    Term.(const run $ wl_arg $ device_arg)
+
+let run_cmd =
+  let run w =
+    let check name a b =
+      Printf.printf "%s: max |FT - reference| = %g\n" name
+        (Tensor.max_abs_diff a b)
+    in
+    (match w with
+     | W_subdivnet ->
+       let c = Sub.default in
+       let e, adj = Sub.gen_inputs c in
+       let y = Tensor.zeros Types.F32 [| c.Sub.n_faces; c.Sub.in_feats |] in
+       Interp.run_func (Sub.ft_func c) [ ("e", e); ("adj", adj); ("y", y) ];
+       check "subdivnet" y (Sub.reference e adj)
+     | W_longformer ->
+       let c = Lf.default in
+       let q, k, v = Lf.gen_inputs c in
+       let y = Tensor.zeros Types.F32 [| c.Lf.seq_len; c.Lf.feat_len |] in
+       Interp.run_func (Lf.ft_func c)
+         [ ("Q", q); ("K", k); ("V", v); ("Y", y) ];
+       check "longformer" y (Lf.reference q k v ~w:c.Lf.w)
+     | W_softras ->
+       let c = Sr.default in
+       let cx, cy, r = Sr.gen_inputs c in
+       let img = Tensor.zeros Types.F32 [| c.Sr.img; c.Sr.img |] in
+       Interp.run_func (Sr.ft_func c)
+         [ ("cx", cx); ("cy", cy); ("r", r); ("img", img) ];
+       check "softras" img
+         (Sr.reference cx cy r ~img:c.Sr.img ~sigma:c.Sr.sigma)
+     | W_gat ->
+       let c = Gat.default in
+       let rowptr, colidx, n_edges = Gat.gen_graph c in
+       let x, wt, a1, a2 = Gat.gen_inputs c in
+       let out = Tensor.zeros Types.F32 [| c.Gat.n_nodes; c.Gat.out_feats |] in
+       Interp.run_func (Gat.ft_func c ~n_edges)
+         [ ("x", x); ("w", wt); ("a1", a1); ("a2", a2);
+           ("rowptr", rowptr); ("colidx", colidx); ("out", out) ];
+       check "gat" out (Gat.reference x wt a1 a2 rowptr colidx));
+    ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute the workload and compare to reference")
+    Term.(const run $ wl_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "ftc" ~version:"1.0.0"
+             ~doc:"FreeTensor: free-form tensor program compiler")
+          [ show_cmd; schedule_cmd; codegen_cmd; grad_cmd; estimate_cmd;
+            run_cmd ]))

@@ -1,0 +1,1 @@
+examples/dimension_free.ml: Array Expr Freetensor Inline Interp List Printer Printf Stmt String Tensor Types

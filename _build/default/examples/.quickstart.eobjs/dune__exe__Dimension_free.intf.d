@@ -1,0 +1,1 @@
+examples/dimension_free.mli:

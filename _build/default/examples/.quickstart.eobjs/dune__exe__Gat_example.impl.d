@@ -1,0 +1,1 @@
+examples/gat_example.ml: Compile Costmodel Freetensor Ft_baselines Ft_workloads Interp Machine Printer Printf Tensor Types

@@ -1,0 +1,1 @@
+examples/gat_example.mli:

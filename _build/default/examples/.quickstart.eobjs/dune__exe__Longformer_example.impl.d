@@ -1,0 +1,1 @@
+examples/longformer_example.ml: Array Auto Costmodel Expr Freetensor Ft_workloads Grad Interp List Machine Printf String Tensor Types

@@ -1,0 +1,1 @@
+examples/longformer_example.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compile Dsl Expr Freetensor Grad Interp Machine Printer Printf Tensor Types

@@ -1,0 +1,1 @@
+examples/softras_example.ml: Array Freetensor Ft_workloads Grad Interp List Printf Tensor Types

@@ -1,0 +1,1 @@
+examples/softras_example.mli:

@@ -1,0 +1,1 @@
+examples/subdivnet_example.ml: Compile Freetensor Ft_baselines Ft_workloads Interp Machine Printer Printf Tensor Types

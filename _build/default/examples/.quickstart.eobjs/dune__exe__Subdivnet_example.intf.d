@@ -1,0 +1,1 @@
+examples/subdivnet_example.mli:

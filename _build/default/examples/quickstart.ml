@@ -1,0 +1,66 @@
+(* Quickstart: write a free-form tensor program, differentiate it,
+   schedule it, run it, and look at the generated code.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Freetensor
+
+let () =
+  let n = 8 in
+  let i = Expr.int in
+
+  (* 1. A free-form program: y[i] = sum_j x[i + j] * w[j], a small 1-D
+     convolution written with fine-grained loops — no operator library
+     needed, no padding, no im2col. *)
+  let conv =
+    Dsl.func "conv1d"
+      [ Dsl.input "x" [ i (n + 2) ] Types.F32;
+        Dsl.input "w" [ i 3 ] Types.F32;
+        Dsl.output "y" [ i n ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ x; w; y ] ->
+          Dsl.for_ ~label:"Li" "i" (i 0) (i n) (fun ii ->
+              Dsl.set y [ ii ] (Expr.float 0.);
+              Dsl.for_ ~label:"Lj" "j" (i 0) (i 3) (fun j ->
+                  Dsl.reduce Types.R_add y [ ii ]
+                    (Expr.mul
+                       (Dsl.get x [ Expr.add ii j ])
+                       (Dsl.get w [ j ]))))
+        | _ -> assert false)
+  in
+  print_endline "---- the program ----";
+  print_string (Printer.func_to_string conv);
+
+  (* 2. Run it on the reference interpreter. *)
+  let x = Tensor.rand ~seed:1 Types.F32 [| n + 2 |] in
+  let w = Tensor.of_float_array Types.F32 [| 3 |] [| 0.25; 0.5; 0.25 |] in
+  let y = Tensor.zeros Types.F32 [| n |] in
+  Interp.run_func conv [ ("x", x); ("w", w); ("y", y) ];
+  Printf.printf "\ny = %s\n" (Tensor.to_string y);
+
+  (* 3. Auto-schedule for CPU and show the OpenMP code. *)
+  let compiled = Compile.build ~device:Types.Cpu conv in
+  print_endline "\n---- auto-scheduled ----";
+  print_string (Printer.func_to_string compiled.Compile.c_fn);
+  print_endline "\n---- generated OpenMP C ----";
+  print_string compiled.Compile.c_source;
+
+  (* 4. Estimate its cost on the abstract CPU. *)
+  let m = Compile.estimate compiled in
+  Printf.printf "\nestimated: %s\n" (Machine.metrics_to_string m);
+
+  (* 5. Differentiate: gradients of y w.r.t. x and w. *)
+  let g = Grad.grad conv in
+  print_endline "\n---- backward pass ----";
+  print_string (Printer.func_to_string g.Grad.backward);
+  let xg = Tensor.zeros Types.F32 [| n + 2 |] in
+  let wg = Tensor.zeros Types.F32 [| 3 |] in
+  let yg = Tensor.zeros Types.F32 [| n |] in
+  Tensor.fill_f yg 1.0;
+  Interp.run_func g.Grad.backward
+    [ ("x", x); ("w", w); ("y", y); ("x.grad", xg); ("w.grad", wg);
+      ("y.grad", yg) ];
+  Printf.printf "\ndL/dw = %s\n" (Tensor.to_string wg);
+  Printf.printf "dL/dx = %s\n" (Tensor.to_string xg)

@@ -1,0 +1,40 @@
+(* SubdivNet mesh convolution (paper Section 2): the circular-difference
+   kernel, written free-form, compared against the operator chain of
+   Fig. 2(c) for both results and machine cost.
+
+     dune exec examples/subdivnet_example.exe
+*)
+
+open Freetensor
+module Sub = Ft_workloads.Subdivnet
+module Fw = Ft_baselines.Fw
+
+let () =
+  let c = { Sub.n_faces = 256; in_feats = 16 } in
+  let e, adj = Sub.gen_inputs c in
+
+  (* the free-form program (Fig. 3(b)) *)
+  let fn = Sub.ft_func c in
+  print_endline "---- FreeTensor program ----";
+  print_string (Printer.func_to_string fn);
+
+  let y = Tensor.zeros Types.F32 [| c.Sub.n_faces; c.Sub.in_feats |] in
+  Interp.run_func fn [ ("e", e); ("adj", adj); ("y", y) ];
+
+  (* the operator chain of Fig. 2(c) *)
+  let fw = Fw.create Types.Gpu in
+  let y_ops = Sub.baseline fw e adj in
+  Printf.printf "\nmax |FT - operators| = %g\n" (Tensor.max_abs_diff y y_ops);
+
+  (* cost on the abstract GPU: the Fig. 17 story *)
+  let compiled = Compile.build ~device:Types.Gpu fn in
+  let ft_m = Compile.estimate compiled in
+  let bl_m = Fw.metrics fw in
+  Printf.printf "\nFreeTensor (1 fused kernel):  %s\n"
+    (Machine.metrics_to_string ft_m);
+  Printf.printf "Operator chain (%d kernels):  %s\n" bl_m.Machine.kernels
+    (Machine.metrics_to_string bl_m);
+  Printf.printf "speedup: %.2fx\n" (bl_m.Machine.time /. ft_m.Machine.time);
+
+  print_endline "\n---- generated CUDA ----";
+  print_string compiled.Compile.c_source

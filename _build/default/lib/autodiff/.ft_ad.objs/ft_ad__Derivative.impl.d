@@ -1,0 +1,1 @@
+lib/autodiff/derivative.ml: Expr Ft_ir Printf Types

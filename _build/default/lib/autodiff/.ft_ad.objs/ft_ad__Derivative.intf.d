@@ -1,0 +1,1 @@
+lib/autodiff/derivative.mli: Expr Ft_ir

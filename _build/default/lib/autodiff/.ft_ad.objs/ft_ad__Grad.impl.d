@@ -1,0 +1,1 @@
+lib/autodiff/grad.ml: Derivative Expr Ft_ir Ft_passes Fun Hashtbl List Names Option Printf Set Stmt String Types

@@ -1,0 +1,1 @@
+lib/autodiff/grad.mli: Expr Ft_ir Stmt Types

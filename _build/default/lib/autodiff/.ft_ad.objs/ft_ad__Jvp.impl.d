@@ -1,0 +1,1 @@
+lib/autodiff/jvp.ml: Derivative Expr Ft_ir Ft_passes Hashtbl List Option Printf Stmt Types

@@ -1,0 +1,1 @@
+lib/autodiff/jvp.mli: Ft_ir Stmt

@@ -1,0 +1,88 @@
+(** Expression-level reverse-mode derivatives.
+
+    [partials e seed] returns, for every [Load] occurrence in [e], the
+    adjoint contribution [seed * de/dLoad], as a symbolic expression over
+    *forward values*.  The caller is responsible for mapping those forward
+    values to something available in the backward pass (tape, recompute,
+    or a live parameter) — see {!Grad}. *)
+
+open Ft_ir
+
+exception Not_differentiable of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Not_differentiable s)) fmt
+
+(** One adjoint contribution: the loaded location and the expression to
+    accumulate into its gradient. *)
+type contribution = {
+  target : Expr.load;
+  amount : Expr.t;
+}
+
+let rec partials (e : Expr.t) (seed : Expr.t) (acc : contribution list) :
+    contribution list =
+  match e with
+  | Expr.Int_const _ | Expr.Float_const _ | Expr.Bool_const _ | Expr.Var _ ->
+    acc
+  | Expr.Load l -> { target = l; amount = seed } :: acc
+  | Expr.Unop (op, a) -> (
+    let chain d = partials a (Expr.mul seed d) acc in
+    match op with
+    | Expr.Neg -> partials a (Expr.neg seed) acc
+    | Expr.Abs ->
+      (* d|a|/da = sign(a); the kink at 0 gets subgradient +1 *)
+      chain (Expr.select (Expr.ge a (Expr.float 0.)) (Expr.float 1.)
+               (Expr.float (-1.)))
+    | Expr.Sqrt ->
+      chain (Expr.div (Expr.float 0.5) (Expr.unop Expr.Sqrt a))
+    | Expr.Exp -> chain (Expr.unop Expr.Exp a)
+    | Expr.Ln -> partials a (Expr.div seed a) acc
+    | Expr.Sigmoid ->
+      let s = Expr.unop Expr.Sigmoid a in
+      chain (Expr.mul s (Expr.sub (Expr.float 1.) s))
+    | Expr.Tanh ->
+      let t = Expr.unop Expr.Tanh a in
+      chain (Expr.sub (Expr.float 1.) (Expr.mul t t))
+    | Expr.Square -> chain (Expr.mul (Expr.float 2.) a)
+    | Expr.Floor_op | Expr.Ceil_op ->
+      (* piecewise-constant: zero derivative *)
+      acc
+    | Expr.Not -> acc)
+  | Expr.Binop (op, a, b) -> (
+    match op with
+    | Expr.Add -> partials a seed (partials b seed acc)
+    | Expr.Sub -> partials a seed (partials b (Expr.neg seed) acc)
+    | Expr.Mul -> partials a (Expr.mul seed b) (partials b (Expr.mul seed a) acc)
+    | Expr.Div ->
+      let da = Expr.div seed b in
+      let db = Expr.neg (Expr.div (Expr.mul seed a) (Expr.mul b b)) in
+      partials a da (partials b db acc)
+    | Expr.Pow ->
+      (* d(a^b)/da = b * a^(b-1); exponent assumed constant w.r.t. loads *)
+      let da =
+        Expr.mul seed
+          (Expr.mul b (Expr.Binop (Expr.Pow, a, Expr.sub b (Expr.float 1.))))
+      in
+      partials a da acc
+    | Expr.Min ->
+      let cond = Expr.le a b in
+      partials a (Expr.select cond seed (Expr.float 0.))
+        (partials b (Expr.select cond (Expr.float 0.) seed) acc)
+    | Expr.Max ->
+      let cond = Expr.ge a b in
+      partials a (Expr.select cond seed (Expr.float 0.))
+        (partials b (Expr.select cond (Expr.float 0.) seed) acc)
+    | Expr.Floor_div | Expr.Mod -> acc (* integer-valued *)
+    | Expr.Eq | Expr.Ne | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge
+    | Expr.L_and | Expr.L_or ->
+      acc (* boolean-valued: no gradient *))
+  | Expr.Select (c, a, b) ->
+    (* gradient flows through the taken branch; the condition gets none *)
+    partials a (Expr.select c seed (Expr.float 0.))
+      (partials b (Expr.select c (Expr.float 0.) seed) acc)
+  | Expr.Cast (dt, a) ->
+    if Types.is_float dt then partials a seed acc else acc
+  | Expr.Meta_ndim _ | Expr.Meta_shape _ ->
+    err "meta expressions must be partially evaluated before AD"
+
+let of_expr e ~seed = partials e seed []

@@ -1,0 +1,19 @@
+(** Expression-level reverse-mode derivatives.
+
+    [of_expr e ~seed] returns, for every [Load] occurrence in [e], the
+    adjoint contribution [seed * de/dLoad] as a symbolic expression over
+    {e forward values}.  The caller ({!Grad}, {!Jvp}) maps those forward
+    values to something available at evaluation time. *)
+
+open Ft_ir
+
+exception Not_differentiable of string
+
+(** One adjoint contribution: the loaded location and the amount to
+    accumulate into its gradient. *)
+type contribution = {
+  target : Expr.load;
+  amount : Expr.t;
+}
+
+val of_expr : Expr.t -> seed:Expr.t -> contribution list

@@ -1,0 +1,1097 @@
+(** Fine-grained reverse-mode automatic differentiation (Section 5).
+
+    [grad fn] turns a forward function into an instrumented forward pass
+    plus a backward pass, both ordinary FreeTensor ASTs that enjoy the
+    same schedule optimizations as any user program (Section 5.1).
+
+    {b Versions and tapes.}  Within each tensor's stack scope, the
+    top-level children of the scope body that write the tensor delimit its
+    *states* (the paper's symbolic versions: one version per overwrite,
+    indexed by the iterations of the loops enclosing the definition).  A
+    backward use of state [s] of tensor [t] is satisfied by one of:
+    - the parameter itself (inputs; outputs at their final state),
+    - a tape [t.tape<s>] of shape [outer-loop extents + t's shape],
+      written right after the s-th writing child of the forward scope, or
+    - recomputation: replaying the writing children inside the backward
+      (Fig. 15(c)), chosen by {!mode} [Selective] when the replay is cheap
+      and only needs parameter values — the paper's Selective Intermediate
+      Tensor Materialization (Section 5.2).
+
+    {b Supported subset.}  Step-1 loops around tensor definitions; no
+    [Call] nodes (partially evaluate first); [Reduce_to] with [R_add]
+    (linear, gradient flows through) or [R_min]/[R_max] (gradient routed
+    to the extremal element by value equality); no [R_mul] reductions.
+    Reads of a tensor state that was never written are rejected. *)
+
+open Ft_ir
+
+exception Ad_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Ad_error s)) fmt
+
+type mode =
+  | Materialize_all (** tape every needed state — the FT(-) of Fig. 18 *)
+  | Selective       (** recompute cheap states — the FT(+) of Fig. 18 *)
+
+(* ------------------------------------------------------------------ *)
+(* Tensor info tracked during the walks *)
+
+type kind =
+  | K_input
+  | K_output
+  | K_inout
+  | K_local
+
+type tinfo = {
+  ti_kind : kind;
+  ti_dtype : Types.dtype;
+  ti_dims : Expr.t list;
+  (* loops enclosing the definition: (iter, begin, extent), outer first *)
+  ti_outer : (string * Expr.t * Expr.t) list;
+  ti_final_state : int;
+  mutable ti_state : int;
+  (* when inside a scope-body child that writes this tensor, the number of
+     the state that child defines (= ti_state + 1); 0 otherwise *)
+  mutable ti_writing : int;
+}
+
+let differentiable (ti : tinfo) = Types.is_float ti.ti_dtype
+
+(* Children of a scope body.  [Var_def] nodes are *transparent*: their
+   bodies execute inline, so for state counting they extend the enclosing
+   scope's statement sequence (the frontend nests every following
+   statement inside each create_var's Var_def). *)
+let scope_children (body : Stmt.t) =
+  match body.Stmt.node with
+  | Stmt.Seq ss -> ss
+  | _ -> [ body ]
+
+(* Writer children of [name] in [body], flattening through nested
+   Var_defs: the statements (at any Var_def depth, but not inside loops or
+   branches) that write [name], in execution order. *)
+let rec flat_writer_children name body =
+  List.concat_map
+    (fun c ->
+      match c.Stmt.node with
+      | Stmt.Var_def d -> flat_writer_children name d.Stmt.d_body
+      | _ -> if List.mem name (Stmt.written_tensors c) then [ c ] else [])
+    (scope_children body)
+
+let count_writer_children name body =
+  List.length (flat_writer_children name body)
+
+(* ------------------------------------------------------------------ *)
+(* Use resolution *)
+
+let tape_name t state = Printf.sprintf "%s.tape%d" t state
+let replay_name t state = Printf.sprintf "%s.re%d" t state
+let grad_name t = t ^ ".grad"
+
+(* ------------------------------------------------------------------ *)
+(* Shared scope walking *)
+
+type env = {
+  tensors : (string, tinfo) Hashtbl.t;
+  mutable loops : (string * Expr.t * Expr.t) list; (* innermost first *)
+}
+
+let find_ti env name =
+  match Hashtbl.find_opt env.tensors name with
+  | Some ti -> ti
+  | None -> err "unknown tensor %s" name
+
+let with_tensor env name ti f =
+  Hashtbl.replace env.tensors name ti;
+  let r = f () in
+  Hashtbl.remove env.tensors name;
+  r
+
+(* Walk one scope body, advancing the state counters of the tensors in
+   [tracked] (those introduced at this sequence level).  Var_def children
+   are transparent: they add their tensor to the tracked set (via
+   [on_def]) and their body's children continue the same sequence.
+   [on_child] is called for every non-Var_def child with all writing
+   flags up to date. *)
+let rec walk_scope env ~tracked (body : Stmt.t)
+    ~(on_def : Stmt.var_def -> tinfo) (on_child : Stmt.t -> unit) =
+  let children = scope_children body in
+  List.iter
+    (fun c ->
+      match c.Stmt.node with
+      | Stmt.Var_def d ->
+        let ti = on_def d in
+        Hashtbl.replace env.tensors d.Stmt.d_name ti;
+        walk_scope env ~tracked:(d.Stmt.d_name :: tracked) d.Stmt.d_body
+          ~on_def on_child;
+        Hashtbl.remove env.tensors d.Stmt.d_name
+      | _ ->
+        let writes = Stmt.written_tensors c in
+        let bumped = ref [] in
+        List.iter
+          (fun w ->
+            if List.mem w tracked then
+              match Hashtbl.find_opt env.tensors w with
+              | Some ti ->
+                ti.ti_writing <- ti.ti_state + 1;
+                bumped := ti :: !bumped
+              | None -> ())
+          writes;
+        on_child c;
+        List.iter
+          (fun ti ->
+            ti.ti_writing <- 0;
+            ti.ti_state <- ti.ti_state + 1)
+          !bumped)
+    children
+
+(* ------------------------------------------------------------------ *)
+(* Phase A: collect needed (tensor, state) values *)
+
+module Needs = Set.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+(* A use-site value log: when the state mechanism cannot describe the
+   content a read observes (multiple write sites inside one scope child),
+   the forward pass saves the exact value read, indexed by the iterations
+   of the loops enclosing the reading statement. *)
+type use_rec = {
+  u_name : string;
+  u_dtype : Types.dtype;
+  u_dims : Expr.t list; (* enclosing loop extents, outer first *)
+  u_idx : Expr.t list;  (* (iter - begin) index expressions *)
+}
+
+(* keyed by (reading statement id, printed load expression) *)
+type use_logs = (int * string, use_rec) Hashtbl.t
+
+let use_key stmt_id (l : Expr.load) = (stmt_id, Expr.to_string (Expr.Load l))
+
+type load_flavor =
+  | F_normal       (* plain operand value *)
+  | F_self         (* read of the statement's own write target *)
+  | F_reduce_final (* min/max routing: the target's settled state *)
+
+(* loads whose *values* the adjoint of statement [s] requires *)
+let value_loads_of_adjoint (s : Stmt.t) : (Expr.load * load_flavor) list =
+  let from_expr target e =
+    let acc = ref [] in
+    (* operands' values appear in the partial amounts; collect every load
+       of the value expression and of contribution indices *)
+    let contributions =
+      Derivative.of_expr e ~seed:(Expr.float 1.0)
+    in
+    List.iter
+      (fun (c : Derivative.contribution) ->
+        let flavor l =
+          if Some l.Expr.l_var = target then F_self else F_normal
+        in
+        Expr.iter
+          (function
+            | Expr.Load l -> acc := (l, flavor l) :: !acc
+            | _ -> ())
+          c.Derivative.amount;
+        (* indices of the gradient target *)
+        List.iter
+          (fun idx ->
+            Expr.iter
+              (function
+                | Expr.Load l -> acc := (l, flavor l) :: !acc
+                | _ -> ())
+              idx)
+          c.Derivative.target.Expr.l_indices)
+      contributions;
+    !acc
+  in
+  match s.Stmt.node with
+  | Stmt.Store st ->
+    let ops = from_expr (Some st.Stmt.s_var) st.Stmt.s_value in
+    (* the store's own indices are needed to address the gradient *)
+    let idx_loads = ref [] in
+    List.iter
+      (fun e ->
+        Expr.iter
+          (function
+            | Expr.Load l -> idx_loads := (l, F_normal) :: !idx_loads
+            | _ -> ())
+          e)
+      st.Stmt.s_indices;
+    ops @ !idx_loads
+  | Stmt.Reduce_to r ->
+    let ops = from_expr (Some r.Stmt.r_var) r.Stmt.r_value in
+    let extra = ref [] in
+    List.iter
+      (fun e ->
+        Expr.iter
+          (function
+            | Expr.Load l -> extra := (l, F_normal) :: !extra
+            | _ -> ())
+          e)
+      r.Stmt.r_indices;
+    (match r.Stmt.r_op with
+     | Types.R_min | Types.R_max ->
+       (* equality routing reads the reduction target's complete state and
+          the full value expression *)
+       extra :=
+         ( { Expr.l_var = r.Stmt.r_var; l_indices = r.Stmt.r_indices },
+           F_reduce_final )
+         :: !extra;
+       Expr.iter
+         (function
+           | Expr.Load l -> extra := (l, F_normal) :: !extra
+           | _ -> ())
+         r.Stmt.r_value
+     | Types.R_add -> ()
+     | Types.R_mul -> err "Reduce_to *= is not differentiable here");
+    ops @ !extra
+  | Stmt.If i ->
+    let acc = ref [] in
+    Expr.iter
+      (function
+        | Expr.Load l -> acc := (l, F_normal) :: !acc
+        | _ -> ())
+      i.Stmt.i_cond;
+    !acc
+  | _ -> []
+
+(* [materialize_uses]: the FT(-) arm of Fig. 18 — value-log *every*
+   operand an adjoint needs, including parameter loads, as naive AD tools
+   that "materialize all intermediate tensors" do.  The selective mode
+   only logs where the state machinery cannot provide the value. *)
+let collect_needs ?(materialize_uses = false) (fn : Stmt.func) :
+    Needs.t * use_logs =
+  let env = { tensors = Hashtbl.create 16; loops = [] } in
+  let needs = ref Needs.empty in
+  let logs : use_logs = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Stmt.param) ->
+      let dims =
+        match p.Stmt.p_shape with
+        | Stmt.Fixed es -> es
+        | Stmt.Any_dim -> err "AD requires fixed-shape parameters"
+      in
+      let kind =
+        match p.Stmt.p_atype with
+        | Types.Input -> K_input
+        | Types.Output -> K_output
+        | Types.Inout -> K_inout
+        | Types.Cache -> K_local
+      in
+      Hashtbl.replace env.tensors p.Stmt.p_name
+        { ti_kind = kind; ti_dtype = p.Stmt.p_dtype; ti_dims = dims;
+          ti_outer = []; ti_state = 0; ti_writing = 0;
+          ti_final_state = count_writer_children p.Stmt.p_name fn.Stmt.fn_body
+        })
+    fn.Stmt.fn_params;
+  let note stmt_id (l : Expr.load) flavor =
+    let ti = find_ti env l.Expr.l_var in
+    let log () =
+      let key = use_key stmt_id l in
+      if not (Hashtbl.mem logs key) then
+        Hashtbl.replace logs key
+          { u_name = Names.fresh (l.Expr.l_var ^ ".use");
+            u_dtype = ti.ti_dtype;
+            u_dims = List.rev_map (fun (_, _, ext) -> ext) env.loops;
+            u_idx =
+              List.rev_map
+                (fun (it, b, _) -> Expr.sub (Expr.var it) b)
+                env.loops }
+    in
+    match ti.ti_kind with
+    | K_input -> if materialize_uses then log ()
+    | K_output | K_inout | K_local ->
+      if ti.ti_writing > 0 && flavor <> F_reduce_final then
+        (* read inside a child that writes the tensor: the state machinery
+           cannot tell which write produced the value — log the value at
+           the use site instead *)
+        log ()
+      else begin
+        let state =
+          if flavor = F_reduce_final then ti.ti_writing else ti.ti_state
+        in
+        if
+          (ti.ti_kind = K_output || ti.ti_kind = K_inout)
+          && state = ti.ti_final_state
+        then (if materialize_uses then log ())
+          (* the final content is passed to the backward *)
+        else if state = 0 && ti.ti_kind = K_local then
+          err "tensor %s is read before it is written" l.Expr.l_var
+        else needs := Needs.add (l.Expr.l_var, state) !needs
+      end
+  in
+  let on_def (d : Stmt.var_def) =
+    { ti_kind = K_local; ti_dtype = d.Stmt.d_dtype;
+      ti_dims = d.Stmt.d_shape; ti_outer = List.rev env.loops;
+      ti_state = 0; ti_writing = 0;
+      ti_final_state = count_writer_children d.Stmt.d_name d.Stmt.d_body }
+  in
+  let rec go (s : Stmt.t) =
+    List.iter
+      (fun (l, flavor) -> note s.Stmt.sid l flavor)
+      (value_loads_of_adjoint s);
+    match s.Stmt.node with
+    | Stmt.Var_def _ ->
+      (* unreachable: Var_defs are consumed by walk_scope *)
+      assert false
+    | Stmt.For f ->
+      (match f.Stmt.f_step with
+       | Expr.Int_const 1 -> ()
+       | _ -> err "AD supports step-1 loops only");
+      env.loops <-
+        (f.Stmt.f_iter, f.Stmt.f_begin, Expr.sub f.Stmt.f_end f.Stmt.f_begin)
+        :: env.loops;
+      walk_scope env ~tracked:[] f.Stmt.f_body ~on_def go;
+      env.loops <- List.tl env.loops
+    | Stmt.Seq _ -> walk_scope env ~tracked:[] s ~on_def go
+    | Stmt.If i ->
+      walk_scope env ~tracked:[] i.Stmt.i_then ~on_def go;
+      Option.iter
+        (fun e -> walk_scope env ~tracked:[] e ~on_def go)
+        i.Stmt.i_else
+    | Stmt.Assert_stmt (_, b) -> walk_scope env ~tracked:[] b ~on_def go
+    | Stmt.Lib_call { body; _ } -> walk_scope env ~tracked:[] body ~on_def go
+    | Stmt.Call _ -> err "AD requires Call nodes to be inlined first"
+    | Stmt.Store _ | Stmt.Reduce_to _ | Stmt.Eval _ | Stmt.Nop -> ()
+  in
+  (* the function body is the scope body of all parameters *)
+  let param_names =
+    List.map (fun (p : Stmt.param) -> p.Stmt.p_name) fn.Stmt.fn_params
+  in
+  walk_scope env ~tracked:param_names fn.Stmt.fn_body ~on_def go;
+  (!needs, logs)
+
+(* ------------------------------------------------------------------ *)
+(* Phase B: tape-or-recompute decision (Section 5.2) *)
+
+type decision =
+  | D_tape
+  | D_recompute
+
+(* Writer children (in order) of every tensor's scope, collected once. *)
+let collect_writers (fn : Stmt.func) : (string, Stmt.t list) Hashtbl.t =
+  let writers = Hashtbl.create 16 in
+  let record tracked body =
+    List.iter
+      (fun name -> Hashtbl.replace writers name (flat_writer_children name body))
+      tracked
+  in
+  record
+    (List.map (fun (p : Stmt.param) -> p.Stmt.p_name) fn.Stmt.fn_params)
+    fn.Stmt.fn_body;
+  Stmt.iter
+    (fun s ->
+      match s.Stmt.node with
+      | Stmt.Var_def d -> record [ d.Stmt.d_name ] d.Stmt.d_body
+      | _ -> ())
+    fn.Stmt.fn_body;
+  writers
+
+(* Is replaying writer children 1..s of [t] cheap and self-contained?
+   Cheap: no reductions, bounded size.  Self-contained: every load is of
+   an Input parameter or of [t] itself (running replay content). *)
+let recompute_ok ~param_kinds ~writers t s =
+  match Hashtbl.find_opt writers t with
+  | None -> false
+  | Some ws when List.length ws < s || s = 0 -> false
+  | Some ws ->
+    let replay = List.filteri (fun k _ -> k < s) ws in
+    let ok = ref true in
+    let total = ref 0 in
+    List.iter
+      (fun c ->
+        total := !total + Stmt.size c;
+        Stmt.iter
+          (fun st ->
+            match st.Stmt.node with
+            | Stmt.Reduce_to _ -> ok := false
+            | _ -> ())
+          c;
+        Stmt.iter_exprs
+          (fun e ->
+            Expr.iter
+              (function
+                | Expr.Load l ->
+                  if not (String.equal l.Expr.l_var t) then (
+                    match Hashtbl.find_opt param_kinds l.Expr.l_var with
+                    | Some Types.Input -> ()
+                    | _ -> ok := false)
+                | _ -> ())
+              e)
+          c)
+      replay;
+    !ok && !total <= 24
+
+let decide ~mode ~param_kinds ~writers (needs : Needs.t) :
+    (string * int, decision) Hashtbl.t =
+  let d = Hashtbl.create 16 in
+  Needs.iter
+    (fun (t, s) ->
+      let dec =
+        match mode with
+        | Materialize_all -> D_tape
+        | Selective ->
+          if recompute_ok ~param_kinds ~writers t s then D_recompute
+          else D_tape
+      in
+      Hashtbl.replace d (t, s) dec)
+    needs;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers for phases C and D *)
+
+let outer_index_exprs (ti : tinfo) =
+  List.map (fun (it, b, _) -> Expr.sub (Expr.var it) b) ti.ti_outer
+
+let outer_extent_exprs (ti : tinfo) =
+  List.map (fun (_, _, ext) -> ext) ti.ti_outer
+
+(* [for c0 < e0: ... f [c0;...]] *)
+let rec dims_loop prefix (extents : Expr.t list) acc
+    (f : Expr.t list -> Stmt.t) =
+  match extents with
+  | [] -> f (List.rev acc)
+  | e :: rest ->
+    let it = Names.fresh prefix in
+    Stmt.for_ it (Expr.int 0) e (dims_loop prefix rest (Expr.var it :: acc) f)
+
+let tape_copy_stmt (ti : tinfo) t s =
+  let tape = tape_name t s in
+  let outer_idx = outer_index_exprs ti in
+  dims_loop "tp" ti.ti_dims [] (fun idx ->
+      Stmt.store tape (outer_idx @ idx) (Expr.load t idx))
+
+let zero_fill name (dims : Expr.t list) =
+  dims_loop "z" dims [] (fun idx -> Stmt.store name idx (Expr.float 0.))
+
+(* Rename loop iterators and local tensor defs inside a replayed copy so
+   they cannot collide with the surrounding backward code. *)
+let refresh_locals (s : Stmt.t) : Stmt.t =
+  let rename = Hashtbl.create 8 in
+  let fresh_for name =
+    let n = Names.fresh name in
+    Hashtbl.add rename name n;
+    n
+  in
+  let fix_expr e =
+    Expr.map
+      (function
+        | Expr.Var x as e -> (
+          match Hashtbl.find_opt rename x with
+          | Some n -> Expr.var n
+          | None -> e)
+        | Expr.Load l as e -> (
+          match Hashtbl.find_opt rename l.Expr.l_var with
+          | Some n -> Expr.Load { l with Expr.l_var = n }
+          | None -> e)
+        | e -> e)
+      e
+  in
+  let rec go (s : Stmt.t) =
+    let s = { s with Stmt.sid = Stmt.fresh_id (); label = None } in
+    match s.Stmt.node with
+    | Stmt.For f ->
+      let iter = fresh_for f.Stmt.f_iter in
+      let s' =
+        Stmt.with_node s
+          (Stmt.For
+             { f with
+               f_iter = iter;
+               f_begin = fix_expr f.Stmt.f_begin;
+               f_end = fix_expr f.Stmt.f_end;
+               f_step = fix_expr f.Stmt.f_step;
+               f_body = go f.Stmt.f_body })
+      in
+      s'
+    | Stmt.Var_def d ->
+      let name = fresh_for d.Stmt.d_name in
+      Stmt.with_node s
+        (Stmt.Var_def
+           { d with
+             d_name = name;
+             d_shape = List.map fix_expr d.Stmt.d_shape;
+             d_body = go d.Stmt.d_body })
+    | _ ->
+      let s = Stmt.map_exprs fix_expr s in
+      let s =
+        match s.Stmt.node with
+        | Stmt.Store st -> (
+          match Hashtbl.find_opt rename st.Stmt.s_var with
+          | Some n -> Stmt.with_node s (Stmt.Store { st with s_var = n })
+          | None -> s)
+        | Stmt.Reduce_to r -> (
+          match Hashtbl.find_opt rename r.Stmt.r_var with
+          | Some n -> Stmt.with_node s (Stmt.Reduce_to { r with r_var = n })
+          | None -> s)
+        | _ -> s
+      in
+      Stmt.with_children s (List.map go (Stmt.children s))
+  in
+  go s
+
+(* ------------------------------------------------------------------ *)
+(* Phase C: instrument the forward pass with tape stores *)
+
+type tape_spec = {
+  tp_name : string;
+  tp_dtype : Types.dtype;
+  tp_dims : Expr.t list;
+}
+
+let instrument_forward (fn : Stmt.func) (needs : Needs.t)
+    (logs : use_logs) (decisions : (string * int, decision) Hashtbl.t) :
+    Stmt.func * tape_spec list =
+  let env = { tensors = Hashtbl.create 16; loops = [] } in
+  let tapes = ref [] in
+  List.iter
+    (fun (p : Stmt.param) ->
+      let dims =
+        match p.Stmt.p_shape with
+        | Stmt.Fixed es -> es
+        | Stmt.Any_dim -> err "AD requires fixed-shape parameters"
+      in
+      let kind =
+        match p.Stmt.p_atype with
+        | Types.Input -> K_input
+        | Types.Output -> K_output
+        | Types.Inout -> K_inout
+        | Types.Cache -> K_local
+      in
+      Hashtbl.replace env.tensors p.Stmt.p_name
+        { ti_kind = kind; ti_dtype = p.Stmt.p_dtype; ti_dims = dims;
+          ti_outer = []; ti_state = 0; ti_writing = 0;
+          ti_final_state = count_writer_children p.Stmt.p_name fn.Stmt.fn_body
+        })
+    fn.Stmt.fn_params;
+  let taped t s = Hashtbl.find_opt decisions (t, s) = Some D_tape in
+  let emit_tape ti t s =
+    let name = tape_name t s in
+    tapes :=
+      { tp_name = name; tp_dtype = ti.ti_dtype;
+        tp_dims = outer_extent_exprs ti @ ti.ti_dims }
+      :: !tapes;
+    tape_copy_stmt ti t s
+  in
+  (* Rebuild a scope body, inserting tape copies after writer children of
+     tracked tensors.  Var_def children extend the tracked sequence. *)
+  let rec rebuild_scope ~tracked (body : Stmt.t) : Stmt.t =
+    let children = scope_children body in
+    let out = ref [] in
+    (* state-0 tapes (initial content of written Inout params) *)
+    List.iter
+      (fun t ->
+        if Needs.mem (t, 0) needs && taped t 0 then
+          out := emit_tape (find_ti env t) t 0 :: !out)
+      tracked;
+    List.iter
+      (fun c ->
+        match c.Stmt.node with
+        | Stmt.Var_def d ->
+          let ti =
+            { ti_kind = K_local; ti_dtype = d.Stmt.d_dtype;
+              ti_dims = d.Stmt.d_shape; ti_outer = List.rev env.loops;
+              ti_state = 0; ti_writing = 0;
+              ti_final_state =
+                count_writer_children d.Stmt.d_name d.Stmt.d_body }
+          in
+          let body =
+            with_tensor env d.Stmt.d_name ti (fun () ->
+                rebuild_scope ~tracked:(d.Stmt.d_name :: tracked)
+                  d.Stmt.d_body)
+          in
+          out := Stmt.with_node c (Stmt.Var_def { d with d_body = body }) :: !out
+        | _ ->
+          let writes = Stmt.written_tensors c in
+          let bumped = ref [] in
+          List.iter
+            (fun w ->
+              if List.mem w tracked then
+                match Hashtbl.find_opt env.tensors w with
+                | Some ti ->
+                  ti.ti_writing <- ti.ti_state + 1;
+                  bumped := (w, ti) :: !bumped
+                | None -> ())
+            writes;
+          out := with_use_logs (rebuild_stmt c) :: !out;
+          List.iter
+            (fun (w, ti) ->
+              ti.ti_writing <- 0;
+              ti.ti_state <- ti.ti_state + 1;
+              if Needs.mem (w, ti.ti_state) needs && taped w ti.ti_state
+              then out := emit_tape ti w ti.ti_state :: !out)
+            !bumped)
+      children;
+    Stmt.seq (List.rev !out)
+  and rebuild_stmt (s : Stmt.t) : Stmt.t =
+    match s.Stmt.node with
+    | Stmt.Var_def _ -> assert false (* consumed by rebuild_scope *)
+    | Stmt.For f ->
+      env.loops <-
+        (f.Stmt.f_iter, f.Stmt.f_begin, Expr.sub f.Stmt.f_end f.Stmt.f_begin)
+        :: env.loops;
+      let body = rebuild_scope ~tracked:[] f.Stmt.f_body in
+      env.loops <- List.tl env.loops;
+      Stmt.with_node s (Stmt.For { f with f_body = body })
+    | Stmt.If i ->
+      Stmt.with_node s
+        (Stmt.If
+           { i with
+             i_then = rebuild_scope ~tracked:[] i.Stmt.i_then;
+             i_else =
+               Option.map (rebuild_scope ~tracked:[]) i.Stmt.i_else })
+    | Stmt.Assert_stmt (c, b) ->
+      Stmt.with_node s (Stmt.Assert_stmt (c, rebuild_scope ~tracked:[] b))
+    | Stmt.Lib_call { lib; body } ->
+      Stmt.with_node s
+        (Stmt.Lib_call { lib; body = rebuild_scope ~tracked:[] body })
+    | Stmt.Seq _ -> rebuild_scope ~tracked:[] s
+    | Stmt.Store _ | Stmt.Reduce_to _ | Stmt.Eval _ | Stmt.Nop
+    | Stmt.Call _ -> s
+  and with_use_logs (s : Stmt.t) : Stmt.t =
+    (* prepend the value logs this statement's adjoint needs *)
+    let mine =
+      Hashtbl.fold
+        (fun (sid, key) u acc -> if sid = s.Stmt.sid then (key, u) :: acc else acc)
+        logs []
+      |> List.sort compare
+    in
+    if mine = [] then s
+    else
+      let stores =
+        List.map
+          (fun (key, u) ->
+            (* re-derive the logged load from the key's printed form is
+               impossible; instead the collect pass guarantees the load
+               appears inside [s], so we search for it *)
+            let found = ref None in
+            Stmt.iter_exprs
+              (fun e ->
+                Expr.iter
+                  (function
+                    | Expr.Load l
+                      when Expr.to_string (Expr.Load l) = key
+                           && !found = None ->
+                      found := Some l
+                    | _ -> ())
+                  e)
+              s;
+            (match s.Stmt.node with
+             | Stmt.Reduce_to r when !found = None ->
+               (* F_reduce_final synthesizes a load of the target *)
+               let l =
+                 { Expr.l_var = r.Stmt.r_var; l_indices = r.Stmt.r_indices }
+               in
+               if Expr.to_string (Expr.Load l) = key then found := Some l
+             | _ -> ());
+            match !found with
+            | Some l -> Stmt.store u.u_name u.u_idx (Expr.Load l)
+            | None -> err "use-log source %s not found in statement" key)
+          mine
+      in
+      Stmt.seq (stores @ [ s ])
+  in
+  let param_names =
+    List.map (fun (p : Stmt.param) -> p.Stmt.p_name) fn.Stmt.fn_params
+  in
+  let body = rebuild_scope ~tracked:param_names fn.Stmt.fn_body in
+  Hashtbl.iter
+    (fun _ u ->
+      tapes :=
+        { tp_name = u.u_name; tp_dtype = u.u_dtype; tp_dims = u.u_dims }
+        :: !tapes)
+    logs;
+  let tape_params =
+    List.map
+      (fun tp ->
+        { Stmt.p_name = tp.tp_name; p_dtype = tp.tp_dtype;
+          p_shape = Stmt.Fixed tp.tp_dims; p_atype = Types.Output;
+          p_mtype = Types.Cpu_heap })
+      (List.rev !tapes)
+  in
+  ( { Stmt.fn_name = fn.Stmt.fn_name ^ ".fwd";
+      fn_params = fn.Stmt.fn_params @ tape_params;
+      fn_body = body },
+    List.rev !tapes )
+
+(* ------------------------------------------------------------------ *)
+(* Phase D: generate the backward pass *)
+
+let seed_var = "$seed"
+
+let build_backward (fn : Stmt.func) (needs : Needs.t) (logs : use_logs)
+    (decisions : (string * int, decision) Hashtbl.t)
+    (writers : (string, Stmt.t list) Hashtbl.t)
+    (tapes : tape_spec list) : Stmt.func =
+  ignore needs;
+  let env = { tensors = Hashtbl.create 16; loops = [] } in
+  let param_kind (p : Stmt.param) =
+    match p.Stmt.p_atype with
+    | Types.Input -> K_input
+    | Types.Output -> K_output
+    | Types.Inout -> K_inout
+    | Types.Cache -> K_local
+  in
+  List.iter
+    (fun (p : Stmt.param) ->
+      let dims =
+        match p.Stmt.p_shape with
+        | Stmt.Fixed es -> es
+        | Stmt.Any_dim -> err "AD requires fixed-shape parameters"
+      in
+      Hashtbl.replace env.tensors p.Stmt.p_name
+        { ti_kind = param_kind p; ti_dtype = p.Stmt.p_dtype; ti_dims = dims;
+          ti_outer = []; ti_state = 0; ti_writing = 0;
+          ti_final_state = count_writer_children p.Stmt.p_name fn.Stmt.fn_body
+        })
+    fn.Stmt.fn_params;
+  (* value availability: map an expression's loads to backward sources.
+     Resolution is top-down so that a use-site log (keyed by the printed
+     *original* load) short-circuits before inner indices are rewritten. *)
+  let rec sigma ~stmt ?(reduce_final = false) (e : Expr.t) : Expr.t =
+    match e with
+    | Expr.Load l -> (
+      match Hashtbl.find_opt env.tensors l.Expr.l_var with
+      | None -> e (* backward-local (g, replay buffers, tapes) *)
+      | Some ti -> (
+        (* a use-site value log always takes precedence (it exists for
+           every operand under Materialize_all, and for reads the state
+           machinery cannot serve under Selective) *)
+        match
+          if reduce_final then None
+          else Hashtbl.find_opt logs (use_key stmt l)
+        with
+        | Some u -> Expr.load u.u_name u.u_idx
+        | None -> (
+        match ti.ti_kind with
+        | K_input ->
+          Expr.load l.Expr.l_var
+            (List.map (fun i -> sigma ~stmt i) l.Expr.l_indices)
+        | K_output | K_inout | K_local ->
+          if ti.ti_writing > 0 && not reduce_final then
+            err "missing use log for %s in statement %d"
+              (Expr.to_string e) stmt
+          else
+            let state =
+              if reduce_final then ti.ti_writing else ti.ti_state
+            in
+            let idx =
+              List.map (fun i -> sigma ~stmt i) l.Expr.l_indices
+            in
+            if
+              (ti.ti_kind = K_output || ti.ti_kind = K_inout)
+              && state = ti.ti_final_state
+            then Expr.load l.Expr.l_var idx
+            else (
+              match Hashtbl.find_opt decisions (l.Expr.l_var, state) with
+              | Some D_tape ->
+                Expr.load
+                  (tape_name l.Expr.l_var state)
+                  (outer_index_exprs ti @ idx)
+              | Some D_recompute ->
+                Expr.load (replay_name l.Expr.l_var state) idx
+              | None ->
+                err "no availability decision for %s state %d"
+                  l.Expr.l_var state))))
+    | Expr.Int_const _ | Expr.Float_const _ | Expr.Bool_const _
+    | Expr.Var _ | Expr.Meta_ndim _ | Expr.Meta_shape _ -> e
+    | Expr.Unop (op, a) -> Expr.unop op (sigma ~stmt a)
+    | Expr.Binop (op, a, b) -> Expr.binop op (sigma ~stmt a) (sigma ~stmt b)
+    | Expr.Select (c, a, b) ->
+      Expr.select (sigma ~stmt c) (sigma ~stmt a) (sigma ~stmt b)
+    | Expr.Cast (dt, a) -> Expr.Cast (dt, sigma ~stmt a)
+  in
+  let differentiable_tensor name =
+    match Hashtbl.find_opt env.tensors name with
+    | Some ti -> differentiable ti
+    | None -> false
+  in
+  (* adjoint contribution statements for value expression [e] of the
+     statement with id [stmt], seeded with the (already sigma-mapped)
+     gradient [g_seed] *)
+  let contribution_stmts ~stmt (e : Expr.t) (g_seed : Expr.t) : Stmt.t list =
+    let contributions = Derivative.of_expr e ~seed:(Expr.var seed_var) in
+    List.filter_map
+      (fun (c : Derivative.contribution) ->
+        let tname = c.Derivative.target.Expr.l_var in
+        if not (differentiable_tensor tname) then None
+        else
+          let amount =
+            Expr.subst_var
+              (fun x -> if x = seed_var then Some g_seed else None)
+              (sigma ~stmt c.Derivative.amount)
+          in
+          let idx =
+            List.map (fun i -> sigma ~stmt i)
+              c.Derivative.target.Expr.l_indices
+          in
+          Some (Stmt.reduce_to (grad_name tname) idx Types.R_add amount))
+      contributions
+  in
+  (* replay definitions wrapped around [inner] for recomputed states *)
+  let wrap_replays t (ti : tinfo) inner =
+    let states =
+      List.filter
+        (fun s -> Hashtbl.find_opt decisions (t, s) = Some D_recompute)
+        (List.init (ti.ti_final_state + 1) Fun.id)
+    in
+    let states = List.filter (fun s -> Needs.mem (t, s) needs) states in
+    List.fold_left
+      (fun inner s ->
+        let buf = replay_name t s in
+        let ws =
+          match Hashtbl.find_opt writers t with
+          | Some ws -> List.filteri (fun k _ -> k < s) ws
+          | None -> []
+        in
+        let replayed =
+          List.map
+            (fun c ->
+              (* retarget stores/reduces of t to the buffer *)
+              let c =
+                Stmt.map_bottom_up
+                  (fun st ->
+                    match st.Stmt.node with
+                    | Stmt.Store stc when stc.Stmt.s_var = t ->
+                      Stmt.with_node st (Stmt.Store { stc with s_var = buf })
+                    | Stmt.Reduce_to r when r.Stmt.r_var = t ->
+                      Stmt.with_node st
+                        (Stmt.Reduce_to { r with r_var = buf })
+                    | _ -> st)
+                  c
+              in
+              let c =
+                Stmt.map_exprs
+                  (Expr.map (function
+                    | Expr.Load l when l.Expr.l_var = t ->
+                      Expr.Load { l with Expr.l_var = buf }
+                    | e -> e))
+                  c
+              in
+              refresh_locals c)
+            ws
+        in
+        Stmt.var_def buf ti.ti_dtype Types.Cpu_heap ti.ti_dims
+          (Stmt.seq (replayed @ [ inner ])))
+      inner states
+  in
+  (* ---- the adjoint walk (forward order, reversed emission) ---- *)
+  let rec adjoint_scope ~tracked (body : Stmt.t) : Stmt.t =
+    let children = scope_children body in
+    let adjoints = ref [] in
+    List.iter
+      (fun c ->
+        match c.Stmt.node with
+        | Stmt.Var_def d ->
+          (* transparent for state counting; the gradient buffer and the
+             replay definitions wrap the adjoint of the remaining scope *)
+          let t = d.Stmt.d_name in
+          let ti =
+            { ti_kind = K_local; ti_dtype = d.Stmt.d_dtype;
+              ti_dims = d.Stmt.d_shape; ti_outer = List.rev env.loops;
+              ti_state = 0; ti_writing = 0;
+              ti_final_state = count_writer_children t d.Stmt.d_body }
+          in
+          let wrapped =
+            with_tensor env t ti (fun () ->
+                let inner =
+                  adjoint_scope ~tracked:(t :: tracked) d.Stmt.d_body
+                in
+                let inner = wrap_replays t ti inner in
+                if differentiable ti then
+                  Stmt.var_def (grad_name t) d.Stmt.d_dtype d.Stmt.d_mtype
+                    d.Stmt.d_shape
+                    (Stmt.seq
+                       [ zero_fill (grad_name t) d.Stmt.d_shape; inner ])
+                else inner)
+          in
+          adjoints := wrapped :: !adjoints
+        | _ ->
+          let writes = Stmt.written_tensors c in
+          let bumped = ref [] in
+          List.iter
+            (fun w ->
+              if List.mem w tracked then
+                match Hashtbl.find_opt env.tensors w with
+                | Some ti ->
+                  ti.ti_writing <- ti.ti_state + 1;
+                  bumped := ti :: !bumped
+                | None -> ())
+            writes;
+          adjoints := adjoint_stmt c :: !adjoints;
+          List.iter
+            (fun ti ->
+              ti.ti_writing <- 0;
+              ti.ti_state <- ti.ti_state + 1)
+            !bumped)
+      children;
+    (* reversed emission: !adjoints is already reversed *)
+    Stmt.seq !adjoints
+  and adjoint_stmt (s : Stmt.t) : Stmt.t =
+    match s.Stmt.node with
+    | Stmt.Nop | Stmt.Eval _ -> Stmt.nop ()
+    | Stmt.Call _ -> err "AD requires Call nodes to be inlined first"
+    | Stmt.Store st ->
+      if not (differentiable_tensor st.Stmt.s_var) then Stmt.nop ()
+      else begin
+        let t = st.Stmt.s_var in
+        let idx = List.map (sigma ~stmt:s.Stmt.sid) st.Stmt.s_indices in
+        let g = Names.fresh "g" in
+        let gval = Expr.load g [] in
+        let ti = find_ti env t in
+        let body =
+          [ Stmt.store g [] (Expr.load (grad_name t) idx);
+            Stmt.store (grad_name t) idx (Expr.float 0.) ]
+          @ contribution_stmts ~stmt:s.Stmt.sid st.Stmt.s_value gval
+        in
+        Stmt.var_def g ti.ti_dtype Types.Cpu_stack [] (Stmt.seq body)
+      end
+    | Stmt.Reduce_to r -> (
+      if not (differentiable_tensor r.Stmt.r_var) then Stmt.nop ()
+      else
+        let t = r.Stmt.r_var in
+        let idx = List.map (sigma ~stmt:s.Stmt.sid) r.Stmt.r_indices in
+        match r.Stmt.r_op with
+        | Types.R_add ->
+          Stmt.seq
+            (contribution_stmts ~stmt:s.Stmt.sid r.Stmt.r_value
+               (Expr.load (grad_name t) idx))
+        | Types.R_max | Types.R_min ->
+          (* route the gradient to the extremal contributor *)
+          let final_value =
+            (* complete (settled) state of the reduction target *)
+            sigma ~stmt:s.Stmt.sid ~reduce_final:true
+              (Expr.load t r.Stmt.r_indices)
+          in
+          let seed =
+            Expr.select
+              (Expr.eq (sigma ~stmt:s.Stmt.sid r.Stmt.r_value) final_value)
+              (Expr.load (grad_name t) idx)
+              (Expr.float 0.)
+          in
+          Stmt.seq (contribution_stmts ~stmt:s.Stmt.sid r.Stmt.r_value seed)
+        | Types.R_mul -> err "Reduce_to *= is not differentiable here")
+    | Stmt.For f ->
+      (* reversed iteration: iter := begin + (len-1) - r *)
+      let len = Expr.sub f.Stmt.f_end f.Stmt.f_begin in
+      env.loops <- (f.Stmt.f_iter, f.Stmt.f_begin, len) :: env.loops;
+      let body = adjoint_scope ~tracked:[] f.Stmt.f_body in
+      env.loops <- List.tl env.loops;
+      let r = Names.fresh (f.Stmt.f_iter ^ ".r") in
+      let value =
+        Expr.sub
+          (Expr.add f.Stmt.f_begin (Expr.sub len (Expr.int 1)))
+          (Expr.var r)
+      in
+      let body = Stmt.subst_var f.Stmt.f_iter value body in
+      Stmt.for_ r (Expr.int 0) len body
+    | Stmt.If i ->
+      let cond = sigma ~stmt:s.Stmt.sid i.Stmt.i_cond in
+      let then_ = adjoint_scope ~tracked:[] i.Stmt.i_then in
+      let else_ = Option.map (adjoint_scope ~tracked:[]) i.Stmt.i_else in
+      Stmt.if_ cond then_ else_
+    | Stmt.Assert_stmt (c, b) ->
+      Stmt.assert_ (sigma ~stmt:s.Stmt.sid c) (adjoint_scope ~tracked:[] b)
+    | Stmt.Seq _ -> adjoint_scope ~tracked:[] s
+    | Stmt.Lib_call { body; _ } -> adjoint_scope ~tracked:[] body
+    | Stmt.Var_def _ -> assert false (* consumed by adjoint_scope *)
+  in
+  let param_names =
+    List.map (fun (p : Stmt.param) -> p.Stmt.p_name) fn.Stmt.fn_params
+  in
+  let core = adjoint_scope ~tracked:param_names fn.Stmt.fn_body in
+  (* replay wrappers for recomputed states of parameters (rare) *)
+  let core =
+    List.fold_left
+      (fun core (p : Stmt.param) ->
+        wrap_replays p.Stmt.p_name (find_ti env p.Stmt.p_name) core)
+      core fn.Stmt.fn_params
+  in
+  (* zero the input-gradient outputs before accumulating *)
+  let zero_inits =
+    List.filter_map
+      (fun (p : Stmt.param) ->
+        let ti = find_ti env p.Stmt.p_name in
+        if p.Stmt.p_atype = Types.Input && differentiable ti then
+          Some (zero_fill (grad_name p.Stmt.p_name) ti.ti_dims)
+        else None)
+      fn.Stmt.fn_params
+  in
+  let body = Stmt.seq (zero_inits @ [ core ]) in
+  (* parameters of the backward function *)
+  let originals =
+    List.map
+      (fun (p : Stmt.param) -> { p with Stmt.p_atype = Types.Input })
+      fn.Stmt.fn_params
+  in
+  let tape_params =
+    List.map
+      (fun tp ->
+        { Stmt.p_name = tp.tp_name; p_dtype = tp.tp_dtype;
+          p_shape = Stmt.Fixed tp.tp_dims; p_atype = Types.Input;
+          p_mtype = Types.Cpu_heap })
+      tapes
+  in
+  let grad_params =
+    List.filter_map
+      (fun (p : Stmt.param) ->
+        let ti = find_ti env p.Stmt.p_name in
+        if not (differentiable ti) then None
+        else
+          let dims = ti.ti_dims in
+          match p.Stmt.p_atype with
+          | Types.Input ->
+            Some
+              { Stmt.p_name = grad_name p.Stmt.p_name;
+                p_dtype = p.Stmt.p_dtype; p_shape = Stmt.Fixed dims;
+                p_atype = Types.Output; p_mtype = p.Stmt.p_mtype }
+          | Types.Output | Types.Inout ->
+            Some
+              { Stmt.p_name = grad_name p.Stmt.p_name;
+                p_dtype = p.Stmt.p_dtype; p_shape = Stmt.Fixed dims;
+                p_atype = Types.Inout; p_mtype = p.Stmt.p_mtype }
+          | Types.Cache -> None)
+      fn.Stmt.fn_params
+  in
+  { Stmt.fn_name = fn.Stmt.fn_name ^ ".bwd";
+    fn_params = originals @ tape_params @ grad_params;
+    fn_body = body }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point *)
+
+type result = {
+  forward : Stmt.func;
+  backward : Stmt.func;
+  tapes : tape_spec list;
+  recomputed : (string * int) list;
+  (** states satisfied by recomputation instead of materialization *)
+}
+
+(** Differentiate [fn].  The returned forward pass computes the original
+    outputs plus the tapes; the backward pass consumes the inputs, the
+    outputs, the tapes and the output gradients ([y.grad], [Inout]) and
+    produces the input gradients ([x.grad], [Output], zeroed inside). *)
+let grad ?(mode = Selective) (fn : Stmt.func) : result =
+  let fn = Ft_passes.Simplify.run fn in
+  let needs, logs =
+    collect_needs ~materialize_uses:(mode = Materialize_all) fn
+  in
+  let writers = collect_writers fn in
+  let param_kinds = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Stmt.param) ->
+      Hashtbl.replace param_kinds p.Stmt.p_name p.Stmt.p_atype)
+    fn.Stmt.fn_params;
+  let decisions = decide ~mode ~param_kinds ~writers needs in
+  let forward, tapes = instrument_forward fn needs logs decisions in
+  let backward = build_backward fn needs logs decisions writers tapes in
+  let forward = Ft_passes.Simplify.run forward in
+  let backward = Ft_passes.Simplify.run backward in
+  let recomputed =
+    Hashtbl.fold
+      (fun k d acc -> if d = D_recompute then k :: acc else acc)
+      decisions []
+  in
+  { forward; backward; tapes; recomputed }

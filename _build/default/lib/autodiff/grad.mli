@@ -1,0 +1,53 @@
+(** Fine-grained reverse-mode automatic differentiation (paper Section 5).
+
+    {!grad} turns a forward function into an instrumented forward pass
+    plus a backward pass — both ordinary FreeTensor ASTs that enjoy the
+    same schedule optimizations as any user program (Section 5.1).
+
+    Within each tensor's stack scope, the statements that write it
+    delimit its {e states} (the paper's symbolic versions, indexed by the
+    iterations of the loops enclosing the definition).  A backward use of
+    a state is satisfied by the parameter itself, by a tape, or by
+    recomputation (Fig. 15(c)); the choice is the paper's {e Selective
+    Intermediate Tensor Materialization} (Section 5.2) and is controlled
+    by {!mode}. *)
+
+open Ft_ir
+
+exception Ad_error of string
+
+type mode =
+  | Materialize_all
+      (** tape every needed value, parameters included — the naive
+          strategy and the FT(−) arm of Fig. 18 *)
+  | Selective
+      (** recompute parameter-derived values; tape only what the backward
+          genuinely cannot rebuild — the FT(+) arm of Fig. 18 *)
+
+(** A tape tensor the forward pass must fill and the backward consumes:
+    its name, element type and (symbolic) shape. *)
+type tape_spec = {
+  tp_name : string;
+  tp_dtype : Types.dtype;
+  tp_dims : Expr.t list;
+}
+
+type result = {
+  forward : Stmt.func;
+      (** the original computation plus tape stores; tape tensors are
+          appended as [Output] parameters *)
+  backward : Stmt.func;
+      (** consumes the inputs, the outputs (final values), the tapes and
+          the output gradients ([y.grad], [Inout]); produces the input
+          gradients ([x.grad], [Output], zero-initialized inside) *)
+  tapes : tape_spec list;
+  recomputed : (string * int) list;
+      (** (tensor, state) pairs satisfied by recomputation instead of
+          materialization *)
+}
+
+(** Differentiate a function.  Requirements: step-1 loops, no [Call]
+    nodes (partially evaluate first), reductions limited to [R_add]
+    (linear) and [R_min]/[R_max] (gradient routed to the extremal
+    element).  Raises {!Ad_error} otherwise. *)
+val grad : ?mode:mode -> Stmt.func -> result

@@ -1,0 +1,138 @@
+(** Forward-mode automatic differentiation (Jacobian-vector products).
+
+    The paper implements reverse mode (Section 5); forward mode is the
+    classical complement (the survey it cites, Baydin et al., covers
+    both) and falls out of the same IR design: a purely local dual-number
+    transformation, with no tapes and no materialization question.
+
+    [jvp fn] returns a function that carries, next to every float tensor
+    [t], a tangent tensor [t.d] of the same shape, and computes both the
+    original outputs and their directional derivatives:
+
+      y, dy = f(x), J_f(x) . dx
+
+    Every float input gains an [Input] tangent parameter, every float
+    output an [Output] tangent, and every intermediate definition a
+    tangent twin.  For each assignment the tangent statement is emitted
+    *before* the primal one, so the linearization reads pre-assignment
+    values — exactly what the chain rule needs for overwrites. *)
+
+open Ft_ir
+
+exception Jvp_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Jvp_error s)) fmt
+
+let tangent_name t = t ^ ".d"
+
+(* tensors that carry tangents: float params and float locals *)
+type env = {
+  diff : (string, unit) Hashtbl.t;
+}
+
+let is_diff env name = Hashtbl.mem env.diff name
+
+(* tangent of an expression: sum over loads of (partial * load-tangent) *)
+let tangent env (e : Expr.t) : Expr.t =
+  let contributions = Derivative.of_expr e ~seed:(Expr.float 1.0) in
+  List.fold_left
+    (fun acc (c : Derivative.contribution) ->
+      let l = c.Derivative.target in
+      if not (is_diff env l.Expr.l_var) then acc
+      else
+        Expr.add acc
+          (Expr.mul c.Derivative.amount
+             (Expr.load (tangent_name l.Expr.l_var) l.Expr.l_indices)))
+    (Expr.float 0.0) contributions
+
+let rec transform env (s : Stmt.t) : Stmt.t =
+  match s.Stmt.node with
+  | Stmt.Nop | Stmt.Eval _ -> s
+  | Stmt.Seq ss -> Stmt.seq (List.map (transform env) ss)
+  | Stmt.Store st ->
+    if not (is_diff env st.Stmt.s_var) then s
+    else
+      let dt = tangent env st.Stmt.s_value in
+      Stmt.seq
+        [ Stmt.store (tangent_name st.Stmt.s_var) st.Stmt.s_indices dt; s ]
+  | Stmt.Reduce_to r ->
+    if not (is_diff env r.Stmt.r_var) then s
+    else (
+      match r.Stmt.r_op with
+      | Types.R_add ->
+        let dt = tangent env r.Stmt.r_value in
+        Stmt.seq
+          [ Stmt.reduce_to
+              (tangent_name r.Stmt.r_var)
+              r.Stmt.r_indices Types.R_add dt;
+            s ]
+      | Types.R_max | Types.R_min ->
+        (* the tangent follows whichever argument wins; evaluate the
+           winner test against the pre-update accumulator *)
+        let cur = Expr.load r.Stmt.r_var r.Stmt.r_indices in
+        let wins =
+          match r.Stmt.r_op with
+          | Types.R_max -> Expr.gt r.Stmt.r_value cur
+          | _ -> Expr.lt r.Stmt.r_value cur
+        in
+        let dt = tangent env r.Stmt.r_value in
+        Stmt.seq
+          [ Stmt.if_ wins
+              (Stmt.store
+                 (tangent_name r.Stmt.r_var)
+                 r.Stmt.r_indices dt)
+              None;
+            s ]
+      | Types.R_mul -> err "Reduce_to *= is not differentiable here")
+  | Stmt.Var_def d ->
+    if not (Types.is_float d.Stmt.d_dtype) then
+      Stmt.with_node s (Stmt.Var_def { d with d_body = transform env d.Stmt.d_body })
+    else begin
+      Hashtbl.replace env.diff d.Stmt.d_name ();
+      let body = transform env d.Stmt.d_body in
+      Hashtbl.remove env.diff d.Stmt.d_name;
+      Stmt.with_node s
+        (Stmt.Var_def
+           { d with
+             d_body =
+               Stmt.var_def (tangent_name d.Stmt.d_name) d.Stmt.d_dtype
+                 d.Stmt.d_mtype d.Stmt.d_shape body })
+    end
+  | Stmt.For f ->
+    Stmt.with_node s (Stmt.For { f with f_body = transform env f.Stmt.f_body })
+  | Stmt.If i ->
+    Stmt.with_node s
+      (Stmt.If
+         { i with
+           i_then = transform env i.Stmt.i_then;
+           i_else = Option.map (transform env) i.Stmt.i_else })
+  | Stmt.Assert_stmt (c, b) ->
+    Stmt.with_node s (Stmt.Assert_stmt (c, transform env b))
+  | Stmt.Lib_call { lib; body } ->
+    Stmt.with_node s (Stmt.Lib_call { lib; body = transform env body })
+  | Stmt.Call { callee; _ } ->
+    err "call to %s not inlined; run partial evaluation first" callee
+
+(** Build the dual function.  For each float parameter [p], a tangent
+    parameter [p.d] of the same shape and memory type is appended: inputs
+    get [Input] tangents (the direction), outputs get [Output] tangents
+    (the directional derivative); [Inout] stays [Inout]. *)
+let jvp (fn : Stmt.func) : Stmt.func =
+  let fn = Ft_passes.Simplify.run fn in
+  let env = { diff = Hashtbl.create 16 } in
+  List.iter
+    (fun (p : Stmt.param) ->
+      if Types.is_float p.Stmt.p_dtype then
+        Hashtbl.replace env.diff p.Stmt.p_name ())
+    fn.Stmt.fn_params;
+  let body = transform env fn.Stmt.fn_body in
+  let tangent_params =
+    List.filter_map
+      (fun (p : Stmt.param) ->
+        if not (Types.is_float p.Stmt.p_dtype) then None
+        else Some { p with Stmt.p_name = tangent_name p.Stmt.p_name })
+      fn.Stmt.fn_params
+  in
+  { Stmt.fn_name = fn.Stmt.fn_name ^ ".jvp";
+    fn_params = fn.Stmt.fn_params @ tangent_params;
+    fn_body = Ft_passes.Simplify.run_stmt body }

@@ -1,0 +1,19 @@
+(** Forward-mode automatic differentiation (Jacobian-vector products) —
+    the classical complement to the paper's reverse mode, implemented as
+    a purely local dual-number transformation on the same IR: no tapes,
+    no materialization question. *)
+
+open Ft_ir
+
+exception Jvp_error of string
+
+(** [t.d], the tangent twin of tensor [t]. *)
+val tangent_name : string -> string
+
+(** Build the dual function: for each float parameter [p] a tangent
+    parameter [p.d] of the same shape is appended — [Input] tangents hold
+    the direction, [Output] tangents receive the directional derivative —
+    and every intermediate definition gains a tangent twin.  Requires a
+    partially-evaluated function (no [Call] nodes); reductions limited as
+    in {!Grad.grad}. *)
+val jvp : Stmt.func -> Stmt.func

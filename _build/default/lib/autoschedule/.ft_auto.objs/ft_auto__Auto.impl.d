@@ -1,0 +1,1 @@
+lib/autoschedule/auto.ml: Expr Ft_dep Ft_ir Ft_sched List Stmt Types

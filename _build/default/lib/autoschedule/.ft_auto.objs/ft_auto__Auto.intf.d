@@ -1,0 +1,1 @@
+lib/autoschedule/auto.mli: Ft_ir Ft_sched Stmt Types

@@ -1,0 +1,271 @@
+(** Rule-based auto-scheduling (Section 4.3).
+
+    Six passes, applied in order for a given target device.  Thanks to the
+    dependence analysis underlying every transformation, each pass simply
+    *tries* schedules and keeps whatever succeeds — an illegal attempt
+    raises {!Ft_sched.Select.Invalid_schedule} and leaves the program
+    unchanged, so the passes are free to be aggressive. *)
+
+open Ft_ir
+module Schedule = Ft_sched.Schedule
+
+let try_sched f = try f () with Ft_sched.Select.Invalid_schedule _ -> ()
+
+(* All loops, re-queried from the current AST. *)
+let loops s =
+  Stmt.find_all
+    (fun st -> match st.Stmt.node with Stmt.For _ -> true | _ -> false)
+    (Schedule.body s)
+
+let loop_ids s = List.map (fun l -> l.Stmt.sid) (loops s)
+
+let is_innermost (l : Stmt.t) =
+  match l.Stmt.node with
+  | Stmt.For f ->
+    Stmt.find_opt
+      (fun st -> match st.Stmt.node with Stmt.For _ -> true | _ -> false)
+      f.Stmt.f_body
+    = None
+  | _ -> false
+
+(* Outermost loops: loops with no enclosing loop. *)
+let outermost_loops s =
+  List.filter
+    (fun l -> Ft_dep.Dep.enclosing_loops ~root:(Schedule.body s) l.Stmt.sid = [])
+    (loops s)
+
+let const_trip (f : Stmt.for_loop) =
+  match f.Stmt.f_begin, f.Stmt.f_end, f.Stmt.f_step with
+  | Expr.Int_const b, Expr.Int_const e, Expr.Int_const st when st > 0 ->
+    Some (max 0 ((e - b + st - 1) / st))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+
+(** Pass 1 — auto_fuse: fuse adjacent sibling loops to increase locality,
+    repeating to a fixpoint. *)
+let auto_fuse (s : Schedule.t) =
+  let rec fixpoint () =
+    let fused = ref false in
+    (* find adjacent For pairs in every Seq *)
+    let pairs = ref [] in
+    Stmt.iter
+      (fun st ->
+        match st.Stmt.node with
+        | Stmt.Seq ss ->
+          let rec scan = function
+            | a :: (b :: _ as rest) ->
+              (match a.Stmt.node, b.Stmt.node with
+               | Stmt.For _, Stmt.For _ ->
+                 pairs := (a.Stmt.sid, b.Stmt.sid) :: !pairs
+               | _ -> ());
+              scan rest
+            | _ -> ()
+          in
+          scan ss
+        | _ -> ())
+      (Schedule.body s);
+    List.iter
+      (fun (id1, id2) ->
+        if not !fused then
+          try
+            ignore (Schedule.fuse s (By_id id1) (By_id id2));
+            fused := true
+          with Ft_sched.Select.Invalid_schedule _ -> ())
+      (List.rev !pairs);
+    if !fused then fixpoint ()
+  in
+  fixpoint ()
+
+(** Pass 2 — auto_parallelize: bind outer loops to hardware threads.  On
+    CPU, the outermost parallelizable loop becomes an OpenMP loop (after
+    trying to merge it with a directly nested loop for more parallelism).
+    On GPU, it is split into a (blockIdx.x, threadIdx.x) pair; a second
+    parallelizable level binds threadIdx.y. *)
+let auto_parallelize ~(device : Types.device) (s : Schedule.t) =
+  let rec handle_loop_cpu id =
+    try Schedule.parallelize s (By_id id) Types.Openmp
+    with Ft_sched.Select.Invalid_schedule _ ->
+      (* descend: parallelize inner loops instead *)
+      descend id handle_loop_cpu
+  and descend id k =
+    (* loops nested directly one level below [id] *)
+    let body = Schedule.body s in
+    let base = Ft_dep.Dep.enclosing_loops ~root:body id @ [ id ] in
+    List.iter
+      (fun l ->
+        if Ft_dep.Dep.enclosing_loops ~root:body l.Stmt.sid = base then
+          k l.Stmt.sid)
+      (loops s)
+  in
+  let handle_loop_gpu id =
+    (* try merging with a directly nested loop first for a bigger domain *)
+    let id =
+      match Stmt.find_by_id id (Schedule.body s) with
+      | Some ({ Stmt.node = Stmt.For f; _ } as l) -> (
+        match Ft_sched.Select.directly_nested_loop f with
+        | Some (inner, _) -> (
+          try
+            let m = Schedule.merge s (By_id l.Stmt.sid) (By_id inner.Stmt.sid) in
+            match m with Schedule.By_id i -> i | _ -> id
+          with Ft_sched.Select.Invalid_schedule _ -> id)
+        | None -> id)
+      | _ -> id
+    in
+    try
+      let outer, inner = Schedule.split s (By_id id) ~factor:256 in
+      (try Schedule.parallelize s outer Types.Cuda_block_x
+       with Ft_sched.Select.Invalid_schedule _ -> ());
+      try Schedule.parallelize s inner Types.Cuda_thread_x
+      with Ft_sched.Select.Invalid_schedule _ -> ()
+    with Ft_sched.Select.Invalid_schedule _ -> ()
+  in
+  List.iter
+    (fun l ->
+      match device with
+      | Types.Cpu -> handle_loop_cpu l.Stmt.sid
+      | Types.Gpu -> handle_loop_gpu l.Stmt.sid)
+    (outermost_loops s)
+
+(** Pass 3 — auto_vectorize (CPU): vectorize innermost loops with
+    constant, reasonably long trip counts. *)
+let auto_vectorize ~(device : Types.device) (s : Schedule.t) =
+  if device = Types.Cpu then
+    List.iter
+      (fun l ->
+        if is_innermost l then
+          match l.Stmt.node with
+          | Stmt.For f
+            when f.Stmt.f_property.parallel = None
+                 && not f.Stmt.f_property.vectorize ->
+            (match const_trip f with
+             | Some n when n >= 4 ->
+               try_sched (fun () -> Schedule.vectorize s (By_id l.Stmt.sid))
+             | Some _ -> ()
+             | None ->
+               try_sched (fun () -> Schedule.vectorize s (By_id l.Stmt.sid)))
+          | _ -> ())
+      (loops s)
+
+(* constant element count of a shape, if known *)
+let const_numel shape =
+  List.fold_left
+    (fun acc e ->
+      match acc, e with
+      | Some n, Expr.Int_const k -> Some (n * k)
+      | _ -> None)
+    (Some 1) shape
+
+(** Pass 4 — auto_mem_type: put tensors as near to the processor as
+    possible: registers over scratch-pad over main memory. *)
+let auto_mem_type ~(device : Types.device) (s : Schedule.t) =
+  let defs =
+    Stmt.find_all
+      (fun st ->
+        match st.Stmt.node with
+        | Stmt.Var_def d -> d.Stmt.d_atype = Types.Cache
+        | _ -> false)
+      (Schedule.body s)
+  in
+  List.iter
+    (fun d ->
+      match d.Stmt.node with
+      | Stmt.Var_def def -> (
+        let inside_thread =
+          List.exists
+            (fun id ->
+              match Stmt.find_by_id id (Schedule.body s) with
+              | Some { Stmt.node = Stmt.For f; _ } -> (
+                match f.Stmt.f_property.parallel with
+                | Some sc -> Types.is_cuda_thread_scope sc
+                | None -> false)
+              | _ -> false)
+            (Ft_dep.Dep.enclosing_loops ~root:(Schedule.body s) d.Stmt.sid)
+        in
+        match device, const_numel def.Stmt.d_shape with
+        | Types.Gpu, Some n when n <= 64 || inside_thread ->
+          try_sched (fun () ->
+              Schedule.set_mtype s def.Stmt.d_name Types.Gpu_local)
+        | Types.Gpu, Some n when n <= 8192 ->
+          try_sched (fun () ->
+              Schedule.set_mtype s def.Stmt.d_name Types.Gpu_shared)
+        | Types.Gpu, _ -> ()
+        | Types.Cpu, Some n when n <= 4096 ->
+          try_sched (fun () ->
+              Schedule.set_mtype s def.Stmt.d_name Types.Cpu_stack)
+        | Types.Cpu, _ -> ())
+      | _ -> ())
+    defs
+
+(** Pass 5 — auto_use_lib: replace recognized computation-intensive
+    sub-programs (GEMM nests) with vendor-library calls. *)
+let auto_use_lib (s : Schedule.t) =
+  List.iter
+    (fun id -> try_sched (fun () -> ignore (Schedule.as_lib s (By_id id))))
+    (loop_ids s)
+
+(** Pass 6 — auto_unroll: fully unroll very short innermost loops to give
+    the backend compiler more freedom. *)
+let auto_unroll (s : Schedule.t) =
+  let rec fixpoint budget =
+    if budget > 0 then begin
+      let unrolled = ref false in
+      List.iter
+        (fun l ->
+          if (not !unrolled) && is_innermost l then
+            match l.Stmt.node with
+            | Stmt.For f when f.Stmt.f_property.parallel = None -> (
+              match const_trip f with
+              | Some n when n <= 4 -> (
+                try
+                  Schedule.unroll s (By_id l.Stmt.sid);
+                  unrolled := true
+                with Ft_sched.Select.Invalid_schedule _ -> ())
+              | _ -> ())
+            | _ -> ())
+        (loops s);
+      if !unrolled then fixpoint (budget - 1)
+    end
+  in
+  fixpoint 16
+
+(** Pass identifiers, for ablation studies. *)
+type pass =
+  | P_use_lib
+  | P_fuse
+  | P_parallelize
+  | P_vectorize
+  | P_mem_type
+  | P_unroll
+
+let pass_name = function
+  | P_use_lib -> "auto_use_lib"
+  | P_fuse -> "auto_fuse"
+  | P_parallelize -> "auto_parallelize"
+  | P_vectorize -> "auto_vectorize"
+  | P_mem_type -> "auto_mem_type"
+  | P_unroll -> "auto_unroll"
+
+let all_passes =
+  [ P_use_lib; P_fuse; P_parallelize; P_vectorize; P_mem_type; P_unroll ]
+
+(** The full driver: the six passes in order, then cleanup.  Passes in
+    [skip] are omitted — used by the ablation benchmarks to quantify each
+    pass's contribution. *)
+let auto_schedule ?(skip = []) ~(device : Types.device) (s : Schedule.t) =
+  let enabled p = not (List.mem p skip) in
+  (* library replacement first: fusion could destroy the GEMM pattern *)
+  if enabled P_use_lib then auto_use_lib s;
+  if enabled P_fuse then auto_fuse s;
+  if enabled P_parallelize then auto_parallelize ~device s;
+  if enabled P_vectorize then auto_vectorize ~device s;
+  if enabled P_mem_type then auto_mem_type ~device s;
+  if enabled P_unroll then auto_unroll s;
+  Schedule.simplify s
+
+(** Convenience: auto-schedule a function for [device], returning the
+    transformed function. *)
+let run ?skip ~device (fn : Stmt.func) : Stmt.func =
+  let s = Schedule.of_func fn in
+  auto_schedule ?skip ~device s;
+  Schedule.func s

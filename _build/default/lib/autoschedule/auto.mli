@@ -1,0 +1,50 @@
+(** Rule-based auto-scheduling (paper Section 4.3): six passes, applied
+    in order for a target device.  Each pass simply {e tries} schedules —
+    an illegal attempt raises inside {!Ft_sched} and is skipped — so the
+    passes are free to be aggressive. *)
+
+open Ft_ir
+module Schedule = Ft_sched.Schedule
+
+(** {1 Individual passes} *)
+
+(** Fuse adjacent sibling loops to increase locality (to a fixpoint). *)
+val auto_fuse : Schedule.t -> unit
+
+(** Bind outer loops to hardware threads: OpenMP on CPU; a merge + split
+    into (blockIdx.x, threadIdx.x) on GPU. *)
+val auto_parallelize : device:Types.device -> Schedule.t -> unit
+
+(** Vectorize innermost dependence-free loops (CPU only). *)
+val auto_vectorize : device:Types.device -> Schedule.t -> unit
+
+(** Put tensors as near to the processor as possible: registers over
+    scratch-pad over main memory. *)
+val auto_mem_type : device:Types.device -> Schedule.t -> unit
+
+(** Replace recognized computation-intensive sub-programs (GEMM nests)
+    with vendor-library calls. *)
+val auto_use_lib : Schedule.t -> unit
+
+(** Fully unroll very short innermost loops. *)
+val auto_unroll : Schedule.t -> unit
+
+(** {1 Driver} *)
+
+(** Pass identifiers, for ablation studies. *)
+type pass =
+  | P_use_lib
+  | P_fuse
+  | P_parallelize
+  | P_vectorize
+  | P_mem_type
+  | P_unroll
+
+val pass_name : pass -> string
+val all_passes : pass list
+
+(** Run the six passes in order (skipping [skip]), then cleanup. *)
+val auto_schedule : ?skip:pass list -> device:Types.device -> Schedule.t -> unit
+
+(** Auto-schedule a function for [device]. *)
+val run : ?skip:pass list -> device:Types.device -> Stmt.func -> Stmt.func

@@ -1,0 +1,1 @@
+lib/backend/codegen.ml: Buffer Expr Float Ft_ir Hashtbl List Printf Stmt String Types

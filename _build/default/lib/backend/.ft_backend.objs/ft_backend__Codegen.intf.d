@@ -1,0 +1,1 @@
+lib/backend/codegen.mli: Ft_ir Stmt

@@ -1,0 +1,1 @@
+lib/backend/costmodel.ml: Expr Float Ft_ir Ft_machine Hashtbl Lazy List Machine Option Stmt Types

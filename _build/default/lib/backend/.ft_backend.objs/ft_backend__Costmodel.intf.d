@@ -1,0 +1,1 @@
+lib/backend/costmodel.mli: Ft_ir Ft_machine Machine Stmt Types

@@ -1,0 +1,1 @@
+lib/backend/interp.ml: Array Expr Float Ft_ir Ft_runtime Hashtbl List Printf Stmt Tensor Types

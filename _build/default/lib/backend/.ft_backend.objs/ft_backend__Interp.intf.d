@@ -1,0 +1,1 @@
+lib/backend/interp.mli: Expr Ft_ir Ft_runtime Stmt Tensor

@@ -1,0 +1,20 @@
+(** Code generation (paper Section 4.3): emit OpenMP C or CUDA source
+    text from a scheduled FreeTensor function.
+
+    This container has no nvcc or GPU, so the generated sources are
+    golden-tested for structure rather than compiled; execution and
+    performance numbers come from the interpreter/executor and the cost
+    model.  The emitters nevertheless produce complete translation units:
+    tensors flattened row-major, [parallel] annotations as [#pragma omp
+    parallel for] or CUDA grid/block bindings, atomic reductions as
+    [#pragma omp atomic] / [atomicAdd], shared/local memory qualifiers,
+    and host-side launch code for every kernel. *)
+
+open Ft_ir
+
+(** OpenMP C translation unit. *)
+val c_of_func : Stmt.func -> string
+
+(** CUDA translation unit: one [__global__] kernel per top-level
+    statement plus a host wrapper with [<<<grid, block>>>] launches. *)
+val cuda_of_func : Stmt.func -> string

@@ -1,0 +1,347 @@
+(** Closure-compiling executor: the fast in-process backend.
+
+    Where {!Interp} walks the AST on every execution, this backend
+    *compiles* a function once into a tree of OCaml closures — names are
+    resolved to mutable cells, expressions to [unit -> float]/[unit ->
+    int] thunks with dtypes settled statically — and then runs the
+    closures.  It plays the role nvcc/gcc play in the paper's pipeline
+    for this repository's in-process execution, and the test suite
+    cross-checks it against the reference interpreter on every workload.
+
+    Parallel annotations are ignored at execution (sequential execution
+    of a correctly-scheduled program is semantics-preserving); they are
+    consumed by the code generators and the cost model. *)
+
+open Ft_ir
+open Ft_runtime
+
+exception Exec_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+(* a tensor binding; filled at run time (params) or on scope entry *)
+type cell = { mutable t : Tensor.t option }
+
+let cell_tensor name c =
+  match c.t with
+  | Some t -> t
+  | None -> err "tensor %s is not live here" name
+
+type cenv = {
+  cells : (string, cell) Hashtbl.t;
+  ints : (string, int ref) Hashtbl.t; (* iterators and size parameters *)
+  dtypes : (string, Types.dtype) Hashtbl.t; (* compile-time scoping *)
+}
+
+let find_cell env name =
+  match Hashtbl.find_opt env.cells name with
+  | Some c -> c
+  | None ->
+    (* first reference wins: parameters are registered up front, so this
+       is a compiler-introduced name (e.g. within unexecuted branches) *)
+    let c = { t = None } in
+    Hashtbl.replace env.cells name c;
+    c
+
+let find_int env name =
+  match Hashtbl.find_opt env.ints name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace env.ints name r;
+    r
+
+let dtype_of env name =
+  match Hashtbl.find_opt env.dtypes name with
+  | Some dt -> dt
+  | None -> Types.F32
+
+(* flat offset of an index list against a cell's current tensor *)
+let offset_thunk name (c : cell) (idx : (unit -> int) list) : unit -> int =
+  match idx with
+  | [] -> fun () -> 0
+  | [ i0 ] ->
+    fun () ->
+      let t = cell_tensor name c in
+      i0 () * (Tensor.strides t).(0)
+  | _ ->
+    let idx = Array.of_list idx in
+    fun () ->
+      let t = cell_tensor name c in
+      let strides = Tensor.strides t in
+      let off = ref 0 in
+      for k = 0 to Array.length idx - 1 do
+        off := !off + (idx.(k) () * strides.(k))
+      done;
+      !off
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation, dtype-directed *)
+
+let rec compile_f (env : cenv) (e : Expr.t) : unit -> float =
+  match e with
+  | Expr.Float_const f -> fun () -> f
+  | Expr.Int_const n ->
+    let f = float_of_int n in
+    fun () -> f
+  | Expr.Bool_const _ -> err "boolean used as a number"
+  | Expr.Var x ->
+    let r = find_int env x in
+    fun () -> float_of_int !r
+  | Expr.Load { l_var; l_indices } ->
+    let c = find_cell env l_var in
+    let idx = List.map (compile_i env) l_indices in
+    let off = offset_thunk l_var c idx in
+    fun () -> Tensor.unsafe_get_f (cell_tensor l_var c) (off ())
+  | Expr.Unop (op, a) -> (
+    let fa = compile_f env a in
+    match op with
+    | Expr.Neg -> fun () -> -.fa ()
+    | Expr.Abs -> fun () -> Float.abs (fa ())
+    | Expr.Sqrt -> fun () -> sqrt (fa ())
+    | Expr.Exp -> fun () -> exp (fa ())
+    | Expr.Ln -> fun () -> log (fa ())
+    | Expr.Sigmoid -> fun () -> 1.0 /. (1.0 +. exp (-.fa ()))
+    | Expr.Tanh -> fun () -> tanh (fa ())
+    | Expr.Floor_op -> fun () -> floor (fa ())
+    | Expr.Ceil_op -> fun () -> ceil (fa ())
+    | Expr.Square ->
+      fun () ->
+        let v = fa () in
+        v *. v
+    | Expr.Not -> err "boolean used as a number")
+  | Expr.Binop (op, a, b) -> (
+    match op with
+    | Expr.Floor_div | Expr.Mod ->
+      let fi = compile_i env e in
+      fun () -> float_of_int (fi ())
+    | _ ->
+      let fa = compile_f env a and fb = compile_f env b in
+      (match op with
+       | Expr.Add -> fun () -> fa () +. fb ()
+       | Expr.Sub -> fun () -> fa () -. fb ()
+       | Expr.Mul -> fun () -> fa () *. fb ()
+       | Expr.Div -> fun () -> fa () /. fb ()
+       | Expr.Min -> fun () -> Float.min (fa ()) (fb ())
+       | Expr.Max -> fun () -> Float.max (fa ()) (fb ())
+       | Expr.Pow -> fun () -> Float.pow (fa ()) (fb ())
+       | _ -> err "boolean expression used as a number"))
+  | Expr.Select (c, a, b) ->
+    let fc = compile_b env c and fa = compile_f env a and fb = compile_f env b in
+    fun () -> if fc () then fa () else fb ()
+  | Expr.Cast (_, a) -> compile_f env a
+  | Expr.Meta_ndim p | Expr.Meta_shape (p, _) ->
+    err "meta expression on %s not partially evaluated" p
+
+and compile_i (env : cenv) (e : Expr.t) : unit -> int =
+  match e with
+  | Expr.Int_const n -> fun () -> n
+  | Expr.Float_const f ->
+    let n = int_of_float f in
+    fun () -> n
+  | Expr.Var x ->
+    let r = find_int env x in
+    fun () -> !r
+  | Expr.Load { l_var; l_indices } ->
+    let c = find_cell env l_var in
+    let idx = List.map (compile_i env) l_indices in
+    let off = offset_thunk l_var c idx in
+    if Types.is_float (dtype_of env l_var) then (fun () ->
+        int_of_float (Tensor.unsafe_get_f (cell_tensor l_var c) (off ())))
+    else fun () -> Tensor.unsafe_get_i (cell_tensor l_var c) (off ())
+  | Expr.Unop (Expr.Neg, a) ->
+    let fa = compile_i env a in
+    fun () -> -fa ()
+  | Expr.Unop (Expr.Abs, a) ->
+    let fa = compile_i env a in
+    fun () -> abs (fa ())
+  | Expr.Binop (op, a, b) -> (
+    let fa = compile_i env a and fb = compile_i env b in
+    match op with
+    | Expr.Add -> fun () -> fa () + fb ()
+    | Expr.Sub -> fun () -> fa () - fb ()
+    | Expr.Mul -> fun () -> fa () * fb ()
+    | Expr.Floor_div -> fun () -> Expr.ifloor_div (fa ()) (fb ())
+    | Expr.Mod -> fun () -> Expr.imod (fa ()) (fb ())
+    | Expr.Min -> fun () -> min (fa ()) (fb ())
+    | Expr.Max -> fun () -> max (fa ()) (fb ())
+    | _ -> err "non-integer operator in index expression")
+  | Expr.Select (c, a, b) ->
+    let fc = compile_b env c and fa = compile_i env a and fb = compile_i env b in
+    fun () -> if fc () then fa () else fb ()
+  | Expr.Cast (_, a) ->
+    let fa = compile_f env a in
+    fun () -> int_of_float (fa ())
+  | _ -> err "expression %s is not an integer" (Expr.to_string e)
+
+and compile_b (env : cenv) (e : Expr.t) : unit -> bool =
+  match e with
+  | Expr.Bool_const b -> fun () -> b
+  | Expr.Unop (Expr.Not, a) ->
+    let fa = compile_b env a in
+    fun () -> not (fa ())
+  | Expr.Binop ((Expr.L_and as op), a, b) | Expr.Binop ((Expr.L_or as op), a, b)
+    ->
+    let fa = compile_b env a and fb = compile_b env b in
+    if op = Expr.L_and then fun () -> fa () && fb ()
+    else fun () -> fa () || fb ()
+  | Expr.Binop (op, a, b) -> (
+    (* comparisons: integer compare when both sides are integer-shaped *)
+    let is_intish e =
+      let rec go = function
+        | Expr.Int_const _ | Expr.Var _ -> true
+        | Expr.Load { l_var; _ } ->
+          not (Types.is_float (dtype_of env l_var))
+        | Expr.Binop ((Expr.Add | Expr.Sub | Expr.Mul | Expr.Floor_div
+                      | Expr.Mod | Expr.Min | Expr.Max), x, y) ->
+          go x && go y
+        | Expr.Unop (Expr.Neg, x) -> go x
+        | _ -> false
+      in
+      go e
+    in
+    if is_intish a && is_intish b then
+      let fa = compile_i env a and fb = compile_i env b in
+      match op with
+      | Expr.Eq -> fun () -> fa () = fb ()
+      | Expr.Ne -> fun () -> fa () <> fb ()
+      | Expr.Lt -> fun () -> fa () < fb ()
+      | Expr.Le -> fun () -> fa () <= fb ()
+      | Expr.Gt -> fun () -> fa () > fb ()
+      | Expr.Ge -> fun () -> fa () >= fb ()
+      | _ -> err "not a boolean operator"
+    else
+      let fa = compile_f env a and fb = compile_f env b in
+      match op with
+      | Expr.Eq -> fun () -> fa () = fb ()
+      | Expr.Ne -> fun () -> fa () <> fb ()
+      | Expr.Lt -> fun () -> fa () < fb ()
+      | Expr.Le -> fun () -> fa () <= fb ()
+      | Expr.Gt -> fun () -> fa () > fb ()
+      | Expr.Ge -> fun () -> fa () >= fb ()
+      | _ -> err "not a boolean operator")
+  | Expr.Select (c, a, b) ->
+    let fc = compile_b env c and fa = compile_b env a and fb = compile_b env b in
+    fun () -> if fc () then fa () else fb ()
+  | _ -> err "expression %s is not boolean" (Expr.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation *)
+
+let rec compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
+  match s.Stmt.node with
+  | Stmt.Nop -> fun () -> ()
+  | Stmt.Seq ss ->
+    let fs = Array.of_list (List.map (compile_stmt env) ss) in
+    fun () -> Array.iter (fun f -> f ()) fs
+  | Stmt.Store { s_var; s_indices; s_value } ->
+    let c = find_cell env s_var in
+    let idx = List.map (compile_i env) s_indices in
+    let off = offset_thunk s_var c idx in
+    if Types.is_float (dtype_of env s_var) then
+      let fv = compile_f env s_value in
+      fun () -> Tensor.unsafe_set_f (cell_tensor s_var c) (off ()) (fv ())
+    else
+      let fv = compile_i env s_value in
+      fun () ->
+        Tensor.set_flat_i (cell_tensor s_var c) (off ()) (fv ())
+  | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; _ } ->
+    let c = find_cell env r_var in
+    let idx = List.map (compile_i env) r_indices in
+    let off = offset_thunk r_var c idx in
+    let fv = compile_f env r_value in
+    let combine =
+      match r_op with
+      | Types.R_add -> ( +. )
+      | Types.R_mul -> ( *. )
+      | Types.R_min -> Float.min
+      | Types.R_max -> Float.max
+    in
+    fun () ->
+      let t = cell_tensor r_var c in
+      let o = off () in
+      Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) (fv ()))
+  | Stmt.Var_def d ->
+    let c = find_cell env d.Stmt.d_name in
+    let dims = List.map (compile_i env) d.Stmt.d_shape in
+    Hashtbl.replace env.dtypes d.Stmt.d_name d.Stmt.d_dtype;
+    let body = compile_stmt env d.Stmt.d_body in
+    Hashtbl.remove env.dtypes d.Stmt.d_name;
+    let dtype = d.Stmt.d_dtype in
+    fun () ->
+      let saved = c.t in
+      c.t <- Some (Tensor.create dtype (Array.of_list (List.map (fun f -> f ()) dims)));
+      body ();
+      c.t <- saved
+  | Stmt.For f ->
+    let r = find_int env f.Stmt.f_iter in
+    let fb = compile_i env f.Stmt.f_begin in
+    let fe = compile_i env f.Stmt.f_end in
+    let fs = compile_i env f.Stmt.f_step in
+    let body = compile_stmt env f.Stmt.f_body in
+    fun () ->
+      let e = fe () and st = fs () in
+      let saved = !r in
+      let i = ref (fb ()) in
+      while !i < e do
+        r := !i;
+        body ();
+        i := !i + st
+      done;
+      r := saved
+  | Stmt.If i -> (
+    let fc = compile_b env i.Stmt.i_cond in
+    let ft = compile_stmt env i.Stmt.i_then in
+    match i.Stmt.i_else with
+    | None -> fun () -> if fc () then ft ()
+    | Some e ->
+      let fe = compile_stmt env e in
+      fun () -> if fc () then ft () else fe ())
+  | Stmt.Assert_stmt (c, b) ->
+    let fc = compile_b env c in
+    let fb = compile_stmt env b in
+    let msg = Expr.to_string c in
+    fun () ->
+      if not (fc ()) then err "assertion failed: %s" msg;
+      fb ()
+  | Stmt.Eval _ -> fun () -> ()
+  | Stmt.Lib_call { body; _ } -> compile_stmt env body
+  | Stmt.Call { callee; _ } ->
+    err "call to %s not inlined; run partial evaluation first" callee
+
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  cd_fn : Stmt.func;
+  cd_run : (string * Tensor.t) list -> (string * int) list -> unit;
+}
+
+(** Compile a function once; the result can be run many times with
+    different argument tensors (bound by parameter name). *)
+let compile (fn : Stmt.func) : compiled =
+  let env =
+    { cells = Hashtbl.create 32; ints = Hashtbl.create 32;
+      dtypes = Hashtbl.create 32 }
+  in
+  List.iter
+    (fun (p : Stmt.param) ->
+      ignore (find_cell env p.Stmt.p_name);
+      Hashtbl.replace env.dtypes p.Stmt.p_name p.Stmt.p_dtype)
+    fn.Stmt.fn_params;
+  let body = compile_stmt env fn.Stmt.fn_body in
+  let run args sizes =
+    List.iter (fun (n, v) -> find_int env n := v) sizes;
+    List.iter
+      (fun (p : Stmt.param) ->
+        match List.assoc_opt p.Stmt.p_name args with
+        | Some t -> (find_cell env p.Stmt.p_name).t <- Some t
+        | None -> err "missing argument %s" p.Stmt.p_name)
+      fn.Stmt.fn_params;
+    body ()
+  in
+  { cd_fn = fn; cd_run = run }
+
+(** One-shot convenience mirroring {!Interp.run_func}. *)
+let run_func ?(sizes = []) (fn : Stmt.func) (args : (string * Tensor.t) list)
+    : unit =
+  (compile fn).cd_run args sizes

@@ -1,0 +1,29 @@
+(** Closure-compiling executor: the fast in-process backend.
+
+    Where {!Interp} walks the AST on every execution, this backend
+    compiles a function once into a tree of OCaml closures — names
+    resolved to mutable cells, expressions to [unit -> float] /
+    [unit -> int] thunks with dtypes settled statically — and then runs
+    the closures.  It plays the role gcc/nvcc play in the paper's
+    pipeline for this repository's in-process execution. *)
+
+open Ft_ir
+open Ft_runtime
+
+exception Exec_error of string
+
+type compiled = {
+  cd_fn : Stmt.func;
+  cd_run : (string * Tensor.t) list -> (string * int) list -> unit;
+      (** [cd_run args sizes] binds the parameters and executes once *)
+}
+
+(** Compile once; run many times with different argument tensors. *)
+val compile : Stmt.func -> compiled
+
+(** One-shot convenience mirroring {!Interp.run_func}. *)
+val run_func :
+  ?sizes:(string * int) list ->
+  Stmt.func ->
+  (string * Tensor.t) list ->
+  unit

@@ -1,0 +1,26 @@
+(** Analytic cost model: charges a FreeTensor program to the abstract
+    machine.
+
+    The program is decomposed into kernels — the top-level statements
+    outside any loop (a fused FreeTensor program is typically one kernel;
+    an operator chain is many).  Per kernel the walker counts FLOPs,
+    main-memory access volume (with register-hoisting of loop-invariant
+    loads), the distinct-tensor footprint, the bound parallelism and
+    vectorization, then prices it with {!Ft_machine.Machine.kernel_cost}.
+    The Fig. 17 counters are exactly these quantities. *)
+
+open Ft_ir
+open Ft_machine
+
+exception Unknown_extent
+
+(** Estimate the metrics of running [fn] once on [device].  [sizes] binds
+    symbolic size parameters; [unknown_extent] (default 8) is assumed for
+    loop trips the model cannot evaluate (data-dependent bounds such as
+    CSR row degrees). *)
+val estimate :
+  ?sizes:(string * int) list ->
+  ?unknown_extent:float ->
+  device:Types.device ->
+  Stmt.func ->
+  Machine.metrics

@@ -1,0 +1,229 @@
+(** Reference interpreter for the FreeTensor IR.
+
+    This is the semantic ground truth: every transformation (schedules,
+    AD, auto-scheduling, lowering) must leave programs that this
+    interpreter evaluates to the same outputs.  It is a plain tree walker;
+    the faster closure-compiling executor ({!Compile_exec}) is
+    cross-checked against it in the test suite. *)
+
+open Ft_ir
+open Ft_runtime
+
+type value =
+  | Vf of float
+  | Vi of int
+  | Vb of bool
+
+exception Interp_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Interp_error s)) fmt
+
+let as_f = function
+  | Vf f -> f
+  | Vi i -> float_of_int i
+  | Vb _ -> err "boolean used as number"
+
+let as_i = function
+  | Vi i -> i
+  | Vf f -> int_of_float f
+  | Vb _ -> err "boolean used as integer"
+
+let as_b = function
+  | Vb b -> b
+  | Vi i -> i <> 0
+  | Vf _ -> err "float used as boolean"
+
+type env = {
+  scalars : (string, value) Hashtbl.t;
+  tensors : (string, Tensor.t) Hashtbl.t;
+}
+
+let make_env () = { scalars = Hashtbl.create 16; tensors = Hashtbl.create 16 }
+
+let tensor env name =
+  try Hashtbl.find env.tensors name
+  with Not_found -> err "unbound tensor %s" name
+
+let rec eval env (e : Expr.t) : value =
+  match e with
+  | Expr.Int_const n -> Vi n
+  | Expr.Float_const f -> Vf f
+  | Expr.Bool_const b -> Vb b
+  | Expr.Var x -> (
+    match Hashtbl.find_opt env.scalars x with
+    | Some v -> v
+    | None -> (
+      (* allow reading a 0-D tensor through its bare name *)
+      match Hashtbl.find_opt env.tensors x with
+      | Some t when Tensor.ndim t = 0 ->
+        if Types.is_float (Tensor.dtype t) then Vf (Tensor.get_flat_f t 0)
+        else Vi (Tensor.get_flat_i t 0)
+      | _ -> err "unbound variable %s" x))
+  | Expr.Load { l_var; l_indices } ->
+    let t = tensor env l_var in
+    let idx = Array.of_list (List.map (fun e -> as_i (eval env e)) l_indices) in
+    if Types.is_float (Tensor.dtype t) then Vf (Tensor.get_f t idx)
+    else Vi (Tensor.get_i t idx)
+  | Expr.Unop (op, a) -> eval_unop env op a
+  | Expr.Binop (op, a, b) -> eval_binop env op a b
+  | Expr.Select (c, a, b) -> if as_b (eval env c) then eval env a else eval env b
+  | Expr.Cast (dt, a) ->
+    let v = eval env a in
+    if Types.is_float dt then Vf (as_f v) else Vi (as_i v)
+  | Expr.Meta_ndim p -> err "Meta_ndim %s survived partial evaluation" p
+  | Expr.Meta_shape (p, _) -> err "Meta_shape %s survived partial evaluation" p
+
+and eval_unop env op a =
+  let v = eval env a in
+  match op, v with
+  | Expr.Neg, Vi i -> Vi (-i)
+  | Expr.Neg, Vf f -> Vf (-.f)
+  | Expr.Not, v -> Vb (not (as_b v))
+  | Expr.Abs, Vi i -> Vi (abs i)
+  | Expr.Abs, Vf f -> Vf (Float.abs f)
+  | Expr.Sqrt, v -> Vf (sqrt (as_f v))
+  | Expr.Exp, v -> Vf (exp (as_f v))
+  | Expr.Ln, v -> Vf (log (as_f v))
+  | Expr.Sigmoid, v -> Vf (1.0 /. (1.0 +. exp (-.as_f v)))
+  | Expr.Tanh, v -> Vf (tanh (as_f v))
+  | Expr.Floor_op, v -> Vf (floor (as_f v))
+  | Expr.Ceil_op, v -> Vf (ceil (as_f v))
+  | Expr.Square, Vi i -> Vi (i * i)
+  | Expr.Square, Vf f -> Vf (f *. f)
+  | (Expr.Neg | Expr.Abs | Expr.Square), Vb _ -> err "bool arithmetic"
+
+and eval_binop env op a b =
+  let va = eval env a in
+  (* short-circuit logicals *)
+  match op with
+  | Expr.L_and -> if as_b va then Vb (as_b (eval env b)) else Vb false
+  | Expr.L_or -> if as_b va then Vb true else Vb (as_b (eval env b))
+  | _ -> (
+    let vb = eval env b in
+    let arith fi ff =
+      match va, vb with
+      | Vi x, Vi y -> Vi (fi x y)
+      | _ -> Vf (ff (as_f va) (as_f vb))
+    in
+    let compare_vals fi ff =
+      match va, vb with
+      | Vi x, Vi y -> Vb (fi x y)
+      | _ -> Vb (ff (as_f va) (as_f vb))
+    in
+    match op with
+    | Expr.Add -> arith ( + ) ( +. )
+    | Expr.Sub -> arith ( - ) ( -. )
+    | Expr.Mul -> arith ( * ) ( *. )
+    | Expr.Div -> Vf (as_f va /. as_f vb)
+    | Expr.Floor_div -> Vi (Expr.ifloor_div (as_i va) (as_i vb))
+    | Expr.Mod -> Vi (Expr.imod (as_i va) (as_i vb))
+    | Expr.Min -> arith min Float.min
+    | Expr.Max -> arith max Float.max
+    | Expr.Pow -> Vf (Float.pow (as_f va) (as_f vb))
+    | Expr.Eq -> compare_vals ( = ) ( = )
+    | Expr.Ne -> compare_vals ( <> ) ( <> )
+    | Expr.Lt -> compare_vals ( < ) ( < )
+    | Expr.Le -> compare_vals ( <= ) ( <= )
+    | Expr.Gt -> compare_vals ( > ) ( > )
+    | Expr.Ge -> compare_vals ( >= ) ( >= )
+    | Expr.L_and | Expr.L_or -> assert false)
+
+let apply_reduce op cur v =
+  match op with
+  | Types.R_add -> cur +. v
+  | Types.R_mul -> cur *. v
+  | Types.R_min -> Float.min cur v
+  | Types.R_max -> Float.max cur v
+
+let rec exec env (s : Stmt.t) : unit =
+  match s.node with
+  | Stmt.Nop -> ()
+  | Stmt.Store { s_var; s_indices; s_value } ->
+    let t = tensor env s_var in
+    let idx = Array.of_list (List.map (fun e -> as_i (eval env e)) s_indices) in
+    let v = eval env s_value in
+    if Types.is_float (Tensor.dtype t) then Tensor.set_f t idx (as_f v)
+    else Tensor.set_i t idx (as_i v)
+  | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; _ } ->
+    let t = tensor env r_var in
+    let idx = Array.of_list (List.map (fun e -> as_i (eval env e)) r_indices) in
+    let v = as_f (eval env r_value) in
+    if Types.is_float (Tensor.dtype t) then
+      Tensor.set_f t idx (apply_reduce r_op (Tensor.get_f t idx) v)
+    else
+      Tensor.set_i t idx
+        (int_of_float (apply_reduce r_op (float_of_int (Tensor.get_i t idx)) v))
+  | Stmt.Var_def d ->
+    let dims =
+      Array.of_list (List.map (fun e -> as_i (eval env e)) d.d_shape)
+    in
+    let t = Tensor.create d.d_dtype dims in
+    let saved = Hashtbl.find_opt env.tensors d.d_name in
+    Hashtbl.replace env.tensors d.d_name t;
+    exec env d.d_body;
+    (match saved with
+     | Some old -> Hashtbl.replace env.tensors d.d_name old
+     | None -> Hashtbl.remove env.tensors d.d_name)
+  | Stmt.For f ->
+    let b = as_i (eval env f.f_begin) in
+    let e = as_i (eval env f.f_end) in
+    let st = as_i (eval env f.f_step) in
+    if st <= 0 then err "non-positive loop step";
+    let saved = Hashtbl.find_opt env.scalars f.f_iter in
+    let it = ref b in
+    while !it < e do
+      Hashtbl.replace env.scalars f.f_iter (Vi !it);
+      exec env f.f_body;
+      it := !it + st
+    done;
+    (match saved with
+     | Some v -> Hashtbl.replace env.scalars f.f_iter v
+     | None -> Hashtbl.remove env.scalars f.f_iter)
+  | Stmt.If i ->
+    if as_b (eval env i.i_cond) then exec env i.i_then
+    else (match i.i_else with Some e -> exec env e | None -> ())
+  | Stmt.Assert_stmt (c, b) ->
+    if not (as_b (eval env c)) then
+      err "assertion failed: %s" (Expr.to_string c);
+    exec env b
+  | Stmt.Seq ss -> List.iter (exec env) ss
+  | Stmt.Eval e -> ignore (eval env e)
+  | Stmt.Lib_call { body; _ } -> exec env body
+  | Stmt.Call { callee; _ } ->
+    err "call to %s survived inlining; run partial evaluation first" callee
+
+(** Run a function: [sizes] binds free size parameters appearing in shapes
+    and bounds; [args] binds every tensor parameter by name.  Parameters
+    with [Output]/[Inout] access are mutated in place. *)
+let run_func ?(sizes = []) (fn : Stmt.func) (args : (string * Tensor.t) list)
+    : unit =
+  let env = make_env () in
+  List.iter (fun (n, v) -> Hashtbl.replace env.scalars n (Vi v)) sizes;
+  List.iter
+    (fun (p : Stmt.param) ->
+      match List.assoc_opt p.p_name args with
+      | Some t -> Hashtbl.replace env.tensors p.p_name t
+      | None -> err "missing argument %s" p.p_name)
+    fn.fn_params;
+  exec env fn.fn_body
+
+(** Run a bare statement with given bindings (tests). *)
+let run_stmt ?(sizes = []) (s : Stmt.t) (tensors : (string * Tensor.t) list)
+    : unit =
+  let env = make_env () in
+  List.iter (fun (n, v) -> Hashtbl.replace env.scalars n (Vi v)) sizes;
+  List.iter (fun (n, t) -> Hashtbl.replace env.tensors n t) tensors;
+  exec env s
+
+(** Evaluate a closed integer expression under size bindings — used to
+    materialize symbolic shapes (e.g. tape extents) into concrete dims. *)
+let eval_static ?(sizes = []) (e : Expr.t) : int =
+  let env = make_env () in
+  List.iter (fun (n, v) -> Hashtbl.replace env.scalars n (Vi v)) sizes;
+  as_i (eval env e)
+
+(** Concrete dims of a parameter under size bindings. *)
+let param_dims ?(sizes = []) (p : Stmt.param) : int array =
+  match p.Stmt.p_shape with
+  | Stmt.Fixed es -> Array.of_list (List.map (eval_static ~sizes) es)
+  | Stmt.Any_dim -> err "param %s has no fixed shape" p.Stmt.p_name

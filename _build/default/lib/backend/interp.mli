@@ -1,0 +1,34 @@
+(** Reference interpreter for the FreeTensor IR — the semantic ground
+    truth.  Every transformation (schedules, AD, auto-scheduling,
+    lowering) must leave programs that this interpreter evaluates to the
+    same outputs; the faster {!Compile_exec} is cross-checked against it
+    in the test suite.  Parallel annotations are ignored (sequential
+    execution of a correctly-scheduled program is semantics-preserving). *)
+
+open Ft_ir
+open Ft_runtime
+
+exception Interp_error of string
+
+(** Run a function.  [sizes] binds free size parameters appearing in
+    shapes and bounds; [args] binds every tensor parameter by name.
+    [Output]/[Inout] parameters are mutated in place. *)
+val run_func :
+  ?sizes:(string * int) list ->
+  Stmt.func ->
+  (string * Tensor.t) list ->
+  unit
+
+(** Run a bare statement with the given bindings (for tests). *)
+val run_stmt :
+  ?sizes:(string * int) list ->
+  Stmt.t ->
+  (string * Tensor.t) list ->
+  unit
+
+(** Evaluate a closed integer expression under size bindings — used to
+    materialize symbolic shapes (e.g. tape extents) into concrete dims. *)
+val eval_static : ?sizes:(string * int) list -> Expr.t -> int
+
+(** Concrete dims of a parameter under size bindings. *)
+val param_dims : ?sizes:(string * int) list -> Stmt.param -> int array

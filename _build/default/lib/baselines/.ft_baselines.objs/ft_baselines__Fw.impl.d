@@ -1,0 +1,1 @@
+lib/baselines/fw.ml: Float Ft_ir Ft_machine Ft_runtime List Machine Printf Tensor

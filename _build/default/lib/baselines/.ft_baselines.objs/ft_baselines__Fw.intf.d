@@ -1,0 +1,1 @@
+lib/baselines/fw.mli: Ft_ir Ft_machine Ft_runtime Machine Tensor

@@ -1,0 +1,1 @@
+lib/baselines/ops.ml: Array Float Ft_runtime Fw List Printf Tensor

@@ -1,0 +1,1 @@
+lib/baselines/tuner.ml: Array Ft_backend Ft_dep Ft_ir Ft_machine Ft_sched Hashtbl List Random Stmt Types Unix

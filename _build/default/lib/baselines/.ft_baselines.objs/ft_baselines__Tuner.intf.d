@@ -1,0 +1,1 @@
+lib/baselines/tuner.mli: Ft_ir Stmt Types

@@ -1,0 +1,189 @@
+(** Operator-based framework simulator: the execution model shared by the
+    PyTorch-like and JAX-like baselines.
+
+    Every operator invocation computes real values on {!Ft_runtime.Tensor}
+    (so baseline outputs can be compared element-for-element against
+    FreeTensor's) and charges the abstract machine for one vendor-library
+    kernel: a launch, the operator's FLOPs, and memory traffic equal to
+    the full operand and result tensors — the whole-tensor materialization
+    the paper identifies as the cost of operator granularity (Section 2).
+
+    [`Elementwise] fusion models JAX/XLA: maximal chains of elementwise
+    operators execute as one kernel, paying traffic only for the chain's
+    external inputs and final output.
+
+    An operator log supports two more features: a gradient-pass cost model
+    (an operator-based framework's backward pass re-launches roughly the
+    same kernels with doubled traffic, while *retaining every intermediate
+    tensor* — the memory behaviour behind the paper's Longformer OOM), and
+    memory accounting against the device capacity. *)
+
+open Ft_runtime
+open Ft_machine
+
+type fusion =
+  | No_fusion
+  | Elementwise_fusion
+
+type op_record = {
+  or_flops : float;
+  or_bytes : float;     (* kernel traffic actually charged *)
+  or_out_bytes : float; (* result tensor size (retained under AD) *)
+}
+
+type t = {
+  spec : Machine.spec;
+  metrics : Machine.metrics;
+  fusion : fusion;
+  mutable live_bytes : float;
+  mutable peak_live : float;
+  mutable log : op_record list;
+  (* Backward-pass accounting is always unfused: reverse-mode AD saves the
+     residual of every operator and reads it back from memory, so fusing
+     the forward chain does not shrink the backward traffic. *)
+  mutable grad_log : op_record list;
+  (* pending elementwise chain: accumulated flops, external input bytes *)
+  mutable chain : (float * float) ref option;
+  mutable chain_tensors : Tensor.t list; (* results produced inside chain *)
+}
+
+exception Oom of string
+
+(** [mem_capacity] overrides the device memory budget — used to model the
+    fraction of device memory one layer gets inside a full training run. *)
+let create ?(fusion = No_fusion) ?mem_capacity (device : Ft_ir.Types.device)
+    : t =
+  let spec = Machine.of_device device in
+  let spec =
+    match mem_capacity with
+    | Some m -> { spec with Machine.mem_capacity = m }
+    | None -> spec
+  in
+  { spec; metrics = Machine.fresh_metrics (); fusion; live_bytes = 0.;
+    peak_live = 0.; log = []; grad_log = []; chain = None;
+    chain_tensors = [] }
+
+let alloc fw (t : Tensor.t) =
+  fw.live_bytes <- fw.live_bytes +. float_of_int (Tensor.byte_size t);
+  fw.peak_live <- Float.max fw.peak_live fw.live_bytes;
+  if fw.live_bytes > fw.spec.Machine.mem_capacity then
+    raise
+      (Oom
+         (Printf.sprintf "allocating %d bytes exceeds %s capacity"
+            (Tensor.byte_size t) fw.spec.Machine.sp_name));
+  t
+
+(* charge one vendor kernel *)
+let charge ?(also_grad = true) fw ~flops ~bytes ~out_bytes =
+  let r = { or_flops = flops; or_bytes = bytes; or_out_bytes = out_bytes } in
+  fw.log <- r :: fw.log;
+  if also_grad then fw.grad_log <- r :: fw.grad_log;
+  Machine.charge_kernel fw.spec fw.metrics
+    ~parallel_iters:fw.spec.Machine.parallelism ~vectorized:true ~flops
+    ~l2_bytes:bytes ~footprint_bytes:bytes ~live_bytes:fw.live_bytes
+
+let flush_chain fw =
+  match fw.chain with
+  | None -> ()
+  | Some acc ->
+    let flops, in_bytes = !acc in
+    (* the chain's last result is its only materialized output *)
+    let out_bytes =
+      match fw.chain_tensors with
+      | last :: _ -> float_of_int (Tensor.byte_size last)
+      | [] -> 0.0
+    in
+    charge ~also_grad:false fw ~flops ~bytes:(in_bytes +. out_bytes)
+      ~out_bytes;
+    fw.chain <- None;
+    fw.chain_tensors <- []
+
+(** Charge an elementwise operator (fusable under [Elementwise_fusion]). *)
+let charge_elementwise fw ~flops ~inputs ~(out : Tensor.t) =
+  let in_bytes =
+    List.fold_left
+      (fun acc t ->
+        (* inputs produced inside the current chain are register-resident *)
+        if List.memq t fw.chain_tensors then acc
+        else acc +. float_of_int (Tensor.byte_size t))
+      0.0 inputs
+  in
+  let out_bytes = float_of_int (Tensor.byte_size out) in
+  match fw.fusion with
+  | No_fusion -> charge fw ~flops ~bytes:(in_bytes +. out_bytes) ~out_bytes
+  | Elementwise_fusion ->
+    (* forward cost fuses; the backward record stays per-operator with the
+       full (unfused) operand traffic *)
+    let full_in =
+      List.fold_left
+        (fun acc t -> acc +. float_of_int (Tensor.byte_size t))
+        0.0 inputs
+    in
+    fw.grad_log <-
+      { or_flops = flops; or_bytes = full_in +. out_bytes;
+        or_out_bytes = out_bytes }
+      :: fw.grad_log;
+    (match fw.chain with
+    | Some acc ->
+      let f, b = !acc in
+      acc := (f +. flops, b +. in_bytes);
+      fw.chain_tensors <- out :: fw.chain_tensors
+    | None ->
+      fw.chain <- Some (ref (flops, in_bytes));
+      fw.chain_tensors <- [ out ])
+
+(** Charge a kernel with explicit traffic (sparse gather/scatter kernels
+    whose dynamic access volume exceeds their operands' footprints). *)
+let charge_kernel_raw fw ~flops ~bytes ~(out : Tensor.t) =
+  flush_chain fw;
+  charge fw ~flops ~bytes ~out_bytes:(float_of_int (Tensor.byte_size out))
+
+(** Charge a non-fusable operator (matmul, gather, reduction, ...). *)
+let charge_op fw ~flops ~inputs ~(out : Tensor.t) =
+  flush_chain fw;
+  let in_bytes =
+    List.fold_left
+      (fun acc t -> acc +. float_of_int (Tensor.byte_size t))
+      0.0 inputs
+  in
+  let out_bytes = float_of_int (Tensor.byte_size out) in
+  charge fw ~flops ~bytes:(in_bytes +. out_bytes) ~out_bytes
+
+(** Finish the forward pass: flush any pending fusion chain. *)
+let finish fw = flush_chain fw
+
+(** Cost of the operator-graph backward pass (Fig. 16(b) baselines): the
+    framework re-launches each forward kernel with roughly doubled
+    traffic, and every intermediate result stays resident until its
+    gradient is consumed.  Raises {!Oom} when the retained set exceeds
+    device memory. *)
+let charge_grad_pass ?(single_thread = false) fw =
+  flush_chain fw;
+  let retained =
+    List.fold_left (fun acc r -> acc +. r.or_out_bytes) 0.0 fw.grad_log
+  in
+  fw.live_bytes <- fw.live_bytes +. retained;
+  fw.peak_live <- Float.max fw.peak_live fw.live_bytes;
+  if fw.live_bytes > fw.spec.Machine.mem_capacity then
+    raise
+      (Oom
+         (Printf.sprintf
+            "autodiff retains %.0f MB of intermediates, exceeding %s"
+            (retained /. 1e6) fw.spec.Machine.sp_name));
+  let parallel_iters =
+    if single_thread then 1 else fw.spec.Machine.parallelism
+  in
+  List.iter
+    (fun r ->
+      Machine.charge_kernel fw.spec fw.metrics ~parallel_iters
+        ~vectorized:(not single_thread) ~flops:(2.0 *. r.or_flops)
+        ~l2_bytes:(2.0 *. r.or_bytes) ~footprint_bytes:(2.0 *. r.or_bytes)
+        ~live_bytes:fw.live_bytes)
+    fw.grad_log;
+  fw.live_bytes <- fw.live_bytes -. retained
+
+let metrics fw =
+  flush_chain fw;
+  fw.metrics.Machine.peak_mem <-
+    Float.max fw.metrics.Machine.peak_mem fw.peak_live;
+  fw.metrics

@@ -1,0 +1,61 @@
+(** Operator-based framework simulator: the execution model shared by the
+    PyTorch-like and JAX-like baselines.
+
+    Every operator invocation computes real values on
+    {!Ft_runtime.Tensor} (so baseline outputs can be compared
+    element-for-element against FreeTensor's) and charges the abstract
+    machine for one vendor-library kernel: a launch, the operator's
+    FLOPs, and memory traffic equal to the full operand and result
+    tensors — the whole-tensor materialization the paper identifies as
+    the cost of operator granularity (Section 2).
+
+    [Elementwise_fusion] models JAX/XLA: maximal chains of elementwise
+    operators execute as one kernel, paying traffic only for the chain's
+    external inputs and final output.  Backward-pass accounting is always
+    unfused: reverse-mode AD saves every operator's residual and reads it
+    back from memory. *)
+
+open Ft_runtime
+open Ft_machine
+
+type fusion =
+  | No_fusion
+  | Elementwise_fusion
+
+type t
+
+exception Oom of string
+
+(** [mem_capacity] overrides the device memory budget — used to model the
+    fraction of device memory one layer gets inside a full training run. *)
+val create :
+  ?fusion:fusion -> ?mem_capacity:float -> Ft_ir.Types.device -> t
+
+(** Register a tensor allocation (inputs and operator results); raises
+    {!Oom} past the memory budget. *)
+val alloc : t -> Tensor.t -> Tensor.t
+
+(** Charge an elementwise operator (fusable under fusion). *)
+val charge_elementwise :
+  t -> flops:float -> inputs:Tensor.t list -> out:Tensor.t -> unit
+
+(** Charge a non-fusable operator (matmul, gather, reduction, ...). *)
+val charge_op :
+  t -> flops:float -> inputs:Tensor.t list -> out:Tensor.t -> unit
+
+(** Charge a kernel with explicit traffic (sparse gather/scatter kernels
+    whose dynamic access volume exceeds their operands' footprints). *)
+val charge_kernel_raw : t -> flops:float -> bytes:float -> out:Tensor.t -> unit
+
+(** Flush any pending fusion chain (end of the forward pass). *)
+val finish : t -> unit
+
+(** Cost of the operator-graph backward pass (Fig. 16(b) baselines): each
+    forward kernel re-launched with doubled traffic while every
+    intermediate stays resident — raises {!Oom} when the retained set
+    exceeds the budget (the paper's Longformer OOM).  [single_thread]
+    models Julia's sequential AD fallback. *)
+val charge_grad_pass : ?single_thread:bool -> t -> unit
+
+(** Final metrics (flushes pending fusion; folds in peak memory). *)
+val metrics : t -> Machine.metrics

@@ -1,0 +1,363 @@
+(** Whole-tensor operators for the baseline frameworks — the vocabulary a
+    PyTorch/JAX user assembles irregular programs from (Figs. 1(c), 2(c)).
+    Each operator computes real values and charges {!Fw} for one kernel. *)
+
+open Ft_runtime
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+let fnumel shape = Array.fold_left ( * ) 1 shape
+
+(* ---------- creation ---------- *)
+
+let input fw (t : Tensor.t) = Fw.alloc fw t
+
+let zeros fw dtype shape =
+  let t = Fw.alloc fw (Tensor.zeros dtype shape) in
+  Fw.charge_op fw ~flops:0.0 ~inputs:[] ~out:t;
+  t
+
+(* ---------- elementwise ---------- *)
+
+let unary fw f (a : Tensor.t) =
+  let out = Fw.alloc fw (Tensor.map_f f a) in
+  Fw.charge_elementwise fw
+    ~flops:(float_of_int (Tensor.numel a))
+    ~inputs:[ a ] ~out;
+  out
+
+let abs_ fw = unary fw Float.abs
+let exp_ fw = unary fw exp
+let neg fw = unary fw (fun x -> -.x)
+let relu fw = unary fw (fun x -> Float.max 0.0 x)
+let sigmoid fw = unary fw (fun x -> 1.0 /. (1.0 +. exp (-.x)))
+let scale fw k = unary fw (fun x -> x *. k)
+let add_scalar fw k = unary fw (fun x -> x +. k)
+
+(* numpy-style broadcast of two shapes *)
+let broadcast_shapes (a : int array) (b : int array) =
+  let ra = Array.length a and rb = Array.length b in
+  let r = max ra rb in
+  Array.init r (fun k ->
+      let da = if k + ra - r >= 0 then a.(k + ra - r) else 1 in
+      let db = if k + rb - r >= 0 then b.(k + rb - r) else 1 in
+      if da = db then da
+      else if da = 1 then db
+      else if db = 1 then da
+      else bad "broadcast: incompatible dims %d vs %d" da db)
+
+(* index into a broadcast operand *)
+let bc_index (shape : int array) (idx : int array) =
+  let r = Array.length idx and ra = Array.length shape in
+  Array.init ra (fun k ->
+      let i = idx.(k + r - ra) in
+      if shape.(k) = 1 then 0 else i)
+
+let binary fw f (a : Tensor.t) (b : Tensor.t) =
+  let out_shape = broadcast_shapes (Tensor.shape a) (Tensor.shape b) in
+  let out = Fw.alloc fw (Tensor.zeros (Tensor.dtype a) out_shape) in
+  let n = fnumel out_shape in
+  let r = Array.length out_shape in
+  let idx = Array.make r 0 in
+  for flat = 0 to n - 1 do
+    let rem = ref flat in
+    for k = r - 1 downto 0 do
+      idx.(k) <- !rem mod out_shape.(k);
+      rem := !rem / out_shape.(k)
+    done;
+    Tensor.set_f out idx
+      (f
+         (Tensor.get_f a (bc_index (Tensor.shape a) idx))
+         (Tensor.get_f b (bc_index (Tensor.shape b) idx)))
+  done;
+  Fw.charge_elementwise fw ~flops:(float_of_int n) ~inputs:[ a; b ] ~out;
+  out
+
+let add fw = binary fw ( +. )
+let sub fw = binary fw ( -. )
+let mul fw = binary fw ( *. )
+let div fw = binary fw ( /. )
+let min_ fw = binary fw Float.min
+let max_ fw = binary fw Float.max
+
+(* ---------- data movement (materializing) ---------- *)
+
+(** Gather rows: [index_select t dim:0 idx] — result[k, ...] = t[idx[k], ...]. *)
+let index_select fw (t : Tensor.t) (idx : Tensor.t) =
+  let tshape = Tensor.shape t in
+  let n = Tensor.numel idx in
+  let row = Array.sub tshape 1 (Array.length tshape - 1) in
+  let row_elems = fnumel row in
+  let out = Fw.alloc fw (Tensor.zeros (Tensor.dtype t) (Array.append [| n |] row)) in
+  for k = 0 to n - 1 do
+    let src = Tensor.get_flat_i idx k in
+    for e = 0 to row_elems - 1 do
+      Tensor.set_flat_f out ((k * row_elems) + e)
+        (Tensor.get_flat_f t ((src * row_elems) + e))
+    done
+  done;
+  Fw.charge_op fw ~flops:0.0 ~inputs:[ t; idx ] ~out;
+  out
+
+(** Free metadata view (PyTorch reshape on contiguous data). *)
+let reshape _fw (t : Tensor.t) shape =
+  if fnumel shape <> Tensor.numel t then bad "reshape: size mismatch";
+  let t' = Tensor.copy t in
+  Tensor.of_float_array (Tensor.dtype t') shape (Tensor.to_float_array t')
+
+(** Concatenate along [dim]. *)
+let concat fw ~dim (ts : Tensor.t list) =
+  match ts with
+  | [] -> bad "concat: empty"
+  | first :: _ ->
+    let shape0 = Tensor.shape first in
+    let total = List.fold_left (fun a t -> a + (Tensor.shape t).(dim)) 0 ts in
+    let out_shape = Array.copy shape0 in
+    out_shape.(dim) <- total;
+    let out = Fw.alloc fw (Tensor.zeros (Tensor.dtype first) out_shape) in
+    let r = Array.length out_shape in
+    let offset = ref 0 in
+    List.iter
+      (fun t ->
+        let sh = Tensor.shape t in
+        let n = Tensor.numel t in
+        let idx = Array.make r 0 in
+        for flat = 0 to n - 1 do
+          let rem = ref flat in
+          for k = r - 1 downto 0 do
+            idx.(k) <- !rem mod sh.(k);
+            rem := !rem / sh.(k)
+          done;
+          let v = Tensor.get_f t idx in
+          idx.(dim) <- idx.(dim) + !offset;
+          Tensor.set_f out idx v;
+          idx.(dim) <- idx.(dim) - !offset
+        done;
+        offset := !offset + sh.(dim))
+      ts;
+    Fw.charge_op fw ~flops:0.0 ~inputs:ts ~out;
+    out
+
+(** Slice along [dim]: indices [from, to). *)
+let slice fw ~dim ~from ~to_ (t : Tensor.t) =
+  let sh = Tensor.shape t in
+  let out_shape = Array.copy sh in
+  out_shape.(dim) <- to_ - from;
+  let out = Fw.alloc fw (Tensor.zeros (Tensor.dtype t) out_shape) in
+  let r = Array.length sh in
+  let idx = Array.make r 0 in
+  let n = fnumel out_shape in
+  for flat = 0 to n - 1 do
+    let rem = ref flat in
+    for k = r - 1 downto 0 do
+      idx.(k) <- !rem mod out_shape.(k);
+      rem := !rem / out_shape.(k)
+    done;
+    idx.(dim) <- idx.(dim) + from;
+    let v = Tensor.get_f t idx in
+    idx.(dim) <- idx.(dim) - from;
+    Tensor.set_f out idx v
+  done;
+  Fw.charge_op fw ~flops:0.0 ~inputs:[ t ] ~out;
+  out
+
+(** Zero-pad dimension [dim] by [before]/[after]. *)
+let pad fw ~dim ~before ~after (t : Tensor.t) =
+  let sh = Tensor.shape t in
+  let out_shape = Array.copy sh in
+  out_shape.(dim) <- sh.(dim) + before + after;
+  let out = Fw.alloc fw (Tensor.zeros (Tensor.dtype t) out_shape) in
+  let r = Array.length sh in
+  let idx = Array.make r 0 in
+  let n = Tensor.numel t in
+  for flat = 0 to n - 1 do
+    let rem = ref flat in
+    for k = r - 1 downto 0 do
+      idx.(k) <- !rem mod sh.(k);
+      rem := !rem / sh.(k)
+    done;
+    let v = Tensor.get_f t idx in
+    idx.(dim) <- idx.(dim) + before;
+    Tensor.set_f out idx v;
+    idx.(dim) <- idx.(dim) - before
+  done;
+  Fw.charge_op fw ~flops:0.0 ~inputs:[ t ] ~out;
+  out
+
+(** The Longformer sliding-window materialization (Fig. 1(b)):
+    from [t] of shape (seq, feat) build (seq, 2w+1, feat) where
+    result[j, k, :] = t[j + k - w, :] (zeros outside).  In PyTorch this is
+    the pad + as_strided dance; the copied tensor is 2w+1 times the
+    input — the memory redundancy the paper highlights. *)
+let sliding_window fw ~w (t : Tensor.t) =
+  let sh = Tensor.shape t in
+  let seq = sh.(0) and feat = sh.(1) in
+  let out =
+    Fw.alloc fw (Tensor.zeros (Tensor.dtype t) [| seq; (2 * w) + 1; feat |])
+  in
+  for j = 0 to seq - 1 do
+    for k = -w to w do
+      let src = j + k in
+      if src >= 0 && src < seq then
+        for p = 0 to feat - 1 do
+          Tensor.set_f out [| j; k + w; p |] (Tensor.get_f t [| src; p |])
+        done
+    done
+  done;
+  Fw.charge_op fw ~flops:0.0 ~inputs:[ t ] ~out;
+  out
+
+(* ---------- contractions & reductions ---------- *)
+
+let matmul fw (a : Tensor.t) (b : Tensor.t) =
+  let sa = Tensor.shape a and sb = Tensor.shape b in
+  if Array.length sa <> 2 || Array.length sb <> 2 || sa.(1) <> sb.(0) then
+    bad "matmul: bad shapes";
+  let m = sa.(0) and k = sa.(1) and n = sb.(1) in
+  let out = Fw.alloc fw (Tensor.zeros (Tensor.dtype a) [| m; n |]) in
+  for x = 0 to m - 1 do
+    for y = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for z = 0 to k - 1 do
+        acc := !acc +. (Tensor.get_f a [| x; z |] *. Tensor.get_f b [| z; y |])
+      done;
+      Tensor.set_f out [| x; y |] !acc
+    done
+  done;
+  Fw.charge_op fw
+    ~flops:(2.0 *. float_of_int (m * n * k))
+    ~inputs:[ a; b ] ~out;
+  out
+
+(** Batched matmul on (B, m, k) x (B, k, n). *)
+let bmm fw (a : Tensor.t) (b : Tensor.t) =
+  let sa = Tensor.shape a and sb = Tensor.shape b in
+  if Array.length sa <> 3 || Array.length sb <> 3 || sa.(0) <> sb.(0)
+     || sa.(2) <> sb.(1)
+  then bad "bmm: bad shapes";
+  let bsz = sa.(0) and m = sa.(1) and k = sa.(2) and n = sb.(2) in
+  let out = Fw.alloc fw (Tensor.zeros (Tensor.dtype a) [| bsz; m; n |]) in
+  for bi = 0 to bsz - 1 do
+    for x = 0 to m - 1 do
+      for y = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for z = 0 to k - 1 do
+          acc :=
+            !acc
+            +. (Tensor.get_f a [| bi; x; z |] *. Tensor.get_f b [| bi; z; y |])
+        done;
+        Tensor.set_f out [| bi; x; y |] !acc
+      done
+    done
+  done;
+  Fw.charge_op fw
+    ~flops:(2.0 *. float_of_int (bsz * m * n * k))
+    ~inputs:[ a; b ] ~out;
+  out
+
+(** Sum over axis [dim]. *)
+let sum_axis fw ~dim (t : Tensor.t) =
+  let sh = Tensor.shape t in
+  let r = Array.length sh in
+  let out_shape =
+    Array.of_list
+      (List.filteri (fun k _ -> k <> dim) (Array.to_list sh))
+  in
+  let out = Fw.alloc fw (Tensor.zeros (Tensor.dtype t) out_shape) in
+  let idx = Array.make r 0 in
+  let n = Tensor.numel t in
+  for flat = 0 to n - 1 do
+    let rem = ref flat in
+    for k = r - 1 downto 0 do
+      idx.(k) <- !rem mod sh.(k);
+      rem := !rem / sh.(k)
+    done;
+    let oidx =
+      Array.of_list
+        (List.filteri (fun k _ -> k <> dim) (Array.to_list idx))
+    in
+    Tensor.set_f out oidx (Tensor.get_f out oidx +. Tensor.get_f t idx)
+  done;
+  Fw.charge_op fw ~flops:(float_of_int n) ~inputs:[ t ] ~out;
+  out
+
+let sum_all fw (t : Tensor.t) =
+  let acc = Array.fold_left ( +. ) 0.0 (Tensor.to_float_array t) in
+  let out = Fw.alloc fw (Tensor.scalar_f (Tensor.dtype t) acc) in
+  Fw.charge_op fw ~flops:(float_of_int (Tensor.numel t)) ~inputs:[ t ] ~out;
+  out
+
+(** Numerically-stable softmax over the last axis. *)
+let softmax_last fw (t : Tensor.t) =
+  let sh = Tensor.shape t in
+  let r = Array.length sh in
+  let last = sh.(r - 1) in
+  let rows = Tensor.numel t / last in
+  let data = Tensor.to_float_array t in
+  let out_data = Array.make (Tensor.numel t) 0.0 in
+  for row = 0 to rows - 1 do
+    let base = row * last in
+    let mx = ref neg_infinity in
+    for k = 0 to last - 1 do
+      mx := Float.max !mx data.(base + k)
+    done;
+    let s = ref 0.0 in
+    for k = 0 to last - 1 do
+      out_data.(base + k) <- exp (data.(base + k) -. !mx);
+      s := !s +. out_data.(base + k)
+    done;
+    for k = 0 to last - 1 do
+      out_data.(base + k) <- out_data.(base + k) /. !s
+    done
+  done;
+  let out = Fw.alloc fw (Tensor.of_float_array (Tensor.dtype t) sh out_data) in
+  Fw.charge_op fw
+    ~flops:(4.0 *. float_of_int (Tensor.numel t))
+    ~inputs:[ t ] ~out;
+  out
+
+(** Scatter-add rows: out[idx[k], :] += src[k, :] (the message-passing
+    primitive of the DGL-like baseline). *)
+let scatter_add fw ~(into : Tensor.t) (idx : Tensor.t) (src : Tensor.t) =
+  let n = Tensor.numel idx in
+  let row = (Tensor.shape src).(1) in
+  for k = 0 to n - 1 do
+    let dst = Tensor.get_flat_i idx k in
+    for e = 0 to row - 1 do
+      Tensor.set_f into [| dst; e |]
+        (Tensor.get_f into [| dst; e |] +. Tensor.get_f src [| k; e |])
+    done
+  done;
+  Fw.charge_op fw
+    ~flops:(float_of_int (n * row))
+    ~inputs:[ idx; src; into ] ~out:into;
+  into
+
+let ln fw = unary fw log
+
+(** Batched matmul with transposed second operand:
+    (B, m, k) x (B, n, k) -> (B, m, n) — PyTorch's einsum "bmk,bnk->bmn". *)
+let bmm_nt fw (a : Tensor.t) (b : Tensor.t) =
+  let sa = Tensor.shape a and sb = Tensor.shape b in
+  if Array.length sa <> 3 || Array.length sb <> 3 || sa.(0) <> sb.(0)
+     || sa.(2) <> sb.(2)
+  then bad "bmm_nt: bad shapes";
+  let bsz = sa.(0) and m = sa.(1) and k = sa.(2) and n = sb.(1) in
+  let out = Fw.alloc fw (Tensor.zeros (Tensor.dtype a) [| bsz; m; n |]) in
+  for bi = 0 to bsz - 1 do
+    for x = 0 to m - 1 do
+      for y = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for z = 0 to k - 1 do
+          acc :=
+            !acc
+            +. (Tensor.get_f a [| bi; x; z |] *. Tensor.get_f b [| bi; y; z |])
+        done;
+        Tensor.set_f out [| bi; x; y |] !acc
+      done
+    done
+  done;
+  Fw.charge_op fw
+    ~flops:(2.0 *. float_of_int (bsz * m * n * k))
+    ~inputs:[ a; b ] ~out;
+  out

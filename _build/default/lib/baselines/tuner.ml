@@ -1,0 +1,127 @@
+(** TVM/Ansor-like autotuner: random search over the schedule space of one
+    operator, measured on the abstract machine (Table 2's "tuning
+    rounds x time per round").
+
+    Each round samples a random schedule sketch — tiling splits, loop
+    fusion, parallel binding, vectorization, unrolling — applies whatever
+    is legal (illegal transformations are simply skipped, as in TVM's
+    search), and evaluates the candidate with the analytic cost model.
+    The tensor-expression limitation of TVM is modeled faithfully by the
+    caller: operators with indirect indexing cannot be tuned as a single
+    kernel and must be split into chains (Section 6.5: TVM ICEs on GAT). *)
+
+open Ft_ir
+module Schedule = Ft_sched.Schedule
+
+type result = {
+  tuned : Stmt.func;
+  best_time : float;          (* seconds, abstract machine *)
+  rounds : int;
+  seconds_per_round : float;  (* wall-clock tuning cost per round *)
+  total_seconds : float;
+}
+
+let factors = [| 2; 4; 8; 16; 32; 64; 128; 256 |]
+
+let random_schedule rng ~(device : Types.device) (fn : Stmt.func) :
+    Stmt.func =
+  let s = Schedule.of_func fn in
+  let try_sched f = try f () with Ft_sched.Select.Invalid_schedule _ -> () in
+  let loops () =
+    Stmt.find_all
+      (fun st -> match st.Stmt.node with Stmt.For _ -> true | _ -> false)
+      (Schedule.body s)
+  in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  (* a few random structural moves *)
+  let n_moves = 1 + Random.State.int rng 3 in
+  for _ = 1 to n_moves do
+    match loops () with
+    | [] -> ()
+    | ls -> (
+      let l = pick ls in
+      match Random.State.int rng 3 with
+      | 0 ->
+        let f = factors.(Random.State.int rng (Array.length factors)) in
+        try_sched (fun () ->
+            ignore (Schedule.split s (Schedule.By_id l.Stmt.sid) ~factor:f))
+      | 1 -> (
+        match l.Stmt.node with
+        | Stmt.For fl -> (
+          match Ft_sched.Select.directly_nested_loop fl with
+          | Some (inner, _) ->
+            try_sched (fun () ->
+                Schedule.reorder s (Schedule.By_id l.Stmt.sid)
+                  (Schedule.By_id inner.Stmt.sid))
+          | None -> ())
+        | _ -> ())
+      | _ ->
+        try_sched (fun () -> Schedule.unroll s (Schedule.By_id l.Stmt.sid)))
+  done;
+  (* always attempt a parallel binding, like a TVM sketch's thread bind *)
+  let outermost =
+    List.filter
+      (fun l ->
+        Ft_dep.Dep.enclosing_loops ~root:(Schedule.body s) l.Stmt.sid = [])
+      (loops ())
+  in
+  List.iter
+    (fun l ->
+      match device with
+      | Types.Cpu ->
+        try_sched (fun () ->
+            Schedule.parallelize s (Schedule.By_id l.Stmt.sid) Types.Openmp)
+      | Types.Gpu ->
+        try_sched (fun () ->
+            let outer, inner =
+              Schedule.split s (Schedule.By_id l.Stmt.sid)
+                ~factor:factors.(Random.State.int rng (Array.length factors))
+            in
+            (try Schedule.parallelize s outer Types.Cuda_block_x
+             with Ft_sched.Select.Invalid_schedule _ -> ());
+            Schedule.parallelize s inner Types.Cuda_thread_x))
+    outermost;
+  (* vectorize an innermost loop on CPU *)
+  (if device = Types.Cpu then
+     match
+       List.filter
+         (fun l ->
+           match l.Stmt.node with
+           | Stmt.For f ->
+             Stmt.find_opt
+               (fun st ->
+                 match st.Stmt.node with Stmt.For _ -> true | _ -> false)
+               f.Stmt.f_body
+             = None
+           | _ -> false)
+         (loops ())
+     with
+     | [] -> ()
+     | ls ->
+       let l = pick ls in
+       try_sched (fun () -> Schedule.vectorize s (Schedule.By_id l.Stmt.sid)));
+  Schedule.simplify s;
+  Schedule.func s
+
+(** Tune [fn] for [rounds] rounds; deterministic under [seed]. *)
+let tune ?(seed = 7) ?(rounds = 64) ?(sizes = []) ?unknown_extent
+    ~(device : Types.device) (fn : Stmt.func) : result =
+  let rng = Random.State.make [| seed; Hashtbl.hash fn.Stmt.fn_name |] in
+  let t0 = Unix.gettimeofday () in
+  let eval f =
+    (Ft_backend.Costmodel.estimate ~sizes ?unknown_extent ~device f)
+      .Ft_machine.Machine.time
+  in
+  let best = ref fn and best_time = ref (eval fn) in
+  for _ = 1 to rounds do
+    let cand = random_schedule rng ~device fn in
+    let t = eval cand in
+    if t < !best_time then begin
+      best := cand;
+      best_time := t
+    end
+  done;
+  let total = Unix.gettimeofday () -. t0 in
+  { tuned = !best; best_time = !best_time; rounds;
+    seconds_per_round = total /. float_of_int (max 1 rounds);
+    total_seconds = total }

@@ -1,0 +1,23 @@
+(** TVM/Ansor-like autotuner: random search over the schedule space of
+    one operator, measured on the abstract machine (the rounds × seconds
+    structure of the paper's Table 2).  Deterministic under [seed];
+    illegal schedule samples are skipped, as in TVM's search. *)
+
+open Ft_ir
+
+type result = {
+  tuned : Stmt.func;
+  best_time : float;          (** seconds, abstract machine *)
+  rounds : int;
+  seconds_per_round : float;  (** wall-clock tuning cost per round *)
+  total_seconds : float;
+}
+
+val tune :
+  ?seed:int ->
+  ?rounds:int ->
+  ?sizes:(string * int) list ->
+  ?unknown_extent:float ->
+  device:Types.device ->
+  Stmt.func ->
+  result

@@ -1,0 +1,1 @@
+lib/dependence/access.ml: Expr Ft_ir Hashtbl List Printf Stmt String Types

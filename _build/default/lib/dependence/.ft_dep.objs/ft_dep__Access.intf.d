@@ -1,0 +1,1 @@
+lib/dependence/access.mli: Expr Ft_ir Stmt Types

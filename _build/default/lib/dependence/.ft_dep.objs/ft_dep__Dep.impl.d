@@ -1,0 +1,1 @@
+lib/dependence/dep.ml: Access Expr Ft_ir Ft_presburger Hashtbl Linear List Polyhedron Printf Stmt String

@@ -1,0 +1,1 @@
+lib/dependence/dep.mli: Access Ft_ir Stmt

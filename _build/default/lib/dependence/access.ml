@@ -1,0 +1,120 @@
+(** Extraction of instance-wise memory accesses from the IR.
+
+    Every tensor read/write is recorded together with its full loop
+    context (the iteration-space coordinates of the paper's access
+    mappings, Section 4.2.1), the enclosing affine guards, and the depth
+    at which the accessed tensor was defined — the ingredient of the
+    stack-scope lifetime projection of Fig. 12(d). *)
+
+open Ft_ir
+
+type loop_ctx = {
+  l_id : int;              (** statement id of the [For] node *)
+  l_iter : string;
+  l_begin : Expr.t;
+  l_end : Expr.t;          (* exclusive *)
+  l_step : Expr.t;
+  l_no_deps : string list; (** user-asserted dependence-free tensors *)
+}
+
+type kind =
+  | Read
+  | Write
+  | Reduce of Types.reduce_op
+
+type t = {
+  a_stmt : int;            (** id of the Store/Reduce_to/expression holder *)
+  a_tensor : string;
+  a_kind : kind;
+  a_indices : Expr.t list;
+  a_loops : loop_ctx list; (** enclosing loops, outermost first *)
+  a_guards : Expr.t list;  (** enclosing [If]/[Assert] conditions *)
+  a_def_loops : int;
+  (** number of enclosing loops at the tensor's [Var_def]; 0 for function
+      parameters.  The first [a_def_loops] loops of [a_loops] enclose the
+      definition, so dependences must be intra-iteration there. *)
+}
+
+let is_write a =
+  match a.a_kind with
+  | Write | Reduce _ -> true
+  | Read -> false
+
+let kind_to_string = function
+  | Read -> "R"
+  | Write -> "W"
+  | Reduce op -> "W(" ^ Types.reduce_op_to_string op ^ ")"
+
+let to_string a =
+  Printf.sprintf "%s %s[%s] @%d under [%s]"
+    (kind_to_string a.a_kind) a.a_tensor
+    (String.concat ", " (List.map Expr.to_string a.a_indices))
+    a.a_stmt
+    (String.concat ", " (List.map (fun l -> l.l_iter) a.a_loops))
+
+(** Collect all accesses in a statement tree.  [def_depth] maps tensor
+    names defined by enclosing [Var_def]s to the number of loops around
+    their definition; tensors absent from it are function parameters
+    (depth 0). *)
+let collect (root : Stmt.t) : t list =
+  let out = ref [] in
+  let emit stmt_id loops guards def_depth kind tensor indices =
+    let d = try Hashtbl.find def_depth tensor with Not_found -> 0 in
+    out :=
+      { a_stmt = stmt_id; a_tensor = tensor; a_kind = kind;
+        a_indices = indices; a_loops = List.rev loops; a_guards = guards;
+        a_def_loops = d }
+      :: !out
+  in
+  let def_depth : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let emit_reads stmt_id loops guards (e : Expr.t) =
+    Expr.iter
+      (function
+        | Expr.Load { l_var; l_indices } ->
+          emit stmt_id loops guards def_depth Read l_var l_indices
+        | _ -> ())
+      e
+  in
+  (* loops accumulates innermost-first *)
+  let rec go loops guards (s : Stmt.t) =
+    match s.node with
+    | Stmt.Nop -> ()
+    | Stmt.Store { s_var; s_indices; s_value } ->
+      List.iter (emit_reads s.sid loops guards) s_indices;
+      emit_reads s.sid loops guards s_value;
+      emit s.sid loops guards def_depth Write s_var s_indices
+    | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; _ } ->
+      List.iter (emit_reads s.sid loops guards) r_indices;
+      emit_reads s.sid loops guards r_value;
+      emit s.sid loops guards def_depth (Reduce r_op) r_var r_indices
+    | Stmt.Var_def d ->
+      Hashtbl.add def_depth d.d_name (List.length loops);
+      go loops guards d.d_body;
+      Hashtbl.remove def_depth d.d_name
+    | Stmt.For f ->
+      let lc =
+        { l_id = s.sid; l_iter = f.f_iter; l_begin = f.f_begin;
+          l_end = f.f_end; l_step = f.f_step;
+          l_no_deps = f.f_property.no_deps }
+      in
+      go (lc :: loops) guards f.f_body
+    | Stmt.If i ->
+      go loops (i.i_cond :: guards) i.i_then;
+      (match i.i_else with
+       | Some e -> go loops (Expr.not_ i.i_cond :: guards) e
+       | None -> ())
+    | Stmt.Assert_stmt (c, b) -> go loops (c :: guards) b
+    | Stmt.Seq ss -> List.iter (go loops guards) ss
+    | Stmt.Eval e -> emit_reads s.sid loops guards e
+    | Stmt.Lib_call { body; _ } -> go loops guards body
+    | Stmt.Call _ ->
+      invalid_arg "Access.collect: Call nodes must be inlined first"
+  in
+  go [] [] root;
+  List.rev !out
+
+(** Ids of all statements in a sub-tree, as a membership test. *)
+let stmt_ids (s : Stmt.t) =
+  let tbl = Hashtbl.create 64 in
+  Stmt.iter (fun s -> Hashtbl.replace tbl s.sid ()) s;
+  fun id -> Hashtbl.mem tbl id

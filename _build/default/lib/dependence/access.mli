@@ -1,0 +1,41 @@
+(** Extraction of instance-wise memory accesses from the IR: every tensor
+    read/write together with its full loop context (the iteration-space
+    coordinates of the paper's access mappings, Section 4.2.1), the
+    enclosing guards, and the depth at which the tensor was defined — the
+    ingredient of the stack-scope lifetime projection of Fig. 12(d). *)
+
+open Ft_ir
+
+type loop_ctx = {
+  l_id : int;              (** statement id of the [For] node *)
+  l_iter : string;
+  l_begin : Expr.t;
+  l_end : Expr.t;          (** exclusive *)
+  l_step : Expr.t;
+  l_no_deps : string list; (** user-asserted dependence-free tensors *)
+}
+
+type kind =
+  | Read
+  | Write
+  | Reduce of Types.reduce_op
+
+type t = {
+  a_stmt : int;
+  a_tensor : string;
+  a_kind : kind;
+  a_indices : Expr.t list;
+  a_loops : loop_ctx list; (** enclosing loops, outermost first *)
+  a_guards : Expr.t list;
+  a_def_loops : int;
+      (** loops enclosing the tensor's [Var_def]; 0 for parameters *)
+}
+
+val is_write : t -> bool
+val to_string : t -> string
+
+(** All accesses of a statement tree; fails on un-inlined [Call] nodes. *)
+val collect : Stmt.t -> t list
+
+(** Membership test over the statement ids of a sub-tree. *)
+val stmt_ids : Stmt.t -> int -> bool

@@ -1,0 +1,292 @@
+(** May-dependence queries over the IR, in instance-of-statement precision
+    (Section 4.2 of the paper).
+
+    The central primitive is {!may_conflict}: does any pair of accesses to
+    the same tensor — at least one a write — from two statement sub-trees
+    conflict under a caller-specified relation between the iteration
+    vectors of the two instances?  Schedules phrase their legality checks
+    as such queries; the analysis answers soundly (it may report a
+    conflict that cannot happen, never the converse).
+
+    Handled precisely:
+    - affine subscripts, loop bounds and guards (via {!Ft_presburger});
+    - stack-scope lifetime projection: accesses to a tensor defined inside
+      a loop cannot depend across iterations of loops enclosing the
+      definition (Fig. 12(d));
+    - commuting [Reduce_to] pairs with the same operator (Fig. 12(c));
+    - user [no_deps] assertions on loops (indirect indexing, Fig. 13(e)).
+
+    Non-affine subscripts or guards degrade to "may touch anything",
+    which is conservative. *)
+
+open Ft_ir
+open Ft_presburger
+
+(** Relation demanded between the later instance [p] and the earlier
+    instance [q] at one common loop: [p_i - q_i] compared to zero. *)
+type level_rel =
+  | R_eq
+  | R_lt  (** p strictly before q at this loop *)
+  | R_gt  (** p strictly after q at this loop *)
+  | R_any
+
+type conflict = {
+  c_late : Access.t;
+  c_early : Access.t;
+}
+
+let conflict_to_string c =
+  Printf.sprintf "%s  <-conflicts->  %s"
+    (Access.to_string c.c_late)
+    (Access.to_string c.c_early)
+
+(* Rename every enclosing iterator in [e] with [suffix]. *)
+let suffix_iters (loops : Access.loop_ctx list) suffix (e : Expr.t) =
+  let names =
+    List.map (fun (l : Access.loop_ctx) -> l.Access.l_iter) loops
+  in
+  Expr.subst_var
+    (fun x ->
+      if List.mem x names then Some (Expr.var (x ^ suffix)) else None)
+    e
+
+(* Affinization of floor-division and modulo by positive constants, the
+   standard Presburger encoding: [a // c] becomes a fresh variable [q]
+   and [a % c] a fresh [r] constrained by [a = c*q + r, 0 <= r < c].
+   Splits and merges produce exactly these index forms; without this the
+   analysis would treat every tiled index as may-aliasing everything.
+   Shared per (numerator, divisor) within one conflict query so that the
+   quotient and remainder of the same division relate exactly. *)
+type affctx = {
+  mutable side : Polyhedron.t;
+  memo : (string * int, string * string) Hashtbl.t;
+  mutable next : int;
+}
+
+let make_affctx () =
+  { side = Polyhedron.universe; memo = Hashtbl.create 8; next = 0 }
+
+let affinize (ctx : affctx) (e : Expr.t) : Expr.t =
+  let divmod a c =
+    let key = (Expr.to_string a, c) in
+    match Hashtbl.find_opt ctx.memo key with
+    | Some qr -> Some qr
+    | None -> (
+      match Linear.of_expr a with
+      | None -> None
+      | Some la ->
+        ctx.next <- ctx.next + 1;
+        let q = Printf.sprintf "$q%d" ctx.next in
+        let r = Printf.sprintf "$r%d" ctx.next in
+        (* a = c*q + r *)
+        ctx.side <-
+          Polyhedron.add_eq ctx.side
+            (Linear.sub la
+               (Linear.add (Linear.of_var ~coeff:c q) (Linear.of_var r)));
+        (* 0 <= r < c *)
+        ctx.side <- Polyhedron.add_ge ctx.side (Linear.of_var r);
+        ctx.side <-
+          Polyhedron.add_ge ctx.side
+            (Linear.add (Linear.of_var ~coeff:(-1) r) (Linear.of_int (c - 1)));
+        Hashtbl.replace ctx.memo key (q, r);
+        Some (q, r))
+  in
+  Expr.map
+    (function
+      | Expr.Binop (Expr.Floor_div, a, Expr.Int_const c) as orig when c > 0
+        -> (
+        match divmod a c with
+        | Some (q, _) -> Expr.var q
+        | None -> orig)
+      | Expr.Binop (Expr.Mod, a, Expr.Int_const c) as orig when c > 0 -> (
+        match divmod a c with
+        | Some (_, r) -> Expr.var r
+        | None -> orig)
+      | e -> e)
+    e
+
+(* Add the domain constraints of one access instance (loop ranges and
+   affine guards), with iterators suffixed and div/mod affinized. *)
+let add_domain (actx : affctx) (a : Access.t) suffix p =
+  let fix e = affinize actx (suffix_iters a.a_loops suffix e) in
+  let p = ref p in
+  List.iter
+    (fun (l : Access.loop_ctx) ->
+      let it = Expr.var (l.Access.l_iter ^ suffix) in
+      let b = fix l.Access.l_begin in
+      let e = fix l.Access.l_end in
+      (match Polyhedron.of_expr_ge it b !p with
+       | Some q -> p := q
+       | None -> ());
+      match Polyhedron.of_expr_ge (Expr.sub e (Expr.int 1)) it !p with
+      | Some q -> p := q
+      | None -> ())
+    a.a_loops;
+  List.iter
+    (fun g ->
+      let g = fix g in
+      match Polyhedron.constrain_by_cond g !p with
+      | Some q -> p := q
+      | None -> () (* non-affine guard: drop, conservative *))
+    a.a_guards;
+  !p
+
+(* Longest common prefix of the two loop stacks (same For nodes). *)
+let common_loops (a : Access.t) (b : Access.t) =
+  let rec go la lb acc =
+    match la, lb with
+    | (x : Access.loop_ctx) :: la', y :: lb'
+      when x.Access.l_id = y.Access.l_id ->
+      go la' lb' (x :: acc)
+    | _ -> List.rev acc
+  in
+  go a.a_loops b.a_loops []
+
+(* Do two accesses on the same tensor possibly touch the same element
+   under [rel]?  [lifetime] enables the Var_def projection. *)
+let pair_conflicts ~lifetime ~(rel : int -> level_rel) (late : Access.t)
+    (early : Access.t) : bool =
+  (* Commuting reductions never conflict with each other. *)
+  match late.a_kind, early.a_kind with
+  | Access.Reduce op1, Access.Reduce op2 when op1 = op2 -> false
+  | _ ->
+    let commons = common_loops late early in
+    (* Lifetime projection: common loops enclosing the Var_def must agree. *)
+    let def_common = min late.a_def_loops early.a_def_loops in
+    let p = ref Polyhedron.universe in
+    List.iteri
+      (fun k (l : Access.loop_ctx) ->
+        let pv = Linear.of_var (l.Access.l_iter ^ "$p") in
+        let qv = Linear.of_var (l.Access.l_iter ^ "$q") in
+        let apply = function
+          | R_eq -> p := Polyhedron.add_eq !p (Linear.sub pv qv)
+          | R_lt ->
+            p :=
+              Polyhedron.add_ge !p
+                (Linear.add (Linear.sub qv pv) (Linear.of_int (-1)))
+          | R_gt ->
+            p :=
+              Polyhedron.add_ge !p
+                (Linear.add (Linear.sub pv qv) (Linear.of_int (-1)))
+          | R_any -> ()
+        in
+        (* The caller's relation always applies; lifetime scoping and
+           no_deps assertions *additionally* force equality, so a query
+           demanding strict inequality there becomes infeasible. *)
+        apply (rel l.Access.l_id);
+        if lifetime && k < def_common then apply R_eq;
+        if List.mem late.a_tensor l.Access.l_no_deps then apply R_eq)
+      commons;
+    let actx = make_affctx () in
+    let p = add_domain actx late "$p" !p in
+    let p = add_domain actx early "$q" p in
+    (* Same element: equate affine subscripts dimension-wise. *)
+    let p = ref p in
+    (try
+       List.iter2
+         (fun il ie ->
+           let il = affinize actx (suffix_iters late.a_loops "$p" il) in
+           let ie = affinize actx (suffix_iters early.a_loops "$q" ie) in
+           match Polyhedron.of_expr_eq il ie !p with
+           | Some q -> p := q
+           | None -> () (* non-affine subscript: may alias *))
+         late.a_indices early.a_indices
+     with Invalid_argument _ ->
+       (* rank mismatch should not happen on well-formed IR; be safe *)
+       ());
+    (* conjoin the div/mod defining constraints *)
+    p := Polyhedron.and_ !p actx.side;
+    not (Polyhedron.is_empty !p)
+
+(** [may_conflict ~root ~late ~early ~rel ()] — is there a pair of
+    accesses, one in sub-tree [late] (the instance assumed *later* in the
+    candidate execution order) and one in sub-tree [early], on the same
+    tensor, at least one writing, whose instances can satisfy [rel] on
+    their common loops?  [rel] is keyed by [For]-statement id; common
+    loops not mentioned get [R_any].
+
+    [late] and [early] may be the same sub-tree (self-dependences across
+    iterations).  [reduce_commutes=false] disables the Fig. 12(c)
+    reduction filter (used to decide atomicity).  *)
+let may_conflict ?(lifetime = true) ?(reduce_commutes = true) ~root
+    ~(late : Stmt.t) ~(early : Stmt.t) ~(rel : (int * level_rel) list) () :
+    conflict list =
+  let accesses = Access.collect root in
+  let in_late = Access.stmt_ids late in
+  let in_early = Access.stmt_ids early in
+  let rel_fn id =
+    match List.assoc_opt id rel with
+    | Some r -> r
+    | None -> R_any
+  in
+  let lates = List.filter (fun a -> in_late a.Access.a_stmt) accesses in
+  let earlies = List.filter (fun a -> in_early a.Access.a_stmt) accesses in
+  let conflicts = ref [] in
+  List.iter
+    (fun (al : Access.t) ->
+      List.iter
+        (fun (ae : Access.t) ->
+          if
+            String.equal al.a_tensor ae.a_tensor
+            && (Access.is_write al || Access.is_write ae)
+          then begin
+            let check =
+              if reduce_commutes then
+                pair_conflicts ~lifetime ~rel:rel_fn al ae
+              else
+                (* force-check even commuting reductions *)
+                match al.a_kind, ae.a_kind with
+                | Access.Reduce _, Access.Reduce _ ->
+                  pair_conflicts ~lifetime ~rel:rel_fn
+                    { al with a_kind = Access.Write }
+                    { ae with a_kind = Access.Write }
+                | _ -> pair_conflicts ~lifetime ~rel:rel_fn al ae
+            in
+            if check then
+              conflicts := { c_late = al; c_early = ae } :: !conflicts
+          end)
+        earlies)
+    lates;
+  List.rev !conflicts
+
+(** Dependences carried by loop [loop] (its [For] node in [root]):
+    conflicts between two iterations of the loop with all enclosing loops
+    at equal iterations.  Empty result means the loop is parallelizable
+    as-is (Fig. 13). *)
+let carried_by ?(reduce_commutes = true) ~root ~(loop : Stmt.t) () =
+  match loop.node with
+  | Stmt.For f ->
+    (* enclosing loops of [loop] in root: find path *)
+    let rec path acc (s : Stmt.t) =
+      if s.sid = loop.sid then Some (List.rev acc)
+      else
+        let acc' =
+          match s.node with
+          | Stmt.For _ -> s.sid :: acc
+          | _ -> acc
+        in
+        List.find_map (path acc') (Stmt.children s)
+    in
+    let enclosing = match path [] root with Some p -> p | None -> [] in
+    let rel =
+      (loop.sid, R_gt) :: List.map (fun id -> (id, R_eq)) enclosing
+    in
+    may_conflict ~reduce_commutes ~root ~late:f.f_body ~early:f.f_body ~rel
+      ()
+  | _ -> invalid_arg "Dep.carried_by: not a loop"
+
+(** Ids of [For] statements enclosing the statement with id [sid]. *)
+let enclosing_loops ~root sid =
+  let rec path acc (s : Stmt.t) =
+    if s.sid = sid then Some (List.rev acc)
+    else
+      let acc' =
+        match s.node with
+        | Stmt.For _ -> s.sid :: acc
+        | _ -> acc
+      in
+      List.find_map (path acc') (Stmt.children s)
+  in
+  match path [] root with
+  | Some p -> p
+  | None -> []

@@ -1,0 +1,61 @@
+(** May-dependence queries over the IR, in instance-of-statement precision
+    (paper Section 4.2).
+
+    The central primitive is {!may_conflict}: can a pair of accesses to
+    the same tensor — at least one a write — from two statement sub-trees
+    touch the same element under a caller-specified relation between the
+    two instances' iteration vectors?  Schedules phrase their legality
+    checks as such queries; the analysis answers soundly (it may report a
+    conflict that cannot happen, never the converse).
+
+    Handled precisely: affine subscripts, bounds and guards (including
+    the div/mod forms produced by split/merge, via existential
+    affinization); the stack-scope lifetime projection of Fig. 12(d);
+    commuting [Reduce_to] pairs (Fig. 12(c)); user [no_deps] assertions
+    (Fig. 13(e)).  Non-affine subscripts degrade to "may touch
+    anything". *)
+
+open Ft_ir
+
+(** Relation demanded between the later instance [p] and the earlier
+    instance [q] at one common loop. *)
+type level_rel =
+  | R_eq
+  | R_lt  (** p strictly before q at this loop *)
+  | R_gt  (** p strictly after q at this loop *)
+  | R_any
+
+type conflict = {
+  c_late : Access.t;
+  c_early : Access.t;
+}
+
+val conflict_to_string : conflict -> string
+
+(** [may_conflict ~root ~late ~early ~rel ()] — all potentially
+    conflicting access pairs between sub-tree [late] (the instance
+    assumed later in the candidate execution order) and sub-tree [early].
+    [rel] is keyed by [For]-statement id; unmentioned common loops get
+    [R_any].  [late] and [early] may be the same sub-tree.
+    [lifetime:false] disables the Var_def projection (tests only);
+    [reduce_commutes:false] disables the reduction filter — used to
+    decide atomicity (Fig. 13(e)). *)
+val may_conflict :
+  ?lifetime:bool ->
+  ?reduce_commutes:bool ->
+  root:Stmt.t ->
+  late:Stmt.t ->
+  early:Stmt.t ->
+  rel:(int * level_rel) list ->
+  unit ->
+  conflict list
+
+(** Dependences carried by a loop: conflicts between two of its
+    iterations with all enclosing loops at equal iterations.  Empty means
+    the loop is parallelizable as-is (Fig. 13). *)
+val carried_by :
+  ?reduce_commutes:bool -> root:Stmt.t -> loop:Stmt.t -> unit -> conflict list
+
+(** Ids of the [For] statements enclosing statement [sid], outermost
+    first. *)
+val enclosing_loops : root:Stmt.t -> int -> int list

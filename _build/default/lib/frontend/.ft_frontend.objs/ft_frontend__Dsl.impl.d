@@ -1,0 +1,1 @@
+lib/frontend/dsl.ml: Expr Ft_ir Ft_passes List Names Option Printf Stmt Types

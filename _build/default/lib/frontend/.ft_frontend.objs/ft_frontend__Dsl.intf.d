@@ -1,0 +1,1 @@
+lib/frontend/dsl.mli: Expr Ft_ir Stmt Types

@@ -1,0 +1,1 @@
+lib/frontend/inline.ml: Expr Ft_ir Ft_passes Hashtbl List Names Option Printf Stmt

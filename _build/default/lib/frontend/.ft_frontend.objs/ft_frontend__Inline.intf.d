@@ -1,0 +1,1 @@
+lib/frontend/inline.mli: Ft_ir Hashtbl Stmt

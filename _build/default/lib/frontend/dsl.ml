@@ -1,0 +1,269 @@
+(** The FreeTensor surface DSL, embedded in OCaml (Section 3).
+
+    Programs are built by *tracing*: DSL calls append IR statements to a
+    current block.  Tensors are first-class values ([t]) carrying their
+    metadata (ndim / shape / dtype / mtype, Section 3.3); NumPy-style
+    partial indexing and slicing produce views without copying
+    (Section 3.1, Fig. 4).  OCaml-level recursion over [ndim t] *is* the
+    partial evaluation of dimension-free programs: metadata conditionals
+    are evaluated during tracing, so only the fully-unrolled loop nest
+    reaches the IR — exactly the expansion of Fig. 9. *)
+
+open Ft_ir
+
+(* ------------------------------------------------------------------ *)
+(* Views *)
+
+type dim =
+  | Picked of Expr.t
+  (** this original dimension is fixed to an index *)
+  | Ranged of { offset : Expr.t; extent : Expr.t }
+  (** this original dimension is visible (possibly a sub-range) *)
+
+type t = {
+  v_name : string;
+  v_dtype : Types.dtype;
+  v_mtype : Types.mtype;
+  v_dims : dim list; (* one per dimension of the *underlying* tensor *)
+}
+
+let of_tensor name dtype mtype shape =
+  { v_name = name; v_dtype = dtype; v_mtype = mtype;
+    v_dims =
+      List.map (fun e -> Ranged { offset = Expr.int 0; extent = e }) shape }
+
+(** Shape of the view: extents of its visible dimensions. *)
+let shape v =
+  List.filter_map
+    (function Ranged r -> Some r.extent | Picked _ -> None)
+    v.v_dims
+
+let ndim v = List.length (shape v)
+let dtype v = v.v_dtype
+let dim v k = List.nth (shape v) k
+
+(** [idx v indices] fixes the first [length indices] visible dimensions —
+    NumPy's [v[i, j, ...]] partial indexing. *)
+let idx v indices =
+  let rec go dims indices =
+    match dims, indices with
+    | [], [] -> []
+    | [], _ :: _ -> invalid_arg "Dsl.idx: too many indices"
+    | dims, [] -> dims
+    | Picked e :: dims, indices -> Picked e :: go dims indices
+    | Ranged r :: dims, i :: indices ->
+      Picked (Expr.add r.offset i) :: go dims indices
+  in
+  { v with v_dims = go v.v_dims indices }
+
+(** [slice v ~dim:(k) ~from ~to_] restricts visible dimension [k] to
+    [from, to_) — NumPy's [v[..., from:to, ...]]. *)
+let slice v ~dim ~from ~to_ =
+  let visible = ref (-1) in
+  let v_dims =
+    List.map
+      (function
+        | Picked e -> Picked e
+        | Ranged r ->
+          incr visible;
+          if !visible = dim then
+            Ranged
+              { offset = Expr.add r.offset from;
+                extent = Expr.sub to_ from }
+          else Ranged r)
+      v.v_dims
+  in
+  if !visible < dim then invalid_arg "Dsl.slice: dimension out of range";
+  { v with v_dims }
+
+(* full element address of a 0-D view *)
+let address v =
+  List.map
+    (function
+      | Picked e -> e
+      | Ranged _ ->
+        invalid_arg
+          (Printf.sprintf
+             "tensor %s used as a scalar but has remaining dimensions"
+             v.v_name))
+    v.v_dims
+
+(** Read a fully-indexed view as a scalar expression. *)
+let get v indices = Expr.load (idx v indices).v_name (address (idx v indices))
+
+(** A 0-D view as an expression. *)
+let to_expr v = Expr.load v.v_name (address v)
+
+(* ------------------------------------------------------------------ *)
+(* Trace context *)
+
+type frame = { mutable stmts : Stmt.t list }
+
+let stack : frame list ref = ref []
+
+let emit s =
+  match !stack with
+  | [] -> invalid_arg "Dsl: no active trace (use Dsl.func / Dsl.trace)"
+  | f :: _ -> f.stmts <- s :: f.stmts
+
+let push_frame () = stack := { stmts = [] } :: !stack
+
+let pop_frame () =
+  match !stack with
+  | [] -> invalid_arg "Dsl: frame underflow"
+  | f :: rest ->
+    stack := rest;
+    (* No flattening here: create_var markers are Nop statements that the
+       function-level re-nesting still needs to find. *)
+    (match List.rev f.stmts with
+     | [ s ] -> s
+     | ss -> Stmt.make (Stmt.Seq ss))
+
+(** Trace a block: run [f], collect statements it emits. *)
+let block f =
+  push_frame ();
+  (try f ()
+   with e ->
+     ignore (pop_frame ());
+     raise e);
+  pop_frame ()
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let set v indices value =
+  let v = idx v indices in
+  emit (Stmt.store v.v_name (address v) value)
+
+let reduce op v indices value =
+  let v = idx v indices in
+  emit (Stmt.reduce_to v.v_name (address v) op value)
+
+let ( <-- ) (v, indices) value = set v indices value
+let ( +<- ) (v, indices) value = reduce Types.R_add v indices value
+
+let for_ ?label ?(property = Stmt.default_property) name lo hi f =
+  let iter = Names.fresh name in
+  let body = block (fun () -> f (Expr.var iter)) in
+  emit (Stmt.for_ ?label ~property iter lo hi body)
+
+let if_ ?label cond f =
+  let body = block f in
+  emit (Stmt.if_ ?label cond body None)
+
+let if_else ?label cond f g =
+  let then_ = block f in
+  let else_ = block g in
+  emit (Stmt.if_ ?label cond then_ (Some else_))
+
+(** [create_var shape dtype mtype] declares a fresh local tensor visible
+    for the rest of the enclosing block (the paper's [create_var]).  The
+    [Var_def] wraps all *following* statements of the block: we emit a
+    marker and re-nest when the block closes. *)
+type pending_def = {
+  pd_name : string;
+  pd_dtype : Types.dtype;
+  pd_mtype : Types.mtype;
+  pd_shape : Expr.t list;
+  pd_marker : Stmt.t;
+}
+
+let pending : pending_def list ref = ref []
+
+let create_var ?name shape dtype mtype =
+  let name = Names.fresh (Option.value name ~default:"t") in
+  let marker = Stmt.make (Stmt.Nop) in
+  pending := { pd_name = name; pd_dtype = dtype; pd_mtype = mtype;
+               pd_shape = shape; pd_marker = marker } :: !pending;
+  emit marker;
+  of_tensor name dtype mtype shape
+
+(* Wrap each pending def's Var_def around the statements that follow its
+   marker, inside the sequence that directly contains the marker.  The
+   pending list is most-recent-first, so inner defs are nested first. *)
+let renest_defs (s : Stmt.t) (defs : pending_def list) =
+  let make_def pd body =
+    Stmt.var_def pd.pd_name pd.pd_dtype pd.pd_mtype pd.pd_shape body
+  in
+  let rec wrap pd (s : Stmt.t) : Stmt.t option =
+    if s.Stmt.sid = pd.pd_marker.Stmt.sid then
+      Some (make_def pd (Stmt.nop ()))
+    else
+      match s.Stmt.node with
+      | Stmt.Seq ss ->
+        let rec scan acc = function
+          | [] -> None
+          | x :: rest when x.Stmt.sid = pd.pd_marker.Stmt.sid ->
+            let inner =
+              make_def pd
+                (match rest with
+                 | [ r ] -> r
+                 | rs -> Stmt.make (Stmt.Seq rs))
+            in
+            Some (Stmt.with_node s (Stmt.Seq (List.rev acc @ [ inner ])))
+          | x :: rest -> (
+            match wrap pd x with
+            | Some x' ->
+              Some (Stmt.with_node s (Stmt.Seq (List.rev acc @ (x' :: rest))))
+            | None -> scan (x :: acc) rest)
+        in
+        scan [] ss
+      | _ ->
+        let rec try_children pre = function
+          | [] -> None
+          | c :: cs -> (
+            match wrap pd c with
+            | Some c' ->
+              Some (Stmt.with_children s (List.rev_append pre (c' :: cs)))
+            | None -> try_children (c :: pre) cs)
+        in
+        try_children [] (Stmt.children s)
+  in
+  List.fold_left
+    (fun s pd -> match wrap pd s with Some s' -> s' | None -> s)
+    s defs
+
+(* ------------------------------------------------------------------ *)
+(* Functions *)
+
+type param_spec = {
+  ps_name : string;
+  ps_dtype : Types.dtype;
+  ps_shape : Expr.t list;
+  ps_atype : Types.access;
+  ps_mtype : Types.mtype;
+}
+
+let input ?(mtype = Types.Cpu_heap) name shape dtype =
+  { ps_name = name; ps_dtype = dtype; ps_shape = shape;
+    ps_atype = Types.Input; ps_mtype = mtype }
+
+let output ?(mtype = Types.Cpu_heap) name shape dtype =
+  { ps_name = name; ps_dtype = dtype; ps_shape = shape;
+    ps_atype = Types.Output; ps_mtype = mtype }
+
+let inout ?(mtype = Types.Cpu_heap) name shape dtype =
+  { ps_name = name; ps_dtype = dtype; ps_shape = shape;
+    ps_atype = Types.Inout; ps_mtype = mtype }
+
+(** Trace a whole function.  [f] receives one view per parameter. *)
+let func name (params : param_spec list) f : Stmt.func =
+  let saved_pending = !pending in
+  pending := [];
+  let views =
+    List.map
+      (fun p -> of_tensor p.ps_name p.ps_dtype p.ps_mtype p.ps_shape)
+      params
+  in
+  let body = block (fun () -> f views) in
+  let body = renest_defs body !pending in
+  pending := saved_pending;
+  let body = Ft_passes.Simplify.run_stmt body in
+  Stmt.func name
+    (List.map
+       (fun p ->
+         { Stmt.p_name = p.ps_name; p_dtype = p.ps_dtype;
+           p_shape = Stmt.Fixed p.ps_shape; p_atype = p.ps_atype;
+           p_mtype = p.ps_mtype })
+       params)
+    body

@@ -1,0 +1,122 @@
+(** The FreeTensor surface DSL, embedded in OCaml (paper Section 3).
+
+    Programs are built by {e tracing}: DSL calls append IR statements to a
+    current block.  Tensors are first-class values ({!t}) carrying their
+    metadata (ndim / shape / dtype / mtype, Section 3.3); NumPy-style
+    partial indexing and slicing produce views without copying (Fig. 4).
+    OCaml-level recursion over {!ndim} during tracing {e is} the partial
+    evaluation of dimension-free programs (Fig. 9): metadata conditionals
+    evaluate while tracing, so only the fully-expanded loop nest reaches
+    the IR. *)
+
+open Ft_ir
+
+(** {1 Tensor views} *)
+
+(** One dimension of a view into an underlying tensor. *)
+type dim =
+  | Picked of Expr.t
+      (** this original dimension is fixed to an index *)
+  | Ranged of { offset : Expr.t; extent : Expr.t }
+      (** this original dimension is visible (possibly a sub-range) *)
+
+(** A view: an underlying tensor plus per-dimension pick/slice state. *)
+type t = {
+  v_name : string;
+  v_dtype : Types.dtype;
+  v_mtype : Types.mtype;
+  v_dims : dim list;
+}
+
+(** A whole-tensor view of a named tensor. *)
+val of_tensor : string -> Types.dtype -> Types.mtype -> Expr.t list -> t
+
+(** Shape of the view: extents of its visible dimensions. *)
+val shape : t -> Expr.t list
+
+(** Number of visible dimensions. *)
+val ndim : t -> int
+
+(** Element type. *)
+val dtype : t -> Types.dtype
+
+(** Extent of visible dimension [k]. *)
+val dim : t -> int -> Expr.t
+
+(** [idx v indices] fixes the first [List.length indices] visible
+    dimensions — NumPy's [v[i, j, ...]] partial indexing. *)
+val idx : t -> Expr.t list -> t
+
+(** [slice v ~dim ~from ~to_] restricts visible dimension [dim] to
+    [[from, to_)] — NumPy's [v[..., from:to, ...]]. *)
+val slice : t -> dim:int -> from:Expr.t -> to_:Expr.t -> t
+
+(** Read a fully-indexed element as an expression. *)
+val get : t -> Expr.t list -> Expr.t
+
+(** A 0-D view as an expression. *)
+val to_expr : t -> Expr.t
+
+(** {1 Tracing statements}
+
+    These may only be called below an active trace (inside the callback
+    of {!func} or {!block}). *)
+
+(** Trace a block in isolation and return the collected statements. *)
+val block : (unit -> unit) -> Stmt.t
+
+(** [set v indices value] emits a store to the indexed element. *)
+val set : t -> Expr.t list -> Expr.t -> unit
+
+(** [reduce op v indices value] emits a [Reduce_to] (e.g. [+=]). *)
+val reduce : Types.reduce_op -> t -> Expr.t list -> Expr.t -> unit
+
+(** [(v, idx) <-- e] is [set v idx e]. *)
+val ( <-- ) : t * Expr.t list -> Expr.t -> unit
+
+(** [(v, idx) +<- e] is [reduce R_add v idx e]. *)
+val ( +<- ) : t * Expr.t list -> Expr.t -> unit
+
+(** [for_ name lo hi f] emits a loop; [f] receives the iterator as an
+    expression.  The iterator name is freshened automatically. *)
+val for_ :
+  ?label:string ->
+  ?property:Stmt.for_property ->
+  string ->
+  Expr.t ->
+  Expr.t ->
+  (Expr.t -> unit) ->
+  unit
+
+(** Guarded block without an else-branch. *)
+val if_ : ?label:string -> Expr.t -> (unit -> unit) -> unit
+
+(** Guarded block with both branches. *)
+val if_else :
+  ?label:string -> Expr.t -> (unit -> unit) -> (unit -> unit) -> unit
+
+(** [create_var shape dtype mtype] declares a fresh local tensor visible
+    for the rest of the enclosing block (the paper's [create_var]); the
+    resulting [Var_def] wraps all following statements of the block, so
+    scoping is stack-shaped as Section 4 requires. *)
+val create_var :
+  ?name:string -> Expr.t list -> Types.dtype -> Types.mtype -> t
+
+(** {1 Functions} *)
+
+(** Parameter specification for {!func}. *)
+type param_spec = {
+  ps_name : string;
+  ps_dtype : Types.dtype;
+  ps_shape : Expr.t list;
+  ps_atype : Types.access;
+  ps_mtype : Types.mtype;
+}
+
+val input : ?mtype:Types.mtype -> string -> Expr.t list -> Types.dtype -> param_spec
+val output : ?mtype:Types.mtype -> string -> Expr.t list -> Types.dtype -> param_spec
+val inout : ?mtype:Types.mtype -> string -> Expr.t list -> Types.dtype -> param_spec
+
+(** [func name params f] traces a whole function; [f] receives one view
+    per parameter, in order.  The body is simplified before returning. *)
+val func : string -> param_spec list -> (t list -> unit) -> Stmt.func

@@ -1,0 +1,240 @@
+(** Partial evaluation of dimension-free programs (Sections 3.3 / 4.1,
+    Figs. 6 and 9).
+
+    IR functions may take [Any_dim] parameters and branch on the
+    compile-time meta-expressions [Meta_ndim p] / [Meta_shape (p, k)].
+    [Call] statements pass tensor views — a caller tensor plus a picked
+    index prefix, as in [add(A[i], B[i], C[i])].  Inlining substitutes the
+    views, resolves the meta-expressions against the (now known) actual
+    shapes, folds the metadata branches, and repeats on the result, so a
+    finite recursion over [ndim] expands into a nested loop exactly as in
+    Fig. 9. *)
+
+open Ft_ir
+
+exception Inline_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Inline_error s)) fmt
+
+type table = (string, Stmt.func) Hashtbl.t
+
+let table_of_list fns : table =
+  let t = Hashtbl.create 8 in
+  List.iter (fun (f : Stmt.func) -> Hashtbl.replace t f.Stmt.fn_name f) fns;
+  t
+
+(* A view binding for a tensor parameter. *)
+type binding = {
+  b_actual : string;      (* caller tensor *)
+  b_prefix : Expr.t list; (* picked leading indices *)
+  b_shape : Expr.t list;  (* shape of the *view* (actual minus prefix) *)
+}
+
+(* Substitute one callee body: tensor params via [tenv], scalar params via
+   [senv], and resolve Meta_* against view shapes.  Local names and
+   iterators are freshened so repeated expansions never collide. *)
+let substitute (tenv : (string * binding) list) (senv : (string * Expr.t) list)
+    (body : Stmt.t) : Stmt.t =
+  let rename = Hashtbl.create 8 in
+  let local name =
+    match Hashtbl.find_opt rename name with
+    | Some n -> n
+    | None ->
+      let n = Names.fresh name in
+      Hashtbl.add rename name n;
+      n
+  in
+  let fix_expr e =
+    Expr.map
+      (function
+        | Expr.Var x as e -> (
+          match List.assoc_opt x senv with
+          | Some v -> v
+          | None -> (
+            match Hashtbl.find_opt rename x with
+            | Some n -> Expr.var n
+            | None -> e))
+        | Expr.Load { l_var; l_indices } as e -> (
+          match List.assoc_opt l_var tenv with
+          | Some b ->
+            Expr.Load
+              { l_var = b.b_actual; l_indices = b.b_prefix @ l_indices }
+          | None -> (
+            match Hashtbl.find_opt rename l_var with
+            | Some n -> Expr.Load { l_var = n; l_indices }
+            | None -> e))
+        | Expr.Meta_ndim p -> (
+          match List.assoc_opt p tenv with
+          | Some b -> Expr.int (List.length b.b_shape)
+          | None -> err "Meta_ndim %s: unknown parameter" p)
+        | Expr.Meta_shape (p, k) -> (
+          match List.assoc_opt p tenv with
+          | Some b -> (
+            match List.nth_opt b.b_shape k with
+            | Some e -> e
+            | None -> err "Meta_shape (%s, %d): rank too small" p k)
+          | None -> err "Meta_shape %s: unknown parameter" p)
+        | e -> e)
+      e
+  in
+  let fix_target name indices =
+    match List.assoc_opt name tenv with
+    | Some b -> (b.b_actual, b.b_prefix @ indices)
+    | None -> (
+      match Hashtbl.find_opt rename name with
+      | Some n -> (n, indices)
+      | None -> (name, indices))
+  in
+  let rec go (s : Stmt.t) : Stmt.t =
+    match s.Stmt.node with
+    | Stmt.Store st ->
+      let indices = List.map fix_expr st.Stmt.s_indices in
+      let name, indices = fix_target st.Stmt.s_var indices in
+      Stmt.with_node s
+        (Stmt.Store
+           { s_var = name; s_indices = indices;
+             s_value = fix_expr st.Stmt.s_value })
+    | Stmt.Reduce_to r ->
+      let indices = List.map fix_expr r.Stmt.r_indices in
+      let name, indices = fix_target r.Stmt.r_var indices in
+      Stmt.with_node s
+        (Stmt.Reduce_to
+           { r with r_var = name; r_indices = indices;
+             r_value = fix_expr r.Stmt.r_value })
+    | Stmt.Var_def d ->
+      (* declare the local rename before walking the body *)
+      let name = local d.Stmt.d_name in
+      Stmt.with_node s
+        (Stmt.Var_def
+           { d with
+             d_name = name;
+             d_shape = List.map fix_expr d.Stmt.d_shape;
+             d_body = go d.Stmt.d_body })
+    | Stmt.For f ->
+      let iter = local f.Stmt.f_iter in
+      Stmt.with_node s
+        (Stmt.For
+           { f with
+             f_iter = iter;
+             f_begin = fix_expr f.Stmt.f_begin;
+             f_end = fix_expr f.Stmt.f_end;
+             f_step = fix_expr f.Stmt.f_step;
+             f_body = go f.Stmt.f_body })
+    | Stmt.If i -> (
+      (* Fold metadata conditionals *before* walking the branches: the
+         dead branch may index past the (now known) rank — as in the base
+         case of Fig. 6(b), where the else-branch reads A.shape(0) of a
+         0-D view — and must never be substituted. *)
+      match fix_expr i.Stmt.i_cond with
+      | Expr.Bool_const true -> go i.Stmt.i_then
+      | Expr.Bool_const false -> (
+        match i.Stmt.i_else with
+        | Some e -> go e
+        | None -> Stmt.nop ())
+      | cond ->
+        Stmt.with_node s
+          (Stmt.If
+             { i_cond = cond;
+               i_then = go i.Stmt.i_then;
+               i_else = Option.map go i.Stmt.i_else }))
+    | Stmt.Assert_stmt (c, b) ->
+      Stmt.with_node s (Stmt.Assert_stmt (fix_expr c, go b))
+    | Stmt.Seq ss -> Stmt.with_node s (Stmt.Seq (List.map go ss))
+    | Stmt.Eval e -> Stmt.with_node s (Stmt.Eval (fix_expr e))
+    | Stmt.Nop -> s
+    | Stmt.Lib_call { lib; body } ->
+      Stmt.with_node s (Stmt.Lib_call { lib; body = go body })
+    | Stmt.Call { callee; args } ->
+      let fix_arg = function
+        | Stmt.Tensor_arg { param; actual; prefix } -> (
+          let prefix = List.map fix_expr prefix in
+          match List.assoc_opt actual tenv with
+          | Some b ->
+            Stmt.Tensor_arg
+              { param; actual = b.b_actual; prefix = b.b_prefix @ prefix }
+          | None -> (
+            match Hashtbl.find_opt rename actual with
+            | Some n -> Stmt.Tensor_arg { param; actual = n; prefix }
+            | None -> Stmt.Tensor_arg { param; actual; prefix }))
+        | Stmt.Scalar_arg { param; value } ->
+          Stmt.Scalar_arg { param; value = fix_expr value }
+      in
+      Stmt.with_node s (Stmt.Call { callee; args = List.map fix_arg args })
+  in
+  go body
+
+(* Shape environment for the caller: tensor name -> shape exprs. *)
+let rec expand (tbl : table) (shapes : (string * Expr.t list) list)
+    ~fuel (s : Stmt.t) : Stmt.t =
+  if fuel <= 0 then err "partial evaluation did not terminate (recursion on a non-decreasing dimension?)";
+  match s.Stmt.node with
+  | Stmt.Call { callee; args } ->
+    let fn =
+      match Hashtbl.find_opt tbl callee with
+      | Some f -> f
+      | None -> err "call to unknown function %s" callee
+    in
+    let tenv, senv =
+      List.fold_left
+        (fun (tenv, senv) arg ->
+          match arg with
+          | Stmt.Tensor_arg { param; actual; prefix } ->
+            let full_shape =
+              match List.assoc_opt actual shapes with
+              | Some sh -> sh
+              | None -> err "unknown shape for tensor %s" actual
+            in
+            let k = List.length prefix in
+            if k > List.length full_shape then
+              err "index prefix deeper than tensor %s" actual;
+            let b_shape = List.filteri (fun i _ -> i >= k) full_shape in
+            ((param, { b_actual = actual; b_prefix = prefix; b_shape })
+             :: tenv, senv)
+          | Stmt.Scalar_arg { param; value } -> (tenv, (param, value) :: senv))
+        ([], []) args
+    in
+    (* check arity against declared params *)
+    List.iter
+      (fun (p : Stmt.param) ->
+        if
+          (not (List.mem_assoc p.Stmt.p_name tenv))
+          && not (List.mem_assoc p.Stmt.p_name senv)
+        then err "call to %s: missing argument %s" callee p.Stmt.p_name)
+      fn.Stmt.fn_params;
+    let body = substitute tenv senv fn.Stmt.fn_body in
+    (* fold metadata branches before recursing: this is what bounds the
+       recursion (ndim strictly decreases in well-formed programs) *)
+    let body = Ft_passes.Simplify.run_stmt body in
+    expand tbl shapes ~fuel:(fuel - 1) body
+  | Stmt.Var_def d ->
+    let shapes = (d.Stmt.d_name, d.Stmt.d_shape) :: shapes in
+    Stmt.with_node s
+      (Stmt.Var_def { d with d_body = expand tbl shapes ~fuel d.Stmt.d_body })
+  | _ ->
+    let cs = List.map (expand tbl shapes ~fuel) (Stmt.children s) in
+    Stmt.with_children s cs
+
+(** Fully inline all [Call]s in [fn], given the callable [table].  Shapes
+    of the caller's parameters seed the shape environment. *)
+let run ?(fuel = 64) (tbl : table) (fn : Stmt.func) : Stmt.func =
+  let shapes =
+    List.filter_map
+      (fun (p : Stmt.param) ->
+        match p.Stmt.p_shape with
+        | Stmt.Fixed es -> Some (p.Stmt.p_name, es)
+        | Stmt.Any_dim -> None)
+      fn.Stmt.fn_params
+  in
+  let body = expand tbl shapes ~fuel fn.Stmt.fn_body in
+  let body = Ft_passes.Simplify.run_stmt body in
+  (* no Meta expression may survive *)
+  Stmt.iter_exprs
+    (fun e ->
+      Expr.iter
+        (function
+          | Expr.Meta_ndim p | Expr.Meta_shape (p, _) ->
+            err "meta expression on %s not eliminated" p
+          | _ -> ())
+        e)
+    body;
+  { fn with Stmt.fn_body = body }

@@ -1,0 +1,26 @@
+(** Partial evaluation of dimension-free programs (paper Sections 3.3 and
+    4.1, Figs. 6 and 9).
+
+    IR functions may take [Any_dim] parameters and branch on the
+    compile-time meta-expressions [Meta_ndim p] / [Meta_shape (p, k)];
+    [Call] statements pass tensor views (a caller tensor plus a picked
+    index prefix, as in [add(A[i], B[i], C[i])]).  Inlining substitutes
+    the views, resolves the meta-expressions against the now-known actual
+    shapes, folds the metadata branches, and repeats, so a finite
+    recursion over [ndim] expands into a nested loop exactly as in
+    Fig. 9. *)
+
+open Ft_ir
+
+exception Inline_error of string
+
+(** Callable functions, by name. *)
+type table = (string, Stmt.func) Hashtbl.t
+
+val table_of_list : Stmt.func list -> table
+
+(** Fully inline all [Call]s in a function.  [fuel] (default 64) bounds
+    the call-expansion depth: a recursion that does not decrease [ndim]
+    raises {!Inline_error} instead of diverging.  The result contains no
+    [Call] and no meta-expression. *)
+val run : ?fuel:int -> table -> Stmt.func -> Stmt.func

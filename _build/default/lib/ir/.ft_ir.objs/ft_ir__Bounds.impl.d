@@ -1,0 +1,1 @@
+lib/ir/bounds.ml: Expr List Option Stmt

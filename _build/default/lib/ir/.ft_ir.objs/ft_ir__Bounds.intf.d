@@ -1,0 +1,1 @@
+lib/ir/bounds.mli: Expr Stmt

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Float Format List Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/linear.ml: Expr List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/linear.mli: Expr Map

@@ -1,0 +1,1 @@
+lib/ir/names.ml: Hashtbl Printf

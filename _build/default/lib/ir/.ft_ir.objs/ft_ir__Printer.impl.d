@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Buffer Expr Format List Printf Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Expr List String Types

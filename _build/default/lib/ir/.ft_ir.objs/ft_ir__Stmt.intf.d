@@ -1,0 +1,1 @@
+lib/ir/stmt.mli: Expr Types

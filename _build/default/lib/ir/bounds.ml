@@ -1,0 +1,170 @@
+(** Symbolic bound analysis for integer expressions (Section 4.2.3 /
+    Fig. 14 of the paper).
+
+    Given a context of inclusive ranges for iterators, compute a lower or
+    an upper bound of an expression *expressed only over variables the
+    caller wants to keep*.  The [cache] schedule uses this to size the
+    introduced tensor (eliminate inner iterators, keep outer ones); the
+    statement simplifier uses it with an empty keep-set to prove or refute
+    branch conditions. *)
+
+type range = {
+  lo : Expr.t; (* inclusive *)
+  hi : Expr.t; (* inclusive *)
+}
+
+(** Context: innermost binding first.  A variable may be absent, meaning
+    it is unbounded (e.g. a free size parameter). *)
+type ctx = (string * range) list
+
+let empty : ctx = []
+let bind x r (c : ctx) : ctx = (x, r) :: c
+let find x (c : ctx) = List.assoc_opt x c
+
+type direction =
+  | Lower
+  | Upper
+
+let flip = function Lower -> Upper | Upper -> Lower
+
+(** [bound dir ctx ~keep e] returns an expression [b] over kept variables
+    such that [b <= e] (for [Lower]) or [e <= b] (for [Upper]) on every
+    point of the context, or [None] when no such bound can be derived. *)
+let rec bound dir (ctx : ctx) ~keep (e : Expr.t) : Expr.t option =
+  let ( let* ) = Option.bind in
+  let recur d e = bound d ctx ~keep e in
+  match e with
+  | Expr.Int_const _ -> Some e
+  | Expr.Var x ->
+    if keep x then Some e
+    else (
+      match find x ctx with
+      | None -> None
+      | Some r ->
+        (* The range endpoints may themselves mention eliminated vars
+           (triangular loops); bound them recursively. *)
+        recur dir (match dir with Lower -> r.lo | Upper -> r.hi))
+  | Expr.Unop (Expr.Neg, a) ->
+    let* b = recur (flip dir) a in
+    Some (Expr.neg b)
+  | Expr.Binop (Expr.Add, a, b) ->
+    let* ba = recur dir a in
+    let* bb = recur dir b in
+    Some (Expr.add ba bb)
+  | Expr.Binop (Expr.Sub, a, b) ->
+    let* ba = recur dir a in
+    let* bb = recur (flip dir) b in
+    Some (Expr.sub ba bb)
+  | Expr.Binop (Expr.Mul, a, b) -> (
+    (* Only multiplication by a known-sign constant is handled. *)
+    let with_const k other =
+      if k >= 0 then
+        let* bo = recur dir other in
+        Some (Expr.mul (Expr.int k) bo)
+      else
+        let* bo = recur (flip dir) other in
+        Some (Expr.mul (Expr.int k) bo)
+    in
+    match a, b with
+    | Expr.Int_const k, other | other, Expr.Int_const k -> with_const k other
+    | _ -> None)
+  | Expr.Binop (Expr.Min, a, b) -> (
+    let ba = recur dir a and bb = recur dir b in
+    match dir, ba, bb with
+    | Upper, Some x, _ -> Some x (* min a b <= bound a *)
+    | Upper, None, Some y -> Some y
+    | Lower, Some x, Some y -> Some (Expr.min_ x y)
+    | _ -> None)
+  | Expr.Binop (Expr.Max, a, b) -> (
+    let ba = recur dir a and bb = recur dir b in
+    match dir, ba, bb with
+    | Lower, Some x, _ -> Some x
+    | Lower, None, Some y -> Some y
+    | Upper, Some x, Some y -> Some (Expr.max_ x y)
+    | _ -> None)
+  | Expr.Binop (Expr.Floor_div, a, Expr.Int_const k) when k > 0 ->
+    let* ba = recur dir a in
+    (* floor is monotone; for Upper this over-approximates slightly. *)
+    Some (Expr.floor_div ba (Expr.int k))
+  | Expr.Binop (Expr.Mod, _, Expr.Int_const k) when k > 0 -> (
+    match dir with
+    | Lower -> Some (Expr.int 0)
+    | Upper -> Some (Expr.int (k - 1)))
+  | Expr.Select (_, a, b) ->
+    let* ba = recur dir a in
+    let* bb = recur dir b in
+    Some (match dir with Lower -> Expr.min_ ba bb | Upper -> Expr.max_ ba bb)
+  | _ -> None
+
+let lower_bound ctx ~keep e = bound Lower ctx ~keep e
+let upper_bound ctx ~keep e = bound Upper ctx ~keep e
+
+let keep_none _ = false
+
+(** Constant bounds (all variables eliminated through the context). *)
+let const_lower ctx e =
+  match lower_bound ctx ~keep:keep_none e with
+  | Some (Expr.Int_const n) -> Some n
+  | _ -> None
+
+let const_upper ctx e =
+  match upper_bound ctx ~keep:keep_none e with
+  | Some (Expr.Int_const n) -> Some n
+  | _ -> None
+
+(** Try to prove a boolean condition always true (Some true), always false
+    (Some false), or unknown (None) under the context. *)
+let rec prove ctx (cond : Expr.t) : bool option =
+  let nonneg e =
+    (* e >= 0 ? *)
+    match const_lower ctx e with
+    | Some n when n >= 0 -> Some true
+    | _ -> (
+      match const_upper ctx e with
+      | Some n when n < 0 -> Some false
+      | _ -> None)
+  in
+  let pos e =
+    match const_lower ctx e with
+    | Some n when n > 0 -> Some true
+    | _ -> (
+      match const_upper ctx e with
+      | Some n when n <= 0 -> Some false
+      | _ -> None)
+  in
+  match cond with
+  | Expr.Bool_const b -> Some b
+  | Expr.Binop (Expr.Ge, a, b) -> nonneg (Expr.sub a b)
+  | Expr.Binop (Expr.Le, a, b) -> nonneg (Expr.sub b a)
+  | Expr.Binop (Expr.Gt, a, b) -> pos (Expr.sub a b)
+  | Expr.Binop (Expr.Lt, a, b) -> pos (Expr.sub b a)
+  | Expr.Binop (Expr.Eq, a, b) -> (
+    match const_lower ctx (Expr.sub a b), const_upper ctx (Expr.sub a b) with
+    | Some 0, Some 0 -> Some true
+    | Some l, _ when l > 0 -> Some false
+    | _, Some u when u < 0 -> Some false
+    | _ -> None)
+  | Expr.Binop (Expr.Ne, a, b) -> (
+    match prove ctx (Expr.eq a b) with
+    | Some b -> Some (not b)
+    | None -> None)
+  | Expr.Binop (Expr.L_and, a, b) -> (
+    match prove ctx a, prove ctx b with
+    | Some true, Some true -> Some true
+    | Some false, _ | _, Some false -> Some false
+    | _ -> None)
+  | Expr.Binop (Expr.L_or, a, b) -> (
+    match prove ctx a, prove ctx b with
+    | Some false, Some false -> Some false
+    | Some true, _ | _, Some true -> Some true
+    | _ -> None)
+  | Expr.Unop (Expr.Not, a) -> (
+    match prove ctx a with Some b -> Some (not b) | None -> None)
+  | _ -> None
+
+(** Context of iterator ranges gathered from enclosing [For] nodes of a
+    statement tree.  [collect_for] pushes a binding for a loop: for a loop
+    [for i in range(b, e, s)] with positive step, [i ∈ [b, e-1]] is a sound
+    over-approximation. *)
+let range_of_loop (f : Stmt.for_loop) =
+  { lo = f.f_begin; hi = Expr.sub f.f_end (Expr.int 1) }

@@ -1,0 +1,40 @@
+(** Symbolic bound analysis for integer expressions (paper Section 4.2.3,
+    Fig. 14).
+
+    Given a context of inclusive iterator ranges, compute a lower or
+    upper bound of an expression {e expressed only over variables the
+    caller wants to keep}.  The [cache] schedule uses it to size the
+    introduced tensor (eliminate inner iterators, keep outer ones); the
+    statement simplifier uses it with an empty keep-set to prove or
+    refute branch conditions. *)
+
+type range = {
+  lo : Expr.t; (** inclusive *)
+  hi : Expr.t; (** inclusive *)
+}
+
+(** Context: innermost binding first; absent variables are unbounded. *)
+type ctx
+
+val empty : ctx
+val bind : string -> range -> ctx -> ctx
+val find : string -> ctx -> range option
+
+(** [lower_bound ctx ~keep e] returns [Some b] with [b <= e] over kept
+    variables on every point of the context, when derivable. *)
+val lower_bound : ctx -> keep:(string -> bool) -> Expr.t -> Expr.t option
+
+(** Dual of {!lower_bound}: [e <= b]. *)
+val upper_bound : ctx -> keep:(string -> bool) -> Expr.t -> Expr.t option
+
+(** Constant bounds (all variables eliminated through the context). *)
+val const_lower : ctx -> Expr.t -> int option
+
+val const_upper : ctx -> Expr.t -> int option
+
+(** Prove a condition always true ([Some true]), always false
+    ([Some false]) or unknown ([None]) under the context. *)
+val prove : ctx -> Expr.t -> bool option
+
+(** The sound range of a loop's iterator ([begin, end-1]). *)
+val range_of_loop : Stmt.for_loop -> range

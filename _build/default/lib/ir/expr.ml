@@ -1,0 +1,367 @@
+(** Expression AST of the FreeTensor IR.
+
+    Expressions are pure; all side effects live in statements ({!Stmt}).
+    Tensor reads appear as [Load]; loop iterators and by-value scalar
+    parameters appear as [Var].  [Meta_ndim]/[Meta_shape] are compile-time
+    meta-expressions over function parameters used by dimension-free
+    programs (Section 3.3); partial evaluation ({!Ft_frontend.Inline})
+    resolves them, and no Meta node survives lowering. *)
+
+type unop =
+  | Neg
+  | Not
+  | Abs
+  | Sqrt
+  | Exp
+  | Ln
+  | Sigmoid
+  | Tanh
+  | Floor_op
+  | Ceil_op
+  | Square
+
+type binop =
+  (* arithmetic *)
+  | Add
+  | Sub
+  | Mul
+  | Div          (** real division on floats *)
+  | Floor_div    (** floor division on integers *)
+  | Mod
+  | Min
+  | Max
+  | Pow
+  (* comparison *)
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  (* logical *)
+  | L_and
+  | L_or
+
+type t =
+  | Int_const of int
+  | Float_const of float
+  | Bool_const of bool
+  | Var of string
+  | Load of load
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Select of t * t * t  (** [Select (cond, then_, else_)] *)
+  | Cast of Types.dtype * t
+  | Meta_ndim of string         (** number of dimensions of a parameter *)
+  | Meta_shape of string * int  (** [Meta_shape (p, k)]: size of dim [k] *)
+
+and load = {
+  l_var : string;
+  l_indices : t list;
+}
+
+let unop_to_string = function
+  | Neg -> "-"
+  | Not -> "!"
+  | Abs -> "abs"
+  | Sqrt -> "sqrt"
+  | Exp -> "exp"
+  | Ln -> "ln"
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+  | Floor_op -> "floor"
+  | Ceil_op -> "ceil"
+  | Square -> "square"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Floor_div -> "//"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+  | Pow -> "pow"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | L_and -> "&&"
+  | L_or -> "||"
+
+(* Smart constructors performing on-the-fly constant folding.  Keeping
+   expressions normalized at construction time keeps the bound analysis and
+   the Presburger affine extraction simple. *)
+
+let int n = Int_const n
+let float f = Float_const f
+let bool b = Bool_const b
+let var x = Var x
+let load v idx = Load { l_var = v; l_indices = idx }
+
+let add a b =
+  match a, b with
+  | Int_const x, Int_const y -> Int_const (x + y)
+  | Float_const x, Float_const y -> Float_const (x +. y)
+  | Int_const 0, e | e, Int_const 0 -> e
+  | Float_const 0., e | e, Float_const 0. -> e
+  | _ -> Binop (Add, a, b)
+
+let sub a b =
+  match a, b with
+  | Int_const x, Int_const y -> Int_const (x - y)
+  | Float_const x, Float_const y -> Float_const (x -. y)
+  | e, Int_const 0 -> e
+  | e, Float_const 0. -> e
+  | _ when a = b && (match a with Load _ -> false | _ -> true) -> Int_const 0
+  | _ -> Binop (Sub, a, b)
+
+let mul a b =
+  match a, b with
+  | Int_const x, Int_const y -> Int_const (x * y)
+  | Float_const x, Float_const y -> Float_const (x *. y)
+  | Int_const 0, _ | _, Int_const 0 -> Int_const 0
+  | Float_const 0., _ | _, Float_const 0. -> Float_const 0.
+  | Int_const 1, e | e, Int_const 1 -> e
+  | Float_const 1., e | e, Float_const 1. -> e
+  | _ -> Binop (Mul, a, b)
+
+let div a b =
+  match a, b with
+  | Float_const x, Float_const y -> Float_const (x /. y)
+  | e, Float_const 1. -> e
+  | _ -> Binop (Div, a, b)
+
+(* Euclidean-style floor division / modulo matching the codegen semantics. *)
+let ifloor_div x y = int_of_float (floor (float_of_int x /. float_of_int y))
+let imod x y = x - ifloor_div x y * y
+
+let floor_div a b =
+  match a, b with
+  | Int_const x, Int_const y when y <> 0 -> Int_const (ifloor_div x y)
+  | e, Int_const 1 -> e
+  | _ -> Binop (Floor_div, a, b)
+
+let mod_ a b =
+  match a, b with
+  | Int_const x, Int_const y when y <> 0 -> Int_const (imod x y)
+  | _, Int_const 1 -> Int_const 0
+  | _ -> Binop (Mod, a, b)
+
+let min_ a b =
+  match a, b with
+  | Int_const x, Int_const y -> Int_const (min x y)
+  | Float_const x, Float_const y -> Float_const (Float.min x y)
+  | _ when a = b -> a
+  | _ -> Binop (Min, a, b)
+
+let max_ a b =
+  match a, b with
+  | Int_const x, Int_const y -> Int_const (max x y)
+  | Float_const x, Float_const y -> Float_const (Float.max x y)
+  | _ when a = b -> a
+  | _ -> Binop (Max, a, b)
+
+let neg = function
+  | Int_const x -> Int_const (-x)
+  | Float_const x -> Float_const (-.x)
+  | e -> Unop (Neg, e)
+
+let not_ = function
+  | Bool_const b -> Bool_const (not b)
+  | Unop (Not, e) -> e
+  | e -> Unop (Not, e)
+
+let cmp op a b =
+  let fold f g =
+    match a, b with
+    | Int_const x, Int_const y -> Some (f x y)
+    | Float_const x, Float_const y -> Some (g x y)
+    | _ -> None
+  in
+  let r =
+    match op with
+    | Eq -> fold ( = ) ( = )
+    | Ne -> fold ( <> ) ( <> )
+    | Lt -> fold ( < ) ( < )
+    | Le -> fold ( <= ) ( <= )
+    | Gt -> fold ( > ) ( > )
+    | Ge -> fold ( >= ) ( >= )
+    | _ -> invalid_arg "Expr.cmp: not a comparison"
+  in
+  match r with
+  | Some b -> Bool_const b
+  | None -> Binop (op, a, b)
+
+let eq a b = cmp Eq a b
+let ne a b = cmp Ne a b
+let lt a b = cmp Lt a b
+let le a b = cmp Le a b
+let gt a b = cmp Gt a b
+let ge a b = cmp Ge a b
+
+let l_and a b =
+  match a, b with
+  | Bool_const true, e | e, Bool_const true -> e
+  | Bool_const false, _ | _, Bool_const false -> Bool_const false
+  | _ -> Binop (L_and, a, b)
+
+let l_or a b =
+  match a, b with
+  | Bool_const false, e | e, Bool_const false -> e
+  | Bool_const true, _ | _, Bool_const true -> Bool_const true
+  | _ -> Binop (L_or, a, b)
+
+let select c a b =
+  match c with
+  | Bool_const true -> a
+  | Bool_const false -> b
+  | _ -> Select (c, a, b)
+
+let unop op e =
+  match op, e with
+  | Neg, _ -> neg e
+  | Not, _ -> not_ e
+  | Abs, Int_const x -> Int_const (abs x)
+  | Abs, Float_const x -> Float_const (Float.abs x)
+  | Sqrt, Float_const x -> Float_const (sqrt x)
+  | Exp, Float_const x -> Float_const (exp x)
+  | Square, Float_const x -> Float_const (x *. x)
+  | Square, Int_const x -> Int_const (x * x)
+  | _ -> Unop (op, e)
+
+let binop op a b =
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> div a b
+  | Floor_div -> floor_div a b
+  | Mod -> mod_ a b
+  | Min -> min_ a b
+  | Max -> max_ a b
+  | Pow -> Binop (Pow, a, b)
+  | Eq | Ne | Lt | Le | Gt | Ge -> cmp op a b
+  | L_and -> l_and a b
+  | L_or -> l_or a b
+
+(** Recursion scheme: rebuild an expression, applying [f] bottom-up. *)
+let rec map f e =
+  let e' =
+    match e with
+    | Int_const _ | Float_const _ | Bool_const _ | Var _
+    | Meta_ndim _ | Meta_shape _ -> e
+    | Load { l_var; l_indices } ->
+      Load { l_var; l_indices = List.map (map f) l_indices }
+    | Unop (op, a) -> unop op (map f a)
+    | Binop (op, a, b) -> binop op (map f a) (map f b)
+    | Select (c, a, b) -> select (map f c) (map f a) (map f b)
+    | Cast (dt, a) -> Cast (dt, map f a)
+  in
+  f e'
+
+(** Iterate [f] over every sub-expression (pre-order). *)
+let rec iter f e =
+  f e;
+  match e with
+  | Int_const _ | Float_const _ | Bool_const _ | Var _
+  | Meta_ndim _ | Meta_shape _ -> ()
+  | Load { l_indices; _ } -> List.iter (iter f) l_indices
+  | Unop (_, a) | Cast (_, a) -> iter f a
+  | Binop (_, a, b) -> iter f a; iter f b
+  | Select (c, a, b) -> iter f c; iter f a; iter f b
+
+(** Fold over every sub-expression. *)
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Int_const _ | Float_const _ | Bool_const _ | Var _
+  | Meta_ndim _ | Meta_shape _ -> acc
+  | Load { l_indices; _ } -> List.fold_left (fold f) acc l_indices
+  | Unop (_, a) | Cast (_, a) -> fold f acc a
+  | Binop (_, a, b) -> fold f (fold f acc a) b
+  | Select (c, a, b) -> fold f (fold f (fold f acc c) a) b
+
+(** Substitute plain variables: [subst_var env e] replaces every [Var x]
+    with [env x] when it returns [Some _].  Tensor names in [Load] are not
+    touched; use {!rename_tensors} for those. *)
+let subst_var env e =
+  map
+    (function
+      | Var x as v -> (match env x with Some e' -> e' | None -> v)
+      | e -> e)
+    e
+
+(** Rename tensors accessed by [Load]. *)
+let rename_tensors env e =
+  map
+    (function
+      | Load l as orig ->
+        (match env l.l_var with
+         | Some v' -> Load { l with l_var = v' }
+         | None -> orig)
+      | e -> e)
+    e
+
+(** Set of free plain variables (iterators / scalar params), not tensors. *)
+let free_vars e =
+  fold
+    (fun acc e ->
+      match e with
+      | Var x -> x :: acc
+      | _ -> acc)
+    [] e
+  |> List.sort_uniq String.compare
+
+(** All tensors read by the expression. *)
+let loaded_tensors e =
+  fold
+    (fun acc e ->
+      match e with
+      | Load { l_var; _ } -> l_var :: acc
+      | _ -> acc)
+    [] e
+  |> List.sort_uniq String.compare
+
+let is_const = function
+  | Int_const _ | Float_const _ | Bool_const _ -> true
+  | _ -> false
+
+let rec to_string = function
+  | Int_const n -> string_of_int n
+  | Float_const f ->
+    (* Print floats so they round-trip and never look like ints. *)
+    let s = Printf.sprintf "%.12g" f in
+    if String.contains s '.' || String.contains s 'e'
+       || String.contains s 'n' || String.contains s 'i'
+    then s
+    else s ^ "."
+  | Bool_const b -> string_of_bool b
+  | Var x -> x
+  | Load { l_var; l_indices } ->
+    Printf.sprintf "%s[%s]" l_var
+      (String.concat ", " (List.map to_string l_indices))
+  | Unop (op, a) -> Printf.sprintf "%s(%s)" (unop_to_string op) (to_string a)
+  | Binop ((Min | Max | Pow) as op, a, b) ->
+    Printf.sprintf "%s(%s, %s)" (binop_to_string op) (to_string a)
+      (to_string b)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (to_string a) (binop_to_string op)
+      (to_string b)
+  | Select (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (to_string c) (to_string a) (to_string b)
+  | Cast (dt, a) ->
+    Printf.sprintf "%s(%s)" (Types.dtype_to_string dt) (to_string a)
+  | Meta_ndim p -> Printf.sprintf "%s.ndim" p
+  | Meta_shape (p, k) -> Printf.sprintf "%s.shape(%d)" p k
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+(** Structural equality (constants compared exactly). *)
+let equal (a : t) (b : t) = a = b
+
+(** Count AST nodes; used by cost heuristics in AD and auto-scheduling. *)
+let size e = fold (fun n _ -> n + 1) 0 e

@@ -1,0 +1,138 @@
+(** Expression AST of the FreeTensor IR.
+
+    Expressions are pure; all side effects live in statements ({!Stmt}).
+    Tensor reads appear as [Load]; loop iterators and by-value scalars as
+    [Var].  [Meta_ndim]/[Meta_shape] are compile-time meta-expressions
+    over function parameters used by dimension-free programs (paper
+    Section 3.3); partial evaluation resolves them and none survives
+    lowering.
+
+    The [add]/[mul]/... smart constructors fold constants and algebraic
+    identities on the fly, keeping expressions normalized for the bound
+    analysis and the affine extraction. *)
+
+type unop =
+  | Neg
+  | Not
+  | Abs
+  | Sqrt
+  | Exp
+  | Ln
+  | Sigmoid
+  | Tanh
+  | Floor_op
+  | Ceil_op
+  | Square
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div          (** real division *)
+  | Floor_div    (** floor division on integers *)
+  | Mod          (** floor-based modulo *)
+  | Min
+  | Max
+  | Pow
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | L_and
+  | L_or
+
+type t =
+  | Int_const of int
+  | Float_const of float
+  | Bool_const of bool
+  | Var of string
+  | Load of load
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Select of t * t * t  (** [Select (cond, then_, else_)] *)
+  | Cast of Types.dtype * t
+  | Meta_ndim of string
+  | Meta_shape of string * int
+
+and load = {
+  l_var : string;
+  l_indices : t list;
+}
+
+val unop_to_string : unop -> string
+val binop_to_string : binop -> string
+
+(** {1 Smart constructors (constant-folding)} *)
+
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+val var : string -> t
+val load : string -> t list -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val floor_div : t -> t -> t
+val mod_ : t -> t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val neg : t -> t
+val not_ : t -> t
+val eq : t -> t -> t
+val ne : t -> t -> t
+val lt : t -> t -> t
+val le : t -> t -> t
+val gt : t -> t -> t
+val ge : t -> t -> t
+val l_and : t -> t -> t
+val l_or : t -> t -> t
+val select : t -> t -> t -> t
+
+(** Dispatch to the folding constructor for the operator. *)
+val unop : unop -> t -> t
+
+val binop : binop -> t -> t -> t
+
+(** Floor-based integer division and modulo (round toward -inf) — the
+    reference semantics shared by the interpreter and code generators. *)
+val ifloor_div : int -> int -> int
+
+val imod : int -> int -> int
+
+(** {1 Traversal} *)
+
+(** Rebuild bottom-up, applying [f] to every reconstructed node. *)
+val map : (t -> t) -> t -> t
+
+(** Pre-order iteration over all sub-expressions. *)
+val iter : (t -> unit) -> t -> unit
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** Substitute plain variables ([Var]); tensor names are not touched. *)
+val subst_var : (string -> t option) -> t -> t
+
+(** Rename the tensors accessed by [Load]. *)
+val rename_tensors : (string -> string option) -> t -> t
+
+(** {1 Queries} *)
+
+(** Free plain variables (iterators / scalar params), sorted. *)
+val free_vars : t -> string list
+
+(** All tensors read, sorted. *)
+val loaded_tensors : t -> string list
+
+val is_const : t -> bool
+
+(** Structural equality. *)
+val equal : t -> t -> bool
+
+(** AST node count (cost heuristics). *)
+val size : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

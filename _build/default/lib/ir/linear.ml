@@ -1,0 +1,114 @@
+(** Linear (affine) forms over integer variables with constant integer
+    coefficients: [c0 + c1*x1 + ... + cn*xn].
+
+    Shared by the symbolic bound analysis ({!Bounds}) and the Presburger
+    substrate's affine extraction. *)
+
+module Smap = Map.Make (String)
+
+type t = {
+  const : int;
+  terms : int Smap.t; (* variable -> coefficient; zero coeffs absent *)
+}
+
+let zero = { const = 0; terms = Smap.empty }
+let of_int c = { const = c; terms = Smap.empty }
+let of_var ?(coeff = 1) x =
+  if coeff = 0 then zero else { const = 0; terms = Smap.singleton x coeff }
+
+let is_const l = Smap.is_empty l.terms
+let const_value l = if is_const l then Some l.const else None
+
+let coeff x l = try Smap.find x l.terms with Not_found -> 0
+
+let add_term x c l =
+  let c' = coeff x l + c in
+  { l with
+    terms = (if c' = 0 then Smap.remove x l.terms else Smap.add x c' l.terms)
+  }
+
+let add a b =
+  Smap.fold (fun x c acc -> add_term x c acc)
+    b.terms
+    { a with const = a.const + b.const }
+
+let scale k l =
+  if k = 0 then zero
+  else { const = k * l.const; terms = Smap.map (fun c -> k * c) l.terms }
+
+let neg l = scale (-1) l
+let sub a b = add a (neg b)
+
+let equal a b = a.const = b.const && Smap.equal ( = ) a.terms b.terms
+
+let vars l = Smap.fold (fun x _ acc -> x :: acc) l.terms [] |> List.rev
+
+let fold_terms f acc l = Smap.fold (fun x c acc -> f acc x c) l.terms acc
+
+(** Extract a linear form from an IR expression; [None] if the expression
+    is not affine in its integer variables (e.g. contains a [Load]). *)
+let rec of_expr (e : Expr.t) : t option =
+  let ( let* ) = Option.bind in
+  match e with
+  | Expr.Int_const n -> Some (of_int n)
+  | Expr.Var x -> Some (of_var x)
+  | Expr.Unop (Expr.Neg, a) ->
+    let* la = of_expr a in
+    Some (neg la)
+  | Expr.Binop (Expr.Add, a, b) ->
+    let* la = of_expr a in
+    let* lb = of_expr b in
+    Some (add la lb)
+  | Expr.Binop (Expr.Sub, a, b) ->
+    let* la = of_expr a in
+    let* lb = of_expr b in
+    Some (sub la lb)
+  | Expr.Binop (Expr.Mul, a, b) -> (
+    let* la = of_expr a in
+    let* lb = of_expr b in
+    match const_value la, const_value lb with
+    | Some k, _ -> Some (scale k lb)
+    | _, Some k -> Some (scale k la)
+    | None, None -> None)
+  | Expr.Binop (Expr.Floor_div, a, b) -> (
+    (* Exact only when every coefficient is divisible by the divisor. *)
+    let* la = of_expr a in
+    let* lb = of_expr b in
+    match const_value lb with
+    | Some k
+      when k <> 0 && la.const mod k = 0
+           && Smap.for_all (fun _ c -> c mod k = 0) la.terms ->
+      Some
+        { const = la.const / k; terms = Smap.map (fun c -> c / k) la.terms }
+    | _ -> None)
+  | _ -> None
+
+let to_expr l =
+  let terms =
+    Smap.fold
+      (fun x c acc -> Expr.add acc (Expr.mul (Expr.int c) (Expr.var x)))
+      l.terms (Expr.int l.const)
+  in
+  terms
+
+(** Normalize an expression through its linear form when it is affine:
+    cancels terms like [(i + 4) - i].  Non-affine expressions are
+    returned unchanged. *)
+let simplify_expr e =
+  match of_expr e with
+  | Some l -> to_expr l
+  | None -> e
+
+let to_string l =
+  let parts =
+    (if l.const <> 0 || Smap.is_empty l.terms then [ string_of_int l.const ]
+     else [])
+    @ Smap.fold
+        (fun x c acc ->
+          (if c = 1 then x
+           else if c = -1 then "-" ^ x
+           else Printf.sprintf "%d*%s" c x)
+          :: acc)
+        l.terms []
+  in
+  String.concat " + " (List.rev parts)

@@ -1,0 +1,55 @@
+(** Linear (affine) integer forms [c0 + c1*x1 + ... + cn*xn] over named
+    variables — shared by the symbolic bound analysis ({!Bounds}) and the
+    Presburger substrate. *)
+
+module Smap : Map.S with type key = string
+
+type t = {
+  const : int;
+  terms : int Smap.t; (** variable -> coefficient; zero coeffs absent *)
+}
+
+(** {1 Construction} *)
+
+val zero : t
+val of_int : int -> t
+val of_var : ?coeff:int -> string -> t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+
+(** Add [c] to the coefficient of [x]. *)
+val add_term : string -> int -> t -> t
+
+(** {1 Queries} *)
+
+val is_const : t -> bool
+
+(** [Some c] when the form is the constant [c]. *)
+val const_value : t -> int option
+
+(** Coefficient of a variable (0 when absent). *)
+val coeff : string -> t -> int
+
+val vars : t -> string list
+val fold_terms : ('a -> string -> int -> 'a) -> 'a -> t -> 'a
+val equal : t -> t -> bool
+
+(** {1 Conversion} *)
+
+(** Extract an affine form from an IR expression; [None] when the
+    expression is not affine in its integer variables (e.g. contains a
+    [Load], or an inexact floor-division). *)
+val of_expr : Expr.t -> t option
+
+val to_expr : t -> Expr.t
+
+(** Normalize an expression through its linear form when affine (cancels
+    terms like [(i + 4) - i]); otherwise returns it unchanged. *)
+val simplify_expr : Expr.t -> Expr.t
+
+val to_string : t -> string

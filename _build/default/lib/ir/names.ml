@@ -1,0 +1,14 @@
+(** Fresh-name generation for compiler-introduced variables and iterators. *)
+
+let counter = Hashtbl.create 16
+
+(** [fresh "t"] returns ["t.0"], ["t.1"], ... — distinct per prefix and
+    guaranteed not to collide with user names, which never contain ['.']
+    followed by a number in our frontend. *)
+let fresh prefix =
+  let n = try Hashtbl.find counter prefix with Not_found -> 0 in
+  Hashtbl.replace counter prefix (n + 1);
+  Printf.sprintf "%s.%d" prefix n
+
+(** Reset counters; used by tests that want deterministic names. *)
+let reset () = Hashtbl.reset counter

@@ -1,0 +1,8 @@
+(** Fresh-name generation for compiler-introduced variables and
+    iterators: ["t" -> "t.0", "t.1", ...], distinct per prefix and
+    disjoint from user names (which never contain ['.']). *)
+
+val fresh : string -> string
+
+(** Reset all counters (deterministic names in tests). *)
+val reset : unit -> unit

@@ -1,0 +1,137 @@
+(** Human-readable pretty-printer for the IR, in a Python-like surface
+    syntax close to the paper's figures. *)
+
+let buf_add_indent buf n = Buffer.add_string buf (String.make (2 * n) ' ')
+
+let property_suffix (p : Stmt.for_property) =
+  let parts =
+    (match p.parallel with
+     | Some sc -> [ "parallel=" ^ Types.parallel_scope_to_string sc ]
+     | None -> [])
+    @ (if p.unroll then [ "unroll" ] else [])
+    @ (if p.vectorize then [ "vectorize" ] else [])
+    @
+    match p.no_deps with
+    | [] -> []
+    | vs -> [ "no_deps=[" ^ String.concat "," vs ^ "]" ]
+  in
+  match parts with
+  | [] -> ""
+  | _ -> "  # " ^ String.concat ", " parts
+
+let rec print_into buf indent (s : Stmt.t) =
+  let line str =
+    buf_add_indent buf indent;
+    Buffer.add_string buf str;
+    Buffer.add_char buf '\n'
+  in
+  let label_prefix =
+    match s.label with Some l -> Printf.sprintf "%s: " l | None -> ""
+  in
+  match s.node with
+  | Nop -> line (label_prefix ^ "pass")
+  | Store { s_var; s_indices; s_value } ->
+    let idx =
+      match s_indices with
+      | [] -> ""
+      | _ ->
+        Printf.sprintf "[%s]"
+          (String.concat ", " (List.map Expr.to_string s_indices))
+    in
+    line
+      (Printf.sprintf "%s%s%s = %s" label_prefix s_var idx
+         (Expr.to_string s_value))
+  | Reduce_to { r_var; r_indices; r_op; r_value; r_atomic } ->
+    let idx =
+      match r_indices with
+      | [] -> ""
+      | _ ->
+        Printf.sprintf "[%s]"
+          (String.concat ", " (List.map Expr.to_string r_indices))
+    in
+    line
+      (Printf.sprintf "%s%s%s %s %s%s" label_prefix r_var idx
+         (Types.reduce_op_to_string r_op)
+         (Expr.to_string r_value)
+         (if r_atomic then "  # atomic" else ""))
+  | Var_def { d_name; d_dtype; d_mtype; d_shape; d_atype; d_body } ->
+    line
+      (Printf.sprintf "%s%s = create_var((%s), \"%s\", \"%s\", %s)"
+         label_prefix d_name
+         (String.concat ", " (List.map Expr.to_string d_shape))
+         (Types.dtype_to_string d_dtype)
+         (Types.mtype_to_string d_mtype)
+         (Types.access_to_string d_atype));
+    print_into buf indent d_body
+  | For { f_iter; f_begin; f_end; f_step; f_property; f_body } ->
+    let step_str =
+      match f_step with
+      | Expr.Int_const 1 -> ""
+      | e -> ", " ^ Expr.to_string e
+    in
+    line
+      (Printf.sprintf "%sfor %s in range(%s, %s%s):%s" label_prefix f_iter
+         (Expr.to_string f_begin) (Expr.to_string f_end) step_str
+         (property_suffix f_property));
+    print_into buf (indent + 1) f_body
+  | If { i_cond; i_then; i_else } ->
+    line (Printf.sprintf "%sif %s:" label_prefix (Expr.to_string i_cond));
+    print_into buf (indent + 1) i_then;
+    (match i_else with
+     | None -> ()
+     | Some e ->
+       line "else:";
+       print_into buf (indent + 1) e)
+  | Assert_stmt (c, b) ->
+    line (Printf.sprintf "%sassert %s" label_prefix (Expr.to_string c));
+    print_into buf indent b
+  | Seq ss -> List.iter (print_into buf indent) ss
+  | Eval e -> line (label_prefix ^ Expr.to_string e)
+  | Lib_call { lib; body } ->
+    line (Printf.sprintf "%slib_call(\"%s\"):" label_prefix lib);
+    print_into buf (indent + 1) body
+  | Call { callee; args } ->
+    let arg_str = function
+      | Stmt.Tensor_arg { param; actual; prefix } ->
+        let p =
+          match prefix with
+          | [] -> actual
+          | _ ->
+            Printf.sprintf "%s[%s]" actual
+              (String.concat ", " (List.map Expr.to_string prefix))
+        in
+        Printf.sprintf "%s=%s" param p
+      | Stmt.Scalar_arg { param; value } ->
+        Printf.sprintf "%s=%s" param (Expr.to_string value)
+    in
+    line
+      (Printf.sprintf "%s%s(%s)" label_prefix callee
+         (String.concat ", " (List.map arg_str args)))
+
+let stmt_to_string s =
+  let buf = Buffer.create 256 in
+  print_into buf 0 s;
+  Buffer.contents buf
+
+let func_to_string (f : Stmt.func) =
+  let buf = Buffer.create 256 in
+  let param_str (p : Stmt.param) =
+    let shape =
+      match p.p_shape with
+      | Stmt.Any_dim -> "..."
+      | Stmt.Fixed es ->
+        "(" ^ String.concat ", " (List.map Expr.to_string es) ^ ")"
+    in
+    Printf.sprintf "%s: %s %s %s" p.p_name
+      (Types.dtype_to_string p.p_dtype)
+      shape
+      (Types.access_to_string p.p_atype)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "def %s(%s):\n" f.fn_name
+       (String.concat ", " (List.map param_str f.fn_params)));
+  print_into buf 1 f.fn_body;
+  Buffer.contents buf
+
+let pp_stmt fmt s = Format.pp_print_string fmt (stmt_to_string s)
+let pp_func fmt f = Format.pp_print_string fmt (func_to_string f)

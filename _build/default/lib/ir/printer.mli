@@ -1,0 +1,8 @@
+(** Human-readable pretty-printer for the IR, in a Python-like surface
+    syntax close to the paper's figures (loops as [for i in range(...):],
+    definitions as [create_var], schedule annotations as comments). *)
+
+val stmt_to_string : Stmt.t -> string
+val func_to_string : Stmt.func -> string
+val pp_stmt : Format.formatter -> Stmt.t -> unit
+val pp_func : Format.formatter -> Stmt.func -> unit

@@ -1,0 +1,399 @@
+(** Statement AST of the FreeTensor IR.
+
+    The AST is *stack-scoped* (Section 4 of the paper): every tensor is
+    introduced by a [Var_def] node and is live exactly in that node's
+    sub-tree.  This property lets transformations move sub-trees without
+    breaking allocation/free pairing and lets dependence analysis project
+    away false dependences on loop-local temporaries (Fig. 12(d)).
+
+    Every statement carries a unique integer id and an optional user label;
+    schedules address statements through these (see {!Ft_sched.Select}). *)
+
+type for_property = {
+  parallel : Types.parallel_scope option;
+  unroll : bool;
+  vectorize : bool;
+  (** Tensors the user asserts carry no loop-borne dependence here,
+      overriding the conservative analysis (used for indirect accesses). *)
+  no_deps : string list;
+}
+
+let default_property =
+  { parallel = None; unroll = false; vectorize = false; no_deps = [] }
+
+type t = {
+  sid : int;
+  label : string option;
+  node : node;
+}
+
+and node =
+  | Store of store
+  | Reduce_to of reduce
+  | Var_def of var_def
+  | For of for_loop
+  | If of if_stmt
+  | Assert_stmt of Expr.t * t
+  | Seq of t list
+  | Eval of Expr.t
+  (** [Lib_call] marks a sub-program replaced by a vendor-library call
+      (the [as_lib] schedule).  The original loop nest is kept as [body]
+      for the reference interpreter; the executor charges library cost. *)
+  | Lib_call of { lib : string; body : t }
+  (** Call to a named IR function, inlined away by partial evaluation.
+      Each tensor argument is a view [caller var, index prefix]. *)
+  | Call of { callee : string; args : arg list }
+  | Nop
+
+and store = {
+  s_var : string;
+  s_indices : Expr.t list;
+  s_value : Expr.t;
+}
+
+and reduce = {
+  r_var : string;
+  r_indices : Expr.t list;
+  r_op : Types.reduce_op;
+  r_value : Expr.t;
+  r_atomic : bool;
+}
+
+and var_def = {
+  d_name : string;
+  d_dtype : Types.dtype;
+  d_mtype : Types.mtype;
+  d_shape : Expr.t list;
+  d_atype : Types.access;
+  d_body : t;
+}
+
+and for_loop = {
+  f_iter : string;
+  f_begin : Expr.t;
+  f_end : Expr.t;  (** exclusive *)
+  f_step : Expr.t; (** positive *)
+  f_property : for_property;
+  f_body : t;
+}
+
+and if_stmt = {
+  i_cond : Expr.t;
+  i_then : t;
+  i_else : t option;
+}
+
+and arg =
+  | Tensor_arg of { param : string; actual : string; prefix : Expr.t list }
+  | Scalar_arg of { param : string; value : Expr.t }
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let counter = ref 0
+
+(** Fresh statement id.  Ids are unique within a process. *)
+let fresh_id () =
+  incr counter;
+  !counter
+
+let make ?label node = { sid = fresh_id (); label; node }
+
+let store ?label v idx value =
+  make ?label (Store { s_var = v; s_indices = idx; s_value = value })
+
+let reduce_to ?label ?(atomic = false) v idx op value =
+  make ?label
+    (Reduce_to
+       { r_var = v; r_indices = idx; r_op = op; r_value = value;
+         r_atomic = atomic })
+
+let var_def ?label ?(atype = Types.Cache) name dtype mtype shape body =
+  make ?label
+    (Var_def
+       { d_name = name; d_dtype = dtype; d_mtype = mtype; d_shape = shape;
+         d_atype = atype; d_body = body })
+
+let for_ ?label ?(property = default_property) iter begin_ end_ body =
+  make ?label
+    (For
+       { f_iter = iter; f_begin = begin_; f_end = end_;
+         f_step = Expr.int 1; f_property = property; f_body = body })
+
+let for_step ?label ?(property = default_property) iter begin_ end_ step body
+    =
+  make ?label
+    (For
+       { f_iter = iter; f_begin = begin_; f_end = end_; f_step = step;
+         f_property = property; f_body = body })
+
+let if_ ?label cond then_ else_ =
+  make ?label (If { i_cond = cond; i_then = then_; i_else = else_ })
+
+let seq ?label stmts =
+  (* Flatten nested sequences and drop Nops so the AST stays small. *)
+  let rec flat s =
+    match s.node with
+    | Seq ss -> List.concat_map flat ss
+    | Nop -> []
+    | _ -> [ s ]
+  in
+  match List.concat_map flat stmts with
+  | [] -> make ?label Nop
+  | [ s ] when label = None -> s
+  | ss -> make ?label (Seq ss)
+
+let nop () = make Nop
+let eval ?label e = make ?label (Eval e)
+let assert_ ?label cond body = make ?label (Assert_stmt (cond, body))
+let call ?label callee args = make ?label (Call { callee; args })
+let lib_call ?label lib body = make ?label (Lib_call { lib; body })
+
+(** Rebuild a statement with a new node but the same id and label, so
+    selectors keep working across transformations. *)
+let with_node s node = { s with node }
+
+(* ------------------------------------------------------------------ *)
+(* Traversal *)
+
+(** Direct child statements. *)
+let children s =
+  match s.node with
+  | Store _ | Reduce_to _ | Eval _ | Nop | Call _ -> []
+  | Var_def d -> [ d.d_body ]
+  | For f -> [ f.f_body ]
+  | If i -> i.i_then :: (match i.i_else with Some e -> [ e ] | None -> [])
+  | Assert_stmt (_, b) -> [ b ]
+  | Seq ss -> ss
+  | Lib_call { body; _ } -> [ body ]
+
+(** Rebuild with the given children (same order as {!children}). *)
+let with_children s cs =
+  match s.node, cs with
+  | (Store _ | Reduce_to _ | Eval _ | Nop | Call _), [] -> s
+  | Var_def d, [ b ] -> with_node s (Var_def { d with d_body = b })
+  | For f, [ b ] -> with_node s (For { f with f_body = b })
+  | If i, [ t ] -> with_node s (If { i with i_then = t; i_else = None })
+  | If i, [ t; e ] -> with_node s (If { i with i_then = t; i_else = Some e })
+  | Assert_stmt (c, _), [ b ] -> with_node s (Assert_stmt (c, b))
+  | Seq _, ss -> with_node s (Seq ss)
+  | Lib_call l, [ b ] -> with_node s (Lib_call { l with body = b })
+  | _ -> invalid_arg "Stmt.with_children: arity mismatch"
+
+(** Pre-order iteration over all statements. *)
+let rec iter f s =
+  f s;
+  List.iter (iter f) (children s)
+
+let fold f acc s =
+  let acc = ref acc in
+  iter (fun s -> acc := f !acc s) s;
+  !acc
+
+(** Bottom-up rewriting: children first, then [f] on the rebuilt node. *)
+let rec map_bottom_up f s =
+  let cs = List.map (map_bottom_up f) (children s) in
+  f (with_children s cs)
+
+(** Top-down rewriting with explicit recursion control: [f] receives the
+    statement and a [recurse] function it may apply to children. *)
+let rec map_top_down f s =
+  f s (fun s' ->
+      let cs = List.map (map_top_down f) (children s') in
+      with_children s' cs)
+
+(** Apply [f] to every expression embedded in the statement tree.
+    Shapes in [Var_def] are included. *)
+let map_exprs f s =
+  let g = f in
+  map_bottom_up
+    (fun s ->
+      match s.node with
+      | Store st ->
+        with_node s
+          (Store
+             { st with
+               s_indices = List.map g st.s_indices;
+               s_value = g st.s_value })
+      | Reduce_to r ->
+        with_node s
+          (Reduce_to
+             { r with
+               r_indices = List.map g r.r_indices;
+               r_value = g r.r_value })
+      | Var_def d ->
+        with_node s (Var_def { d with d_shape = List.map g d.d_shape })
+      | For fl ->
+        with_node s
+          (For
+             { fl with
+               f_begin = g fl.f_begin;
+               f_end = g fl.f_end;
+               f_step = g fl.f_step })
+      | If i -> with_node s (If { i with i_cond = g i.i_cond })
+      | Assert_stmt (c, b) -> with_node s (Assert_stmt (g c, b))
+      | Eval e -> with_node s (Eval (g e))
+      | Call c ->
+        let arg = function
+          | Tensor_arg a ->
+            Tensor_arg { a with prefix = List.map g a.prefix }
+          | Scalar_arg a -> Scalar_arg { a with value = g a.value }
+        in
+        with_node s (Call { c with args = List.map arg c.args })
+      | Seq _ | Nop | Lib_call _ -> s)
+    s
+
+(** Iterate [f] over every expression in the tree. *)
+let iter_exprs f s =
+  iter
+    (fun s ->
+      match s.node with
+      | Store st ->
+        List.iter f st.s_indices;
+        f st.s_value
+      | Reduce_to r ->
+        List.iter f r.r_indices;
+        f r.r_value
+      | Var_def d -> List.iter f d.d_shape
+      | For fl ->
+        f fl.f_begin;
+        f fl.f_end;
+        f fl.f_step
+      | If i -> f i.i_cond
+      | Assert_stmt (c, _) -> f c
+      | Eval e -> f e
+      | Call c ->
+        List.iter
+          (function
+            | Tensor_arg a -> List.iter f a.prefix
+            | Scalar_arg a -> f a.value)
+          c.args
+      | Seq _ | Nop | Lib_call _ -> ())
+    s
+
+(** Substitute a plain variable by an expression everywhere. *)
+let subst_var name value s =
+  let env x = if String.equal x name then Some value else None in
+  map_exprs (Expr.subst_var env) s
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let find_opt pred s =
+  let found = ref None in
+  (try
+     iter
+       (fun s ->
+         if !found = None && pred s then begin
+           found := Some s;
+           raise Exit
+         end)
+       s
+   with Exit -> ());
+  !found
+
+let find_all pred s = fold (fun acc s -> if pred s then s :: acc else acc) [] s |> List.rev
+
+let find_by_id id s = find_opt (fun s -> s.sid = id) s
+
+let find_by_label lbl s =
+  find_opt (fun s -> s.label = Some lbl) s
+
+(** Count statement nodes. *)
+let size s = fold (fun n _ -> n + 1) 0 s
+
+(** All tensors written (by Store or Reduce_to) in the sub-tree. *)
+let written_tensors s =
+  fold
+    (fun acc s ->
+      match s.node with
+      | Store { s_var; _ } -> s_var :: acc
+      | Reduce_to { r_var; _ } -> r_var :: acc
+      | _ -> acc)
+    [] s
+  |> List.sort_uniq String.compare
+
+(** All tensors read (via Load in any embedded expression). *)
+let read_tensors s =
+  let acc = ref [] in
+  iter_exprs
+    (fun e ->
+      Expr.iter
+        (function
+          | Expr.Load { l_var; _ } -> acc := l_var :: !acc
+          | _ -> ())
+        e)
+    s;
+  List.sort_uniq String.compare !acc
+
+(** Names defined by [Var_def] in the sub-tree. *)
+let defined_tensors s =
+  fold
+    (fun acc s ->
+      match s.node with
+      | Var_def { d_name; _ } -> d_name :: acc
+      | _ -> acc)
+    [] s
+  |> List.sort_uniq String.compare
+
+(** Structural equality modulo statement ids and labels. *)
+let rec equal_structure a b =
+  let nodes_equal =
+    match a.node, b.node with
+    | Store x, Store y -> x = y
+    | Reduce_to x, Reduce_to y -> x = y
+    | Eval x, Eval y -> x = y
+    | Nop, Nop -> true
+    | Call { callee = c1; args = a1 }, Call { callee = c2; args = a2 } ->
+      c1 = c2 && a1 = a2
+    | Var_def x, Var_def y ->
+      x.d_name = y.d_name && x.d_dtype = y.d_dtype && x.d_mtype = y.d_mtype
+      && x.d_shape = y.d_shape && x.d_atype = y.d_atype
+    | For x, For y ->
+      x.f_iter = y.f_iter && x.f_begin = y.f_begin && x.f_end = y.f_end
+      && x.f_step = y.f_step && x.f_property = y.f_property
+    | If x, If y -> x.i_cond = y.i_cond
+    | Assert_stmt (c1, _), Assert_stmt (c2, _) -> c1 = c2
+    | Seq _, Seq _ -> true
+    | Lib_call x, Lib_call y -> x.lib = y.lib
+    | _ -> false
+  in
+  nodes_equal
+  &&
+  let ca = children a and cb = children b in
+  List.length ca = List.length cb && List.for_all2 equal_structure ca cb
+
+(* ------------------------------------------------------------------ *)
+(* Functions *)
+
+(** A compiled IR function: named parameters with metadata plus a body.
+    Parameters of [Any_dim] shape make the function dimension-free
+    (Section 3.3); such functions must be fully inlined by partial
+    evaluation before lowering. *)
+type shape_spec =
+  | Fixed of Expr.t list
+  | Any_dim
+
+type param = {
+  p_name : string;
+  p_dtype : Types.dtype;
+  p_shape : shape_spec;
+  p_atype : Types.access;
+  p_mtype : Types.mtype;
+}
+
+type func = {
+  fn_name : string;
+  fn_params : param list;
+  fn_body : t;
+}
+
+let param ?(atype = Types.Input) ?(mtype = Types.Cpu_heap) name dtype shape =
+  { p_name = name; p_dtype = dtype; p_shape = Fixed shape; p_atype = atype;
+    p_mtype = mtype }
+
+let param_any ?(atype = Types.Input) ?(mtype = Types.Cpu_heap) name dtype =
+  { p_name = name; p_dtype = dtype; p_shape = Any_dim; p_atype = atype;
+    p_mtype = mtype }
+
+let func name params body = { fn_name = name; fn_params = params; fn_body = body }

@@ -1,0 +1,232 @@
+(** Statement AST of the FreeTensor IR.
+
+    The AST is {e stack-scoped} (paper Section 4): every tensor is
+    introduced by a [Var_def] node and is live exactly in that node's
+    sub-tree, which lets transformations move sub-trees without breaking
+    allocation pairing and lets the dependence analysis project away
+    false dependences on loop-local temporaries (Fig. 12(d)).
+
+    Every statement carries a unique id and an optional label; schedules
+    address statements through these. *)
+
+(** Per-loop scheduling annotations. *)
+type for_property = {
+  parallel : Types.parallel_scope option;
+  unroll : bool;
+  vectorize : bool;
+  no_deps : string list;
+      (** tensors the user asserts carry no loop-borne dependence here *)
+}
+
+val default_property : for_property
+
+type t = {
+  sid : int;
+  label : string option;
+  node : node;
+}
+
+and node =
+  | Store of store
+  | Reduce_to of reduce
+  | Var_def of var_def
+  | For of for_loop
+  | If of if_stmt
+  | Assert_stmt of Expr.t * t
+  | Seq of t list
+  | Eval of Expr.t
+  | Lib_call of { lib : string; body : t }
+      (** a sub-program replaced by a vendor-library call ([as_lib]); the
+          body is kept for the reference interpreter *)
+  | Call of { callee : string; args : arg list }
+      (** call to a named IR function, removed by partial evaluation *)
+  | Nop
+
+and store = {
+  s_var : string;
+  s_indices : Expr.t list;
+  s_value : Expr.t;
+}
+
+and reduce = {
+  r_var : string;
+  r_indices : Expr.t list;
+  r_op : Types.reduce_op;
+  r_value : Expr.t;
+  r_atomic : bool;
+}
+
+and var_def = {
+  d_name : string;
+  d_dtype : Types.dtype;
+  d_mtype : Types.mtype;
+  d_shape : Expr.t list;
+  d_atype : Types.access;
+  d_body : t;
+}
+
+and for_loop = {
+  f_iter : string;
+  f_begin : Expr.t;
+  f_end : Expr.t;  (** exclusive *)
+  f_step : Expr.t; (** positive *)
+  f_property : for_property;
+  f_body : t;
+}
+
+and if_stmt = {
+  i_cond : Expr.t;
+  i_then : t;
+  i_else : t option;
+}
+
+(** A tensor argument is a view: caller tensor + picked index prefix. *)
+and arg =
+  | Tensor_arg of { param : string; actual : string; prefix : Expr.t list }
+  | Scalar_arg of { param : string; value : Expr.t }
+
+(** {1 Construction} *)
+
+(** Fresh process-unique statement id. *)
+val fresh_id : unit -> int
+
+val make : ?label:string -> node -> t
+val store : ?label:string -> string -> Expr.t list -> Expr.t -> t
+
+val reduce_to :
+  ?label:string ->
+  ?atomic:bool ->
+  string ->
+  Expr.t list ->
+  Types.reduce_op ->
+  Expr.t ->
+  t
+
+val var_def :
+  ?label:string ->
+  ?atype:Types.access ->
+  string ->
+  Types.dtype ->
+  Types.mtype ->
+  Expr.t list ->
+  t ->
+  t
+
+val for_ :
+  ?label:string ->
+  ?property:for_property ->
+  string ->
+  Expr.t ->
+  Expr.t ->
+  t ->
+  t
+
+val for_step :
+  ?label:string ->
+  ?property:for_property ->
+  string ->
+  Expr.t ->
+  Expr.t ->
+  Expr.t ->
+  t ->
+  t
+
+val if_ : ?label:string -> Expr.t -> t -> t option -> t
+
+(** Build a sequence, flattening nested sequences and dropping [Nop]s. *)
+val seq : ?label:string -> t list -> t
+
+val nop : unit -> t
+val eval : ?label:string -> Expr.t -> t
+val assert_ : ?label:string -> Expr.t -> t -> t
+val call : ?label:string -> string -> arg list -> t
+val lib_call : ?label:string -> string -> t -> t
+
+(** Rebuild with a new node but the same id and label, so selectors keep
+    working across transformations. *)
+val with_node : t -> node -> t
+
+(** {1 Traversal} *)
+
+(** Direct child statements. *)
+val children : t -> t list
+
+(** Rebuild with the given children (same order as {!children}). *)
+val with_children : t -> t list -> t
+
+(** Pre-order iteration. *)
+val iter : (t -> unit) -> t -> unit
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** Bottom-up rewriting: children first, then [f] on the rebuilt node. *)
+val map_bottom_up : (t -> t) -> t -> t
+
+(** Top-down rewriting with explicit recursion control. *)
+val map_top_down : (t -> (t -> t) -> t) -> t -> t
+
+(** Apply [f] to every expression embedded in the tree (including shapes
+    and bounds). *)
+val map_exprs : (Expr.t -> Expr.t) -> t -> t
+
+val iter_exprs : (Expr.t -> unit) -> t -> unit
+
+(** Substitute a plain variable by an expression everywhere. *)
+val subst_var : string -> Expr.t -> t -> t
+
+(** {1 Queries} *)
+
+val find_opt : (t -> bool) -> t -> t option
+val find_all : (t -> bool) -> t -> t list
+val find_by_id : int -> t -> t option
+val find_by_label : string -> t -> t option
+
+(** Statement node count. *)
+val size : t -> int
+
+(** Tensors written by [Store]/[Reduce_to] in the sub-tree, sorted. *)
+val written_tensors : t -> string list
+
+(** Tensors read via [Load], sorted. *)
+val read_tensors : t -> string list
+
+(** Tensors defined by [Var_def], sorted. *)
+val defined_tensors : t -> string list
+
+(** Structural equality modulo statement ids and labels. *)
+val equal_structure : t -> t -> bool
+
+(** {1 Functions} *)
+
+(** [Any_dim] parameters make a function dimension-free (Section 3.3);
+    such functions must be partially evaluated before lowering. *)
+type shape_spec =
+  | Fixed of Expr.t list
+  | Any_dim
+
+type param = {
+  p_name : string;
+  p_dtype : Types.dtype;
+  p_shape : shape_spec;
+  p_atype : Types.access;
+  p_mtype : Types.mtype;
+}
+
+type func = {
+  fn_name : string;
+  fn_params : param list;
+  fn_body : t;
+}
+
+val param :
+  ?atype:Types.access ->
+  ?mtype:Types.mtype ->
+  string ->
+  Types.dtype ->
+  Expr.t list ->
+  param
+
+val param_any :
+  ?atype:Types.access -> ?mtype:Types.mtype -> string -> Types.dtype -> param
+
+val func : string -> param list -> t -> func

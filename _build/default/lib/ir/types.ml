@@ -1,0 +1,143 @@
+(** Basic enumerations shared by the whole FreeTensor IR.
+
+    These mirror Section 3.1 of the paper: tensors carry an element type
+    ([dtype]), a memory type describing where they live ([mtype]), and an
+    access type describing their role at a function boundary ([access]).
+    Loops carry a parallelization annotation ([parallel_scope]). *)
+
+(** Scalar element types. A 0-D tensor of some [dtype] is a scalar. *)
+type dtype =
+  | F32
+  | F64
+  | I32
+  | I64
+  | Bool
+
+(** Memory types: where a tensor is stored. [By_value] is for scalar
+    parameters passed by value; the GPU kinds model the CUDA hierarchy. *)
+type mtype =
+  | By_value
+  | Cpu_heap
+  | Cpu_stack
+  | Gpu_global
+  | Gpu_shared
+  | Gpu_local
+
+(** Target devices.  Code generation and the machine model dispatch on it. *)
+type device =
+  | Cpu
+  | Gpu
+
+(** Role of a tensor at a kernel boundary. [Cache] marks compiler-introduced
+    temporaries (from the [cache] schedule or AD tapes). *)
+type access =
+  | Input
+  | Output
+  | Inout
+  | Cache
+
+(** Commutative-associative reduction operators usable in [ReduceTo]
+    statements (Fig. 12(c) of the paper). *)
+type reduce_op =
+  | R_add
+  | R_mul
+  | R_min
+  | R_max
+
+(** Parallel scopes a loop can be bound to. [Openmp] is the CPU thread
+    level; the Cuda scopes are GPU grid/block dimensions. *)
+type parallel_scope =
+  | Openmp
+  | Cuda_block_x
+  | Cuda_block_y
+  | Cuda_thread_x
+  | Cuda_thread_y
+
+let dtype_to_string = function
+  | F32 -> "f32"
+  | F64 -> "f64"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Bool -> "bool"
+
+let dtype_of_string = function
+  | "f32" -> F32
+  | "f64" -> F64
+  | "i32" -> I32
+  | "i64" -> I64
+  | "bool" -> Bool
+  | s -> invalid_arg ("dtype_of_string: " ^ s)
+
+(** Size of one element in bytes, used by the machine model. *)
+let dtype_size = function
+  | F32 | I32 -> 4
+  | F64 | I64 -> 8
+  | Bool -> 1
+
+let is_float = function
+  | F32 | F64 -> true
+  | I32 | I64 | Bool -> false
+
+let is_int = function
+  | I32 | I64 -> true
+  | F32 | F64 | Bool -> false
+
+let mtype_to_string = function
+  | By_value -> "byvalue"
+  | Cpu_heap -> "cpu"
+  | Cpu_stack -> "cpu/stack"
+  | Gpu_global -> "gpu/global"
+  | Gpu_shared -> "gpu/shared"
+  | Gpu_local -> "gpu/local"
+
+let mtype_of_string = function
+  | "byvalue" -> By_value
+  | "cpu" -> Cpu_heap
+  | "cpu/stack" -> Cpu_stack
+  | "gpu" | "gpu/global" -> Gpu_global
+  | "gpu/shared" -> Gpu_shared
+  | "gpu/local" -> Gpu_local
+  | s -> invalid_arg ("mtype_of_string: " ^ s)
+
+(** Which device owns a given memory type. *)
+let mtype_device = function
+  | By_value | Cpu_heap | Cpu_stack -> Cpu
+  | Gpu_global | Gpu_shared | Gpu_local -> Gpu
+
+let device_to_string = function
+  | Cpu -> "cpu"
+  | Gpu -> "gpu"
+
+(** Default main-memory mtype for a device. *)
+let default_mtype = function
+  | Cpu -> Cpu_heap
+  | Gpu -> Gpu_global
+
+let access_to_string = function
+  | Input -> "input"
+  | Output -> "output"
+  | Inout -> "inout"
+  | Cache -> "cache"
+
+let reduce_op_to_string = function
+  | R_add -> "+="
+  | R_mul -> "*="
+  | R_min -> "min="
+  | R_max -> "max="
+
+let parallel_scope_to_string = function
+  | Openmp -> "openmp"
+  | Cuda_block_x -> "blockIdx.x"
+  | Cuda_block_y -> "blockIdx.y"
+  | Cuda_thread_x -> "threadIdx.x"
+  | Cuda_thread_y -> "threadIdx.y"
+
+(** True for scopes where iterations run on distinct CUDA threads of the
+    same block (shared memory visible), false for cross-block scopes. *)
+let is_cuda_thread_scope = function
+  | Cuda_thread_x | Cuda_thread_y -> true
+  | Openmp | Cuda_block_x | Cuda_block_y -> false
+
+let is_cuda_scope = function
+  | Cuda_block_x | Cuda_block_y | Cuda_thread_x | Cuda_thread_y -> true
+  | Openmp -> false

@@ -1,0 +1,75 @@
+(** Basic enumerations shared by the whole FreeTensor IR (paper
+    Section 3.1): element types, memory types, devices, access roles,
+    reduction operators and parallel scopes. *)
+
+(** Scalar element types; a 0-D tensor of some [dtype] is a scalar. *)
+type dtype =
+  | F32
+  | F64
+  | I32
+  | I64
+  | Bool
+
+(** Where a tensor is stored; the GPU kinds model the CUDA hierarchy. *)
+type mtype =
+  | By_value
+  | Cpu_heap
+  | Cpu_stack
+  | Gpu_global
+  | Gpu_shared
+  | Gpu_local
+
+type device =
+  | Cpu
+  | Gpu
+
+(** Role of a tensor at a function boundary; [Cache] marks
+    compiler-introduced temporaries. *)
+type access =
+  | Input
+  | Output
+  | Inout
+  | Cache
+
+(** Commutative-associative reduction operators (Fig. 12(c)). *)
+type reduce_op =
+  | R_add
+  | R_mul
+  | R_min
+  | R_max
+
+(** Parallel scopes a loop can bind to. *)
+type parallel_scope =
+  | Openmp
+  | Cuda_block_x
+  | Cuda_block_y
+  | Cuda_thread_x
+  | Cuda_thread_y
+
+val dtype_to_string : dtype -> string
+val dtype_of_string : string -> dtype
+
+(** Size of one element in bytes. *)
+val dtype_size : dtype -> int
+
+val is_float : dtype -> bool
+val is_int : dtype -> bool
+val mtype_to_string : mtype -> string
+val mtype_of_string : string -> mtype
+
+(** Which device owns a memory type. *)
+val mtype_device : mtype -> device
+
+val device_to_string : device -> string
+
+(** Default main-memory mtype for a device. *)
+val default_mtype : device -> mtype
+
+val access_to_string : access -> string
+val reduce_op_to_string : reduce_op -> string
+val parallel_scope_to_string : parallel_scope -> string
+
+(** Scopes whose iterations share a CUDA block (shared memory visible). *)
+val is_cuda_thread_scope : parallel_scope -> bool
+
+val is_cuda_scope : parallel_scope -> bool

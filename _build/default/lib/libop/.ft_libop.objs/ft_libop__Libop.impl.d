@@ -1,0 +1,1 @@
+lib/libop/libop.ml: Expr Ft_frontend Ft_ir List Printf Types

@@ -1,0 +1,1 @@
+lib/libop/libop.mli: Expr Ft_frontend Ft_ir Types

@@ -1,0 +1,283 @@
+(** libop: the operator library of Section 3.2, written in pure DSL code.
+
+    Every operator here is *granularity-oblivious*: it works on views of
+    any dimensionality by recursing over [Dsl.ndim] at trace time (the
+    partial evaluation of Fig. 9), and expands into plain loops in the
+    caller's IR, where it is optimized together with the whole program —
+    nothing maps to opaque native calls. *)
+
+open Ft_ir
+module Dsl = Ft_frontend.Dsl
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+(* Iterate elementwise over the shape of [lead], passing full index lists. *)
+let rec ewise_loop (lead : Dsl.t) (acc : Expr.t list) k
+    (body : Expr.t list -> unit) =
+  if k = Dsl.ndim lead then body (List.rev acc)
+  else
+    Dsl.for_ "e" (Expr.int 0) (Dsl.dim lead k) (fun i ->
+        ewise_loop lead (i :: acc) (k + 1) body)
+
+(* Index a view with as many indices as it has dimensions; 0-D views
+   broadcast (consume no indices). *)
+let read (v : Dsl.t) (idx : Expr.t list) =
+  if Dsl.ndim v = 0 then Dsl.to_expr v
+  else if Dsl.ndim v = List.length idx then Dsl.get v idx
+  else bad "libop: rank mismatch (%d-D view, %d indices)" (Dsl.ndim v)
+      (List.length idx)
+
+(** Elementwise kernel: [dst[i...] (=|op=) f(inputs[i...])].  Inputs of
+    rank 0 broadcast; all other inputs must match [dst]'s rank. *)
+let ewise_into ?reduce_op (dst : Dsl.t) (inputs : Dsl.t list)
+    (f : Expr.t list -> Expr.t) =
+  ewise_loop dst [] 0 (fun idx ->
+      let value = f (List.map (fun v -> read v idx) inputs) in
+      match reduce_op with
+      | None -> Dsl.set dst idx value
+      | Some op -> Dsl.reduce op dst idx value)
+
+(* -- fills and copies -- *)
+
+let fill dst value = ewise_into dst [] (fun _ -> value)
+let zeros dst = fill dst (Expr.float 0.)
+let copy ~dst ~src = ewise_into dst [ src ] (function [ x ] -> x | _ -> assert false)
+
+(* -- unary -- *)
+
+let unary_into op ~dst ~src =
+  ewise_into dst [ src ] (function [ x ] -> Expr.unop op x | _ -> assert false)
+
+let abs_into = unary_into Expr.Abs
+let exp_into = unary_into Expr.Exp
+let sqrt_into = unary_into Expr.Sqrt
+let sigmoid_into = unary_into Expr.Sigmoid
+let tanh_into = unary_into Expr.Tanh
+
+let relu_into ~dst ~src =
+  ewise_into dst [ src ]
+    (function [ x ] -> Expr.max_ x (Expr.float 0.) | _ -> assert false)
+
+let scale_into ~dst ~src ~by =
+  ewise_into dst [ src ]
+    (function [ x ] -> Expr.mul x by | _ -> assert false)
+
+(* -- binary -- *)
+
+let binary_into op ~dst ~a ~b =
+  ewise_into dst [ a; b ]
+    (function [ x; y ] -> Expr.binop op x y | _ -> assert false)
+
+let add_into = binary_into Expr.Add
+let sub_into = binary_into Expr.Sub
+let mul_into = binary_into Expr.Mul
+let div_into = binary_into Expr.Div
+
+(** dst += src, elementwise (the [+=] of Fig. 3(b)). *)
+let accum_into ~dst ~src =
+  ewise_into ~reduce_op:Types.R_add dst [ src ]
+    (function [ x ] -> x | _ -> assert false)
+
+(** dst += |a - b| elementwise — the circular-difference kernel of
+    SubdivNet (Fig. 3). *)
+let accum_abs_diff ~dst ~a ~b =
+  ewise_into ~reduce_op:Types.R_add dst [ a; b ]
+    (function [ x; y ] -> Expr.unop Expr.Abs (Expr.sub x y) | _ -> assert false)
+
+(* -- reductions -- *)
+
+(** Reduce all elements of [src] into the 0-D view [dst] with [op];
+    [dst] must be pre-initialized (e.g. via {!fill}). *)
+let reduce_all op ~dst ~src =
+  if Dsl.ndim dst <> 0 then bad "reduce_all: dst must be 0-D";
+  ewise_loop src [] 0 (fun idx -> Dsl.reduce op dst [] (Dsl.get src idx))
+
+(** Sum over the last axis: [dst[i...] += src[i..., k]].  [dst] rank must
+    be [src] rank - 1; [dst] must be pre-initialized. *)
+let sum_last_axis_into ~dst ~src =
+  if Dsl.ndim src <> Dsl.ndim dst + 1 then
+    bad "sum_last_axis_into: rank mismatch";
+  ewise_loop dst [] 0 (fun idx ->
+      Dsl.for_ "r" (Expr.int 0) (Dsl.dim src (Dsl.ndim src - 1)) (fun k ->
+          Dsl.reduce Types.R_add dst idx (Dsl.get src (idx @ [ k ]))))
+
+(* -- matmul -- *)
+
+(** [matmul_into ~c ~a ~b]: c[i,j] += a[i,k] * b[k,j] (2-D each); [c]
+    must be pre-initialized.  Written in the exact shape the [as_lib]
+    schedule recognizes as GEMM. *)
+let matmul_into ~c ~a ~b =
+  if Dsl.ndim a <> 2 || Dsl.ndim b <> 2 || Dsl.ndim c <> 2 then
+    bad "matmul_into: operands must be 2-D";
+  Dsl.for_ "mi" (Expr.int 0) (Dsl.dim a 0) (fun i ->
+      Dsl.for_ "mj" (Expr.int 0) (Dsl.dim b 1) (fun j ->
+          Dsl.for_ "mk" (Expr.int 0) (Dsl.dim a 1) (fun k ->
+              Dsl.reduce Types.R_add c [ i; j ]
+                (Expr.mul (Dsl.get a [ i; k ]) (Dsl.get b [ k; j ])))))
+
+(** Matrix-vector product: y[i] += a[i,k] * x[k]; [y] pre-initialized. *)
+let matvec_into ~y ~a ~x =
+  if Dsl.ndim a <> 2 || Dsl.ndim x <> 1 || Dsl.ndim y <> 1 then
+    bad "matvec_into: rank mismatch";
+  Dsl.for_ "vi" (Expr.int 0) (Dsl.dim a 0) (fun i ->
+      Dsl.for_ "vk" (Expr.int 0) (Dsl.dim a 1) (fun k ->
+          Dsl.reduce Types.R_add y [ i ]
+            (Expr.mul (Dsl.get a [ i; k ]) (Dsl.get x [ k ]))))
+
+(* -- softmax -- *)
+
+(** Numerically-stable softmax over the last axis, written as the four
+    fine-grained loops of Fig. 8 (max, subtract, exp+sum, divide).  The
+    scratch tensors live in [mtype]. *)
+let softmax_last_axis ?(mtype = Types.Cpu_stack) ~dst ~src () =
+  if Dsl.ndim src <> Dsl.ndim dst then bad "softmax: rank mismatch";
+  let n = Dsl.ndim src in
+  if n = 0 then bad "softmax: rank must be >= 1";
+  let last = Dsl.dim src (n - 1) in
+  (* loop over all leading axes *)
+  let rec leading acc k body =
+    if k = n - 1 then body (List.rev acc)
+    else
+      Dsl.for_ "s" (Expr.int 0) (Dsl.dim src k) (fun i ->
+          leading (i :: acc) (k + 1) body)
+  in
+  leading [] 0 (fun idx ->
+      let mx = Dsl.create_var ~name:"smax" [] (Dsl.dtype src) mtype in
+      Dsl.set mx [] (Expr.float neg_infinity);
+      Dsl.for_ "k" (Expr.int 0) last (fun k ->
+          Dsl.reduce Types.R_max mx [] (Dsl.get src (idx @ [ k ])));
+      let sum = Dsl.create_var ~name:"ssum" [] (Dsl.dtype src) mtype in
+      Dsl.set sum [] (Expr.float 0.);
+      Dsl.for_ "k" (Expr.int 0) last (fun k ->
+          Dsl.set dst (idx @ [ k ])
+            (Expr.unop Expr.Exp
+               (Expr.sub (Dsl.get src (idx @ [ k ])) (Dsl.to_expr mx)));
+          Dsl.reduce Types.R_add sum [] (Dsl.get dst (idx @ [ k ])));
+      Dsl.for_ "k" (Expr.int 0) last (fun k ->
+          Dsl.set dst (idx @ [ k ])
+            (Expr.div (Dsl.get dst (idx @ [ k ])) (Dsl.to_expr sum))))
+
+(* -- layout -- *)
+
+(** Transpose a 2-D view: dst[j, i] = src[i, j]. *)
+let transpose_into ~dst ~src =
+  if Dsl.ndim src <> 2 || Dsl.ndim dst <> 2 then
+    bad "transpose_into: operands must be 2-D";
+  Dsl.for_ "ti" (Expr.int 0) (Dsl.dim src 0) (fun i ->
+      Dsl.for_ "tj" (Expr.int 0) (Dsl.dim src 1) (fun j ->
+          Dsl.set dst [ j; i ] (Dsl.get src [ i; j ])))
+
+(** Concatenate 1-D views into dst along the only axis. *)
+let concat1_into ~dst ~(srcs : Dsl.t list) =
+  if Dsl.ndim dst <> 1 || List.exists (fun s -> Dsl.ndim s <> 1) srcs then
+    bad "concat1_into: operands must be 1-D";
+  ignore
+    (List.fold_left
+       (fun offset src ->
+         Dsl.for_ "cc" (Expr.int 0) (Dsl.dim src 0) (fun k ->
+             Dsl.set dst [ Expr.add offset k ] (Dsl.get src [ k ]));
+         Expr.add offset (Dsl.dim src 0))
+       (Expr.int 0) srcs)
+
+(* -- more contractions -- *)
+
+(** Batched matmul: c[b,i,j] += a[b,i,k] * bb[b,k,j]; c pre-initialized. *)
+let bmm_into ~c ~a ~b =
+  if Dsl.ndim a <> 3 || Dsl.ndim b <> 3 || Dsl.ndim c <> 3 then
+    bad "bmm_into: operands must be 3-D";
+  Dsl.for_ "bb" (Expr.int 0) (Dsl.dim a 0) (fun bi ->
+      Dsl.for_ "bi" (Expr.int 0) (Dsl.dim a 1) (fun i ->
+          Dsl.for_ "bj" (Expr.int 0) (Dsl.dim b 2) (fun j ->
+              Dsl.for_ "bk" (Expr.int 0) (Dsl.dim a 2) (fun k ->
+                  Dsl.reduce Types.R_add c [ bi; i; j ]
+                    (Expr.mul
+                       (Dsl.get a [ bi; i; k ])
+                       (Dsl.get b [ bi; k; j ]))))))
+
+(* -- convolutions -- *)
+
+(** 1-D valid convolution: dst[i] += src[i + k] * w[k];
+    len dst = len src - len w + 1; dst pre-initialized. *)
+let conv1d_into ~dst ~src ~w =
+  if Dsl.ndim src <> 1 || Dsl.ndim w <> 1 || Dsl.ndim dst <> 1 then
+    bad "conv1d_into: operands must be 1-D";
+  Dsl.for_ "ci" (Expr.int 0) (Dsl.dim dst 0) (fun i ->
+      Dsl.for_ "ck" (Expr.int 0) (Dsl.dim w 0) (fun k ->
+          Dsl.reduce Types.R_add dst [ i ]
+            (Expr.mul (Dsl.get src [ Expr.add i k ]) (Dsl.get w [ k ]))))
+
+(** 2-D valid convolution on (H, W) with a (kh, kw) kernel. *)
+let conv2d_into ~dst ~src ~w =
+  if Dsl.ndim src <> 2 || Dsl.ndim w <> 2 || Dsl.ndim dst <> 2 then
+    bad "conv2d_into: operands must be 2-D";
+  Dsl.for_ "ch" (Expr.int 0) (Dsl.dim dst 0) (fun h ->
+      Dsl.for_ "cw" (Expr.int 0) (Dsl.dim dst 1) (fun ww ->
+          Dsl.for_ "kh" (Expr.int 0) (Dsl.dim w 0) (fun kh ->
+              Dsl.for_ "kw" (Expr.int 0) (Dsl.dim w 1) (fun kw ->
+                  Dsl.reduce Types.R_add dst [ h; ww ]
+                    (Expr.mul
+                       (Dsl.get src [ Expr.add h kh; Expr.add ww kw ])
+                       (Dsl.get w [ kh; kw ]))))))
+
+(* -- normalization & activations -- *)
+
+(** GELU (tanh approximation), elementwise. *)
+let gelu_into ~dst ~src =
+  let c = Expr.float 0.7978845608 (* sqrt(2/pi) *) in
+  ewise_into dst [ src ]
+    (function
+      | [ x ] ->
+        let inner =
+          Expr.mul c
+            (Expr.add x
+               (Expr.mul (Expr.float 0.044715)
+                  (Expr.mul x (Expr.mul x x))))
+        in
+        Expr.mul (Expr.mul (Expr.float 0.5) x)
+          (Expr.add (Expr.float 1.) (Expr.unop Expr.Tanh inner))
+      | _ -> assert false)
+
+(** Layer normalization over the last axis:
+    dst[..., k] = (src[..., k] - mean) / sqrt(var + eps). *)
+let layernorm_last_axis ?(eps = 1e-5) ?(mtype = Types.Cpu_stack) ~dst ~src ()
+    =
+  if Dsl.ndim src <> Dsl.ndim dst then bad "layernorm: rank mismatch";
+  let n = Dsl.ndim src in
+  if n = 0 then bad "layernorm: rank must be >= 1";
+  let last = Dsl.dim src (n - 1) in
+  let rec leading acc k body =
+    if k = n - 1 then body (List.rev acc)
+    else
+      Dsl.for_ "ln" (Expr.int 0) (Dsl.dim src k) (fun i ->
+          leading (i :: acc) (k + 1) body)
+  in
+  leading [] 0 (fun idx ->
+      let mean = Dsl.create_var ~name:"lmean" [] (Dsl.dtype src) mtype in
+      Dsl.set mean [] (Expr.float 0.);
+      Dsl.for_ "k" (Expr.int 0) last (fun k ->
+          Dsl.reduce Types.R_add mean [] (Dsl.get src (idx @ [ k ])));
+      Dsl.set mean []
+        (Expr.div (Dsl.to_expr mean) (Expr.Cast (Types.F32, last)));
+      let var = Dsl.create_var ~name:"lvar" [] (Dsl.dtype src) mtype in
+      Dsl.set var [] (Expr.float 0.);
+      Dsl.for_ "k" (Expr.int 0) last (fun k ->
+          let d = Expr.sub (Dsl.get src (idx @ [ k ])) (Dsl.to_expr mean) in
+          Dsl.reduce Types.R_add var [] (Expr.mul d d));
+      Dsl.set var []
+        (Expr.div (Dsl.to_expr var) (Expr.Cast (Types.F32, last)));
+      Dsl.for_ "k" (Expr.int 0) last (fun k ->
+          Dsl.set dst (idx @ [ k ])
+            (Expr.div
+               (Expr.sub (Dsl.get src (idx @ [ k ])) (Dsl.to_expr mean))
+               (Expr.unop Expr.Sqrt
+                  (Expr.add (Dsl.to_expr var) (Expr.float eps))))))
+
+(** Mean over all elements into a 0-D view. *)
+let mean_all ~dst ~src =
+  if Dsl.ndim dst <> 0 then bad "mean_all: dst must be 0-D";
+  Dsl.set dst [] (Expr.float 0.);
+  reduce_all Types.R_add ~dst ~src;
+  let count =
+    List.fold_left (fun acc d -> Expr.mul acc d) (Expr.int 1) (Dsl.shape src)
+  in
+  Dsl.set dst [] (Expr.div (Dsl.to_expr dst) (Expr.Cast (Types.F32, count)))

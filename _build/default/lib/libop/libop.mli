@@ -1,0 +1,101 @@
+(** libop: the operator library of paper Section 3.2, written in pure DSL
+    code.  Every operator is granularity-oblivious: it works on views of
+    any dimensionality by recursing over [Dsl.ndim] at trace time (the
+    partial evaluation of Fig. 9) and expands into plain loops in the
+    caller's IR, where it is optimized together with the whole program.
+
+    Convention: [..._into] operators write (or reduce) into a caller
+    provided destination view; accumulating operators require the
+    destination to be pre-initialized. *)
+
+open Ft_ir
+module Dsl = Ft_frontend.Dsl
+
+(** {1 Generic elementwise kernels} *)
+
+(** [ewise_into dst inputs f] emits [dst[i...] = f(inputs[i...])] (or
+    [op=] with [reduce_op]).  Rank-0 inputs broadcast. *)
+val ewise_into :
+  ?reduce_op:Types.reduce_op ->
+  Dsl.t ->
+  Dsl.t list ->
+  (Expr.t list -> Expr.t) ->
+  unit
+
+(** {1 Fills and copies} *)
+
+val fill : Dsl.t -> Expr.t -> unit
+val zeros : Dsl.t -> unit
+val copy : dst:Dsl.t -> src:Dsl.t -> unit
+
+(** {1 Unary elementwise} *)
+
+val unary_into : Expr.unop -> dst:Dsl.t -> src:Dsl.t -> unit
+val abs_into : dst:Dsl.t -> src:Dsl.t -> unit
+val exp_into : dst:Dsl.t -> src:Dsl.t -> unit
+val sqrt_into : dst:Dsl.t -> src:Dsl.t -> unit
+val sigmoid_into : dst:Dsl.t -> src:Dsl.t -> unit
+val tanh_into : dst:Dsl.t -> src:Dsl.t -> unit
+val relu_into : dst:Dsl.t -> src:Dsl.t -> unit
+val scale_into : dst:Dsl.t -> src:Dsl.t -> by:Expr.t -> unit
+
+(** GELU (tanh approximation). *)
+val gelu_into : dst:Dsl.t -> src:Dsl.t -> unit
+
+(** {1 Binary elementwise} *)
+
+val binary_into : Expr.binop -> dst:Dsl.t -> a:Dsl.t -> b:Dsl.t -> unit
+val add_into : dst:Dsl.t -> a:Dsl.t -> b:Dsl.t -> unit
+val sub_into : dst:Dsl.t -> a:Dsl.t -> b:Dsl.t -> unit
+val mul_into : dst:Dsl.t -> a:Dsl.t -> b:Dsl.t -> unit
+val div_into : dst:Dsl.t -> a:Dsl.t -> b:Dsl.t -> unit
+
+(** [dst += src], elementwise (the [+=] of Fig. 3(b)). *)
+val accum_into : dst:Dsl.t -> src:Dsl.t -> unit
+
+(** [dst += |a - b|] — the circular-difference kernel of SubdivNet. *)
+val accum_abs_diff : dst:Dsl.t -> a:Dsl.t -> b:Dsl.t -> unit
+
+(** {1 Reductions} *)
+
+(** Reduce all elements into a 0-D, pre-initialized destination. *)
+val reduce_all : Types.reduce_op -> dst:Dsl.t -> src:Dsl.t -> unit
+
+(** [dst[i...] += src[i..., k]]; [dst] pre-initialized. *)
+val sum_last_axis_into : dst:Dsl.t -> src:Dsl.t -> unit
+
+(** Mean over all elements into a 0-D destination (self-initializing). *)
+val mean_all : dst:Dsl.t -> src:Dsl.t -> unit
+
+(** {1 Contractions} *)
+
+(** [c[i,j] += a[i,k] * b[k,j]]; written in the exact shape the [as_lib]
+    schedule recognizes as GEMM; [c] pre-initialized. *)
+val matmul_into : c:Dsl.t -> a:Dsl.t -> b:Dsl.t -> unit
+
+(** [y[i] += a[i,k] * x[k]]; [y] pre-initialized. *)
+val matvec_into : y:Dsl.t -> a:Dsl.t -> x:Dsl.t -> unit
+
+(** Batched matmul on 3-D views; [c] pre-initialized. *)
+val bmm_into : c:Dsl.t -> a:Dsl.t -> b:Dsl.t -> unit
+
+(** {1 Convolutions (valid padding)} *)
+
+val conv1d_into : dst:Dsl.t -> src:Dsl.t -> w:Dsl.t -> unit
+val conv2d_into : dst:Dsl.t -> src:Dsl.t -> w:Dsl.t -> unit
+
+(** {1 Layout} *)
+
+val transpose_into : dst:Dsl.t -> src:Dsl.t -> unit
+val concat1_into : dst:Dsl.t -> srcs:Dsl.t list -> unit
+
+(** {1 Normalization} *)
+
+(** Numerically-stable softmax over the last axis, written as the
+    fine-grained loops of Fig. 8. *)
+val softmax_last_axis :
+  ?mtype:Types.mtype -> dst:Dsl.t -> src:Dsl.t -> unit -> unit
+
+(** Layer normalization over the last axis. *)
+val layernorm_last_axis :
+  ?eps:float -> ?mtype:Types.mtype -> dst:Dsl.t -> src:Dsl.t -> unit -> unit

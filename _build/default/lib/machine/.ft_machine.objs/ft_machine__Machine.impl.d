@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Float Ft_ir Printf Types

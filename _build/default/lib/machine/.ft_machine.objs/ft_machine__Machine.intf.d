@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Ft_ir Types

@@ -1,0 +1,152 @@
+(** Abstract performance machine.
+
+    The paper evaluates on a dual 12-core Xeon E5-2670 v3 and an NVIDIA
+    V100-PCIE-32GB.  This module models both with published peak numbers
+    and a roofline-style time model; the backend's analytic cost walker
+    ({!Ft_backend.Costmodel}) and every baseline framework charge their
+    work to these devices, so "time" is a deterministic function of kernel
+    launches, FLOPs and memory traffic — exactly the quantities the
+    paper's speedup analysis attributes its wins to (Fig. 17). *)
+
+open Ft_ir
+
+type spec = {
+  sp_name : string;
+  sp_device : Types.device;
+  parallelism : int;
+  (** hardware lanes: cores×threads for CPU, resident warps×32 for GPU *)
+  simd_width : int;       (** per-lane vector width (CPU); 1 for GPU *)
+  peak_flops : float;     (** FLOP/s at full parallel+SIMD utilization *)
+  dram_bandwidth : float; (** bytes/s *)
+  l2_bandwidth : float;   (** bytes/s *)
+  l2_size : float;        (** bytes *)
+  mem_capacity : float;   (** bytes of device memory *)
+  launch_overhead : float;(** seconds per kernel launch / parallel region *)
+}
+
+(** Dual Xeon E5-2670 v3: 24 cores @ 2.3 GHz, AVX2 (8 f32 lanes x 2 FMA
+    ports) ~ 0.88 TFLOP/s peak; ~136 GB/s aggregate DRAM bandwidth. *)
+let cpu =
+  { sp_name = "xeon-e5-2670v3-x2";
+    sp_device = Types.Cpu;
+    parallelism = 24;
+    simd_width = 8;
+    peak_flops = 0.88e12;
+    dram_bandwidth = 136.0e9;
+    l2_bandwidth = 1.0e12;
+    l2_size = 6.0e6;
+    mem_capacity = 256.0e9;
+    launch_overhead = 4.0e-6 }
+
+(** NVIDIA Tesla V100-PCIE-32GB: 14 TFLOP/s fp32, 900 GB/s HBM2,
+    6 MB L2, ~5 us kernel launch latency. *)
+let gpu =
+  { sp_name = "v100-pcie-32gb";
+    sp_device = Types.Gpu;
+    parallelism = 5120;
+    simd_width = 1;
+    peak_flops = 14.0e12;
+    dram_bandwidth = 900.0e9;
+    l2_bandwidth = 2.5e12;
+    l2_size = 6.0e6;
+    mem_capacity = 32.0e9;
+    launch_overhead = 5.0e-6 }
+
+let of_device = function
+  | Types.Cpu -> cpu
+  | Types.Gpu -> gpu
+
+(** Aggregated execution metrics — the columns of the paper's Fig. 17
+    plus time and peak memory. *)
+type metrics = {
+  mutable kernels : int;
+  mutable flops : float;
+  mutable dram_bytes : float;
+  mutable l2_bytes : float;
+  mutable peak_mem : float;
+  mutable time : float; (* seconds *)
+}
+
+let fresh_metrics () =
+  { kernels = 0; flops = 0.; dram_bytes = 0.; l2_bytes = 0.; peak_mem = 0.;
+    time = 0. }
+
+let add_into ~(into : metrics) (m : metrics) =
+  into.kernels <- into.kernels + m.kernels;
+  into.flops <- into.flops +. m.flops;
+  into.dram_bytes <- into.dram_bytes +. m.dram_bytes;
+  into.l2_bytes <- into.l2_bytes +. m.l2_bytes;
+  into.peak_mem <- Float.max into.peak_mem m.peak_mem;
+  into.time <- into.time +. m.time
+
+exception Out_of_memory of { needed : float; capacity : float }
+
+(** One kernel's cost.  [parallel_iters] is the number of iterations bound
+    to hardware parallelism; [vectorized] says whether an inner loop was
+    vectorized (CPU only — otherwise only 1/simd_width of peak FLOPs is
+    reachable).  DRAM traffic follows a footprint model: a kernel whose
+    working set fits in L2 only pays compulsory traffic (its footprint);
+    a larger working set additionally pays for the L2 misses. *)
+let kernel_cost (sp : spec) ~parallel_iters ~vectorized ~flops ~l2_bytes
+    ~footprint_bytes =
+  let u_par =
+    Float.min 1.0 (float_of_int (max 1 parallel_iters) /. float_of_int sp.parallelism)
+  in
+  let u_simd =
+    if sp.sp_device = Types.Cpu && not vectorized then
+      1.0 /. float_of_int sp.simd_width
+    else 1.0
+  in
+  let eff_flops = sp.peak_flops *. u_par *. u_simd in
+  let eff_dram = sp.dram_bandwidth *. Float.max u_par 0.05 in
+  let eff_l2 = sp.l2_bandwidth *. Float.max u_par 0.05 in
+  let dram_bytes =
+    if footprint_bytes <= sp.l2_size then footprint_bytes
+    else
+      let miss_ratio =
+        Float.min 1.0 ((footprint_bytes -. sp.l2_size) /. footprint_bytes)
+      in
+      footprint_bytes +. (Float.max 0.0 (l2_bytes -. footprint_bytes) *. miss_ratio)
+  in
+  let compute_t = if eff_flops > 0. then flops /. eff_flops else 0. in
+  let dram_t = dram_bytes /. eff_dram in
+  let l2_t = l2_bytes /. eff_l2 in
+  let time =
+    sp.launch_overhead +. Float.max compute_t (Float.max dram_t l2_t)
+  in
+  (time, dram_bytes)
+
+(** Charge one kernel into [m]; raises {!Out_of_memory} if the live
+    footprint exceeds device capacity. *)
+let charge_kernel (sp : spec) (m : metrics) ~parallel_iters ~vectorized
+    ~flops ~l2_bytes ~footprint_bytes ~live_bytes =
+  if live_bytes > sp.mem_capacity then
+    raise (Out_of_memory { needed = live_bytes; capacity = sp.mem_capacity });
+  let time, dram_bytes =
+    kernel_cost sp ~parallel_iters ~vectorized ~flops ~l2_bytes
+      ~footprint_bytes
+  in
+  m.kernels <- m.kernels + 1;
+  m.flops <- m.flops +. flops;
+  m.dram_bytes <- m.dram_bytes +. dram_bytes;
+  m.l2_bytes <- m.l2_bytes +. l2_bytes;
+  m.peak_mem <- Float.max m.peak_mem live_bytes;
+  m.time <- m.time +. time
+
+let si v =
+  if v >= 1e12 then Printf.sprintf "%.2fT" (v /. 1e12)
+  else if v >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.2fk" (v /. 1e3)
+  else Printf.sprintf "%.2f" v
+
+let time_to_string t =
+  if t >= 1.0 then Printf.sprintf "%.3f s" t
+  else if t >= 1e-3 then Printf.sprintf "%.3f ms" (t *. 1e3)
+  else Printf.sprintf "%.1f us" (t *. 1e6)
+
+let metrics_to_string m =
+  Printf.sprintf
+    "kernels=%d flops=%s dram=%sB l2=%sB peak_mem=%sB time=%s" m.kernels
+    (si m.flops) (si m.dram_bytes) (si m.l2_bytes) (si m.peak_mem)
+    (time_to_string m.time)

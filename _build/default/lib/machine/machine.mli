@@ -1,0 +1,86 @@
+(** Abstract performance machine.
+
+    The paper evaluates on a dual 12-core Xeon E5-2670 v3 and an NVIDIA
+    V100-PCIE-32GB; this module models both with published peak numbers
+    and a roofline-style time model.  All executors and baseline
+    frameworks charge their work here, so "time" is a deterministic
+    function of kernel launches, FLOPs and memory traffic — exactly the
+    quantities the paper's speedup analysis attributes its wins to
+    (Fig. 17). *)
+
+open Ft_ir
+
+(** Device description. *)
+type spec = {
+  sp_name : string;
+  sp_device : Types.device;
+  parallelism : int;       (** hardware lanes *)
+  simd_width : int;        (** per-lane vector width (CPU); 1 for GPU *)
+  peak_flops : float;      (** FLOP/s at full utilization *)
+  dram_bandwidth : float;  (** bytes/s *)
+  l2_bandwidth : float;    (** bytes/s *)
+  l2_size : float;         (** bytes *)
+  mem_capacity : float;    (** bytes of device memory *)
+  launch_overhead : float; (** seconds per kernel launch *)
+}
+
+(** Dual Xeon E5-2670 v3 (24 cores, AVX2). *)
+val cpu : spec
+
+(** NVIDIA Tesla V100-PCIE-32GB. *)
+val gpu : spec
+
+val of_device : Types.device -> spec
+
+(** Aggregated execution metrics — the columns of Fig. 17 plus time and
+    peak memory. *)
+type metrics = {
+  mutable kernels : int;
+  mutable flops : float;
+  mutable dram_bytes : float;
+  mutable l2_bytes : float;
+  mutable peak_mem : float;
+  mutable time : float;
+}
+
+val fresh_metrics : unit -> metrics
+
+(** Accumulate [m] into [into] (times add, peak memory maxes). *)
+val add_into : into:metrics -> metrics -> unit
+
+exception Out_of_memory of { needed : float; capacity : float }
+
+(** One kernel's (time, modeled DRAM bytes).  Time is
+    launch overhead + max of the compute / DRAM / L2 roofline terms,
+    scaled by the bound parallelism and (on CPU) vectorization; DRAM
+    traffic is the working-set footprint when it fits in L2, degrading
+    toward the raw access volume beyond. *)
+val kernel_cost :
+  spec ->
+  parallel_iters:int ->
+  vectorized:bool ->
+  flops:float ->
+  l2_bytes:float ->
+  footprint_bytes:float ->
+  float * float
+
+(** Charge one kernel into the metrics; raises {!Out_of_memory} when the
+    live footprint exceeds device capacity. *)
+val charge_kernel :
+  spec ->
+  metrics ->
+  parallel_iters:int ->
+  vectorized:bool ->
+  flops:float ->
+  l2_bytes:float ->
+  footprint_bytes:float ->
+  live_bytes:float ->
+  unit
+
+(** {1 Formatting} *)
+
+(** "1.25G"-style SI rendering. *)
+val si : float -> string
+
+val time_to_string : float -> string
+val metrics_to_string : metrics -> string

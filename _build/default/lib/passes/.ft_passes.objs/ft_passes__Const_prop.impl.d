@@ -1,0 +1,1 @@
+lib/passes/const_prop.ml: Expr Ft_ir Stmt String Types

@@ -1,0 +1,1 @@
+lib/passes/const_prop.mli: Ft_ir Stmt

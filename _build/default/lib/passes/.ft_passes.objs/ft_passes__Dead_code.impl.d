@@ -1,0 +1,1 @@
+lib/passes/dead_code.ml: Ft_ir List Stmt Types

@@ -1,0 +1,1 @@
+lib/passes/dead_code.mli: Ft_ir Stmt

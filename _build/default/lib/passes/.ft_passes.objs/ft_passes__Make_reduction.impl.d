@@ -1,0 +1,1 @@
+lib/passes/make_reduction.ml: Expr Ft_ir List Stmt String Types

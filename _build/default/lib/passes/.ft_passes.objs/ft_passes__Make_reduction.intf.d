@@ -1,0 +1,1 @@
+lib/passes/make_reduction.mli: Ft_ir Stmt

@@ -1,0 +1,1 @@
+lib/passes/simplify.ml: Bounds Expr Ft_ir Fun List Option Stmt

@@ -1,0 +1,1 @@
+lib/passes/simplify.mli: Bounds Ft_ir Stmt

@@ -1,0 +1,1 @@
+lib/passes/sink_var.ml: Ft_ir List Option Stmt String Types

@@ -1,0 +1,1 @@
+lib/passes/sink_var.mli: Ft_ir Stmt

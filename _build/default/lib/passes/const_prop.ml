@@ -1,0 +1,74 @@
+(** Scalar constant propagation.
+
+    A 0-D compiler-introduced tensor written exactly once, with a constant,
+    is replaced by that constant at every read and its definition removed.
+    AD and the schedules introduce such scalars freely (seed captures,
+    neutral-element initializations); folding them re-enables the
+    expression-level simplifier downstream. *)
+
+open Ft_ir
+
+(* all writes to [name] in the sub-tree *)
+let writes_of name s =
+  Stmt.fold
+    (fun acc st ->
+      match st.Stmt.node with
+      | Stmt.Store { s_var; s_value; s_indices = []; _ }
+        when String.equal s_var name ->
+        `Store s_value :: acc
+      | Stmt.Store { s_var; _ } when String.equal s_var name ->
+        `Other :: acc
+      | Stmt.Reduce_to { r_var; _ } when String.equal r_var name ->
+        `Other :: acc
+      | _ -> acc)
+    [] s
+
+let run_stmt (s : Stmt.t) : Stmt.t =
+  Stmt.map_bottom_up
+    (fun st ->
+      match st.Stmt.node with
+      | Stmt.Var_def d
+        when d.Stmt.d_atype = Types.Cache && d.Stmt.d_shape = [] -> (
+        (* the defining store must dominate every read: require it to be
+           the scope body's first statement *)
+        let head_is_store =
+          match d.Stmt.d_body.Stmt.node with
+          | Stmt.Store { s_var; s_indices = []; _ } ->
+            String.equal s_var d.Stmt.d_name
+          | Stmt.Seq
+              ({ Stmt.node = Stmt.Store { s_var; s_indices = []; _ }; _ }
+               :: _) ->
+            String.equal s_var d.Stmt.d_name
+          | _ -> false
+        in
+        match
+          if head_is_store then writes_of d.Stmt.d_name d.Stmt.d_body
+          else [ `Other ]
+        with
+        | [ `Store v ] when Expr.is_const v ->
+          (* drop the store, substitute the reads, unwrap the def *)
+          let name = d.Stmt.d_name in
+          let body =
+            Stmt.map_bottom_up
+              (fun inner ->
+                match inner.Stmt.node with
+                | Stmt.Store { s_var; s_indices = []; _ }
+                  when String.equal s_var name ->
+                  Stmt.nop ()
+                | Stmt.Seq ss -> Stmt.seq ss
+                | _ -> inner)
+              d.Stmt.d_body
+          in
+          Stmt.map_exprs
+            (Expr.map (function
+              | Expr.Load { l_var; l_indices = [] }
+                when String.equal l_var name ->
+                v
+              | e -> e))
+            body
+        | _ -> st)
+      | Stmt.Seq ss -> Stmt.seq ?label:st.Stmt.label ss
+      | _ -> st)
+    s
+
+let run (fn : Stmt.func) = { fn with Stmt.fn_body = run_stmt fn.Stmt.fn_body }

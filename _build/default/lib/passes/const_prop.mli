@@ -1,0 +1,9 @@
+(** Scalar constant propagation: a 0-D compiler-introduced tensor written
+    exactly once with a constant — by the first statement of its scope,
+    so the write dominates every read — is replaced by that constant and
+    its definition removed. *)
+
+open Ft_ir
+
+val run_stmt : Stmt.t -> Stmt.t
+val run : Stmt.func -> Stmt.func

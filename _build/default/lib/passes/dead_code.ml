@@ -1,0 +1,43 @@
+(** Dead-code elimination passes: unused tensor definitions and dead
+    stores to cache tensors whose values are never read afterwards. *)
+
+open Ft_ir
+
+(** Remove [Var_def]s whose tensor is never read nor written in the body
+    (the definition is then pure scaffolding), and [Var_def]s of [Cache]
+    tensors that are written but never read. *)
+let remove_unused_defs (s : Stmt.t) : Stmt.t =
+  Stmt.map_bottom_up
+    (fun s ->
+      match s.node with
+      | Stmt.Var_def d when d.d_atype = Types.Cache ->
+        let reads = Stmt.read_tensors d.d_body in
+        let is_read = List.mem d.d_name reads in
+        if not is_read then begin
+          (* drop stores into the dead tensor, keep everything else *)
+          let body =
+            Stmt.map_bottom_up
+              (fun st ->
+                match st.Stmt.node with
+                | Stmt.Store { s_var; _ } when s_var = d.d_name -> Stmt.nop ()
+                | Stmt.Reduce_to { r_var; _ } when r_var = d.d_name ->
+                  Stmt.nop ()
+                | Stmt.Seq ss -> Stmt.seq ss
+                | _ -> st)
+              d.d_body
+          in
+          (* if nothing references the tensor anymore, unwrap the def *)
+          if
+            (not (List.mem d.d_name (Stmt.read_tensors body)))
+            && not (List.mem d.d_name (Stmt.written_tensors body))
+          then body
+          else Stmt.with_node s (Stmt.Var_def { d with d_body = body })
+        end
+        else s
+      | Stmt.Seq ss -> Stmt.seq ?label:s.label ss
+      | _ -> s)
+    s
+
+let run_stmt s = remove_unused_defs s
+
+let run (fn : Stmt.func) = { fn with fn_body = run_stmt fn.fn_body }

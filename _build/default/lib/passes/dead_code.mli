@@ -1,0 +1,8 @@
+(** Dead-code elimination: compiler-introduced ([Cache]) tensor
+    definitions whose values are never read are removed together with
+    their stores.  Semantics-preserving on all function parameters. *)
+
+open Ft_ir
+
+val run_stmt : Stmt.t -> Stmt.t
+val run : Stmt.func -> Stmt.func

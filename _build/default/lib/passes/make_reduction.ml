@@ -1,0 +1,72 @@
+(** Normalize read-modify-write stores into [Reduce_to] nodes.
+
+    The paper's dependence analysis treats `a = a + b`-like statements
+    specially (Fig. 12(c)): commuting reductions do not block reorder or
+    parallelize.  User programs written with plain stores, and programs
+    produced by other tools, benefit from the same treatment once this
+    pass rewrites
+
+      t[idx] = t[idx] OP e        (OP in +, *, min, max)
+
+    into [Reduce_to (t, idx, OP, e)].  The rewrite is only performed when
+    the loaded and stored indices are syntactically identical and the
+    rest of the value does not read [t] again. *)
+
+open Ft_ir
+
+let rec match_reduce (var : string) (indices : Expr.t list) (value : Expr.t)
+    : (Types.reduce_op * Expr.t) option =
+  let self = function
+    | Expr.Load { l_var; l_indices } ->
+      String.equal l_var var && l_indices = indices
+    | _ -> false
+  in
+  let reads_var e =
+    List.mem var (Expr.loaded_tensors e)
+  in
+  match value with
+  | Expr.Binop (Expr.Add, a, b) when self a && not (reads_var b) ->
+    Some (Types.R_add, b)
+  | Expr.Binop (Expr.Add, a, b) when self b && not (reads_var a) ->
+    Some (Types.R_add, a)
+  | Expr.Binop (Expr.Mul, a, b) when self a && not (reads_var b) ->
+    Some (Types.R_mul, b)
+  | Expr.Binop (Expr.Mul, a, b) when self b && not (reads_var a) ->
+    Some (Types.R_mul, a)
+  | Expr.Binop (Expr.Min, a, b) when self a && not (reads_var b) ->
+    Some (Types.R_min, b)
+  | Expr.Binop (Expr.Min, a, b) when self b && not (reads_var a) ->
+    Some (Types.R_min, a)
+  | Expr.Binop (Expr.Max, a, b) when self a && not (reads_var b) ->
+    Some (Types.R_max, b)
+  | Expr.Binop (Expr.Max, a, b) when self b && not (reads_var a) ->
+    Some (Types.R_max, a)
+  | Expr.Binop (Expr.Sub, a, b) when self a && not (reads_var b) ->
+    (* t = t - e  ==  t += (-e) *)
+    Some (Types.R_add, Expr.neg b)
+  | _ -> (
+    (* a + (a') patterns nested under another Add: fold one level, e.g.
+       t = (t + e1) + e2  ->  t += (e1 + e2) *)
+    match value with
+    | Expr.Binop (Expr.Add, a, b) when not (reads_var b) -> (
+      match match_reduce var indices a with
+      | Some (Types.R_add, e) -> Some (Types.R_add, Expr.add e b)
+      | _ -> None)
+    | _ -> None)
+
+let run_stmt (s : Stmt.t) : Stmt.t =
+  Stmt.map_bottom_up
+    (fun st ->
+      match st.Stmt.node with
+      | Stmt.Store { s_var; s_indices; s_value } -> (
+        match match_reduce s_var s_indices s_value with
+        | Some (op, e) ->
+          Stmt.with_node st
+            (Stmt.Reduce_to
+               { r_var = s_var; r_indices = s_indices; r_op = op;
+                 r_value = e; r_atomic = false })
+        | None -> st)
+      | _ -> st)
+    s
+
+let run (fn : Stmt.func) = { fn with Stmt.fn_body = run_stmt fn.Stmt.fn_body }

@@ -1,0 +1,9 @@
+(** Normalize read-modify-write stores into [Reduce_to] nodes:
+    [t[idx] = t[idx] OP e] (OP in +, *, min, max; also [t - e] as
+    [+ (-e)]) becomes a commuting reduction, unlocking the Fig. 12(c)
+    dependence filtering for programs written with plain stores. *)
+
+open Ft_ir
+
+val run_stmt : Stmt.t -> Stmt.t
+val run : Stmt.func -> Stmt.func

@@ -1,0 +1,81 @@
+(** Statement-level simplification (the "further optimizations" of
+    Section 4.3): constant folding, branch elimination using the symbolic
+    bound analysis, degenerate-loop removal, and sequence flattening.
+
+    Run after inlining and after every schedule application; it is
+    idempotent and semantics-preserving. *)
+
+open Ft_ir
+
+(* Fold every expression bottom-up through the smart constructors, then
+   try to prove conditions under the iterator-range context. *)
+let rec simp (ctx : Bounds.ctx) (s : Stmt.t) : Stmt.t =
+  match s.node with
+  | Stmt.Nop | Stmt.Store _ | Stmt.Reduce_to _ | Stmt.Eval _ | Stmt.Call _ ->
+    Stmt.map_exprs (Expr.map Fun.id) s
+  | Stmt.Seq ss -> Stmt.seq ?label:s.label (List.map (simp ctx) ss)
+  | Stmt.Var_def d ->
+    let d_shape = List.map (Expr.map Fun.id) d.d_shape in
+    Stmt.with_node s (Stmt.Var_def { d with d_shape; d_body = simp ctx d.d_body })
+  | Stmt.Assert_stmt (c, b) -> (
+    let c = Expr.map Fun.id c in
+    match Bounds.prove ctx c with
+    | Some true -> simp ctx b
+    | _ -> Stmt.with_node s (Stmt.Assert_stmt (c, simp ctx b)))
+  | Stmt.Lib_call l ->
+    Stmt.with_node s (Stmt.Lib_call { l with body = simp ctx l.body })
+  | Stmt.If i -> (
+    let cond = Expr.map Fun.id i.i_cond in
+    match Bounds.prove ctx cond with
+    | Some true -> simp ctx i.i_then
+    | Some false -> (
+      match i.i_else with
+      | Some e -> simp ctx e
+      | None -> Stmt.nop ())
+    | None ->
+      let i_then = simp ctx i.i_then in
+      let i_else = Option.map (simp ctx) i.i_else in
+      (* prune empty branches *)
+      let is_nop st = match st.Stmt.node with Stmt.Nop -> true | _ -> false in
+      let i_else =
+        match i_else with
+        | Some e when is_nop e -> None
+        | e -> e
+      in
+      if is_nop i_then && i_else = None then Stmt.nop ()
+      else Stmt.with_node s (Stmt.If { i_cond = cond; i_then; i_else }))
+  | Stmt.For f -> (
+    let f_begin = Expr.map Fun.id f.f_begin in
+    let f_end = Expr.map Fun.id f.f_end in
+    let f_step = Expr.map Fun.id f.f_step in
+    (* trip count when constant *)
+    let trip =
+      match f_begin, f_end, f_step with
+      | Expr.Int_const b, Expr.Int_const e, Expr.Int_const st when st > 0 ->
+        Some (max 0 ((e - b + st - 1) / st))
+      | _ -> (
+        (* provably empty loop? *)
+        match Bounds.prove ctx (Expr.le f_end f_begin) with
+        | Some true -> Some 0
+        | _ -> None)
+    in
+    match trip with
+    | Some 0 -> Stmt.nop ()
+    | Some 1 when f.f_property.parallel = None ->
+      simp ctx (Stmt.subst_var f.f_iter f_begin f.f_body)
+    | _ ->
+      let ctx' =
+        Bounds.bind f.f_iter
+          { Bounds.lo = f_begin; hi = Expr.sub f_end (Expr.int 1) }
+          ctx
+      in
+      let body = simp ctx' f.f_body in
+      (match body.Stmt.node with
+       | Stmt.Nop -> Stmt.nop ()
+       | _ ->
+         Stmt.with_node s
+           (Stmt.For { f with f_begin; f_end; f_step; f_body = body })))
+
+let run_stmt ?(ctx = Bounds.empty) s = simp ctx s
+
+let run (fn : Stmt.func) = { fn with fn_body = run_stmt fn.fn_body }

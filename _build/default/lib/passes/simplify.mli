@@ -1,0 +1,11 @@
+(** Statement-level simplification (the "further optimizations" of paper
+    Section 4.3): constant folding through the smart constructors, branch
+    elimination using the symbolic bound analysis, degenerate-loop
+    removal (zero-trip loops vanish, single-trip loops inline their
+    iterator), and sequence flattening.  Idempotent and
+    semantics-preserving; run after inlining and after every schedule. *)
+
+open Ft_ir
+
+val run_stmt : ?ctx:Bounds.ctx -> Stmt.t -> Stmt.t
+val run : Stmt.func -> Stmt.func

@@ -1,0 +1,12 @@
+(** Sink compiler-introduced tensor definitions to their tightest scope:
+    within a sequence the definition starts at the first accessing
+    statement; a definition whose accesses live in one [If] branch moves
+    into it; definitions commute inward past unrelated definitions.
+    Never sinks into a loop (that would change semantics).  Tighter
+    scopes strengthen the Fig. 12(d) lifetime filtering and shrink AD
+    tapes. *)
+
+open Ft_ir
+
+val run_stmt : Stmt.t -> Stmt.t
+val run : Stmt.func -> Stmt.func

@@ -1,0 +1,1 @@
+lib/presburger/imap.ml: Expr Ft_ir Linear List Polyhedron Printf String

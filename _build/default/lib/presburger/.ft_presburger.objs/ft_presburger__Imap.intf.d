@@ -1,0 +1,1 @@
+lib/presburger/imap.mli: Expr Ft_ir Polyhedron

@@ -1,0 +1,1 @@
+lib/presburger/iset.ml: Ft_ir List Polyhedron Printf String

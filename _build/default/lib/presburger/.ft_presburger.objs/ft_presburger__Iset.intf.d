@@ -1,0 +1,1 @@
+lib/presburger/iset.mli: Polyhedron

@@ -1,0 +1,1 @@
+lib/presburger/polyhedron.ml: Expr Ft_ir Linear List Option Printf String

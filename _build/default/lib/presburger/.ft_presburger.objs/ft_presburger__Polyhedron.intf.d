@@ -1,0 +1,1 @@
+lib/presburger/polyhedron.mli: Expr Ft_ir Linear

@@ -1,0 +1,159 @@
+(** Integer maps: affine relations between two named tuples, represented as
+    unions of conjunctive polyhedra over the disjoint union of domain and
+    range variables — the shape of the paper's access mappings
+    [M = {(i,j) -> (i+1,j) : ...}] (Section 4.2.1). *)
+
+open Ft_ir
+
+type t = {
+  dom : string list;
+  rng : string list;
+  pieces : Polyhedron.t list;
+}
+
+(* Domain and range variable names must be disjoint; [prefix_rng] renames
+   range dims apart when callers reuse names. *)
+
+let make dom rng pieces = { dom; rng; pieces }
+
+(** Build the map [{ dom -> exprs : cond }] with affine [exprs] over the
+    domain variables.  Non-affine output expressions yield an unconstrained
+    output dimension (conservative). *)
+let of_exprs ~dom ~rng_names (exprs : Expr.t list) (guard : Polyhedron.t) =
+  if List.length rng_names <> List.length exprs then
+    invalid_arg "Imap.of_exprs: arity";
+  let p =
+    List.fold_left2
+      (fun p out e ->
+        match Linear.of_expr e with
+        | Some l -> Polyhedron.add_eq p (Linear.sub (Linear.of_var out) l)
+        | None -> p (* unconstrained output: over-approximation *))
+      guard rng_names exprs
+  in
+  { dom; rng = rng_names; pieces = [ p ] }
+
+let union a b =
+  if a.dom <> b.dom || a.rng <> b.rng then
+    invalid_arg "Imap.union: space mismatch";
+  { a with pieces = a.pieces @ b.pieces }
+
+let intersect a b =
+  if a.dom <> b.dom || a.rng <> b.rng then
+    invalid_arg "Imap.intersect: space mismatch";
+  { a with
+    pieces =
+      List.concat_map
+        (fun pa -> List.map (Polyhedron.and_ pa) b.pieces)
+        a.pieces }
+
+let is_empty m = List.for_all Polyhedron.is_empty m.pieces
+
+(** Reverse the relation. *)
+let inverse m = { dom = m.rng; rng = m.dom; pieces = m.pieces }
+
+(** Relational composition [b ∘ a]: x -> z when exists y, a: x->y, b: y->z.
+    Requires [a.rng] and [b.dom] to have equal arity. *)
+let compose ~first:(a : t) ~then_:(b : t) =
+  if List.length a.rng <> List.length b.dom then
+    invalid_arg "Imap.compose: arity mismatch";
+  let mid = List.map (fun v -> v ^ "$mid") a.rng in
+  let pieces =
+    List.concat_map
+      (fun pa ->
+        List.map
+          (fun pb ->
+            let pa =
+              List.fold_left2
+                (fun p old_ new_ -> Polyhedron.rename_var old_ new_ p)
+                pa a.rng mid
+            in
+            let pb =
+              List.fold_left2
+                (fun p old_ new_ -> Polyhedron.rename_var old_ new_ p)
+                pb b.dom mid
+            in
+            Polyhedron.eliminate mid (Polyhedron.and_ pa pb))
+          b.pieces)
+      a.pieces
+  in
+  { dom = a.dom; rng = b.rng; pieces }
+
+(** The dependence relation of the paper's Section 4.2.1:
+    [{ p -> q : exists r, (p -> r) in m_late, (q -> r) in m_early,
+       p >lex q }] — instances [p] of the later access touching the same
+    element [r] as instances [q] of the earlier access, with [p]
+    lexicographically after [q].  Here both maps share the same domain
+    space (the iteration space); we rename apart internally.  Returns one
+    map per lexicographic level, whose union is the full relation. *)
+let dependence ~(m_late : t) ~(m_early : t) : t list =
+  if List.length m_late.rng <> List.length m_early.rng then
+    invalid_arg "Imap.dependence: range arity mismatch";
+  let n = List.length m_late.dom in
+  if List.length m_early.dom <> n then
+    invalid_arg "Imap.dependence: domain arity mismatch";
+  let p_names = List.map (fun v -> v ^ "$p") m_late.dom in
+  let q_names = List.map (fun v -> v ^ "$q") m_early.dom in
+  let level_maps = ref [] in
+  for level = n downto 1 do
+    (* p >lex q at [level]: equal on the first level-1 dims, greater at
+       dim [level]. *)
+    let pieces =
+      List.concat_map
+        (fun pl ->
+          List.filter_map
+            (fun pe ->
+              let pl, _ =
+                List.fold_left2
+                  (fun (p, _) o nn -> (Polyhedron.rename_var o nn p, ()))
+                  (pl, ()) m_late.dom p_names
+              in
+              let pe, _ =
+                List.fold_left2
+                  (fun (p, _) o nn -> (Polyhedron.rename_var o nn p, ()))
+                  (pe, ()) m_early.dom q_names
+              in
+              let conj = ref (Polyhedron.and_ pl pe) in
+              (* Same array element: equate range variables pairwise when
+                 the two maps use different names for them. *)
+              List.iter2
+                (fun rl re ->
+                  if not (String.equal rl re) then
+                    conj :=
+                      Polyhedron.add_eq !conj
+                        (Linear.sub (Linear.of_var rl) (Linear.of_var re)))
+                m_late.rng m_early.rng;
+              (* lexicographic constraints *)
+              let c = ref !conj in
+              List.iteri
+                (fun k (pv, qv) ->
+                  if k < level - 1 then
+                    c :=
+                      Polyhedron.add_eq !c
+                        (Linear.sub (Linear.of_var pv) (Linear.of_var qv))
+                  else if k = level - 1 then
+                    c :=
+                      Polyhedron.add_ge !c
+                        (Linear.add
+                           (Linear.sub (Linear.of_var pv)
+                              (Linear.of_var qv))
+                           (Linear.of_int (-1))))
+                (List.combine p_names q_names);
+              (* hide the array element coordinates *)
+              let rng_all =
+                List.sort_uniq String.compare (m_late.rng @ m_early.rng)
+              in
+              Some (Polyhedron.eliminate rng_all !c))
+            m_early.pieces)
+        m_late.pieces
+    in
+    level_maps := { dom = p_names; rng = q_names; pieces } :: !level_maps
+  done;
+  !level_maps
+
+let to_string m =
+  Printf.sprintf "{ [%s] -> [%s] : %s }"
+    (String.concat ", " m.dom)
+    (String.concat ", " m.rng)
+    (match m.pieces with
+     | [] -> "false"
+     | ps -> String.concat " or " (List.map Polyhedron.to_string ps))

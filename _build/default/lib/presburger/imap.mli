@@ -1,0 +1,38 @@
+(** Integer maps: affine relations between two named tuples, represented
+    as unions of conjunctive polyhedra over the disjoint union of domain
+    and range variables — the shape of the paper's access mappings
+    [M = {(i,j) -> (i+1,j) : ...}] (Section 4.2.1). *)
+
+open Ft_ir
+
+type t = {
+  dom : string list;
+  rng : string list;
+  pieces : Polyhedron.t list;
+}
+
+val make : string list -> string list -> Polyhedron.t list -> t
+
+(** Build [{ dom -> exprs : guard }] with affine output expressions over
+    the domain variables; a non-affine output leaves that dimension
+    unconstrained (conservative). *)
+val of_exprs :
+  dom:string list -> rng_names:string list -> Expr.t list -> Polyhedron.t -> t
+
+val union : t -> t -> t
+val intersect : t -> t -> t
+val is_empty : t -> bool
+val inverse : t -> t
+
+(** Relational composition: [compose ~first:a ~then_:b] maps [x -> z]
+    when some [y] satisfies [a: x -> y] and [b: y -> z]. *)
+val compose : first:t -> then_:t -> t
+
+(** The dependence relation of Section 4.2.1:
+    [{ p -> q : exists r, (p -> r) in m_late, (q -> r) in m_early,
+       p >lex q }].  One map per lexicographic level is returned; their
+    union is the full relation.  Domain variables are renamed to
+    [v$p]/[v$q]. *)
+val dependence : m_late:t -> m_early:t -> t list
+
+val to_string : t -> string

@@ -1,0 +1,50 @@
+(** Integer sets: finite unions of conjunctive polyhedra over a named
+    tuple of variables.  A small isl-style convenience layer used by the
+    dependence tests and by {!Imap}. *)
+
+type t = {
+  dims : string list;           (** tuple variables, in order *)
+  pieces : Polyhedron.t list;   (** union of conjunctive pieces *)
+}
+
+let make dims pieces = { dims; pieces }
+let universe dims = { dims; pieces = [ Polyhedron.universe ] }
+let empty dims = { dims; pieces = [] }
+
+let union a b =
+  if a.dims <> b.dims then invalid_arg "Iset.union: dimension mismatch";
+  { a with pieces = a.pieces @ b.pieces }
+
+let intersect a b =
+  if a.dims <> b.dims then invalid_arg "Iset.intersect: dimension mismatch";
+  { a with
+    pieces =
+      List.concat_map
+        (fun pa -> List.map (fun pb -> Polyhedron.and_ pa pb) b.pieces)
+        a.pieces }
+
+let is_empty s = List.for_all Polyhedron.is_empty s.pieces
+
+(** Project the set onto a subset of its dims. *)
+let project keep s =
+  let drop = List.filter (fun d -> not (List.mem d keep)) s.dims in
+  { dims = List.filter (fun d -> List.mem d keep) s.dims;
+    pieces = List.map (Polyhedron.eliminate drop) s.pieces }
+
+(** Membership of a concrete integer point (all pieces ground-checked). *)
+let mem point s =
+  if List.length point <> List.length s.dims then
+    invalid_arg "Iset.mem: arity";
+  let subst_all p =
+    List.fold_left2
+      (fun p d v -> Polyhedron.subst d (Ft_ir.Linear.of_int v) p)
+      p s.dims point
+  in
+  List.exists (fun piece -> not (Polyhedron.is_empty (subst_all piece))) s.pieces
+
+let to_string s =
+  Printf.sprintf "{ [%s] : %s }"
+    (String.concat ", " s.dims)
+    (match s.pieces with
+     | [] -> "false"
+     | ps -> String.concat " or " (List.map Polyhedron.to_string ps))

@@ -1,0 +1,27 @@
+(** Integer sets: finite unions of conjunctive polyhedra over a named
+    tuple of variables — an isl-style convenience layer over
+    {!Polyhedron}, used by the dependence tests and {!Imap}. *)
+
+type t = {
+  dims : string list;
+  pieces : Polyhedron.t list;
+}
+
+val make : string list -> Polyhedron.t list -> t
+val universe : string list -> t
+val empty : string list -> t
+
+(** Union / intersection; dimensions must match. *)
+val union : t -> t -> t
+
+val intersect : t -> t -> t
+
+val is_empty : t -> bool
+
+(** Project onto a subset of the dims (sound over-approximation). *)
+val project : string list -> t -> t
+
+(** Membership of a concrete integer point. *)
+val mem : int list -> t -> bool
+
+val to_string : t -> string

@@ -1,0 +1,260 @@
+(** Conjunctive integer polyhedra: finite conjunctions of affine equalities
+    and inequalities over named integer variables.
+
+    This is the workhorse of the dependence analysis substrate (the paper
+    uses isl; we build the needed subset ourselves).  Supported queries:
+
+    - emptiness test ([is_empty]) via normalization, GCD tests, exact
+      equality substitution and Fourier–Motzkin elimination.  The test is
+      *sound for emptiness*: [is_empty p = true] implies there is no
+      integer point.  When rational points exist but no integer point
+      does, it may answer [false]; callers treat that as a may-dependence,
+      which only ever refuses a transformation.
+    - projection ([eliminate]) of a set of variables, possibly
+      over-approximate (again conservative for dependence use). *)
+
+open Ft_ir
+
+type cstr = {
+  is_eq : bool;       (** true: [lin = 0]; false: [lin >= 0] *)
+  lin : Linear.t;
+}
+
+type t = {
+  cstrs : cstr list;
+  known_empty : bool; (* set when a contradiction was detected eagerly *)
+}
+
+let universe = { cstrs = []; known_empty = false }
+let empty = { cstrs = []; known_empty = true }
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lin_gcd (l : Linear.t) =
+  Linear.fold_terms (fun g _ c -> gcd g c) 0 l
+
+(* Normalize one constraint.  Returns [None] if it is trivially true,
+   [Some c] otherwise; raises [Exit] on a detected contradiction. *)
+let normalize (c : cstr) : cstr option =
+  let l = c.lin in
+  match Linear.const_value l with
+  | Some k ->
+    if (c.is_eq && k <> 0) || ((not c.is_eq) && k < 0) then raise Exit
+    else None
+  | None ->
+    let g = lin_gcd l in
+    if g <= 1 then Some c
+    else if c.is_eq then
+      if l.Linear.const mod g <> 0 then raise Exit (* GCD test *)
+      else
+        Some
+          { c with
+            lin =
+              { Linear.const = l.Linear.const / g;
+                terms = Linear.Smap.map (fun x -> x / g) l.Linear.terms } }
+    else
+      (* integer tightening: g | coeffs, so c0 + g*(...) >= 0 iff
+         floor(c0/g) + (...) >= 0 *)
+      Some
+        { c with
+          lin =
+            { Linear.const = Expr.ifloor_div l.Linear.const g;
+              terms = Linear.Smap.map (fun x -> x / g) l.Linear.terms } }
+
+let add_cstr p c =
+  if p.known_empty then p
+  else
+    try
+      match normalize c with
+      | None -> p
+      | Some c -> { p with cstrs = c :: p.cstrs }
+    with Exit -> { p with known_empty = true }
+
+let add_eq p lin = add_cstr p { is_eq = true; lin }
+let add_ge p lin = add_cstr p { is_eq = false; lin }
+
+(** [lin >= 0] for each element. *)
+let of_ges lins = List.fold_left add_ge universe lins
+
+let and_ a b =
+  if a.known_empty || b.known_empty then empty
+  else List.fold_left add_cstr a b.cstrs
+
+(** All variables mentioned. *)
+let vars p =
+  List.fold_left
+    (fun acc c -> List.rev_append (Linear.vars c.lin) acc)
+    [] p.cstrs
+  |> List.sort_uniq String.compare
+
+let rename_var old_ new_ p =
+  let ren (l : Linear.t) =
+    let c = Linear.coeff old_ l in
+    if c = 0 then l
+    else Linear.add_term new_ c (Linear.add_term old_ (-c) l)
+  in
+  { p with cstrs = List.map (fun c -> { c with lin = ren c.lin }) p.cstrs }
+
+(** Substitute [x := l] exactly in every constraint. *)
+let subst x (l : Linear.t) p =
+  let sub (c : cstr) =
+    let k = Linear.coeff x c.lin in
+    if k = 0 then c
+    else
+      { c with
+        lin = Linear.add (Linear.add_term x (-k) c.lin) (Linear.scale k l) }
+  in
+  { p with cstrs = List.map sub p.cstrs }
+
+(* Re-normalize an entire constraint list; detects contradictions among
+   ground constraints introduced by substitution/elimination. *)
+let renormalize p =
+  if p.known_empty then p
+  else
+    try
+      let cs = List.filter_map normalize p.cstrs in
+      { cstrs = cs; known_empty = false }
+    with Exit -> { p with known_empty = true }
+
+(* Find an equality with a +/-1 coefficient on a variable we may eliminate;
+   substitute it away exactly. *)
+let rec gauss may_elim p =
+  if p.known_empty then p
+  else
+    let candidate =
+      List.find_map
+        (fun c ->
+          if not c.is_eq then None
+          else
+            Linear.fold_terms
+              (fun acc x k ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                  if (k = 1 || k = -1) && may_elim x then Some (c, x, k)
+                  else None)
+              None c.lin)
+        p.cstrs
+    in
+    match candidate with
+    | None -> p
+    | Some (c, x, k) ->
+      (* c.lin = k*x + rest = 0  =>  x = -rest/k; k = +-1 so exact. *)
+      let rest = Linear.add_term x (-k) c.lin in
+      let value = Linear.scale (-k) rest in
+      let p' = { p with cstrs = List.filter (fun c' -> c' != c) p.cstrs } in
+      gauss may_elim (renormalize (subst x value p'))
+
+(* Fourier-Motzkin can square the constraint count per eliminated
+   variable; past this budget we give up exactness and answer "maybe
+   non-empty", which is the conservative direction for dependence tests
+   (a transformation is refused, never wrongly applied). *)
+let fm_budget = 600
+
+exception Fm_blowup
+
+(* One Fourier-Motzkin step: eliminate variable [x]. *)
+let fm_step x p =
+  if p.known_empty then p
+  else
+    (* split equalities touching x into two inequalities first *)
+    let cstrs =
+      List.concat_map
+        (fun c ->
+          if c.is_eq && Linear.coeff x c.lin <> 0 then
+            [ { is_eq = false; lin = c.lin };
+              { is_eq = false; lin = Linear.neg c.lin } ]
+          else [ c ])
+        p.cstrs
+    in
+    let lowers, uppers, rest =
+      List.fold_left
+        (fun (lo, up, rest) c ->
+          let k = Linear.coeff x c.lin in
+          if k > 0 then (c :: lo, up, rest)       (* k*x + r >= 0: lower *)
+          else if k < 0 then (lo, c :: up, rest)  (* upper bound on x *)
+          else (lo, up, c :: rest))
+        ([], [], []) cstrs
+    in
+    if List.length lowers * List.length uppers + List.length rest > fm_budget
+    then raise Fm_blowup;
+    let combos =
+      List.concat_map
+        (fun (l : cstr) ->
+          let a = Linear.coeff x l.lin in
+          List.map
+            (fun (u : cstr) ->
+              let b = -Linear.coeff x u.lin in
+              (* a>0, b>0:  combine b*l + a*u, x-coefficient cancels *)
+              { is_eq = false;
+                lin = Linear.add (Linear.scale b l.lin) (Linear.scale a u.lin)
+              })
+            uppers)
+        lowers
+    in
+    renormalize { cstrs = combos @ rest; known_empty = false }
+
+(** Eliminate (project out) the given variables.  The result is a sound
+    over-approximation of the integer projection (exact over rationals up
+    to FM; integer shadows may be larger). *)
+let eliminate xs p =
+  let xs = List.sort_uniq String.compare xs in
+  let may_elim x = List.mem x xs in
+  let p = gauss may_elim (renormalize p) in
+  let remaining = List.filter (fun x -> List.mem x (vars p)) xs in
+  try List.fold_left (fun p x -> fm_step x p) p remaining
+  with Fm_blowup ->
+    (* over-approximate the projection by the unconstrained space *)
+    universe
+
+(** Sound emptiness test (true => certainly no integer point). *)
+let is_empty p =
+  let p = renormalize p in
+  if p.known_empty then true
+  else
+    let all = vars p in
+    (* [eliminate] absorbs Fm_blowup into an over-approximation, which
+       reads here as "maybe non-empty" — the sound answer. *)
+    let q = eliminate all p in
+    q.known_empty
+
+let to_string p =
+  if p.known_empty then "false"
+  else if p.cstrs = [] then "true"
+  else
+    String.concat " and "
+      (List.map
+         (fun c ->
+           Printf.sprintf "%s %s 0" (Linear.to_string c.lin)
+             (if c.is_eq then "=" else ">="))
+         p.cstrs)
+
+(* Convenience builders from IR expressions; [None] if not affine. *)
+
+let of_expr_ge (a : Expr.t) (b : Expr.t) p =
+  (* a >= b *)
+  match Linear.of_expr (Expr.sub a b) with
+  | Some l -> Some (add_ge p l)
+  | None -> None
+
+let of_expr_eq (a : Expr.t) (b : Expr.t) p =
+  match Linear.of_expr (Expr.sub a b) with
+  | Some l -> Some (add_eq p l)
+  | None -> None
+
+(** Translate a boolean IR expression into constraints when possible,
+    conjoined onto [p].  Returns [None] when any conjunct is non-affine
+    (callers then drop the condition, a sound over-approximation). *)
+let rec constrain_by_cond (cond : Expr.t) p : t option =
+  let open Expr in
+  match cond with
+  | Bool_const true -> Some p
+  | Bool_const false -> Some empty
+  | Binop (L_and, a, b) ->
+    Option.bind (constrain_by_cond a p) (constrain_by_cond b)
+  | Binop (Ge, a, b) -> of_expr_ge a b p
+  | Binop (Gt, a, b) -> of_expr_ge a (Expr.add b (Expr.int 1)) p
+  | Binop (Le, a, b) -> of_expr_ge b a p
+  | Binop (Lt, a, b) -> of_expr_ge b (Expr.add a (Expr.int 1)) p
+  | Binop (Eq, a, b) -> of_expr_eq a b p
+  | _ -> None

@@ -1,0 +1,71 @@
+(** Conjunctive integer polyhedra: finite conjunctions of affine
+    equalities and inequalities over named integer variables — the
+    workhorse of the dependence substrate (the paper uses isl; this is
+    the needed subset, built from scratch).
+
+    The emptiness test is {e sound for emptiness}: [is_empty p = true]
+    implies there is no integer point.  When rational points exist but no
+    integer point does, it may answer [false]; dependence callers treat
+    that as a may-dependence, which only ever refuses a transformation.
+    Projections are sound over-approximations for the same reason, and a
+    Fourier–Motzkin size budget degrades to the trivial over-
+    approximation instead of blowing up. *)
+
+open Ft_ir
+
+(** One constraint: [lin = 0] when [is_eq], else [lin >= 0]. *)
+type cstr = {
+  is_eq : bool;
+  lin : Linear.t;
+}
+
+type t = {
+  cstrs : cstr list;
+  known_empty : bool;
+}
+
+(** {1 Construction} *)
+
+val universe : t
+val empty : t
+
+(** Conjoin [lin = 0]. *)
+val add_eq : t -> Linear.t -> t
+
+(** Conjoin [lin >= 0]. *)
+val add_ge : t -> Linear.t -> t
+
+(** [lin >= 0] for each element of the list. *)
+val of_ges : Linear.t list -> t
+
+(** Conjunction of two polyhedra. *)
+val and_ : t -> t -> t
+
+(** Conjoin [a >= b] from IR expressions; [None] when not affine. *)
+val of_expr_ge : Expr.t -> Expr.t -> t -> t option
+
+(** Conjoin [a = b] from IR expressions; [None] when not affine. *)
+val of_expr_eq : Expr.t -> Expr.t -> t -> t option
+
+(** Translate a boolean IR condition (conjunctions of affine
+    comparisons) into constraints; [None] when any conjunct is
+    non-affine. *)
+val constrain_by_cond : Expr.t -> t -> t option
+
+(** {1 Queries and transformations} *)
+
+(** All variables mentioned, sorted. *)
+val vars : t -> string list
+
+val rename_var : string -> string -> t -> t
+
+(** Substitute [x := l] exactly in every constraint. *)
+val subst : string -> Linear.t -> t -> t
+
+(** Project out the given variables (sound over-approximation). *)
+val eliminate : string list -> t -> t
+
+(** Sound emptiness test: [true] guarantees no integer point. *)
+val is_empty : t -> bool
+
+val to_string : t -> string

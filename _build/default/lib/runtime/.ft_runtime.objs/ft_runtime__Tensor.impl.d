@@ -1,0 +1,1 @@
+lib/runtime/tensor.ml: Array Float Ft_ir List Printf Random String Types

@@ -1,0 +1,1 @@
+lib/runtime/tensor.mli: Ft_ir Types

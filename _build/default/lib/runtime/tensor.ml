@@ -1,0 +1,220 @@
+(** Dense tensor values: the runtime data representation shared by the
+    FreeTensor interpreter/executor and every baseline framework, so that
+    all implementations of a workload can be compared element-for-element.
+
+    Data is stored row-major in a flat buffer.  Float dtypes share a
+    [float array] buffer; integer dtypes an [int array]; bools are stored
+    as ints 0/1. *)
+
+open Ft_ir
+
+type buffer =
+  | Fbuf of float array
+  | Ibuf of int array
+
+type t = {
+  shape : int array;
+  strides : int array; (* row-major, in elements *)
+  dtype : Types.dtype;
+  buf : buffer;
+}
+
+let numel_of_shape shape = Array.fold_left ( * ) 1 shape
+
+let strides_of_shape shape =
+  let n = Array.length shape in
+  let strides = Array.make n 1 in
+  for k = n - 2 downto 0 do
+    strides.(k) <- strides.(k + 1) * shape.(k + 1)
+  done;
+  strides
+
+let create dtype shape =
+  let n = numel_of_shape shape in
+  let buf =
+    if Types.is_float dtype then Fbuf (Array.make n 0.0)
+    else Ibuf (Array.make n 0)
+  in
+  { shape; strides = strides_of_shape shape; dtype; buf }
+
+let zeros = create
+
+let numel t = numel_of_shape t.shape
+let ndim t = Array.length t.shape
+let shape t = Array.copy t.shape
+let dtype t = t.dtype
+
+(** Bytes occupied, for memory-footprint accounting. *)
+let byte_size t = numel t * Types.dtype_size t.dtype
+
+let flat_index t idx =
+  let n = Array.length idx in
+  if n <> Array.length t.shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.flat_index: rank %d index on rank %d tensor" n
+         (Array.length t.shape));
+  let off = ref 0 in
+  for k = 0 to n - 1 do
+    let i = idx.(k) in
+    if i < 0 || i >= t.shape.(k) then
+      invalid_arg
+        (Printf.sprintf "Tensor.flat_index: index %d out of bound %d at dim %d"
+           i t.shape.(k) k);
+    off := !off + (i * t.strides.(k))
+  done;
+  !off
+
+(* Raw flat accessors *)
+
+let get_flat_f t k =
+  match t.buf with
+  | Fbuf a -> a.(k)
+  | Ibuf a -> float_of_int a.(k)
+
+let set_flat_f t k v =
+  match t.buf with
+  | Fbuf a -> a.(k) <- v
+  | Ibuf a -> a.(k) <- int_of_float v
+
+let get_flat_i t k =
+  match t.buf with
+  | Ibuf a -> a.(k)
+  | Fbuf a -> int_of_float a.(k)
+
+let set_flat_i t k v =
+  match t.buf with
+  | Ibuf a -> a.(k) <- v
+  | Fbuf a -> a.(k) <- float_of_int v
+
+(* Multi-index accessors *)
+
+let get_f t idx = get_flat_f t (flat_index t idx)
+let set_f t idx v = set_flat_f t (flat_index t idx) v
+let get_i t idx = get_flat_i t (flat_index t idx)
+let set_i t idx v = set_flat_i t (flat_index t idx) v
+
+(** Scalar (0-D) helpers. *)
+let scalar_f dtype v =
+  let t = create dtype [||] in
+  set_flat_f t 0 v;
+  t
+
+let scalar_i dtype v =
+  let t = create dtype [||] in
+  set_flat_i t 0 v;
+  t
+
+let to_scalar_f t =
+  if numel t <> 1 then invalid_arg "Tensor.to_scalar_f: not a scalar";
+  get_flat_f t 0
+
+let fill_f t v =
+  match t.buf with
+  | Fbuf a -> Array.fill a 0 (Array.length a) v
+  | Ibuf a -> Array.fill a 0 (Array.length a) (int_of_float v)
+
+let copy t =
+  let buf =
+    match t.buf with
+    | Fbuf a -> Fbuf (Array.copy a)
+    | Ibuf a -> Ibuf (Array.copy a)
+  in
+  { t with buf }
+
+let of_float_array dtype shape data =
+  if Array.length data <> numel_of_shape shape then
+    invalid_arg "Tensor.of_float_array: size mismatch";
+  let t = create dtype shape in
+  Array.iteri (fun k v -> set_flat_f t k v) data;
+  t
+
+let of_int_array dtype shape data =
+  if Array.length data <> numel_of_shape shape then
+    invalid_arg "Tensor.of_int_array: size mismatch";
+  let t = create dtype shape in
+  Array.iteri (fun k v -> set_flat_i t k v) data;
+  t
+
+let to_float_array t = Array.init (numel t) (get_flat_f t)
+let to_int_array t = Array.init (numel t) (get_flat_i t)
+
+(** Deterministic pseudo-random tensors for reproducible experiments. *)
+let rand ?(seed = 42) ?(lo = -1.0) ?(hi = 1.0) dtype shape =
+  let st = Random.State.make [| seed; numel_of_shape shape |] in
+  let t = create dtype shape in
+  for k = 0 to numel t - 1 do
+    set_flat_f t k (lo +. Random.State.float st (hi -. lo))
+  done;
+  t
+
+let randint ?(seed = 42) ~lo ~hi dtype shape =
+  let st = Random.State.make [| seed; 7919; numel_of_shape shape |] in
+  let t = create dtype shape in
+  for k = 0 to numel t - 1 do
+    set_flat_i t k (lo + Random.State.int st (hi - lo))
+  done;
+  t
+
+(** Map / zip for convenience in baselines. *)
+let map_f f t =
+  let r = create t.dtype t.shape in
+  for k = 0 to numel t - 1 do
+    set_flat_f r k (f (get_flat_f t k))
+  done;
+  r
+
+let map2_f f a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.map2_f: shape mismatch";
+  let r = create a.dtype a.shape in
+  for k = 0 to numel a - 1 do
+    set_flat_f r k (f (get_flat_f a k) (get_flat_f b k))
+  done;
+  r
+
+(** Max absolute difference; used to compare implementations. *)
+let max_abs_diff a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let m = ref 0.0 in
+  for k = 0 to numel a - 1 do
+    let d = Float.abs (get_flat_f a k -. get_flat_f b k) in
+    if d > !m then m := d
+  done;
+  !m
+
+let all_close ?(tol = 1e-4) a b = max_abs_diff a b <= tol
+
+let to_string ?(max_elems = 16) t =
+  let n = numel t in
+  let shown = min n max_elems in
+  let elems =
+    List.init shown (fun k ->
+        if Types.is_float t.dtype then Printf.sprintf "%.4g" (get_flat_f t k)
+        else string_of_int (get_flat_i t k))
+  in
+  Printf.sprintf "tensor<%s>[%s](%s%s)"
+    (Types.dtype_to_string t.dtype)
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.shape)))
+    (String.concat ", " elems)
+    (if n > shown then ", ..." else "")
+
+(** Row-major strides (elements); exposed for compiled executors that
+    precompute flat offsets instead of building index arrays. *)
+let strides t = t.strides
+
+(** Unchecked flat accessors for compiled code paths: the compiler has
+    already validated ranks, and the flat offset is bounds-checked by the
+    array access itself. *)
+let unsafe_get_f t k =
+  match t.buf with
+  | Fbuf a -> Array.unsafe_get a k
+  | Ibuf a -> float_of_int (Array.unsafe_get a k)
+
+let unsafe_set_f t k v =
+  match t.buf with
+  | Fbuf a -> Array.unsafe_set a k v
+  | Ibuf a -> Array.unsafe_set a k (int_of_float v)
+
+let unsafe_get_i t k =
+  match t.buf with
+  | Ibuf a -> Array.unsafe_get a k
+  | Fbuf a -> int_of_float (Array.unsafe_get a k)

@@ -1,0 +1,99 @@
+(** Dense tensor values: the runtime data representation shared by the
+    FreeTensor interpreter/executors and every baseline framework, so all
+    implementations of a workload can be compared element-for-element.
+    Data is stored row-major; float dtypes share a [float array] buffer,
+    integer dtypes an [int array] (bools as 0/1). *)
+
+open Ft_ir
+
+type t
+
+(** {1 Creation} *)
+
+(** Fresh zero-filled tensor of the given dtype and shape. *)
+val create : Types.dtype -> int array -> t
+
+(** Alias of {!create}. *)
+val zeros : Types.dtype -> int array -> t
+
+(** 0-D tensors holding one value. *)
+val scalar_f : Types.dtype -> float -> t
+
+val scalar_i : Types.dtype -> int -> t
+
+(** Build from flat row-major data; raises on size mismatch. *)
+val of_float_array : Types.dtype -> int array -> float array -> t
+
+val of_int_array : Types.dtype -> int array -> int array -> t
+
+(** Deterministic pseudo-random tensors (reproducible experiments). *)
+val rand : ?seed:int -> ?lo:float -> ?hi:float -> Types.dtype -> int array -> t
+
+val randint : ?seed:int -> lo:int -> hi:int -> Types.dtype -> int array -> t
+
+val copy : t -> t
+
+(** {1 Metadata} *)
+
+val numel : t -> int
+val ndim : t -> int
+
+(** A copy of the shape. *)
+val shape : t -> int array
+
+val dtype : t -> Types.dtype
+
+(** Bytes occupied, for memory-footprint accounting. *)
+val byte_size : t -> int
+
+(** Row-major strides in elements (not a copy; do not mutate). *)
+val strides : t -> int array
+
+(** {1 Element access} *)
+
+(** Flat offset of a multi-index; raises on rank or bound violation. *)
+val flat_index : t -> int array -> int
+
+val get_f : t -> int array -> float
+val set_f : t -> int array -> float -> unit
+val get_i : t -> int array -> int
+val set_i : t -> int array -> int -> unit
+
+(** Flat accessors (bounds-checked by the array access). *)
+val get_flat_f : t -> int -> float
+
+val set_flat_f : t -> int -> float -> unit
+val get_flat_i : t -> int -> int
+val set_flat_i : t -> int -> int -> unit
+
+(** Unchecked flat accessors for compiled executors. *)
+val unsafe_get_f : t -> int -> float
+
+val unsafe_set_f : t -> int -> float -> unit
+val unsafe_get_i : t -> int -> int
+
+(** Value of a one-element tensor. *)
+val to_scalar_f : t -> float
+
+(** {1 Bulk operations} *)
+
+val fill_f : t -> float -> unit
+val to_float_array : t -> float array
+val to_int_array : t -> int array
+
+(** Elementwise map / zip (same shapes). *)
+val map_f : (float -> float) -> t -> t
+
+val map2_f : (float -> float -> float) -> t -> t -> t
+
+(** {1 Comparison and printing} *)
+
+(** Maximum absolute elementwise difference; raises on shape mismatch. *)
+val max_abs_diff : t -> t -> float
+
+(** [all_close ?tol a b] — true when {!max_abs_diff} is within [tol]
+    (default [1e-4]). *)
+val all_close : ?tol:float -> t -> t -> bool
+
+(** Short human-readable rendering (first [max_elems] elements). *)
+val to_string : ?max_elems:int -> t -> string

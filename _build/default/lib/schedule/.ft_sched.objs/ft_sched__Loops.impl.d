@@ -1,0 +1,1 @@
+lib/schedule/loops.ml: Expr Ft_dep Ft_ir Linear List Names Select Stmt

@@ -1,0 +1,1 @@
+lib/schedule/memory.ml: Bounds Expr Ft_dep Ft_ir Linear List Names Select Stmt String Types

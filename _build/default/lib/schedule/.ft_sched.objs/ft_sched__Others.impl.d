@@ -1,0 +1,1 @@
+lib/schedule/others.ml: Expr Ft_ir Linear Printf Select Stmt Types

@@ -1,0 +1,1 @@
+lib/schedule/parallel.ml: Expr Ft_dep Ft_ir List Select Stmt Types

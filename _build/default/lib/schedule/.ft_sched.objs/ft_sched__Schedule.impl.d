@@ -1,0 +1,1 @@
+lib/schedule/schedule.ml: Ft_ir Ft_passes List Loops Memory Others Parallel Printer Select Stmt String

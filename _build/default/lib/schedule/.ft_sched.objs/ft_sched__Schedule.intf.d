@@ -1,0 +1,1 @@
+lib/schedule/schedule.mli: Ft_ir Select Stmt Types

@@ -1,0 +1,1 @@
+lib/schedule/select.ml: Expr Ft_ir Linear List Printf Stmt

@@ -1,0 +1,261 @@
+(** Loop transformations of Table 1: split, merge, reorder, fission,
+    fuse, swap.  Each verifies legality through {!Ft_dep.Dep} before
+    rewriting; illegal requests raise {!Select.Invalid_schedule}. *)
+
+open Ft_ir
+open Select
+
+(** [split root sel ~factor] splits loop [sel] into an outer loop of
+    [ceil(len/factor)] iterations and an inner loop of [factor]
+    iterations, guarding the remainder.  Always legal.  Returns
+    [(root', outer_id, inner_id)]. *)
+let split root sel ~factor =
+  if factor <= 0 then fail "split: factor must be positive";
+  let loop, f = resolve_loop root sel in
+  (match f.Stmt.f_step with
+   | Expr.Int_const 1 -> ()
+   | _ -> fail "split: only step-1 loops are supported");
+  let len = loop_length f in
+  let outer_iter = Names.fresh (f.Stmt.f_iter ^ ".out") in
+  let inner_iter = Names.fresh (f.Stmt.f_iter ^ ".in") in
+  let flat =
+    Expr.add
+      (Expr.mul (Expr.var outer_iter) (Expr.int factor))
+      (Expr.var inner_iter)
+  in
+  let value = Expr.add f.Stmt.f_begin flat in
+  let body = Stmt.subst_var f.Stmt.f_iter value f.Stmt.f_body in
+  (* guard the remainder iterations unless factor divides len exactly *)
+  let exact =
+    match Linear.of_expr len with
+    | Some l -> (
+      match Linear.const_value l with
+      | Some n -> n mod factor = 0
+      | None -> false)
+    | None -> false
+  in
+  let guarded =
+    if exact then body else Stmt.if_ (Expr.lt flat len) body None
+  in
+  let n_outer =
+    Expr.floor_div (Expr.add len (Expr.int (factor - 1))) (Expr.int factor)
+  in
+  let inner =
+    Stmt.for_ ~property:f.Stmt.f_property inner_iter (Expr.int 0)
+      (Expr.int factor) guarded
+  in
+  let outer =
+    Stmt.for_ ?label:loop.Stmt.label outer_iter (Expr.int 0) n_outer inner
+  in
+  let root' = replace_by_id root loop.Stmt.sid (fun _ -> outer) in
+  (root', outer.Stmt.sid, inner.Stmt.sid)
+
+(** [merge root sel_outer sel_inner] merges two perfectly nested loops
+    into one loop over the product space.  Returns [(root', merged_id)]. *)
+let merge root sel_outer sel_inner =
+  let louter, fo = resolve_loop root sel_outer in
+  let linner, fi =
+    match directly_nested_loop fo with
+    | Some (s, f) -> (s, f)
+    | None -> fail "merge: loops are not perfectly nested"
+  in
+  (match resolve root sel_inner with
+   | s when s.Stmt.sid = linner.Stmt.sid -> ()
+   | _ -> fail "merge: %s is not directly nested in %s"
+            (sel_to_string sel_inner) (sel_to_string sel_outer));
+  (match fo.Stmt.f_step, fi.Stmt.f_step with
+   | Expr.Int_const 1, Expr.Int_const 1 -> ()
+   | _ -> fail "merge: only step-1 loops are supported");
+  let len_o = loop_length fo and len_i = loop_length fi in
+  let m = Names.fresh (fo.Stmt.f_iter ^ "." ^ fi.Stmt.f_iter) in
+  let iv = Expr.var m in
+  let outer_value = Expr.add fo.Stmt.f_begin (Expr.floor_div iv len_i) in
+  let inner_value = Expr.add fi.Stmt.f_begin (Expr.mod_ iv len_i) in
+  (* Inner bounds must not depend on the outer iterator. *)
+  let uses_outer e = List.mem fo.Stmt.f_iter (Expr.free_vars e) in
+  if uses_outer fi.Stmt.f_begin || uses_outer fi.Stmt.f_end then
+    fail "merge: inner loop bounds depend on the outer iterator";
+  let body =
+    fi.Stmt.f_body
+    |> Stmt.subst_var fi.Stmt.f_iter inner_value
+    |> Stmt.subst_var fo.Stmt.f_iter outer_value
+  in
+  let merged =
+    Stmt.for_ ?label:louter.Stmt.label m (Expr.int 0) (Expr.mul len_o len_i)
+      body
+  in
+  let root' = replace_by_id root louter.Stmt.sid (fun _ -> merged) in
+  (root', merged.Stmt.sid)
+
+(** [reorder root sel_outer sel_inner] swaps two perfectly nested loops.
+    Illegal when a dependence has direction (< outer, > inner)
+    (Fig. 12). *)
+let reorder root sel_outer sel_inner =
+  let louter, fo = resolve_loop root sel_outer in
+  let linner, fi =
+    match directly_nested_loop fo with
+    | Some (s, f) -> (s, f)
+    | None -> fail "reorder: loops are not perfectly nested"
+  in
+  (match resolve root sel_inner with
+   | s when s.Stmt.sid = linner.Stmt.sid -> ()
+   | _ -> fail "reorder: %s is not directly nested in %s"
+            (sel_to_string sel_inner) (sel_to_string sel_outer));
+  (* inner bounds must not depend on the outer iterator *)
+  let uses_outer e = List.mem fo.Stmt.f_iter (Expr.free_vars e) in
+  if uses_outer fi.Stmt.f_begin || uses_outer fi.Stmt.f_end then
+    fail "reorder: inner loop bounds depend on the outer iterator";
+  let conflicts =
+    Ft_dep.Dep.may_conflict ~root ~late:fi.Stmt.f_body ~early:fi.Stmt.f_body
+      ~rel:
+        [ (louter.Stmt.sid, Ft_dep.Dep.R_gt);
+          (linner.Stmt.sid, Ft_dep.Dep.R_lt) ]
+      ()
+  in
+  (match conflicts with
+   | [] -> ()
+   | c :: _ ->
+     fail "reorder: blocked by dependence: %s"
+       (Ft_dep.Dep.conflict_to_string c));
+  let new_inner =
+    Stmt.with_node linner (Stmt.For { fo with f_body = fi.Stmt.f_body })
+  in
+  let new_outer =
+    Stmt.with_node louter
+      (Stmt.For { fi with f_body = new_inner })
+  in
+  replace_by_id root louter.Stmt.sid (fun _ -> new_outer)
+
+(** [fission root sel ~after] splits loop [sel], whose body is a sequence,
+    into two consecutive loops: statements up to and including [after],
+    and the rest.  Illegal when a dependence would be reversed: some
+    first-part instance at a later iteration conflicting with a
+    second-part instance at an earlier one (they currently execute the
+    other way around).  Returns [(root', first_id, second_id)]. *)
+let fission root sel ~after =
+  let loop, f = resolve_loop root sel in
+  let after_stmt = resolve root after in
+  let ss =
+    match f.Stmt.f_body.Stmt.node with
+    | Stmt.Seq ss -> ss
+    | _ -> fail "fission: loop body is not a sequence"
+  in
+  let rec split_at acc = function
+    | [] -> fail "fission: %s is not a direct child of the loop body"
+              (sel_to_string after)
+    | s :: rest ->
+      if s.Stmt.sid = after_stmt.Stmt.sid then (List.rev (s :: acc), rest)
+      else split_at (s :: acc) rest
+  in
+  let part1, part2 = split_at [] ss in
+  if part2 = [] then fail "fission: nothing remains for the second loop";
+  let s1 = Stmt.seq part1 and s2 = Stmt.seq part2 in
+  let conflicts =
+    Ft_dep.Dep.may_conflict ~root ~late:s1 ~early:s2
+      ~rel:[ (loop.Stmt.sid, Ft_dep.Dep.R_gt) ]
+      ()
+  in
+  (match conflicts with
+   | [] -> ()
+   | c :: _ ->
+     fail "fission: blocked by dependence: %s"
+       (Ft_dep.Dep.conflict_to_string c));
+  (* Iterator name must stay unique per loop for dependence analysis. *)
+  let iter2 = Names.fresh f.Stmt.f_iter in
+  let s2 = Stmt.subst_var f.Stmt.f_iter (Expr.var iter2) s2 in
+  let l1 =
+    Stmt.with_node loop (Stmt.For { f with f_body = s1 })
+  in
+  let l2 =
+    Stmt.for_ ~property:f.Stmt.f_property iter2 f.Stmt.f_begin f.Stmt.f_end
+      s2
+  in
+  let root' =
+    replace_by_id root loop.Stmt.sid (fun _ -> Stmt.seq [ l1; l2 ])
+  in
+  (root', l1.Stmt.sid, l2.Stmt.sid)
+
+(** [fuse root sel1 sel2] fuses two consecutive loops of provably equal
+    length into one (Fig. 10).  The second body's iterator is remapped by
+    the offset between the loops' begins.  Illegal when a first-body
+    instance at a later iteration conflicts with a second-body instance at
+    an earlier one — that order would flip.  Returns [(root', fused_id)]. *)
+let fuse root sel1 sel2 =
+  let l1, f1 = resolve_loop root sel1 in
+  let l2, f2 = resolve_loop root sel2 in
+  let _parent, _k = consecutive_in_seq root l1.Stmt.sid l2.Stmt.sid in
+  (match f1.Stmt.f_step, f2.Stmt.f_step with
+   | Expr.Int_const 1, Expr.Int_const 1 -> ()
+   | _ -> fail "fuse: only step-1 loops are supported");
+  let len1 = loop_length f1 and len2 = loop_length f2 in
+  if not (provably_equal len1 len2) then
+    fail "fuse: loop lengths %s and %s are not provably equal"
+      (Expr.to_string len1) (Expr.to_string len2);
+  (* remap iterator of the second body: j := i - b1 + b2 *)
+  let remapped =
+    Expr.add (Expr.sub (Expr.var f1.Stmt.f_iter) f1.Stmt.f_begin)
+      f2.Stmt.f_begin
+  in
+  let body2 = Stmt.subst_var f2.Stmt.f_iter remapped f2.Stmt.f_body in
+  let fused_body = Stmt.seq [ f1.Stmt.f_body; body2 ] in
+  let fused =
+    Stmt.with_node l1 (Stmt.For { f1 with f_body = fused_body })
+  in
+  (* Build the candidate AST, then check the dependence condition on it. *)
+  let root' =
+    replace_by_id root l2.Stmt.sid (fun _ -> Stmt.nop ())
+  in
+  let root' = replace_by_id root' l1.Stmt.sid (fun _ -> fused) in
+  let root' =
+    Stmt.map_bottom_up
+      (fun s ->
+        match s.Stmt.node with
+        | Stmt.Seq ss -> Stmt.seq ?label:s.Stmt.label ss
+        | _ -> s)
+      root'
+  in
+  let conflicts =
+    Ft_dep.Dep.may_conflict ~root:root' ~late:f1.Stmt.f_body ~early:body2
+      ~rel:[ (fused.Stmt.sid, Ft_dep.Dep.R_gt) ]
+      ()
+  in
+  (match conflicts with
+   | [] -> ()
+   | c :: _ ->
+     fail "fuse: blocked by dependence: %s"
+       (Ft_dep.Dep.conflict_to_string c));
+  (root', fused.Stmt.sid)
+
+(** [swap root sel1 sel2] swaps two consecutive statements.  Illegal when
+    they conflict at equal iterations of all common loops. *)
+let swap root sel1 sel2 =
+  let s1 = resolve root sel1 in
+  let s2 = resolve root sel2 in
+  let parent, k = consecutive_in_seq root s1.Stmt.sid s2.Stmt.sid in
+  let commons =
+    Ft_dep.Dep.enclosing_loops ~root s1.Stmt.sid
+    |> List.map (fun id -> (id, Ft_dep.Dep.R_eq))
+  in
+  let conflicts =
+    Ft_dep.Dep.may_conflict ~root ~late:s2 ~early:s1 ~rel:commons ()
+  in
+  (match conflicts with
+   | [] -> ()
+   | c :: _ ->
+     fail "swap: blocked by dependence: %s"
+       (Ft_dep.Dep.conflict_to_string c));
+  let ss =
+    match parent.Stmt.node with
+    | Stmt.Seq ss -> ss
+    | _ -> assert false
+  in
+  let swapped =
+    List.mapi
+      (fun i s ->
+        if i = k then List.nth ss (k + 1)
+        else if i = k + 1 then List.nth ss k
+        else s)
+      ss
+  in
+  replace_by_id root parent.Stmt.sid (fun p ->
+      Stmt.with_node p (Stmt.Seq swapped))

@@ -1,0 +1,329 @@
+(** Memory-hierarchy and memory-layout transformations of Table 1:
+    cache, cache_reduce, set_mtype, var_split, var_reorder, var_merge
+    (Section 4.2.3, Fig. 14). *)
+
+open Ft_ir
+open Select
+
+(* Rewrite every access (Load / Store / Reduce_to) to [tensor] in [s],
+   transforming the index list with [f]. *)
+let rewrite_accesses tensor f s =
+  let fix_expr e =
+    Expr.map
+      (function
+        | Expr.Load { l_var; l_indices } when String.equal l_var tensor ->
+          let name, idx = f l_indices in
+          Expr.Load { l_var = name; l_indices = idx }
+        | e -> e)
+      e
+  in
+  (* One pass over all embedded expressions rewrites the Loads; a second
+     pass fixes the written side of Store/Reduce_to.  (Applying the
+     expression rewrite per-node inside map_bottom_up would rewrite inner
+     Loads once per enclosing statement.) *)
+  let s = Stmt.map_exprs fix_expr s in
+  Stmt.map_bottom_up
+    (fun st ->
+      match st.Stmt.node with
+      | Stmt.Store stc when String.equal stc.Stmt.s_var tensor ->
+        let name, idx = f stc.Stmt.s_indices in
+        Stmt.with_node st
+          (Stmt.Store { stc with s_var = name; s_indices = idx })
+      | Stmt.Reduce_to r when String.equal r.Stmt.r_var tensor ->
+        let name, idx = f r.Stmt.r_indices in
+        Stmt.with_node st
+          (Stmt.Reduce_to { r with r_var = name; r_indices = idx })
+      | _ -> st)
+    s
+
+(* Accesses of [tensor] inside subtree [s], using only the loops inside
+   [s] as elimination context (variables bound outside [s] are "kept" in
+   the inferred bounds, as in Fig. 14). *)
+let local_accesses tensor s =
+  List.filter
+    (fun (a : Ft_dep.Access.t) -> String.equal a.a_tensor tensor)
+    (Ft_dep.Access.collect s)
+
+(* Per-dimension [lb, ub] bounds over all accesses; each access uses its
+   own inner-loop context.  Fails when a bound cannot be derived. *)
+let infer_bounds tensor s =
+  let accs = local_accesses tensor s in
+  if accs = [] then fail "cache: tensor %s is not accessed in the region" tensor;
+  let rank = List.length (List.hd accs).Ft_dep.Access.a_indices in
+  if
+    not
+      (List.for_all
+         (fun (a : Ft_dep.Access.t) -> List.length a.a_indices = rank)
+         accs)
+  then fail "cache: inconsistent access ranks on %s" tensor;
+  let ctx_of (a : Ft_dep.Access.t) =
+    List.fold_left
+      (fun ctx (l : Ft_dep.Access.loop_ctx) ->
+        Bounds.bind l.Ft_dep.Access.l_iter
+          { Bounds.lo = l.Ft_dep.Access.l_begin;
+            hi = Expr.sub l.Ft_dep.Access.l_end (Expr.int 1) }
+          ctx)
+      Bounds.empty a.a_loops
+  in
+  let inner_iters =
+    List.concat_map
+      (fun (a : Ft_dep.Access.t) ->
+        List.map (fun (l : Ft_dep.Access.loop_ctx) -> l.Ft_dep.Access.l_iter)
+          a.a_loops)
+      accs
+  in
+  let keep x = not (List.mem x inner_iters) in
+  List.init rank (fun d ->
+      let bounds_for (a : Ft_dep.Access.t) =
+        let idx = List.nth a.a_indices d in
+        let ctx = ctx_of a in
+        match
+          ( Bounds.lower_bound ctx ~keep idx,
+            Bounds.upper_bound ctx ~keep idx )
+        with
+        | Some lo, Some hi -> (lo, hi)
+        | _ ->
+          fail "cache: cannot bound dimension %d of %s (index %s)" d tensor
+            (Expr.to_string idx)
+      in
+      match List.map bounds_for accs with
+      | [] -> assert false
+      | (lo0, hi0) :: rest ->
+        let lo, hi =
+          List.fold_left
+            (fun (lo, hi) (l, h) -> (Expr.min_ lo l, Expr.max_ hi h))
+            (lo0, hi0) rest
+        in
+        (Linear.simplify_expr lo, Linear.simplify_expr hi))
+
+(* Nested loop nest [for c0 < n0: ... body(c0..ck)] with fresh iters. *)
+let loop_nest prefix (extents : Expr.t list) body_of =
+  let iters = List.map (fun _ -> Names.fresh prefix) extents in
+  let body = body_of (List.map Expr.var iters) in
+  List.fold_right2
+    (fun it extent acc -> Stmt.for_ it (Expr.int 0) extent acc)
+    iters extents body
+
+(** [cache root sel tensor ~dtype mtype] introduces a local copy of the
+    region of [tensor] accessed inside statement [sel] (Fig. 14): fetch
+    before, redirect all accesses, store back after (when writes exist).
+    Returns [(root', cache_name)]. *)
+let cache root sel tensor ~dtype mtype =
+  let region = resolve root sel in
+  let bounds = infer_bounds tensor region in
+  let lbs = List.map fst bounds in
+  let extents =
+    List.map
+      (fun (lo, hi) ->
+        Linear.simplify_expr (Expr.add (Expr.sub hi lo) (Expr.int 1)))
+      bounds
+  in
+  let cache_name = Names.fresh (tensor ^ ".cache") in
+  let shift idx =
+    (cache_name, List.map2 (fun e lb -> Expr.sub e lb) idx lbs)
+  in
+  let region' = rewrite_accesses tensor shift region in
+  let has_write =
+    List.exists Ft_dep.Access.is_write (local_accesses tensor region)
+  in
+  let fetch =
+    loop_nest (tensor ^ ".ci") extents (fun cs ->
+        Stmt.store cache_name cs
+          (Expr.load tensor (List.map2 Expr.add lbs cs)))
+  in
+  let writeback =
+    if has_write then
+      [ loop_nest (tensor ^ ".co") extents (fun cs ->
+            Stmt.store tensor
+              (List.map2 Expr.add lbs cs)
+              (Expr.load cache_name cs)) ]
+    else []
+  in
+  let wrapped =
+    Stmt.var_def cache_name dtype mtype extents
+      (Stmt.seq ((fetch :: [ region' ]) @ writeback))
+  in
+  let root' = replace_by_id root region.Stmt.sid (fun _ -> wrapped) in
+  (root', cache_name)
+
+let neutral_element op dtype =
+  let fl v = if Types.is_float dtype then Expr.float v else Expr.int (int_of_float v) in
+  match op with
+  | Types.R_add -> fl 0.0
+  | Types.R_mul -> fl 1.0
+  | Types.R_min -> Expr.float infinity
+  | Types.R_max -> Expr.float neg_infinity
+
+(** [cache_reduce root sel tensor ~dtype mtype] caches reductions into
+    [tensor] inside [sel]: a local accumulator is initialized to the
+    neutral element, the region reduces into it, and it is reduced back
+    into [tensor] afterwards.  All accesses in the region must be
+    [Reduce_to] with one operator.  Returns [(root', cache_name)]. *)
+let cache_reduce root sel tensor ~dtype mtype =
+  let region = resolve root sel in
+  let accs = local_accesses tensor region in
+  let op =
+    match accs with
+    | [] -> fail "cache_reduce: %s not accessed in the region" tensor
+    | a :: rest -> (
+      match a.Ft_dep.Access.a_kind with
+      | Ft_dep.Access.Reduce op
+        when List.for_all
+               (fun (b : Ft_dep.Access.t) ->
+                 b.a_kind = Ft_dep.Access.Reduce op)
+               rest ->
+        op
+      | _ ->
+        fail "cache_reduce: %s has non-reduction accesses in the region"
+          tensor)
+  in
+  let bounds = infer_bounds tensor region in
+  let lbs = List.map fst bounds in
+  let extents =
+    List.map
+      (fun (lo, hi) ->
+        Linear.simplify_expr (Expr.add (Expr.sub hi lo) (Expr.int 1)))
+      bounds
+  in
+  let cache_name = Names.fresh (tensor ^ ".rcache") in
+  let shift idx =
+    (cache_name, List.map2 (fun e lb -> Expr.sub e lb) idx lbs)
+  in
+  let region' = rewrite_accesses tensor shift region in
+  let init =
+    loop_nest (tensor ^ ".ri") extents (fun cs ->
+        Stmt.store cache_name cs (neutral_element op dtype))
+  in
+  let writeback =
+    loop_nest (tensor ^ ".ro") extents (fun cs ->
+        Stmt.reduce_to tensor (List.map2 Expr.add lbs cs) op
+          (Expr.load cache_name cs))
+  in
+  let wrapped =
+    Stmt.var_def cache_name dtype mtype extents
+      (Stmt.seq [ init; region'; writeback ])
+  in
+  let root' = replace_by_id root region.Stmt.sid (fun _ -> wrapped) in
+  (root', cache_name)
+
+(* Find the Var_def of [tensor]. *)
+let find_def root tensor =
+  match
+    Stmt.find_opt
+      (fun s ->
+        match s.Stmt.node with
+        | Stmt.Var_def d -> String.equal d.Stmt.d_name tensor
+        | _ -> false)
+      root
+  with
+  | Some s -> s
+  | None -> fail "tensor %s is not defined by a create_var here" tensor
+
+(** [set_mtype root tensor mtype] moves a tensor to another memory
+    (registers / shared / global...; the auto_mem_type pass drives it). *)
+let set_mtype root tensor mtype =
+  let def = find_def root tensor in
+  replace_by_id root def.Stmt.sid (fun s ->
+      match s.Stmt.node with
+      | Stmt.Var_def d -> Stmt.with_node s (Stmt.Var_def { d with d_mtype = mtype })
+      | _ -> assert false)
+
+(** [var_split root tensor ~dim ~factor] splits tensor dimension [dim]
+    into [ceil(n/factor), factor]; every access index [e] becomes
+    [e // factor, e % factor]. *)
+let var_split root tensor ~dim ~factor =
+  if factor <= 0 then fail "var_split: factor must be positive";
+  let def = find_def root tensor in
+  let d =
+    match def.Stmt.node with
+    | Stmt.Var_def d -> d
+    | _ -> assert false
+  in
+  if dim < 0 || dim >= List.length d.Stmt.d_shape then
+    fail "var_split: dimension %d out of range" dim;
+  let shape' =
+    List.concat
+      (List.mapi
+         (fun k e ->
+           if k = dim then
+             [ Expr.floor_div
+                 (Expr.add e (Expr.int (factor - 1)))
+                 (Expr.int factor);
+               Expr.int factor ]
+           else [ e ])
+         d.Stmt.d_shape)
+  in
+  let fix idx =
+    ( tensor,
+      List.concat
+        (List.mapi
+           (fun k e ->
+             if k = dim then
+               [ Expr.floor_div e (Expr.int factor);
+                 Expr.mod_ e (Expr.int factor) ]
+             else [ e ])
+           idx) )
+  in
+  let body' = rewrite_accesses tensor fix d.Stmt.d_body in
+  replace_by_id root def.Stmt.sid (fun s ->
+      Stmt.with_node s
+        (Stmt.Var_def { d with d_shape = shape'; d_body = body' }))
+
+(** [var_reorder root tensor ~dim1 ~dim2] transposes two tensor
+    dimensions (memory-layout optimization for spatial locality). *)
+let var_reorder root tensor ~dim1 ~dim2 =
+  let def = find_def root tensor in
+  let d =
+    match def.Stmt.node with
+    | Stmt.Var_def d -> d
+    | _ -> assert false
+  in
+  let rank = List.length d.Stmt.d_shape in
+  if dim1 < 0 || dim1 >= rank || dim2 < 0 || dim2 >= rank then
+    fail "var_reorder: dimension out of range";
+  let permute l =
+    List.mapi
+      (fun k e ->
+        if k = dim1 then List.nth l dim2
+        else if k = dim2 then List.nth l dim1
+        else e)
+      l
+  in
+  let fix idx = (tensor, permute idx) in
+  let body' = rewrite_accesses tensor fix d.Stmt.d_body in
+  replace_by_id root def.Stmt.sid (fun s ->
+      Stmt.with_node s
+        (Stmt.Var_def
+           { d with d_shape = permute d.Stmt.d_shape; d_body = body' }))
+
+(** [var_merge root tensor ~dim] merges dimensions [dim] and [dim+1];
+    indices [i, j] become [i * n_{dim+1} + j]. *)
+let var_merge root tensor ~dim =
+  let def = find_def root tensor in
+  let d =
+    match def.Stmt.node with
+    | Stmt.Var_def d -> d
+    | _ -> assert false
+  in
+  let rank = List.length d.Stmt.d_shape in
+  if dim < 0 || dim + 1 >= rank then
+    fail "var_merge: needs two adjacent dimensions";
+  let inner_extent = List.nth d.Stmt.d_shape (dim + 1) in
+  let rec merge_list k = function
+    | a :: b :: rest when k = dim ->
+      Expr.mul a b :: rest
+    | x :: rest -> x :: merge_list (k + 1) rest
+    | [] -> []
+  in
+  let rec merge_idx k = function
+    | a :: b :: rest when k = dim ->
+      Expr.add (Expr.mul a inner_extent) b :: rest
+    | x :: rest -> x :: merge_idx (k + 1) rest
+    | [] -> []
+  in
+  let fix idx = (tensor, merge_idx 0 idx) in
+  let body' = rewrite_accesses tensor fix d.Stmt.d_body in
+  replace_by_id root def.Stmt.sid (fun s ->
+      Stmt.with_node s
+        (Stmt.Var_def
+           { d with d_shape = merge_list 0 d.Stmt.d_shape; d_body = body' }))

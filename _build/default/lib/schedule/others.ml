@@ -1,0 +1,110 @@
+(** Remaining Table-1 transformations: as_lib (fall back to a vendor
+    library for recognized computations) and separate_tail (peel guarded
+    tail iterations introduced by split). *)
+
+open Ft_ir
+open Select
+
+(* Recognize [for i: for j: for k: c[i,j] += a[i,k] * b[k,j]] (with the
+   reduction loop innermost); this is the GEMM pattern as_lib maps to
+   cuBLAS/MKL. *)
+let match_gemm (s : Stmt.t) =
+  let open Stmt in
+  match s.node with
+  | For fi -> (
+    match directly_nested_loop fi with
+    | Some (_, fj) -> (
+      match directly_nested_loop fj with
+      | Some (_, fk) -> (
+        match fk.f_body.node with
+        | Reduce_to
+            { r_var = c; r_op = Types.R_add;
+              r_indices = [ Expr.Var i1; Expr.Var j1 ];
+              r_value =
+                Expr.Binop
+                  ( Expr.Mul,
+                    Expr.Load { l_var = a; l_indices = [ Expr.Var i2; Expr.Var k1 ] },
+                    Expr.Load { l_var = b; l_indices = [ Expr.Var k2; Expr.Var j2 ] } );
+              _ }
+          when i1 = fi.f_iter && j1 = fj.f_iter && i2 = fi.f_iter
+               && k1 = fk.f_iter && k2 = fk.f_iter && j2 = fj.f_iter ->
+          Some (c, a, b)
+        | _ -> None)
+      | None -> None)
+    | None -> None)
+  | _ -> None
+
+(** [as_lib root sel] wraps the statement in a [Lib_call] when it matches
+    a known library computation (currently GEMM).  The executor then
+    charges vendor-library cost and a single kernel launch for it; the
+    reference interpreter still runs the original body. *)
+let as_lib root sel =
+  let s = resolve root sel in
+  match match_gemm s with
+  | Some (c, a, b) ->
+    let lib = Printf.sprintf "gemm:%s+=%s@%s" c a b in
+    let root' =
+      replace_by_id root s.Stmt.sid (fun s -> Stmt.lib_call lib s)
+    in
+    (root', lib)
+  | None ->
+    fail "as_lib: statement %s does not match a known library pattern"
+      (sel_to_string sel)
+
+(** [separate_tail root sel] removes a monotone affine guard [If] that
+    wraps the whole body of loop [sel] by shrinking the loop to the exact
+    range where the guard holds (Table 1: "separate the main body and
+    tailing iterations of a loop, to reduce branching overhead").
+
+    Handles guards [e < t] / [e <= t] / [e >= t] / [e > t] where [e-t] is
+    affine with coefficient +1 or -1 on the loop iterator.  Guards with an
+    else-branch are not supported.  Returns [(root', new_loop_id)]. *)
+let separate_tail root sel =
+  let loop, f = resolve_loop root sel in
+  (match f.Stmt.f_step with
+   | Expr.Int_const 1 -> ()
+   | _ -> fail "separate_tail: only step-1 loops are supported");
+  let cond, inner =
+    match f.Stmt.f_body.Stmt.node with
+    | Stmt.If { i_cond; i_then; i_else = None } -> (i_cond, i_then)
+    | Stmt.If _ -> fail "separate_tail: guard has an else branch"
+    | _ -> fail "separate_tail: loop body is not a guarded block"
+  in
+  (* Normalize the guard to [lin >= 0], affine in the iterator. *)
+  let lin_opt =
+    match cond with
+    | Expr.Binop (Expr.Ge, a, b) -> Linear.of_expr (Expr.sub a b)
+    | Expr.Binop (Expr.Gt, a, b) ->
+      Linear.of_expr (Expr.sub (Expr.sub a b) (Expr.int 1))
+    | Expr.Binop (Expr.Le, a, b) -> Linear.of_expr (Expr.sub b a)
+    | Expr.Binop (Expr.Lt, a, b) ->
+      Linear.of_expr (Expr.sub (Expr.sub b a) (Expr.int 1))
+    | _ -> None
+  in
+  let lin =
+    match lin_opt with
+    | Some l -> l
+    | None -> fail "separate_tail: guard is not an affine comparison"
+  in
+  let coeff = Linear.coeff f.Stmt.f_iter lin in
+  if abs coeff <> 1 then
+    fail "separate_tail: iterator coefficient must be +/-1 (got %d)" coeff;
+  (* lin = coeff*iter + rest >= 0; [rest] may mention loop-invariant
+     variables only, which is guaranteed since the guard wraps the whole
+     body and sees no inner iterators.
+     coeff = +1: guard holds iff iter >= -rest  -> range [max(b,-rest), e);
+     coeff = -1: guard holds iff iter <= rest   -> range [b, min(e,rest+1)). *)
+  let rest = Linear.add_term f.Stmt.f_iter (-coeff) lin in
+  let b = f.Stmt.f_begin and e = f.Stmt.f_end in
+  let lo, hi =
+    if coeff = 1 then
+      (Expr.max_ b (Linear.to_expr (Linear.neg rest)), e)
+    else
+      (b, Expr.min_ e (Expr.add (Linear.to_expr rest) (Expr.int 1)))
+  in
+  let new_loop =
+    Stmt.with_node loop
+      (Stmt.For { f with f_begin = lo; f_end = hi; f_body = inner })
+  in
+  let root' = replace_by_id root loop.Stmt.sid (fun _ -> new_loop) in
+  (root', new_loop.Stmt.sid)

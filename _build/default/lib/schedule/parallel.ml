@@ -1,0 +1,166 @@
+(** Parallelizing transformations of Table 1: parallelize, unroll, blend,
+    vectorize (Section 4.2.2, Fig. 13). *)
+
+open Ft_ir
+open Select
+
+(* A loop is parallelizable when it carries no dependence — where
+   commuting reductions are filtered out (Fig. 12(c)/13(d)). *)
+let check_carried root loop what =
+  match Ft_dep.Dep.carried_by ~root ~loop () with
+  | [] -> ()
+  | c :: _ ->
+    fail "%s: loop carries a dependence: %s" what
+      (Ft_dep.Dep.conflict_to_string c)
+
+(* Which Reduce_to statements inside [body] need atomics when the loop is
+   run in parallel: those still conflicting across iterations when
+   reduction commutativity is ignored (Fig. 13(e): a[idx[i]] += b[i]). *)
+let atomic_candidates root loop =
+  Ft_dep.Dep.carried_by ~reduce_commutes:false ~root ~loop ()
+  |> List.concat_map (fun (c : Ft_dep.Dep.conflict) ->
+         [ c.Ft_dep.Dep.c_late.Ft_dep.Access.a_stmt;
+           c.Ft_dep.Dep.c_early.Ft_dep.Access.a_stmt ])
+  |> List.sort_uniq compare
+
+(** [parallelize root sel scope] binds loop [sel] to a hardware parallel
+    scope.  Carried dependences make it illegal, except commuting
+    reductions, which are lowered to atomic updates when their targets may
+    alias across iterations. *)
+let parallelize root sel scope =
+  let loop, f = resolve_loop root sel in
+  check_carried root loop "parallelize";
+  (* No two loops in one nest may bind the same scope. *)
+  let clash = ref false in
+  Stmt.iter
+    (fun s ->
+      match s.Stmt.node with
+      | Stmt.For g when g.Stmt.f_property.parallel = Some scope -> clash := true
+      | _ -> ())
+    f.Stmt.f_body;
+  List.iter
+    (fun id ->
+      match Stmt.find_by_id id root with
+      | Some { Stmt.node = Stmt.For g; _ }
+        when g.Stmt.f_property.parallel = Some scope ->
+        clash := true
+      | _ -> ())
+    (Ft_dep.Dep.enclosing_loops ~root loop.Stmt.sid);
+  if !clash then
+    fail "parallelize: scope %s already bound in this nest"
+      (Types.parallel_scope_to_string scope);
+  let atomics = atomic_candidates root loop in
+  let body =
+    if atomics = [] then f.Stmt.f_body
+    else
+      Stmt.map_bottom_up
+        (fun s ->
+          match s.Stmt.node with
+          | Stmt.Reduce_to r when List.mem s.Stmt.sid atomics ->
+            Stmt.with_node s (Stmt.Reduce_to { r with r_atomic = true })
+          | _ -> s)
+        f.Stmt.f_body
+  in
+  let property = { f.Stmt.f_property with parallel = Some scope } in
+  replace_by_id root loop.Stmt.sid (fun l ->
+      Stmt.with_node l (Stmt.For { f with f_property = property; f_body = body }))
+
+(** [unroll root sel] fully unrolls a constant-trip-count loop into a
+    sequence of bodies.  Always legal (execution order unchanged). *)
+let unroll root sel =
+  let loop, f = resolve_loop root sel in
+  let trip =
+    match f.Stmt.f_begin, f.Stmt.f_end, f.Stmt.f_step with
+    | Expr.Int_const b, Expr.Int_const e, Expr.Int_const st when st > 0 ->
+      (b, e, st)
+    | _ -> fail "unroll: loop bounds are not constant"
+  in
+  let b, e, st = trip in
+  let n = max 0 ((e - b + st - 1) / st) in
+  if n > 64 then fail "unroll: trip count %d too large" n;
+  let copies =
+    List.init n (fun k ->
+        (* fresh ids per copy so selectors stay unambiguous *)
+        let rec refresh (s : Stmt.t) =
+          let s = { s with Stmt.sid = Stmt.fresh_id (); label = None } in
+          Stmt.with_children s (List.map refresh (Stmt.children s))
+        in
+        refresh
+          (Stmt.subst_var f.Stmt.f_iter
+             (Expr.int (b + (k * st)))
+             f.Stmt.f_body))
+  in
+  replace_by_id root loop.Stmt.sid (fun _ -> Stmt.seq copies)
+
+(** [blend root sel] unrolls the loop and interleaves: all iterations of
+    the first body statement, then all of the second, etc.  This reorders
+    execution, so each later-in-sequence statement must not conflict with
+    an earlier-in-sequence one across iterations in the reversed
+    direction. *)
+let blend root sel =
+  let loop, f = resolve_loop root sel in
+  let ss =
+    match f.Stmt.f_body.Stmt.node with
+    | Stmt.Seq ss -> ss
+    | _ -> [ f.Stmt.f_body ]
+  in
+  (* For i < j (si before sj in the body), after blending every si runs
+     before every sj; originally sj@q ran before si@p when q < p.  Check
+     that no such conflicting pair exists. *)
+  let rec check_pairs = function
+    | [] -> ()
+    | si :: rest ->
+      List.iter
+        (fun sj ->
+          match
+            Ft_dep.Dep.may_conflict ~root ~late:si ~early:sj
+              ~rel:[ (loop.Stmt.sid, Ft_dep.Dep.R_gt) ]
+              ()
+          with
+          | [] -> ()
+          | c :: _ ->
+            fail "blend: blocked by dependence: %s"
+              (Ft_dep.Dep.conflict_to_string c))
+        rest;
+      check_pairs rest
+  in
+  check_pairs ss;
+  let trip =
+    match f.Stmt.f_begin, f.Stmt.f_end, f.Stmt.f_step with
+    | Expr.Int_const b, Expr.Int_const e, Expr.Int_const st when st > 0 ->
+      (b, e, st)
+    | _ -> fail "blend: loop bounds are not constant"
+  in
+  let b, e, st = trip in
+  let n = max 0 ((e - b + st - 1) / st) in
+  if n > 64 then fail "blend: trip count %d too large" n;
+  let rec refresh (s : Stmt.t) =
+    let s = { s with Stmt.sid = Stmt.fresh_id (); label = None } in
+    Stmt.with_children s (List.map refresh (Stmt.children s))
+  in
+  let blended =
+    List.concat_map
+      (fun stmt ->
+        List.init n (fun k ->
+            refresh
+              (Stmt.subst_var f.Stmt.f_iter (Expr.int (b + (k * st))) stmt)))
+      ss
+  in
+  replace_by_id root loop.Stmt.sid (fun _ -> Stmt.seq blended)
+
+(** [vectorize root sel] marks an innermost loop for SIMD execution.
+    Requires no carried dependence and no nested loop inside. *)
+let vectorize root sel =
+  let loop, f = resolve_loop root sel in
+  let has_inner_loop = ref false in
+  Stmt.iter
+    (fun s ->
+      match s.Stmt.node with
+      | Stmt.For _ when s.Stmt.sid <> loop.Stmt.sid -> has_inner_loop := true
+      | _ -> ())
+    loop;
+  if !has_inner_loop then fail "vectorize: loop is not innermost";
+  check_carried root loop "vectorize";
+  let property = { f.Stmt.f_property with vectorize = true } in
+  replace_by_id root loop.Stmt.sid (fun l ->
+      Stmt.with_node l (Stmt.For { f with f_property = property }))

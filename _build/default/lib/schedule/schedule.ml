@@ -1,0 +1,139 @@
+(** User-facing schedule object: a mutable wrapper around a function under
+    transformation, exposing every Table-1 transformation.  All
+    transformations are dependence-checked; illegal ones raise
+    {!Select.Invalid_schedule} and leave the program unchanged, so callers
+    (including the auto-scheduler) may "aggressively try transformations
+    without worrying about their correctness" (Section 4.3). *)
+
+open Ft_ir
+
+type t = {
+  mutable fn : Stmt.func;
+}
+
+exception Invalid = Select.Invalid_schedule
+
+type sel = Select.sel =
+  | By_id of int
+  | By_label of string
+
+let of_func fn = { fn }
+let func t = t.fn
+let body t = t.fn.Stmt.fn_body
+let to_string t = Printer.func_to_string t.fn
+
+let set_body t b = t.fn <- { t.fn with Stmt.fn_body = b }
+
+(** Run the cleanup passes; applied automatically after transformations
+    that can leave degenerate loops or dead branches. *)
+let simplify t = set_body t (Ft_passes.Simplify.run_stmt (body t))
+
+let find t sel = Select.resolve (body t) sel
+let find_label t l = Select.resolve (body t) (By_label l)
+
+(** Innermost loops, outermost loops, all loops — selector helpers. *)
+let all_loops t =
+  Stmt.find_all
+    (fun s -> match s.Stmt.node with Stmt.For _ -> true | _ -> false)
+    (body t)
+
+let dtype_of t tensor =
+  (* a tensor is either defined in the body or a function parameter *)
+  let from_def =
+    Stmt.find_opt
+      (fun s ->
+        match s.Stmt.node with
+        | Stmt.Var_def d -> String.equal d.Stmt.d_name tensor
+        | _ -> false)
+      (body t)
+  in
+  match from_def with
+  | Some { Stmt.node = Stmt.Var_def d; _ } -> d.Stmt.d_dtype
+  | _ -> (
+    match
+      List.find_opt
+        (fun (p : Stmt.param) -> String.equal p.Stmt.p_name tensor)
+        t.fn.Stmt.fn_params
+    with
+    | Some p -> p.Stmt.p_dtype
+    | None -> Select.fail "unknown tensor %s" tensor)
+
+(* -- loop transformations -- *)
+
+let split t sel ~factor =
+  let b, o, i = Loops.split (body t) sel ~factor in
+  set_body t b;
+  (By_id o, By_id i)
+
+let merge t sel_outer sel_inner =
+  let b, m = Loops.merge (body t) sel_outer sel_inner in
+  set_body t b;
+  By_id m
+
+let reorder t sel_outer sel_inner =
+  set_body t (Loops.reorder (body t) sel_outer sel_inner)
+
+let fission t sel ~after =
+  let b, l1, l2 = Loops.fission (body t) sel ~after in
+  set_body t b;
+  (By_id l1, By_id l2)
+
+let fuse t sel1 sel2 =
+  let b, f = Loops.fuse (body t) sel1 sel2 in
+  set_body t b;
+  By_id f
+
+let swap t sel1 sel2 = set_body t (Loops.swap (body t) sel1 sel2)
+
+(* -- parallelizing transformations -- *)
+
+let parallelize t sel scope =
+  set_body t (Parallel.parallelize (body t) sel scope)
+
+let unroll t sel =
+  set_body t (Parallel.unroll (body t) sel);
+  simplify t
+
+let blend t sel =
+  set_body t (Parallel.blend (body t) sel);
+  simplify t
+
+let vectorize t sel = set_body t (Parallel.vectorize (body t) sel)
+
+(* -- memory transformations -- *)
+
+let cache t sel tensor mtype =
+  let dtype = dtype_of t tensor in
+  let b, name = Memory.cache (body t) sel tensor ~dtype mtype in
+  set_body t b;
+  name
+
+let cache_reduce t sel tensor mtype =
+  let dtype = dtype_of t tensor in
+  let b, name = Memory.cache_reduce (body t) sel tensor ~dtype mtype in
+  set_body t b;
+  name
+
+let set_mtype t tensor mtype = set_body t (Memory.set_mtype (body t) tensor mtype)
+
+let var_split t tensor ~dim ~factor =
+  set_body t (Memory.var_split (body t) tensor ~dim ~factor)
+
+let var_reorder t tensor ~dim1 ~dim2 =
+  set_body t (Memory.var_reorder (body t) tensor ~dim1 ~dim2)
+
+let var_merge t tensor ~dim =
+  set_body t (Memory.var_merge (body t) tensor ~dim)
+
+(* -- others -- *)
+
+let as_lib t sel =
+  let b, lib = Others.as_lib (body t) sel in
+  set_body t b;
+  lib
+
+let separate_tail t sel =
+  let b, id = Others.separate_tail (body t) sel in
+  set_body t b;
+  simplify t;
+  By_id id

@@ -1,0 +1,114 @@
+(** User-facing schedule object (paper Section 4.2, Table 1).
+
+    A mutable wrapper around a function under transformation, exposing all
+    seventeen schedule transformations.  Every transformation is
+    dependence-checked; an illegal request raises {!Invalid} and leaves
+    the program unchanged, so callers — including the auto-scheduler —
+    may "aggressively try transformations without worrying about their
+    correctness" (Section 4.3). *)
+
+open Ft_ir
+
+type t
+
+exception Invalid of string
+
+(** Statement selectors: by unique id or by user label. *)
+type sel = Select.sel =
+  | By_id of int
+  | By_label of string
+
+(** {1 Construction and access} *)
+
+val of_func : Stmt.func -> t
+val func : t -> Stmt.func
+val body : t -> Stmt.t
+val to_string : t -> string
+
+(** Run the cleanup passes on the current program. *)
+val simplify : t -> unit
+
+(** Resolve a selector; raises {!Invalid} when absent. *)
+val find : t -> sel -> Stmt.t
+
+val find_label : t -> string -> Stmt.t
+
+(** Every [For] statement in the current program. *)
+val all_loops : t -> Stmt.t list
+
+(** Element type of a tensor (parameter or local definition). *)
+val dtype_of : t -> string -> Types.dtype
+
+(** {1 Loop transformations} *)
+
+(** [split t sel ~factor] splits a loop into an outer loop of
+    [ceil(len/factor)] iterations and an inner loop of [factor],
+    guarding the remainder.  Returns the new (outer, inner) selectors. *)
+val split : t -> sel -> factor:int -> sel * sel
+
+(** Merge two perfectly nested loops into one over the product space. *)
+val merge : t -> sel -> sel -> sel
+
+(** Swap two perfectly nested loops (Fig. 12); illegal when a dependence
+    has direction (<, >) across them. *)
+val reorder : t -> sel -> sel -> unit
+
+(** Split a loop whose body is a sequence into two consecutive loops,
+    cutting after statement [after]. *)
+val fission : t -> sel -> after:sel -> sel * sel
+
+(** Fuse two consecutive equal-length loops into one (Fig. 10). *)
+val fuse : t -> sel -> sel -> sel
+
+(** Swap two consecutive statements; illegal when they conflict at equal
+    iterations of all common loops. *)
+val swap : t -> sel -> sel -> unit
+
+(** {1 Parallelizing transformations (Fig. 13)} *)
+
+(** Bind a loop to a hardware parallel scope.  Carried dependences are
+    illegal, except commuting reductions, which are marked atomic when
+    their targets may alias across iterations (Fig. 13(e)). *)
+val parallelize : t -> sel -> Types.parallel_scope -> unit
+
+(** Fully unroll a constant-trip-count loop. *)
+val unroll : t -> sel -> unit
+
+(** Unroll a loop and interleave its statements across iterations. *)
+val blend : t -> sel -> unit
+
+(** Mark an innermost, dependence-free loop for SIMD execution. *)
+val vectorize : t -> sel -> unit
+
+(** {1 Memory transformations (Section 4.2.3, Fig. 14)} *)
+
+(** [cache t sel tensor mtype] copies the region of [tensor] accessed
+    inside [sel] into a new local tensor in [mtype]: fetch before,
+    redirect accesses, store back after.  Returns the cache's name. *)
+val cache : t -> sel -> string -> Types.mtype -> string
+
+(** Like {!cache} for reduction targets: a local accumulator initialized
+    to the neutral element, reduced back afterwards. *)
+val cache_reduce : t -> sel -> string -> Types.mtype -> string
+
+(** Move a locally-defined tensor to another memory. *)
+val set_mtype : t -> string -> Types.mtype -> unit
+
+(** Split tensor dimension [dim] into [(ceil(n/factor), factor)]. *)
+val var_split : t -> string -> dim:int -> factor:int -> unit
+
+(** Transpose two tensor dimensions (memory-layout optimization). *)
+val var_reorder : t -> string -> dim1:int -> dim2:int -> unit
+
+(** Merge tensor dimensions [dim] and [dim+1]. *)
+val var_merge : t -> string -> dim:int -> unit
+
+(** {1 Others} *)
+
+(** Replace a recognized computation (currently GEMM loop nests) with a
+    vendor-library call; returns the library tag. *)
+val as_lib : t -> sel -> string
+
+(** Shrink a loop wrapped in a monotone affine guard to the exact
+    iteration range where the guard holds. *)
+val separate_tail : t -> sel -> sel

@@ -1,0 +1,106 @@
+(** Statement selectors and AST surgery helpers shared by all schedule
+    transformations.
+
+    Statements are addressed by unique id or by user label (Section 4.3:
+    "We provide an API to query a statement in the program in order to
+    apply a transformation"). *)
+
+open Ft_ir
+
+exception Invalid_schedule of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_schedule s)) fmt
+
+type sel =
+  | By_id of int
+  | By_label of string
+
+let sel_to_string = function
+  | By_id i -> Printf.sprintf "#%d" i
+  | By_label l -> l
+
+let resolve (root : Stmt.t) (sel : sel) : Stmt.t =
+  let found =
+    match sel with
+    | By_id i -> Stmt.find_by_id i root
+    | By_label l -> Stmt.find_by_label l root
+  in
+  match found with
+  | Some s -> s
+  | None -> fail "statement %s not found" (sel_to_string sel)
+
+let resolve_loop root sel =
+  let s = resolve root sel in
+  match s.Stmt.node with
+  | Stmt.For f -> (s, f)
+  | _ -> fail "statement %s is not a loop" (sel_to_string sel)
+
+(** Replace the statement with id [id] by [mk old]. *)
+let replace_by_id root id mk =
+  let replaced = ref false in
+  let root' =
+    Stmt.map_top_down
+      (fun s recurse ->
+        if s.Stmt.sid = id then begin
+          replaced := true;
+          mk s
+        end
+        else recurse s)
+      root
+  in
+  if not !replaced then fail "statement #%d vanished during scheduling" id;
+  root'
+
+(** The parent of statement [id], or None if [id] is the root. *)
+let parent_of root id =
+  let res = ref None in
+  Stmt.iter
+    (fun s ->
+      if List.exists (fun c -> c.Stmt.sid = id) (Stmt.children s) then
+        res := Some s)
+    root;
+  !res
+
+(** For two statements expected to be consecutive children of the same
+    [Seq], return (parent, index of first).  Used by swap/fuse. *)
+let consecutive_in_seq root id1 id2 =
+  match parent_of root id1 with
+  | Some ({ Stmt.node = Stmt.Seq ss; _ } as parent) ->
+    let rec find k = function
+      | a :: b :: _ when a.Stmt.sid = id1 && b.Stmt.sid = id2 -> Some k
+      | _ :: rest -> find (k + 1) rest
+      | [] -> None
+    in
+    (match find 0 ss with
+     | Some k -> (parent, k)
+     | None -> fail "statements #%d and #%d are not consecutive" id1 id2)
+  | _ -> fail "statement #%d is not inside a sequence" id1
+
+(** The unique loop directly nested in [outer] (perfect nesting check):
+    the body must be exactly one [For], possibly via a singleton Seq. *)
+let directly_nested_loop (f : Stmt.for_loop) =
+  let rec peel (s : Stmt.t) =
+    match s.Stmt.node with
+    | Stmt.For g -> Some (s, g)
+    | Stmt.Seq [ x ] -> peel x
+    | _ -> None
+  in
+  peel f.Stmt.f_body
+
+(** Loop trip count as an expression (positive step assumed). *)
+let loop_length (f : Stmt.for_loop) =
+  let diff = Expr.sub f.Stmt.f_end f.Stmt.f_begin in
+  match f.Stmt.f_step with
+  | Expr.Int_const 1 -> diff
+  | st ->
+    Expr.floor_div (Expr.sub (Expr.add diff st) (Expr.int 1)) st
+
+(** Do two expressions denote provably the same value?  Used by [fuse] to
+    compare loop lengths.  Structural equality after smart-constructor
+    normalization, or constant difference zero. *)
+let provably_equal a b =
+  Expr.equal a b
+  ||
+  match Linear.of_expr (Expr.sub a b) with
+  | Some l -> Linear.const_value l = Some 0
+  | None -> false

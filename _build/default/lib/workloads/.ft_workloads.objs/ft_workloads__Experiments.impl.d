@@ -1,0 +1,1 @@
+lib/workloads/experiments.ml: Ft_ad Ft_auto Ft_backend Ft_baselines Ft_ir Ft_machine Ft_passes Gat List Longformer Printf Softras Stdlib Subdivnet Tvmlike Types Unix

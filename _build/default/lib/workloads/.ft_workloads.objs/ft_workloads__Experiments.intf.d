@@ -1,0 +1,1 @@
+lib/workloads/experiments.mli: Ft_ad Ft_ir Ft_machine Gat Longformer Softras Stmt Subdivnet Types

@@ -1,0 +1,1 @@
+lib/workloads/longformer.ml: Array Expr Float Ft_baselines Ft_frontend Ft_ir Ft_libop Ft_runtime Stmt Tensor Types

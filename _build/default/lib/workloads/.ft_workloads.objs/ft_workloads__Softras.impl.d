@@ -1,0 +1,1 @@
+lib/workloads/softras.ml: Expr Float Ft_baselines Ft_frontend Ft_ir Ft_runtime Stmt Tensor Types

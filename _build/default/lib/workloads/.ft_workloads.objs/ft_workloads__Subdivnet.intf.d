@@ -1,0 +1,1 @@
+lib/workloads/subdivnet.mli: Ft_baselines Ft_ir Ft_runtime Stmt Tensor

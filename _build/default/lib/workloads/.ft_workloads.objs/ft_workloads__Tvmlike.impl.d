@@ -1,0 +1,1 @@
+lib/workloads/tvmlike.ml: Expr Ft_backend Ft_baselines Ft_frontend Ft_ir Ft_libop Ft_machine Gat List Longformer Softras Stmt Subdivnet Types

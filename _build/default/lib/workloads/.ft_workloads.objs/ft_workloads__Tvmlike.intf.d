@@ -1,0 +1,1 @@
+lib/workloads/tvmlike.mli: Ft_ir Gat Longformer Softras Subdivnet Types

@@ -1,0 +1,314 @@
+(** The paper's experiment matrix (Section 6): every (workload, device,
+    framework) cell of Figs. 16(a-b), the Fig. 17 counters, the Fig. 18
+    materialization ablation, and the Table 2 compile times, computed on
+    the abstract machine.
+
+    Cells report either metrics or the paper's failure modes: OOM (the
+    program cannot fit device memory) and ICE (the framework cannot
+    compile the workload). *)
+
+open Ft_ir
+module Machine = Ft_machine.Machine
+module Costmodel = Ft_backend.Costmodel
+module Auto = Ft_auto.Auto
+module Grad = Ft_ad.Grad
+module Fw = Ft_baselines.Fw
+
+type framework =
+  | Freetensor
+  | Torchlike   (* PyTorch *)
+  | Jaxlike     (* JAX *)
+  | Tvmlike     (* TVM + Ansor *)
+  | Julialike   (* Julia *)
+  | Dgllike     (* DGL, GAT only *)
+
+let framework_name = function
+  | Freetensor -> "FreeTensor"
+  | Torchlike -> "PyTorch-like"
+  | Jaxlike -> "JAX-like"
+  | Tvmlike -> "TVM-like"
+  | Julialike -> "Julia-like"
+  | Dgllike -> "DGL-like"
+
+type workload =
+  | Subdiv
+  | Longf
+  | Softr
+  | Gatw
+
+let workload_name = function
+  | Subdiv -> "SubdivNet"
+  | Longf -> "Longformer"
+  | Softr -> "SoftRas"
+  | Gatw -> "GAT"
+
+let all_workloads = [ Subdiv; Longf; Softr; Gatw ]
+
+type cell =
+  | Time of Machine.metrics
+  | Oom of string
+  | Ice of string
+  | Not_reported
+  (** cases the paper leaves out (e.g. PyTorch on GAT, GAT gradients) *)
+
+let cell_time = function
+  | Time m -> Some m.Machine.time
+  | Oom _ | Ice _ | Not_reported -> None
+
+(* paper-scale configurations used for the headline numbers *)
+type scale = {
+  sub : Subdivnet.config;
+  lf : Longformer.config;
+  sr : Softras.config;
+  gat : Gat.config;
+  (* Device-memory budget for one layer under training.  The paper runs
+     full multi-layer, multi-head models against 32 GB; our workloads are
+     a single layer-head, so the per-layer share of device memory is the
+     faithful budget for the AD experiments. *)
+  ad_mem_budget : float;
+}
+
+let paper_scale =
+  { sub = Subdivnet.paper_scale; lf = Longformer.paper_scale;
+    sr = Softras.paper_scale; gat = Gat.paper_scale;
+    ad_mem_budget = 32.0e9 /. 64.0 }
+
+let small_scale =
+  { sub = Subdivnet.default; lf = Longformer.default; sr = Softras.default;
+    gat = Gat.default; ad_mem_budget = 32.0e9 /. 64.0 }
+
+(* ------------------------------------------------------------------ *)
+(* FreeTensor cells *)
+
+let ft_forward_func scale = function
+  | Subdiv -> Subdivnet.ft_func scale.sub
+  | Longf -> Longformer.ft_func scale.lf
+  | Softr -> Softras.ft_func scale.sr
+  | Gatw ->
+    let c = scale.gat in
+    (* edge count of the generated graph, needed for the colidx shape *)
+    let _, _, n_edges = Gat.gen_graph c in
+    Gat.ft_func c ~n_edges
+
+let gat_unknown_extent scale = float_of_int scale.gat.Gat.avg_degree
+
+let ft_cell ~device ~scale w : cell =
+  let fn = Auto.run ~device (ft_forward_func scale w) in
+  let unknown_extent =
+    match w with Gatw -> Some (gat_unknown_extent scale) | _ -> None
+  in
+  try Time (Costmodel.estimate ?unknown_extent ~device fn)
+  with Machine.Out_of_memory { needed; capacity } ->
+    Oom (Printf.sprintf "needs %s > %s" (Machine.si needed) (Machine.si capacity))
+
+(** FreeTensor with differentiation: auto-scheduled forward + backward.
+    [mode] selects the Fig. 18 ablation arm. *)
+let ft_grad_cell ?(mode = Grad.Selective) ~device ~scale w : cell =
+  match w with
+  | Gatw -> Not_reported (* the paper does not report GAT gradients *)
+  | _ -> (
+    let fn = ft_forward_func scale w in
+    try
+      let res = Grad.grad ~mode fn in
+      let fwd = Auto.run ~device res.Grad.forward in
+      let bwd = Auto.run ~device res.Grad.backward in
+      let m = Costmodel.estimate ~device fwd in
+      let mb = Costmodel.estimate ~device bwd in
+      Machine.add_into ~into:m mb;
+      (* OOM check: inputs + outputs + all tapes live together *)
+      let tape_bytes =
+        List.fold_left
+          (fun acc (tp : Grad.tape_spec) ->
+            let elems =
+              List.fold_left
+                (fun a e ->
+                  a *. float_of_int (Ft_backend.Interp.eval_static e))
+                1.0 tp.Grad.tp_dims
+            in
+            acc +. (elems *. float_of_int (Types.dtype_size tp.Grad.tp_dtype)))
+          0.0 res.Grad.tapes
+      in
+      m.Machine.peak_mem <- m.Machine.peak_mem +. tape_bytes;
+      if device = Types.Gpu && m.Machine.peak_mem > scale.ad_mem_budget then
+        Oom
+          (Printf.sprintf "tapes need %s > %s" (Machine.si m.Machine.peak_mem)
+             (Machine.si scale.ad_mem_budget))
+      else Time m
+    with Machine.Out_of_memory { needed; capacity } ->
+      Oom
+        (Printf.sprintf "needs %s > %s" (Machine.si needed)
+           (Machine.si capacity)))
+
+(** Separate forward/backward times for the Fig. 18 breakdown. *)
+let ft_grad_breakdown ?(mode = Grad.Selective) ~device ~scale w :
+    (float * float, string) Stdlib.result =
+  let fn = ft_forward_func scale w in
+  let res = Grad.grad ~mode fn in
+  let fwd = Auto.run ~device res.Grad.forward in
+  let bwd = Auto.run ~device res.Grad.backward in
+  let mf = Costmodel.estimate ~device fwd in
+  let mb = Costmodel.estimate ~device bwd in
+  let tape_bytes =
+    List.fold_left
+      (fun acc (tp : Grad.tape_spec) ->
+        let elems =
+          List.fold_left
+            (fun a e -> a *. float_of_int (Ft_backend.Interp.eval_static e))
+            1.0 tp.Grad.tp_dims
+        in
+        acc +. (elems *. float_of_int (Types.dtype_size tp.Grad.tp_dtype)))
+      0.0 res.Grad.tapes
+  in
+  if device = Types.Gpu && mf.Machine.peak_mem +. tape_bytes > scale.ad_mem_budget
+  then Error "OOM"
+  else Ok (mf.Machine.time, mb.Machine.time)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline cells *)
+
+(* run an operator-chain workload under a framework simulator *)
+let run_chain ?mem_capacity ~fusion ~device ~scale w : Fw.t =
+  let fw = Fw.create ~fusion ?mem_capacity device in
+  (match w with
+   | Subdiv ->
+     let e, adj = Subdivnet.gen_inputs scale.sub in
+     ignore (Fw.alloc fw e);
+     ignore (Fw.alloc fw adj);
+     ignore (Subdivnet.baseline fw e adj)
+   | Longf ->
+     let q, k, v = Longformer.gen_inputs scale.lf in
+     ignore (Fw.alloc fw q);
+     ignore (Fw.alloc fw k);
+     ignore (Fw.alloc fw v);
+     ignore (Longformer.baseline fw q k v ~w:scale.lf.Longformer.w)
+   | Softr ->
+     let cx, cy, r = Softras.gen_inputs scale.sr in
+     ignore (Fw.alloc fw cx);
+     ignore (Fw.alloc fw cy);
+     ignore (Fw.alloc fw r);
+     ignore (Softras.baseline fw cx cy r ~img:scale.sr.Softras.img)
+   | Gatw ->
+     let rowptr, colidx, _ = Gat.gen_graph scale.gat in
+     let x, wt, a1, a2 = Gat.gen_inputs scale.gat in
+     List.iter (fun t -> ignore (Fw.alloc fw t)) [ x; wt; a1; a2 ];
+     ignore (Fw.alloc fw rowptr);
+     ignore (Fw.alloc fw colidx);
+     ignore (Gat.dgllike fw x wt a1 a2 rowptr colidx));
+  Fw.finish fw;
+  fw
+
+let chain_cell ?(grad = false) ?(single_thread_grad = false) ~fusion ~device
+    ~scale w : cell =
+  try
+    let mem_capacity =
+      if grad && device = Types.Gpu then Some scale.ad_mem_budget else None
+    in
+    let fw = run_chain ?mem_capacity ~fusion ~device ~scale w in
+    if grad then Fw.charge_grad_pass ~single_thread:single_thread_grad fw;
+    Time (Fw.metrics fw)
+  with
+  | Fw.Oom msg -> Oom msg
+  | Machine.Out_of_memory { needed; capacity } ->
+    Oom (Printf.sprintf "needs %s > %s" (Machine.si needed) (Machine.si capacity))
+
+(* Julia without AD on CPU: the fine-grained program, sequential (no
+   parallel annotations); elsewhere Julia falls back to operators. *)
+let julia_cell ?(grad = false) ~device ~scale w : cell =
+  if device = Types.Cpu && not grad then
+    let fn = Ft_passes.Simplify.run (ft_forward_func scale w) in
+    let unknown_extent =
+      match w with Gatw -> Some (gat_unknown_extent scale) | _ -> None
+    in
+    try Time (Costmodel.estimate ?unknown_extent ~device fn)
+    with Machine.Out_of_memory { needed; capacity } ->
+      Oom (Printf.sprintf "needs %s > %s" (Machine.si needed) (Machine.si capacity))
+  else
+    (* operator fallback; under AD many operators run single-threaded *)
+    chain_cell ~grad ~single_thread_grad:true ~fusion:Fw.No_fusion ~device
+      ~scale w
+
+let tvm_cell ~device ~scale w : cell =
+  try
+    let r =
+      match w with
+      | Subdiv -> Tvmlike.subdivnet ~device scale.sub
+      | Longf -> Tvmlike.longformer ~device scale.lf
+      | Softr -> Tvmlike.softras ~device scale.sr
+      | Gatw -> Tvmlike.gat ~device scale.gat
+    in
+    let m = Machine.fresh_metrics () in
+    m.Machine.time <- r.Tvmlike.time;
+    Time m
+  with Tvmlike.Ice msg -> Ice msg
+
+(** One Fig. 16 cell. *)
+let cell ?(grad = false) ~device ~scale (fwk : framework) (w : workload) :
+    cell =
+  match fwk, w with
+  (* the paper reports DGL instead of PyTorch/JAX on GAT *)
+  | (Torchlike | Jaxlike), Gatw -> Not_reported
+  | Dgllike, (Subdiv | Longf | Softr) -> Not_reported
+  | _, Gatw when grad -> Not_reported
+  | Tvmlike, _ when grad -> Not_reported (* TVM does not support AD *)
+  | Freetensor, _ ->
+    if grad then ft_grad_cell ~device ~scale w else ft_cell ~device ~scale w
+  | Torchlike, _ -> chain_cell ~grad ~fusion:Fw.No_fusion ~device ~scale w
+  | Jaxlike, _ ->
+    chain_cell ~grad ~fusion:Fw.Elementwise_fusion ~device ~scale w
+  | Dgllike, Gatw -> chain_cell ~grad ~fusion:Fw.No_fusion ~device ~scale w
+  | Tvmlike, _ -> tvm_cell ~device ~scale w
+  | Julialike, _ -> julia_cell ~grad ~device ~scale w
+
+let frameworks_for = function
+  | Gatw -> [ Freetensor; Tvmlike; Julialike; Dgllike ]
+  | Subdiv | Longf | Softr ->
+    [ Freetensor; Torchlike; Jaxlike; Tvmlike; Julialike ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: compile time *)
+
+type compile_times = {
+  ft_seconds : float;
+  tvm : (int * float, string) Stdlib.result;
+  (** rounds, seconds/round — or ICE *)
+}
+
+let compile_times ~device ~scale w : compile_times =
+  let t0 = Unix.gettimeofday () in
+  let _ = Auto.run ~device (ft_forward_func scale w) in
+  let ft_seconds = Unix.gettimeofday () -. t0 in
+  let tvm =
+    try
+      let r =
+        match w with
+        | Subdiv -> Tvmlike.subdivnet ~device scale.sub
+        | Longf -> Tvmlike.longformer ~device scale.lf
+        | Softr -> Tvmlike.softras ~device scale.sr
+        | Gatw -> Tvmlike.gat ~device scale.gat
+      in
+      Ok (r.Tvmlike.tune_rounds, r.Tvmlike.seconds_per_round)
+    with Tvmlike.Ice _ -> Error "ICE"
+  in
+  { ft_seconds; tvm }
+
+(* ------------------------------------------------------------------ *)
+(* Auto-scheduler ablation: contribution of each of the six passes *)
+
+(** Estimated time of the FreeTensor program with one auto pass disabled;
+    compare against the full pipeline to see what the pass buys
+    (DESIGN.md's ablation index). *)
+let ablation ~device ~scale w : (string * float) list * float =
+  let fn = ft_forward_func scale w in
+  let unknown_extent =
+    match w with Gatw -> Some (gat_unknown_extent scale) | _ -> None
+  in
+  let time skip =
+    (Costmodel.estimate ?unknown_extent ~device
+       (Ft_auto.Auto.run ~skip ~device fn))
+      .Machine.time
+  in
+  let full = time [] in
+  ( List.map
+      (fun p -> (Ft_auto.Auto.pass_name p, time [ p ]))
+      Ft_auto.Auto.all_passes,
+    full )

@@ -1,0 +1,85 @@
+(** The paper's experiment matrix (Section 6): every (workload, device,
+    framework) cell of Figs. 16(a–b), the Fig. 17 counters, the Fig. 18
+    materialization ablation, the Table 2 compile times, and an
+    auto-scheduler pass ablation — all computed on the abstract machine. *)
+
+open Ft_ir
+module Machine = Ft_machine.Machine
+module Grad = Ft_ad.Grad
+
+type framework =
+  | Freetensor
+  | Torchlike   (** PyTorch *)
+  | Jaxlike     (** JAX *)
+  | Tvmlike     (** TVM + Ansor *)
+  | Julialike   (** Julia *)
+  | Dgllike     (** DGL, GAT only *)
+
+val framework_name : framework -> string
+
+type workload =
+  | Subdiv
+  | Longf
+  | Softr
+  | Gatw
+
+val workload_name : workload -> string
+val all_workloads : workload list
+
+(** A result cell, including the paper's failure modes. *)
+type cell =
+  | Time of Machine.metrics
+  | Oom of string
+  | Ice of string
+  | Not_reported
+
+val cell_time : cell -> float option
+
+(** Workload configurations plus the per-layer device-memory budget used
+    by the AD experiments (the paper trains full multi-layer models
+    against 32 GB; one layer-head gets a proportional share). *)
+type scale = {
+  sub : Subdivnet.config;
+  lf : Longformer.config;
+  sr : Softras.config;
+  gat : Gat.config;
+  ad_mem_budget : float;
+}
+
+val paper_scale : scale
+val small_scale : scale
+
+(** The FreeTensor program of a workload (forward). *)
+val ft_forward_func : scale -> workload -> Stmt.func
+
+(** One Fig. 16 cell: [grad:true] gives the Fig. 16(b) fwd+bwd time. *)
+val cell :
+  ?grad:bool -> device:Types.device -> scale:scale -> framework -> workload
+  -> cell
+
+(** Which frameworks the paper reports for a workload. *)
+val frameworks_for : workload -> framework list
+
+(** Fig. 18 breakdown: (forward, backward) seconds for one
+    materialization mode, or [Error "OOM"]. *)
+val ft_grad_breakdown :
+  ?mode:Grad.mode ->
+  device:Types.device ->
+  scale:scale ->
+  workload ->
+  (float * float, string) result
+
+(** Table 2 row: FreeTensor auto-transform wall-clock vs the TVM-like
+    tuner's rounds × seconds-per-round (or ICE). *)
+type compile_times = {
+  ft_seconds : float;
+  tvm : (int * float, string) result;
+}
+
+val compile_times :
+  device:Types.device -> scale:scale -> workload -> compile_times
+
+(** Auto-scheduler ablation: time with each pass disabled, plus the full
+    pipeline's time. *)
+val ablation :
+  device:Types.device -> scale:scale -> workload -> (string * float) list * float

@@ -1,0 +1,41 @@
+(** GAT — graph attention layer (paper Section 6.1): nodes attend over
+    their CSR neighbor lists; data-dependent loop bounds and
+    doubly-indirect accesses make this the workload TVM cannot build
+    (Table 2: ICE) and the free-form DSL handles directly. *)
+
+open Ft_ir
+open Ft_runtime
+
+type config = {
+  n_nodes : int;
+  in_feats : int;
+  out_feats : int;
+  avg_degree : int;
+}
+
+val default : config
+val paper_scale : config
+
+val leaky_slope : float
+
+(** Random bounded-degree CSR graph: (rowptr, colidx, edge count). *)
+val gen_graph : ?seed:int -> config -> Tensor.t * Tensor.t * int
+
+(** Node features, weight matrix and the two attention vectors. *)
+val gen_inputs :
+  ?seed:int -> config -> Tensor.t * Tensor.t * Tensor.t * Tensor.t
+
+(** The free-form program: params
+    [x, w, a1, a2, rowptr, colidx -> out]. *)
+val ft_func : config -> n_edges:int -> Stmt.func
+
+(** DGL-like dedicated GNN framework: gemm + edge gather + segment
+    softmax + scatter aggregation kernels. *)
+val dgllike :
+  Ft_baselines.Fw.t ->
+  Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t ->
+  Tensor.t
+
+val reference :
+  Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t -> Tensor.t ->
+  Tensor.t

@@ -1,0 +1,131 @@
+(** Longformer sliding-window attention (Section 1, Figs. 1 and 5): each
+    token attends only to tokens within a window of radius [w].
+
+    The free-form program accesses K and V directly at [j + k] with
+    fine-grained loops and boundary guards; the operator-based baseline
+    materializes the (seq, 2w+1, feat) sliding copies of K and V as in
+    Fig. 1(b-c), the 2w+1-fold memory redundancy the paper opens with. *)
+
+open Ft_ir
+open Ft_runtime
+module Dsl = Ft_frontend.Dsl
+module Libop = Ft_libop.Libop
+module Fw = Ft_baselines.Fw
+module Ops = Ft_baselines.Ops
+
+type config = {
+  seq_len : int;
+  feat_len : int;
+  w : int;
+}
+
+let default = { seq_len = 256; feat_len = 32; w = 16 }
+let paper_scale = { seq_len = 2048; feat_len = 64; w = 128 }
+
+let gen_inputs ?(seed = 2) (c : config) =
+  let q = Tensor.rand ~seed Types.F32 [| c.seq_len; c.feat_len |] in
+  let k = Tensor.rand ~seed:(seed + 1) Types.F32 [| c.seq_len; c.feat_len |] in
+  let v = Tensor.rand ~seed:(seed + 2) Types.F32 [| c.seq_len; c.feat_len |] in
+  (q, k, v)
+
+(** The free-form DSL program of Fig. 5 (with the libop softmax inlined to
+    the fine-grained loops of Fig. 8). *)
+let ft_func (c : config) : Stmt.func =
+  let i = Expr.int in
+  let seq = c.seq_len and feat = c.feat_len and w = c.w in
+  Dsl.func "longformer"
+    [ Dsl.input "Q" [ i seq; i feat ] Types.F32;
+      Dsl.input "K" [ i seq; i feat ] Types.F32;
+      Dsl.input "V" [ i seq; i feat ] Types.F32;
+      Dsl.output "Y" [ i seq; i feat ] Types.F32 ]
+    (fun views ->
+      match views with
+      | [ q; k; vv; y ] ->
+        Dsl.for_ ~label:"Lj" "j" (i 0) (i seq) (fun j ->
+            let in_window kk =
+              Expr.l_and
+                (Expr.ge (Expr.add j kk) (i 0))
+                (Expr.lt (Expr.add j kk) (i seq))
+            in
+            let dot =
+              Dsl.create_var ~name:"dot" [ i ((2 * w) + 1) ] Types.F32
+                Types.Cpu_stack
+            in
+            Libop.fill dot (Expr.float neg_infinity);
+            Dsl.for_ ~label:"Lk" "k" (i (-w)) (i (w + 1)) (fun kk ->
+                Dsl.if_ (in_window kk) (fun () ->
+                    Dsl.set dot [ Expr.add kk (i w) ] (Expr.float 0.);
+                    Dsl.for_ "p" (i 0) (i feat) (fun p ->
+                        Dsl.reduce Types.R_add dot [ Expr.add kk (i w) ]
+                          (Expr.mul (Dsl.get q [ j; p ])
+                             (Dsl.get k [ Expr.add j kk; p ])))));
+            let attn =
+              Dsl.create_var ~name:"attn" [ i ((2 * w) + 1) ] Types.F32
+                Types.Cpu_stack
+            in
+            Libop.softmax_last_axis ~dst:attn ~src:dot ();
+            Dsl.for_ "p0" (i 0) (i feat) (fun p ->
+                Dsl.set y [ j; p ] (Expr.float 0.));
+            Dsl.for_ ~label:"Lk2" "k2" (i (-w)) (i (w + 1)) (fun kk ->
+                Dsl.if_ (in_window kk) (fun () ->
+                    Dsl.for_ "p" (i 0) (i feat) (fun p ->
+                        Dsl.reduce Types.R_add y [ j; p ]
+                          (Expr.mul
+                             (Dsl.get attn [ Expr.add kk (i w) ])
+                             (Dsl.get vv [ Expr.add j kk; p ]))))))
+      | _ -> assert false)
+
+(** Operator-based implementation (Fig. 1(c)): materialize the sliding
+    windows of K and V, batched-matmul against Q, mask, softmax, apply. *)
+let baseline fw (q : Tensor.t) (k : Tensor.t) (v : Tensor.t) ~w : Tensor.t =
+  let seq = (Tensor.shape q).(0) and feat = (Tensor.shape q).(1) in
+  let win = (2 * w) + 1 in
+  (* pad-and-copy K along the window (Fig. 1(b)) *)
+  let k_s = Ops.sliding_window fw ~w k in
+  let v_s = Ops.sliding_window fw ~w v in
+  (* dot[j, 1, k] = sum_p Q[j, 1, p] * K_s[j, k, p] *)
+  let q3 = Ops.reshape fw q [| seq; 1; feat |] in
+  let dot = Ops.bmm_nt fw q3 k_s in
+  (* mask out-of-range positions with -inf before softmax *)
+  let mask = Tensor.zeros Types.F32 [| seq; 1; win |] in
+  for j = 0 to seq - 1 do
+    for kk = -w to w do
+      if j + kk < 0 || j + kk >= seq then
+        Tensor.set_f mask [| j; 0; kk + w |] neg_infinity
+    done
+  done;
+  let dot = Ops.add fw dot (Ops.input fw mask) in
+  let attn = Ops.softmax_last fw dot in
+  (* y[j, 1, p] = sum_k attn[j, 1, k] * V_s[j, k, p] *)
+  let y3 = Ops.bmm fw attn v_s in
+  Ops.reshape fw y3 [| seq; feat |]
+
+(** Plain-OCaml reference. *)
+let reference (q : Tensor.t) (k : Tensor.t) (v : Tensor.t) ~w : Tensor.t =
+  let seq = (Tensor.shape q).(0) and feat = (Tensor.shape q).(1) in
+  let y = Tensor.zeros Types.F32 [| seq; feat |] in
+  for j = 0 to seq - 1 do
+    let dot = Array.make ((2 * w) + 1) neg_infinity in
+    for kk = -w to w do
+      if j + kk >= 0 && j + kk < seq then begin
+        dot.(kk + w) <- 0.0;
+        for p = 0 to feat - 1 do
+          dot.(kk + w) <-
+            dot.(kk + w)
+            +. (Tensor.get_f q [| j; p |] *. Tensor.get_f k [| j + kk; p |])
+        done
+      end
+    done;
+    let mx = Array.fold_left Float.max neg_infinity dot in
+    let attn = Array.map (fun d -> exp (d -. mx)) dot in
+    let s = Array.fold_left ( +. ) 0.0 attn in
+    for kk = -w to w do
+      if j + kk >= 0 && j + kk < seq then
+        for p = 0 to feat - 1 do
+          Tensor.set_f y [| j; p |]
+            (Tensor.get_f y [| j; p |]
+            +. (attn.(kk + w) /. s *. Tensor.get_f v [| j + kk; p |]))
+        done
+    done
+  done;
+  y

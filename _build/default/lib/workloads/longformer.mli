@@ -1,0 +1,30 @@
+(** Longformer sliding-window attention (paper Section 1, Figs. 1 and 5):
+    each token attends to tokens within a window of radius [w].  The
+    free-form program indexes K and V directly at [j + k]; the baseline
+    materializes the (seq, 2w+1, feat) window-folded copies of Fig. 1(b). *)
+
+open Ft_ir
+open Ft_runtime
+
+type config = {
+  seq_len : int;
+  feat_len : int;
+  w : int;
+}
+
+val default : config
+val paper_scale : config
+
+(** Q, K, V (deterministic under [seed]). *)
+val gen_inputs : ?seed:int -> config -> Tensor.t * Tensor.t * Tensor.t
+
+(** The free-form program of Fig. 5, softmax inlined as in Fig. 8:
+    params [Q, K, V -> Y]. *)
+val ft_func : config -> Stmt.func
+
+(** Operator-based implementation (sliding-window materialization +
+    batched matmuls + masked softmax). *)
+val baseline :
+  Ft_baselines.Fw.t -> Tensor.t -> Tensor.t -> Tensor.t -> w:int -> Tensor.t
+
+val reference : Tensor.t -> Tensor.t -> Tensor.t -> w:int -> Tensor.t

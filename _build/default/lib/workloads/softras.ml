@@ -1,0 +1,146 @@
+(** SoftRas soft rasterizer (Section 6.1): a differentiable renderer that
+    evaluates a geometric influence function for every pixel-face pair and
+    aggregates over faces into a silhouette.
+
+    We use the paper's probabilistic silhouette formulation, computed in
+    log space so that it remains expressible with additive reductions
+    (which both our AD and the operator AD differentiate):
+
+      D[p, f]   = sigmoid((r_f^2 - d^2(p, f)) / sigma)
+      I[p]      = 1 - prod_f (1 - D[p, f])
+                = 1 - exp(sum_f ln(1 - D[p, f]))
+
+    Faces are synthetic 2-D disks (center + radius), preserving the
+    pixel-face pair structure and per-pair transcendental math of the
+    original CUDA kernels. *)
+
+open Ft_ir
+open Ft_runtime
+module Dsl = Ft_frontend.Dsl
+module Fw = Ft_baselines.Fw
+module Ops = Ft_baselines.Ops
+
+type config = {
+  img : int;      (** image is img x img pixels *)
+  n_faces : int;
+  sigma : float;
+}
+
+let default = { img = 32; n_faces = 64; sigma = 0.01 }
+let paper_scale = { img = 64; n_faces = 1024; sigma = 0.01 }
+
+(** Face centers in [0,1]^2 and radii. *)
+let gen_inputs ?(seed = 3) (c : config) =
+  let cx = Tensor.rand ~seed ~lo:0.1 ~hi:0.9 Types.F32 [| c.n_faces |] in
+  let cy = Tensor.rand ~seed:(seed + 1) ~lo:0.1 ~hi:0.9 Types.F32 [| c.n_faces |] in
+  let r = Tensor.rand ~seed:(seed + 2) ~lo:0.02 ~hi:0.15 Types.F32 [| c.n_faces |] in
+  (cx, cy, r)
+
+(* clamp the log argument away from 0 for numerical safety *)
+let eps = 1e-6
+
+let ft_func (c : config) : Stmt.func =
+  let i = Expr.int in
+  let n = c.img in
+  let fl = Expr.float in
+  Dsl.func "softras"
+    [ Dsl.input "cx" [ i c.n_faces ] Types.F32;
+      Dsl.input "cy" [ i c.n_faces ] Types.F32;
+      Dsl.input "r" [ i c.n_faces ] Types.F32;
+      Dsl.output "img" [ i n; i n ] Types.F32 ]
+    (fun views ->
+      match views with
+      | [ cx; cy; r; img ] ->
+        Dsl.for_ ~label:"Lh" "h" (i 0) (i n) (fun h ->
+            Dsl.for_ ~label:"Lw" "w" (i 0) (i n) (fun w ->
+                let acc =
+                  Dsl.create_var ~name:"acc" [] Types.F32 Types.Cpu_stack
+                in
+                Dsl.set acc [] (fl 0.);
+                let px =
+                  Expr.div
+                    (Expr.add (Expr.Cast (Types.F32, h)) (fl 0.5))
+                    (fl (float_of_int n))
+                in
+                let py =
+                  Expr.div
+                    (Expr.add (Expr.Cast (Types.F32, w)) (fl 0.5))
+                    (fl (float_of_int n))
+                in
+                Dsl.for_ ~label:"Lf" "f" (i 0) (i c.n_faces) (fun f ->
+                    let dx = Expr.sub px (Dsl.get cx [ f ]) in
+                    let dy = Expr.sub py (Dsl.get cy [ f ]) in
+                    let d2 = Expr.add (Expr.mul dx dx) (Expr.mul dy dy) in
+                    let rf = Dsl.get r [ f ] in
+                    let arg =
+                      Expr.div
+                        (Expr.sub (Expr.mul rf rf) d2)
+                        (fl c.sigma)
+                    in
+                    let dprob = Expr.unop Expr.Sigmoid arg in
+                    let one_minus =
+                      Expr.max_ (Expr.sub (fl 1.) dprob) (fl eps)
+                    in
+                    Dsl.reduce Types.R_add acc []
+                      (Expr.unop Expr.Ln one_minus));
+                Dsl.set img [ h; w ]
+                  (Expr.sub (fl 1.) (Expr.unop Expr.Exp (Dsl.to_expr acc)))))
+      | _ -> assert false)
+
+(** Operator-based implementation: broadcast pixel grids against face
+    arrays — every intermediate is a full (pixels x faces) tensor. *)
+let baseline fw (cx : Tensor.t) (cy : Tensor.t) (r : Tensor.t) ~img:n :
+    Tensor.t =
+  let p = n * n in
+  let nf = Tensor.numel cx in
+  (* pixel coordinate columns (P, 1) *)
+  let px = Tensor.zeros Types.F32 [| p; 1 |] in
+  let py = Tensor.zeros Types.F32 [| p; 1 |] in
+  for h = 0 to n - 1 do
+    for w = 0 to n - 1 do
+      Tensor.set_f px [| (h * n) + w; 0 |]
+        ((float_of_int h +. 0.5) /. float_of_int n);
+      Tensor.set_f py [| (h * n) + w; 0 |]
+        ((float_of_int w +. 0.5) /. float_of_int n)
+    done
+  done;
+  let px = Ops.input fw px and py = Ops.input fw py in
+  let cx_r = Ops.reshape fw cx [| 1; nf |] in
+  let cy_r = Ops.reshape fw cy [| 1; nf |] in
+  let r_r = Ops.reshape fw r [| 1; nf |] in
+  let dx = Ops.sub fw px cx_r in
+  let dy = Ops.sub fw py cy_r in
+  let d2 = Ops.add fw (Ops.mul fw dx dx) (Ops.mul fw dy dy) in
+  let r2 = Ops.mul fw r_r r_r in
+  let arg = Ops.scale fw (1.0 /. default.sigma) (Ops.sub fw r2 d2) in
+  let dprob = Ops.sigmoid fw arg in
+  (* torch.clamp(1 - D, min=eps) *)
+  let one_minus = Ops.unary fw (fun x -> Float.max (1.0 -. x) eps) dprob in
+  let logs = Ops.ln fw one_minus in
+  let acc = Ops.sum_axis fw ~dim:1 logs in
+  let out = Ops.add_scalar fw 1.0 (Ops.neg fw (Ops.exp_ fw acc)) in
+  Ops.reshape fw out [| n; n |]
+
+(** Plain-OCaml reference. *)
+let reference (cx : Tensor.t) (cy : Tensor.t) (r : Tensor.t) ~img:n ~sigma :
+    Tensor.t =
+  let nf = Tensor.numel cx in
+  let out = Tensor.zeros Types.F32 [| n; n |] in
+  for h = 0 to n - 1 do
+    for w = 0 to n - 1 do
+      let px = (float_of_int h +. 0.5) /. float_of_int n in
+      let py = (float_of_int w +. 0.5) /. float_of_int n in
+      let acc = ref 0.0 in
+      for f = 0 to nf - 1 do
+        let dx = px -. Tensor.get_flat_f cx f in
+        let dy = py -. Tensor.get_flat_f cy f in
+        let d2 = (dx *. dx) +. (dy *. dy) in
+        let rf = Tensor.get_flat_f r f in
+        let arg = ((rf *. rf) -. d2) /. sigma in
+        let dprob = 1.0 /. (1.0 +. exp (-.arg)) in
+        acc := !acc +. log (Float.max (1.0 -. dprob) eps)
+      done;
+      Tensor.set_f out [| h; w |] (1.0 -. exp !acc)
+    done
+  done;
+  out

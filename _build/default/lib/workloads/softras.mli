@@ -1,0 +1,32 @@
+(** SoftRas soft rasterizer (paper Section 6.1): a differentiable
+    renderer evaluating a geometric influence function for every
+    pixel-face pair, aggregated into a probabilistic silhouette (computed
+    in log space so both our AD and the operator AD differentiate it).
+    Faces are synthetic 2-D disks (center + radius), preserving the
+    pixel-face pair structure of the original kernels. *)
+
+open Ft_ir
+open Ft_runtime
+
+type config = {
+  img : int;      (** image is img x img pixels *)
+  n_faces : int;
+  sigma : float;
+}
+
+val default : config
+val paper_scale : config
+
+(** Face centers (x, y) and radii. *)
+val gen_inputs : ?seed:int -> config -> Tensor.t * Tensor.t * Tensor.t
+
+(** The free-form program: params [cx, cy, r -> img]. *)
+val ft_func : config -> Stmt.func
+
+(** Operator-based implementation over broadcast (pixels x faces)
+    tensors. *)
+val baseline :
+  Ft_baselines.Fw.t -> Tensor.t -> Tensor.t -> Tensor.t -> img:int -> Tensor.t
+
+val reference :
+  Tensor.t -> Tensor.t -> Tensor.t -> img:int -> sigma:float -> Tensor.t

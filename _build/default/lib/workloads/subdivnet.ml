@@ -1,0 +1,95 @@
+(** SubdivNet mesh convolution (Section 2.2, Figs. 2-3): the circular
+    difference over each face's three neighbors,
+
+      y[i, p] = sum_j |e[adj[i,j], p] - e[adj[i, (j+1) mod 3], p]|.
+
+    The paper's meshes come from subdivision surfaces; we generate a
+    synthetic closed triangle mesh adjacency with the same shape (three
+    neighbors per face, all indices valid), which exercises exactly the
+    same gather/compute pattern. *)
+
+open Ft_ir
+open Ft_runtime
+module Dsl = Ft_frontend.Dsl
+module Libop = Ft_libop.Libop
+module Fw = Ft_baselines.Fw
+module Ops = Ft_baselines.Ops
+
+type config = {
+  n_faces : int;
+  in_feats : int;
+}
+
+let default = { n_faces = 1024; in_feats = 64 }
+let paper_scale = { n_faces = 16384; in_feats = 64 }
+
+(** Synthetic face adjacency: face [i]'s neighbors are a deterministic
+    pseudo-random triple of other faces. *)
+let gen_inputs ?(seed = 1) (c : config) =
+  let e = Tensor.rand ~seed Types.F32 [| c.n_faces; c.in_feats |] in
+  let st = Random.State.make [| seed; c.n_faces |] in
+  let adj = Tensor.zeros Types.I32 [| c.n_faces; 3 |] in
+  for i = 0 to c.n_faces - 1 do
+    for j = 0 to 2 do
+      (* a "nearby" face, wrapping around: mesh-like locality *)
+      let off = 1 + Random.State.int st 7 in
+      Tensor.set_i adj [| i; j |] ((i + (off * (j + 1))) mod c.n_faces)
+    done
+  done;
+  (e, adj)
+
+(** The FreeTensor free-form program of Fig. 3(b). *)
+let ft_func (c : config) : Stmt.func =
+  let i = Expr.int in
+  Dsl.func "subdivnet"
+    [ Dsl.input "e" [ i c.n_faces; i c.in_feats ] Types.F32;
+      Dsl.input "adj" [ i c.n_faces; i 3 ] Types.I32;
+      Dsl.output "y" [ i c.n_faces; i c.in_feats ] Types.F32 ]
+    (fun views ->
+      match views with
+      | [ e; adj; y ] ->
+        Dsl.for_ ~label:"Li" "i" (i 0) (i c.n_faces) (fun fi ->
+            let yi = Dsl.idx y [ fi ] in
+            Libop.zeros yi;
+            Dsl.for_ ~label:"Lj" "j" (i 0) (i 3) (fun j ->
+                let jn = Expr.mod_ (Expr.add j (i 1)) (i 3) in
+                let ej = Dsl.idx e [ Dsl.get adj [ fi; j ] ] in
+                let ejn = Dsl.idx e [ Dsl.get adj [ fi; jn ] ] in
+                Libop.accum_abs_diff ~dst:yi ~a:ej ~b:ejn))
+      | _ -> assert false)
+
+(** The operator-based implementation of Fig. 2(c). *)
+let baseline fw (e : Tensor.t) (adj : Tensor.t) : Tensor.t =
+  let c_faces = (Tensor.shape e).(0) and feats = (Tensor.shape e).(1) in
+  (* Step 1: adj_feat = index_select(e, 0, adj.flatten()).reshape(n,3,f) *)
+  let flat_adj =
+    Ops.reshape fw adj [| Tensor.numel adj |]
+  in
+  let adj_feat =
+    Ops.reshape fw
+      (Ops.index_select fw e flat_adj)
+      [| c_faces; 3; feats |]
+  in
+  (* Step 2: reorder neighbors circularly *)
+  let tail = Ops.slice fw ~dim:1 ~from:1 ~to_:3 adj_feat in
+  let head = Ops.slice fw ~dim:1 ~from:0 ~to_:1 adj_feat in
+  let reordered = Ops.concat fw ~dim:1 [ tail; head ] in
+  (* Step 3: y = sum(abs(adj_feat - reordered), dim=1) *)
+  Ops.sum_axis fw ~dim:1 (Ops.abs_ fw (Ops.sub fw adj_feat reordered))
+
+(** Plain-OCaml reference for correctness tests. *)
+let reference (e : Tensor.t) (adj : Tensor.t) : Tensor.t =
+  let n = (Tensor.shape e).(0) and f = (Tensor.shape e).(1) in
+  let y = Tensor.zeros Types.F32 [| n; f |] in
+  for i = 0 to n - 1 do
+    for j = 0 to 2 do
+      let a = Tensor.get_i adj [| i; j |] in
+      let b = Tensor.get_i adj [| i; (j + 1) mod 3 |] in
+      for p = 0 to f - 1 do
+        Tensor.set_f y [| i; p |]
+          (Tensor.get_f y [| i; p |]
+          +. Float.abs (Tensor.get_f e [| a; p |] -. Tensor.get_f e [| b; p |]))
+      done
+    done
+  done;
+  y

@@ -1,0 +1,33 @@
+(** SubdivNet mesh convolution (paper Section 2.2, Figs. 2-3): the
+    circular difference over each face's three neighbors,
+
+      y[i, p] = sum_j |e[adj[i,j], p] - e[adj[i, (j+1) mod 3], p]|.
+
+    Meshes are synthetic closed-surface adjacencies with the same shape
+    as the paper's subdivision meshes (three valid neighbors per face). *)
+
+open Ft_ir
+open Ft_runtime
+
+type config = {
+  n_faces : int;
+  in_feats : int;
+}
+
+val default : config
+
+(** The headline-experiment size. *)
+val paper_scale : config
+
+(** Face features and adjacency (deterministic under [seed]). *)
+val gen_inputs : ?seed:int -> config -> Tensor.t * Tensor.t
+
+(** The free-form DSL program of Fig. 3(b): params [e, adj -> y]. *)
+val ft_func : config -> Stmt.func
+
+(** The operator chain of Fig. 2(c) (index_select / reshape / slice /
+    concat / sub / abs / sum), executed and charged under [fw]. *)
+val baseline : Ft_baselines.Fw.t -> Tensor.t -> Tensor.t -> Tensor.t
+
+(** Plain-OCaml reference for correctness tests. *)
+val reference : Tensor.t -> Tensor.t -> Tensor.t

@@ -1,0 +1,168 @@
+(** TVM-like baseline: customizable operators with auto-tuning.
+
+    TVM expresses each operator as a perfectly nested loop nest and tunes
+    it in isolation (Section 6.5); it cannot fuse across indirect memory
+    accesses or express a whole irregular program as one operator, so a
+    workload becomes a *chain* of tuned operators with every intermediate
+    materialized in main memory.  We model this faithfully by splitting
+    each workload into the operator chain TVM would use, expressing every
+    tunable operator as a FreeTensor function, tuning it with
+    {!Ft_baselines.Tuner}, and summing the tuned kernel costs (the
+    intermediate tensors are function parameters, so their DRAM traffic is
+    charged by the cost model exactly as a TVM operator boundary would).
+
+    GAT cannot be built at all — the doubly-indirect neighbor softmax is
+    beyond tensor expressions — mirroring the paper's ICE entry. *)
+
+open Ft_ir
+module Dsl = Ft_frontend.Dsl
+module Tuner = Ft_baselines.Tuner
+module Costmodel = Ft_backend.Costmodel
+module Machine = Ft_machine.Machine
+
+type result = {
+  time : float;          (** per-run seconds on the abstract machine *)
+  tune_rounds : int;
+  seconds_per_round : float;
+  tune_seconds : float;  (** total compile/tuning wall-clock *)
+}
+
+let i = Expr.int
+
+(* Tune a chain of operator functions; total time = sum of tuned times. *)
+let tune_chain ?(rounds = 48) ~device ?unknown_extent (fns : Stmt.func list)
+    : result =
+  let results =
+    List.map (fun fn -> Tuner.tune ~rounds ~device ?unknown_extent fn) fns
+  in
+  { time = List.fold_left (fun a r -> a +. r.Tuner.best_time) 0.0 results;
+    tune_rounds = List.fold_left (fun a r -> a + r.Tuner.rounds) 0 results;
+    seconds_per_round =
+      (let tot = List.fold_left (fun a r -> a +. r.Tuner.total_seconds) 0.0 results in
+       tot /. float_of_int (max 1 (List.fold_left (fun a r -> a + r.Tuner.rounds) 0 results)));
+    tune_seconds =
+      List.fold_left (fun a r -> a +. r.Tuner.total_seconds) 0.0 results }
+
+(* ---- SubdivNet: gather operator (not tunable: fixed trivial schedule)
+   + tuned arithmetic operator over the gathered (n, 3, f) tensor ---- *)
+
+let subdivnet ~device (c : Subdivnet.config) : result =
+  let n = c.Subdivnet.n_faces and f = c.Subdivnet.in_feats in
+  let gather =
+    Dsl.func "tvm_gather"
+      [ Dsl.input "e" [ i n; i f ] Types.F32;
+        Dsl.input "adj" [ i n; i 3 ] Types.I32;
+        Dsl.output "adj_feat" [ i n; i 3; i f ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ e; adj; adj_feat ] ->
+          Dsl.for_ "i" (i 0) (i n) (fun fi ->
+              Dsl.for_ "j" (i 0) (i 3) (fun j ->
+                  Dsl.for_ "p" (i 0) (i f) (fun p ->
+                      Dsl.set adj_feat [ fi; j; p ]
+                        (Dsl.get e [ Dsl.get adj [ fi; j ]; p ]))))
+        | _ -> assert false)
+  in
+  let diff =
+    Dsl.func "tvm_circdiff"
+      [ Dsl.input "adj_feat" [ i n; i 3; i f ] Types.F32;
+        Dsl.output "y" [ i n; i f ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ adj_feat; y ] ->
+          Dsl.for_ "i" (i 0) (i n) (fun fi ->
+              Dsl.for_ "p" (i 0) (i f) (fun p ->
+                  Dsl.set y [ fi; p ] (Expr.float 0.);
+                  Dsl.for_ "j" (i 0) (i 3) (fun j ->
+                      let jn = Expr.mod_ (Expr.add j (i 1)) (i 3) in
+                      Dsl.reduce Types.R_add y [ fi; p ]
+                        (Expr.unop Expr.Abs
+                           (Expr.sub
+                              (Dsl.get adj_feat [ fi; j; p ])
+                              (Dsl.get adj_feat [ fi; jn; p ]))))))
+        | _ -> assert false)
+  in
+  tune_chain ~device [ gather; diff ]
+
+(* ---- Longformer: the sliding-window dot and the attention-apply are
+   perfect loop nests (tunable); the softmax between them is a separate
+   library operator ---- *)
+
+let longformer ~device (c : Longformer.config) : result =
+  let seq = c.Longformer.seq_len
+  and f = c.Longformer.feat_len
+  and w = c.Longformer.w in
+  let win = (2 * w) + 1 in
+  let guard j kk body =
+    Dsl.if_
+      (Expr.l_and
+         (Expr.ge (Expr.add j kk) (i 0))
+         (Expr.lt (Expr.add j kk) (i seq)))
+      body
+  in
+  let dot_op =
+    Dsl.func "tvm_lf_dot"
+      [ Dsl.input "Q" [ i seq; i f ] Types.F32;
+        Dsl.input "K" [ i seq; i f ] Types.F32;
+        Dsl.output "dot" [ i seq; i win ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ q; k; dot ] ->
+          Dsl.for_ "j" (i 0) (i seq) (fun j ->
+              Dsl.for_ "k" (i (-w)) (i (w + 1)) (fun kk ->
+                  Dsl.set dot [ j; Expr.add kk (i w) ]
+                    (Expr.float neg_infinity);
+                  guard j kk (fun () ->
+                      Dsl.set dot [ j; Expr.add kk (i w) ] (Expr.float 0.);
+                      Dsl.for_ "p" (i 0) (i f) (fun p ->
+                          Dsl.reduce Types.R_add dot [ j; Expr.add kk (i w) ]
+                            (Expr.mul (Dsl.get q [ j; p ])
+                               (Dsl.get k [ Expr.add j kk; p ]))))))
+        | _ -> assert false)
+  in
+  let softmax_op =
+    Dsl.func "tvm_lf_softmax"
+      [ Dsl.input "dot" [ i seq; i win ] Types.F32;
+        Dsl.output "attn" [ i seq; i win ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ dot; attn ] ->
+          Ft_libop.Libop.softmax_last_axis ~dst:attn ~src:dot ()
+        | _ -> assert false)
+  in
+  let apply_op =
+    Dsl.func "tvm_lf_apply"
+      [ Dsl.input "attn" [ i seq; i win ] Types.F32;
+        Dsl.input "V" [ i seq; i f ] Types.F32;
+        Dsl.output "Y" [ i seq; i f ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ attn; v; y ] ->
+          Dsl.for_ "j" (i 0) (i seq) (fun j ->
+              Dsl.for_ "p" (i 0) (i f) (fun p ->
+                  Dsl.set y [ j; p ] (Expr.float 0.));
+              Dsl.for_ "k" (i (-w)) (i (w + 1)) (fun kk ->
+                  guard j kk (fun () ->
+                      Dsl.for_ "p" (i 0) (i f) (fun p ->
+                          Dsl.reduce Types.R_add y [ j; p ]
+                            (Expr.mul
+                               (Dsl.get attn [ j; Expr.add kk (i w) ])
+                               (Dsl.get v [ Expr.add j kk; p ]))))))
+        | _ -> assert false)
+  in
+  tune_chain ~device [ dot_op; softmax_op; apply_op ]
+
+(* ---- SoftRas: one big pixel-face kernel, fully expressible ---- *)
+
+let softras ~device (c : Softras.config) : result =
+  tune_chain ~device [ Softras.ft_func c ]
+
+(* ---- GAT: internal compiler error (Table 2) ---- *)
+
+exception Ice of string
+
+let gat ~device:_ (_c : Gat.config) : result =
+  raise
+    (Ice
+       "tensor expressions cannot express the doubly-indirect neighbor \
+        softmax (TVM reports an internal compiler error on GAT)")

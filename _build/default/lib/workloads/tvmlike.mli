@@ -1,0 +1,23 @@
+(** TVM-like baseline: each workload split into the operator chain TVM's
+    tensor expressions can represent, every tunable operator auto-tuned
+    in isolation ({!Ft_baselines.Tuner}), all intermediates materialized
+    at operator boundaries.  GAT raises {!Ice}: doubly-indirect neighbor
+    softmax is beyond tensor expressions (the paper's Table 2 entry). *)
+
+open Ft_ir
+
+type result = {
+  time : float;          (** per-run seconds on the abstract machine *)
+  tune_rounds : int;
+  seconds_per_round : float;
+  tune_seconds : float;
+}
+
+exception Ice of string
+
+val subdivnet : device:Types.device -> Subdivnet.config -> result
+val longformer : device:Types.device -> Longformer.config -> result
+val softras : device:Types.device -> Softras.config -> result
+
+(** Always raises {!Ice}. *)
+val gat : device:Types.device -> Gat.config -> result

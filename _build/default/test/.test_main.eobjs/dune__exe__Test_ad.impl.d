@@ -1,0 +1,1 @@
+test/test_ad.ml: Alcotest Array Expr Float Ft_ad Ft_backend Ft_frontend Ft_ir Ft_libop Ft_runtime Interp List Printf Stmt Tensor Test_frontend Types

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Expr Float Freetensor Ft_ad Ft_auto Ft_backend Ft_baselines Ft_ir Ft_machine Ft_runtime Ft_sched Ft_workloads List Printf Stmt String Types

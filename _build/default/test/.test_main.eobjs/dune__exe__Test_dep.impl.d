@@ -1,0 +1,1 @@
+test/test_dep.ml: Alcotest Dep Expr Ft_dep Ft_ir Stmt Types

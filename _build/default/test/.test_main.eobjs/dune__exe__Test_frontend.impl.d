@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Expr Float Ft_backend Ft_frontend Ft_ir Ft_libop Ft_runtime Interp List Printf Stmt String Tensor Types

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Bounds Expr Ft_ir Linear List Printer Printf QCheck2 QCheck_alcotest Stmt String Types

@@ -1,0 +1,1 @@
+test/test_libop.ml: Alcotest Array Expr Float Ft_backend Ft_frontend Ft_ir Ft_libop Ft_runtime List Printf Tensor Test_ad Types

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_ad Test_backend Test_dep Test_frontend Test_ir Test_libop Test_passes Test_presburger Test_random Test_sched Test_workloads

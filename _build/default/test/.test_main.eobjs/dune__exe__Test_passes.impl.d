@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Expr Ft_backend Ft_ir Ft_passes Ft_runtime Ft_sched Ft_workloads List Printf Stmt Tensor Types

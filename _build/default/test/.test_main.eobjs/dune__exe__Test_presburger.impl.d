@@ -1,0 +1,1 @@
+test/test_presburger.ml: Alcotest Expr Ft_ir Ft_presburger Imap Iset Linear List Polyhedron Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Expr Ft_backend Ft_ir Ft_runtime Ft_sched Hashtbl Interp List Option Printer Printf QCheck2 QCheck_alcotest Schedule Select Stmt String Tensor Types

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Float Freetensor Ft_auto Ft_backend Ft_baselines Ft_ir Ft_machine Ft_runtime Ft_workloads List Printf String Tensor Test_ad Types

@@ -1,0 +1,185 @@
+(* Random well-formed FreeTensor programs, for differential testing.
+
+   Every generated program computes over a fixed signature:
+     x   : f32 [12]   input
+     m   : f32 [4,6]  input
+     idx : i32 [12]   input (values in [0,12))
+     y   : f32 [12]   output
+     z   : f32 [4,6]  output
+   with arbitrary nests of loops, guards, local tensors, stores and
+   reductions.  All tensor subscripts are wrapped with [mod dim], so any
+   generated index expression is in bounds (floor-mod is non-negative for
+   a positive modulus). *)
+
+open Ft_ir
+
+let n_x = 12
+let m_r = 4
+let m_c = 6
+
+let params =
+  [ Stmt.param "x" Types.F32 [ Expr.int n_x ];
+    Stmt.param "m" Types.F32 [ Expr.int m_r; Expr.int m_c ];
+    Stmt.param "idx" Types.I32 [ Expr.int n_x ];
+    Stmt.param ~atype:Types.Output "y" Types.F32 [ Expr.int n_x ];
+    Stmt.param ~atype:Types.Output "z" Types.F32 [ Expr.int m_r; Expr.int m_c ] ]
+
+open QCheck2.Gen
+
+(* an integer expression over the iterators in scope *)
+let gen_int_expr (iters : string list) : Expr.t t =
+  sized @@ fix (fun self n ->
+      let leaf =
+        if iters = [] then map Expr.int (int_range 0 7)
+        else
+          oneof
+            [ map Expr.int (int_range 0 7);
+              map Expr.var (oneofl iters) ]
+      in
+      if n <= 0 then leaf
+      else
+        let sub = self (n / 2) in
+        oneof
+          [ leaf;
+            map2 Expr.add sub sub;
+            map2 Expr.sub sub sub;
+            map2 (fun c e -> Expr.mul (Expr.int c) e) (int_range 0 3) sub ])
+
+(* an in-bounds subscript for a dimension of size [dim] *)
+let gen_index iters dim =
+  let* e = gen_int_expr iters in
+  return (Expr.mod_ e (Expr.int dim))
+
+(* a float expression over the readable tensors *)
+let gen_float_expr (iters : string list) (locals : (string * int) list) :
+    Expr.t t =
+  sized @@ fix (fun self n ->
+      let load_x =
+        let* ix = gen_index iters n_x in
+        return (Expr.load "x" [ ix ])
+      in
+      let load_m =
+        let* ir = gen_index iters m_r in
+        let* ic = gen_index iters m_c in
+        return (Expr.load "m" [ ir; ic ])
+      in
+      let load_indirect =
+        (* x[idx[k]]: indirect addressing, idx values are in range *)
+        let* k = gen_index iters n_x in
+        return (Expr.load "x" [ Expr.load "idx" [ k ] ])
+      in
+      let load_local =
+        match locals with
+        | [] -> load_x
+        | _ ->
+          let* name, dim = oneofl locals in
+          let* ix = gen_index iters dim in
+          return (Expr.load name [ ix ])
+      in
+      let leaf =
+        oneof
+          [ map Expr.float (float_range (-2.0) 2.0);
+            load_x; load_m; load_indirect; load_local ]
+      in
+      if n <= 0 then leaf
+      else
+        let sub = self (n / 2) in
+        oneof
+          [ leaf;
+            map2 Expr.add sub sub;
+            map2 Expr.sub sub sub;
+            map2 Expr.mul sub sub;
+            map2 Expr.min_ sub sub;
+            map2 Expr.max_ sub sub;
+            map (Expr.unop Expr.Abs) sub;
+            map (Expr.unop Expr.Sigmoid) sub ])
+
+let gen_cond iters =
+  let* a = gen_int_expr iters in
+  let* b = gen_int_expr iters in
+  let* op = oneofl [ Expr.lt; Expr.le; Expr.ge; Expr.eq ] in
+  return (op a b)
+
+(* a statement; [depth] bounds nesting *)
+let rec gen_stmt depth iters locals : Stmt.t t =
+  let store_to =
+    let targets =
+      [ (`Y, n_x); (`Z, 0) ] @ List.map (fun (l, d) -> (`L (l, d), 0)) locals
+    in
+    let* target, _ = oneofl targets in
+    let* value = gen_float_expr iters locals in
+    let* reduce = bool in
+    match target with
+    | `Y ->
+      let* ix = gen_index iters n_x in
+      return
+        (if reduce then Stmt.reduce_to "y" [ ix ] Types.R_add value
+         else Stmt.store "y" [ ix ] value)
+    | `Z ->
+      let* ir = gen_index iters m_r in
+      let* ic = gen_index iters m_c in
+      return
+        (if reduce then Stmt.reduce_to "z" [ ir; ic ] Types.R_add value
+         else Stmt.store "z" [ ir; ic ] value)
+    | `L (name, dim) ->
+      let* ix = gen_index iters dim in
+      return
+        (if reduce then Stmt.reduce_to name [ ix ] Types.R_add value
+         else Stmt.store name [ ix ] value)
+  in
+  if depth <= 0 then store_to
+  else
+    let loop =
+      let iter = Names.fresh "gi" in
+      let* lo = int_range 0 2 in
+      let* len = int_range 1 4 in
+      let* body = gen_stmt (depth - 1) (iter :: iters) locals in
+      return (Stmt.for_ iter (Expr.int lo) (Expr.int (lo + len)) body)
+    in
+    let guard =
+      let* c = gen_cond iters in
+      let* body = gen_stmt (depth - 1) iters locals in
+      let* with_else = bool in
+      if with_else then
+        let* e = gen_stmt (depth - 1) iters locals in
+        return (Stmt.if_ c body (Some e))
+      else return (Stmt.if_ c body None)
+    in
+    let local_def =
+      let name = Names.fresh "gt" in
+      let* dim = int_range 1 5 in
+      (* initialize the local before any generated use may read it *)
+      let init_iter = Names.fresh "gz" in
+      let init =
+        Stmt.for_ init_iter (Expr.int 0) (Expr.int dim)
+          (Stmt.store name [ Expr.var init_iter ] (Expr.float 0.))
+      in
+      let* body = gen_stmt (depth - 1) iters ((name, dim) :: locals) in
+      return
+        (Stmt.var_def name Types.F32 Types.Cpu_stack [ Expr.int dim ]
+           (Stmt.seq [ init; body ]))
+    in
+    let block =
+      let* k = int_range 2 3 in
+      let* ss = list_repeat k (gen_stmt (depth - 1) iters locals) in
+      return (Stmt.seq ss)
+    in
+    frequency
+      [ (3, store_to); (3, loop); (2, guard); (1, local_def); (2, block) ]
+
+let gen_func : Stmt.func t =
+  let* k = int_range 2 4 in
+  let* body = list_repeat k (gen_stmt 3 [] []) in
+  return (Stmt.func "random" params (Stmt.seq body))
+
+(* fresh runtime arguments for the fixed signature *)
+let fresh_args ?(seed = 11) () =
+  let open Ft_runtime in
+  [ ("x", Tensor.rand ~seed Types.F32 [| n_x |]);
+    ("m", Tensor.rand ~seed:(seed + 1) Types.F32 [| m_r; m_c |]);
+    ("idx", Tensor.randint ~seed:(seed + 2) ~lo:0 ~hi:n_x Types.I32 [| n_x |]);
+    ("y", Tensor.zeros Types.F32 [| n_x |]);
+    ("z", Tensor.zeros Types.F32 [| m_r; m_c |]) ]
+
+let outputs args =
+  (List.assoc "y" args, List.assoc "z" args)

@@ -1,0 +1,480 @@
+(* Automatic differentiation tests (Section 5).  Every gradient program is
+   validated against central finite differences of the forward function,
+   and the selective-materialization decisions are checked against the
+   paper's Fig. 15 example. *)
+
+open Ft_ir
+open Ft_runtime
+open Ft_backend
+module Grad = Ft_ad.Grad
+module Dsl = Ft_frontend.Dsl
+module Libop = Ft_libop.Libop
+
+let i = Expr.int
+let v = Expr.var
+
+(* ---------- generic finite-difference checker ---------- *)
+
+(* Allocate tensors for a param list under [sizes]; inputs random,
+   outputs/others zero. *)
+let alloc_args ?(seed0 = 100) ?(presets = []) ~sizes
+    (params : Stmt.param list) =
+  List.mapi
+    (fun k (p : Stmt.param) ->
+      match List.assoc_opt p.Stmt.p_name presets with
+      | Some t -> (p.Stmt.p_name, t)
+      | None ->
+        let dims = Interp.param_dims ~sizes p in
+        let t =
+          if p.Stmt.p_atype = Types.Input && Types.is_float p.Stmt.p_dtype
+          then
+            Tensor.rand ~seed:(seed0 + k) ~lo:0.1 ~hi:1.0 p.Stmt.p_dtype dims
+          else Tensor.zeros p.Stmt.p_dtype dims
+        in
+        (p.Stmt.p_name, t))
+    params
+
+(* Sum of all output tensors of [fn] run on [args] — the scalar loss. *)
+let loss_of fn ~sizes args =
+  (* fresh copies of outputs so repeated runs don't interfere *)
+  let run_args =
+    List.map
+      (fun (p : Stmt.param) ->
+        let t = List.assoc p.Stmt.p_name args in
+        if p.Stmt.p_atype = Types.Input then (p.Stmt.p_name, t)
+        else (p.Stmt.p_name, Tensor.zeros (Tensor.dtype t) (Tensor.shape t)))
+      fn.Stmt.fn_params
+  in
+  Interp.run_func ~sizes fn run_args;
+  List.fold_left
+    (fun acc (p : Stmt.param) ->
+      if p.Stmt.p_atype = Types.Output || p.Stmt.p_atype = Types.Inout then
+        Array.fold_left ( +. ) acc
+          (Tensor.to_float_array (List.assoc p.Stmt.p_name run_args))
+      else acc)
+    0.0 fn.Stmt.fn_params
+
+(* Run the AD pipeline with all output gradients = 1 and return the
+   gradient tensors for each differentiable input. *)
+let ad_gradients ?(mode = Grad.Selective) fn ~sizes args =
+  let res = Grad.grad ~mode fn in
+  (* forward: original args + tapes *)
+  let tape_args =
+    List.map
+      (fun (tp : Grad.tape_spec) ->
+        let dims =
+          Array.of_list
+            (List.map (Interp.eval_static ~sizes) tp.Grad.tp_dims)
+        in
+        (tp.Grad.tp_name, Tensor.zeros tp.Grad.tp_dtype dims))
+      res.Grad.tapes
+  in
+  let fwd_args = args @ tape_args in
+  Interp.run_func ~sizes res.Grad.forward fwd_args;
+  (* backward *)
+  let grad_args =
+    List.filter_map
+      (fun (p : Stmt.param) ->
+        if not (Types.is_float p.Stmt.p_dtype) then None
+        else
+          let dims = Interp.param_dims ~sizes p in
+          match p.Stmt.p_atype with
+          | Types.Input ->
+            Some (p.Stmt.p_name ^ ".grad", Tensor.zeros p.Stmt.p_dtype dims)
+          | Types.Output | Types.Inout ->
+            let t = Tensor.zeros p.Stmt.p_dtype dims in
+            Tensor.fill_f t 1.0;
+            Some (p.Stmt.p_name ^ ".grad", t)
+          | Types.Cache -> None)
+      fn.Stmt.fn_params
+  in
+  let bwd_args = fwd_args @ grad_args in
+  Interp.run_func ~sizes res.Grad.backward bwd_args;
+  (res, grad_args)
+
+let check_against_fd ?(mode = Grad.Selective) ?(tol = 2e-2) ?(eps = 1e-3)
+    ?(presets = []) ~sizes fn =
+  let args = alloc_args ~presets ~sizes fn.Stmt.fn_params in
+  let _res, grads = ad_gradients ~mode fn ~sizes args in
+  List.iter
+    (fun (p : Stmt.param) ->
+      if p.Stmt.p_atype = Types.Input && Types.is_float p.Stmt.p_dtype then begin
+        let x = List.assoc p.Stmt.p_name args in
+        let g = List.assoc (p.Stmt.p_name ^ ".grad") grads in
+        let n = Tensor.numel x in
+        for k = 0 to n - 1 do
+          let orig = Tensor.get_flat_f x k in
+          Tensor.set_flat_f x k (orig +. eps);
+          let lp = loss_of fn ~sizes args in
+          Tensor.set_flat_f x k (orig -. eps);
+          let lm = loss_of fn ~sizes args in
+          Tensor.set_flat_f x k orig;
+          let fd = (lp -. lm) /. (2. *. eps) in
+          let ad = Tensor.get_flat_f g k in
+          if Float.abs (fd -. ad) > tol *. (1.0 +. Float.abs fd) then
+            Alcotest.fail
+              (Printf.sprintf "grad %s[%d]: AD %.6f vs FD %.6f" p.Stmt.p_name
+                 k ad fd)
+        done
+      end)
+    fn.Stmt.fn_params
+
+(* ---------- simple cases ---------- *)
+
+let square_fn () =
+  (* y[i] = x[i] * x[i] *)
+  Stmt.func "sq"
+    [ Stmt.param "x" Types.F32 [ i 5 ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ i 5 ] ]
+    (Stmt.for_ "i" (i 0) (i 5)
+       (Stmt.store "y" [ v "i" ]
+          (Expr.mul (Expr.load "x" [ v "i" ]) (Expr.load "x" [ v "i" ]))))
+
+let test_square () = check_against_fd ~sizes:[] (square_fn ())
+
+let test_square_closed_form () =
+  let fn = square_fn () in
+  let args = alloc_args ~sizes:[] fn.Stmt.fn_params in
+  let _res, grads = ad_gradients fn ~sizes:[] args in
+  let x = List.assoc "x" args in
+  let g = List.assoc "x.grad" grads in
+  for k = 0 to 4 do
+    let expect = 2.0 *. Tensor.get_flat_f x k in
+    if Float.abs (expect -. Tensor.get_flat_f g k) > 1e-4 then
+      Alcotest.fail "dy/dx should be 2x"
+  done
+
+let test_sum_reduction () =
+  (* y[0] += x[i]: dy/dx = 1 *)
+  let fn =
+    Stmt.func "sum"
+      [ Stmt.param "x" Types.F32 [ i 7 ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 1 ] ]
+      (Stmt.for_ "i" (i 0) (i 7)
+         (Stmt.reduce_to "y" [ i 0 ] Types.R_add (Expr.load "x" [ v "i" ])))
+  in
+  check_against_fd ~sizes:[] fn
+
+let test_unary_chain () =
+  (* y[i] = exp(sqrt(x[i])) * sigmoid(x[i]) *)
+  let x_i = Expr.load "x" [ v "i" ] in
+  let fn =
+    Stmt.func "chain"
+      [ Stmt.param "x" Types.F32 [ i 6 ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 6 ] ]
+      (Stmt.for_ "i" (i 0) (i 6)
+         (Stmt.store "y" [ v "i" ]
+            (Expr.mul
+               (Expr.unop Expr.Exp (Expr.unop Expr.Sqrt x_i))
+               (Expr.unop Expr.Sigmoid x_i))))
+  in
+  check_against_fd ~sizes:[] fn
+
+let test_div_abs () =
+  (* y[i] = |x[i] - 0.5| / (x[i] + 2) *)
+  let x_i = Expr.load "x" [ v "i" ] in
+  let fn =
+    Stmt.func "divabs"
+      [ Stmt.param "x" Types.F32 [ i 6 ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 6 ] ]
+      (Stmt.for_ "i" (i 0) (i 6)
+         (Stmt.store "y" [ v "i" ]
+            (Expr.div
+               (Expr.unop Expr.Abs (Expr.sub x_i (Expr.float 0.5)))
+               (Expr.add x_i (Expr.float 2.)))))
+  in
+  check_against_fd ~sizes:[] fn
+
+let test_max_reduction () =
+  (* m max= x[i]; gradient routed to the argmax *)
+  let fn =
+    Stmt.func "mx"
+      [ Stmt.param "x" Types.F32 [ i 6 ];
+        Stmt.param ~atype:Types.Output "m" Types.F32 [] ]
+      (Stmt.seq
+         [ Stmt.store "m" [] (Expr.float neg_infinity);
+           Stmt.for_ "i" (i 0) (i 6)
+             (Stmt.reduce_to "m" [] Types.R_max (Expr.load "x" [ v "i" ])) ])
+  in
+  let args = alloc_args ~sizes:[] fn.Stmt.fn_params in
+  let _res, grads = ad_gradients fn ~sizes:[] args in
+  let x = Tensor.to_float_array (List.assoc "x" args) in
+  let g = Tensor.to_float_array (List.assoc "x.grad" grads) in
+  let arg_max = ref 0 in
+  Array.iteri (fun k xv -> if xv > x.(!arg_max) then arg_max := k) x;
+  Array.iteri
+    (fun k gv ->
+      let expect = if k = !arg_max then 1.0 else 0.0 in
+      if Float.abs (gv -. expect) > 1e-5 then
+        Alcotest.fail
+          (Printf.sprintf "max grad at %d: %g (expect %g)" k gv expect))
+    g
+
+(* ---------- Fig. 15: materialize vs recompute ---------- *)
+
+let fig15_fn () =
+  (* for i: t = a[i]*b[i]; y[i] = t*c[i]; z[i] = t*d[i] *)
+  let t_body =
+    Stmt.seq
+      [ Stmt.store "t" []
+          (Expr.mul (Expr.load "a" [ v "i" ]) (Expr.load "b" [ v "i" ]));
+        Stmt.store "y" [ v "i" ]
+          (Expr.mul (Expr.load "t" []) (Expr.load "c" [ v "i" ]));
+        Stmt.store "z" [ v "i" ]
+          (Expr.mul (Expr.load "t" []) (Expr.load "d" [ v "i" ])) ]
+  in
+  Stmt.func "fig15"
+    [ Stmt.param "a" Types.F32 [ v "n" ];
+      Stmt.param "b" Types.F32 [ v "n" ];
+      Stmt.param "c" Types.F32 [ v "n" ];
+      Stmt.param "d" Types.F32 [ v "n" ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n" ];
+      Stmt.param ~atype:Types.Output "z" Types.F32 [ v "n" ] ]
+    (Stmt.for_ "i" (i 0) (v "n")
+       (Stmt.var_def "t" Types.F32 Types.Cpu_stack [] t_body))
+
+let test_fig15_gradients () =
+  check_against_fd ~sizes:[ ("n", 6) ] (fig15_fn ())
+
+let test_fig15_selective_recomputes () =
+  (* Selective: t = a*b is cheap and input-only -> recompute, no tape *)
+  let res = Grad.grad ~mode:Grad.Selective (fig15_fn ()) in
+  Alcotest.(check int) "no tapes" 0 (List.length res.Grad.tapes);
+  Alcotest.(check bool) "t recomputed" true
+    (List.exists (fun (t, _) -> t = "t") res.Grad.recomputed)
+
+let test_fig15_materialize_all_tapes () =
+  (* Materialize_all: t is stored as t.tape1 of shape [n] (Fig. 15(b)),
+     and — being the naive strategy — the operand values a,b,c,d are
+     value-logged as well, so there are strictly more tapes than in the
+     selective mode (which has none). *)
+  let res = Grad.grad ~mode:Grad.Materialize_all (fig15_fn ()) in
+  let names = List.map (fun (tp : Grad.tape_spec) -> tp.Grad.tp_name) res.Grad.tapes in
+  Alcotest.(check bool) "t.tape1 present" true (List.mem "t.tape1" names);
+  (match List.find_opt (fun (tp : Grad.tape_spec) -> tp.Grad.tp_name = "t.tape1") res.Grad.tapes with
+   | Some tp -> Alcotest.(check int) "tape rank" 1 (List.length tp.Grad.tp_dims)
+   | None -> Alcotest.fail "t.tape1 missing");
+  Alcotest.(check bool) "strictly more tapes than selective" true
+    (List.length res.Grad.tapes
+     > List.length (Grad.grad ~mode:Grad.Selective (fig15_fn ())).Grad.tapes);
+  (* gradient must also be correct in this mode *)
+  check_against_fd ~mode:Grad.Materialize_all ~sizes:[ ("n", 6) ]
+    (fig15_fn ())
+
+(* ---------- multi-state (overwritten) tensors ---------- *)
+
+let test_multi_state_overwrite () =
+  (* for i: { t = x[i]*2; y[i] = t; t = t + x[i]; z[i] = t*t } *)
+  let body =
+    Stmt.seq
+      [ Stmt.store "t" [] (Expr.mul (Expr.load "x" [ v "i" ]) (Expr.float 2.));
+        Stmt.store "y" [ v "i" ] (Expr.load "t" []);
+        Stmt.store "t" [] (Expr.add (Expr.load "t" []) (Expr.load "x" [ v "i" ]));
+        Stmt.store "z" [ v "i" ] (Expr.mul (Expr.load "t" []) (Expr.load "t" [])) ]
+  in
+  let fn =
+    Stmt.func "versions"
+      [ Stmt.param "x" Types.F32 [ i 5 ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 5 ];
+        Stmt.param ~atype:Types.Output "z" Types.F32 [ i 5 ] ]
+      (Stmt.for_ "i" (i 0) (i 5)
+         (Stmt.var_def "t" Types.F32 Types.Cpu_stack [] body))
+  in
+  check_against_fd ~sizes:[] fn;
+  check_against_fd ~mode:Grad.Materialize_all ~sizes:[] fn
+
+(* ---------- softmax (libop) ---------- *)
+
+let test_softmax_gradient () =
+  let r, n = 2, 5 in
+  let fn =
+    Dsl.func "softmax"
+      [ Dsl.input "x" [ i r; i n ] Types.F32;
+        Dsl.output "y" [ i r; i n ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ x; y ] -> Libop.softmax_last_axis ~dst:y ~src:x ()
+        | _ -> assert false)
+  in
+  check_against_fd ~sizes:[] fn;
+  check_against_fd ~mode:Grad.Materialize_all ~sizes:[] fn
+
+(* ---------- guarded code ---------- *)
+
+let test_guarded_gradient () =
+  (* y[i] = (i < 3) ? x[i]*x[i] : 2*x[i], via If *)
+  let x_i = Expr.load "x" [ v "i" ] in
+  let fn =
+    Stmt.func "guard"
+      [ Stmt.param "x" Types.F32 [ i 6 ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 6 ] ]
+      (Stmt.for_ "i" (i 0) (i 6)
+         (Stmt.if_ (Expr.lt (v "i") (i 3))
+            (Stmt.store "y" [ v "i" ] (Expr.mul x_i x_i))
+            (Some (Stmt.store "y" [ v "i" ] (Expr.mul (Expr.float 2.) x_i)))))
+  in
+  check_against_fd ~sizes:[] fn
+
+(* ---------- matmul ---------- *)
+
+let test_matmul_gradient () =
+  let m, k, n = 3, 4, 2 in
+  let fn =
+    Dsl.func "mm"
+      [ Dsl.input "a" [ i m; i k ] Types.F32;
+        Dsl.input "b" [ i k; i n ] Types.F32;
+        Dsl.output "c" [ i m; i n ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ a; b; c ] ->
+          Libop.zeros c;
+          Libop.matmul_into ~c ~a ~b
+        | _ -> assert false)
+  in
+  check_against_fd ~sizes:[] fn
+
+(* ---------- Longformer end-to-end gradient ---------- *)
+
+let test_longformer_gradient () =
+  let seq, feat, w = 6, 3, 2 in
+  let fn = Test_frontend.longformer_fn ~seq ~feat ~w in
+  check_against_fd ~tol:5e-2 ~sizes:[] fn
+
+
+(* ---------- forward mode (jvp) ---------- *)
+
+module Jvp = Ft_ad.Jvp
+
+(* run the jvp of [fn] with direction [dx] on the named input; returns the
+   tangent of the named output *)
+let run_jvp fn ~sizes ~args ~dir_on ~dir ~out_name =
+  let j = Jvp.jvp fn in
+  let dual_args =
+    List.map
+      (fun (p : Stmt.param) ->
+        let t = List.assoc p.Stmt.p_name args in
+        (p.Stmt.p_name ^ ".d",
+         if p.Stmt.p_name = dir_on then dir
+         else Tensor.zeros (Tensor.dtype t) (Tensor.shape t)))
+      (List.filter
+         (fun (p : Stmt.param) -> Types.is_float p.Stmt.p_dtype)
+         fn.Stmt.fn_params)
+  in
+  Interp.run_func ~sizes j (args @ dual_args);
+  List.assoc (out_name ^ ".d") dual_args
+
+let test_jvp_against_fd () =
+  let fn = square_fn () in
+  let args = alloc_args ~sizes:[] fn.Stmt.fn_params in
+  let x = List.assoc "x" args in
+  let dir = Tensor.rand ~seed:77 Types.F32 (Tensor.shape x) in
+  let dy = run_jvp fn ~sizes:[] ~args ~dir_on:"x" ~dir ~out_name:"y" in
+  (* y = x^2  =>  dy = 2 x dx *)
+  for k = 0 to Tensor.numel x - 1 do
+    let expect = 2.0 *. Tensor.get_flat_f x k *. Tensor.get_flat_f dir k in
+    if Float.abs (expect -. Tensor.get_flat_f dy k) > 1e-4 then
+      Alcotest.fail "jvp of square"
+  done
+
+let test_jvp_matches_reverse_mode () =
+  (* <grad f, v> must equal 1^T . jvp(f, v) when y.grad = 1 *)
+  let fn = fig15_fn () in
+  let sizes = [ ("n", 5) ] in
+  let args = alloc_args ~sizes fn.Stmt.fn_params in
+  let _res, grads = ad_gradients fn ~sizes args in
+  let v = Tensor.rand ~seed:99 Types.F32 [| 5 |] in
+  let dy = run_jvp fn ~sizes ~args ~dir_on:"a" ~dir:v ~out_name:"y" in
+  let dz = run_jvp fn ~sizes ~args ~dir_on:"a" ~dir:v ~out_name:"z" in
+  let lhs =
+    (* <a.grad, v> *)
+    let g = List.assoc "a.grad" grads in
+    let acc = ref 0.0 in
+    for k = 0 to 4 do
+      acc := !acc +. (Tensor.get_flat_f g k *. Tensor.get_flat_f v k)
+    done;
+    !acc
+  in
+  let rhs =
+    Array.fold_left ( +. ) 0.0 (Tensor.to_float_array dy)
+    +. Array.fold_left ( +. ) 0.0 (Tensor.to_float_array dz)
+  in
+  Alcotest.(check bool) "forward/reverse agreement" true
+    (Float.abs (lhs -. rhs) < 1e-4)
+
+let test_jvp_max_reduce () =
+  (* tangent of a max-reduction follows the argmax *)
+  let fn =
+    Stmt.func "mx"
+      [ Stmt.param "x" Types.F32 [ i 6 ];
+        Stmt.param ~atype:Types.Output "m" Types.F32 [] ]
+      (Stmt.seq
+         [ Stmt.store "m" [] (Expr.float neg_infinity);
+           Stmt.for_ "i" (i 0) (i 6)
+             (Stmt.reduce_to "m" [] Types.R_max (Expr.load "x" [ v "i" ])) ])
+  in
+  let args = alloc_args ~sizes:[] fn.Stmt.fn_params in
+  let x = Tensor.to_float_array (List.assoc "x" args) in
+  let dir = Tensor.rand ~seed:55 Types.F32 [| 6 |] in
+  let dm = run_jvp fn ~sizes:[] ~args ~dir_on:"x" ~dir ~out_name:"m" in
+  let arg_max = ref 0 in
+  Array.iteri (fun k xv -> if xv > x.(!arg_max) then arg_max := k) x;
+  Alcotest.(check bool) "dm = dir[argmax]" true
+    (Float.abs (Tensor.to_scalar_f dm -. Tensor.get_flat_f dir !arg_max)
+     < 1e-5)
+
+let test_jvp_longformer () =
+  (* directional derivative vs central finite differences on the whole
+     Longformer kernel *)
+  let seq, feat, w = 8, 3, 2 in
+  let fn = Test_frontend.longformer_fn ~seq ~feat ~w in
+  let args = alloc_args ~sizes:[] fn.Stmt.fn_params in
+  let q = List.assoc "Q" args in
+  let dir = Tensor.rand ~seed:31 Types.F32 (Tensor.shape q) in
+  let dy = run_jvp fn ~sizes:[] ~args ~dir_on:"Q" ~dir ~out_name:"Y" in
+  (* fd: (f(q + eps*dir) - f(q - eps*dir)) / (2 eps), summed *)
+  let eps = 1e-3 in
+  let perturb sign =
+    let q' =
+      Tensor.map2_f (fun a b -> a +. (sign *. eps *. b)) q dir
+    in
+    let y = Tensor.zeros Types.F32 [| seq; feat |] in
+    Interp.run_func fn
+      [ ("Q", q'); ("K", List.assoc "K" args); ("V", List.assoc "V" args);
+        ("Y", y) ];
+    y
+  in
+  let yp = perturb 1.0 and ym = perturb (-1.0) in
+  let fd_total = ref 0.0 and ad_total = ref 0.0 in
+  for k = 0 to Tensor.numel dy - 1 do
+    fd_total :=
+      !fd_total +. ((Tensor.get_flat_f yp k -. Tensor.get_flat_f ym k)
+                    /. (2. *. eps));
+    ad_total := !ad_total +. Tensor.get_flat_f dy k
+  done;
+  Alcotest.(check bool) "jvp ~ fd on longformer" true
+    (Float.abs (!fd_total -. !ad_total) < 5e-2 *. (1.0 +. Float.abs !fd_total))
+
+let suite =
+  [ Alcotest.test_case "square" `Quick test_square;
+    Alcotest.test_case "square closed form" `Quick test_square_closed_form;
+    Alcotest.test_case "sum reduction" `Quick test_sum_reduction;
+    Alcotest.test_case "unary chain rule" `Quick test_unary_chain;
+    Alcotest.test_case "div + abs" `Quick test_div_abs;
+    Alcotest.test_case "max reduction routing" `Quick test_max_reduction;
+    Alcotest.test_case "Fig 15 gradients" `Quick test_fig15_gradients;
+    Alcotest.test_case "Fig 15 selective recompute" `Quick
+      test_fig15_selective_recomputes;
+    Alcotest.test_case "Fig 15 materialize-all tape" `Quick
+      test_fig15_materialize_all_tapes;
+    Alcotest.test_case "multi-state overwrites" `Quick
+      test_multi_state_overwrite;
+    Alcotest.test_case "softmax gradient" `Quick test_softmax_gradient;
+    Alcotest.test_case "guarded gradient" `Quick test_guarded_gradient;
+    Alcotest.test_case "matmul gradient" `Quick test_matmul_gradient;
+    Alcotest.test_case "Longformer gradient" `Slow test_longformer_gradient;
+    Alcotest.test_case "jvp vs finite differences" `Quick test_jvp_against_fd;
+    Alcotest.test_case "jvp vs reverse mode" `Quick
+      test_jvp_matches_reverse_mode;
+    Alcotest.test_case "jvp max reduction" `Quick test_jvp_max_reduce;
+    Alcotest.test_case "jvp Longformer" `Quick test_jvp_longformer ]
+

@@ -1,0 +1,393 @@
+(* Backend tests: the abstract machine, the analytic cost model, OpenMP
+   C / CUDA code generation, the Compile pipeline and the TVM-like tuner.
+   Codegen is golden-tested for structure (no nvcc in this container). *)
+
+open Ft_ir
+module Machine = Ft_machine.Machine
+module Costmodel = Ft_backend.Costmodel
+module Codegen = Ft_backend.Codegen
+module Interp = Ft_backend.Interp
+module Auto = Ft_auto.Auto
+module Tuner = Ft_baselines.Tuner
+module Tensor = Ft_runtime.Tensor
+
+let i = Expr.int
+let v = Expr.var
+let ld = Expr.load
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go k =
+    k + n <= m && (String.sub haystack k n = needle || go (k + 1))
+  in
+  go 0
+
+let assert_contains what src needle =
+  if not (contains src needle) then
+    Alcotest.fail (Printf.sprintf "%s: missing %S in:\n%s" what needle src)
+
+(* simple parallel elementwise function *)
+let saxpy ?(n = 1024) () =
+  let body =
+    Stmt.for_ ~label:"L" "i" (i 0) (i n)
+      (Stmt.store "y" [ v "i" ]
+         (Expr.add
+            (Expr.mul (Expr.float 2.) (ld "x" [ v "i" ]))
+            (ld "y" [ v "i" ])))
+  in
+  Stmt.func "saxpy"
+    [ Stmt.param "x" Types.F32 [ i n ];
+      Stmt.param ~atype:Types.Inout "y" Types.F32 [ i n ] ]
+    body
+
+(* ---- machine model ---- *)
+
+let test_machine_roofline () =
+  let sp = Machine.cpu in
+  (* compute-bound kernel: plenty of flops, no memory *)
+  let t_compute, _ =
+    Machine.kernel_cost sp ~parallel_iters:sp.Machine.parallelism
+      ~vectorized:true ~flops:1e9 ~l2_bytes:0. ~footprint_bytes:0.
+  in
+  (* memory-bound kernel: same flops, huge traffic *)
+  let t_memory, _ =
+    Machine.kernel_cost sp ~parallel_iters:sp.Machine.parallelism
+      ~vectorized:true ~flops:1e9 ~l2_bytes:1e10 ~footprint_bytes:1e10
+  in
+  Alcotest.(check bool) "memory-bound is slower" true (t_memory > t_compute);
+  (* serial execution is slower than parallel *)
+  let t_serial, _ =
+    Machine.kernel_cost sp ~parallel_iters:1 ~vectorized:false ~flops:1e9
+      ~l2_bytes:0. ~footprint_bytes:0.
+  in
+  Alcotest.(check bool) "serial is much slower" true
+    (t_serial > t_compute *. 10.)
+
+let test_machine_cache_model () =
+  let sp = Machine.gpu in
+  (* a working set within L2 pays only compulsory DRAM traffic *)
+  let _, dram_small =
+    Machine.kernel_cost sp ~parallel_iters:5120 ~vectorized:true ~flops:0.
+      ~l2_bytes:1e9 ~footprint_bytes:1e6
+  in
+  Alcotest.(check bool) "fits in L2: DRAM = footprint" true
+    (dram_small = 1e6);
+  (* a large working set pays close to the access volume *)
+  let _, dram_large =
+    Machine.kernel_cost sp ~parallel_iters:5120 ~vectorized:true ~flops:0.
+      ~l2_bytes:1e9 ~footprint_bytes:1e8
+  in
+  Alcotest.(check bool) "spills: DRAM >> footprint" true (dram_large > 5e8)
+
+let test_machine_oom () =
+  let sp = Machine.gpu in
+  let m = Machine.fresh_metrics () in
+  Alcotest.check_raises "exceeding capacity raises"
+    (Machine.Out_of_memory { needed = 64e9; capacity = sp.Machine.mem_capacity })
+    (fun () ->
+      Machine.charge_kernel sp m ~parallel_iters:1 ~vectorized:false
+        ~flops:0. ~l2_bytes:0. ~footprint_bytes:0. ~live_bytes:64e9)
+
+(* ---- cost model ---- *)
+
+let test_costmodel_counts () =
+  let n = 1024 in
+  let fn = saxpy ~n () in
+  let m = Costmodel.estimate ~device:Types.Cpu fn in
+  Alcotest.(check int) "one kernel" 1 m.Machine.kernels;
+  (* 2 flops per element *)
+  Alcotest.(check bool) "flops ~ 2n" true
+    (Float.abs (m.Machine.flops -. float_of_int (2 * n)) < 1.0);
+  (* traffic: x read + y read + y write = 3 * 4 bytes per element *)
+  Alcotest.(check bool) "l2 bytes ~ 12n" true
+    (Float.abs (m.Machine.l2_bytes -. float_of_int (12 * n)) < 1.0)
+
+let test_costmodel_parallel_speedup () =
+  let fn = saxpy ~n:100000 () in
+  let serial = Costmodel.estimate ~device:Types.Cpu fn in
+  let par = Auto.run ~device:Types.Cpu fn in
+  let parallel = Costmodel.estimate ~device:Types.Cpu par in
+  Alcotest.(check bool) "auto-scheduling reduces estimated time" true
+    (parallel.Machine.time < serial.Machine.time)
+
+let test_costmodel_lib_call () =
+  (* a GEMM wrapped by as_lib must be charged as a fully-parallel library
+     kernel, faster than the naive serial nest *)
+  let sz = 128 in
+  let kloop =
+    Stmt.for_ "k" (i 0) (i sz)
+      (Stmt.reduce_to "c" [ v "i"; v "j" ] Types.R_add
+         (Expr.mul (ld "a" [ v "i"; v "k" ]) (ld "b" [ v "k"; v "j" ])))
+  in
+  let nest =
+    Stmt.for_ ~label:"Li" "i" (i 0) (i sz) (Stmt.for_ "j" (i 0) (i sz) kloop)
+  in
+  let fn =
+    Stmt.func "mm"
+      [ Stmt.param "a" Types.F32 [ i sz; i sz ];
+        Stmt.param "b" Types.F32 [ i sz; i sz ];
+        Stmt.param ~atype:Types.Inout "c" Types.F32 [ i sz; i sz ] ]
+      nest
+  in
+  let naive = Costmodel.estimate ~device:Types.Cpu fn in
+  let s = Ft_sched.Schedule.of_func fn in
+  ignore (Ft_sched.Schedule.as_lib s (Ft_sched.Schedule.By_label "Li"));
+  let lib = Costmodel.estimate ~device:Types.Cpu (Ft_sched.Schedule.func s) in
+  Alcotest.(check bool) "library call is faster" true
+    (lib.Machine.time < naive.Machine.time)
+
+(* ---- codegen ---- *)
+
+let test_codegen_c_structure () =
+  let fn = Auto.run ~device:Types.Cpu (saxpy ()) in
+  let src = Codegen.c_of_func fn in
+  assert_contains "C" src "void saxpy(const float* x, float* y)";
+  assert_contains "C" src "#pragma omp parallel for";
+  assert_contains "C" src "for (int";
+  assert_contains "C" src "2.0f"
+
+let test_codegen_c_linearization () =
+  (* 2-D access must flatten row-major *)
+  let fn =
+    Stmt.func "two_d"
+      [ Stmt.param "a" Types.F32 [ i 4; i 5 ];
+        Stmt.param ~atype:Types.Output "b" Types.F32 [ i 4; i 5 ] ]
+      (Stmt.for_ "i" (i 0) (i 4)
+         (Stmt.for_ "j" (i 0) (i 5)
+            (Stmt.store "b" [ v "i"; v "j" ] (ld "a" [ v "i"; v "j" ]))))
+  in
+  let src = Codegen.c_of_func fn in
+  assert_contains "C" src "[(i * 5) + j]"
+
+let test_codegen_cuda_structure () =
+  let fn = Auto.run ~device:Types.Gpu (saxpy ()) in
+  let src = Codegen.cuda_of_func fn in
+  assert_contains "CUDA" src "__global__ void saxpy_kernel1";
+  assert_contains "CUDA" src "blockIdx.x";
+  assert_contains "CUDA" src "threadIdx.x";
+  assert_contains "CUDA" src "<<<";
+  assert_contains "CUDA" src "cudaDeviceSynchronize"
+
+let test_codegen_cuda_atomic () =
+  (* scatter reduction lowers to atomicAdd *)
+  let loop =
+    Stmt.for_ ~label:"L" "i" (i 0) (i 1024)
+      (Stmt.reduce_to "a" [ ld "idx" [ v "i" ] ] Types.R_add
+         (ld "b" [ v "i" ]))
+  in
+  let fn =
+    Stmt.func "scatter"
+      [ Stmt.param "idx" Types.I32 [ i 1024 ];
+        Stmt.param "b" Types.F32 [ i 1024 ];
+        Stmt.param ~atype:Types.Inout "a" Types.F32 [ i 1024 ] ]
+      loop
+  in
+  let fn = Auto.run ~device:Types.Gpu fn in
+  let src = Codegen.cuda_of_func fn in
+  assert_contains "CUDA" src "atomicAdd"
+
+let test_codegen_shared_memory () =
+  (* shared tensors live inside the kernel (per block) *)
+  let property =
+    { Stmt.default_property with parallel = Some Types.Cuda_block_x }
+  in
+  let fn =
+    Stmt.func "sm"
+      [ Stmt.param ~atype:Types.Output "y" Types.F32 [ i 4; i 8 ] ]
+      (Stmt.for_ ~property "b" (i 0) (i 4)
+         (Stmt.var_def "t" Types.F32 Types.Gpu_shared [ i 8 ]
+            (Stmt.for_ "i" (i 0) (i 8)
+               (Stmt.seq
+                  [ Stmt.store "t" [ v "i" ] (Expr.float 1.);
+                    Stmt.store "y" [ v "b"; v "i" ] (ld "t" [ v "i" ]) ]))))
+  in
+  let src = Codegen.cuda_of_func fn in
+  assert_contains "CUDA" src "__shared__ float t[8];"
+
+(* ---- compile pipeline ---- *)
+
+let test_compile_pipeline () =
+  let fn = saxpy ~n:64 () in
+  let c = Freetensor.Compile.build ~device:Types.Cpu fn in
+  let x = Tensor.rand ~seed:1 Types.F32 [| 64 |] in
+  let y = Tensor.rand ~seed:2 Types.F32 [| 64 |] in
+  let y_ref = Tensor.copy y in
+  Freetensor.Compile.run c [ ("x", x); ("y", y) ];
+  Interp.run_func fn [ ("x", x); ("y", y_ref) ];
+  Alcotest.(check bool) "compiled result matches unscheduled" true
+    (Tensor.all_close y y_ref);
+  Alcotest.(check bool) "compile time recorded" true
+    (c.Freetensor.Compile.c_compile_time >= 0.)
+
+(* ---- tuner ---- *)
+
+let test_tuner_improves_or_keeps () =
+  let fn = saxpy ~n:100000 () in
+  let base =
+    (Costmodel.estimate ~device:Types.Cpu fn).Machine.time
+  in
+  let r = Tuner.tune ~rounds:24 ~device:Types.Cpu fn in
+  Alcotest.(check bool) "tuned time <= untuned" true (r.Tuner.best_time <= base);
+  Alcotest.(check int) "rounds recorded" 24 r.Tuner.rounds;
+  (* tuned program still computes the right thing *)
+  let x = Tensor.rand ~seed:5 Types.F32 [| 100000 |] in
+  let y = Tensor.rand ~seed:6 Types.F32 [| 100000 |] in
+  let y_ref = Tensor.copy y in
+  Interp.run_func r.Tuner.tuned [ ("x", x); ("y", y) ];
+  Interp.run_func fn [ ("x", x); ("y", y_ref) ];
+  Alcotest.(check bool) "tuned program is correct" true
+    (Tensor.all_close y y_ref)
+
+let test_tuner_deterministic () =
+  let fn = saxpy ~n:4096 () in
+  let a = Tuner.tune ~seed:3 ~rounds:12 ~device:Types.Gpu fn in
+  let b = Tuner.tune ~seed:3 ~rounds:12 ~device:Types.Gpu fn in
+  Alcotest.(check bool) "same seed, same best time" true
+    (a.Tuner.best_time = b.Tuner.best_time)
+
+(* ---- dependence through tiled indices (affinization regression) ---- *)
+
+let test_split_then_parallelize_inner () =
+  let fn = saxpy ~n:1024 () in
+  let s = Ft_sched.Schedule.of_func fn in
+  let outer, inner =
+    Ft_sched.Schedule.split s (Ft_sched.Schedule.By_label "L") ~factor:256
+  in
+  Ft_sched.Schedule.parallelize s outer Types.Cuda_block_x;
+  (* binding the inner tile loop requires reasoning about (o*256+i)//256
+     style indices: must succeed *)
+  Ft_sched.Schedule.parallelize s inner Types.Cuda_thread_x;
+  let bound = ref 0 in
+  Stmt.iter
+    (fun st ->
+      match st.Stmt.node with
+      | Stmt.For f when f.Stmt.f_property.parallel <> None -> incr bound
+      | _ -> ())
+    (Ft_sched.Schedule.body s);
+  Alcotest.(check int) "both levels bound" 2 !bound
+
+(* ---- closure-compiling executor vs reference interpreter ---- *)
+
+module Cexec = Ft_backend.Compile_exec
+
+let test_compile_exec_workloads () =
+  (* every workload, before and after auto-scheduling, must agree between
+     the tree-walking interpreter and the closure executor *)
+  let module Sub = Ft_workloads.Subdivnet in
+  let module Lf = Ft_workloads.Longformer in
+  let module Sr = Ft_workloads.Softras in
+  let module Gat = Ft_workloads.Gat in
+  let both name fn args out_name out_dims =
+    List.iter
+      (fun (label, f) ->
+        let o1 = Tensor.zeros Types.F32 out_dims in
+        let o2 = Tensor.zeros Types.F32 out_dims in
+        Interp.run_func f (args @ [ (out_name, o1) ]);
+        Cexec.run_func f (args @ [ (out_name, o2) ]);
+        if not (Tensor.all_close ~tol:1e-5 o1 o2) then
+          Alcotest.fail
+            (Printf.sprintf "%s (%s): executor diverges by %g" name label
+               (Tensor.max_abs_diff o1 o2)))
+      [ ("raw", fn); ("scheduled", Auto.run ~device:Types.Cpu fn) ]
+  in
+  let sc = { Sub.n_faces = 48; in_feats = 7 } in
+  let e, adj = Sub.gen_inputs sc in
+  both "subdivnet" (Sub.ft_func sc)
+    [ ("e", e); ("adj", adj) ]
+    "y" [| sc.Sub.n_faces; sc.Sub.in_feats |];
+  let lc = { Lf.seq_len = 24; feat_len = 5; w = 3 } in
+  let q, k, vv = Lf.gen_inputs lc in
+  both "longformer" (Lf.ft_func lc)
+    [ ("Q", q); ("K", k); ("V", vv) ]
+    "Y" [| lc.Lf.seq_len; lc.Lf.feat_len |];
+  let rc = { Sr.img = 9; n_faces = 6; sigma = 0.02 } in
+  let cx, cy, r = Sr.gen_inputs rc in
+  both "softras" (Sr.ft_func rc)
+    [ ("cx", cx); ("cy", cy); ("r", r) ]
+    "img" [| rc.Sr.img; rc.Sr.img |];
+  let gc = { Gat.n_nodes = 24; in_feats = 4; out_feats = 3; avg_degree = 3 } in
+  let rowptr, colidx, n_edges = Gat.gen_graph gc in
+  let x, wt, a1, a2 = Gat.gen_inputs gc in
+  both "gat" (Gat.ft_func gc ~n_edges)
+    [ ("x", x); ("w", wt); ("a1", a1); ("a2", a2); ("rowptr", rowptr);
+      ("colidx", colidx) ]
+    "out" [| gc.Gat.n_nodes; gc.Gat.out_feats |]
+
+let test_compile_exec_gradient () =
+  (* the generated gradient programs also run identically on the compiled
+     executor (tapes included) *)
+  let module Lf = Ft_workloads.Longformer in
+  let module Grad = Ft_ad.Grad in
+  let lc = { Lf.seq_len = 12; feat_len = 4; w = 2 } in
+  let q, k, vv = Lf.gen_inputs lc in
+  let g = Grad.grad (Lf.ft_func lc) in
+  let alloc_tapes () =
+    List.map
+      (fun (tp : Grad.tape_spec) ->
+        ( tp.Grad.tp_name,
+          Tensor.zeros tp.Grad.tp_dtype
+            (Array.of_list (List.map Interp.eval_static tp.Grad.tp_dims)) ))
+      g.Grad.tapes
+  in
+  let run runner =
+    let y = Tensor.zeros Types.F32 [| lc.Lf.seq_len; lc.Lf.feat_len |] in
+    let tapes = alloc_tapes () in
+    let args = [ ("Q", q); ("K", k); ("V", vv); ("Y", y) ] @ tapes in
+    runner g.Grad.forward args;
+    let qg = Tensor.zeros Types.F32 (Tensor.shape q) in
+    let kg = Tensor.zeros Types.F32 (Tensor.shape k) in
+    let vg = Tensor.zeros Types.F32 (Tensor.shape vv) in
+    let yg = Tensor.zeros Types.F32 (Tensor.shape y) in
+    Tensor.fill_f yg 1.0;
+    runner g.Grad.backward
+      (args
+      @ [ ("Q.grad", qg); ("K.grad", kg); ("V.grad", vg); ("Y.grad", yg) ]);
+    (qg, kg, vg)
+  in
+  let q1, k1, v1 = run (fun f a -> Interp.run_func f a) in
+  let q2, k2, v2 = run (fun f a -> Cexec.run_func f a) in
+  Alcotest.(check bool) "dQ agrees" true (Tensor.all_close ~tol:1e-5 q1 q2);
+  Alcotest.(check bool) "dK agrees" true (Tensor.all_close ~tol:1e-5 k1 k2);
+  Alcotest.(check bool) "dV agrees" true (Tensor.all_close ~tol:1e-5 v1 v2)
+
+let test_compile_exec_reuse () =
+  (* a compiled function is reusable with fresh arguments *)
+  let fn = saxpy ~n:16 () in
+  let c = Cexec.compile fn in
+  let x = Tensor.rand ~seed:1 Types.F32 [| 16 |] in
+  let y1 = Tensor.zeros Types.F32 [| 16 |] in
+  c.Cexec.cd_run [ ("x", x); ("y", y1) ] [];
+  let y2 = Tensor.zeros Types.F32 [| 16 |] in
+  Tensor.fill_f y2 1.0;
+  c.Cexec.cd_run [ ("x", x); ("y", y2) ] [];
+  (* y2 = 2x + 1, y1 = 2x *)
+  let expect = Tensor.map_f (fun v -> (2. *. v) +. 1.) x in
+  Alcotest.(check bool) "second run with new outputs" true
+    (Tensor.all_close y2 expect)
+
+let suite =
+  [ Alcotest.test_case "machine roofline" `Quick test_machine_roofline;
+    Alcotest.test_case "compile_exec vs interp (workloads)" `Quick
+      test_compile_exec_workloads;
+    Alcotest.test_case "compile_exec vs interp (gradients)" `Quick
+      test_compile_exec_gradient;
+    Alcotest.test_case "compile_exec reuse" `Quick test_compile_exec_reuse;
+    Alcotest.test_case "machine cache model" `Quick test_machine_cache_model;
+    Alcotest.test_case "machine OOM" `Quick test_machine_oom;
+    Alcotest.test_case "costmodel counts" `Quick test_costmodel_counts;
+    Alcotest.test_case "costmodel parallel speedup" `Quick
+      test_costmodel_parallel_speedup;
+    Alcotest.test_case "costmodel lib call" `Quick test_costmodel_lib_call;
+    Alcotest.test_case "codegen C structure" `Quick test_codegen_c_structure;
+    Alcotest.test_case "codegen C linearization" `Quick
+      test_codegen_c_linearization;
+    Alcotest.test_case "codegen CUDA structure" `Quick
+      test_codegen_cuda_structure;
+    Alcotest.test_case "codegen CUDA atomic" `Quick test_codegen_cuda_atomic;
+    Alcotest.test_case "codegen shared memory" `Quick
+      test_codegen_shared_memory;
+    Alcotest.test_case "compile pipeline" `Quick test_compile_pipeline;
+    Alcotest.test_case "tuner improves" `Quick test_tuner_improves_or_keeps;
+    Alcotest.test_case "tuner deterministic" `Quick test_tuner_deterministic;
+    Alcotest.test_case "tiled-index parallelize (affinization)" `Quick
+      test_split_then_parallelize_inner ]

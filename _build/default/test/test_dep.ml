@@ -1,0 +1,243 @@
+(* Dependence analysis tests mirroring the paper's legality examples:
+   Fig. 12 (reorder), Fig. 13 (parallelize), stack-scope lifetime
+   projection, and the Fig. 10 softmax fusion case. *)
+
+open Ft_ir
+open Ft_dep
+
+let i = Expr.int
+let v = Expr.var
+let ld = Expr.load
+
+(* Is loop [loop] free of carried dependences? *)
+let no_carried root loop = Dep.carried_by ~root ~loop () = []
+
+(* -------- Fig. 13: parallelize legality -------- *)
+
+let test_fig13a_parallelizable () =
+  (* for i: a[i] = b[i] + 1 *)
+  let loop =
+    Stmt.for_ "i" (i 0) (v "n")
+      (Stmt.store "a" [ v "i" ] (Expr.add (ld "b" [ v "i" ]) (i 1)))
+  in
+  Alcotest.(check bool) "no carried dependence" true (no_carried loop loop)
+
+let test_fig13b_not_parallelizable () =
+  (* for i: a = a * 2 + b[i]  (scalar accumulation) *)
+  let loop =
+    Stmt.for_ "i" (i 0) (v "n")
+      (Stmt.store "a" []
+         (Expr.add (Expr.mul (ld "a" []) (i 2)) (ld "b" [ v "i" ])))
+  in
+  Alcotest.(check bool) "carried dependence found" false
+    (no_carried loop loop)
+
+let test_fig13d_reduction_parallelizable () =
+  (* for i: a += b[i]  -- commuting reductions are filtered (Fig 12c) *)
+  let loop =
+    Stmt.for_ "i" (i 0) (v "n")
+      (Stmt.reduce_to "a" [] Types.R_add (ld "b" [ v "i" ]))
+  in
+  Alcotest.(check bool) "reduction carries no dependence" true
+    (no_carried loop loop);
+  (* but with reduce_commutes:false the WAW conflict is visible, which is
+     what decides atomic lowering *)
+  let conf = Dep.carried_by ~reduce_commutes:false ~root:loop ~loop () in
+  Alcotest.(check bool) "visible when commutativity disabled" true
+    (conf <> [])
+
+let test_fig13e_indirect_reduction () =
+  (* for i: a[idx[i]] += b[i] — indirect target, conflicts may alias, but
+     the commuting-reduction filter still allows parallelization (atomics
+     are required, visible via reduce_commutes:false). *)
+  let loop =
+    Stmt.for_ "i" (i 0) (v "n")
+      (Stmt.reduce_to "a" [ ld "idx" [ v "i" ] ] Types.R_add
+         (ld "b" [ v "i" ]))
+  in
+  Alcotest.(check bool) "parallelizable as reduction" true
+    (no_carried loop loop);
+  let conf = Dep.carried_by ~reduce_commutes:false ~root:loop ~loop () in
+  Alcotest.(check bool) "atomics needed (may-alias visible)" true
+    (conf <> [])
+
+let test_distinct_affine_reduction_needs_no_atomic () =
+  (* for i: a[i] += b[i] — each iteration reduces a distinct element, so
+     even with commutativity disabled there is no cross-iteration
+     conflict: no atomics needed. *)
+  let loop =
+    Stmt.for_ "i" (i 0) (v "n")
+      (Stmt.reduce_to "a" [ v "i" ] Types.R_add (ld "b" [ v "i" ]))
+  in
+  let conf = Dep.carried_by ~reduce_commutes:false ~root:loop ~loop () in
+  Alcotest.(check bool) "no conflict, no atomic" true (conf = [])
+
+(* -------- Fig. 12: reorder legality -------- *)
+
+(* For a 2-level nest (i outer, j inner), reorder is illegal iff some
+   dependence has direction (< at i) and (> at j). *)
+let reorder_blocked root li lj =
+  let body =
+    match li.Stmt.node with
+    | Stmt.For f -> f.Stmt.f_body
+    | _ -> assert false
+  in
+  Dep.may_conflict ~root ~late:body ~early:body
+    ~rel:[ (li.Stmt.sid, Dep.R_gt); (lj.Stmt.sid, Dep.R_lt) ]
+    ()
+  <> []
+
+let test_fig12a_can_reorder () =
+  (* a[i,j] = b[i,j] + 1 *)
+  let inner =
+    Stmt.for_ "j" (i 0) (v "m")
+      (Stmt.store "a" [ v "i"; v "j" ]
+         (Expr.add (ld "b" [ v "i"; v "j" ]) (i 1)))
+  in
+  let outer = Stmt.for_ "i" (i 0) (v "n") inner in
+  Alcotest.(check bool) "reorder allowed" false
+    (reorder_blocked outer outer inner)
+
+let test_fig12b_cannot_reorder () =
+  (* a = a * b[i,j] + 1: scalar recurrence over both loops *)
+  let inner =
+    Stmt.for_ "j" (i 0) (v "m")
+      (Stmt.store "a" []
+         (Expr.add (Expr.mul (ld "a" []) (ld "b" [ v "i"; v "j" ])) (i 1)))
+  in
+  let outer = Stmt.for_ "i" (i 0) (v "n") inner in
+  Alcotest.(check bool) "reorder blocked" true
+    (reorder_blocked outer outer inner)
+
+let test_fig12c_reduction_can_reorder () =
+  (* a += b[i,j] via ReduceTo *)
+  let inner =
+    Stmt.for_ "j" (i 0) (v "m")
+      (Stmt.reduce_to "a" [] Types.R_add (ld "b" [ v "i"; v "j" ]))
+  in
+  let outer = Stmt.for_ "i" (i 0) (v "n") inner in
+  Alcotest.(check bool) "reorder allowed for reduction" false
+    (reorder_blocked outer outer inner)
+
+let test_fig12d_scoped_temp_can_reorder () =
+  (* for i: for j: { t = create_var(K); for k: t[k]=a[i,j,k]; b[i,j,k]=t[k] }
+     The WAW on t across (i,j) iterations is filtered by lifetime scoping. *)
+  let t_body =
+    Stmt.seq
+      [ Stmt.for_ "k" (i 0) (v "kk")
+          (Stmt.seq
+             [ Stmt.store "t" [ v "k" ] (ld "a" [ v "i"; v "j"; v "k" ]);
+               Stmt.store "b" [ v "i"; v "j"; v "k" ] (ld "t" [ v "k" ]) ])
+      ]
+  in
+  let vardef =
+    Stmt.var_def "t" Types.F32 Types.Cpu_heap [ v "kk" ] t_body
+  in
+  let inner = Stmt.for_ "j" (i 0) (v "m") vardef in
+  let outer = Stmt.for_ "i" (i 0) (v "n") inner in
+  Alcotest.(check bool) "scoped temp does not block reorder" false
+    (reorder_blocked outer outer inner);
+  (* Sanity: without lifetime projection, the same query does conflict. *)
+  let body =
+    match outer.Stmt.node with
+    | Stmt.For f -> (match f.Stmt.f_body.Stmt.node with
+        | Stmt.For f2 -> f2.Stmt.f_body
+        | _ -> assert false)
+    | _ -> assert false
+  in
+  let conf =
+    Dep.may_conflict ~lifetime:false ~root:outer ~late:body ~early:body
+      ~rel:[ (outer.Stmt.sid, Dep.R_gt); (inner.Stmt.sid, Dep.R_lt) ]
+      ()
+  in
+  Alcotest.(check bool) "without scoping it would block" true (conf <> [])
+
+(* -------- no_deps user assertion -------- *)
+
+let test_no_deps_assertion () =
+  (* for i: a[idx[i]] = b[i] — indirect write normally blocks
+     parallelization, but the user may assert no_deps=["a"]. *)
+  let body = Stmt.store "a" [ ld "idx" [ v "i" ] ] (ld "b" [ v "i" ]) in
+  let blocked = Stmt.for_ "i" (i 0) (v "n") body in
+  Alcotest.(check bool) "indirect write blocks" false
+    (no_carried blocked blocked);
+  let property = { Stmt.default_property with no_deps = [ "a" ] } in
+  let body2 = Stmt.store "a" [ ld "idx" [ v "i" ] ] (ld "b" [ v "i" ]) in
+  let ok = Stmt.for_ ~property "i" (i 0) (v "n") body2 in
+  Alcotest.(check bool) "no_deps unblocks" true (no_carried ok ok)
+
+(* -------- guards refine domains -------- *)
+
+let test_guarded_disjoint_writes () =
+  (* for i: if i < 10: a[i]=..; for i: if i>=10 (second loop): conflicting?
+     Two loops writing disjoint guarded halves of a: fusing them would be
+     checked via a cross-tree query; here we directly check that the
+     guard-aware analysis sees no overlap at equal iterations. *)
+  let s1 =
+    Stmt.if_ (Expr.lt (v "i") (i 10)) (Stmt.store "a" [ v "i" ] (i 1)) None
+  in
+  let s2 =
+    Stmt.if_ (Expr.ge (v "i") (i 10)) (Stmt.store "a" [ v "i" ] (i 2)) None
+  in
+  let loop = Stmt.for_ "i" (i 0) (v "n") (Stmt.seq [ s1; s2 ]) in
+  let conf =
+    Dep.may_conflict ~root:loop ~late:s2 ~early:s1
+      ~rel:[ (loop.Stmt.sid, Dep.R_eq) ]
+      ()
+  in
+  Alcotest.(check bool) "guards prove disjointness" true (conf = [])
+
+(* -------- Fig. 8/10: softmax max-reduction blocks fuse -------- *)
+
+let test_fig10_fuse_blocked_by_dot_max () =
+  (* Mirrors the paper: loop1 computes dot_max = max(dot_max, dot[k]);
+     loop2 reads dot_max for every k. Fusing loop2 into loop1 is illegal
+     because iteration k of loop2 reads the final dot_max, written at all
+     iterations (including later ones) of loop1. Dep check: conflict
+     between loop2 and loop1 with loop2's iteration earlier (i.e. reversed
+     order after fusion). *)
+  let loop1 =
+    Stmt.for_ "k" (i 0) (i 100)
+      (Stmt.reduce_to "dot_max" [] Types.R_max (ld "dot" [ v "k" ]))
+  in
+  let loop2 =
+    Stmt.for_ "k2" (i 0) (i 100)
+      (Stmt.store "dot_norm" [ v "k2" ]
+         (Expr.sub (ld "dot" [ v "k2" ]) (ld "dot_max" [])))
+  in
+  let root = Stmt.seq [ loop1; loop2 ] in
+  (* After fusion, instance k of loop2-body runs before instances k' > k of
+     loop1-body. Illegal iff loop2 reads something loop1 writes at a later
+     iteration: conflict with rel (loop1 iter) > (loop2 iter) ... expressed
+     on distinct loops there are no common loops, so check cross-tree
+     conflict existence at all: any RAW between the trees means fusion
+     must preserve ordering, and the direction matters. Here we check the
+     raw existence of a conflict to drive the schedule's finer check. *)
+  let conf =
+    Dep.may_conflict ~root ~late:loop2 ~early:loop1 ~rel:[] ()
+  in
+  Alcotest.(check bool) "dot_max RAW seen" true (conf <> [])
+
+let suite =
+  [ Alcotest.test_case "Fig13a parallelizable" `Quick
+      test_fig13a_parallelizable;
+    Alcotest.test_case "Fig13b scalar recurrence blocks" `Quick
+      test_fig13b_not_parallelizable;
+    Alcotest.test_case "Fig13d reduction parallelizable" `Quick
+      test_fig13d_reduction_parallelizable;
+    Alcotest.test_case "Fig13e indirect reduction (atomics)" `Quick
+      test_fig13e_indirect_reduction;
+    Alcotest.test_case "affine distinct reduction needs no atomics" `Quick
+      test_distinct_affine_reduction_needs_no_atomic;
+    Alcotest.test_case "Fig12a reorder ok" `Quick test_fig12a_can_reorder;
+    Alcotest.test_case "Fig12b reorder blocked" `Quick
+      test_fig12b_cannot_reorder;
+    Alcotest.test_case "Fig12c reduction reorder ok" `Quick
+      test_fig12c_reduction_can_reorder;
+    Alcotest.test_case "Fig12d stack-scope filtering" `Quick
+      test_fig12d_scoped_temp_can_reorder;
+    Alcotest.test_case "no_deps assertion" `Quick test_no_deps_assertion;
+    Alcotest.test_case "guard-aware disjointness" `Quick
+      test_guarded_disjoint_writes;
+    Alcotest.test_case "Fig10 softmax RAW" `Quick
+      test_fig10_fuse_blocked_by_dot_max ]

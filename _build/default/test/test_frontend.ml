@@ -1,0 +1,398 @@
+(* Frontend DSL, libop, and partial-evaluation tests.  These mirror the
+   paper's expository figures: Fig. 4 (indexing), Fig. 5 (Longformer in
+   the DSL), Fig. 6/9 (dimension-free add via finite recursion). *)
+
+open Ft_ir
+open Ft_runtime
+open Ft_backend
+module Dsl = Ft_frontend.Dsl
+module Inline = Ft_frontend.Inline
+module Libop = Ft_libop.Libop
+
+let i = Expr.int
+let v = Expr.var
+
+(* -------- views / indexing (Fig. 4) -------- *)
+
+let test_view_indexing () =
+  let a = Dsl.of_tensor "A" Types.F32 Types.Cpu_heap [ i 2; i 4; i 6 ] in
+  Alcotest.(check int) "A is 3-D" 3 (Dsl.ndim a);
+  let b = Dsl.idx a [ i 0; i 1 ] in
+  Alcotest.(check int) "A[0,1] is 1-D" 1 (Dsl.ndim b);
+  let c = Dsl.idx a [ i 0; i 1; i 2 ] in
+  Alcotest.(check int) "A[0,1,2] is 0-D" 0 (Dsl.ndim c);
+  Alcotest.(check string) "element address" "A[0, 1, 2]"
+    (Expr.to_string (Dsl.to_expr c));
+  (* D = A[0, 1:3]: 2-D with shape (2, 6) *)
+  let d = Dsl.slice (Dsl.idx a [ i 0 ]) ~dim:0 ~from:(i 1) ~to_:(i 3) in
+  Alcotest.(check int) "slice ndim" 2 (Dsl.ndim d);
+  Alcotest.(check string) "slice shape" "2x6"
+    (String.concat "x" (List.map Expr.to_string (Dsl.shape d)));
+  (* element of the slice is offset *)
+  Alcotest.(check string) "slice element" "A[0, 1, 5]"
+    (Expr.to_string (Dsl.get d [ i 0; i 5 ]))
+
+(* -------- trace + create_var scoping -------- *)
+
+let test_trace_create_var_scope () =
+  let fn =
+    Dsl.func "scoped" [ Dsl.output "y" [ i 4 ] Types.F32 ] (fun views ->
+        let y = List.nth views 0 in
+        Dsl.for_ "i" (i 0) (i 4) (fun ii ->
+            let t = Dsl.create_var ~name:"tmp" [] Types.F32 Types.Cpu_stack in
+            Dsl.set t [] (Expr.mul ii (Expr.int 2));
+            Dsl.set y [ ii ] (Expr.Cast (Types.F32, Dsl.to_expr t))))
+  in
+  (* the Var_def must be *inside* the loop (stack-scoped) *)
+  let ok = ref false in
+  Stmt.iter
+    (fun s ->
+      match s.Stmt.node with
+      | Stmt.For f ->
+        Stmt.iter
+          (fun c ->
+            match c.Stmt.node with
+            | Stmt.Var_def _ -> ok := true
+            | _ -> ())
+          f.Stmt.f_body
+      | _ -> ())
+    fn.Stmt.fn_body;
+  Alcotest.(check bool) "def nested in loop" true !ok;
+  let y = Tensor.zeros Types.F32 [| 4 |] in
+  Interp.run_func fn [ ("y", y) ];
+  Alcotest.(check bool) "values" true
+    (Tensor.to_float_array y = [| 0.; 2.; 4.; 6. |])
+
+(* -------- libop elementwise + reductions -------- *)
+
+let test_libop_ewise () =
+  let n = 6 in
+  let fn =
+    Dsl.func "ew"
+      [ Dsl.input "a" [ i n ] Types.F32;
+        Dsl.input "b" [ i n ] Types.F32;
+        Dsl.output "y" [ i n ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ a; b; y ] ->
+          Libop.sub_into ~dst:y ~a ~b;
+          Libop.abs_into ~dst:y ~src:y
+        | _ -> assert false)
+  in
+  let a = Tensor.rand ~seed:1 Types.F32 [| n |] in
+  let b = Tensor.rand ~seed:2 Types.F32 [| n |] in
+  let y = Tensor.zeros Types.F32 [| n |] in
+  Interp.run_func fn [ ("a", a); ("b", b); ("y", y) ];
+  let expect =
+    Tensor.map2_f (fun x z -> Float.abs (x -. z)) a b
+  in
+  Alcotest.(check bool) "abs diff" true (Tensor.all_close y expect)
+
+let test_libop_matmul () =
+  let m, k, n = 3, 4, 5 in
+  let fn =
+    Dsl.func "mm"
+      [ Dsl.input "a" [ i m; i k ] Types.F32;
+        Dsl.input "b" [ i k; i n ] Types.F32;
+        Dsl.output "c" [ i m; i n ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ a; b; c ] ->
+          Libop.zeros c;
+          Libop.matmul_into ~c ~a ~b
+        | _ -> assert false)
+  in
+  let a = Tensor.rand ~seed:5 Types.F32 [| m; k |] in
+  let b = Tensor.rand ~seed:6 Types.F32 [| k; n |] in
+  let c = Tensor.zeros Types.F32 [| m; n |] in
+  Interp.run_func fn [ ("a", a); ("b", b); ("c", c) ];
+  (* reference matmul *)
+  let expect = Tensor.zeros Types.F32 [| m; n |] in
+  for x = 0 to m - 1 do
+    for y = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for z = 0 to k - 1 do
+        acc := !acc +. (Tensor.get_f a [| x; z |] *. Tensor.get_f b [| z; y |])
+      done;
+      Tensor.set_f expect [| x; y |] !acc
+    done
+  done;
+  Alcotest.(check bool) "matmul" true (Tensor.all_close c expect)
+
+let test_libop_softmax () =
+  let r, n = 3, 7 in
+  let fn =
+    Dsl.func "sm"
+      [ Dsl.input "x" [ i r; i n ] Types.F32;
+        Dsl.output "y" [ i r; i n ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ x; y ] -> Libop.softmax_last_axis ~dst:y ~src:x ()
+        | _ -> assert false)
+  in
+  let x = Tensor.rand ~seed:7 ~lo:(-3.) ~hi:3. Types.F32 [| r; n |] in
+  let y = Tensor.zeros Types.F32 [| r; n |] in
+  Interp.run_func fn [ ("x", x); ("y", y) ];
+  (* rows sum to 1, all entries positive, matches reference *)
+  for row = 0 to r - 1 do
+    let mx = ref neg_infinity in
+    for kk = 0 to n - 1 do
+      mx := Float.max !mx (Tensor.get_f x [| row; kk |])
+    done;
+    let s = ref 0.0 in
+    for kk = 0 to n - 1 do
+      s := !s +. exp (Tensor.get_f x [| row; kk |] -. !mx)
+    done;
+    for kk = 0 to n - 1 do
+      let expect = exp (Tensor.get_f x [| row; kk |] -. !mx) /. !s in
+      let got = Tensor.get_f y [| row; kk |] in
+      if Float.abs (expect -. got) > 1e-5 then
+        Alcotest.fail
+          (Printf.sprintf "softmax[%d,%d]: %g vs %g" row kk got expect)
+    done
+  done
+
+let test_libop_sum_last_axis () =
+  let r, n = 4, 5 in
+  let fn =
+    Dsl.func "sum"
+      [ Dsl.input "x" [ i r; i n ] Types.F32;
+        Dsl.output "y" [ i r ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ x; y ] ->
+          Libop.zeros y;
+          Libop.sum_last_axis_into ~dst:y ~src:x
+        | _ -> assert false)
+  in
+  let x = Tensor.rand ~seed:9 Types.F32 [| r; n |] in
+  let y = Tensor.zeros Types.F32 [| r |] in
+  Interp.run_func fn [ ("x", x); ("y", y) ];
+  for row = 0 to r - 1 do
+    let s = ref 0.0 in
+    for kk = 0 to n - 1 do
+      s := !s +. Tensor.get_f x [| row; kk |]
+    done;
+    if Float.abs (!s -. Tensor.get_f y [| row |]) > 1e-5 then
+      Alcotest.fail "sum mismatch"
+  done
+
+(* -------- partial evaluation: Fig. 6(b) / Fig. 9 -------- *)
+
+(* def add(A, B, C):
+     if A.ndim == 0: C[] = A[] + B[]
+     else: for i in range(A.shape(0)): add(A[i], B[i], C[i]) *)
+let dimension_free_add () =
+  let body =
+    Stmt.if_ (Expr.eq (Expr.Meta_ndim "A") (i 0))
+      (Stmt.store "C" [] (Expr.add (Expr.load "A" []) (Expr.load "B" [])))
+      (Some
+         (Stmt.for_ "i" (i 0) (Expr.Meta_shape ("A", 0))
+            (Stmt.call "add"
+               [ Stmt.Tensor_arg { param = "A"; actual = "A"; prefix = [ v "i" ] };
+                 Stmt.Tensor_arg { param = "B"; actual = "B"; prefix = [ v "i" ] };
+                 Stmt.Tensor_arg { param = "C"; actual = "C"; prefix = [ v "i" ] } ])))
+  in
+  Stmt.func "add"
+    [ Stmt.param_any "A" Types.F32;
+      Stmt.param_any "B" Types.F32;
+      Stmt.param_any "C" Types.F32 ]
+    body
+
+let test_partial_evaluation_fig9 () =
+  let add = dimension_free_add () in
+  (* caller: 3-D tensors of shape (2,3,4), calls add once *)
+  let caller_body =
+    Stmt.call "add"
+      [ Stmt.Tensor_arg { param = "A"; actual = "X"; prefix = [] };
+        Stmt.Tensor_arg { param = "B"; actual = "Y"; prefix = [] };
+        Stmt.Tensor_arg { param = "C"; actual = "Z"; prefix = [] } ]
+  in
+  let caller =
+    Stmt.func "caller"
+      [ Stmt.param "X" Types.F32 [ i 2; i 3; i 4 ];
+        Stmt.param "Y" Types.F32 [ i 2; i 3; i 4 ];
+        Stmt.param ~atype:Types.Output "Z" Types.F32 [ i 2; i 3; i 4 ] ]
+      caller_body
+  in
+  let tbl = Inline.table_of_list [ add ] in
+  let expanded = Inline.run tbl caller in
+  (* the result must be a 3-deep loop nest with no Call/If left *)
+  let count_loops = ref 0 and has_call = ref false and has_if = ref false in
+  Stmt.iter
+    (fun s ->
+      match s.Stmt.node with
+      | Stmt.For _ -> incr count_loops
+      | Stmt.Call _ -> has_call := true
+      | Stmt.If _ -> has_if := true
+      | _ -> ())
+    expanded.Stmt.fn_body;
+  Alcotest.(check int) "three nested loops" 3 !count_loops;
+  Alcotest.(check bool) "no call left" false !has_call;
+  Alcotest.(check bool) "no branch left" false !has_if;
+  (* semantics *)
+  let x = Tensor.rand ~seed:11 Types.F32 [| 2; 3; 4 |] in
+  let y = Tensor.rand ~seed:12 Types.F32 [| 2; 3; 4 |] in
+  let z = Tensor.zeros Types.F32 [| 2; 3; 4 |] in
+  Interp.run_func expanded [ ("X", x); ("Y", y); ("Z", z) ];
+  Alcotest.(check bool) "elementwise add" true
+    (Tensor.all_close z (Tensor.map2_f ( +. ) x y))
+
+let test_partial_evaluation_scalar_args () =
+  (* scale(T, k): if T.ndim == 0: T[] = T[] * k else recurse *)
+  let body =
+    Stmt.if_ (Expr.eq (Expr.Meta_ndim "T") (i 0))
+      (Stmt.store "T" [] (Expr.mul (Expr.load "T" []) (v "k")))
+      (Some
+         (Stmt.for_ "i" (i 0) (Expr.Meta_shape ("T", 0))
+            (Stmt.call "scale"
+               [ Stmt.Tensor_arg { param = "T"; actual = "T"; prefix = [ v "i" ] };
+                 Stmt.Scalar_arg { param = "k"; value = v "k" } ])))
+  in
+  let scale =
+    Stmt.func "scale" [ Stmt.param_any "T" Types.F32 ] body
+  in
+  let caller =
+    Stmt.func "caller"
+      [ Stmt.param ~atype:Types.Inout "W" Types.F32 [ i 5 ] ]
+      (Stmt.call "scale"
+         [ Stmt.Tensor_arg { param = "T"; actual = "W"; prefix = [] };
+           Stmt.Scalar_arg { param = "k"; value = Expr.float 3.0 } ])
+  in
+  let tbl = Inline.table_of_list [ scale ] in
+  let expanded = Inline.run tbl caller in
+  let w = Tensor.of_float_array Types.F32 [| 5 |] [| 1.; 2.; 3.; 4.; 5. |] in
+  Interp.run_func expanded [ ("W", w) ];
+  Alcotest.(check bool) "scaled" true
+    (Tensor.to_float_array w = [| 3.; 6.; 9.; 12.; 15. |])
+
+let test_partial_evaluation_nontermination_guard () =
+  (* bad recursion: same rank forever *)
+  let body =
+    Stmt.call "loop"
+      [ Stmt.Tensor_arg { param = "T"; actual = "T"; prefix = [] } ]
+  in
+  let looping = Stmt.func "loop" [ Stmt.param_any "T" Types.F32 ] body in
+  let caller =
+    Stmt.func "caller"
+      [ Stmt.param "W" Types.F32 [ i 5 ] ]
+      (Stmt.call "loop"
+         [ Stmt.Tensor_arg { param = "T"; actual = "W"; prefix = [] } ])
+  in
+  let tbl = Inline.table_of_list [ looping ] in
+  let raised =
+    try ignore (Inline.run ~fuel:16 tbl caller); false
+    with Inline.Inline_error _ -> true
+  in
+  Alcotest.(check bool) "fuel exhausted" true raised
+
+(* -------- Longformer forward in the DSL (Fig. 5) -------- *)
+
+(* seq_len x feat_len Q, K, V; sliding window w.  Computes, per position j:
+   dot[k] = sum_p Q[j,p] * K[j+k,p] for k in [-w, w] (masked at borders),
+   attn = softmax(dot), y[j,p] = sum_k attn[k] * V[j+k,p]. *)
+let longformer_fn ~seq ~feat ~w =
+  Dsl.func "longformer_fwd"
+    [ Dsl.input "Q" [ i seq; i feat ] Types.F32;
+      Dsl.input "K" [ i seq; i feat ] Types.F32;
+      Dsl.input "V" [ i seq; i feat ] Types.F32;
+      Dsl.output "Y" [ i seq; i feat ] Types.F32 ]
+    (fun views ->
+      match views with
+      | [ q; k; vv; y ] ->
+        Dsl.for_ ~label:"Lj" "j" (i 0) (i seq) (fun j ->
+            let dot =
+              Dsl.create_var ~name:"dot" [ i (2 * w + 1) ] Types.F32
+                Types.Cpu_stack
+            in
+            Libop.fill dot (Expr.float neg_infinity);
+            Dsl.for_ "k" (i (-w)) (i (w + 1)) (fun kk ->
+                Dsl.if_
+                  (Expr.l_and
+                     (Expr.ge (Expr.add j kk) (i 0))
+                     (Expr.lt (Expr.add j kk) (i seq)))
+                  (fun () ->
+                    Dsl.set dot [ Expr.add kk (i w) ] (Expr.float 0.);
+                    Dsl.for_ "p" (i 0) (i feat) (fun p ->
+                        Dsl.reduce Types.R_add dot [ Expr.add kk (i w) ]
+                          (Expr.mul (Dsl.get q [ j; p ])
+                             (Dsl.get k [ Expr.add j kk; p ])))));
+            let attn =
+              Dsl.create_var ~name:"attn" [ i (2 * w + 1) ] Types.F32
+                Types.Cpu_stack
+            in
+            Libop.softmax_last_axis ~dst:attn ~src:dot ();
+            Dsl.for_ "p" (i 0) (i feat) (fun p ->
+                Dsl.set y [ j; p ] (Expr.float 0.));
+            Dsl.for_ "k" (i (-w)) (i (w + 1)) (fun kk ->
+                Dsl.if_
+                  (Expr.l_and
+                     (Expr.ge (Expr.add j kk) (i 0))
+                     (Expr.lt (Expr.add j kk) (i seq)))
+                  (fun () ->
+                    Dsl.for_ "p" (i 0) (i feat) (fun p ->
+                        Dsl.reduce Types.R_add y [ j; p ]
+                          (Expr.mul
+                             (Dsl.get attn [ Expr.add kk (i w) ])
+                             (Dsl.get vv [ Expr.add j kk; p ]))))))
+      | _ -> assert false)
+
+(* plain OCaml reference *)
+let longformer_ref ~seq ~feat ~w q k vv =
+  let y = Tensor.zeros Types.F32 [| seq; feat |] in
+  for j = 0 to seq - 1 do
+    let dot = Array.make ((2 * w) + 1) neg_infinity in
+    for kk = -w to w do
+      if j + kk >= 0 && j + kk < seq then begin
+        dot.(kk + w) <- 0.0;
+        for p = 0 to feat - 1 do
+          dot.(kk + w) <-
+            dot.(kk + w)
+            +. (Tensor.get_f q [| j; p |] *. Tensor.get_f k [| j + kk; p |])
+        done
+      end
+    done;
+    let mx = Array.fold_left Float.max neg_infinity dot in
+    let attn = Array.map (fun d -> exp (d -. mx)) dot in
+    let s = Array.fold_left ( +. ) 0.0 attn in
+    let attn = Array.map (fun a -> a /. s) attn in
+    for kk = -w to w do
+      if j + kk >= 0 && j + kk < seq then
+        for p = 0 to feat - 1 do
+          Tensor.set_f y [| j; p |]
+            (Tensor.get_f y [| j; p |]
+            +. (attn.(kk + w) *. Tensor.get_f vv [| j + kk; p |]))
+        done
+    done
+  done;
+  y
+
+let test_longformer_dsl_vs_reference () =
+  let seq, feat, w = 20, 6, 3 in
+  let fn = longformer_fn ~seq ~feat ~w in
+  let q = Tensor.rand ~seed:21 Types.F32 [| seq; feat |] in
+  let k = Tensor.rand ~seed:22 Types.F32 [| seq; feat |] in
+  let vv = Tensor.rand ~seed:23 Types.F32 [| seq; feat |] in
+  let y = Tensor.zeros Types.F32 [| seq; feat |] in
+  Interp.run_func fn [ ("Q", q); ("K", k); ("V", vv); ("Y", y) ];
+  let expect = longformer_ref ~seq ~feat ~w q k vv in
+  Alcotest.(check bool) "longformer matches reference" true
+    (Tensor.all_close ~tol:1e-4 y expect)
+
+let suite =
+  [ Alcotest.test_case "view indexing (Fig 4)" `Quick test_view_indexing;
+    Alcotest.test_case "create_var scoping" `Quick
+      test_trace_create_var_scope;
+    Alcotest.test_case "libop elementwise" `Quick test_libop_ewise;
+    Alcotest.test_case "libop matmul" `Quick test_libop_matmul;
+    Alcotest.test_case "libop softmax" `Quick test_libop_softmax;
+    Alcotest.test_case "libop sum last axis" `Quick
+      test_libop_sum_last_axis;
+    Alcotest.test_case "partial evaluation (Fig 9)" `Quick
+      test_partial_evaluation_fig9;
+    Alcotest.test_case "partial evaluation scalar args" `Quick
+      test_partial_evaluation_scalar_args;
+    Alcotest.test_case "partial evaluation fuel guard" `Quick
+      test_partial_evaluation_nontermination_guard;
+    Alcotest.test_case "Longformer DSL (Fig 5)" `Quick
+      test_longformer_dsl_vs_reference ]

@@ -1,0 +1,297 @@
+(* Unit and property tests for the core IR: expression smart constructors,
+   statement traversal, substitution, the printer, linear forms and the
+   symbolic bound analysis (paper Fig. 14). *)
+
+open Ft_ir
+
+let e_test = Alcotest.testable Expr.pp Expr.equal
+
+let i = Expr.int
+let v = Expr.var
+
+(* ---- expressions ---- *)
+
+let test_const_fold () =
+  Alcotest.check e_test "add" (i 7) (Expr.add (i 3) (i 4));
+  Alcotest.check e_test "mul0" (i 0) (Expr.mul (i 0) (v "x"));
+  Alcotest.check e_test "mul1" (v "x") (Expr.mul (i 1) (v "x"));
+  Alcotest.check e_test "add0" (v "x") (Expr.add (v "x") (i 0));
+  Alcotest.check e_test "sub-self" (i 0) (Expr.sub (v "x") (v "x"));
+  Alcotest.check e_test "min" (i 2) (Expr.min_ (i 2) (i 5));
+  Alcotest.check e_test "max" (i 5) (Expr.max_ (i 2) (i 5))
+
+let test_floor_div_semantics () =
+  (* floor division must round toward negative infinity *)
+  Alcotest.(check int) "7//2" 3 Expr.(ifloor_div 7 2);
+  Alcotest.(check int) "-7//2" (-4) Expr.(ifloor_div (-7) 2);
+  Alcotest.(check int) "-7 mod 2" 1 Expr.(imod (-7) 2);
+  Alcotest.check e_test "const fold" (i (-4))
+    (Expr.floor_div (i (-7)) (i 2))
+
+let test_cmp_fold () =
+  Alcotest.check e_test "lt-true" (Expr.bool true) (Expr.lt (i 1) (i 2));
+  Alcotest.check e_test "ge-false" (Expr.bool false) (Expr.ge (i 1) (i 2));
+  Alcotest.check e_test "and-short" (Expr.bool false)
+    (Expr.l_and (Expr.bool false) (Expr.lt (v "x") (i 3)));
+  Alcotest.check e_test "or-short" (Expr.bool true)
+    (Expr.l_or (Expr.bool true) (Expr.lt (v "x") (i 3)))
+
+let test_select_fold () =
+  Alcotest.check e_test "true branch" (v "a")
+    (Expr.select (Expr.bool true) (v "a") (v "b"));
+  Alcotest.check e_test "false branch" (v "b")
+    (Expr.select (Expr.bool false) (v "a") (v "b"))
+
+let test_subst () =
+  let e = Expr.add (v "i") (Expr.mul (i 2) (v "j")) in
+  let e' =
+    Expr.subst_var (fun x -> if x = "i" then Some (i 5) else None) e
+  in
+  Alcotest.check e_test "subst i:=5" (Expr.add (i 5) (Expr.mul (i 2) (v "j")))
+    e'
+
+let test_free_vars () =
+  let e =
+    Expr.add (Expr.load "a" [ v "i"; v "j" ]) (Expr.mul (v "i") (v "n"))
+  in
+  Alcotest.(check (list string)) "free vars" [ "i"; "j"; "n" ]
+    (Expr.free_vars e);
+  Alcotest.(check (list string)) "loaded" [ "a" ] (Expr.loaded_tensors e)
+
+let test_rename_tensors () =
+  let e = Expr.add (Expr.load "a" [ v "i" ]) (Expr.load "b" [ v "i" ]) in
+  let e' =
+    Expr.rename_tensors (fun t -> if t = "a" then Some "a2" else None) e
+  in
+  Alcotest.(check (list string)) "renamed" [ "a2"; "b" ]
+    (Expr.loaded_tensors e')
+
+(* ---- statements ---- *)
+
+let sample_loop () =
+  (* for i in 0..n: y[i] = x[i] + 1 *)
+  Stmt.for_ "i" (i 0) (v "n")
+    (Stmt.store "y" [ v "i" ] (Expr.add (Expr.load "x" [ v "i" ]) (i 1)))
+
+let test_stmt_queries () =
+  let s = sample_loop () in
+  Alcotest.(check (list string)) "written" [ "y" ] (Stmt.written_tensors s);
+  Alcotest.(check (list string)) "read" [ "x" ] (Stmt.read_tensors s);
+  Alcotest.(check int) "size" 2 (Stmt.size s)
+
+let test_stmt_find () =
+  let body = Stmt.store ~label:"st" "y" [ v "i" ] (i 0) in
+  let s = Stmt.for_ ~label:"L" "i" (i 0) (i 10) body in
+  (match Stmt.find_by_label "st" s with
+   | Some f -> Alcotest.(check int) "found store" body.Stmt.sid f.Stmt.sid
+   | None -> Alcotest.fail "label st not found");
+  (match Stmt.find_by_id s.Stmt.sid s with
+   | Some f -> Alcotest.(check int) "found loop" s.Stmt.sid f.Stmt.sid
+   | None -> Alcotest.fail "id not found")
+
+let test_seq_flatten () =
+  let s1 = Stmt.store "a" [] (i 1) in
+  let s2 = Stmt.store "b" [] (i 2) in
+  let nested = Stmt.seq [ Stmt.seq [ s1 ]; Stmt.nop (); Stmt.seq [ s2 ] ] in
+  match nested.Stmt.node with
+  | Stmt.Seq [ x; y ] ->
+    Alcotest.(check int) "first" s1.Stmt.sid x.Stmt.sid;
+    Alcotest.(check int) "second" s2.Stmt.sid y.Stmt.sid
+  | _ -> Alcotest.fail "expected flattened two-element Seq"
+
+let test_subst_var_stmt () =
+  let s = sample_loop () in
+  let s' = Stmt.subst_var "n" (i 8) s in
+  match s'.Stmt.node with
+  | Stmt.For f -> Alcotest.check e_test "end substituted" (i 8) f.Stmt.f_end
+  | _ -> Alcotest.fail "expected For"
+
+let test_equal_structure () =
+  let a = sample_loop () in
+  let b = sample_loop () in
+  Alcotest.(check bool) "same structure, different ids" true
+    (Stmt.equal_structure a b);
+  let c =
+    Stmt.for_ "i" (i 0) (v "n") (Stmt.store "y" [ v "i" ] (i 42))
+  in
+  Alcotest.(check bool) "different body" false (Stmt.equal_structure a c)
+
+let test_printer_roundtrip_shape () =
+  let s =
+    Stmt.var_def "t" Types.F32 Types.Cpu_heap [ v "n" ]
+      (Stmt.seq
+         [ sample_loop ();
+           Stmt.if_ (Expr.lt (v "n") (i 100)) (Stmt.store "t" [ i 0 ] (i 1))
+             None ])
+  in
+  let str = Printer.stmt_to_string s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "printer mentions %S" needle)
+        true
+        (let n = String.length needle and m = String.length str in
+         let rec go k = k + n <= m && (String.sub str k n = needle || go (k + 1)) in
+         go 0))
+    [ "create_var"; "for i in range(0, n)"; "if (n < 100)" ]
+
+(* ---- linear forms ---- *)
+
+let test_linear_of_expr () =
+  let e = Expr.add (Expr.mul (i 3) (v "i")) (Expr.sub (v "j") (i 4)) in
+  match Linear.of_expr e with
+  | None -> Alcotest.fail "expected affine"
+  | Some l ->
+    Alcotest.(check int) "coeff i" 3 (Linear.coeff "i" l);
+    Alcotest.(check int) "coeff j" 1 (Linear.coeff "j" l);
+    Alcotest.(check int) "const" (-4) l.Linear.const
+
+let test_linear_non_affine () =
+  Alcotest.(check bool) "i*j is not affine" true
+    (Linear.of_expr (Expr.Binop (Expr.Mul, v "i", v "j")) = None);
+  Alcotest.(check bool) "load is not affine" true
+    (Linear.of_expr (Expr.load "a" [ v "i" ]) = None)
+
+let test_linear_floor_div () =
+  (* (4i + 8) // 4 = i + 2 exactly *)
+  let e =
+    Expr.Binop
+      (Expr.Floor_div, Expr.add (Expr.mul (i 4) (v "i")) (i 8), i 4)
+  in
+  match Linear.of_expr e with
+  | None -> Alcotest.fail "divisible case should be affine"
+  | Some l ->
+    Alcotest.(check int) "coeff" 1 (Linear.coeff "i" l);
+    Alcotest.(check int) "const" 2 l.Linear.const
+
+(* ---- bounds (paper Fig. 14) ---- *)
+
+let test_bounds_cache_inference () =
+  (* i + j with j in [0, m-1]: keeping i, bounds are [i, i+m-1]. *)
+  let ctx =
+    Bounds.bind "j" { Bounds.lo = i 0; hi = Expr.sub (v "m") (i 1) }
+      Bounds.empty
+  in
+  let keep x = x = "i" || x = "m" in
+  let e = Expr.add (v "i") (v "j") in
+  (match Bounds.lower_bound ctx ~keep e with
+   | Some lb -> Alcotest.check e_test "lower = i" (v "i") lb
+   | None -> Alcotest.fail "no lower bound");
+  match Bounds.upper_bound ctx ~keep e with
+  | Some ub ->
+    Alcotest.check e_test "upper = i+m-1"
+      (Expr.add (v "i") (Expr.sub (v "m") (i 1)))
+      ub
+  | None -> Alcotest.fail "no upper bound"
+
+let test_bounds_prove () =
+  let ctx =
+    Bounds.bind "k" { Bounds.lo = i 0; hi = i 9 } Bounds.empty
+  in
+  Alcotest.(check (option bool)) "k >= 0 provable" (Some true)
+    (Bounds.prove ctx (Expr.ge (v "k") (i 0)));
+  Alcotest.(check (option bool)) "k < 10 provable" (Some true)
+    (Bounds.prove ctx (Expr.lt (v "k") (i 10)));
+  Alcotest.(check (option bool)) "k > 9 refutable" (Some false)
+    (Bounds.prove ctx (Expr.gt (v "k") (i 9)));
+  Alcotest.(check (option bool)) "k < 5 unknown" None
+    (Bounds.prove ctx (Expr.lt (v "k") (i 5)))
+
+let test_bounds_mod () =
+  let ctx = Bounds.empty in
+  Alcotest.(check (option int)) "x mod 8 <= 7" (Some 7)
+    (Bounds.const_upper ctx (Expr.Binop (Expr.Mod, v "x", i 8)));
+  Alcotest.(check (option int)) "x mod 8 >= 0" (Some 0)
+    (Bounds.const_lower ctx (Expr.Binop (Expr.Mod, v "x", i 8)))
+
+(* ---- qcheck properties ---- *)
+
+let gen_expr =
+  (* Random affine-ish integer expressions over i, j plus constants. *)
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map Expr.int (int_range (-20) 20);
+            oneofl [ v "i"; v "j" ] ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [ map2 Expr.add sub sub;
+            map2 Expr.sub sub sub;
+            map2 (fun c e -> Expr.mul (Expr.int c) e) (int_range (-5) 5) sub;
+            map Expr.neg sub ])
+
+let rec eval_int env (e : Expr.t) =
+  match e with
+  | Expr.Int_const n -> n
+  | Expr.Var x -> List.assoc x env
+  | Expr.Unop (Expr.Neg, a) -> -eval_int env a
+  | Expr.Binop (Expr.Add, a, b) -> eval_int env a + eval_int env b
+  | Expr.Binop (Expr.Sub, a, b) -> eval_int env a - eval_int env b
+  | Expr.Binop (Expr.Mul, a, b) -> eval_int env a * eval_int env b
+  | _ -> QCheck2.assume_fail ()
+
+let prop_linear_preserves_semantics =
+  QCheck2.Test.make ~count:300
+    ~name:"Linear.of_expr/to_expr preserve evaluation"
+    QCheck2.Gen.(tup3 gen_expr (int_range (-10) 10) (int_range (-10) 10))
+    (fun (e, vi, vj) ->
+      match Linear.of_expr e with
+      | None -> QCheck2.assume_fail ()
+      | Some l ->
+        let env = [ ("i", vi); ("j", vj) ] in
+        eval_int env e = eval_int env (Linear.to_expr l))
+
+let prop_smart_constructors_fold_consts =
+  QCheck2.Test.make ~count:300 ~name:"constant expressions fully fold"
+    QCheck2.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 0 then map Expr.int (int_range (-9) 9)
+          else
+            let sub = self (n / 2) in
+            oneof [ map2 Expr.add sub sub; map2 Expr.mul sub sub;
+                    map2 Expr.sub sub sub; map2 Expr.min_ sub sub;
+                    map2 Expr.max_ sub sub ]))
+    (fun e -> match e with Expr.Int_const _ -> true | _ -> false)
+
+let prop_bounds_sound =
+  QCheck2.Test.make ~count:300 ~name:"bound analysis is sound on samples"
+    QCheck2.Gen.(tup3 gen_expr (int_range 0 9) (int_range 0 9))
+    (fun (e, vi, vj) ->
+      let ctx =
+        Bounds.bind "i" { Bounds.lo = i 0; hi = i 9 }
+          (Bounds.bind "j" { Bounds.lo = i 0; hi = i 9 } Bounds.empty)
+      in
+      let value = eval_int [ ("i", vi); ("j", vj) ] e in
+      let lo = Bounds.const_lower ctx e in
+      let hi = Bounds.const_upper ctx e in
+      (match lo with Some l -> l <= value | None -> true)
+      && match hi with Some h -> value <= h | None -> true)
+
+let suite =
+  [ Alcotest.test_case "expr constant folding" `Quick test_const_fold;
+    Alcotest.test_case "floor division semantics" `Quick
+      test_floor_div_semantics;
+    Alcotest.test_case "comparison folding" `Quick test_cmp_fold;
+    Alcotest.test_case "select folding" `Quick test_select_fold;
+    Alcotest.test_case "variable substitution" `Quick test_subst;
+    Alcotest.test_case "free variables" `Quick test_free_vars;
+    Alcotest.test_case "tensor renaming" `Quick test_rename_tensors;
+    Alcotest.test_case "stmt read/write sets" `Quick test_stmt_queries;
+    Alcotest.test_case "stmt find by label/id" `Quick test_stmt_find;
+    Alcotest.test_case "seq flattening" `Quick test_seq_flatten;
+    Alcotest.test_case "stmt variable substitution" `Quick
+      test_subst_var_stmt;
+    Alcotest.test_case "structural equality" `Quick test_equal_structure;
+    Alcotest.test_case "printer output" `Quick test_printer_roundtrip_shape;
+    Alcotest.test_case "linear extraction" `Quick test_linear_of_expr;
+    Alcotest.test_case "linear rejects non-affine" `Quick
+      test_linear_non_affine;
+    Alcotest.test_case "linear exact floor-div" `Quick test_linear_floor_div;
+    Alcotest.test_case "cache bound inference (Fig 14)" `Quick
+      test_bounds_cache_inference;
+    Alcotest.test_case "condition proving" `Quick test_bounds_prove;
+    Alcotest.test_case "mod bounds" `Quick test_bounds_mod;
+    QCheck_alcotest.to_alcotest prop_linear_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_smart_constructors_fold_consts;
+    QCheck_alcotest.to_alcotest prop_bounds_sound ]

@@ -1,0 +1,232 @@
+(* Tests for the extended libop operators: layout ops, convolutions,
+   batched matmul, normalization and activations — each validated against
+   a plain-OCaml reference, and their gradients where meaningful. *)
+
+open Ft_ir
+open Ft_runtime
+module Interp = Ft_backend.Interp
+module Dsl = Ft_frontend.Dsl
+module Libop = Ft_libop.Libop
+
+let i = Expr.int
+
+(* build a single-op function over fixed shapes and run it *)
+let run_op ~ins ~out_shape build =
+  let params =
+    List.map (fun (n, t) -> Dsl.input n (List.map i (Array.to_list (Tensor.shape t))) Types.F32) ins
+    @ [ Dsl.output "out" (List.map i (Array.to_list out_shape)) Types.F32 ]
+  in
+  let fn = Dsl.func "op" params (fun views -> build views) in
+  let out = Tensor.zeros Types.F32 out_shape in
+  Interp.run_func fn (List.map (fun (n, t) -> (n, t)) ins @ [ ("out", out) ]);
+  out
+
+let test_transpose () =
+  let a = Tensor.rand ~seed:1 Types.F32 [| 3; 5 |] in
+  let out =
+    run_op ~ins:[ ("a", a) ] ~out_shape:[| 5; 3 |] (fun views ->
+        match views with
+        | [ av; out ] -> Libop.transpose_into ~dst:out ~src:av
+        | _ -> assert false)
+  in
+  for x = 0 to 2 do
+    for y = 0 to 4 do
+      if Tensor.get_f a [| x; y |] <> Tensor.get_f out [| y; x |] then
+        Alcotest.fail "transpose mismatch"
+    done
+  done
+
+let test_concat1 () =
+  let a = Tensor.rand ~seed:2 Types.F32 [| 3 |] in
+  let b = Tensor.rand ~seed:3 Types.F32 [| 4 |] in
+  let out =
+    run_op
+      ~ins:[ ("a", a); ("b", b) ]
+      ~out_shape:[| 7 |]
+      (fun views ->
+        match views with
+        | [ av; bv; out ] -> Libop.concat1_into ~dst:out ~srcs:[ av; bv ]
+        | _ -> assert false)
+  in
+  let expect = Array.append (Tensor.to_float_array a) (Tensor.to_float_array b) in
+  Alcotest.(check bool) "concat" true (Tensor.to_float_array out = expect)
+
+let test_bmm () =
+  let bsz, m, k, n = 2, 3, 4, 2 in
+  let a = Tensor.rand ~seed:4 Types.F32 [| bsz; m; k |] in
+  let b = Tensor.rand ~seed:5 Types.F32 [| bsz; k; n |] in
+  let out =
+    run_op
+      ~ins:[ ("a", a); ("b", b) ]
+      ~out_shape:[| bsz; m; n |]
+      (fun views ->
+        match views with
+        | [ av; bv; out ] ->
+          Libop.zeros out;
+          Libop.bmm_into ~c:out ~a:av ~b:bv
+        | _ -> assert false)
+  in
+  for bi = 0 to bsz - 1 do
+    for x = 0 to m - 1 do
+      for y = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for z = 0 to k - 1 do
+          acc :=
+            !acc
+            +. Tensor.get_f a [| bi; x; z |] *. Tensor.get_f b [| bi; z; y |]
+        done;
+        if Float.abs (!acc -. Tensor.get_f out [| bi; x; y |]) > 1e-5 then
+          Alcotest.fail "bmm mismatch"
+      done
+    done
+  done
+
+let test_conv1d () =
+  let src = Tensor.rand ~seed:6 Types.F32 [| 10 |] in
+  let w = Tensor.of_float_array Types.F32 [| 3 |] [| 1.; -2.; 0.5 |] in
+  let out =
+    run_op
+      ~ins:[ ("src", src); ("w", w) ]
+      ~out_shape:[| 8 |]
+      (fun views ->
+        match views with
+        | [ s; wv; out ] ->
+          Libop.zeros out;
+          Libop.conv1d_into ~dst:out ~src:s ~w:wv
+        | _ -> assert false)
+  in
+  for x = 0 to 7 do
+    let expect = ref 0.0 in
+    for kk = 0 to 2 do
+      expect :=
+        !expect +. (Tensor.get_flat_f src (x + kk) *. Tensor.get_flat_f w kk)
+    done;
+    if Float.abs (!expect -. Tensor.get_flat_f out x) > 1e-5 then
+      Alcotest.fail "conv1d mismatch"
+  done
+
+let test_conv2d () =
+  let src = Tensor.rand ~seed:7 Types.F32 [| 6; 7 |] in
+  let w = Tensor.rand ~seed:8 Types.F32 [| 2; 3 |] in
+  let out =
+    run_op
+      ~ins:[ ("src", src); ("w", w) ]
+      ~out_shape:[| 5; 5 |]
+      (fun views ->
+        match views with
+        | [ s; wv; out ] ->
+          Libop.zeros out;
+          Libop.conv2d_into ~dst:out ~src:s ~w:wv
+        | _ -> assert false)
+  in
+  for h = 0 to 4 do
+    for ww = 0 to 4 do
+      let expect = ref 0.0 in
+      for kh = 0 to 1 do
+        for kw = 0 to 2 do
+          expect :=
+            !expect
+            +. Tensor.get_f src [| h + kh; ww + kw |]
+               *. Tensor.get_f w [| kh; kw |]
+        done
+      done;
+      if Float.abs (!expect -. Tensor.get_f out [| h; ww |]) > 1e-5 then
+        Alcotest.fail "conv2d mismatch"
+    done
+  done
+
+let test_gelu () =
+  let x = Tensor.of_float_array Types.F32 [| 5 |] [| -2.; -0.5; 0.; 0.5; 2. |] in
+  let out =
+    run_op ~ins:[ ("x", x) ] ~out_shape:[| 5 |] (fun views ->
+        match views with
+        | [ xv; out ] -> Libop.gelu_into ~dst:out ~src:xv
+        | _ -> assert false)
+  in
+  (* gelu(0) = 0; gelu is monotone-ish here; gelu(2) ~ 1.954 *)
+  Alcotest.(check bool) "gelu(0) = 0" true
+    (Float.abs (Tensor.get_flat_f out 2) < 1e-6);
+  Alcotest.(check bool) "gelu(2) ~ 1.954" true
+    (Float.abs (Tensor.get_flat_f out 4 -. 1.9546) < 1e-3);
+  Alcotest.(check bool) "gelu(-2) ~ -0.0454" true
+    (Float.abs (Tensor.get_flat_f out 0 +. 0.0454) < 1e-3)
+
+let test_layernorm () =
+  let r, n = 3, 8 in
+  let x = Tensor.rand ~seed:9 ~lo:(-2.) ~hi:5. Types.F32 [| r; n |] in
+  let out =
+    run_op ~ins:[ ("x", x) ] ~out_shape:[| r; n |] (fun views ->
+        match views with
+        | [ xv; out ] -> Libop.layernorm_last_axis ~dst:out ~src:xv ()
+        | _ -> assert false)
+  in
+  (* each row of the output has ~zero mean and ~unit variance *)
+  for row = 0 to r - 1 do
+    let mean = ref 0.0 and var = ref 0.0 in
+    for k = 0 to n - 1 do
+      mean := !mean +. Tensor.get_f out [| row; k |]
+    done;
+    let mean = !mean /. float_of_int n in
+    for k = 0 to n - 1 do
+      let d = Tensor.get_f out [| row; k |] -. mean in
+      var := !var +. (d *. d)
+    done;
+    let var = !var /. float_of_int n in
+    if Float.abs mean > 1e-4 || Float.abs (var -. 1.0) > 1e-2 then
+      Alcotest.fail
+        (Printf.sprintf "layernorm row %d: mean %g var %g" row mean var)
+  done
+
+let test_mean_all () =
+  let x = Tensor.rand ~seed:10 Types.F32 [| 4; 3 |] in
+  let out =
+    run_op ~ins:[ ("x", x) ] ~out_shape:[||] (fun views ->
+        match views with
+        | [ xv; out ] -> Libop.mean_all ~dst:out ~src:xv
+        | _ -> assert false)
+  in
+  let expect =
+    Array.fold_left ( +. ) 0.0 (Tensor.to_float_array x) /. 12.0
+  in
+  Alcotest.(check bool) "mean" true
+    (Float.abs (expect -. Tensor.to_scalar_f out) < 1e-5)
+
+let test_conv_gradient () =
+  (* conv1d is differentiable end to end *)
+  let fn =
+    Dsl.func "convg"
+      [ Dsl.input "src" [ i 8 ] Types.F32;
+        Dsl.input "w" [ i 3 ] Types.F32;
+        Dsl.output "out" [ i 6 ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ s; wv; out ] ->
+          Libop.zeros out;
+          Libop.conv1d_into ~dst:out ~src:s ~w:wv
+        | _ -> assert false)
+  in
+  Test_ad.check_against_fd ~sizes:[] fn
+
+let test_layernorm_gradient () =
+  let fn =
+    Dsl.func "lng"
+      [ Dsl.input "x" [ i 2; i 5 ] Types.F32;
+        Dsl.output "out" [ i 2; i 5 ] Types.F32 ]
+      (fun views ->
+        match views with
+        | [ xv; out ] -> Libop.layernorm_last_axis ~dst:out ~src:xv ()
+        | _ -> assert false)
+  in
+  Test_ad.check_against_fd ~tol:5e-2 ~sizes:[] fn
+
+let suite =
+  [ Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "concat1" `Quick test_concat1;
+    Alcotest.test_case "bmm" `Quick test_bmm;
+    Alcotest.test_case "conv1d" `Quick test_conv1d;
+    Alcotest.test_case "conv2d" `Quick test_conv2d;
+    Alcotest.test_case "gelu" `Quick test_gelu;
+    Alcotest.test_case "layernorm" `Quick test_layernorm;
+    Alcotest.test_case "mean_all" `Quick test_mean_all;
+    Alcotest.test_case "conv1d gradient" `Quick test_conv_gradient;
+    Alcotest.test_case "layernorm gradient" `Quick test_layernorm_gradient ]

@@ -1,0 +1,16 @@
+(* Aggregated alcotest runner for the FreeTensor reproduction. *)
+
+let () =
+  Alcotest.run "freetensor"
+    [ ("ir", Test_ir.suite);
+      ("presburger", Test_presburger.suite);
+      ("dependence", Test_dep.suite);
+      ("schedule", Test_sched.suite);
+      ("schedule-errors", Test_sched.error_suite);
+      ("frontend", Test_frontend.suite);
+      ("autodiff", Test_ad.suite);
+      ("workloads", Test_workloads.suite);
+      ("backend", Test_backend.suite);
+      ("passes", Test_passes.suite);
+      ("random", Test_random.suite);
+      ("libop", Test_libop.suite) ]

@@ -1,0 +1,316 @@
+(* Tests for the cleanup/normalization passes: simplify, dead code,
+   make_reduction, sink_var, const_prop.  Each pass is checked both for
+   its specific rewrite and for semantics preservation on the real
+   workloads. *)
+
+open Ft_ir
+open Ft_runtime
+module Interp = Ft_backend.Interp
+module Simplify = Ft_passes.Simplify
+module Dead_code = Ft_passes.Dead_code
+module Make_reduction = Ft_passes.Make_reduction
+module Sink_var = Ft_passes.Sink_var
+module Const_prop = Ft_passes.Const_prop
+
+let i = Expr.int
+let v = Expr.var
+let ld = Expr.load
+
+(* ---- simplify ---- *)
+
+let test_simplify_folds_branches () =
+  let body =
+    Stmt.for_ "i" (i 0) (i 8)
+      (Stmt.if_
+         (Expr.ge (v "i") (i 0)) (* always true *)
+         (Stmt.store "y" [ v "i" ] (Expr.add (i 2) (i 3)))
+         (Some (Stmt.store "y" [ v "i" ] (i 0))))
+  in
+  let s = Simplify.run_stmt body in
+  let has_if =
+    Stmt.find_opt
+      (fun st -> match st.Stmt.node with Stmt.If _ -> true | _ -> false)
+      s
+    <> None
+  in
+  Alcotest.(check bool) "always-true branch removed" false has_if;
+  match Stmt.find_opt (fun st -> match st.Stmt.node with Stmt.Store _ -> true | _ -> false) s with
+  | Some { Stmt.node = Stmt.Store st; _ } ->
+    Alcotest.(check bool) "constant folded" true (st.Stmt.s_value = i 5)
+  | _ -> Alcotest.fail "store disappeared"
+
+let test_simplify_degenerate_loops () =
+  let zero = Stmt.for_ "i" (i 3) (i 3) (Stmt.store "y" [ v "i" ] (i 1)) in
+  let one = Stmt.for_ "j" (i 5) (i 6) (Stmt.store "y" [ v "j" ] (i 1)) in
+  (match (Simplify.run_stmt zero).Stmt.node with
+   | Stmt.Nop -> ()
+   | _ -> Alcotest.fail "empty loop should vanish");
+  match (Simplify.run_stmt one).Stmt.node with
+  | Stmt.Store st ->
+    Alcotest.(check bool) "iterator substituted" true (st.Stmt.s_indices = [ i 5 ])
+  | _ -> Alcotest.fail "single-trip loop should inline"
+
+(* ---- dead code ---- *)
+
+let test_dead_code_removes_unused_def () =
+  let body =
+    Stmt.var_def "t" Types.F32 Types.Cpu_stack [ i 4 ]
+      (Stmt.seq
+         [ Stmt.for_ "i" (i 0) (i 4) (Stmt.store "t" [ v "i" ] (i 1));
+           Stmt.for_ "i" (i 0) (i 4)
+             (Stmt.store "y" [ v "i" ] (ld "x" [ v "i" ])) ])
+  in
+  let s = Dead_code.run_stmt body in
+  let defs =
+    Stmt.find_all
+      (fun st -> match st.Stmt.node with Stmt.Var_def _ -> true | _ -> false)
+      s
+  in
+  Alcotest.(check int) "write-only cache removed" 0 (List.length defs);
+  Alcotest.(check (list string)) "y still written" [ "y" ]
+    (Stmt.written_tensors s)
+
+(* ---- make_reduction ---- *)
+
+let count_reduces s =
+  List.length
+    (Stmt.find_all
+       (fun st ->
+         match st.Stmt.node with Stmt.Reduce_to _ -> true | _ -> false)
+       s)
+
+let test_make_reduction_patterns () =
+  let mk value = Stmt.store "a" [ v "i" ] value in
+  let a_i = ld "a" [ v "i" ] in
+  let b_i = ld "b" [ v "i" ] in
+  let cases =
+    [ (Expr.Binop (Expr.Add, a_i, b_i), Some Types.R_add);
+      (Expr.Binop (Expr.Add, b_i, a_i), Some Types.R_add);
+      (Expr.Binop (Expr.Mul, a_i, b_i), Some Types.R_mul);
+      (Expr.Binop (Expr.Min, a_i, b_i), Some Types.R_min);
+      (Expr.Binop (Expr.Max, b_i, a_i), Some Types.R_max);
+      (Expr.Binop (Expr.Sub, a_i, b_i), Some Types.R_add);
+      (* not a self-update: stays a store *)
+      (Expr.Binop (Expr.Add, b_i, b_i), None);
+      (* reads itself twice: stays a store *)
+      (Expr.Binop (Expr.Add, a_i, a_i), None) ]
+  in
+  List.iter
+    (fun (value, expect) ->
+      let s = Make_reduction.run_stmt (mk value) in
+      match s.Stmt.node, expect with
+      | Stmt.Reduce_to r, Some op ->
+        Alcotest.(check bool)
+          (Printf.sprintf "op for %s" (Expr.to_string value))
+          true (r.Stmt.r_op = op)
+      | Stmt.Store _, None -> ()
+      | Stmt.Reduce_to _, None ->
+        Alcotest.fail
+          (Printf.sprintf "%s wrongly became a reduction"
+             (Expr.to_string value))
+      | Stmt.Store _, Some _ ->
+        Alcotest.fail
+          (Printf.sprintf "%s not recognized" (Expr.to_string value))
+      | _ -> Alcotest.fail "unexpected node")
+    cases
+
+let test_make_reduction_enables_parallelize () =
+  (* a 'sum += x[i]' written as a plain store blocks parallelization;
+     after normalization it is a commuting reduction and parallelizes *)
+  let loop =
+    Stmt.for_ ~label:"L" "i" (i 0) (v "n")
+      (Stmt.store "sum" []
+         (Expr.Binop (Expr.Add, ld "sum" [], ld "x" [ v "i" ])))
+  in
+  let fn =
+    Stmt.func "acc"
+      [ Stmt.param "x" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Inout "sum" Types.F32 [] ]
+      loop
+  in
+  let sched = Ft_sched.Schedule.of_func fn in
+  let blocked =
+    try
+      Ft_sched.Schedule.parallelize sched (Ft_sched.Schedule.By_label "L")
+        Types.Openmp;
+      false
+    with Ft_sched.Select.Invalid_schedule _ -> true
+  in
+  Alcotest.(check bool) "store form blocks" true blocked;
+  let fn' = Make_reduction.run fn in
+  let sched' = Ft_sched.Schedule.of_func fn' in
+  Ft_sched.Schedule.parallelize sched' (Ft_sched.Schedule.By_label "L")
+    Types.Openmp;
+  (* and the rewrite preserves semantics *)
+  let x = Tensor.rand ~seed:1 Types.F32 [| 9 |] in
+  let s1 = Tensor.zeros Types.F32 [||] in
+  let s2 = Tensor.zeros Types.F32 [||] in
+  Interp.run_func ~sizes:[ ("n", 9) ] fn [ ("x", x); ("sum", s1) ];
+  Interp.run_func ~sizes:[ ("n", 9) ]
+    (Ft_sched.Schedule.func sched')
+    [ ("x", x); ("sum", s2) ];
+  Alcotest.(check bool) "same result" true (Tensor.all_close s1 s2)
+
+(* ---- sink_var ---- *)
+
+let test_sink_var_narrows_scope () =
+  (* t defined around [unrelated; user] must shrink to wrap only [user] *)
+  let unrelated = Stmt.store "y" [ i 0 ] (i 1) in
+  let user =
+    Stmt.seq
+      [ Stmt.store "t" [ i 0 ] (i 2);
+        Stmt.store "y" [ i 1 ] (ld "t" [ i 0 ]) ]
+  in
+  let body =
+    Stmt.var_def "t" Types.F32 Types.Cpu_stack [ i 1 ]
+      (Stmt.seq [ unrelated; user ])
+  in
+  let s = Sink_var.run_stmt body in
+  (* the first statement must now be outside the def *)
+  match s.Stmt.node with
+  | Stmt.Seq (first :: _) ->
+    Alcotest.(check bool) "unrelated store hoisted out" true
+      (first.Stmt.sid = unrelated.Stmt.sid)
+  | _ -> Alcotest.fail "expected a sequence"
+
+let test_sink_var_into_branch () =
+  let body =
+    Stmt.var_def "t" Types.F32 Types.Cpu_stack [ i 1 ]
+      (Stmt.if_ (Expr.lt (v "n") (i 10))
+         (Stmt.seq
+            [ Stmt.store "t" [ i 0 ] (i 1);
+              Stmt.store "y" [ i 0 ] (ld "t" [ i 0 ]) ])
+         (Some (Stmt.store "y" [ i 0 ] (i 0))))
+  in
+  let s = Sink_var.run_stmt body in
+  (* root must now be the If, with the def inside the then-branch *)
+  match s.Stmt.node with
+  | Stmt.If ifs ->
+    let def_in_then =
+      Stmt.find_opt
+        (fun st ->
+          match st.Stmt.node with
+          | Stmt.Var_def d -> d.Stmt.d_name = "t"
+          | _ -> false)
+        ifs.Stmt.i_then
+      <> None
+    in
+    Alcotest.(check bool) "def sunk into branch" true def_in_then
+  | _ -> Alcotest.fail "expected the If at the root"
+
+let test_sink_var_not_into_loop () =
+  let body =
+    Stmt.var_def "t" Types.F32 Types.Cpu_stack [ i 1 ]
+      (Stmt.for_ "i" (i 0) (i 4)
+         (Stmt.seq
+            [ Stmt.store "t" [ i 0 ] (v "i");
+              Stmt.store "y" [ v "i" ] (ld "t" [ i 0 ]) ]))
+  in
+  let s = Sink_var.run_stmt body in
+  match s.Stmt.node with
+  | Stmt.Var_def { d_body = { Stmt.node = Stmt.For _; _ }; _ } -> ()
+  | _ -> Alcotest.fail "definition must stay outside the loop"
+
+(* ---- const_prop ---- *)
+
+let test_const_prop_folds () =
+  let body =
+    Stmt.var_def "c" Types.F32 Types.Cpu_stack []
+      (Stmt.seq
+         [ Stmt.store "c" [] (Expr.float 2.5);
+           Stmt.for_ "i" (i 0) (i 4)
+             (Stmt.store "y" [ v "i" ]
+                (Expr.mul (ld "x" [ v "i" ]) (ld "c" []))) ])
+  in
+  let s = Const_prop.run_stmt body in
+  let defs =
+    Stmt.find_all
+      (fun st -> match st.Stmt.node with Stmt.Var_def _ -> true | _ -> false)
+      s
+  in
+  Alcotest.(check int) "definition folded away" 0 (List.length defs);
+  let mentions_const = ref false in
+  Stmt.iter_exprs
+    (fun e ->
+      Expr.iter
+        (function Expr.Float_const 2.5 -> mentions_const := true | _ -> ())
+        e)
+    s;
+  Alcotest.(check bool) "constant propagated" true !mentions_const
+
+let test_const_prop_rejects_non_dominating () =
+  (* read before the (single) write: must NOT fold *)
+  let body =
+    Stmt.var_def "c" Types.F32 Types.Cpu_stack []
+      (Stmt.seq
+         [ Stmt.store "y" [ i 0 ] (ld "c" []);
+           Stmt.store "c" [] (Expr.float 1.0) ])
+  in
+  let s = Const_prop.run_stmt body in
+  let defs =
+    Stmt.find_all
+      (fun st -> match st.Stmt.node with Stmt.Var_def _ -> true | _ -> false)
+      s
+  in
+  Alcotest.(check int) "kept" 1 (List.length defs)
+
+(* ---- all passes preserve workload semantics ---- *)
+
+let test_passes_preserve_workloads () =
+  let module Sub = Ft_workloads.Subdivnet in
+  let module Sr = Ft_workloads.Softras in
+  let passes =
+    [ ("simplify", Simplify.run); ("dead_code", Dead_code.run);
+      ("make_reduction", Make_reduction.run); ("sink_var", Sink_var.run);
+      ("const_prop", Const_prop.run) ]
+  in
+  let sc = { Sub.n_faces = 32; in_feats = 5 } in
+  let e, adj = Sub.gen_inputs sc in
+  let rc = { Sr.img = 8; n_faces = 6; sigma = 0.02 } in
+  let cx, cy, r = Sr.gen_inputs rc in
+  List.iter
+    (fun (name, pass) ->
+      (* SubdivNet *)
+      let y1 = Tensor.zeros Types.F32 [| sc.Sub.n_faces; sc.Sub.in_feats |] in
+      let y2 = Tensor.zeros Types.F32 [| sc.Sub.n_faces; sc.Sub.in_feats |] in
+      let fn = Sub.ft_func sc in
+      Interp.run_func fn [ ("e", e); ("adj", adj); ("y", y1) ];
+      Interp.run_func (pass fn) [ ("e", e); ("adj", adj); ("y", y2) ];
+      Alcotest.(check bool)
+        (Printf.sprintf "%s preserves subdivnet" name)
+        true
+        (Tensor.all_close y1 y2);
+      (* SoftRas *)
+      let i1 = Tensor.zeros Types.F32 [| rc.Sr.img; rc.Sr.img |] in
+      let i2 = Tensor.zeros Types.F32 [| rc.Sr.img; rc.Sr.img |] in
+      let fn = Sr.ft_func rc in
+      Interp.run_func fn [ ("cx", cx); ("cy", cy); ("r", r); ("img", i1) ];
+      Interp.run_func (pass fn)
+        [ ("cx", cx); ("cy", cy); ("r", r); ("img", i2) ];
+      Alcotest.(check bool)
+        (Printf.sprintf "%s preserves softras" name)
+        true
+        (Tensor.all_close i1 i2))
+    passes
+
+let suite =
+  [ Alcotest.test_case "simplify branch folding" `Quick
+      test_simplify_folds_branches;
+    Alcotest.test_case "simplify degenerate loops" `Quick
+      test_simplify_degenerate_loops;
+    Alcotest.test_case "dead code removal" `Quick
+      test_dead_code_removes_unused_def;
+    Alcotest.test_case "make_reduction patterns" `Quick
+      test_make_reduction_patterns;
+    Alcotest.test_case "make_reduction enables parallelize" `Quick
+      test_make_reduction_enables_parallelize;
+    Alcotest.test_case "sink_var narrows scope" `Quick
+      test_sink_var_narrows_scope;
+    Alcotest.test_case "sink_var into branch" `Quick test_sink_var_into_branch;
+    Alcotest.test_case "sink_var not into loop" `Quick
+      test_sink_var_not_into_loop;
+    Alcotest.test_case "const_prop folds" `Quick test_const_prop_folds;
+    Alcotest.test_case "const_prop needs domination" `Quick
+      test_const_prop_rejects_non_dominating;
+    Alcotest.test_case "passes preserve workloads" `Quick
+      test_passes_preserve_workloads ]

@@ -1,0 +1,279 @@
+(* Tests for the Presburger substrate: polyhedra, Fourier-Motzkin
+   elimination, emptiness, sets, maps and the dependence-relation
+   construction of paper Section 4.2.1 (Fig. 11). *)
+
+open Ft_ir
+open Ft_presburger
+
+let i = Expr.int
+let v = Expr.var
+
+let ge p a b =
+  match Polyhedron.of_expr_ge a b p with
+  | Some q -> q
+  | None -> Alcotest.fail "expected affine"
+
+let eq p a b =
+  match Polyhedron.of_expr_eq a b p with
+  | Some q -> q
+  | None -> Alcotest.fail "expected affine"
+
+(* ---- polyhedra ---- *)
+
+let test_empty_basic () =
+  (* x >= 5 and x <= 3 *)
+  let p = ge Polyhedron.universe (v "x") (i 5) in
+  let p = ge p (i 3) (v "x") in
+  Alcotest.(check bool) "infeasible interval" true (Polyhedron.is_empty p);
+  let p2 = ge Polyhedron.universe (v "x") (i 3) in
+  let p2 = ge p2 (i 5) (v "x") in
+  Alcotest.(check bool) "feasible interval" false (Polyhedron.is_empty p2)
+
+let test_gcd_test () =
+  (* 2x = 1 has no integer solution *)
+  let p =
+    eq Polyhedron.universe (Expr.mul (i 2) (v "x")) (i 1)
+  in
+  Alcotest.(check bool) "2x=1 empty over Z" true (Polyhedron.is_empty p)
+
+let test_integer_tightening () =
+  (* 3x >= 1 and 3x <= 2: rational solutions exist, integers do not.
+     Normalization tightens 3x>=1 to x>=1 and 3x<=2 to x<=0. *)
+  let p = ge Polyhedron.universe (Expr.mul (i 3) (v "x")) (i 1) in
+  let p = ge p (i 2) (Expr.mul (i 3) (v "x")) in
+  Alcotest.(check bool) "tightening finds emptiness" true
+    (Polyhedron.is_empty p)
+
+let test_gauss_substitution () =
+  (* x = y + 2, x <= 1, y >= 0  -> empty *)
+  let p = eq Polyhedron.universe (v "x") (Expr.add (v "y") (i 2)) in
+  let p = ge p (i 1) (v "x") in
+  let p = ge p (v "y") (i 0) in
+  Alcotest.(check bool) "gauss + fm" true (Polyhedron.is_empty p)
+
+let test_elimination_projection () =
+  (* 0 <= j <= 9, x = i + j, 0 <= i <= 4: eliminating i,j must keep
+     0 <= x <= 13 (project onto x). *)
+  let p = ge Polyhedron.universe (v "j") (i 0) in
+  let p = ge p (i 9) (v "j") in
+  let p = ge p (v "i") (i 0) in
+  let p = ge p (i 4) (v "i") in
+  let p = eq p (v "x") (Expr.add (v "i") (v "j")) in
+  let q = Polyhedron.eliminate [ "i"; "j" ] p in
+  (* x = 13 feasible, x = 14 not *)
+  let feas k =
+    not (Polyhedron.is_empty (Polyhedron.subst "x" (Linear.of_int k) q))
+  in
+  Alcotest.(check bool) "x=0" true (feas 0);
+  Alcotest.(check bool) "x=13" true (feas 13);
+  Alcotest.(check bool) "x=14" false (feas 14);
+  Alcotest.(check bool) "x=-1" false (feas (-1))
+
+let test_rename () =
+  let p = ge Polyhedron.universe (v "x") (i 5) in
+  let p = Polyhedron.rename_var "x" "y" p in
+  let p = ge p (i 3) (v "y") in
+  Alcotest.(check bool) "renamed var participates" true
+    (Polyhedron.is_empty p)
+
+(* ---- sets ---- *)
+
+let test_iset_union_membership () =
+  (* { x : 0<=x<=2 } union { x : 10<=x<=12 } *)
+  let piece lo hi =
+    let p = ge Polyhedron.universe (v "x") (i lo) in
+    ge p (i hi) (v "x")
+  in
+  let s = Iset.make [ "x" ] [ piece 0 2; piece 10 12 ] in
+  Alcotest.(check bool) "1 in s" true (Iset.mem [ 1 ] s);
+  Alcotest.(check bool) "11 in s" true (Iset.mem [ 11 ] s);
+  Alcotest.(check bool) "5 not in s" false (Iset.mem [ 5 ] s);
+  Alcotest.(check bool) "non-empty" false (Iset.is_empty s);
+  let t = Iset.intersect s (Iset.make [ "x" ] [ piece 3 9 ]) in
+  Alcotest.(check bool) "disjoint intersection empty" true (Iset.is_empty t)
+
+let test_iset_project () =
+  (* { (x,y) : y = 2x, 0<=x<=3 } projected on y: y in {0,2,4,6} over-approx
+     to 0<=y<=6 (rational projection); membership of 7 must be false. *)
+  let p = eq Polyhedron.universe (v "y") (Expr.mul (i 2) (v "x")) in
+  let p = ge p (v "x") (i 0) in
+  let p = ge p (i 3) (v "x") in
+  let s = Iset.make [ "x"; "y" ] [ p ] in
+  let sy = Iset.project [ "y" ] s in
+  Alcotest.(check bool) "6 in proj" true (Iset.mem [ 6 ] sy);
+  Alcotest.(check bool) "7 not in proj" false (Iset.mem [ 7 ] sy)
+
+(* ---- maps & the Fig. 11 dependence ---- *)
+
+(* Fig. 11 of the paper: iteration space (i,j) with 1<=i<N-1, 1<=j<M-1,
+   access (1) writes a[i+1, j]; access (2) reads a[i-1, j+1].
+   The RAW dependence from (2)-instances (later) to (1)-instances is
+   { (i,j) -> (i-2, j+1) }. *)
+let fig11_maps () =
+  let n = 100 and m = 100 in
+  let dom_guard =
+    let p = ge Polyhedron.universe (v "i") (i 1) in
+    let p = ge p (Expr.int (n - 2)) (v "i") in
+    let p = ge p (v "j") (i 1) in
+    ge p (Expr.int (m - 2)) (v "j")
+  in
+  let m1 =
+    Imap.of_exprs ~dom:[ "i"; "j" ] ~rng_names:[ "a0"; "a1" ]
+      [ Expr.add (v "i") (i 1); v "j" ]
+      dom_guard
+  in
+  let m2 =
+    Imap.of_exprs ~dom:[ "i"; "j" ] ~rng_names:[ "a0"; "a1" ]
+      [ Expr.sub (v "i") (i 1); Expr.add (v "j") (i 1) ]
+      dom_guard
+  in
+  (m1, m2)
+
+let test_fig11_dependence_exists () =
+  let m1, m2 = fig11_maps () in
+  (* dependence from later read instances (m2) to earlier writes (m1) *)
+  let levels = Imap.dependence ~m_late:m2 ~m_early:m1 in
+  Alcotest.(check int) "two lexicographic levels" 2 (List.length levels);
+  let nonempty = List.filter (fun l -> not (Imap.is_empty l)) levels in
+  Alcotest.(check bool) "dependence exists" true (nonempty <> []);
+  (* the paper derives p = q + (2, -1): carried at level 1 (loop i) *)
+  let l1 = List.nth levels 0 in
+  Alcotest.(check bool) "carried at outer loop" false (Imap.is_empty l1)
+
+let test_fig11_distance_vector () =
+  (* Verify the exact distance: constrain i$p - i$q = 2 and j$p - j$q = -1
+     keeps solutions, while distance 1 at i has none. *)
+  let m1, m2 = fig11_maps () in
+  let levels = Imap.dependence ~m_late:m2 ~m_early:m1 in
+  let all_pieces = List.concat_map (fun (m : Imap.t) -> m.Imap.pieces) levels in
+  let with_distance di pieces =
+    List.exists
+      (fun p ->
+        let p =
+          Polyhedron.add_eq p
+            (Linear.add
+               (Linear.sub (Linear.of_var "i$p") (Linear.of_var "i$q"))
+               (Linear.of_int (-di)))
+        in
+        not (Polyhedron.is_empty p))
+      pieces
+  in
+  Alcotest.(check bool) "distance 2 in i feasible" true
+    (with_distance 2 all_pieces);
+  Alcotest.(check bool) "distance 1 in i infeasible" false
+    (with_distance 1 all_pieces)
+
+let test_compose () =
+  (* f: x -> x+1; g: y -> 2y;  g o f : x -> 2x+2 *)
+  let f =
+    Imap.of_exprs ~dom:[ "x" ] ~rng_names:[ "y" ]
+      [ Expr.add (v "x") (i 1) ]
+      Polyhedron.universe
+  in
+  let g =
+    Imap.of_exprs ~dom:[ "y" ] ~rng_names:[ "z" ]
+      [ Expr.mul (i 2) (v "y") ]
+      Polyhedron.universe
+  in
+  let h = Imap.compose ~first:f ~then_:g in
+  (* check (3, 8) in h and (3, 7) not *)
+  let check x z expect =
+    let sat =
+      List.exists
+        (fun p ->
+          let p = Polyhedron.subst "x" (Linear.of_int x) p in
+          let p = Polyhedron.subst "z" (Linear.of_int z) p in
+          not (Polyhedron.is_empty p))
+        h.Imap.pieces
+    in
+    Alcotest.(check bool) (Printf.sprintf "(%d,%d)" x z) expect sat
+  in
+  check 3 8 true;
+  check 3 7 false
+
+let test_inverse () =
+  let f =
+    Imap.of_exprs ~dom:[ "x" ] ~rng_names:[ "y" ]
+      [ Expr.add (v "x") (i 1) ]
+      Polyhedron.universe
+  in
+  let g = Imap.inverse f in
+  Alcotest.(check (list string)) "dom" [ "y" ] g.Imap.dom;
+  Alcotest.(check (list string)) "rng" [ "x" ] g.Imap.rng
+
+(* ---- qcheck: emptiness soundness ---- *)
+
+(* Random small systems over x, y with constants; verify that is_empty
+   never claims empty when brute force finds an integer point in a box. *)
+let gen_system =
+  let open QCheck2.Gen in
+  let gen_cstr =
+    let* a = int_range (-3) 3 in
+    let* b = int_range (-3) 3 in
+    let* c = int_range (-10) 10 in
+    let* is_eq = bool in
+    return (a, b, c, is_eq)
+  in
+  list_size (int_range 1 5) gen_cstr
+
+let prop_emptiness_sound =
+  QCheck2.Test.make ~count:500 ~name:"is_empty sound vs brute force"
+    gen_system
+    (fun cstrs ->
+      let p =
+        List.fold_left
+          (fun p (a, b, c, is_eq) ->
+            let l =
+              Linear.add
+                (Linear.add (Linear.of_var ~coeff:a "x")
+                   (Linear.of_var ~coeff:b "y"))
+                (Linear.of_int c)
+            in
+            if is_eq then Polyhedron.add_eq p l else Polyhedron.add_ge p l)
+          Polyhedron.universe cstrs
+      in
+      (* bound the search box so brute force is meaningful *)
+      let p_box = ref p in
+      List.iter
+        (fun t ->
+          p_box := Polyhedron.add_ge !p_box
+              (Linear.add (Linear.of_var t) (Linear.of_int 15));
+          p_box := Polyhedron.add_ge !p_box
+              (Linear.add (Linear.of_var ~coeff:(-1) t) (Linear.of_int 15)))
+        [ "x"; "y" ];
+      let brute_nonempty =
+        let sat x y =
+          List.for_all
+            (fun (a, b, c, is_eq) ->
+              let value = (a * x) + (b * y) + c in
+              if is_eq then value = 0 else value >= 0)
+            cstrs
+        in
+        let found = ref false in
+        for x = -15 to 15 do
+          for y = -15 to 15 do
+            if sat x y then found := true
+          done
+        done;
+        !found
+      in
+      (* soundness: if brute force finds a point, is_empty must say false *)
+      (not brute_nonempty) || not (Polyhedron.is_empty !p_box))
+
+let suite =
+  [ Alcotest.test_case "basic emptiness" `Quick test_empty_basic;
+    Alcotest.test_case "GCD test" `Quick test_gcd_test;
+    Alcotest.test_case "integer tightening" `Quick test_integer_tightening;
+    Alcotest.test_case "gauss substitution" `Quick test_gauss_substitution;
+    Alcotest.test_case "projection" `Quick test_elimination_projection;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "iset union/membership" `Quick
+      test_iset_union_membership;
+    Alcotest.test_case "iset projection" `Quick test_iset_project;
+    Alcotest.test_case "Fig 11 dependence exists" `Quick
+      test_fig11_dependence_exists;
+    Alcotest.test_case "Fig 11 distance vector (2,-1)" `Quick
+      test_fig11_distance_vector;
+    Alcotest.test_case "map composition" `Quick test_compose;
+    Alcotest.test_case "map inverse" `Quick test_inverse;
+    QCheck_alcotest.to_alcotest prop_emptiness_sound ]

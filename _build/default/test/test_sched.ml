@@ -1,0 +1,826 @@
+(* Schedule transformation tests: every Table-1 transformation is checked
+   for (a) legality decisions matching the paper's examples and (b)
+   semantics preservation, by interpreting the program before and after
+   the transformation on random inputs. *)
+
+open Ft_ir
+open Ft_runtime
+open Ft_backend
+open Ft_sched
+
+let i = Expr.int
+let v = Expr.var
+let ld = Expr.load
+
+let n_test = 17
+
+(* Run [fn] with fresh random inputs; returns the output tensor "y". *)
+let run_on ?(n = n_test) (fn : Stmt.func) =
+  let args =
+    List.map
+      (fun (p : Stmt.param) ->
+        let shape =
+          match p.Stmt.p_shape with
+          | Stmt.Fixed es ->
+            Array.of_list
+              (List.map
+                 (function
+                   | Expr.Int_const k -> k
+                   | Expr.Var "n" -> n
+                   | e ->
+                     Alcotest.fail
+                       ("unsupported symbolic dim " ^ Expr.to_string e))
+                 es)
+          | Stmt.Any_dim -> Alcotest.fail "any-dim param in test"
+        in
+        let t =
+          if p.Stmt.p_atype = Types.Input then
+            Tensor.rand ~seed:(Hashtbl.hash p.Stmt.p_name)
+              p.Stmt.p_dtype shape
+          else Tensor.zeros p.Stmt.p_dtype shape
+        in
+        (p.Stmt.p_name, t))
+      fn.Stmt.fn_params
+  in
+  Interp.run_func ~sizes:[ ("n", n) ] fn args;
+  args
+
+let check_same_semantics name fn fn' =
+  let out = run_on fn and out' = run_on fn' in
+  List.iter2
+    (fun (nm, t) (nm', t') ->
+      Alcotest.(check string) "param order" nm nm';
+      if not (Tensor.all_close ~tol:1e-5 t t') then
+        Alcotest.fail
+          (Printf.sprintf "%s: output %s differs (max diff %g)\n-- before --\n%s\n-- after --\n%s"
+             name nm (Tensor.max_abs_diff t t')
+             (Printer.func_to_string fn)
+             (Printer.func_to_string fn')))
+    out out'
+
+let sched_of fn = Schedule.of_func fn
+
+(* y[i] = x[i] * 2 + 1  over n elements, with labels *)
+let simple_fn () =
+  let body =
+    Stmt.for_ ~label:"L" "i" (i 0) (v "n")
+      (Stmt.store "y" [ v "i" ]
+         (Expr.add (Expr.mul (ld "x" [ v "i" ]) (Expr.float 2.)) (Expr.float 1.)))
+  in
+  Stmt.func "simple"
+    [ Stmt.param "x" Types.F32 [ v "n" ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n" ] ]
+    body
+
+(* 2-D stencil-free nest: y[i,j] = x[i,j] + 1 *)
+let nest_fn () =
+  let inner =
+    Stmt.for_ ~label:"Lj" "j" (i 0) (i 8)
+      (Stmt.store "y" [ v "i"; v "j" ]
+         (Expr.add (ld "x" [ v "i"; v "j" ]) (Expr.float 1.)))
+  in
+  let outer = Stmt.for_ ~label:"Li" "i" (i 0) (i 8) inner in
+  Stmt.func "nest"
+    [ Stmt.param "x" Types.F32 [ i 8; i 8 ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ i 8; i 8 ] ]
+    outer
+
+(* -------- split -------- *)
+
+let test_split_semantics () =
+  let fn = simple_fn () in
+  let s = sched_of fn in
+  let _outer, _inner = Schedule.split s (By_label "L") ~factor:4 in
+  check_same_semantics "split" fn (Schedule.func s)
+
+let test_split_guard_for_remainder () =
+  let fn = simple_fn () in
+  let s = sched_of fn in
+  ignore (Schedule.split s (By_label "L") ~factor:4);
+  (* n is symbolic: a guard must protect the remainder *)
+  let has_if =
+    Stmt.find_opt
+      (fun st -> match st.Stmt.node with Stmt.If _ -> true | _ -> false)
+      (Schedule.body s)
+    <> None
+  in
+  Alcotest.(check bool) "guard present" true has_if
+
+let test_split_exact_no_guard () =
+  let fn = nest_fn () in
+  let s = sched_of fn in
+  ignore (Schedule.split s (By_label "Lj") ~factor:4);
+  let has_if =
+    Stmt.find_opt
+      (fun st -> match st.Stmt.node with Stmt.If _ -> true | _ -> false)
+      (Schedule.body s)
+    <> None
+  in
+  Alcotest.(check bool) "no guard when factor divides" false has_if;
+  check_same_semantics "split exact" fn (Schedule.func s)
+
+(* -------- merge -------- *)
+
+let test_merge_semantics () =
+  let fn = nest_fn () in
+  let s = sched_of fn in
+  let m = Schedule.merge s (By_label "Li") (By_label "Lj") in
+  (* merged loop covers 64 iterations *)
+  (match Schedule.find s m with
+   | { Stmt.node = Stmt.For f; _ } ->
+     Alcotest.(check bool) "64 iterations" true (Expr.equal f.Stmt.f_end (i 64))
+   | _ -> Alcotest.fail "merge result is not a loop");
+  check_same_semantics "merge" fn (Schedule.func s)
+
+(* -------- reorder -------- *)
+
+let test_reorder_semantics () =
+  let fn = nest_fn () in
+  let s = sched_of fn in
+  Schedule.reorder s (By_label "Li") (By_label "Lj");
+  (* after reorder, Lj is the outer loop *)
+  (match (Schedule.body s).Stmt.node with
+   | Stmt.For f -> Alcotest.(check string) "outer iter" "j" f.Stmt.f_iter
+   | _ -> Alcotest.fail "root is not a loop");
+  check_same_semantics "reorder" fn (Schedule.func s)
+
+let test_reorder_illegal () =
+  (* Fig 12(b): a = a * b[i,j] + 1 *)
+  let inner =
+    Stmt.for_ ~label:"Lj" "j" (i 0) (i 8)
+      (Stmt.store "y" []
+         (Expr.add (Expr.mul (ld "y" []) (ld "x" [ v "i"; v "j" ]))
+            (Expr.float 1.)))
+  in
+  let outer = Stmt.for_ ~label:"Li" "i" (i 0) (i 8) inner in
+  let fn =
+    Stmt.func "rec"
+      [ Stmt.param "x" Types.F32 [ i 8; i 8 ];
+        Stmt.param ~atype:Types.Inout "y" Types.F32 [] ]
+      outer
+  in
+  let s = sched_of fn in
+  Alcotest.check_raises "reorder must be rejected"
+    (Schedule.Invalid
+       "reorder: blocked by dependence: W y[] @?  <-conflicts->  R y[] @?")
+    (fun () ->
+      try Schedule.reorder s (By_label "Li") (By_label "Lj")
+      with Schedule.Invalid _ ->
+        raise
+          (Schedule.Invalid
+             "reorder: blocked by dependence: W y[] @?  <-conflicts->  R y[] @?"))
+
+(* -------- fission / fuse -------- *)
+
+(* Two-statement loop body writing different tensors *)
+let two_stmt_fn () =
+  let s1 =
+    Stmt.store ~label:"S1" "a" [ v "i" ]
+      (Expr.mul (ld "x" [ v "i" ]) (Expr.float 3.))
+  in
+  let s2 =
+    Stmt.store ~label:"S2" "y" [ v "i" ]
+      (Expr.add (ld "a" [ v "i" ]) (Expr.float 1.))
+  in
+  let loop = Stmt.for_ ~label:"L" "i" (i 0) (v "n") (Stmt.seq [ s1; s2 ]) in
+  Stmt.func "two"
+    [ Stmt.param "x" Types.F32 [ v "n" ];
+      Stmt.param ~atype:Types.Output "a" Types.F32 [ v "n" ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n" ] ]
+    loop
+
+let test_fission_semantics () =
+  let fn = two_stmt_fn () in
+  let s = sched_of fn in
+  let _l1, _l2 = Schedule.fission s (By_label "L") ~after:(By_label "S1") in
+  (* two top-level loops now *)
+  let loops = Schedule.all_loops s in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  check_same_semantics "fission" fn (Schedule.func s)
+
+let test_fission_illegal_backward_dep () =
+  (* for i: { y[i] = a[i-1]; a[i] = x[i] }  -- a[i] written after read of
+     a[i-1]: fission would make all y-reads see updated a. *)
+  let s1 =
+    Stmt.if_ ~label:"G" (Expr.ge (v "i") (i 1))
+      (Stmt.store ~label:"S1" "y" [ v "i" ] (ld "a" [ Expr.sub (v "i") (i 1) ]))
+      None
+  in
+  let s2 = Stmt.store ~label:"S2" "a" [ v "i" ] (ld "x" [ v "i" ]) in
+  let loop = Stmt.for_ ~label:"L" "i" (i 0) (v "n") (Stmt.seq [ s1; s2 ]) in
+  let fn =
+    Stmt.func "bad"
+      [ Stmt.param "x" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Inout "a" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n" ] ]
+      loop
+  in
+  let s = sched_of fn in
+  let raised =
+    try
+      ignore (Schedule.fission s (By_label "L") ~after:(By_label "G"));
+      false
+    with Schedule.Invalid _ -> true
+  in
+  Alcotest.(check bool) "fission rejected" true raised
+
+let test_fuse_semantics () =
+  (* build the fissioned version manually, then fuse back *)
+  let l1 =
+    Stmt.for_ ~label:"L1" "i" (i 0) (v "n")
+      (Stmt.store "a" [ v "i" ] (Expr.mul (ld "x" [ v "i" ]) (Expr.float 3.)))
+  in
+  let l2 =
+    Stmt.for_ ~label:"L2" "j" (i 0) (v "n")
+      (Stmt.store "y" [ v "j" ] (Expr.add (ld "a" [ v "j" ]) (Expr.float 1.)))
+  in
+  let fn =
+    Stmt.func "fuse_me"
+      [ Stmt.param "x" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Output "a" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n" ] ]
+      (Stmt.seq [ l1; l2 ])
+  in
+  let s = sched_of fn in
+  let fused = Schedule.fuse s (By_label "L1") (By_label "L2") in
+  ignore fused;
+  Alcotest.(check int) "single loop" 1 (List.length (Schedule.all_loops s));
+  check_same_semantics "fuse" fn (Schedule.func s)
+
+let test_fuse_offset_ranges () =
+  (* Fig 10 flavour: first loop over [-3, 4), second over [0, 7);
+     second reads what first wrote at the shifted index. *)
+  let l1 =
+    Stmt.for_ ~label:"L1" "k" (i (-3)) (i 4)
+      (Stmt.store "a" [ Expr.add (v "k") (i 3) ] (ld "x" [ Expr.add (v "k") (i 3) ]))
+  in
+  let l2 =
+    Stmt.for_ ~label:"L2" "k2" (i 0) (i 7)
+      (Stmt.store "y" [ v "k2" ] (Expr.mul (ld "a" [ v "k2" ]) (Expr.float 2.)))
+  in
+  let fn =
+    Stmt.func "fuse_off"
+      [ Stmt.param "x" Types.F32 [ i 7 ];
+        Stmt.param ~atype:Types.Output "a" Types.F32 [ i 7 ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 7 ] ]
+      (Stmt.seq [ l1; l2 ])
+  in
+  let s = sched_of fn in
+  ignore (Schedule.fuse s (By_label "L1") (By_label "L2"));
+  check_same_semantics "fuse offset" fn (Schedule.func s)
+
+let test_fuse_illegal_max_reduction () =
+  (* Fig 10: fusing the dot_max reduction with the dot_norm loop is
+     incorrect because dot_norm needs the final max. *)
+  let l1 =
+    Stmt.for_ ~label:"L1" "k" (i 0) (i 9)
+      (Stmt.reduce_to "m" [] Types.R_max (ld "d" [ v "k" ]))
+  in
+  let l2 =
+    Stmt.for_ ~label:"L2" "k2" (i 0) (i 9)
+      (Stmt.store "y" [ v "k2" ] (Expr.sub (ld "d" [ v "k2" ]) (ld "m" [])))
+  in
+  let fn =
+    Stmt.func "bad_fuse"
+      [ Stmt.param "d" Types.F32 [ i 9 ];
+        Stmt.param ~atype:Types.Inout "m" Types.F32 [];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 9 ] ]
+      (Stmt.seq [ l1; l2 ])
+  in
+  let s = sched_of fn in
+  let raised =
+    try ignore (Schedule.fuse s (By_label "L1") (By_label "L2")); false
+    with Schedule.Invalid _ -> true
+  in
+  Alcotest.(check bool) "fuse rejected (Fig 10)" true raised
+
+(* -------- swap -------- *)
+
+let test_swap_legal_and_illegal () =
+  let fn = two_stmt_fn () in
+  let s = sched_of fn in
+  (* S1 writes a[i], S2 reads a[i]: swap must be rejected *)
+  let raised =
+    try Schedule.swap s (By_label "S1") (By_label "S2"); false
+    with Schedule.Invalid _ -> true
+  in
+  Alcotest.(check bool) "dependent swap rejected" true raised;
+  (* independent statements swap fine *)
+  let s1 = Stmt.store ~label:"A" "a" [ v "i" ] (ld "x" [ v "i" ]) in
+  let s2 = Stmt.store ~label:"B" "y" [ v "i" ] (ld "x" [ v "i" ]) in
+  let loop = Stmt.for_ "i" (i 0) (v "n") (Stmt.seq [ s1; s2 ]) in
+  let fn2 =
+    Stmt.func "ind"
+      [ Stmt.param "x" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Output "a" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n" ] ]
+      loop
+  in
+  let s2d = sched_of fn2 in
+  Schedule.swap s2d (By_label "A") (By_label "B");
+  check_same_semantics "swap" fn2 (Schedule.func s2d)
+
+(* -------- parallelize -------- *)
+
+let test_parallelize_marks_loop () =
+  let fn = simple_fn () in
+  let s = sched_of fn in
+  Schedule.parallelize s (By_label "L") Types.Openmp;
+  (match Schedule.find s (By_label "L") with
+   | { Stmt.node = Stmt.For f; _ } ->
+     Alcotest.(check bool) "annotated" true
+       (f.Stmt.f_property.parallel = Some Types.Openmp)
+   | _ -> Alcotest.fail "not a loop");
+  check_same_semantics "parallelize" fn (Schedule.func s)
+
+let test_parallelize_rejects_recurrence () =
+  let loop =
+    Stmt.for_ ~label:"L" "i" (i 0) (v "n")
+      (Stmt.store "y" []
+         (Expr.add (Expr.mul (ld "y" []) (Expr.float 2.)) (ld "x" [ v "i" ])))
+  in
+  let fn =
+    Stmt.func "recur"
+      [ Stmt.param "x" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Inout "y" Types.F32 [] ]
+      loop
+  in
+  let s = sched_of fn in
+  let raised =
+    try Schedule.parallelize s (By_label "L") Types.Openmp; false
+    with Schedule.Invalid _ -> true
+  in
+  Alcotest.(check bool) "recurrence rejected" true raised
+
+let test_parallelize_atomic_marking () =
+  (* Fig 13(e): a[idx[i]] += b[i] gets atomic reductions *)
+  let loop =
+    Stmt.for_ ~label:"L" "i" (i 0) (v "n")
+      (Stmt.reduce_to "a" [ ld "idx" [ v "i" ] ] Types.R_add
+         (ld "b" [ v "i" ]))
+  in
+  let fn =
+    Stmt.func "scatter"
+      [ Stmt.param "idx" Types.I32 [ v "n" ];
+        Stmt.param "b" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Inout "a" Types.F32 [ v "n" ] ]
+      loop
+  in
+  let s = sched_of fn in
+  Schedule.parallelize s (By_label "L") Types.Openmp;
+  let atomic_found =
+    Stmt.find_opt
+      (fun st ->
+        match st.Stmt.node with
+        | Stmt.Reduce_to r -> r.Stmt.r_atomic
+        | _ -> false)
+      (Schedule.body s)
+    <> None
+  in
+  Alcotest.(check bool) "atomic set" true atomic_found
+
+let test_parallelize_affine_reduction_no_atomic () =
+  let loop =
+    Stmt.for_ ~label:"L" "i" (i 0) (v "n")
+      (Stmt.reduce_to "a" [ v "i" ] Types.R_add (ld "b" [ v "i" ]))
+  in
+  let fn =
+    Stmt.func "gather"
+      [ Stmt.param "b" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Inout "a" Types.F32 [ v "n" ] ]
+      loop
+  in
+  let s = sched_of fn in
+  Schedule.parallelize s (By_label "L") Types.Openmp;
+  let atomic_found =
+    Stmt.find_opt
+      (fun st ->
+        match st.Stmt.node with
+        | Stmt.Reduce_to r -> r.Stmt.r_atomic
+        | _ -> false)
+      (Schedule.body s)
+    <> None
+  in
+  Alcotest.(check bool) "no atomic needed" false atomic_found
+
+(* -------- unroll / blend / vectorize -------- *)
+
+let test_unroll_semantics () =
+  let fn = nest_fn () in
+  let s = sched_of fn in
+  Schedule.unroll s (By_label "Lj");
+  Alcotest.(check int) "only outer loop remains" 1
+    (List.length (Schedule.all_loops s));
+  check_same_semantics "unroll" fn (Schedule.func s)
+
+let test_blend_semantics () =
+  let s1 = Stmt.store "a" [ v "i" ] (ld "x" [ v "i" ]) in
+  let s2 = Stmt.store "y" [ v "i" ] (Expr.mul (ld "x" [ v "i" ]) (Expr.float 2.)) in
+  let loop = Stmt.for_ ~label:"L" "i" (i 0) (i 4) (Stmt.seq [ s1; s2 ]) in
+  let fn =
+    Stmt.func "blend_me"
+      [ Stmt.param "x" Types.F32 [ i 4 ];
+        Stmt.param ~atype:Types.Output "a" Types.F32 [ i 4 ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 4 ] ]
+      loop
+  in
+  let s = sched_of fn in
+  Schedule.blend s (By_label "L");
+  Alcotest.(check int) "fully unrolled" 0 (List.length (Schedule.all_loops s));
+  check_same_semantics "blend" fn (Schedule.func s)
+
+let test_vectorize_innermost_only () =
+  let fn = nest_fn () in
+  let s = sched_of fn in
+  let raised =
+    try Schedule.vectorize s (By_label "Li"); false
+    with Schedule.Invalid _ -> true
+  in
+  Alcotest.(check bool) "outer loop rejected" true raised;
+  Schedule.vectorize s (By_label "Lj");
+  check_same_semantics "vectorize" fn (Schedule.func s)
+
+(* -------- cache (Fig 14) -------- *)
+
+let test_cache_fig14 () =
+  (* for i in n: for j in m: f(a[i+j]) — cache a around loop j should make
+     an m-sized local tensor. *)
+  let m_const = 5 in
+  let inner =
+    Stmt.for_ ~label:"Lj" "j" (i 0) (i m_const)
+      (Stmt.store "y" [ v "i"; v "j" ]
+         (Expr.mul (ld "a" [ Expr.add (v "i") (v "j") ]) (Expr.float 2.)))
+  in
+  let outer = Stmt.for_ ~label:"Li" "i" (i 0) (v "n") inner in
+  let fn =
+    Stmt.func "stencil"
+      [ Stmt.param "a" Types.F32 [ Expr.add (v "n") (i (m_const - 1)) ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n"; i m_const ] ]
+      outer
+  in
+  (* n+4 sized input: run with shape n + 4 via explicit Fixed shape above *)
+  let s = sched_of fn in
+  let cache_name = Schedule.cache s (By_label "Lj") "a" Types.Cpu_stack in
+  (* the introduced def must have extent m (=5) *)
+  (match
+     Stmt.find_opt
+       (fun st ->
+         match st.Stmt.node with
+         | Stmt.Var_def d -> String.equal d.Stmt.d_name cache_name
+         | _ -> false)
+       (Schedule.body s)
+   with
+   | Some { Stmt.node = Stmt.Var_def d; _ } ->
+     (match d.Stmt.d_shape with
+      | [ e ] ->
+        Alcotest.(check string) "extent m" (Expr.to_string (i m_const))
+          (Expr.to_string e)
+      | _ -> Alcotest.fail "cache rank")
+   | _ -> Alcotest.fail "cache def not found");
+  (* semantics: custom runner because of the n+4 input shape *)
+  let run fn =
+    let a = Tensor.rand ~seed:3 Types.F32 [| n_test + m_const - 1 |] in
+    let y = Tensor.zeros Types.F32 [| n_test; m_const |] in
+    Interp.run_func ~sizes:[ ("n", n_test) ] fn [ ("a", a); ("y", y) ];
+    y
+  in
+  let y1 = run fn and y2 = run (Schedule.func s) in
+  Alcotest.(check bool) "cache preserves semantics" true
+    (Tensor.all_close y1 y2)
+
+let test_cache_write_back () =
+  (* writes must be stored back: y[i] = x[i]; y[i] *= 2 within region *)
+  let body =
+    Stmt.seq
+      [ Stmt.store "y" [ v "j" ] (ld "x" [ v "j" ]);
+        Stmt.store "y" [ v "j" ] (Expr.mul (ld "y" [ v "j" ]) (Expr.float 2.)) ]
+  in
+  let loop = Stmt.for_ ~label:"L" "j" (i 0) (v "n") body in
+  let fn =
+    Stmt.func "wb"
+      [ Stmt.param "x" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n" ] ]
+      loop
+  in
+  let s = sched_of fn in
+  ignore (Schedule.cache s (By_label "L") "y" Types.Cpu_stack);
+  check_same_semantics "cache write-back" fn (Schedule.func s)
+
+let test_cache_reduce () =
+  (* for j: y[0] += x[j]  -> accumulate in a register-like cache *)
+  let loop =
+    Stmt.for_ ~label:"L" "j" (i 0) (v "n")
+      (Stmt.reduce_to "y" [ i 0 ] Types.R_add (ld "x" [ v "j" ]))
+  in
+  let fn =
+    Stmt.func "red"
+      [ Stmt.param "x" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Inout "y" Types.F32 [ i 1 ] ]
+      loop
+  in
+  let s = sched_of fn in
+  ignore (Schedule.cache_reduce s (By_label "L") "y" Types.Cpu_stack);
+  check_same_semantics "cache_reduce" fn (Schedule.func s)
+
+(* -------- var_split / var_reorder / var_merge / set_mtype -------- *)
+
+let layout_fn () =
+  (* t is an internal 2-D temp: t[i,j] = x[i*8+j]; y[i*8+j] = t[i,j]*3 *)
+  let body =
+    Stmt.seq
+      [ Stmt.for_ "i" (i 0) (i 8)
+          (Stmt.for_ "j" (i 0) (i 8)
+             (Stmt.store "t" [ v "i"; v "j" ]
+                (ld "x" [ Expr.add (Expr.mul (v "i") (i 8)) (v "j") ])));
+        Stmt.for_ "i2" (i 0) (i 8)
+          (Stmt.for_ "j2" (i 0) (i 8)
+             (Stmt.store "y"
+                [ Expr.add (Expr.mul (v "i2") (i 8)) (v "j2") ]
+                (Expr.mul (ld "t" [ v "i2"; v "j2" ]) (Expr.float 3.)))) ]
+  in
+  let def = Stmt.var_def "t" Types.F32 Types.Cpu_heap [ i 8; i 8 ] body in
+  Stmt.func "layout"
+    [ Stmt.param "x" Types.F32 [ i 64 ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ i 64 ] ]
+    def
+
+let test_var_reorder () =
+  let fn = layout_fn () in
+  let s = sched_of fn in
+  Schedule.var_reorder s "t" ~dim1:0 ~dim2:1;
+  check_same_semantics "var_reorder" fn (Schedule.func s)
+
+let test_var_merge () =
+  let fn = layout_fn () in
+  let s = sched_of fn in
+  Schedule.var_merge s "t" ~dim:0;
+  check_same_semantics "var_merge" fn (Schedule.func s)
+
+let test_var_split () =
+  let fn = layout_fn () in
+  let s = sched_of fn in
+  Schedule.var_split s "t" ~dim:1 ~factor:4;
+  check_same_semantics "var_split" fn (Schedule.func s)
+
+let test_set_mtype () =
+  let fn = layout_fn () in
+  let s = sched_of fn in
+  Schedule.set_mtype s "t" Types.Gpu_shared;
+  (match
+     Stmt.find_opt
+       (fun st ->
+         match st.Stmt.node with
+         | Stmt.Var_def d -> d.Stmt.d_name = "t"
+         | _ -> false)
+       (Schedule.body s)
+   with
+   | Some { Stmt.node = Stmt.Var_def d; _ } ->
+     Alcotest.(check bool) "mtype changed" true
+       (d.Stmt.d_mtype = Types.Gpu_shared)
+   | _ -> Alcotest.fail "def not found")
+
+(* -------- as_lib / separate_tail -------- *)
+
+let test_as_lib_gemm () =
+  let kloop =
+    Stmt.for_ "k" (i 0) (i 8)
+      (Stmt.reduce_to "c" [ v "i"; v "j" ] Types.R_add
+         (Expr.mul (ld "a" [ v "i"; v "k" ]) (ld "b" [ v "k"; v "j" ])))
+  in
+  let nest =
+    Stmt.for_ ~label:"Li" "i" (i 0) (i 8) (Stmt.for_ "j" (i 0) (i 8) kloop)
+  in
+  let fn =
+    Stmt.func "mm"
+      [ Stmt.param "a" Types.F32 [ i 8; i 8 ];
+        Stmt.param "b" Types.F32 [ i 8; i 8 ];
+        Stmt.param ~atype:Types.Inout "c" Types.F32 [ i 8; i 8 ] ]
+      nest
+  in
+  let s = sched_of fn in
+  let lib = Schedule.as_lib s (By_label "Li") in
+  Alcotest.(check bool) "gemm recognized" true
+    (String.length lib >= 4 && String.sub lib 0 4 = "gemm");
+  check_same_semantics "as_lib" fn (Schedule.func s)
+
+let test_separate_tail () =
+  let fn = simple_fn () in
+  let s = sched_of fn in
+  let _, inner = Schedule.split s (By_label "L") ~factor:4 in
+  ignore inner;
+  (* find the guarded inner loop and strip its guard *)
+  let inner_loop =
+    List.find
+      (fun l ->
+        match l.Stmt.node with
+        | Stmt.For f -> (
+          match f.Stmt.f_body.Stmt.node with
+          | Stmt.If _ -> true
+          | _ -> false)
+        | _ -> false)
+      (Schedule.all_loops s)
+  in
+  ignore (Schedule.separate_tail s (By_id inner_loop.Stmt.sid));
+  let has_if =
+    Stmt.find_opt
+      (fun st -> match st.Stmt.node with Stmt.If _ -> true | _ -> false)
+      (Schedule.body s)
+    <> None
+  in
+  Alcotest.(check bool) "guard removed" false has_if;
+  check_same_semantics "separate_tail" fn (Schedule.func s)
+
+(* -------- qcheck: random legal schedule pipelines preserve semantics --- *)
+
+let random_pipeline =
+  let open QCheck2.Gen in
+  list_size (int_range 1 4) (int_range 0 4)
+
+let prop_schedules_preserve_semantics =
+  QCheck2.Test.make ~count:60
+    ~name:"random schedule pipelines preserve semantics"
+    random_pipeline
+    (fun ops ->
+      let fn = nest_fn () in
+      let s = sched_of fn in
+      (* apply best-effort ops; Invalid_schedule just skips *)
+      List.iter
+        (fun op ->
+          try
+            match op with
+            | 0 -> ignore (Schedule.split s (By_label "Lj") ~factor:3)
+            | 1 -> Schedule.reorder s (By_label "Li") (By_label "Lj")
+            | 2 -> ignore (Schedule.merge s (By_label "Li") (By_label "Lj"))
+            | 3 -> Schedule.parallelize s (By_label "Li") Types.Openmp
+            | _ -> Schedule.unroll s (By_label "Lj")
+          with Schedule.Invalid _ | Select.Invalid_schedule _ -> ())
+        ops;
+      let out = run_on fn and out' = run_on (Schedule.func s) in
+      List.for_all2 (fun (_, t) (_, t') -> Tensor.all_close ~tol:1e-5 t t')
+        out out')
+
+let suite =
+  [ Alcotest.test_case "split semantics" `Quick test_split_semantics;
+    Alcotest.test_case "split remainder guard" `Quick
+      test_split_guard_for_remainder;
+    Alcotest.test_case "split exact no guard" `Quick test_split_exact_no_guard;
+    Alcotest.test_case "merge" `Quick test_merge_semantics;
+    Alcotest.test_case "reorder" `Quick test_reorder_semantics;
+    Alcotest.test_case "reorder illegal (Fig 12b)" `Quick test_reorder_illegal;
+    Alcotest.test_case "fission" `Quick test_fission_semantics;
+    Alcotest.test_case "fission illegal" `Quick
+      test_fission_illegal_backward_dep;
+    Alcotest.test_case "fuse" `Quick test_fuse_semantics;
+    Alcotest.test_case "fuse offset ranges (Fig 10)" `Quick
+      test_fuse_offset_ranges;
+    Alcotest.test_case "fuse illegal (Fig 10 dot_max)" `Quick
+      test_fuse_illegal_max_reduction;
+    Alcotest.test_case "swap" `Quick test_swap_legal_and_illegal;
+    Alcotest.test_case "parallelize marks" `Quick test_parallelize_marks_loop;
+    Alcotest.test_case "parallelize rejects recurrence (Fig 13b)" `Quick
+      test_parallelize_rejects_recurrence;
+    Alcotest.test_case "parallelize atomics (Fig 13e)" `Quick
+      test_parallelize_atomic_marking;
+    Alcotest.test_case "parallelize affine reduction" `Quick
+      test_parallelize_affine_reduction_no_atomic;
+    Alcotest.test_case "unroll" `Quick test_unroll_semantics;
+    Alcotest.test_case "blend" `Quick test_blend_semantics;
+    Alcotest.test_case "vectorize" `Quick test_vectorize_innermost_only;
+    Alcotest.test_case "cache (Fig 14)" `Quick test_cache_fig14;
+    Alcotest.test_case "cache write-back" `Quick test_cache_write_back;
+    Alcotest.test_case "cache_reduce" `Quick test_cache_reduce;
+    Alcotest.test_case "var_reorder" `Quick test_var_reorder;
+    Alcotest.test_case "var_merge" `Quick test_var_merge;
+    Alcotest.test_case "var_split" `Quick test_var_split;
+    Alcotest.test_case "set_mtype" `Quick test_set_mtype;
+    Alcotest.test_case "as_lib gemm" `Quick test_as_lib_gemm;
+    Alcotest.test_case "separate_tail" `Quick test_separate_tail;
+    QCheck_alcotest.to_alcotest prop_schedules_preserve_semantics ]
+
+(* -------- error paths: every transformation rejects bad input -------- *)
+
+let expect_invalid name f =
+  let raised = try f (); false with Schedule.Invalid _ -> true in
+  Alcotest.(check bool) name true raised
+
+let test_selector_errors () =
+  let s = sched_of (nest_fn ()) in
+  expect_invalid "unknown label" (fun () ->
+      ignore (Schedule.find s (By_label "nope")));
+  expect_invalid "unknown id" (fun () ->
+      ignore (Schedule.find s (By_id 999999)));
+  expect_invalid "split non-loop" (fun () ->
+      let store =
+        Stmt.find_opt
+          (fun st -> match st.Stmt.node with Stmt.Store _ -> true | _ -> false)
+          (Schedule.body s)
+        |> Option.get
+      in
+      ignore (Schedule.split s (By_id store.Stmt.sid) ~factor:2))
+
+let test_split_bad_factor () =
+  let s = sched_of (nest_fn ()) in
+  expect_invalid "factor 0" (fun () ->
+      ignore (Schedule.split s (By_label "Lj") ~factor:0));
+  expect_invalid "negative factor" (fun () ->
+      ignore (Schedule.split s (By_label "Lj") ~factor:(-3)))
+
+let test_merge_requires_perfect_nesting () =
+  let fn = two_stmt_fn () in
+  let s = sched_of fn in
+  (* L's body is a two-statement Seq: no directly nested loop *)
+  expect_invalid "merge non-nested" (fun () ->
+      ignore (Schedule.merge s (By_label "L") (By_label "S1")))
+
+let test_fuse_requires_adjacency_and_length () =
+  (* loops of different length never fuse *)
+  let l1 =
+    Stmt.for_ ~label:"A" "i" (i 0) (i 8) (Stmt.store "a" [ v "i" ] (i 1))
+  in
+  let l2 =
+    Stmt.for_ ~label:"B" "j" (i 0) (i 9) (Stmt.store "y" [ v "j" ] (i 2))
+  in
+  let fn =
+    Stmt.func "neq"
+      [ Stmt.param ~atype:Types.Output "a" Types.F32 [ i 8 ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 9 ] ]
+      (Stmt.seq [ l1; l2 ])
+  in
+  let s = sched_of fn in
+  expect_invalid "unequal lengths" (fun () ->
+      ignore (Schedule.fuse s (By_label "A") (By_label "B")));
+  (* non-adjacent loops never fuse *)
+  let l1 = Stmt.for_ ~label:"A" "i" (i 0) (i 8) (Stmt.store "a" [ v "i" ] (i 1)) in
+  let mid = Stmt.store "y" [ i 0 ] (i 7) in
+  let l2 = Stmt.for_ ~label:"B" "j" (i 0) (i 8) (Stmt.store "y" [ v "j" ] (i 2)) in
+  let fn2 =
+    Stmt.func "gap"
+      [ Stmt.param ~atype:Types.Output "a" Types.F32 [ i 8 ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ i 8 ] ]
+      (Stmt.seq [ l1; mid; l2 ])
+  in
+  let s2 = sched_of fn2 in
+  expect_invalid "non-adjacent" (fun () ->
+      ignore (Schedule.fuse s2 (By_label "A") (By_label "B")))
+
+let test_parallelize_scope_clash () =
+  (* the same CUDA scope cannot be bound twice in one nest *)
+  let inner =
+    Stmt.for_ ~label:"Lj" "j" (i 0) (i 8)
+      (Stmt.store "y" [ v "i"; v "j" ] (i 1))
+  in
+  let outer = Stmt.for_ ~label:"Li" "i" (i 0) (i 8) inner in
+  let fn =
+    Stmt.func "clash"
+      [ Stmt.param ~atype:Types.Output "y" Types.F32 [ i 8; i 8 ] ]
+      outer
+  in
+  let s = sched_of fn in
+  Schedule.parallelize s (By_label "Li") Types.Cuda_thread_x;
+  expect_invalid "duplicate scope" (fun () ->
+      Schedule.parallelize s (By_label "Lj") Types.Cuda_thread_x)
+
+let test_var_ops_bad_dims () =
+  let fn = layout_fn () in
+  let s = sched_of fn in
+  expect_invalid "var_split dim out of range" (fun () ->
+      Schedule.var_split s "t" ~dim:5 ~factor:2);
+  expect_invalid "var_reorder dim out of range" (fun () ->
+      Schedule.var_reorder s "t" ~dim1:0 ~dim2:7);
+  expect_invalid "var_merge needs two dims" (fun () ->
+      Schedule.var_merge s "t" ~dim:1);
+  expect_invalid "unknown tensor" (fun () ->
+      Schedule.set_mtype s "ghost" Types.Gpu_shared)
+
+let test_unroll_requires_constant_bounds () =
+  let fn = simple_fn () in
+  (* trip count depends on symbolic n *)
+  let s = sched_of fn in
+  expect_invalid "symbolic trip count" (fun () ->
+      Schedule.unroll s (By_label "L"))
+
+let test_as_lib_rejects_non_gemm () =
+  let s = sched_of (nest_fn ()) in
+  expect_invalid "not a gemm" (fun () ->
+      ignore (Schedule.as_lib s (By_label "Li")))
+
+let test_separate_tail_requires_guard () =
+  let s = sched_of (nest_fn ()) in
+  expect_invalid "no guard" (fun () ->
+      ignore (Schedule.separate_tail s (By_label "Li")))
+
+let error_suite =
+  [ Alcotest.test_case "selector errors" `Quick test_selector_errors;
+    Alcotest.test_case "split bad factor" `Quick test_split_bad_factor;
+    Alcotest.test_case "merge perfect nesting" `Quick
+      test_merge_requires_perfect_nesting;
+    Alcotest.test_case "fuse adjacency/length" `Quick
+      test_fuse_requires_adjacency_and_length;
+    Alcotest.test_case "parallelize scope clash" `Quick
+      test_parallelize_scope_clash;
+    Alcotest.test_case "var ops bad dims" `Quick test_var_ops_bad_dims;
+    Alcotest.test_case "unroll constant bounds" `Quick
+      test_unroll_requires_constant_bounds;
+    Alcotest.test_case "as_lib non-gemm" `Quick test_as_lib_rejects_non_gemm;
+    Alcotest.test_case "separate_tail guard" `Quick
+      test_separate_tail_requires_guard ]

@@ -1,0 +1,249 @@
+(* Workload tests: every application is computed three ways — the
+   FreeTensor DSL program (reference interpreter), the operator-based
+   baseline (Fw/Ops simulator), and a plain-OCaml reference — and all
+   must agree element-for-element.  Auto-scheduling must preserve the
+   results, and the Fig. 17 metric relationships (kernels, DRAM traffic)
+   must hold between FreeTensor and the baselines. *)
+
+open Ft_ir
+open Ft_runtime
+module Interp = Ft_backend.Interp
+module Costmodel = Ft_backend.Costmodel
+module Machine = Ft_machine.Machine
+module Auto = Ft_auto.Auto
+module Fw = Ft_baselines.Fw
+module Subdivnet = Ft_workloads.Subdivnet
+module Longformer = Ft_workloads.Longformer
+module Softras = Ft_workloads.Softras
+module Gat = Ft_workloads.Gat
+
+let close = Tensor.all_close ~tol:1e-3
+
+(* ---------------- SubdivNet ---------------- *)
+
+let sub_cfg = { Subdivnet.n_faces = 64; in_feats = 9 }
+
+let test_subdivnet_agreement () =
+  let e, adj = Subdivnet.gen_inputs sub_cfg in
+  let expect = Subdivnet.reference e adj in
+  (* FreeTensor *)
+  let y = Tensor.zeros Types.F32 [| sub_cfg.n_faces; sub_cfg.in_feats |] in
+  Interp.run_func (Subdivnet.ft_func sub_cfg)
+    [ ("e", e); ("adj", adj); ("y", y) ];
+  Alcotest.(check bool) "FT matches reference" true (close y expect);
+  (* operator baseline *)
+  let fw = Fw.create Types.Cpu in
+  let y2 = Subdivnet.baseline fw e adj in
+  Alcotest.(check bool) "baseline matches reference" true (close y2 expect)
+
+let test_subdivnet_scheduled () =
+  let e, adj = Subdivnet.gen_inputs sub_cfg in
+  let expect = Subdivnet.reference e adj in
+  List.iter
+    (fun device ->
+      let fn = Auto.run ~device (Subdivnet.ft_func sub_cfg) in
+      let y = Tensor.zeros Types.F32 [| sub_cfg.n_faces; sub_cfg.in_feats |] in
+      Interp.run_func fn [ ("e", e); ("adj", adj); ("y", y) ];
+      Alcotest.(check bool)
+        (Printf.sprintf "auto-scheduled (%s) matches"
+           (Types.device_to_string device))
+        true (close y expect))
+    [ Types.Cpu; Types.Gpu ]
+
+let test_subdivnet_fig17_shape () =
+  (* Fig. 17: FreeTensor runs in ~1 kernel with a fraction of the DRAM
+     traffic of the >= 6-kernel operator chain. *)
+  let c = Subdivnet.default in
+  let fn = Auto.run ~device:Types.Gpu (Subdivnet.ft_func c) in
+  let ft = Costmodel.estimate ~device:Types.Gpu fn in
+  let fw = Fw.create Types.Gpu in
+  let e, adj = Subdivnet.gen_inputs c in
+  ignore (Subdivnet.baseline fw e adj);
+  let bl = Fw.metrics fw in
+  Alcotest.(check bool) "FT uses fewer kernels" true
+    (ft.Machine.kernels < bl.Machine.kernels);
+  Alcotest.(check bool) "baseline needs >= 6 kernels" true
+    (bl.Machine.kernels >= 6);
+  Alcotest.(check bool) "FT moves less DRAM traffic" true
+    (ft.Machine.dram_bytes < bl.Machine.dram_bytes);
+  Alcotest.(check bool) "FT is faster" true
+    (ft.Machine.time < bl.Machine.time)
+
+(* ---------------- Longformer ---------------- *)
+
+let lf_cfg = { Longformer.seq_len = 40; feat_len = 8; w = 4 }
+
+let test_longformer_agreement () =
+  let q, k, v = Longformer.gen_inputs lf_cfg in
+  let expect = Longformer.reference q k v ~w:lf_cfg.Longformer.w in
+  let y = Tensor.zeros Types.F32 [| lf_cfg.seq_len; lf_cfg.feat_len |] in
+  Interp.run_func (Longformer.ft_func lf_cfg)
+    [ ("Q", q); ("K", k); ("V", v); ("Y", y) ];
+  Alcotest.(check bool) "FT matches reference" true (close y expect);
+  let fw = Fw.create Types.Cpu in
+  let y2 = Longformer.baseline fw q k v ~w:lf_cfg.Longformer.w in
+  Alcotest.(check bool) "baseline matches reference" true (close y2 expect)
+
+let test_longformer_scheduled () =
+  let q, k, v = Longformer.gen_inputs lf_cfg in
+  let expect = Longformer.reference q k v ~w:lf_cfg.Longformer.w in
+  List.iter
+    (fun device ->
+      let fn = Auto.run ~device (Longformer.ft_func lf_cfg) in
+      let y = Tensor.zeros Types.F32 [| lf_cfg.seq_len; lf_cfg.feat_len |] in
+      Interp.run_func fn [ ("Q", q); ("K", k); ("V", v); ("Y", y) ];
+      Alcotest.(check bool)
+        (Printf.sprintf "auto-scheduled (%s) matches"
+           (Types.device_to_string device))
+        true (close y expect))
+    [ Types.Cpu; Types.Gpu ]
+
+let test_longformer_baseline_memory_redundancy () =
+  (* the sliding-window materialization costs ~(2w+1)x the K tensor *)
+  let c = lf_cfg in
+  let fw = Fw.create Types.Cpu in
+  let q, k, v = Longformer.gen_inputs c in
+  ignore (Longformer.baseline fw q k v ~w:c.Longformer.w);
+  let m = Fw.metrics fw in
+  let k_bytes = float_of_int (Tensor.byte_size k) in
+  Alcotest.(check bool) "peak memory reflects window-fold copies" true
+    (m.Machine.peak_mem >
+       float_of_int ((2 * c.Longformer.w) + 1) *. k_bytes)
+
+(* ---------------- SoftRas ---------------- *)
+
+let sr_cfg = { Softras.img = 12; n_faces = 10; sigma = 0.01 }
+
+let test_softras_agreement () =
+  let cx, cy, r = Softras.gen_inputs sr_cfg in
+  let expect =
+    Softras.reference cx cy r ~img:sr_cfg.Softras.img
+      ~sigma:sr_cfg.Softras.sigma
+  in
+  let img = Tensor.zeros Types.F32 [| sr_cfg.img; sr_cfg.img |] in
+  Interp.run_func (Softras.ft_func sr_cfg)
+    [ ("cx", cx); ("cy", cy); ("r", r); ("img", img) ];
+  Alcotest.(check bool) "FT matches reference" true (close img expect);
+  let fw = Fw.create Types.Cpu in
+  let img2 = Softras.baseline fw cx cy r ~img:sr_cfg.Softras.img in
+  Alcotest.(check bool) "baseline matches reference" true (close img2 expect)
+
+let test_softras_jaxlike_fusion_helps () =
+  (* jaxlike (elementwise fusion) must launch fewer kernels and move less
+     data than the eager chain on this elementwise-heavy workload *)
+  let cx, cy, r = Softras.gen_inputs Softras.default in
+  let eager = Fw.create Types.Cpu in
+  ignore (Softras.baseline eager cx cy r ~img:Softras.default.Softras.img);
+  let fused = Fw.create ~fusion:Fw.Elementwise_fusion Types.Cpu in
+  ignore (Softras.baseline fused cx cy r ~img:Softras.default.Softras.img);
+  let me = Fw.metrics eager and mf = Fw.metrics fused in
+  Alcotest.(check bool) "fewer kernels with fusion" true
+    (mf.Machine.kernels < me.Machine.kernels);
+  Alcotest.(check bool) "less traffic with fusion" true
+    (mf.Machine.l2_bytes < me.Machine.l2_bytes);
+  Alcotest.(check bool) "faster with fusion" true
+    (mf.Machine.time < me.Machine.time)
+
+(* ---------------- GAT ---------------- *)
+
+let gat_cfg = { Gat.n_nodes = 48; in_feats = 6; out_feats = 5; avg_degree = 4 }
+
+let test_gat_agreement () =
+  let rowptr, colidx, n_edges = Gat.gen_graph gat_cfg in
+  let x, w, a1, a2 = Gat.gen_inputs gat_cfg in
+  let expect = Gat.reference x w a1 a2 rowptr colidx in
+  let out = Tensor.zeros Types.F32 [| gat_cfg.n_nodes; gat_cfg.out_feats |] in
+  Interp.run_func (Gat.ft_func gat_cfg ~n_edges)
+    [ ("x", x); ("w", w); ("a1", a1); ("a2", a2); ("rowptr", rowptr);
+      ("colidx", colidx); ("out", out) ];
+  Alcotest.(check bool) "FT matches reference" true (close out expect);
+  let fw = Fw.create Types.Cpu in
+  let out2 = Gat.dgllike fw x w a1 a2 rowptr colidx in
+  Alcotest.(check bool) "DGL-like matches reference" true (close out2 expect)
+
+let test_gat_scheduled () =
+  let rowptr, colidx, n_edges = Gat.gen_graph gat_cfg in
+  let x, w, a1, a2 = Gat.gen_inputs gat_cfg in
+  let expect = Gat.reference x w a1 a2 rowptr colidx in
+  let fn = Auto.run ~device:Types.Cpu (Gat.ft_func gat_cfg ~n_edges) in
+  let out = Tensor.zeros Types.F32 [| gat_cfg.n_nodes; gat_cfg.out_feats |] in
+  Interp.run_func fn
+    [ ("x", x); ("w", w); ("a1", a1); ("a2", a2); ("rowptr", rowptr);
+      ("colidx", colidx); ("out", out) ];
+  Alcotest.(check bool) "auto-scheduled matches" true (close out expect)
+
+(* ---------------- AD on workloads ---------------- *)
+
+let test_subdivnet_gradient () =
+  (* grad of sum(y) w.r.t. e, against finite differences *)
+  let c = { Subdivnet.n_faces = 10; in_feats = 4 } in
+  let _, adj = Subdivnet.gen_inputs c in
+  Test_ad.check_against_fd ~tol:5e-2 ~presets:[ ("adj", adj) ] ~sizes:[]
+    (Subdivnet.ft_func c)
+
+let test_softras_gradient () =
+  let c = { Softras.img = 6; n_faces = 5; sigma = 0.05 } in
+  Test_ad.check_against_fd ~tol:5e-2 ~eps:1e-4 ~sizes:[] (Softras.ft_func c)
+
+
+
+(* ---------------- full pipeline: Compile.build on every workload ------- *)
+
+let test_compile_pipeline_all_workloads () =
+  let contains hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec go k = k + n <= m && (String.sub hay k n = needle || go (k + 1)) in
+    go 0
+  in
+  let fns =
+    [ ("subdivnet", Subdivnet.ft_func { Subdivnet.n_faces = 64; in_feats = 8 });
+      ("longformer", Longformer.ft_func { Longformer.seq_len = 32; feat_len = 8; w = 4 });
+      ("softras", Softras.ft_func { Softras.img = 8; n_faces = 6; sigma = 0.02 });
+      ("gat",
+       let c = { Gat.n_nodes = 32; in_feats = 4; out_feats = 4; avg_degree = 3 } in
+       let _, _, n_edges = Gat.gen_graph c in
+       Gat.ft_func c ~n_edges) ]
+  in
+  List.iter
+    (fun (name, fn) ->
+      (* CPU: OpenMP source with a parallel region *)
+      let c = Freetensor.Compile.build ~device:Types.Cpu fn in
+      Alcotest.(check bool)
+        (name ^ " cpu has omp parallel") true
+        (contains c.Freetensor.Compile.c_source "#pragma omp parallel for");
+      (* GPU: CUDA source with at least one kernel launch *)
+      let g = Freetensor.Compile.build ~device:Types.Gpu fn in
+      Alcotest.(check bool)
+        (name ^ " gpu has kernel") true
+        (contains g.Freetensor.Compile.c_source "__global__");
+      Alcotest.(check bool)
+        (name ^ " gpu has launch") true
+        (contains g.Freetensor.Compile.c_source "<<<");
+      (* the estimate is finite and positive on both *)
+      let mc = Freetensor.Compile.estimate ~unknown_extent:4.0 c in
+      let mg = Freetensor.Compile.estimate ~unknown_extent:4.0 g in
+      Alcotest.(check bool) (name ^ " estimates") true
+        (mc.Machine.time > 0. && mg.Machine.time > 0.
+        && Float.is_finite mc.Machine.time && Float.is_finite mg.Machine.time))
+    fns
+
+let suite =
+  [ Alcotest.test_case "SubdivNet agreement" `Quick test_subdivnet_agreement;
+    Alcotest.test_case "SubdivNet scheduled" `Quick test_subdivnet_scheduled;
+    Alcotest.test_case "SubdivNet Fig 17 shape" `Quick
+      test_subdivnet_fig17_shape;
+    Alcotest.test_case "Longformer agreement" `Quick
+      test_longformer_agreement;
+    Alcotest.test_case "Longformer scheduled" `Quick
+      test_longformer_scheduled;
+    Alcotest.test_case "Longformer baseline memory" `Quick
+      test_longformer_baseline_memory_redundancy;
+    Alcotest.test_case "SoftRas agreement" `Quick test_softras_agreement;
+    Alcotest.test_case "SoftRas jaxlike fusion" `Quick
+      test_softras_jaxlike_fusion_helps;
+    Alcotest.test_case "GAT agreement" `Quick test_gat_agreement;
+    Alcotest.test_case "GAT scheduled" `Quick test_gat_scheduled;
+    Alcotest.test_case "SubdivNet gradient" `Slow test_subdivnet_gradient;
+    Alcotest.test_case "SoftRas gradient" `Slow test_softras_gradient;
+    Alcotest.test_case "Compile pipeline, all workloads" `Quick
+      test_compile_pipeline_all_workloads ]
