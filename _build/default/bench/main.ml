@@ -2,10 +2,12 @@
    evaluation (Section 6) on the abstract machine, plus Bechamel
    wall-clock micro-benchmarks of the actual OCaml execution.
 
-   Usage: main.exe [fig16a|fig16b|fig17|fig18|table2|ablation|wallclock|all]  *)
+   Usage: main.exe
+     [fig16a|fig16b|fig17|fig18|table2|ablation|profile|wallclock|all]  *)
 
 open Ft_ir
 module E = Ft_workloads.Experiments
+module Tables = Ft_workloads.Tables
 module Machine = Ft_machine.Machine
 module Grad = Ft_ad.Grad
 module Interp = Ft_backend.Interp
@@ -16,62 +18,13 @@ module Tensor = Ft_runtime.Tensor
 
 let scale = E.paper_scale
 
-let fmt_cell = function
-  | E.Time m -> Machine.time_to_string m.Machine.time
-  | E.Oom _ -> "OOM"
-  | E.Ice _ -> "ICE"
-  | E.Not_reported -> "-"
-
 let print_table ~title ~frameworks ~grad () =
-  Printf.printf "\n== %s ==\n" title;
-  Printf.printf "%-12s %-4s" "workload" "dev";
-  List.iter (fun f -> Printf.printf " %14s" (E.framework_name f)) frameworks;
-  Printf.printf " %10s\n" "FT speedup";
-  let speedups = ref [] in
-  List.iter
-    (fun w ->
-      List.iter
-        (fun device ->
-          Printf.printf "%-12s %-4s" (E.workload_name w)
-            (Types.device_to_string device);
-          let cells =
-            List.map
-              (fun f ->
-                if List.mem f (E.frameworks_for w) then
-                  E.cell ~grad ~device ~scale f w
-                else E.Not_reported)
-              frameworks
-          in
-          List.iter (fun c -> Printf.printf " %14s" (fmt_cell c)) cells;
-          (* FT speedup over the best successful baseline *)
-          let ft_time =
-            match cells with
-            | c :: _ -> E.cell_time c
-            | [] -> None
-          in
-          let best_baseline =
-            List.filteri (fun k _ -> k > 0) cells
-            |> List.filter_map E.cell_time
-            |> List.fold_left Float.min infinity
-          in
-          (match ft_time with
-           | Some t when best_baseline < infinity ->
-             let s = best_baseline /. t in
-             speedups := s :: !speedups;
-             Printf.printf " %9.2fx" s
-           | _ -> Printf.printf " %10s" "-");
-          print_newline ())
-        [ Types.Cpu; Types.Gpu ])
-    E.all_workloads;
-  match !speedups with
-  | [] -> ()
-  | ss ->
-    let n = float_of_int (List.length ss) in
-    let geo = exp (List.fold_left (fun a s -> a +. log s) 0.0 ss /. n) in
-    let mx = List.fold_left Float.max 0.0 ss in
-    Printf.printf
-      "FreeTensor speedup over best baseline: %.2fx geomean, %.2fx max\n" geo
-      mx
+  print_string
+    (Tables.render_table ~title ~frameworks
+       ~cell_of:(fun device w f ->
+         if List.mem f (E.frameworks_for w) then E.cell ~grad ~device ~scale f w
+         else E.Not_reported)
+       ())
 
 (* ------------------------------------------------------------- *)
 
@@ -198,6 +151,23 @@ let table2 () =
     E.all_workloads
 
 (* ------------------------------------------------------------- *)
+(* Predicted-vs-observed profiles: run every workload under both
+   executors at small scale (execution is real, so paper scale would
+   take hours under the interpreter), cross-check the observed counters
+   between the executors, and price them against the cost model. *)
+
+let profile () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun device ->
+          print_newline ();
+          print_string
+            (Tables.profile_workload ~device E.small_scale w))
+        [ Types.Cpu; Types.Gpu ])
+    E.all_workloads
+
+(* ------------------------------------------------------------- *)
 (* Bechamel wall-clock benchmarks of the real OCaml execution, at small
    scale: the FreeTensor program under the reference interpreter vs the
    operator-chain baseline doing the same numeric work. *)
@@ -287,6 +257,7 @@ let () =
    | "fig18" -> fig18 ()
    | "table2" -> table2 ()
    | "ablation" -> ablation ()
+   | "profile" -> profile ()
    | "wallclock" -> wallclock ()
    | "all" | _ ->
      fig16a ();
@@ -295,5 +266,6 @@ let () =
      fig18 ();
      table2 ();
      ablation ();
+     profile ();
      wallclock ());
   Printf.printf "\n(total bench time: %.1f s)\n" (Unix.gettimeofday () -. t0)

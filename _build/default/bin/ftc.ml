@@ -6,7 +6,10 @@
      ftc codegen <workload> [-d dev]    print generated OpenMP C / CUDA
      ftc grad <workload> [--all]        print forward+backward ASTs
      ftc estimate <workload> [-d dev]   abstract-machine cost estimate
-     ftc run <workload>                 execute and check vs reference  *)
+     ftc run <workload>                 execute and check vs reference
+     ftc profile <workload> [-d dev]    execute under both executors with
+                                        observed counters, cross-checked
+                                        against the cost model            *)
 
 open Freetensor
 open Cmdliner
@@ -149,6 +152,26 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute the workload and compare to reference")
     Term.(const run $ wl_arg)
 
+let profile_cmd =
+  let run w device =
+    let e_wl =
+      match w with
+      | W_subdivnet -> Ft_workloads.Experiments.Subdiv
+      | W_longformer -> Ft_workloads.Experiments.Longf
+      | W_softras -> Ft_workloads.Experiments.Softr
+      | W_gat -> Ft_workloads.Experiments.Gatw
+    in
+    print_string
+      (Ft_workloads.Tables.profile_workload ~device
+         Ft_workloads.Experiments.small_scale e_wl)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Execute under both executors with observed per-kernel counters, \
+          cross-checked against each other and the analytic cost model")
+    Term.(const run $ wl_arg $ device_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -157,4 +180,4 @@ let () =
           (Cmd.info "ftc" ~version:"1.0.0"
              ~doc:"FreeTensor: free-form tensor program compiler")
           [ show_cmd; schedule_cmd; codegen_cmd; grad_cmd; estimate_cmd;
-            run_cmd ]))
+            run_cmd; profile_cmd ]))

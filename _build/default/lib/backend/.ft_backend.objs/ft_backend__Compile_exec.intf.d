@@ -1,1 +1,1 @@
-lib/backend/compile_exec.mli: Ft_ir Ft_runtime Stmt Tensor
+lib/backend/compile_exec.mli: Ft_ir Ft_profile Ft_runtime Stmt Tensor

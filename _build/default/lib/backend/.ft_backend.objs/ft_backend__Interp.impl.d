@@ -1,1 +1,1 @@
-lib/backend/interp.ml: Array Expr Float Ft_ir Ft_runtime Hashtbl List Printf Stmt Tensor Types
+lib/backend/interp.ml: Array Expr Float Ft_ir Ft_profile Ft_runtime Hashtbl List Printf Stmt Tensor Types

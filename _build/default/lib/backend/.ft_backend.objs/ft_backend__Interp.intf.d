@@ -1,1 +1,1 @@
-lib/backend/interp.mli: Expr Ft_ir Ft_runtime Stmt Tensor
+lib/backend/interp.mli: Expr Ft_ir Ft_profile Ft_runtime Stmt Tensor

@@ -10,10 +10,16 @@
 
     Parallel annotations are ignored at execution (sequential execution
     of a correctly-scheduled program is semantics-preserving); they are
-    consumed by the code generators and the cost model. *)
+    consumed by the code generators and the cost model.
+
+    Profiling is decided at *compile* time: with [?profile] the emitted
+    thunks carry counter increments matching {!Interp}'s observed counts
+    exactly; without it the closures are the same as before — the hot
+    path pays nothing. *)
 
 open Ft_ir
 open Ft_runtime
+module Profile = Ft_profile.Profile
 
 exception Exec_error of string
 
@@ -31,6 +37,9 @@ type cenv = {
   cells : (string, cell) Hashtbl.t;
   ints : (string, int ref) Hashtbl.t; (* iterators and size parameters *)
   dtypes : (string, Types.dtype) Hashtbl.t; (* compile-time scoping *)
+  mtypes : (string, Types.mtype) Hashtbl.t; (* DRAM classification *)
+  prof : Profile.t option;
+  mutable pctr : Profile.counters option; (* current statement's counters *)
 }
 
 let find_cell env name =
@@ -56,6 +65,33 @@ let dtype_of env name =
   | Some dt -> dt
   | None -> Types.F32
 
+(* Compile-time site info for an instrumented tensor access: [None] when
+   not profiling (the emitted thunk is the plain one). *)
+let prof_site env name =
+  match env.prof, env.pctr with
+  | Some p, Some c ->
+    let dram =
+      match Hashtbl.find_opt env.mtypes name with
+      | Some (Types.Cpu_heap | Types.Gpu_global) -> true
+      | _ -> false
+    in
+    Some (p, c, dram, Types.dtype_size (dtype_of env name))
+  | _ -> None
+
+(* Wrap an expression thunk with its operation-count increment.  The
+   increment closure is only built when profiling is on AND the node's
+   root operator counts — otherwise the original thunk is returned. *)
+let wrap_bump env e base =
+  match env.pctr with
+  | None -> base
+  | Some c -> (
+    match Profile.expr_bump e with
+    | None -> base
+    | Some g ->
+      fun () ->
+        g c;
+        base ())
+
 (* flat offset of an index list against a cell's current tensor *)
 let offset_thunk name (c : cell) (idx : (unit -> int) list) : unit -> int =
   match idx with
@@ -80,6 +116,15 @@ let offset_thunk name (c : cell) (idx : (unit -> int) list) : unit -> int =
 
 let rec compile_f (env : cenv) (e : Expr.t) : unit -> float =
   match e with
+  | Expr.Binop ((Expr.Floor_div | Expr.Mod), _, _) ->
+    (* integer op in a float context: delegate to compile_i on the same
+       node, which also owns its single counter increment *)
+    let fi = compile_i env e in
+    fun () -> float_of_int (fi ())
+  | _ -> wrap_bump env e (compile_f_node env e)
+
+and compile_f_node (env : cenv) (e : Expr.t) : unit -> float =
+  match e with
   | Expr.Float_const f -> fun () -> f
   | Expr.Int_const n ->
     let f = float_of_int n in
@@ -88,11 +133,19 @@ let rec compile_f (env : cenv) (e : Expr.t) : unit -> float =
   | Expr.Var x ->
     let r = find_int env x in
     fun () -> float_of_int !r
-  | Expr.Load { l_var; l_indices } ->
+  | Expr.Load { l_var; l_indices } -> (
     let c = find_cell env l_var in
     let idx = List.map (compile_i env) l_indices in
     let off = offset_thunk l_var c idx in
-    fun () -> Tensor.unsafe_get_f (cell_tensor l_var c) (off ())
+    match prof_site env l_var with
+    | None -> fun () -> Tensor.unsafe_get_f (cell_tensor l_var c) (off ())
+    | Some (p, ctr, dram, elem) ->
+      fun () ->
+        let t = cell_tensor l_var c in
+        let o = off () in
+        Profile.record_read p ctr ~dram ~name:l_var ~elem
+          ~total:(Tensor.byte_size t);
+        Tensor.unsafe_get_f t o)
   | Expr.Unop (op, a) -> (
     let fa = compile_f env a in
     match op with
@@ -111,21 +164,16 @@ let rec compile_f (env : cenv) (e : Expr.t) : unit -> float =
         v *. v
     | Expr.Not -> err "boolean used as a number")
   | Expr.Binop (op, a, b) -> (
+    let fa = compile_f env a and fb = compile_f env b in
     match op with
-    | Expr.Floor_div | Expr.Mod ->
-      let fi = compile_i env e in
-      fun () -> float_of_int (fi ())
-    | _ ->
-      let fa = compile_f env a and fb = compile_f env b in
-      (match op with
-       | Expr.Add -> fun () -> fa () +. fb ()
-       | Expr.Sub -> fun () -> fa () -. fb ()
-       | Expr.Mul -> fun () -> fa () *. fb ()
-       | Expr.Div -> fun () -> fa () /. fb ()
-       | Expr.Min -> fun () -> Float.min (fa ()) (fb ())
-       | Expr.Max -> fun () -> Float.max (fa ()) (fb ())
-       | Expr.Pow -> fun () -> Float.pow (fa ()) (fb ())
-       | _ -> err "boolean expression used as a number"))
+    | Expr.Add -> fun () -> fa () +. fb ()
+    | Expr.Sub -> fun () -> fa () -. fb ()
+    | Expr.Mul -> fun () -> fa () *. fb ()
+    | Expr.Div -> fun () -> fa () /. fb ()
+    | Expr.Min -> fun () -> Float.min (fa ()) (fb ())
+    | Expr.Max -> fun () -> Float.max (fa ()) (fb ())
+    | Expr.Pow -> fun () -> Float.pow (fa ()) (fb ())
+    | _ -> err "boolean expression used as a number")
   | Expr.Select (c, a, b) ->
     let fc = compile_b env c and fa = compile_f env a and fb = compile_f env b in
     fun () -> if fc () then fa () else fb ()
@@ -134,6 +182,9 @@ let rec compile_f (env : cenv) (e : Expr.t) : unit -> float =
     err "meta expression on %s not partially evaluated" p
 
 and compile_i (env : cenv) (e : Expr.t) : unit -> int =
+  wrap_bump env e (compile_i_node env e)
+
+and compile_i_node (env : cenv) (e : Expr.t) : unit -> int =
   match e with
   | Expr.Int_const n -> fun () -> n
   | Expr.Float_const f ->
@@ -142,13 +193,22 @@ and compile_i (env : cenv) (e : Expr.t) : unit -> int =
   | Expr.Var x ->
     let r = find_int env x in
     fun () -> !r
-  | Expr.Load { l_var; l_indices } ->
+  | Expr.Load { l_var; l_indices } -> (
     let c = find_cell env l_var in
     let idx = List.map (compile_i env) l_indices in
     let off = offset_thunk l_var c idx in
-    if Types.is_float (dtype_of env l_var) then (fun () ->
-        int_of_float (Tensor.unsafe_get_f (cell_tensor l_var c) (off ())))
-    else fun () -> Tensor.unsafe_get_i (cell_tensor l_var c) (off ())
+    let get =
+      if Types.is_float (dtype_of env l_var) then fun () ->
+        int_of_float (Tensor.unsafe_get_f (cell_tensor l_var c) (off ()))
+      else fun () -> Tensor.unsafe_get_i (cell_tensor l_var c) (off ())
+    in
+    match prof_site env l_var with
+    | None -> get
+    | Some (p, ctr, dram, elem) ->
+      fun () ->
+        Profile.record_read p ctr ~dram ~name:l_var ~elem
+          ~total:(Tensor.byte_size (cell_tensor l_var c));
+        get ())
   | Expr.Unop (Expr.Neg, a) ->
     let fa = compile_i env a in
     fun () -> -fa ()
@@ -175,6 +235,9 @@ and compile_i (env : cenv) (e : Expr.t) : unit -> int =
   | _ -> err "expression %s is not an integer" (Expr.to_string e)
 
 and compile_b (env : cenv) (e : Expr.t) : unit -> bool =
+  wrap_bump env e (compile_b_node env e)
+
+and compile_b_node (env : cenv) (e : Expr.t) : unit -> bool =
   match e with
   | Expr.Bool_const b -> fun () -> b
   | Expr.Unop (Expr.Not, a) ->
@@ -229,24 +292,54 @@ and compile_b (env : cenv) (e : Expr.t) : unit -> bool =
 (* Statement compilation *)
 
 let rec compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
+  (match env.prof with
+   | Some p ->
+     env.pctr <-
+       (match s.Stmt.node with
+        (* pure Evals are elided below; don't count them (the interpreter
+           matches this so observed counters stay comparable) *)
+        | Stmt.Eval _ -> None
+        | _ -> Some (Profile.ctr p s.Stmt.sid))
+   | None -> ());
   match s.Stmt.node with
   | Stmt.Nop -> fun () -> ()
   | Stmt.Seq ss ->
     let fs = Array.of_list (List.map (compile_stmt env) ss) in
     fun () -> Array.iter (fun f -> f ()) fs
-  | Stmt.Store { s_var; s_indices; s_value } ->
+  | Stmt.Store { s_var; s_indices; s_value } -> (
     let c = find_cell env s_var in
+    let site = prof_site env s_var in
     let idx = List.map (compile_i env) s_indices in
     let off = offset_thunk s_var c idx in
     if Types.is_float (dtype_of env s_var) then
       let fv = compile_f env s_value in
-      fun () -> Tensor.unsafe_set_f (cell_tensor s_var c) (off ()) (fv ())
+      match site with
+      | None ->
+        fun () -> Tensor.unsafe_set_f (cell_tensor s_var c) (off ()) (fv ())
+      | Some (p, ctr, dram, elem) ->
+        fun () ->
+          let t = cell_tensor s_var c in
+          let o = off () in
+          let v = fv () in
+          Profile.record_write p ctr ~dram ~name:s_var ~elem
+            ~total:(Tensor.byte_size t);
+          Tensor.unsafe_set_f t o v
     else
       let fv = compile_i env s_value in
-      fun () ->
-        Tensor.set_flat_i (cell_tensor s_var c) (off ()) (fv ())
-  | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; _ } ->
+      match site with
+      | None ->
+        fun () -> Tensor.set_flat_i (cell_tensor s_var c) (off ()) (fv ())
+      | Some (p, ctr, dram, elem) ->
+        fun () ->
+          let t = cell_tensor s_var c in
+          let o = off () in
+          let v = fv () in
+          Profile.record_write p ctr ~dram ~name:s_var ~elem
+            ~total:(Tensor.byte_size t);
+          Tensor.set_flat_i t o v)
+  | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; _ } -> (
     let c = find_cell env r_var in
+    let site = prof_site env r_var in
     let idx = List.map (compile_i env) r_indices in
     let off = offset_thunk r_var c idx in
     let fv = compile_f env r_value in
@@ -257,38 +350,92 @@ let rec compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
       | Types.R_min -> Float.min
       | Types.R_max -> Float.max
     in
-    fun () ->
-      let t = cell_tensor r_var c in
-      let o = off () in
-      Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) (fv ()))
-  | Stmt.Var_def d ->
+    match site with
+    | None ->
+      fun () ->
+        let t = cell_tensor r_var c in
+        let o = off () in
+        Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) (fv ()))
+    | Some (p, ctr, dram, elem) ->
+      let rop = r_op in
+      fun () ->
+        let t = cell_tensor r_var c in
+        let o = off () in
+        let v = fv () in
+        let total = Tensor.byte_size t in
+        Profile.record_read p ctr ~dram ~name:r_var ~elem ~total;
+        Profile.bump_reduce ctr rop;
+        Profile.record_write p ctr ~dram ~name:r_var ~elem ~total;
+        Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) v))
+  | Stmt.Var_def d -> (
     let c = find_cell env d.Stmt.d_name in
     let dims = List.map (compile_i env) d.Stmt.d_shape in
+    let saved_dt = Hashtbl.find_opt env.dtypes d.Stmt.d_name in
+    let saved_mt = Hashtbl.find_opt env.mtypes d.Stmt.d_name in
     Hashtbl.replace env.dtypes d.Stmt.d_name d.Stmt.d_dtype;
+    Hashtbl.replace env.mtypes d.Stmt.d_name d.Stmt.d_mtype;
     let body = compile_stmt env d.Stmt.d_body in
-    Hashtbl.remove env.dtypes d.Stmt.d_name;
+    (match saved_dt with
+     | Some dt -> Hashtbl.replace env.dtypes d.Stmt.d_name dt
+     | None -> Hashtbl.remove env.dtypes d.Stmt.d_name);
+    (match saved_mt with
+     | Some mt -> Hashtbl.replace env.mtypes d.Stmt.d_name mt
+     | None -> Hashtbl.remove env.mtypes d.Stmt.d_name);
     let dtype = d.Stmt.d_dtype in
-    fun () ->
-      let saved = c.t in
-      c.t <- Some (Tensor.create dtype (Array.of_list (List.map (fun f -> f ()) dims)));
-      body ();
-      c.t <- saved
-  | Stmt.For f ->
+    match env.prof with
+    | None ->
+      fun () ->
+        let saved = c.t in
+        c.t <-
+          Some
+            (Tensor.create dtype
+               (Array.of_list (List.map (fun f -> f ()) dims)));
+        body ();
+        c.t <- saved
+    | Some p ->
+      fun () ->
+        let saved = c.t in
+        let t =
+          Tensor.create dtype (Array.of_list (List.map (fun f -> f ()) dims))
+        in
+        c.t <- Some t;
+        Profile.alloc p (Tensor.byte_size t);
+        body ();
+        Profile.release p (Tensor.byte_size t);
+        c.t <- saved)
+  | Stmt.For f -> (
+    let myc = env.pctr in
     let r = find_int env f.Stmt.f_iter in
     let fb = compile_i env f.Stmt.f_begin in
     let fe = compile_i env f.Stmt.f_end in
     let fs = compile_i env f.Stmt.f_step in
     let body = compile_stmt env f.Stmt.f_body in
-    fun () ->
-      let e = fe () and st = fs () in
-      let saved = !r in
-      let i = ref (fb ()) in
-      while !i < e do
-        r := !i;
-        body ();
-        i := !i + st
-      done;
-      r := saved
+    match myc with
+    | None ->
+      fun () ->
+        let e = fe () and st = fs () in
+        let saved = !r in
+        let i = ref (fb ()) in
+        while !i < e do
+          r := !i;
+          body ();
+          i := !i + st
+        done;
+        r := saved
+    | Some ctr ->
+      fun () ->
+        let b = fb () in
+        let e = fe () and st = fs () in
+        ctr.Profile.entries <- ctr.Profile.entries + 1;
+        let saved = !r in
+        let i = ref b in
+        while !i < e do
+          ctr.Profile.trips <- ctr.Profile.trips + 1;
+          r := !i;
+          body ();
+          i := !i + st
+        done;
+        r := saved)
   | Stmt.If i -> (
     let fc = compile_b env i.Stmt.i_cond in
     let ft = compile_stmt env i.Stmt.i_then in
@@ -309,6 +456,49 @@ let rec compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
   | Stmt.Call { callee; _ } ->
     err "call to %s not inlined; run partial evaluation first" callee
 
+(* Host-level walk used only when profiling: mirrors the cost model's
+   kernel segmentation, wrapping every top-level non-Var_def statement in
+   enter/exit_kernel. *)
+let rec compile_host (p : Profile.t) (env : cenv) (s : Stmt.t) : unit -> unit =
+  match s.Stmt.node with
+  | Stmt.Nop -> fun () -> ()
+  | Stmt.Seq ss ->
+    let fs = Array.of_list (List.map (compile_host p env) ss) in
+    fun () -> Array.iter (fun f -> f ()) fs
+  | Stmt.Var_def d ->
+    env.pctr <- Some (Profile.ctr p s.Stmt.sid);
+    let c = find_cell env d.Stmt.d_name in
+    let dims = List.map (compile_i env) d.Stmt.d_shape in
+    let saved_dt = Hashtbl.find_opt env.dtypes d.Stmt.d_name in
+    let saved_mt = Hashtbl.find_opt env.mtypes d.Stmt.d_name in
+    Hashtbl.replace env.dtypes d.Stmt.d_name d.Stmt.d_dtype;
+    Hashtbl.replace env.mtypes d.Stmt.d_name d.Stmt.d_mtype;
+    let body = compile_host p env d.Stmt.d_body in
+    (match saved_dt with
+     | Some dt -> Hashtbl.replace env.dtypes d.Stmt.d_name dt
+     | None -> Hashtbl.remove env.dtypes d.Stmt.d_name);
+    (match saved_mt with
+     | Some mt -> Hashtbl.replace env.mtypes d.Stmt.d_name mt
+     | None -> Hashtbl.remove env.mtypes d.Stmt.d_name);
+    let dtype = d.Stmt.d_dtype in
+    fun () ->
+      let saved = c.t in
+      let t =
+        Tensor.create dtype (Array.of_list (List.map (fun f -> f ()) dims))
+      in
+      c.t <- Some t;
+      Profile.alloc p (Tensor.byte_size t);
+      body ();
+      Profile.release p (Tensor.byte_size t);
+      c.t <- saved
+  | _ ->
+    let root = s in
+    let f = compile_stmt env s in
+    fun () ->
+      Profile.enter_kernel p root;
+      f ();
+      Profile.exit_kernel p
+
 (* ------------------------------------------------------------------ *)
 
 type compiled = {
@@ -317,18 +507,26 @@ type compiled = {
 }
 
 (** Compile a function once; the result can be run many times with
-    different argument tensors (bound by parameter name). *)
-let compile (fn : Stmt.func) : compiled =
+    different argument tensors (bound by parameter name).  With
+    [?profile], the emitted closures count into the given profile on
+    every run. *)
+let compile ?profile (fn : Stmt.func) : compiled =
   let env =
     { cells = Hashtbl.create 32; ints = Hashtbl.create 32;
-      dtypes = Hashtbl.create 32 }
+      dtypes = Hashtbl.create 32; mtypes = Hashtbl.create 32;
+      prof = profile; pctr = None }
   in
   List.iter
     (fun (p : Stmt.param) ->
       ignore (find_cell env p.Stmt.p_name);
-      Hashtbl.replace env.dtypes p.Stmt.p_name p.Stmt.p_dtype)
+      Hashtbl.replace env.dtypes p.Stmt.p_name p.Stmt.p_dtype;
+      Hashtbl.replace env.mtypes p.Stmt.p_name p.Stmt.p_mtype)
     fn.Stmt.fn_params;
-  let body = compile_stmt env fn.Stmt.fn_body in
+  let body =
+    match profile with
+    | None -> compile_stmt env fn.Stmt.fn_body
+    | Some p -> compile_host p env fn.Stmt.fn_body
+  in
   let run args sizes =
     List.iter (fun (n, v) -> find_int env n := v) sizes;
     List.iter
@@ -337,11 +535,24 @@ let compile (fn : Stmt.func) : compiled =
         | Some t -> (find_cell env p.Stmt.p_name).t <- Some t
         | None -> err "missing argument %s" p.Stmt.p_name)
       fn.Stmt.fn_params;
-    body ()
+    match profile with
+    | None -> body ()
+    | Some p ->
+      let base =
+        List.fold_left
+          (fun acc (pa : Stmt.param) ->
+            match List.assoc_opt pa.Stmt.p_name args with
+            | Some t -> acc + Tensor.byte_size t
+            | None -> acc)
+          0 fn.Stmt.fn_params
+      in
+      Profile.alloc p base;
+      body ();
+      Profile.release p base
   in
   { cd_fn = fn; cd_run = run }
 
 (** One-shot convenience mirroring {!Interp.run_func}. *)
-let run_func ?(sizes = []) (fn : Stmt.func) (args : (string * Tensor.t) list)
-    : unit =
-  (compile fn).cd_run args sizes
+let run_func ?(sizes = []) ?profile (fn : Stmt.func)
+    (args : (string * Tensor.t) list) : unit =
+  (compile ?profile fn).cd_run args sizes

@@ -18,12 +18,20 @@ type compiled = {
       (** [cd_run args sizes] binds the parameters and executes once *)
 }
 
-(** Compile once; run many times with different argument tensors. *)
-val compile : Stmt.func -> compiled
+(** Compile once; run many times with different argument tensors.
+
+    [profile] bakes observed-counter collection into the emitted
+    closures: every executed operation, tensor access, loop trip and
+    host-level kernel is counted into the given {!Ft_profile.Profile.t}
+    on every run, using the same counting conventions as {!Interp} (see
+    {!Ft_profile.Profile} for the shared rules).  Without it the
+    closures are identical to before — the hot path pays nothing. *)
+val compile : ?profile:Ft_profile.Profile.t -> Stmt.func -> compiled
 
 (** One-shot convenience mirroring {!Interp.run_func}. *)
 val run_func :
   ?sizes:(string * int) list ->
+  ?profile:Ft_profile.Profile.t ->
   Stmt.func ->
   (string * Tensor.t) list ->
   unit

@@ -107,7 +107,8 @@ let count_expr_ops e =
       | Expr.Binop ((Expr.Add | Expr.Sub | Expr.Mul | Expr.Div | Expr.Min
                     | Expr.Max | Expr.Pow), _, _) -> n + 1
       | Expr.Unop ((Expr.Abs | Expr.Sqrt | Expr.Exp | Expr.Ln | Expr.Sigmoid
-                   | Expr.Tanh | Expr.Square | Expr.Neg), _) -> n + 1
+                   | Expr.Tanh | Expr.Square | Expr.Neg | Expr.Floor_op
+                   | Expr.Ceil_op), _) -> n + 1
       | Expr.Select _ -> n + 1
       | _ -> n)
     0 e
@@ -151,7 +152,12 @@ let rec acc_stmt ctx (k : kacc) fp stack mult (s : Stmt.t) =
     k.mem_bytes <- k.mem_bytes +. expr_mem ctx stack mult e;
     expr_touches ctx fp e
   | Stmt.Store { s_var; s_indices; s_value } ->
-    let ops = count_expr_ops s_value in
+    (* address arithmetic counts: the executors evaluate the index
+       expressions on every store, and the profiler observes them *)
+    let ops =
+      count_expr_ops s_value
+      + List.fold_left (fun n e -> n + count_expr_ops e) 0 s_indices
+    in
     k.flops <- k.flops +. (mult *. float_of_int ops);
     let mem =
       expr_mem ctx stack mult s_value
@@ -165,7 +171,10 @@ let rec acc_stmt ctx (k : kacc) fp stack mult (s : Stmt.t) =
     List.iter (expr_touches ctx fp) s_indices;
     if is_dram_tensor ctx s_var then Hashtbl.replace fp s_var ()
   | Stmt.Reduce_to { r_var; r_indices; r_value; _ } ->
-    let ops = count_expr_ops r_value + 1 in
+    let ops =
+      count_expr_ops r_value + 1
+      + List.fold_left (fun n e -> n + count_expr_ops e) 0 r_indices
+    in
     k.flops <- k.flops +. (mult *. float_of_int ops);
     let target_mem =
       (* the accumulator itself is register-promoted across inner loops
@@ -211,6 +220,10 @@ let rec acc_stmt ctx (k : kacc) fp stack mult (s : Stmt.t) =
      | Some v -> Hashtbl.replace ctx.sizes f.Stmt.f_iter v
      | None -> Hashtbl.remove ctx.sizes f.Stmt.f_iter)
   | Stmt.If i ->
+    (* the condition is evaluated on every visit regardless of outcome *)
+    k.flops <- k.flops +. (mult *. float_of_int (count_expr_ops i.Stmt.i_cond));
+    k.mem_bytes <- k.mem_bytes +. expr_mem ctx stack mult i.Stmt.i_cond;
+    expr_touches ctx fp i.Stmt.i_cond;
     (* branch probability approximated as 1 for the hot path *)
     acc_stmt ctx k fp stack mult i.Stmt.i_then;
     Option.iter (acc_stmt ctx k fp stack (mult *. 0.25)) i.Stmt.i_else
@@ -240,13 +253,18 @@ let charge_kernel ctx (m : Machine.metrics) ~live (s : Stmt.t) =
   Machine.charge_kernel ctx.sp m ~parallel_iters ~vectorized ~flops:k.flops
     ~l2_bytes:l2 ~footprint_bytes:footprint ~live_bytes:live
 
-(** Estimate the metrics of running [fn] once on [device].
+(** Estimate the metrics of running [fn] once on [device], along with a
+    per-kernel breakdown [(sid of the kernel root statement, metrics)] in
+    launch order — the same kernel segmentation the executors use when
+    profiling, so the breakdown lines up with
+    {!Ft_profile.Profile.kernels} one-to-one.
 
     [sizes] binds symbolic size parameters; [unknown_extent] is assumed
     for loop trips the model cannot evaluate (data-dependent bounds such
     as CSR row degrees). *)
-let estimate ?(sizes = []) ?(unknown_extent = 8.0)
-    ~(device : Types.device) (fn : Stmt.func) : Machine.metrics =
+let estimate_kernels ?(sizes = []) ?(unknown_extent = 8.0)
+    ~(device : Types.device) (fn : Stmt.func) :
+    Machine.metrics * (int * Machine.metrics) list =
   let sp = Machine.of_device device in
   let ctx =
     { sp; sizes = Hashtbl.create 16; tensors = Hashtbl.create 16;
@@ -267,6 +285,7 @@ let estimate ?(sizes = []) ?(unknown_extent = 8.0)
       | Stmt.Any_dim -> ())
     fn.Stmt.fn_params;
   let m = Machine.fresh_metrics () in
+  let per_kernel = ref [] in
   let base_live =
     List.fold_left
       (fun acc (p : Stmt.param) -> acc +. tensor_bytes ctx p.Stmt.p_name)
@@ -288,7 +307,16 @@ let estimate ?(sizes = []) ?(unknown_extent = 8.0)
       host (live +. sz) d.Stmt.d_body;
       Hashtbl.remove ctx.tensors d.Stmt.d_name
     | Stmt.Nop -> ()
-    | _ -> charge_kernel ctx m ~live s
+    | _ ->
+      let km = Machine.fresh_metrics () in
+      charge_kernel ctx km ~live s;
+      per_kernel := (s.Stmt.sid, km) :: !per_kernel;
+      Machine.add_into ~into:m km
   in
   host base_live fn.Stmt.fn_body;
-  m
+  (m, List.rev !per_kernel)
+
+(** Total-only variant of {!estimate_kernels}. *)
+let estimate ?sizes ?unknown_extent ~(device : Types.device)
+    (fn : Stmt.func) : Machine.metrics =
+  fst (estimate_kernels ?sizes ?unknown_extent ~device fn)

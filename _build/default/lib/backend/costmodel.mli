@@ -24,3 +24,15 @@ val estimate :
   device:Types.device ->
   Stmt.func ->
   Machine.metrics
+
+(** Like {!estimate}, but also return a per-kernel breakdown
+    [(sid of the kernel root statement, metrics)] in launch order.  The
+    kernel segmentation is the same one the executors use when profiling,
+    so the breakdown lines up with {!Ft_profile.Profile.kernels}
+    one-to-one for programs without data-dependent kernel counts. *)
+val estimate_kernels :
+  ?sizes:(string * int) list ->
+  ?unknown_extent:float ->
+  device:Types.device ->
+  Stmt.func ->
+  Machine.metrics * (int * Machine.metrics) list

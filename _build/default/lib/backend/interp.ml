@@ -4,10 +4,16 @@
     AD, auto-scheduling, lowering) must leave programs that this
     interpreter evaluates to the same outputs.  It is a plain tree walker;
     the faster closure-compiling executor ({!Compile_exec}) is
-    cross-checked against it in the test suite. *)
+    cross-checked against it in the test suite.
+
+    With [?profile] the walker additionally counts every executed
+    operation, tensor access, loop trip and host-level kernel into a
+    {!Ft_profile.Profile.t}; the closure executor emits the identical
+    counts, which the differential tests verify. *)
 
 open Ft_ir
 open Ft_runtime
+module Profile = Ft_profile.Profile
 
 type value =
   | Vf of float
@@ -36,15 +42,37 @@ let as_b = function
 type env = {
   scalars : (string, value) Hashtbl.t;
   tensors : (string, Tensor.t) Hashtbl.t;
+  mtypes : (string, Types.mtype) Hashtbl.t; (* for DRAM classification *)
+  prof : Profile.t option;
+  mutable pcur : Profile.counters option; (* current statement's counters *)
 }
 
-let make_env () = { scalars = Hashtbl.create 16; tensors = Hashtbl.create 16 }
+let make_env ?profile () =
+  { scalars = Hashtbl.create 16; tensors = Hashtbl.create 16;
+    mtypes = Hashtbl.create 16; prof = profile; pcur = None }
 
 let tensor env name =
   try Hashtbl.find env.tensors name
   with Not_found -> err "unbound tensor %s" name
 
+let is_dram env name =
+  match Hashtbl.find_opt env.mtypes name with
+  | Some (Types.Cpu_heap | Types.Gpu_global) -> true
+  | _ -> false
+
+let record_access recorder env c name t =
+  match env.prof with
+  | Some p ->
+    recorder p c ~dram:(is_dram env name)
+      ~name
+      ~elem:(Types.dtype_size (Tensor.dtype t))
+      ~total:(Tensor.byte_size t)
+  | None -> ()
+
 let rec eval env (e : Expr.t) : value =
+  (match env.pcur with
+   | Some c -> Profile.bump_expr c e
+   | None -> ());
   match e with
   | Expr.Int_const n -> Vi n
   | Expr.Float_const f -> Vf f
@@ -62,6 +90,9 @@ let rec eval env (e : Expr.t) : value =
   | Expr.Load { l_var; l_indices } ->
     let t = tensor env l_var in
     let idx = Array.of_list (List.map (fun e -> as_i (eval env e)) l_indices) in
+    (match env.pcur with
+     | Some c -> record_access Profile.record_read env c l_var t
+     | None -> ());
     if Types.is_float (Tensor.dtype t) then Vf (Tensor.get_f t idx)
     else Vi (Tensor.get_i t idx)
   | Expr.Unop (op, a) -> eval_unop env op a
@@ -136,18 +167,36 @@ let apply_reduce op cur v =
   | Types.R_max -> Float.max cur v
 
 let rec exec env (s : Stmt.t) : unit =
+  (match env.prof with
+   | Some p ->
+     env.pcur <-
+       (match s.node with
+        (* Eval statements are elided by the compiled executor; neither
+           executor counts them so observed counters stay comparable *)
+        | Stmt.Eval _ -> None
+        | _ -> Some (Profile.ctr p s.sid))
+   | None -> ());
   match s.node with
   | Stmt.Nop -> ()
   | Stmt.Store { s_var; s_indices; s_value } ->
     let t = tensor env s_var in
     let idx = Array.of_list (List.map (fun e -> as_i (eval env e)) s_indices) in
     let v = eval env s_value in
+    (match env.pcur with
+     | Some c -> record_access Profile.record_write env c s_var t
+     | None -> ());
     if Types.is_float (Tensor.dtype t) then Tensor.set_f t idx (as_f v)
     else Tensor.set_i t idx (as_i v)
   | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; _ } ->
     let t = tensor env r_var in
     let idx = Array.of_list (List.map (fun e -> as_i (eval env e)) r_indices) in
     let v = as_f (eval env r_value) in
+    (match env.pcur with
+     | Some c ->
+       record_access Profile.record_read env c r_var t;
+       Profile.bump_reduce c r_op;
+       record_access Profile.record_write env c r_var t
+     | None -> ());
     if Types.is_float (Tensor.dtype t) then
       Tensor.set_f t idx (apply_reduce r_op (Tensor.get_f t idx) v)
     else
@@ -159,19 +208,39 @@ let rec exec env (s : Stmt.t) : unit =
     in
     let t = Tensor.create d.d_dtype dims in
     let saved = Hashtbl.find_opt env.tensors d.d_name in
+    let saved_mt = Hashtbl.find_opt env.mtypes d.d_name in
     Hashtbl.replace env.tensors d.d_name t;
+    (match env.prof with
+     | Some p ->
+       Hashtbl.replace env.mtypes d.d_name d.d_mtype;
+       Profile.alloc p (Tensor.byte_size t)
+     | None -> ());
     exec env d.d_body;
+    (match env.prof with
+     | Some p ->
+       Profile.release p (Tensor.byte_size t);
+       (match saved_mt with
+        | Some m -> Hashtbl.replace env.mtypes d.d_name m
+        | None -> Hashtbl.remove env.mtypes d.d_name)
+     | None -> ());
     (match saved with
      | Some old -> Hashtbl.replace env.tensors d.d_name old
      | None -> Hashtbl.remove env.tensors d.d_name)
   | Stmt.For f ->
+    let myc = env.pcur in
     let b = as_i (eval env f.f_begin) in
     let e = as_i (eval env f.f_end) in
     let st = as_i (eval env f.f_step) in
     if st <= 0 then err "non-positive loop step";
+    (match myc with
+     | Some c -> c.Profile.entries <- c.Profile.entries + 1
+     | None -> ());
     let saved = Hashtbl.find_opt env.scalars f.f_iter in
     let it = ref b in
     while !it < e do
+      (match myc with
+       | Some c -> c.Profile.trips <- c.Profile.trips + 1
+       | None -> ());
       Hashtbl.replace env.scalars f.f_iter (Vi !it);
       exec env f.f_body;
       it := !it + st
@@ -192,12 +261,44 @@ let rec exec env (s : Stmt.t) : unit =
   | Stmt.Call { callee; _ } ->
     err "call to %s survived inlining; run partial evaluation first" callee
 
+(* Host-level walk used only when profiling: mirrors the cost model's
+   kernel segmentation (every top-level non-Var_def statement outside a
+   loop is one kernel). *)
+let rec exec_host p env (s : Stmt.t) : unit =
+  match s.Stmt.node with
+  | Stmt.Nop -> ()
+  | Stmt.Seq ss -> List.iter (exec_host p env) ss
+  | Stmt.Var_def d ->
+    env.pcur <- Some (Profile.ctr p s.Stmt.sid);
+    let dims =
+      Array.of_list (List.map (fun e -> as_i (eval env e)) d.d_shape)
+    in
+    let t = Tensor.create d.d_dtype dims in
+    let saved = Hashtbl.find_opt env.tensors d.d_name in
+    let saved_mt = Hashtbl.find_opt env.mtypes d.d_name in
+    Hashtbl.replace env.tensors d.d_name t;
+    Hashtbl.replace env.mtypes d.d_name d.d_mtype;
+    Profile.alloc p (Tensor.byte_size t);
+    exec_host p env d.d_body;
+    Profile.release p (Tensor.byte_size t);
+    (match saved_mt with
+     | Some m -> Hashtbl.replace env.mtypes d.d_name m
+     | None -> Hashtbl.remove env.mtypes d.d_name);
+    (match saved with
+     | Some old -> Hashtbl.replace env.tensors d.d_name old
+     | None -> Hashtbl.remove env.tensors d.d_name)
+  | _ ->
+    Profile.enter_kernel p s;
+    exec env s;
+    Profile.exit_kernel p
+
 (** Run a function: [sizes] binds free size parameters appearing in shapes
     and bounds; [args] binds every tensor parameter by name.  Parameters
-    with [Output]/[Inout] access are mutated in place. *)
-let run_func ?(sizes = []) (fn : Stmt.func) (args : (string * Tensor.t) list)
-    : unit =
-  let env = make_env () in
+    with [Output]/[Inout] access are mutated in place.  With [?profile]
+    every executed operation and host-level kernel is counted. *)
+let run_func ?(sizes = []) ?profile (fn : Stmt.func)
+    (args : (string * Tensor.t) list) : unit =
+  let env = make_env ?profile () in
   List.iter (fun (n, v) -> Hashtbl.replace env.scalars n (Vi v)) sizes;
   List.iter
     (fun (p : Stmt.param) ->
@@ -205,15 +306,44 @@ let run_func ?(sizes = []) (fn : Stmt.func) (args : (string * Tensor.t) list)
       | Some t -> Hashtbl.replace env.tensors p.p_name t
       | None -> err "missing argument %s" p.p_name)
     fn.fn_params;
-  exec env fn.fn_body
+  match profile with
+  | None -> exec env fn.fn_body
+  | Some p ->
+    List.iter
+      (fun (pa : Stmt.param) ->
+        Hashtbl.replace env.mtypes pa.p_name pa.p_mtype)
+      fn.fn_params;
+    let base =
+      List.fold_left
+        (fun acc (pa : Stmt.param) ->
+          match List.assoc_opt pa.p_name args with
+          | Some t -> acc + Tensor.byte_size t
+          | None -> acc)
+        0 fn.fn_params
+    in
+    Profile.alloc p base;
+    exec_host p env fn.fn_body;
+    Profile.release p base
 
-(** Run a bare statement with given bindings (tests). *)
-let run_stmt ?(sizes = []) (s : Stmt.t) (tensors : (string * Tensor.t) list)
-    : unit =
-  let env = make_env () in
+(** Run a bare statement with given bindings (tests).  Under [?profile]
+    bound tensors are treated as DRAM-resident, like parameters. *)
+let run_stmt ?(sizes = []) ?profile (s : Stmt.t)
+    (tensors : (string * Tensor.t) list) : unit =
+  let env = make_env ?profile () in
   List.iter (fun (n, v) -> Hashtbl.replace env.scalars n (Vi v)) sizes;
   List.iter (fun (n, t) -> Hashtbl.replace env.tensors n t) tensors;
-  exec env s
+  match profile with
+  | None -> exec env s
+  | Some p ->
+    List.iter
+      (fun (n, _) -> Hashtbl.replace env.mtypes n Types.Cpu_heap)
+      tensors;
+    let base =
+      List.fold_left (fun acc (_, t) -> acc + Tensor.byte_size t) 0 tensors
+    in
+    Profile.alloc p base;
+    exec_host p env s;
+    Profile.release p base
 
 (** Evaluate a closed integer expression under size bindings — used to
     materialize symbolic shapes (e.g. tape extents) into concrete dims. *)

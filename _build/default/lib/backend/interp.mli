@@ -12,16 +12,24 @@ exception Interp_error of string
 
 (** Run a function.  [sizes] binds free size parameters appearing in
     shapes and bounds; [args] binds every tensor parameter by name.
-    [Output]/[Inout] parameters are mutated in place. *)
+    [Output]/[Inout] parameters are mutated in place.
+
+    [profile] turns on observed-counter collection: every executed
+    operation, tensor access, loop trip and host-level kernel is counted
+    into the given {!Ft_profile.Profile.t} (see its documentation for the
+    counting conventions, shared with {!Compile_exec}). *)
 val run_func :
   ?sizes:(string * int) list ->
+  ?profile:Ft_profile.Profile.t ->
   Stmt.func ->
   (string * Tensor.t) list ->
   unit
 
-(** Run a bare statement with the given bindings (for tests). *)
+(** Run a bare statement with the given bindings (for tests).  Under
+    [?profile], bound tensors are treated as DRAM-resident. *)
 val run_stmt :
   ?sizes:(string * int) list ->
+  ?profile:Ft_profile.Profile.t ->
   Stmt.t ->
   (string * Tensor.t) list ->
   unit

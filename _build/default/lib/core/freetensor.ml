@@ -37,8 +37,10 @@ module Grad = Ft_ad.Grad
 
 module Tensor = Ft_runtime.Tensor
 module Machine = Ft_machine.Machine
+module Profile = Ft_profile.Profile
 
 module Interp = Ft_backend.Interp
+module Compile_exec = Ft_backend.Compile_exec
 module Costmodel = Ft_backend.Costmodel
 module Codegen = Ft_backend.Codegen
 

@@ -299,6 +299,21 @@ let find_by_id id s = find_opt (fun s -> s.sid = id) s
 let find_by_label lbl s =
   find_opt (fun s -> s.label = Some lbl) s
 
+(** Enclosing-statement chain from [s] down to the statement with the
+    given id (outermost first, target last), or [None] if the id does not
+    occur in the sub-tree.  This is the stable sid -> source-loop mapping
+    used by the profiler to attribute observed work to loops. *)
+let path_to_sid (s : t) (id : int) : t list option =
+  let rec go acc s =
+    if s.sid = id then Some (List.rev (s :: acc))
+    else
+      List.fold_left
+        (fun found c ->
+          match found with Some _ -> found | None -> go (s :: acc) c)
+        None (children s)
+  in
+  go [] s
+
 (** Count statement nodes. *)
 let size s = fold (fun n _ -> n + 1) 0 s
 

@@ -181,6 +181,12 @@ val find_all : (t -> bool) -> t -> t list
 val find_by_id : int -> t -> t option
 val find_by_label : string -> t -> t option
 
+(** Enclosing-statement chain from the root down to the statement with
+    the given id (outermost first, target last), or [None] when the id is
+    not in the sub-tree.  Stable sid -> source-loop mapping: profilers and
+    diagnostics attribute per-statement observations to loops with it. *)
+val path_to_sid : t -> int -> t list option
+
 (** Statement node count. *)
 val size : t -> int
 

@@ -145,6 +145,14 @@ let time_to_string t =
   else if t >= 1e-3 then Printf.sprintf "%.3f ms" (t *. 1e3)
   else Printf.sprintf "%.1f us" (t *. 1e6)
 
+let metrics_rows m =
+  [ ("kernels", float_of_int m.kernels);
+    ("FLOPs", m.flops);
+    ("DRAM bytes", m.dram_bytes);
+    ("L2 bytes", m.l2_bytes);
+    ("peak mem", m.peak_mem);
+    ("time", m.time) ]
+
 let metrics_to_string m =
   Printf.sprintf
     "kernels=%d flops=%s dram=%sB l2=%sB peak_mem=%sB time=%s" m.kernels

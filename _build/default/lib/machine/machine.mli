@@ -84,3 +84,7 @@ val si : float -> string
 
 val time_to_string : float -> string
 val metrics_to_string : metrics -> string
+
+(** The metrics as labeled rows, in canonical display order — shared by
+    every predicted-vs-observed table so row sets cannot drift apart. *)
+val metrics_rows : metrics -> (string * float) list

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Buffer Expr Float Ft_ir Ft_machine Hashtbl List Printf Stmt String Types Unix

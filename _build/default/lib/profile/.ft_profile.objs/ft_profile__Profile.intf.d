@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Expr Ft_ir Ft_machine Hashtbl Stmt Types

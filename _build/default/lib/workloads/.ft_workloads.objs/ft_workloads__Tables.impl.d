@@ -1,0 +1,1 @@
+lib/workloads/tables.ml: Buffer Experiments Float Ft_auto Ft_backend Ft_ir Ft_machine Ft_profile Ft_runtime Gat List Longformer Printf Softras Subdivnet Tensor Types

@@ -1,0 +1,1 @@
+lib/workloads/tables.mli: Experiments Ft_ir Ft_runtime Tensor Types

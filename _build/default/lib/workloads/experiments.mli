@@ -52,6 +52,10 @@ val small_scale : scale
 (** The FreeTensor program of a workload (forward). *)
 val ft_forward_func : scale -> workload -> Stmt.func
 
+(** The [unknown_extent] the cost model should assume for GAT's
+    data-dependent CSR-degree loops at this scale. *)
+val gat_unknown_extent : scale -> float
+
 (** One Fig. 16 cell: [grad:true] gives the Fig. 16(b) fwd+bwd time. *)
 val cell :
   ?grad:bool -> device:Types.device -> scale:scale -> framework -> workload

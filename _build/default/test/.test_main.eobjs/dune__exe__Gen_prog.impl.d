@@ -1,1 +1,1 @@
-test/gen_prog.ml: Expr Ft_ir Ft_runtime List Names QCheck2 Stmt Tensor Types
+test/gen_prog.ml: Expr Ft_ir Ft_runtime List Names QCheck2 Stmt String Sys Tensor Types

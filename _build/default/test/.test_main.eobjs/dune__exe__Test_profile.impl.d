@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Expr Float Ft_backend Ft_ir Ft_machine Ft_profile Ft_runtime Ft_workloads List Stmt String Tensor Types

@@ -1,1 +1,1 @@
-test/test_random.ml: Float Ft_ad Ft_auto Ft_backend Ft_ir Ft_machine Ft_passes Ft_runtime Ft_sched Gen_prog List QCheck2 QCheck_alcotest Stmt String Tensor Types
+test/test_random.ml: Float Ft_ad Ft_auto Ft_backend Ft_ir Ft_machine Ft_passes Ft_profile Ft_runtime Ft_sched Gen_prog List QCheck2 QCheck_alcotest Stmt String Tensor Types

@@ -6,12 +6,23 @@
      idx : i32 [12]   input (values in [0,12))
      y   : f32 [12]   output
      z   : f32 [4,6]  output
-   with arbitrary nests of loops, guards, local tensors, stores and
-   reductions.  All tensor subscripts are wrapped with [mod dim], so any
-   generated index expression is in bounds (floor-mod is non-negative for
-   a positive modulus). *)
+   with arbitrary nests of loops, guards, local tensors (f32 and i32),
+   stores and reductions.  All tensor subscripts are wrapped with
+   [mod dim], so any generated index expression is in bounds (floor-mod
+   is non-negative for a positive modulus). *)
 
 open Ft_ir
+
+(* Property-test iteration counts, overridable from the environment:
+   QCHECK_COUNT=1000 dune runtest  runs a deeper random sweep, and a
+   small value gives a quick smoke pass. *)
+let iterations default =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> default)
+  | None -> default
 
 let n_x = 12
 let m_r = 4
@@ -24,10 +35,20 @@ let params =
     Stmt.param ~atype:Types.Output "y" Types.F32 [ Expr.int n_x ];
     Stmt.param ~atype:Types.Output "z" Types.F32 [ Expr.int m_r; Expr.int m_c ] ]
 
+(* a generated local tensor: name, extent, element type *)
+type local = {
+  l_name : string;
+  l_dim : int;
+  l_dtype : Types.dtype;
+}
+
 open QCheck2.Gen
 
-(* an integer expression over the iterators in scope *)
-let gen_int_expr (iters : string list) : Expr.t t =
+(* an integer expression over the iterators in scope and the readable
+   integer tensors ([idx] plus any i32 locals); division and remainder
+   only appear with constant positive divisors so they are total *)
+let gen_int_expr ?(itensors : (string * int) list = []) (iters : string list)
+    : Expr.t t =
   sized @@ fix (fun self n ->
       let leaf =
         if iters = [] then map Expr.int (int_range 0 7)
@@ -39,42 +60,58 @@ let gen_int_expr (iters : string list) : Expr.t t =
       if n <= 0 then leaf
       else
         let sub = self (n / 2) in
+        let load_int =
+          (* idx[e mod 12] or an i32 local: integer-valued loads keep
+             both executors on the integer evaluation path *)
+          let* name, dim = oneofl (("idx", n_x) :: itensors) in
+          let* e = sub in
+          return (Expr.load name [ Expr.mod_ e (Expr.int dim) ])
+        in
         oneof
           [ leaf;
+            load_int;
             map2 Expr.add sub sub;
             map2 Expr.sub sub sub;
-            map2 (fun c e -> Expr.mul (Expr.int c) e) (int_range 0 3) sub ])
+            map2 (fun c e -> Expr.mul (Expr.int c) e) (int_range 0 3) sub;
+            map2 (fun e d -> Expr.floor_div e (Expr.int d)) sub (int_range 1 4);
+            map2 (fun e d -> Expr.mod_ e (Expr.int d)) sub (int_range 1 4) ])
 
 (* an in-bounds subscript for a dimension of size [dim] *)
-let gen_index iters dim =
-  let* e = gen_int_expr iters in
+let gen_index ?itensors iters dim =
+  let* e = gen_int_expr ?itensors iters in
   return (Expr.mod_ e (Expr.int dim))
 
-(* a float expression over the readable tensors *)
-let gen_float_expr (iters : string list) (locals : (string * int) list) :
-    Expr.t t =
+let int_locals (locals : local list) =
+  List.filter_map
+    (fun l -> if l.l_dtype = Types.I32 then Some (l.l_name, l.l_dim) else None)
+    locals
+
+(* a float expression over the readable tensors (loads from i32 tensors
+   promote to float, identically in both executors) *)
+let gen_float_expr (iters : string list) (locals : local list) : Expr.t t =
+  let itensors = int_locals locals in
   sized @@ fix (fun self n ->
       let load_x =
-        let* ix = gen_index iters n_x in
+        let* ix = gen_index ~itensors iters n_x in
         return (Expr.load "x" [ ix ])
       in
       let load_m =
-        let* ir = gen_index iters m_r in
-        let* ic = gen_index iters m_c in
+        let* ir = gen_index ~itensors iters m_r in
+        let* ic = gen_index ~itensors iters m_c in
         return (Expr.load "m" [ ir; ic ])
       in
       let load_indirect =
         (* x[idx[k]]: indirect addressing, idx values are in range *)
-        let* k = gen_index iters n_x in
+        let* k = gen_index ~itensors iters n_x in
         return (Expr.load "x" [ Expr.load "idx" [ k ] ])
       in
       let load_local =
         match locals with
         | [] -> load_x
         | _ ->
-          let* name, dim = oneofl locals in
-          let* ix = gen_index iters dim in
-          return (Expr.load name [ ix ])
+          let* l = oneofl locals in
+          let* ix = gen_index ~itensors iters l.l_dim in
+          return (Expr.load l.l_name [ ix ])
       in
       let leaf =
         oneof
@@ -94,38 +131,50 @@ let gen_float_expr (iters : string list) (locals : (string * int) list) :
             map (Expr.unop Expr.Abs) sub;
             map (Expr.unop Expr.Sigmoid) sub ])
 
-let gen_cond iters =
-  let* a = gen_int_expr iters in
-  let* b = gen_int_expr iters in
+let gen_cond iters locals =
+  let itensors = int_locals locals in
+  let* a = gen_int_expr ~itensors iters in
+  let* b = gen_int_expr ~itensors iters in
   let* op = oneofl [ Expr.lt; Expr.le; Expr.ge; Expr.eq ] in
   return (op a b)
 
-(* a statement; [depth] bounds nesting *)
-let rec gen_stmt depth iters locals : Stmt.t t =
+(* a statement; [depth] bounds nesting; [guards] enables If statements
+   (the exact cost-model property uses guard-free programs, since the
+   model prices an unexecuted else-branch at a fixed fraction) *)
+let rec gen_stmt ~guards depth iters (locals : local list) : Stmt.t t =
+  let itensors = int_locals locals in
   let store_to =
-    let targets =
-      [ (`Y, n_x); (`Z, 0) ] @ List.map (fun (l, d) -> (`L (l, d), 0)) locals
-    in
-    let* target, _ = oneofl targets in
-    let* value = gen_float_expr iters locals in
-    let* reduce = bool in
+    let targets = [ `Y; `Z ] @ List.map (fun l -> `L l) locals in
+    let* target = oneofl targets in
     match target with
     | `Y ->
-      let* ix = gen_index iters n_x in
+      let* value = gen_float_expr iters locals in
+      let* ix = gen_index ~itensors iters n_x in
+      let* reduce = bool in
       return
         (if reduce then Stmt.reduce_to "y" [ ix ] Types.R_add value
          else Stmt.store "y" [ ix ] value)
     | `Z ->
-      let* ir = gen_index iters m_r in
-      let* ic = gen_index iters m_c in
+      let* value = gen_float_expr iters locals in
+      let* ir = gen_index ~itensors iters m_r in
+      let* ic = gen_index ~itensors iters m_c in
+      let* reduce = bool in
       return
         (if reduce then Stmt.reduce_to "z" [ ir; ic ] Types.R_add value
          else Stmt.store "z" [ ir; ic ] value)
-    | `L (name, dim) ->
-      let* ix = gen_index iters dim in
-      return
-        (if reduce then Stmt.reduce_to name [ ix ] Types.R_add value
-         else Stmt.store name [ ix ] value)
+    | `L { l_name; l_dim; l_dtype } ->
+      let* ix = gen_index ~itensors iters l_dim in
+      if l_dtype = Types.I32 then
+        (* integer-valued stores only: both executors evaluate the value
+           on the integer path, so results and counters agree exactly *)
+        let* value = gen_int_expr ~itensors iters in
+        return (Stmt.store l_name [ ix ] value)
+      else
+        let* value = gen_float_expr iters locals in
+        let* reduce = bool in
+        return
+          (if reduce then Stmt.reduce_to l_name [ ix ] Types.R_add value
+           else Stmt.store l_name [ ix ] value)
   in
   if depth <= 0 then store_to
   else
@@ -133,44 +182,58 @@ let rec gen_stmt depth iters locals : Stmt.t t =
       let iter = Names.fresh "gi" in
       let* lo = int_range 0 2 in
       let* len = int_range 1 4 in
-      let* body = gen_stmt (depth - 1) (iter :: iters) locals in
+      let* body = gen_stmt ~guards (depth - 1) (iter :: iters) locals in
       return (Stmt.for_ iter (Expr.int lo) (Expr.int (lo + len)) body)
     in
     let guard =
-      let* c = gen_cond iters in
-      let* body = gen_stmt (depth - 1) iters locals in
+      let* c = gen_cond iters locals in
+      let* body = gen_stmt ~guards (depth - 1) iters locals in
       let* with_else = bool in
       if with_else then
-        let* e = gen_stmt (depth - 1) iters locals in
+        let* e = gen_stmt ~guards (depth - 1) iters locals in
         return (Stmt.if_ c body (Some e))
       else return (Stmt.if_ c body None)
     in
     let local_def =
       let name = Names.fresh "gt" in
       let* dim = int_range 1 5 in
+      let* dtype = frequencyl [ (3, Types.F32); (1, Types.I32) ] in
       (* initialize the local before any generated use may read it *)
       let init_iter = Names.fresh "gz" in
+      let zero =
+        if dtype = Types.I32 then Expr.int 0 else Expr.float 0.
+      in
       let init =
         Stmt.for_ init_iter (Expr.int 0) (Expr.int dim)
-          (Stmt.store name [ Expr.var init_iter ] (Expr.float 0.))
+          (Stmt.store name [ Expr.var init_iter ] zero)
       in
-      let* body = gen_stmt (depth - 1) iters ((name, dim) :: locals) in
+      let* body =
+        gen_stmt ~guards (depth - 1) iters
+          ({ l_name = name; l_dim = dim; l_dtype = dtype } :: locals)
+      in
       return
-        (Stmt.var_def name Types.F32 Types.Cpu_stack [ Expr.int dim ]
+        (Stmt.var_def name dtype Types.Cpu_stack [ Expr.int dim ]
            (Stmt.seq [ init; body ]))
     in
     let block =
       let* k = int_range 2 3 in
-      let* ss = list_repeat k (gen_stmt (depth - 1) iters locals) in
+      let* ss = list_repeat k (gen_stmt ~guards (depth - 1) iters locals) in
       return (Stmt.seq ss)
     in
     frequency
-      [ (3, store_to); (3, loop); (2, guard); (1, local_def); (2, block) ]
+      ([ (3, store_to); (3, loop); (1, local_def); (2, block) ]
+      @ if guards then [ (2, guard) ] else [])
 
-let gen_func : Stmt.func t =
+let gen_func_with ~guards : Stmt.func t =
   let* k = int_range 2 4 in
-  let* body = list_repeat k (gen_stmt 3 [] []) in
+  let* body = list_repeat k (gen_stmt ~guards 3 [] []) in
   return (Stmt.func "random" params (Stmt.seq body))
+
+let gen_func : Stmt.func t = gen_func_with ~guards:true
+
+(* Guard-free programs with fully static control flow: on these the
+   analytic cost model's operation counts are exact, not just bounded. *)
+let gen_func_no_guard : Stmt.func t = gen_func_with ~guards:false
 
 (* fresh runtime arguments for the fixed signature *)
 let fresh_args ?(seed = 11) () =

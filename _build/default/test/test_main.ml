@@ -13,4 +13,5 @@ let () =
       ("backend", Test_backend.suite);
       ("passes", Test_passes.suite);
       ("random", Test_random.suite);
+      ("profile", Test_profile.suite);
       ("libop", Test_libop.suite) ]

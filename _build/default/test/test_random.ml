@@ -7,6 +7,10 @@ open Ft_ir
 open Ft_runtime
 module Interp = Ft_backend.Interp
 module Cexec = Ft_backend.Compile_exec
+module Profile = Ft_profile.Profile
+
+(* All counts respect the QCHECK_COUNT environment override. *)
+let n = Gen_prog.iterations
 
 let run_with runner (fn : Stmt.func) =
   let args = Gen_prog.fresh_args () in
@@ -17,7 +21,7 @@ let same (y1, z1) (y2, z2) =
   Tensor.all_close ~tol:1e-4 y1 y2 && Tensor.all_close ~tol:1e-4 z1 z2
 
 let prop_interp_vs_compiled =
-  QCheck2.Test.make ~count:150
+  QCheck2.Test.make ~count:(n 150)
     ~name:"random programs: interpreter == compiled executor"
     Gen_prog.gen_func
     (fun fn ->
@@ -26,7 +30,7 @@ let prop_interp_vs_compiled =
         (run_with (fun f a -> Cexec.run_func f a) fn))
 
 let prop_passes_preserve =
-  QCheck2.Test.make ~count:120
+  QCheck2.Test.make ~count:(n 120)
     ~name:"random programs: cleanup passes preserve semantics"
     Gen_prog.gen_func
     (fun fn ->
@@ -39,7 +43,7 @@ let prop_passes_preserve =
           Ft_passes.Const_prop.run ])
 
 let prop_auto_schedule_preserves =
-  QCheck2.Test.make ~count:60
+  QCheck2.Test.make ~count:(n 60)
     ~name:"random programs: auto_schedule preserves semantics"
     Gen_prog.gen_func
     (fun fn ->
@@ -51,7 +55,7 @@ let prop_auto_schedule_preserves =
         [ Types.Cpu; Types.Gpu ])
 
 let prop_random_schedules_preserve =
-  QCheck2.Test.make ~count:60
+  QCheck2.Test.make ~count:(n 60)
     ~name:"random programs: random schedule pipelines preserve semantics"
     QCheck2.Gen.(tup2 Gen_prog.gen_func (list_size (int_range 1 5) (int_range 0 5)))
     (fun (fn, ops) ->
@@ -96,7 +100,7 @@ let prop_random_schedules_preserve =
         (run_with (fun f a -> Interp.run_func f a) (Schedule.func s)))
 
 let prop_codegen_never_crashes =
-  QCheck2.Test.make ~count:80
+  QCheck2.Test.make ~count:(n 80)
     ~name:"random programs: both code generators produce output"
     Gen_prog.gen_func
     (fun fn ->
@@ -107,7 +111,7 @@ let prop_codegen_never_crashes =
       String.length c > 0 && String.length cu > 0)
 
 let prop_costmodel_total =
-  QCheck2.Test.make ~count:80
+  QCheck2.Test.make ~count:(n 80)
     ~name:"random programs: cost model returns finite positive time"
     Gen_prog.gen_func
     (fun fn ->
@@ -117,10 +121,72 @@ let prop_costmodel_total =
 
 
 
+let prop_profile_differential =
+  (* satellite of the profiler work: the observed per-statement and
+     per-kernel counters must be bit-identical across the two executors,
+     not just the numeric outputs *)
+  QCheck2.Test.make ~count:(n 100)
+    ~name:"random programs: observed counters identical across executors"
+    Gen_prog.gen_func
+    (fun fn ->
+      let pi = Profile.create () in
+      ignore (run_with (fun f a -> Interp.run_func ~profile:pi f a) fn);
+      let pc = Profile.create () in
+      ignore (run_with (fun f a -> Cexec.run_func ~profile:pc f a) fn);
+      if Profile.equal_observed pi pc then true
+      else
+        QCheck2.Test.fail_reportf "observed profiles differ:\n%s"
+          (Profile.diff_string pi pc))
+
+let prop_costmodel_exact_static =
+  (* on guard-free programs (static control flow) the analytic model's
+     operation count and kernel segmentation are exact, matching the
+     interpreter-observed counters to the last op *)
+  QCheck2.Test.make ~count:(n 80)
+    ~name:"random guard-free programs: cost model flops and kernels exact"
+    Gen_prog.gen_func_no_guard
+    (fun fn ->
+      let p = Profile.create () in
+      ignore (run_with (fun f a -> Interp.run_func ~profile:p f a) fn);
+      let m = Ft_backend.Costmodel.estimate ~device:Types.Cpu fn in
+      let obs_flops = Profile.flops (Profile.totals p) in
+      let obs_kernels = List.length (Profile.kernels p) in
+      if m.Ft_machine.Machine.kernels <> obs_kernels then
+        QCheck2.Test.fail_reportf "kernels: model %d, observed %d"
+          m.Ft_machine.Machine.kernels obs_kernels
+      else if
+        Float.abs (m.Ft_machine.Machine.flops -. float_of_int obs_flops) > 0.5
+      then
+        QCheck2.Test.fail_reportf "flops: model %g, observed %d"
+          m.Ft_machine.Machine.flops obs_flops
+      else true)
+
+let prop_costmodel_flops_bounded =
+  (* with guards the model prices the then-branch at full multiplicity
+     and the else-branch at a quarter, so it may under-estimate by at
+     most 4x per If level (max 3 nested) but never loses track of the
+     work entirely; kernel segmentation stays exact *)
+  QCheck2.Test.make ~count:(n 80)
+    ~name:"random programs: cost model kernels exact, flops bounded below"
+    Gen_prog.gen_func
+    (fun fn ->
+      let p = Profile.create () in
+      ignore (run_with (fun f a -> Interp.run_func ~profile:p f a) fn);
+      let m = Ft_backend.Costmodel.estimate ~device:Types.Cpu fn in
+      let obs_flops = float_of_int (Profile.flops (Profile.totals p)) in
+      let obs_kernels = List.length (Profile.kernels p) in
+      if m.Ft_machine.Machine.kernels <> obs_kernels then
+        QCheck2.Test.fail_reportf "kernels: model %d, observed %d"
+          m.Ft_machine.Machine.kernels obs_kernels
+      else if m.Ft_machine.Machine.flops < (obs_flops /. 64.0) -. 0.5 then
+        QCheck2.Test.fail_reportf "flops: model %g < observed %g / 64"
+          m.Ft_machine.Machine.flops obs_flops
+      else true)
+
 let prop_jvp_executes_consistently =
   (* forward-mode duals of random programs run identically on both
      backends, and with a zero direction the tangents are zero *)
-  QCheck2.Test.make ~count:80
+  QCheck2.Test.make ~count:(n 80)
     ~name:"random programs: jvp duals agree across backends"
     Gen_prog.gen_func
     (fun fn ->
@@ -160,4 +226,5 @@ let suite =
     [ prop_interp_vs_compiled; prop_passes_preserve;
       prop_auto_schedule_preserves; prop_random_schedules_preserve;
       prop_codegen_never_crashes; prop_costmodel_total;
-      prop_jvp_executes_consistently ]
+      prop_profile_differential; prop_costmodel_exact_static;
+      prop_costmodel_flops_bounded; prop_jvp_executes_consistently ]
