@@ -3,7 +3,8 @@
    wall-clock micro-benchmarks of the actual OCaml execution.
 
    Usage: main.exe
-     [fig16a|fig16b|fig17|fig18|table2|ablation|profile|wallclock|all]  *)
+     [fig16a|fig16b|fig17|fig18|table2|ablation|profile|wallclock
+      |wallclock-json|all]  *)
 
 open Ft_ir
 module E = Ft_workloads.Experiments
@@ -224,9 +225,32 @@ let wallclock () =
              [ ("Q", q); ("K", k); ("V", v); ("Y", lf_y) ]
              []))
   in
+  let sub_par =
+    Ft_backend.Compile_exec.compile ~parallel:true
+      (Ft_auto.Auto.run ~device:Types.Cpu sub_fn)
+  in
+  let t_sub_par =
+    Test.make ~name:"subdivnet/freetensor-compiled-par"
+      (Staged.stage (fun () ->
+           sub_par.Ft_backend.Compile_exec.cd_run
+             [ ("e", e); ("adj", adj); ("y", sub_y) ]
+             []))
+  in
+  let lf_par =
+    Ft_backend.Compile_exec.compile ~parallel:true
+      (Ft_auto.Auto.run ~device:Types.Cpu lf_fn)
+  in
+  let t_lf_par =
+    Test.make ~name:"longformer/freetensor-compiled-par"
+      (Staged.stage (fun () ->
+           lf_par.Ft_backend.Compile_exec.cd_run
+             [ ("Q", q); ("K", k); ("V", v); ("Y", lf_y) ]
+             []))
+  in
   let tests =
     Test.make_grouped ~name:"wallclock"
-      [ t_sub_ft; t_sub_cc; t_sub_bl; t_lf_ft; t_lf_cc; t_lf_bl ]
+      [ t_sub_ft; t_sub_cc; t_sub_par; t_sub_bl; t_lf_ft; t_lf_cc; t_lf_par;
+        t_lf_bl ]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
@@ -247,6 +271,96 @@ let wallclock () =
       | _ -> Printf.printf "%-42s %14s\n" name "n/a")
     (List.sort compare rows)
 
+(* ------------------------------------------------------------- *)
+(* wallclock-json: machine-readable medians for the three in-process
+   executors on each workload, written to BENCH_wallclock.json.  All
+   three run the same CPU-auto-scheduled program (so the parallel
+   executor sees the scheduler's OpenMP annotations and the comparison
+   isolates the execution backend, not the schedule). *)
+
+let median_ns f =
+  f () (* warm-up *);
+  let samples = ref [] in
+  let t_begin = Unix.gettimeofday () in
+  let n = ref 0 in
+  while !n < 5 || (Unix.gettimeofday () -. t_begin < 0.3 && !n < 200) do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    samples := (Unix.gettimeofday () -. t0) :: !samples;
+    incr n
+  done;
+  let a = Array.of_list !samples in
+  Array.sort compare a;
+  a.(Array.length a / 2) *. 1e9
+
+let wallclock_json () =
+  let module Cexec = Ft_backend.Compile_exec in
+  let sub_c = Sub.default in
+  let e, adj = Sub.gen_inputs sub_c in
+  let sub_fn = Ft_auto.Auto.run ~device:Types.Cpu (Sub.ft_func sub_c) in
+  let sub_y =
+    Tensor.zeros Types.F32 [| sub_c.Sub.n_faces; sub_c.Sub.in_feats |]
+  in
+  let lf_c = { Lf.seq_len = 128; feat_len = 16; w = 8 } in
+  let q, k, v = Lf.gen_inputs lf_c in
+  let lf_fn = Ft_auto.Auto.run ~device:Types.Cpu (Lf.ft_func lf_c) in
+  let lf_y = Tensor.zeros Types.F32 [| lf_c.Lf.seq_len; lf_c.Lf.feat_len |] in
+  let rows =
+    List.concat_map
+      (fun (wname, fn, args) ->
+        let seq = Cexec.compile fn in
+        let par = Cexec.compile ~parallel:true fn in
+        [ (wname, "interp", median_ns (fun () -> Interp.run_func fn args));
+          (wname, "compiled-seq",
+           median_ns (fun () -> seq.Cexec.cd_run args []));
+          (wname, "compiled-par",
+           median_ns (fun () -> par.Cexec.cd_run args [])) ])
+      [ ("subdivnet", sub_fn, [ ("e", e); ("adj", adj); ("y", sub_y) ]);
+        ("longformer", lf_fn,
+         [ ("Q", q); ("K", k); ("V", v); ("Y", lf_y) ]) ]
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n" (Machine.host_cores ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"num_domains\": %d,\n"
+       (Ft_backend.Exec_par.num_domains ()));
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i (wname, ex, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"workload\": %S, \"executor\": %S, \"median_ns\": %.0f }%s\n"
+           wname ex ns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_wallclock.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n== Wall-clock medians (BENCH_wallclock.json) ==\n";
+  Printf.printf "(%d configured domains on %d host cores)\n"
+    (Ft_backend.Exec_par.num_domains ())
+    (Machine.host_cores ());
+  List.iter
+    (fun (wname, ex, ns) ->
+      Printf.printf "%-12s %-14s %14.0f ns/run\n" wname ex ns)
+    rows;
+  List.iter
+    (fun wname ->
+      let find ex =
+        List.find_map
+          (fun (w, e, ns) -> if w = wname && e = ex then Some ns else None)
+          rows
+      in
+      match (find "compiled-seq", find "compiled-par") with
+      | Some s, Some p ->
+        Printf.printf "%-12s parallel speedup over sequential: %.2fx\n" wname
+          (s /. p)
+      | _ -> ())
+    [ "subdivnet"; "longformer" ]
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let t0 = Unix.gettimeofday () in
@@ -259,6 +373,7 @@ let () =
    | "ablation" -> ablation ()
    | "profile" -> profile ()
    | "wallclock" -> wallclock ()
+   | "wallclock-json" -> wallclock_json ()
    | "all" | _ ->
      fig16a ();
      fig16b ();
@@ -267,5 +382,6 @@ let () =
      table2 ();
      ablation ();
      profile ();
-     wallclock ());
+     wallclock ();
+     wallclock_json ());
   Printf.printf "\n(total bench time: %.1f s)\n" (Unix.gettimeofday () -. t0)

@@ -6,7 +6,8 @@
      ftc codegen <workload> [-d dev]    print generated OpenMP C / CUDA
      ftc grad <workload> [--all]        print forward+backward ASTs
      ftc estimate <workload> [-d dev]   abstract-machine cost estimate
-     ftc run <workload>                 execute and check vs reference
+     ftc run <workload> [-x exec]       execute and check vs reference
+                                        (interp | compiled | parallel)
      ftc profile <workload> [-d dev]    execute under both executors with
                                         observed counters, cross-checked
                                         against the cost model            *)
@@ -109,8 +110,33 @@ let estimate_cmd =
     (Cmd.info "estimate" ~doc:"Cost estimate on the abstract machine")
     Term.(const run $ wl_arg $ device_arg)
 
+let exec_conv =
+  Arg.enum
+    [ ("interp", `Interp); ("compiled", `Compiled); ("parallel", `Parallel) ]
+
+let exec_arg =
+  Arg.(
+    value
+    & opt exec_conv `Interp
+    & info [ "x"; "executor" ] ~docv:"EXECUTOR"
+        ~doc:
+          "Execution backend: $(b,interp) (reference interpreter), \
+           $(b,compiled) (closure-compiling executor), or $(b,parallel) \
+           (CPU-auto-scheduled program on the compiled executor with \
+           OpenMP-annotated loops running on the domain pool; pool size \
+           honors FT_NUM_DOMAINS).")
+
 let run_cmd =
-  let run w =
+  let run w exec =
+    let exec_fn fn args =
+      match exec with
+      | `Interp -> Interp.run_func fn args
+      | `Compiled -> Compile_exec.run_func fn args
+      | `Parallel ->
+        Compile_exec.run_func ~parallel:true
+          (Auto.run ~device:Types.Cpu fn)
+          args
+    in
     let check name a b =
       Printf.printf "%s: max |FT - reference| = %g\n" name
         (Tensor.max_abs_diff a b)
@@ -120,21 +146,19 @@ let run_cmd =
        let c = Sub.default in
        let e, adj = Sub.gen_inputs c in
        let y = Tensor.zeros Types.F32 [| c.Sub.n_faces; c.Sub.in_feats |] in
-       Interp.run_func (Sub.ft_func c) [ ("e", e); ("adj", adj); ("y", y) ];
+       exec_fn (Sub.ft_func c) [ ("e", e); ("adj", adj); ("y", y) ];
        check "subdivnet" y (Sub.reference e adj)
      | W_longformer ->
        let c = Lf.default in
        let q, k, v = Lf.gen_inputs c in
        let y = Tensor.zeros Types.F32 [| c.Lf.seq_len; c.Lf.feat_len |] in
-       Interp.run_func (Lf.ft_func c)
-         [ ("Q", q); ("K", k); ("V", v); ("Y", y) ];
+       exec_fn (Lf.ft_func c) [ ("Q", q); ("K", k); ("V", v); ("Y", y) ];
        check "longformer" y (Lf.reference q k v ~w:c.Lf.w)
      | W_softras ->
        let c = Sr.default in
        let cx, cy, r = Sr.gen_inputs c in
        let img = Tensor.zeros Types.F32 [| c.Sr.img; c.Sr.img |] in
-       Interp.run_func (Sr.ft_func c)
-         [ ("cx", cx); ("cy", cy); ("r", r); ("img", img) ];
+       exec_fn (Sr.ft_func c) [ ("cx", cx); ("cy", cy); ("r", r); ("img", img) ];
        check "softras" img
          (Sr.reference cx cy r ~img:c.Sr.img ~sigma:c.Sr.sigma)
      | W_gat ->
@@ -142,7 +166,7 @@ let run_cmd =
        let rowptr, colidx, n_edges = Gat.gen_graph c in
        let x, wt, a1, a2 = Gat.gen_inputs c in
        let out = Tensor.zeros Types.F32 [| c.Gat.n_nodes; c.Gat.out_feats |] in
-       Interp.run_func (Gat.ft_func c ~n_edges)
+       exec_fn (Gat.ft_func c ~n_edges)
          [ ("x", x); ("w", wt); ("a1", a1); ("a2", a2);
            ("rowptr", rowptr); ("colidx", colidx); ("out", out) ];
        check "gat" out (Gat.reference x wt a1 a2 rowptr colidx));
@@ -150,7 +174,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the workload and compare to reference")
-    Term.(const run $ wl_arg)
+    Term.(const run $ wl_arg $ exec_arg)
 
 let profile_cmd =
   let run w device =

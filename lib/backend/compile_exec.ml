@@ -2,20 +2,41 @@
 
     Where {!Interp} walks the AST on every execution, this backend
     *compiles* a function once into a tree of OCaml closures — names are
-    resolved to mutable cells, expressions to [unit -> float]/[unit ->
-    int] thunks with dtypes settled statically — and then runs the
-    closures.  It plays the role nvcc/gcc play in the paper's pipeline
-    for this repository's in-process execution, and the test suite
-    cross-checks it against the reference interpreter on every workload.
+    resolved lexically to mutable cells at compile time, expressions to
+    [unit -> float]/[unit -> int] thunks with dtypes settled statically —
+    and then runs the closures.  It plays the role nvcc/gcc play in the
+    paper's pipeline for this repository's in-process execution, and the
+    test suite cross-checks it against the reference interpreter on
+    every workload.
 
-    Parallel annotations are ignored at execution (sequential execution
-    of a correctly-scheduled program is semantics-preserving); they are
-    consumed by the code generators and the cost model.
+    Two execution-speed layers on top of the plain closure walk:
+
+    - {b Compile-time access optimization.}  When a tensor's shape is
+      known at compile time its strides are constants, constant index
+      components fold away, and affine indices compile to a handful of
+      register reads — or, when an index is affine in an enclosing
+      loop's iterator, to a strength-reduced running offset that the
+      loop advances by [stride * step] per trip instead of re-evaluating
+      the full dot product.  Only active when not profiling: the
+      profiled closures keep the generic per-node evaluation so observed
+      counters match {!Interp} exactly.
+
+    - {b Domain-pool parallel loops.}  With [~parallel:true], loops
+      annotated [Openmp] / [Cuda_block_*] by the scheduler execute their
+      iteration chunks on the {!Exec_par} domain pool.  Each worker runs
+      a private compiled instance of the loop body (own iterator cell,
+      own locals, own profile shard), so workers share no mutable
+      executor state.  Reductions into tensors defined outside the loop
+      are logged as [(site, offset, value)] events and replayed by the
+      master in chunk order after the join — exactly the sequential
+      iteration order — so results are bitwise-identical to sequential
+      execution and to any other pool size.  Loops whose body reads or
+      stores a reduced tensor fall back to sequential execution.
 
     Profiling is decided at *compile* time: with [?profile] the emitted
     thunks carry counter increments matching {!Interp}'s observed counts
-    exactly; without it the closures are the same as before — the hot
-    path pays nothing. *)
+    exactly (parallel workers count into private shards that merge at
+    region exit); without it the hot path pays nothing. *)
 
 open Ft_ir
 open Ft_runtime
@@ -31,52 +52,174 @@ type cell = { mutable t : Tensor.t option }
 let cell_tensor name c =
   match c.t with
   | Some t -> t
-  | None -> err "tensor %s is not live here" name
+  | None -> err "tensor %s is not live here (not a parameter or enclosing Var_def)" name
 
-type cenv = {
-  cells : (string, cell) Hashtbl.t;
-  ints : (string, int ref) Hashtbl.t; (* iterators and size parameters *)
-  dtypes : (string, Types.dtype) Hashtbl.t; (* compile-time scoping *)
-  mtypes : (string, Types.mtype) Hashtbl.t; (* DRAM classification *)
-  prof : Profile.t option;
-  mutable pctr : Profile.counters option; (* current statement's counters *)
+(* ------------------------------------------------------------------ *)
+(* Parallel-region support types *)
+
+(* Deferred-reduction event log: one per body instance, entries appended
+   in execution order and replayed by the master in chunk order, which
+   reconstructs the exact sequential iteration order. *)
+type rlog = {
+  mutable lg_site : int array;
+  mutable lg_off : int array;
+  mutable lg_val : float array;
+  mutable lg_len : int;
 }
 
+let make_rlog () =
+  { lg_site = Array.make 64 0; lg_off = Array.make 64 0;
+    lg_val = Array.make 64 0.0; lg_len = 0 }
+
+let log_push lg site off v =
+  let n = lg.lg_len in
+  if n = Array.length lg.lg_site then begin
+    let grow a z =
+      let b = Array.make (2 * n) z in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    lg.lg_site <- grow lg.lg_site 0;
+    lg.lg_off <- grow lg.lg_off 0;
+    lg.lg_val <- grow lg.lg_val 0.0
+  end;
+  lg.lg_site.(n) <- site;
+  lg.lg_off.(n) <- off;
+  lg.lg_val.(n) <- v;
+  lg.lg_len <- n + 1
+
+(* one deferred-reduction site (shared across body instances: the target
+   cell is defined outside the region, so it is the same for all) *)
+type rsite = {
+  rs_name : string;
+  rs_cell : cell;
+  rs_combine : float -> float -> float;
+}
+
+(* compile-time state of the parallel region instance being compiled *)
+type region = {
+  rg_locals : (string, unit) Hashtbl.t; (* names Var_def-bound inside *)
+  rg_sites : rsite list ref;            (* reversed; built by instance 0 *)
+  rg_first : bool;
+  mutable rg_next : int;                (* site ids, identical walk order *)
+  rg_log : rlog;                        (* this instance's event log *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Strength reduction *)
+
+(* A running flat offset attached to the innermost enclosing loop whose
+   iterator appears in the (affine, static-stride) offset form: the loop
+   evaluates [tk_base] once on entry and adds [tk_coeff * step] per
+   trip; the access just reads the cell. *)
+type tracker = {
+  tk_cell : int ref;
+  tk_base : unit -> int;
+  tk_coeff : int;
+}
+
+type open_loop = {
+  ol_ref : int ref;
+  mutable ol_trackers : tracker list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compile environment *)
+
+(* where profiling counters go: directly into the profile (master), into
+   a worker's private shard (parallel body instances), or nowhere *)
+type psink =
+  | P_off
+  | P_direct of Profile.t
+  | P_shard of Profile.shard
+
+type cenv = {
+  cells : (string, cell) Hashtbl.t;   (* lexical: Hashtbl.add/remove *)
+  orphans : (string, cell) Hashtbl.t; (* undeclared names; see find_cell *)
+  ints : (string, int ref) Hashtbl.t; (* lexical loop iterators *)
+  gints : (string, int ref) Hashtbl.t; (* free ints: size parameters *)
+  dtypes : (string, Types.dtype) Hashtbl.t;
+  mtypes : (string, Types.mtype) Hashtbl.t;
+  shapes : (string, int array) Hashtbl.t; (* compile-time-static only *)
+  prof : Profile.t option;
+  mutable psink : psink;
+  mutable pctr : Profile.counters option; (* current statement's counters *)
+  par : bool;                    (* honor parallel annotations *)
+  mutable in_par : bool;         (* compiling inside a region instance *)
+  mutable region : region option;
+  mutable loops : open_loop list; (* open loops, innermost first *)
+}
+
+(* Names are resolved lexically: parameters and Var_defs are the only
+   binders, so an unknown name here is not declared anywhere enclosing.
+   Such references legitimately occur in branches that never execute
+   (compiler-introduced code); they get a cell that is never filled, so
+   the access raises an {!Exec_error} if it is ever actually executed. *)
 let find_cell env name =
   match Hashtbl.find_opt env.cells name with
   | Some c -> c
-  | None ->
-    (* first reference wins: parameters are registered up front, so this
-       is a compiler-introduced name (e.g. within unexecuted branches) *)
-    let c = { t = None } in
-    Hashtbl.replace env.cells name c;
-    c
+  | None -> (
+    match Hashtbl.find_opt env.orphans name with
+    | Some c -> c
+    | None ->
+      let c = { t = None } in
+      Hashtbl.replace env.orphans name c;
+      c)
 
 let find_int env name =
   match Hashtbl.find_opt env.ints name with
   | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.replace env.ints name r;
-    r
+  | None -> (
+    match Hashtbl.find_opt env.gints name with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace env.gints name r;
+      r)
 
 let dtype_of env name =
   match Hashtbl.find_opt env.dtypes name with
   | Some dt -> dt
-  | None -> Types.F32
+  | None -> Types.F32 (* orphan (unexecuted-branch) names only *)
+
+let sink_ctr env sid =
+  match env.psink with
+  | P_off -> None
+  | P_direct p -> Some (Profile.ctr p sid)
+  | P_shard sh -> Some (Profile.shard_ctr sh sid)
+
+let sink_alloc env =
+  match env.psink with
+  | P_off -> None
+  | P_direct p ->
+    Some ((fun b -> Profile.alloc p b), fun b -> Profile.release p b)
+  | P_shard sh ->
+    Some ((fun b -> Profile.shard_alloc sh b), fun b -> Profile.shard_release sh b)
 
 (* Compile-time site info for an instrumented tensor access: [None] when
-   not profiling (the emitted thunk is the plain one). *)
+   not profiling.  [rd]/[wr] take the tensor's total byte size. *)
 let prof_site env name =
-  match env.prof, env.pctr with
-  | Some p, Some c ->
+  match env.pctr with
+  | None -> None
+  | Some c ->
     let dram =
       match Hashtbl.find_opt env.mtypes name with
       | Some (Types.Cpu_heap | Types.Gpu_global) -> true
       | _ -> false
     in
-    Some (p, c, dram, Types.dtype_size (dtype_of env name))
-  | _ -> None
+    let elem = Types.dtype_size (dtype_of env name) in
+    (match env.psink with
+     | P_off -> None
+     | P_direct p ->
+       Some
+         ( c,
+           (fun total -> Profile.record_read p c ~dram ~name ~elem ~total),
+           fun total -> Profile.record_write p c ~dram ~name ~elem ~total )
+     | P_shard sh ->
+       Some
+         ( c,
+           (fun total -> Profile.shard_read sh c ~dram ~name ~elem ~total),
+           fun total -> Profile.shard_write sh c ~dram ~name ~elem ~total ))
 
 (* Wrap an expression thunk with its operation-count increment.  The
    increment closure is only built when profiling is on AND the node's
@@ -92,7 +235,60 @@ let wrap_bump env e base =
         g c;
         base ())
 
-(* flat offset of an index list against a cell's current tensor *)
+(* ------------------------------------------------------------------ *)
+(* Compile-time shape/index arithmetic *)
+
+let rec static_int (e : Expr.t) : int option =
+  match e with
+  | Expr.Int_const n -> Some n
+  | Expr.Unop (Expr.Neg, a) -> Option.map Int.neg (static_int a)
+  | Expr.Binop (op, a, b) -> (
+    match (static_int a, static_int b) with
+    | Some x, Some y -> (
+      match op with
+      | Expr.Add -> Some (x + y)
+      | Expr.Sub -> Some (x - y)
+      | Expr.Mul -> Some (x * y)
+      | Expr.Floor_div -> if y = 0 then None else Some (Expr.ifloor_div x y)
+      | Expr.Mod -> if y = 0 then None else Some (Expr.imod x y)
+      | Expr.Min -> Some (min x y)
+      | Expr.Max -> Some (max x y)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let static_shape (dims : Expr.t list) : int array option =
+  let sdims = List.map static_int dims in
+  if List.for_all Option.is_some sdims then
+    Some (Array.of_list (List.map Option.get sdims))
+  else None
+
+let static_strides dims =
+  let n = Array.length dims in
+  let s = Array.make n 1 in
+  for k = n - 2 downto 0 do
+    s.(k) <- s.(k + 1) * dims.(k + 1)
+  done;
+  s
+
+(* a thunk for [cst + Σ coeff * !ref] *)
+let emit_affine (terms : (int ref * int) list) cst : unit -> int =
+  match terms with
+  | [] -> fun () -> cst
+  | [ (r, a) ] ->
+    if a = 1 && cst = 0 then fun () -> !r
+    else if a = 1 then fun () -> !r + cst
+    else fun () -> (a * !r) + cst
+  | [ (r1, a1); (r2, a2) ] -> fun () -> (a1 * !r1) + (a2 * !r2) + cst
+  | _ ->
+    let arr = Array.of_list terms in
+    fun () ->
+      let off = ref cst in
+      Array.iter (fun (r, a) -> off := !off + (a * !r)) arr;
+      !off
+
+(* flat offset of an index list against a cell's current tensor; the
+   generic path for dynamically-shaped tensors (and all profiled code) *)
 let offset_thunk name (c : cell) (idx : (unit -> int) list) : unit -> int =
   match idx with
   | [] -> fun () -> 0
@@ -110,6 +306,74 @@ let offset_thunk name (c : cell) (idx : (unit -> int) list) : unit -> int =
         off := !off + (idx.(k) () * strides.(k))
       done;
       !off
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-loop legality *)
+
+(* A loop body is eligible for deferred-reduction parallel execution iff
+   no tensor reduced into from outside the region is also loaded or
+   stored in the body (deferral would reorder those accesses).  The scan
+   is scope-aware: names Var_def-bound inside the body are private per
+   worker and don't constrain anything. *)
+let par_legal (body : Stmt.t) =
+  let locals = Hashtbl.create 8 in
+  let reduced = Hashtbl.create 4 in
+  let loaded = Hashtbl.create 16 in
+  let stored = Hashtbl.create 8 in
+  let note tbl n = if not (Hashtbl.mem locals n) then Hashtbl.replace tbl n () in
+  let scan_expr e =
+    Expr.iter
+      (function Expr.Load { l_var; _ } -> note loaded l_var | _ -> ())
+      e
+  in
+  let ok = ref true in
+  let rec scan (s : Stmt.t) =
+    match s.Stmt.node with
+    | Stmt.Store { s_var; s_indices; s_value } ->
+      note stored s_var;
+      List.iter scan_expr s_indices;
+      scan_expr s_value
+    | Stmt.Reduce_to { r_var; r_indices; r_value; _ } ->
+      note reduced r_var;
+      List.iter scan_expr r_indices;
+      scan_expr r_value
+    | Stmt.Var_def d ->
+      List.iter scan_expr d.Stmt.d_shape;
+      Hashtbl.add locals d.Stmt.d_name ();
+      scan d.Stmt.d_body;
+      Hashtbl.remove locals d.Stmt.d_name
+    | Stmt.For f ->
+      scan_expr f.Stmt.f_begin;
+      scan_expr f.Stmt.f_end;
+      scan_expr f.Stmt.f_step;
+      scan f.Stmt.f_body
+    | Stmt.If i ->
+      scan_expr i.Stmt.i_cond;
+      scan i.Stmt.i_then;
+      (match i.Stmt.i_else with Some e -> scan e | None -> ())
+    | Stmt.Assert_stmt (c, b) ->
+      scan_expr c;
+      scan b
+    | Stmt.Seq ss -> List.iter scan ss
+    | Stmt.Eval e -> scan_expr e
+    | Stmt.Lib_call { body; _ } -> scan body
+    | Stmt.Call _ -> ok := false
+    | Stmt.Nop -> ()
+  in
+  scan body;
+  !ok
+  && Hashtbl.fold
+       (fun n () acc ->
+         acc && (not (Hashtbl.mem loaded n)) && not (Hashtbl.mem stored n))
+       reduced true
+
+(* one compiled body instance of a parallel loop *)
+type par_instance = {
+  pi_ref : int ref;
+  pi_body : unit -> unit;
+  pi_shard : Profile.shard option;
+  pi_log : rlog;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Expression compilation, dtype-directed *)
@@ -135,16 +399,14 @@ and compile_f_node (env : cenv) (e : Expr.t) : unit -> float =
     fun () -> float_of_int !r
   | Expr.Load { l_var; l_indices } -> (
     let c = find_cell env l_var in
-    let idx = List.map (compile_i env) l_indices in
-    let off = offset_thunk l_var c idx in
+    let off = compile_offset env l_var c l_indices in
     match prof_site env l_var with
     | None -> fun () -> Tensor.unsafe_get_f (cell_tensor l_var c) (off ())
-    | Some (p, ctr, dram, elem) ->
+    | Some (_, rd, _) ->
       fun () ->
         let t = cell_tensor l_var c in
         let o = off () in
-        Profile.record_read p ctr ~dram ~name:l_var ~elem
-          ~total:(Tensor.byte_size t);
+        rd (Tensor.byte_size t);
         Tensor.unsafe_get_f t o)
   | Expr.Unop (op, a) -> (
     let fa = compile_f env a in
@@ -195,8 +457,7 @@ and compile_i_node (env : cenv) (e : Expr.t) : unit -> int =
     fun () -> !r
   | Expr.Load { l_var; l_indices } -> (
     let c = find_cell env l_var in
-    let idx = List.map (compile_i env) l_indices in
-    let off = offset_thunk l_var c idx in
+    let off = compile_offset env l_var c l_indices in
     let get =
       if Types.is_float (dtype_of env l_var) then fun () ->
         int_of_float (Tensor.unsafe_get_f (cell_tensor l_var c) (off ()))
@@ -204,10 +465,9 @@ and compile_i_node (env : cenv) (e : Expr.t) : unit -> int =
     in
     match prof_site env l_var with
     | None -> get
-    | Some (p, ctr, dram, elem) ->
+    | Some (_, rd, _) ->
       fun () ->
-        Profile.record_read p ctr ~dram ~name:l_var ~elem
-          ~total:(Tensor.byte_size (cell_tensor l_var c));
+        rd (Tensor.byte_size (cell_tensor l_var c));
         get ())
   | Expr.Unop (Expr.Neg, a) ->
     let fa = compile_i env a in
@@ -253,8 +513,7 @@ and compile_b_node (env : cenv) (e : Expr.t) : unit -> bool =
     let is_intish e =
       let rec go = function
         | Expr.Int_const _ | Expr.Var _ -> true
-        | Expr.Load { l_var; _ } ->
-          not (Types.is_float (dtype_of env l_var))
+        | Expr.Load { l_var; _ } -> not (Types.is_float (dtype_of env l_var))
         | Expr.Binop ((Expr.Add | Expr.Sub | Expr.Mul | Expr.Floor_div
                       | Expr.Mod | Expr.Min | Expr.Max), x, y) ->
           go x && go y
@@ -288,19 +547,72 @@ and compile_b_node (env : cenv) (e : Expr.t) : unit -> bool =
     fun () -> if fc () then fa () else fb ()
   | _ -> err "expression %s is not boolean" (Expr.to_string e)
 
+(* Flat-offset compilation.  Profiled code always takes the generic path
+   (per-node counting must match Interp); unprofiled code with a
+   compile-time-static shape gets constant strides, constant folding
+   through {!Linear}, and strength-reduced running offsets for indices
+   affine in an enclosing loop's iterator. *)
+and compile_offset (env : cenv) name (c : cell) (idx : Expr.t list) :
+    unit -> int =
+  let generic () = offset_thunk name c (List.map (compile_i env) idx) in
+  if idx = [] then fun () -> 0
+  else if env.prof <> None then generic ()
+  else
+    match Hashtbl.find_opt env.shapes name with
+    | Some dims when Array.length dims = List.length idx -> (
+      let ss = static_strides dims in
+      let forms = List.map Linear.of_expr idx in
+      if List.for_all Option.is_some forms then (
+        let total, _ =
+          List.fold_left
+            (fun (acc, k) f ->
+              (Linear.add acc (Linear.scale ss.(k) (Option.get f)), k + 1))
+            (Linear.zero, 0) forms
+        in
+        let terms =
+          Linear.fold_terms (fun acc v a -> (find_int env v, a) :: acc) [] total
+        in
+        let cst = total.Linear.const in
+        match
+          List.find_opt
+            (fun ol -> List.exists (fun (r, _) -> r == ol.ol_ref) terms)
+            env.loops
+        with
+        | Some ol ->
+          let coeff =
+            snd (List.find (fun (r, _) -> r == ol.ol_ref) terms)
+          in
+          let cellr = ref 0 in
+          ol.ol_trackers <-
+            { tk_cell = cellr; tk_base = emit_affine terms cst;
+              tk_coeff = coeff }
+            :: ol.ol_trackers;
+          fun () -> !cellr
+        | None -> emit_affine terms cst)
+      else
+        (* static strides, non-affine indices *)
+        let thunks = List.mapi (fun k e -> (compile_i env e, ss.(k))) idx in
+        match thunks with
+        | [ (f0, s0) ] -> if s0 = 1 then f0 else fun () -> f0 () * s0
+        | [ (f0, s0); (f1, s1) ] -> fun () -> (f0 () * s0) + (f1 () * s1)
+        | _ ->
+          let arr = Array.of_list thunks in
+          fun () ->
+            let off = ref 0 in
+            Array.iter (fun (f, s) -> off := !off + (f () * s)) arr;
+            !off)
+    | _ -> generic ()
+
 (* ------------------------------------------------------------------ *)
 (* Statement compilation *)
 
-let rec compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
-  (match env.prof with
-   | Some p ->
-     env.pctr <-
-       (match s.Stmt.node with
-        (* pure Evals are elided below; don't count them (the interpreter
-           matches this so observed counters stay comparable) *)
-        | Stmt.Eval _ -> None
-        | _ -> Some (Profile.ctr p s.Stmt.sid))
-   | None -> ());
+and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
+  env.pctr <-
+    (match s.Stmt.node with
+     (* pure Evals are elided below; don't count them (the interpreter
+        matches this so observed counters stay comparable) *)
+     | Stmt.Eval _ -> None
+     | _ -> sink_ctr env s.Stmt.sid);
   match s.Stmt.node with
   | Stmt.Nop -> fun () -> ()
   | Stmt.Seq ss ->
@@ -309,40 +621,33 @@ let rec compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
   | Stmt.Store { s_var; s_indices; s_value } -> (
     let c = find_cell env s_var in
     let site = prof_site env s_var in
-    let idx = List.map (compile_i env) s_indices in
-    let off = offset_thunk s_var c idx in
+    let off = compile_offset env s_var c s_indices in
     if Types.is_float (dtype_of env s_var) then
       let fv = compile_f env s_value in
       match site with
       | None ->
         fun () -> Tensor.unsafe_set_f (cell_tensor s_var c) (off ()) (fv ())
-      | Some (p, ctr, dram, elem) ->
+      | Some (_, _, wr) ->
         fun () ->
           let t = cell_tensor s_var c in
           let o = off () in
           let v = fv () in
-          Profile.record_write p ctr ~dram ~name:s_var ~elem
-            ~total:(Tensor.byte_size t);
+          wr (Tensor.byte_size t);
           Tensor.unsafe_set_f t o v
     else
       let fv = compile_i env s_value in
       match site with
       | None ->
         fun () -> Tensor.set_flat_i (cell_tensor s_var c) (off ()) (fv ())
-      | Some (p, ctr, dram, elem) ->
+      | Some (_, _, wr) ->
         fun () ->
           let t = cell_tensor s_var c in
           let o = off () in
           let v = fv () in
-          Profile.record_write p ctr ~dram ~name:s_var ~elem
-            ~total:(Tensor.byte_size t);
+          wr (Tensor.byte_size t);
           Tensor.set_flat_i t o v)
   | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; _ } -> (
     let c = find_cell env r_var in
-    let site = prof_site env r_var in
-    let idx = List.map (compile_i env) r_indices in
-    let off = offset_thunk r_var c idx in
-    let fv = compile_f env r_value in
     let combine =
       match r_op with
       | Types.R_add -> ( +. )
@@ -350,92 +655,114 @@ let rec compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
       | Types.R_min -> Float.min
       | Types.R_max -> Float.max
     in
-    match site with
-    | None ->
-      fun () ->
-        let t = cell_tensor r_var c in
-        let o = off () in
-        Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) (fv ()))
-    | Some (p, ctr, dram, elem) ->
-      let rop = r_op in
-      fun () ->
-        let t = cell_tensor r_var c in
-        let o = off () in
-        let v = fv () in
-        let total = Tensor.byte_size t in
-        Profile.record_read p ctr ~dram ~name:r_var ~elem ~total;
-        Profile.bump_reduce ctr rop;
-        Profile.record_write p ctr ~dram ~name:r_var ~elem ~total;
-        Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) v))
+    match env.region with
+    | Some rg when not (Hashtbl.mem rg.rg_locals r_var) -> (
+      (* target lives outside the parallel region: defer via the event
+         log; the master replays in sequential iteration order *)
+      let site_id = rg.rg_next in
+      rg.rg_next <- rg.rg_next + 1;
+      if rg.rg_first then
+        rg.rg_sites :=
+          { rs_name = r_var; rs_cell = c; rs_combine = combine }
+          :: !(rg.rg_sites);
+      let lg = rg.rg_log in
+      let site = prof_site env r_var in
+      let off = compile_offset env r_var c r_indices in
+      let fv = compile_f env r_value in
+      match site with
+      | None ->
+        fun () ->
+          let o = off () in
+          let v = fv () in
+          log_push lg site_id o v
+      | Some (ctr, rd, wr) ->
+        let rop = r_op in
+        fun () ->
+          let t = cell_tensor r_var c in
+          let o = off () in
+          let v = fv () in
+          let total = Tensor.byte_size t in
+          rd total;
+          Profile.bump_reduce ctr rop;
+          wr total;
+          log_push lg site_id o v)
+    | _ -> (
+      let site = prof_site env r_var in
+      let off = compile_offset env r_var c r_indices in
+      let fv = compile_f env r_value in
+      match site with
+      | None ->
+        fun () ->
+          let t = cell_tensor r_var c in
+          let o = off () in
+          Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) (fv ()))
+      | Some (ctr, rd, wr) ->
+        let rop = r_op in
+        fun () ->
+          let t = cell_tensor r_var c in
+          let o = off () in
+          let v = fv () in
+          let total = Tensor.byte_size t in
+          rd total;
+          Profile.bump_reduce ctr rop;
+          wr total;
+          Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) v)))
   | Stmt.Var_def d -> (
-    let c = find_cell env d.Stmt.d_name in
+    let name = d.Stmt.d_name in
     let dims = List.map (compile_i env) d.Stmt.d_shape in
-    let saved_dt = Hashtbl.find_opt env.dtypes d.Stmt.d_name in
-    let saved_mt = Hashtbl.find_opt env.mtypes d.Stmt.d_name in
-    Hashtbl.replace env.dtypes d.Stmt.d_name d.Stmt.d_dtype;
-    Hashtbl.replace env.mtypes d.Stmt.d_name d.Stmt.d_mtype;
+    let sshape = static_shape d.Stmt.d_shape in
+    let c = { t = None } in
+    Hashtbl.add env.cells name c;
+    Hashtbl.add env.dtypes name d.Stmt.d_dtype;
+    Hashtbl.add env.mtypes name d.Stmt.d_mtype;
+    (match sshape with
+     | Some dims -> Hashtbl.add env.shapes name dims
+     | None -> ());
+    (match env.region with
+     | Some rg -> Hashtbl.add rg.rg_locals name ()
+     | None -> ());
     let body = compile_stmt env d.Stmt.d_body in
-    (match saved_dt with
-     | Some dt -> Hashtbl.replace env.dtypes d.Stmt.d_name dt
-     | None -> Hashtbl.remove env.dtypes d.Stmt.d_name);
-    (match saved_mt with
-     | Some mt -> Hashtbl.replace env.mtypes d.Stmt.d_name mt
-     | None -> Hashtbl.remove env.mtypes d.Stmt.d_name);
+    (match env.region with
+     | Some rg -> Hashtbl.remove rg.rg_locals name
+     | None -> ());
+    (match sshape with
+     | Some _ -> Hashtbl.remove env.shapes name
+     | None -> ());
+    Hashtbl.remove env.mtypes name;
+    Hashtbl.remove env.dtypes name;
+    Hashtbl.remove env.cells name;
     let dtype = d.Stmt.d_dtype in
-    match env.prof with
-    | None ->
-      fun () ->
-        let saved = c.t in
-        c.t <-
-          Some
-            (Tensor.create dtype
-               (Array.of_list (List.map (fun f -> f ()) dims)));
-        body ();
-        c.t <- saved
-    | Some p ->
-      fun () ->
-        let saved = c.t in
-        let t =
+    let make =
+      match sshape with
+      | Some dims -> fun () -> Tensor.create dtype (Array.copy dims)
+      | None ->
+        fun () ->
           Tensor.create dtype (Array.of_list (List.map (fun f -> f ()) dims))
-        in
-        c.t <- Some t;
-        Profile.alloc p (Tensor.byte_size t);
-        body ();
-        Profile.release p (Tensor.byte_size t);
-        c.t <- saved)
-  | Stmt.For f -> (
-    let myc = env.pctr in
-    let r = find_int env f.Stmt.f_iter in
-    let fb = compile_i env f.Stmt.f_begin in
-    let fe = compile_i env f.Stmt.f_end in
-    let fs = compile_i env f.Stmt.f_step in
-    let body = compile_stmt env f.Stmt.f_body in
-    match myc with
+    in
+    match sink_alloc env with
     | None ->
       fun () ->
-        let e = fe () and st = fs () in
-        let saved = !r in
-        let i = ref (fb ()) in
-        while !i < e do
-          r := !i;
-          body ();
-          i := !i + st
-        done;
-        r := saved
-    | Some ctr ->
+        c.t <- Some (make ());
+        body ();
+        c.t <- None
+    | Some (alloc, release) ->
       fun () ->
-        let b = fb () in
-        let e = fe () and st = fs () in
-        ctr.Profile.entries <- ctr.Profile.entries + 1;
-        let saved = !r in
-        let i = ref b in
-        while !i < e do
-          ctr.Profile.trips <- ctr.Profile.trips + 1;
-          r := !i;
-          body ();
-          i := !i + st
-        done;
-        r := saved)
+        let t = make () in
+        c.t <- Some t;
+        alloc (Tensor.byte_size t);
+        body ();
+        release (Tensor.byte_size t);
+        c.t <- None)
+  | Stmt.For f ->
+    let parallelizable =
+      env.par && (not env.in_par)
+      && (match f.Stmt.f_property.Stmt.parallel with
+          | Some (Types.Openmp | Types.Cuda_block_x | Types.Cuda_block_y) ->
+            true
+          | _ -> false)
+      && par_legal f.Stmt.f_body
+    in
+    if parallelizable then compile_par_for env f else compile_seq_for env f
   | Stmt.If i -> (
     let fc = compile_b env i.Stmt.i_cond in
     let ft = compile_stmt env i.Stmt.i_then in
@@ -456,6 +783,199 @@ let rec compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
   | Stmt.Call { callee; _ } ->
     err "call to %s not inlined; run partial evaluation first" callee
 
+and compile_seq_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
+  let myc = env.pctr in
+  let fb = compile_i env f.Stmt.f_begin in
+  let fe = compile_i env f.Stmt.f_end in
+  let fs = compile_i env f.Stmt.f_step in
+  let r = ref 0 in
+  let ol = { ol_ref = r; ol_trackers = [] } in
+  Hashtbl.add env.ints f.Stmt.f_iter r;
+  env.loops <- ol :: env.loops;
+  let body = compile_stmt env f.Stmt.f_body in
+  env.loops <- List.tl env.loops;
+  Hashtbl.remove env.ints f.Stmt.f_iter;
+  match myc with
+  | Some ctr ->
+    fun () ->
+      let b = fb () in
+      let e = fe () and st = fs () in
+      ctr.Profile.entries <- ctr.Profile.entries + 1;
+      let i = ref b in
+      while !i < e do
+        ctr.Profile.trips <- ctr.Profile.trips + 1;
+        r := !i;
+        body ();
+        i := !i + st
+      done
+  | None -> (
+    match ol.ol_trackers with
+    | [] ->
+      fun () ->
+        let e = fe () and st = fs () in
+        let i = ref (fb ()) in
+        while !i < e do
+          r := !i;
+          body ();
+          i := !i + st
+        done
+    | [ tk ] ->
+      fun () ->
+        let e = fe () and st = fs () in
+        let i = ref (fb ()) in
+        if !i < e then begin
+          r := !i;
+          tk.tk_cell := tk.tk_base ();
+          body ();
+          i := !i + st;
+          let inc = tk.tk_coeff * st in
+          while !i < e do
+            r := !i;
+            tk.tk_cell := !(tk.tk_cell) + inc;
+            body ();
+            i := !i + st
+          done
+        end
+    | tks ->
+      let tks = Array.of_list tks in
+      let n = Array.length tks in
+      fun () ->
+        let e = fe () and st = fs () in
+        let i = ref (fb ()) in
+        if !i < e then begin
+          r := !i;
+          for k = 0 to n - 1 do
+            let tk = tks.(k) in
+            tk.tk_cell := tk.tk_base ()
+          done;
+          body ();
+          i := !i + st;
+          while !i < e do
+            r := !i;
+            for k = 0 to n - 1 do
+              let tk = tks.(k) in
+              tk.tk_cell := !(tk.tk_cell) + (tk.tk_coeff * st)
+            done;
+            body ();
+            i := !i + st
+          done
+        end)
+
+(* A parallel loop compiles its body [Exec_par.max_domains] times — one
+   instance per potential worker, each with a private iterator cell,
+   private locals, private event log and (when profiling) private
+   counter shard.  At run time the iteration space splits into one
+   contiguous chunk per configured domain; chunk 0 runs on the master.
+   After the join the master replays the deferred-reduction logs in
+   chunk order (= sequential iteration order) and merges the shards. *)
+and compile_par_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
+  let myc = env.pctr in
+  let prof = env.prof in
+  let fb = compile_i env f.Stmt.f_begin in
+  let fe = compile_i env f.Stmt.f_end in
+  let fs = compile_i env f.Stmt.f_step in
+  let k_inst = Exec_par.max_domains in
+  let sites_acc = ref [] in
+  let make_instance k =
+    let r = ref 0 in
+    let lg = make_rlog () in
+    let shard =
+      match prof with Some _ -> Some (Profile.make_shard ()) | None -> None
+    in
+    let rg =
+      { rg_locals = Hashtbl.create 8; rg_sites = sites_acc;
+        rg_first = (k = 0); rg_next = 0; rg_log = lg }
+    in
+    let saved_sink = env.psink in
+    (match shard with Some sh -> env.psink <- P_shard sh | None -> ());
+    env.in_par <- true;
+    env.region <- Some rg;
+    (* hide outer loops: a tracker hoisted outside the region would be
+       initialized by the master with a stale worker iterator *)
+    let saved_loops = env.loops in
+    env.loops <- [];
+    Hashtbl.add env.ints f.Stmt.f_iter r;
+    let body = compile_stmt env f.Stmt.f_body in
+    Hashtbl.remove env.ints f.Stmt.f_iter;
+    env.loops <- saved_loops;
+    env.region <- None;
+    env.in_par <- false;
+    env.psink <- saved_sink;
+    { pi_ref = r; pi_body = body; pi_shard = shard; pi_log = lg }
+  in
+  let rec build k acc =
+    if k = k_inst then Array.of_list (List.rev acc)
+    else build (k + 1) (make_instance k :: acc)
+  in
+  let instances = build 0 [] in
+  let sites = Array.of_list (List.rev !sites_acc) in
+  let replay chunks =
+    for ci = 0 to chunks - 1 do
+      let lg = instances.(ci).pi_log in
+      for j = 0 to lg.lg_len - 1 do
+        let site = sites.(lg.lg_site.(j)) in
+        let t = cell_tensor site.rs_name site.rs_cell in
+        let o = lg.lg_off.(j) in
+        Tensor.unsafe_set_f t o
+          (site.rs_combine (Tensor.unsafe_get_f t o) lg.lg_val.(j))
+      done;
+      lg.lg_len <- 0
+    done
+  in
+  let merge chunks =
+    match prof with
+    | None -> ()
+    | Some p ->
+      for ci = 0 to chunks - 1 do
+        match instances.(ci).pi_shard with
+        | Some sh -> Profile.merge_shard p sh
+        | None -> ()
+      done
+  in
+  fun () ->
+    let b = fb () in
+    let e = fe () and st = fs () in
+    (match myc with
+     | Some c -> c.Profile.entries <- c.Profile.entries + 1
+     | None -> ());
+    if st <= 0 then begin
+      (* degenerate step: preserve sequential semantics exactly *)
+      let inst = instances.(0) in
+      inst.pi_log.lg_len <- 0;
+      let i = ref b in
+      while !i < e do
+        (match myc with
+         | Some c -> c.Profile.trips <- c.Profile.trips + 1
+         | None -> ());
+        inst.pi_ref := !i;
+        inst.pi_body ();
+        i := !i + st
+      done;
+      replay 1;
+      merge 1
+    end
+    else
+      let trip = if e <= b then 0 else 1 + ((e - b - 1) / st) in
+      if trip > 0 then begin
+        (match myc with
+         | Some c -> c.Profile.trips <- c.Profile.trips + trip
+         | None -> ());
+        let chunks = min (min trip (Exec_par.num_domains ())) k_inst in
+        let q = trip / chunks and rem = trip mod chunks in
+        Exec_par.run_chunks chunks (fun ci ->
+            let inst = instances.(ci) in
+            inst.pi_log.lg_len <- 0;
+            let lo = (ci * q) + min ci rem in
+            let hi = lo + q + if ci < rem then 1 else 0 in
+            let r = inst.pi_ref and body = inst.pi_body in
+            for j = lo to hi - 1 do
+              r := b + (j * st);
+              body ()
+            done);
+        replay chunks;
+        merge chunks
+      end
+
 (* Host-level walk used only when profiling: mirrors the cost model's
    kernel segmentation, wrapping every top-level non-Var_def statement in
    enter/exit_kernel. *)
@@ -467,22 +987,18 @@ let rec compile_host (p : Profile.t) (env : cenv) (s : Stmt.t) : unit -> unit =
     fun () -> Array.iter (fun f -> f ()) fs
   | Stmt.Var_def d ->
     env.pctr <- Some (Profile.ctr p s.Stmt.sid);
-    let c = find_cell env d.Stmt.d_name in
+    let name = d.Stmt.d_name in
     let dims = List.map (compile_i env) d.Stmt.d_shape in
-    let saved_dt = Hashtbl.find_opt env.dtypes d.Stmt.d_name in
-    let saved_mt = Hashtbl.find_opt env.mtypes d.Stmt.d_name in
-    Hashtbl.replace env.dtypes d.Stmt.d_name d.Stmt.d_dtype;
-    Hashtbl.replace env.mtypes d.Stmt.d_name d.Stmt.d_mtype;
+    let c = { t = None } in
+    Hashtbl.add env.cells name c;
+    Hashtbl.add env.dtypes name d.Stmt.d_dtype;
+    Hashtbl.add env.mtypes name d.Stmt.d_mtype;
     let body = compile_host p env d.Stmt.d_body in
-    (match saved_dt with
-     | Some dt -> Hashtbl.replace env.dtypes d.Stmt.d_name dt
-     | None -> Hashtbl.remove env.dtypes d.Stmt.d_name);
-    (match saved_mt with
-     | Some mt -> Hashtbl.replace env.mtypes d.Stmt.d_name mt
-     | None -> Hashtbl.remove env.mtypes d.Stmt.d_name);
+    Hashtbl.remove env.mtypes name;
+    Hashtbl.remove env.dtypes name;
+    Hashtbl.remove env.cells name;
     let dtype = d.Stmt.d_dtype in
     fun () ->
-      let saved = c.t in
       let t =
         Tensor.create dtype (Array.of_list (List.map (fun f -> f ()) dims))
       in
@@ -490,7 +1006,7 @@ let rec compile_host (p : Profile.t) (env : cenv) (s : Stmt.t) : unit -> unit =
       Profile.alloc p (Tensor.byte_size t);
       body ();
       Profile.release p (Tensor.byte_size t);
-      c.t <- saved
+      c.t <- None
   | _ ->
     let root = s in
     let f = compile_stmt env s in
@@ -509,18 +1025,28 @@ type compiled = {
 (** Compile a function once; the result can be run many times with
     different argument tensors (bound by parameter name).  With
     [?profile], the emitted closures count into the given profile on
-    every run. *)
-let compile ?profile (fn : Stmt.func) : compiled =
+    every run; with [~parallel:true], annotated loops run on the
+    {!Exec_par} domain pool. *)
+let compile ?profile ?(parallel = false) (fn : Stmt.func) : compiled =
   let env =
-    { cells = Hashtbl.create 32; ints = Hashtbl.create 32;
+    { cells = Hashtbl.create 32; orphans = Hashtbl.create 8;
+      ints = Hashtbl.create 32; gints = Hashtbl.create 16;
       dtypes = Hashtbl.create 32; mtypes = Hashtbl.create 32;
-      prof = profile; pctr = None }
+      shapes = Hashtbl.create 32; prof = profile;
+      psink = (match profile with Some p -> P_direct p | None -> P_off);
+      pctr = None; par = parallel; in_par = false; region = None; loops = [] }
   in
   List.iter
     (fun (p : Stmt.param) ->
-      ignore (find_cell env p.Stmt.p_name);
-      Hashtbl.replace env.dtypes p.Stmt.p_name p.Stmt.p_dtype;
-      Hashtbl.replace env.mtypes p.Stmt.p_name p.Stmt.p_mtype)
+      Hashtbl.add env.cells p.Stmt.p_name { t = None };
+      Hashtbl.add env.dtypes p.Stmt.p_name p.Stmt.p_dtype;
+      Hashtbl.add env.mtypes p.Stmt.p_name p.Stmt.p_mtype;
+      match p.Stmt.p_shape with
+      | Stmt.Fixed dims -> (
+        match static_shape dims with
+        | Some sdims -> Hashtbl.add env.shapes p.Stmt.p_name sdims
+        | None -> ())
+      | Stmt.Any_dim -> ())
     fn.Stmt.fn_params;
   let body =
     match profile with
@@ -528,12 +1054,39 @@ let compile ?profile (fn : Stmt.func) : compiled =
     | Some p -> compile_host p env fn.Stmt.fn_body
   in
   let run args sizes =
-    List.iter (fun (n, v) -> find_int env n := v) sizes;
+    List.iter
+      (fun (n, v) ->
+        match Hashtbl.find_opt env.gints n with
+        | Some r -> r := v
+        | None ->
+          err "size %s is not referenced by %s" n fn.Stmt.fn_name)
+      sizes;
+    List.iter
+      (fun (n, _) ->
+        if
+          not
+            (List.exists
+               (fun (p : Stmt.param) -> p.Stmt.p_name = n)
+               fn.Stmt.fn_params)
+        then err "unknown argument %s: not a parameter of %s" n fn.Stmt.fn_name)
+      args;
     List.iter
       (fun (p : Stmt.param) ->
         match List.assoc_opt p.Stmt.p_name args with
-        | Some t -> (find_cell env p.Stmt.p_name).t <- Some t
-        | None -> err "missing argument %s" p.Stmt.p_name)
+        | None -> err "missing argument %s" p.Stmt.p_name
+        | Some t ->
+          (match Hashtbl.find_opt env.shapes p.Stmt.p_name with
+           | Some dims when Tensor.shape t <> dims ->
+             err "argument %s: tensor shape [%s] does not match declared [%s]"
+               p.Stmt.p_name
+               (String.concat ";"
+                  (Array.to_list (Array.map string_of_int (Tensor.shape t))))
+               (String.concat ";"
+                  (Array.to_list (Array.map string_of_int dims)))
+           | _ -> ());
+          (match Hashtbl.find_opt env.cells p.Stmt.p_name with
+           | Some c -> c.t <- Some t
+           | None -> ()))
       fn.Stmt.fn_params;
     match profile with
     | None -> body ()
@@ -553,6 +1106,6 @@ let compile ?profile (fn : Stmt.func) : compiled =
   { cd_fn = fn; cd_run = run }
 
 (** One-shot convenience mirroring {!Interp.run_func}. *)
-let run_func ?(sizes = []) ?profile (fn : Stmt.func)
+let run_func ?(sizes = []) ?profile ?parallel (fn : Stmt.func)
     (args : (string * Tensor.t) list) : unit =
-  (compile ?profile fn).cd_run args sizes
+  (compile ?profile ?parallel fn).cd_run args sizes

@@ -2,10 +2,16 @@
 
     Where {!Interp} walks the AST on every execution, this backend
     compiles a function once into a tree of OCaml closures — names
-    resolved to mutable cells, expressions to [unit -> float] /
+    resolved lexically to mutable cells, expressions to [unit -> float] /
     [unit -> int] thunks with dtypes settled statically — and then runs
     the closures.  It plays the role gcc/nvcc play in the paper's
-    pipeline for this repository's in-process execution. *)
+    pipeline for this repository's in-process execution.
+
+    Two execution-speed layers sit on top of the plain closure walk:
+    compile-time access optimization (constant strides for static
+    shapes, affine-index folding, and strength-reduced running offsets
+    advanced by the enclosing loop) and domain-pool parallel loops (see
+    {!compile}'s [parallel] flag and {!Exec_par}). *)
 
 open Ft_ir
 open Ft_runtime
@@ -15,7 +21,12 @@ exception Exec_error of string
 type compiled = {
   cd_fn : Stmt.func;
   cd_run : (string * Tensor.t) list -> (string * int) list -> unit;
-      (** [cd_run args sizes] binds the parameters and executes once *)
+      (** [cd_run args sizes] binds the parameters and executes once.
+          Every [sizes] entry must name a free size variable of the
+          function and every [args] entry a declared parameter;
+          unknown names raise {!Exec_error} rather than being silently
+          ignored, as does a tensor whose shape contradicts the
+          parameter's compile-time-static declared shape. *)
 }
 
 (** Compile once; run many times with different argument tensors.
@@ -25,13 +36,26 @@ type compiled = {
     host-level kernel is counted into the given {!Ft_profile.Profile.t}
     on every run, using the same counting conventions as {!Interp} (see
     {!Ft_profile.Profile} for the shared rules).  Without it the
-    closures are identical to before — the hot path pays nothing. *)
-val compile : ?profile:Ft_profile.Profile.t -> Stmt.func -> compiled
+    closures pay nothing for profiling and additionally get the
+    compile-time access optimizations (profiled closures keep generic
+    per-node evaluation so observed counters match {!Interp} exactly).
+
+    [parallel] (default [false]) honors the scheduler's parallel
+    annotations: the outermost loop marked [Openmp] / [Cuda_block_*]
+    executes its iteration chunks on the {!Exec_par} domain pool, with
+    per-worker compiled body instances and deferred reductions replayed
+    in sequential iteration order — results (and, with [profile],
+    observed counters) are bitwise-identical to sequential execution
+    for any pool size.  Loop bodies that read or store a tensor they
+    also reduce into fall back to sequential execution. *)
+val compile :
+  ?profile:Ft_profile.Profile.t -> ?parallel:bool -> Stmt.func -> compiled
 
 (** One-shot convenience mirroring {!Interp.run_func}. *)
 val run_func :
   ?sizes:(string * int) list ->
   ?profile:Ft_profile.Profile.t ->
+  ?parallel:bool ->
   Stmt.func ->
   (string * Tensor.t) list ->
   unit

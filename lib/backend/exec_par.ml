@@ -1,0 +1,145 @@
+(** Persistent domain pool for the parallel compiled executor.
+
+    A lazily-started set of [Domain.t] workers executes the chunks of a
+    parallel region under chunked static scheduling: chunk 0 runs inline
+    on the calling (master) domain, chunks 1..n-1 on pool workers.  The
+    pool is sized from {!Ft_machine.Machine.host_cores} and overridable
+    via the [FT_NUM_DOMAINS] environment variable (clamped to
+    [1..max_domains]); {!set_num_domains} adjusts it programmatically
+    (used by the determinism tests to sweep pool sizes).
+
+    Workers park on a condition variable between jobs, so a hot loop of
+    small parallel regions pays one lock round-trip per chunk, not a
+    domain spawn.  Mutex acquire/release pairs give the happens-before
+    edges: everything the master wrote before [run_chunks] is visible to
+    the worker running a chunk, and everything a chunk wrote is visible
+    to the master after the join. *)
+
+(** Upper bound on pool size; also caps how many per-worker body
+    instances the compiler materializes per parallel loop. *)
+let max_domains = 16
+
+let env_num_domains () =
+  match Sys.getenv_opt "FT_NUM_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (min n max_domains)
+    | _ -> None)
+
+let configured =
+  ref
+    (match env_num_domains () with
+     | Some n -> n
+     | None -> min max_domains (max 1 (Ft_machine.Machine.host_cores ())))
+
+let num_domains () = !configured
+
+let set_num_domains n = configured := max 1 (min n max_domains)
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool *)
+
+type worker = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable busy : bool; (* a job is pending or running *)
+  mutable exn : exn option;
+  mutable quit : bool;
+  mutable dom : unit Domain.t option;
+}
+
+let make_worker () =
+  { mutex = Mutex.create (); work_ready = Condition.create ();
+    work_done = Condition.create (); job = None; busy = false; exn = None;
+    quit = false; dom = None }
+
+let workers = Array.init (max_domains - 1) (fun _ -> make_worker ())
+
+let worker_loop (w : worker) =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock w.mutex;
+    while w.job = None && not w.quit do
+      Condition.wait w.work_ready w.mutex
+    done;
+    if w.quit then begin
+      Mutex.unlock w.mutex;
+      continue_ := false
+    end
+    else begin
+      let f = Option.get w.job in
+      w.job <- None;
+      Mutex.unlock w.mutex;
+      let result = try Ok (f ()) with e -> Error e in
+      Mutex.lock w.mutex;
+      (match result with Ok () -> () | Error e -> w.exn <- Some e);
+      w.busy <- false;
+      Condition.signal w.work_done;
+      Mutex.unlock w.mutex
+    end
+  done
+
+let ensure_started k =
+  let w = workers.(k) in
+  match w.dom with
+  | Some _ -> ()
+  | None -> w.dom <- Some (Domain.spawn (fun () -> worker_loop w))
+
+let submit k f =
+  ensure_started k;
+  let w = workers.(k) in
+  Mutex.lock w.mutex;
+  w.job <- Some f;
+  w.busy <- true;
+  Condition.signal w.work_ready;
+  Mutex.unlock w.mutex
+
+let join k =
+  let w = workers.(k) in
+  Mutex.lock w.mutex;
+  while w.busy do
+    Condition.wait w.work_done w.mutex
+  done;
+  let e = w.exn in
+  w.exn <- None;
+  Mutex.unlock w.mutex;
+  e
+
+let run_chunks n (f : int -> unit) =
+  if n <= 1 then (if n = 1 then f 0)
+  else begin
+    let n = min n max_domains in
+    for k = 1 to n - 1 do
+      submit (k - 1) (fun () -> f k)
+    done;
+    let master_exn = try f 0; None with e -> Some e in
+    (* Always join every chunk before re-raising, so no worker is still
+       touching shared cells when the caller resumes. *)
+    let first = ref master_exn in
+    for k = 1 to n - 1 do
+      match join (k - 1) with
+      | Some e when !first = None -> first := Some e
+      | _ -> ()
+    done;
+    match !first with None -> () | Some e -> raise e
+  end
+
+let shutdown () =
+  Array.iter
+    (fun w ->
+      match w.dom with
+      | None -> ()
+      | Some d ->
+        Mutex.lock w.mutex;
+        w.quit <- true;
+        Condition.signal w.work_ready;
+        Mutex.unlock w.mutex;
+        Domain.join d;
+        w.dom <- None;
+        w.quit <- false)
+    workers
+
+let () = at_exit shutdown

@@ -1,0 +1,33 @@
+(** Persistent domain pool for the parallel compiled executor.
+
+    Chunked static scheduling: {!run_chunks}[ n f] runs [f 0] inline on
+    the calling (master) domain and [f 1 .. f (n-1)] on lazily-spawned
+    pool workers, then joins them all before returning.  Exceptions from
+    any chunk are re-raised on the master after every chunk has joined.
+
+    The pool size defaults to {!Ft_machine.Machine.host_cores} and is
+    overridable via the [FT_NUM_DOMAINS] environment variable (read at
+    startup) or {!set_num_domains}; both clamp to [1..max_domains]. *)
+
+(** Hard upper bound on pool size (and on per-worker body instances the
+    compiler materializes per parallel loop). *)
+val max_domains : int
+
+(** Current configured pool size (>= 1; 1 means fully sequential). *)
+val num_domains : unit -> int
+
+(** Override the pool size, clamped to [1..max_domains].  Affects how
+    many chunks subsequent parallel regions use; already-spawned workers
+    stay parked. *)
+val set_num_domains : int -> unit
+
+(** [run_chunks n f] executes [f 0 .. f (n-1)] concurrently (chunk 0 on
+    the caller) and returns once all have finished.  [n] is clamped to
+    [max_domains]; [n <= 0] is a no-op.  Mutex hand-offs order memory:
+    writes made before the call are visible to every chunk, and chunk
+    writes are visible to the caller after the join. *)
+val run_chunks : int -> (int -> unit) -> unit
+
+(** Stop and join all spawned workers (installed as an [at_exit] hook;
+    safe to call repeatedly — the pool restarts lazily on next use). *)
+val shutdown : unit -> unit

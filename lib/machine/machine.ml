@@ -56,6 +56,11 @@ let of_device = function
   | Types.Cpu -> cpu
   | Types.Gpu -> gpu
 
+(** Cores actually available on the host running this process — the
+    default worker-pool size for the parallel compiled executor (as
+    opposed to [cpu.parallelism], which models the paper's machine). *)
+let host_cores () = Domain.recommended_domain_count ()
+
 (** Aggregated execution metrics — the columns of the paper's Fig. 17
     plus time and peak memory. *)
 type metrics = {

@@ -32,6 +32,12 @@ val gpu : spec
 
 val of_device : Types.device -> spec
 
+(** Cores available on the host running this process
+    ([Domain.recommended_domain_count]) — the default pool size for the
+    parallel compiled executor.  Distinct from [cpu.parallelism], which
+    models the paper's evaluation machine. *)
+val host_cores : unit -> int
+
 (** Aggregated execution metrics — the columns of Fig. 17 plus time and
     peak memory. *)
 type metrics = {

@@ -247,6 +247,67 @@ let exit_kernel p =
     p.n_kernels <- p.n_kernels + 1
 
 (* ------------------------------------------------------------------ *)
+(* Worker shards: private counter sinks for parallel regions *)
+
+type shard = {
+  sh_ctrs : (int, counters) Hashtbl.t;
+  sh_fp : (string, int) Hashtbl.t;
+  mutable sh_live : int;
+  mutable sh_peak : int;
+}
+
+let make_shard () =
+  { sh_ctrs = Hashtbl.create 32; sh_fp = Hashtbl.create 8;
+    sh_live = 0; sh_peak = 0 }
+
+let shard_ctr sh sid =
+  match Hashtbl.find_opt sh.sh_ctrs sid with
+  | Some c -> c
+  | None ->
+    let c = zero_counters () in
+    Hashtbl.replace sh.sh_ctrs sid c;
+    c
+
+let shard_read sh c ~dram ~name ~elem ~total =
+  c.loads <- c.loads + 1;
+  c.load_bytes <- c.load_bytes + elem;
+  if dram then begin
+    c.dram_bytes <- c.dram_bytes + elem;
+    Hashtbl.replace sh.sh_fp name total
+  end
+
+let shard_write sh c ~dram ~name ~elem ~total =
+  c.stores <- c.stores + 1;
+  c.store_bytes <- c.store_bytes + elem;
+  if dram then begin
+    c.dram_bytes <- c.dram_bytes + elem;
+    Hashtbl.replace sh.sh_fp name total
+  end
+
+let shard_alloc sh bytes =
+  sh.sh_live <- sh.sh_live + bytes;
+  if sh.sh_live > sh.sh_peak then sh.sh_peak <- sh.sh_live
+
+let shard_release sh bytes = sh.sh_live <- sh.sh_live - bytes
+
+let merge_shard p sh =
+  Hashtbl.iter (fun sid c -> add_counters ~into:(ctr p sid) c) sh.sh_ctrs;
+  (match p.cur with
+   | Some (k, _) ->
+     Hashtbl.iter (fun n b -> Hashtbl.replace k.k_footprint n b) sh.sh_fp
+   | None -> ());
+  (* Region-local allocations are balanced per iteration, so the
+     sequential peak over the region is the live level at entry plus the
+     deepest single-worker excursion — not the sum across workers. *)
+  if p.live_bytes + sh.sh_peak > p.peak_live then
+    p.peak_live <- p.live_bytes + sh.sh_peak;
+  p.live_bytes <- p.live_bytes + sh.sh_live;
+  Hashtbl.reset sh.sh_ctrs;
+  Hashtbl.reset sh.sh_fp;
+  sh.sh_live <- 0;
+  sh.sh_peak <- 0
+
+(* ------------------------------------------------------------------ *)
 (* Cross-validation *)
 
 let sorted_footprint k =

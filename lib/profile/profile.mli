@@ -154,6 +154,43 @@ val enter_kernel : t -> Stmt.t -> unit
 
 val exit_kernel : t -> unit
 
+(** {1 Worker shards}
+
+    A shard is a private counter sink for one worker of a parallel
+    region: the worker bumps shard-local per-statement counters,
+    footprint entries and alloc/release excursions with no shared
+    mutable state, and the master folds every shard back into the
+    profile with {!merge_shard} after joining the region — so profiling
+    under parallel execution observes exactly what sequential execution
+    would.  Peak-live merging assumes region-local allocations are
+    balanced within each iteration (true for [Var_def] scoping), making
+    the sequential peak the entry live level plus the deepest
+    single-worker excursion. *)
+
+type shard
+
+val make_shard : unit -> shard
+
+(** Shard-local per-statement counter cell, created on first use. *)
+val shard_ctr : shard -> int -> counters
+
+val shard_read :
+  shard -> counters -> dram:bool -> name:string -> elem:int -> total:int ->
+  unit
+
+val shard_write :
+  shard -> counters -> dram:bool -> name:string -> elem:int -> total:int ->
+  unit
+
+val shard_alloc : shard -> int -> unit
+val shard_release : shard -> int -> unit
+
+(** Fold a shard into the profile (counters add; footprint entries join
+    the current kernel; peak live folds as described above) and reset it
+    for reuse.  Must be called from the master domain, after the region
+    has joined. *)
+val merge_shard : t -> shard -> unit
+
 (** {1 Cross-validation} *)
 
 (** Structural equality of everything observed (per-statement counters,

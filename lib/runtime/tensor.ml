@@ -218,3 +218,8 @@ let unsafe_get_i t k =
   match t.buf with
   | Ibuf a -> Array.unsafe_get a k
   | Fbuf a -> int_of_float (Array.unsafe_get a k)
+
+let unsafe_set_i t k v =
+  match t.buf with
+  | Ibuf a -> Array.unsafe_set a k v
+  | Fbuf a -> Array.unsafe_set a k (float_of_int v)

@@ -71,6 +71,7 @@ val unsafe_get_f : t -> int -> float
 
 val unsafe_set_f : t -> int -> float -> unit
 val unsafe_get_i : t -> int -> int
+val unsafe_set_i : t -> int -> int -> unit
 
 (** Value of a one-element tensor. *)
 val to_scalar_f : t -> float

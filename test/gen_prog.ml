@@ -235,6 +235,126 @@ let gen_func : Stmt.func t = gen_func_with ~guards:true
    analytic cost model's operation counts are exact, not just bounded. *)
 let gen_func_no_guard : Stmt.func t = gen_func_with ~guards:false
 
+(* ------------------------------------------------------------------ *)
+(* Parallel-safe random programs *)
+
+let par_property =
+  { Stmt.default_property with Stmt.parallel = Some Types.Openmp }
+
+(* Statements safe inside an [Openmp] loop over [piter]: plain stores to
+   the shared outputs only at the iteration-private index [y.(piter)]
+   (distinct iterations write distinct cells) and only in [`Store] mode;
+   reductions into [y]/[z] at arbitrary indices only in [`Reduce] mode
+   (the two modes never mix on [y], keeping the loop body within the
+   executor's parallel-legality contract); locals declared inside the
+   body are worker-private, so anything goes there.  Inner loops are
+   sometimes annotated [Openmp] themselves to exercise the
+   only-the-outermost-loop-parallelizes rule. *)
+let rec gen_par_stmt ~mode depth piter iters (locals : local list) : Stmt.t t
+    =
+  let itensors = int_locals locals in
+  let store_to =
+    let targets =
+      (match mode with `Store -> [ `Ystore ] | `Reduce -> [ `Yred; `Zred ])
+      @ List.map (fun l -> `L l) locals
+    in
+    let* target = oneofl targets in
+    match target with
+    | `Ystore ->
+      let* value = gen_float_expr iters locals in
+      return (Stmt.store "y" [ Expr.var piter ] value)
+    | `Yred ->
+      let* value = gen_float_expr iters locals in
+      let* ix = gen_index ~itensors iters n_x in
+      return (Stmt.reduce_to "y" [ ix ] Types.R_add value)
+    | `Zred ->
+      let* value = gen_float_expr iters locals in
+      let* ir = gen_index ~itensors iters m_r in
+      let* ic = gen_index ~itensors iters m_c in
+      let* op = frequencyl [ (3, Types.R_add); (1, Types.R_max) ] in
+      return (Stmt.reduce_to "z" [ ir; ic ] op value)
+    | `L { l_name; l_dim; l_dtype } ->
+      let* ix = gen_index ~itensors iters l_dim in
+      if l_dtype = Types.I32 then
+        let* value = gen_int_expr ~itensors iters in
+        return (Stmt.store l_name [ ix ] value)
+      else
+        let* value = gen_float_expr iters locals in
+        let* reduce = bool in
+        return
+          (if reduce then Stmt.reduce_to l_name [ ix ] Types.R_add value
+           else Stmt.store l_name [ ix ] value)
+  in
+  if depth <= 0 then store_to
+  else
+    let loop =
+      let iter = Names.fresh "gi" in
+      let* lo = int_range 0 2 in
+      let* len = int_range 1 4 in
+      let* prop =
+        frequencyl [ (3, Stmt.default_property); (1, par_property) ]
+      in
+      let* body =
+        gen_par_stmt ~mode (depth - 1) piter (iter :: iters) locals
+      in
+      return
+        (Stmt.for_ ~property:prop iter (Expr.int lo) (Expr.int (lo + len))
+           body)
+    in
+    let guard =
+      let* c = gen_cond iters locals in
+      let* body = gen_par_stmt ~mode (depth - 1) piter iters locals in
+      let* with_else = bool in
+      if with_else then
+        let* e = gen_par_stmt ~mode (depth - 1) piter iters locals in
+        return (Stmt.if_ c body (Some e))
+      else return (Stmt.if_ c body None)
+    in
+    let local_def =
+      let name = Names.fresh "gt" in
+      let* dim = int_range 1 5 in
+      let* dtype = frequencyl [ (3, Types.F32); (1, Types.I32) ] in
+      let init_iter = Names.fresh "gz" in
+      let zero = if dtype = Types.I32 then Expr.int 0 else Expr.float 0. in
+      let init =
+        Stmt.for_ init_iter (Expr.int 0) (Expr.int dim)
+          (Stmt.store name [ Expr.var init_iter ] zero)
+      in
+      let* body =
+        gen_par_stmt ~mode (depth - 1) piter iters
+          ({ l_name = name; l_dim = dim; l_dtype = dtype } :: locals)
+      in
+      return
+        (Stmt.var_def name dtype Types.Cpu_stack [ Expr.int dim ]
+           (Stmt.seq [ init; body ]))
+    in
+    let block =
+      let* k = int_range 2 3 in
+      let* ss =
+        list_repeat k (gen_par_stmt ~mode (depth - 1) piter iters locals)
+      in
+      return (Stmt.seq ss)
+    in
+    frequency
+      [ (3, store_to); (3, loop); (2, guard); (1, local_def); (2, block) ]
+
+(* A function whose body is dominated by one [Openmp]-annotated loop
+   over the full extent of [y], flanked by arbitrary sequential
+   statements; every generated program is parallel-legal, so the domain
+   pool actually executes the annotated loop. *)
+let gen_par_func : Stmt.func t =
+  let* mode = oneofl [ `Store; `Reduce ] in
+  let piter = Names.fresh "gp" in
+  let* par_body = gen_par_stmt ~mode 3 piter [ piter ] [] in
+  let par_loop =
+    Stmt.for_ ~property:par_property piter (Expr.int 0) (Expr.int n_x)
+      par_body
+  in
+  let* prologue = gen_stmt ~guards:true 2 [] [] in
+  let* epilogue = gen_stmt ~guards:true 2 [] [] in
+  return
+    (Stmt.func "random_par" params (Stmt.seq [ prologue; par_loop; epilogue ]))
+
 (* fresh runtime arguments for the fixed signature *)
 let fresh_args ?(seed = 11) () =
   let open Ft_runtime in

@@ -13,5 +13,6 @@ let () =
       ("backend", Test_backend.suite);
       ("passes", Test_passes.suite);
       ("random", Test_random.suite);
+      ("parallel", Test_par.suite);
       ("profile", Test_profile.suite);
       ("libop", Test_libop.suite) ]
