@@ -10,7 +10,10 @@
                                         (interp | compiled | parallel)
      ftc profile <workload> [-d dev]    execute under both executors with
                                         observed counters, cross-checked
-                                        against the cost model            *)
+                                        against the cost model
+     ftc check <workload> [-d dev]      static race report for every
+                                        parallel-annotated loop; exits 1
+                                        if any loop is Racy              *)
 
 open Freetensor
 open Cmdliner
@@ -196,6 +199,20 @@ let profile_cmd =
           cross-checked against each other and the analytic cost model")
     Term.(const run $ wl_arg $ device_arg)
 
+let check_cmd =
+  let run w device =
+    let fn = Auto.run ~device (func_of w) in
+    print_string (Race.func_report fn);
+    if Race.has_racy (Race.check_func fn) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Race-check the auto-scheduled program: print the polyhedral \
+          verifier's verdict for every parallel-annotated loop and exit \
+          with status 1 if any loop is Racy")
+    Term.(const run $ wl_arg $ device_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -204,4 +221,4 @@ let () =
           (Cmd.info "ftc" ~version:"1.0.0"
              ~doc:"FreeTensor: free-form tensor program compiler")
           [ show_cmd; schedule_cmd; codegen_cmd; grad_cmd; estimate_cmd;
-            run_cmd; profile_cmd ]))
+            run_cmd; profile_cmd; check_cmd ]))

@@ -1,0 +1,103 @@
+(* Static race verification of parallel annotations.  See race.mli. *)
+
+open Ft_ir
+module Dep = Ft_dep.Dep
+module Access = Ft_dep.Access
+
+type verdict =
+  | Safe
+  | Safe_with_atomics of int list
+  | Racy of Dep.conflict list
+
+type loop_report = {
+  lr_sid : int;
+  lr_label : string option;
+  lr_iter : string;
+  lr_scope : Types.parallel_scope;
+  lr_verdict : verdict;
+}
+
+(* Reduce_to statements whose targets may alias across iterations of
+   [loop]: conflicts that survive only because reduction commutativity is
+   ignored.  Restricted to Reduce endpoints — when the commuting query is
+   clean, any extra conflict the non-commuting query reports is a
+   same-op reduce/reduce pair, but filtering keeps this robust to being
+   called on loops that are not clean. *)
+let atomic_sites ~root ~loop =
+  Dep.carried_by ~reduce_commutes:false ~root ~loop ()
+  |> List.concat_map (fun (c : Dep.conflict) ->
+         List.filter_map
+           (fun (a : Access.t) ->
+             match a.Access.a_kind with
+             | Access.Reduce _ -> Some a.Access.a_stmt
+             | Access.Read | Access.Write -> None)
+           [ c.Dep.c_late; c.Dep.c_early ])
+  |> List.sort_uniq compare
+
+let check_loop ~root ~loop =
+  match Dep.carried_by ~root ~loop () with
+  | _ :: _ as conflicts -> Racy conflicts
+  | [] ->
+    (match atomic_sites ~root ~loop with
+     | [] -> Safe
+     | sids -> Safe_with_atomics sids)
+
+let check_func (fn : Stmt.func) : loop_report list =
+  let root = fn.Stmt.fn_body in
+  let reports = ref [] in
+  Stmt.iter
+    (fun s ->
+      match s.Stmt.node with
+      | Stmt.For f ->
+        (match f.Stmt.f_property.Stmt.parallel with
+         | None -> ()
+         | Some scope ->
+           reports :=
+             { lr_sid = s.Stmt.sid;
+               lr_label = s.Stmt.label;
+               lr_iter = f.Stmt.f_iter;
+               lr_scope = scope;
+               lr_verdict = check_loop ~root ~loop:s }
+             :: !reports)
+      | _ -> ())
+    root;
+  List.rev !reports
+
+let is_racy = function
+  | Racy _ -> true
+  | Safe | Safe_with_atomics _ -> false
+
+let has_racy reports = List.exists (fun r -> is_racy r.lr_verdict) reports
+
+let verdict_to_string = function
+  | Safe -> "Safe"
+  | Safe_with_atomics sids ->
+    Printf.sprintf "Safe_with_atomics (reduce sites: %s)"
+      (String.concat ", "
+         (List.map (fun sid -> Printf.sprintf "#%d" sid) sids))
+  | Racy conflicts ->
+    Printf.sprintf "Racy (%d conflict%s)\n%s"
+      (List.length conflicts)
+      (if List.length conflicts = 1 then "" else "s")
+      (String.concat "\n"
+         (List.map
+            (fun c -> "      " ^ Dep.conflict_to_string c)
+            conflicts))
+
+let report_to_string r =
+  Printf.sprintf "  for %s#%d%s [%s]: %s" r.lr_iter r.lr_sid
+    (match r.lr_label with
+     | Some l -> Printf.sprintf " (%s)" l
+     | None -> "")
+    (Types.parallel_scope_to_string r.lr_scope)
+    (verdict_to_string r.lr_verdict)
+
+let func_report (fn : Stmt.func) =
+  match check_func fn with
+  | [] ->
+    Printf.sprintf "%s: no parallel-annotated loops\n" fn.Stmt.fn_name
+  | reports ->
+    let racy = List.length (List.filter (fun r -> is_racy r.lr_verdict) reports) in
+    Printf.sprintf "%s: %d parallel loop(s), %d racy\n%s\n" fn.Stmt.fn_name
+      (List.length reports) racy
+      (String.concat "\n" (List.map report_to_string reports))

@@ -1,0 +1,64 @@
+(** Static race verification of parallel annotations (paper Section 4.2).
+
+    The executors and code generators trust [Openmp]/[Cuda_*] annotations
+    on the final IR.  Schedules produced by {!Ft_sched.Schedule} prove
+    their own legality, but hand-annotated or externally produced IR can
+    carry races.  This pass re-derives, per parallel-annotated loop, what
+    the scheduler would have had to prove: the loop carries no dependence
+    once commuting reductions are filtered out (Fig. 12(c)), with user
+    [no_deps] assertions honored (Fig. 13(e)) and non-affine subscripts
+    conservatively flagged.
+
+    The result is one {!verdict} per annotated loop:
+    - [Safe] — no cross-iteration conflict at all; every element is
+      touched by at most one iteration.
+    - [Safe_with_atomics sids] — the only cross-iteration conflicts are
+      commuting reductions; the [Reduce_to] statements in [sids] touch
+      elements shared between iterations and need atomic (or deferred)
+      updates.
+    - [Racy conflicts] — a genuine cross-iteration conflict with at least
+      one non-commuting write; running the loop in parallel is a data
+      race. *)
+
+open Ft_ir
+
+type verdict =
+  | Safe
+  | Safe_with_atomics of int list
+      (** sids of [Reduce_to] statements that need [r_atomic] *)
+  | Racy of Ft_dep.Dep.conflict list
+
+type loop_report = {
+  lr_sid : int;           (** statement id of the annotated [For] *)
+  lr_label : string option;
+  lr_iter : string;
+  lr_scope : Types.parallel_scope;
+  lr_verdict : verdict;
+}
+
+(** [Reduce_to] statements under [loop] whose targets may alias across
+    iterations of [loop] — i.e. still conflicting when reduction
+    commutativity is ignored (Fig. 13(e): [a[idx[i]] += b[i]]).  These
+    are exactly the sites [Safe_with_atomics] reports; the scheduler's
+    [parallelize] marks them [r_atomic]. *)
+val atomic_sites : root:Stmt.t -> loop:Stmt.t -> int list
+
+(** Verdict for one loop.  [root] must be the enclosing function body
+    (enclosing loops are pinned to equal iterations, and the stack-scope
+    lifetime projection needs the full tree). *)
+val check_loop : root:Stmt.t -> loop:Stmt.t -> verdict
+
+(** Verdict for every parallel-annotated loop of [fn], outermost first. *)
+val check_func : Stmt.func -> loop_report list
+
+val is_racy : verdict -> bool
+
+(** Any annotated loop with a [Racy] verdict? *)
+val has_racy : loop_report list -> bool
+
+val verdict_to_string : verdict -> string
+val report_to_string : loop_report -> string
+
+(** Multi-line human-readable report over all annotated loops of [fn];
+    mentions when the function has no parallel annotations at all. *)
+val func_report : Stmt.func -> string

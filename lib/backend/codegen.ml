@@ -7,8 +7,11 @@
     interpreter and the analytic cost model.  The emitters nevertheless
     produce complete, compilable-in-spirit translation units: tensors are
     flattened row-major, parallel annotations become [#pragma omp
-    parallel for] or CUDA grid/block bindings, atomic reductions become
-    [#pragma omp atomic] / [atomicAdd]. *)
+    parallel for] or CUDA grid/block bindings, and atomic reductions get
+    an op- and dtype-correct form: [#pragma omp atomic] for [+=]/[*=]
+    and [#pragma omp critical] for min/max on the C side; [atomicAdd],
+    [atomicMin]/[atomicMax] (integer) or [ft_atomic_*] compare-and-swap
+    loop helpers (float / mul) on the CUDA side. *)
 
 open Ft_ir
 
@@ -21,6 +24,9 @@ let ctype = function
 
 (* shapes of every tensor in scope, for row-major linearization *)
 type shapes = (string, Expr.t list) Hashtbl.t
+
+(* dtypes of every tensor in scope, for atomic-form selection *)
+type dtypes = (string, Types.dtype) Hashtbl.t
 
 let rec cexpr (shapes : shapes) (e : Expr.t) : string =
   let go = cexpr shapes in
@@ -127,17 +133,54 @@ let preamble =
       "#define ft_max(a, b) ((a) > (b) ? (a) : (b))";
       "" ]
 
-let reduce_update shapes ~cuda (r : Stmt.reduce) =
+(* The update statement of a [Reduce_to].  When [r_atomic] the emitted
+   form must actually be atomic for the op and element dtype, not just
+   for [+=]: OpenMP's [#pragma omp atomic] only covers the [+=]/[*=]
+   update shapes, so min/max serialize through a critical section; CUDA
+   has hardware atomicMin/atomicMax for integers only, so float min/max
+   and every mul go through the [ft_atomic_*] CAS-loop helpers emitted
+   in the preamble. *)
+let reduce_update (shapes : shapes) (dtypes : dtypes) ~cuda
+    (r : Stmt.reduce) =
   let lhs = linearize shapes r.Stmt.r_var r.Stmt.r_indices in
   let rhs = cexpr shapes r.Stmt.r_value in
-  match r.Stmt.r_op, r.Stmt.r_atomic, cuda with
-  | Types.R_add, true, true -> Printf.sprintf "atomicAdd(&%s, %s);" lhs rhs
-  | Types.R_add, true, false ->
-    Printf.sprintf "#pragma omp atomic\n%s += %s;" lhs rhs
-  | Types.R_add, false, _ -> Printf.sprintf "%s += %s;" lhs rhs
-  | Types.R_mul, _, _ -> Printf.sprintf "%s *= %s;" lhs rhs
-  | Types.R_min, _, _ -> Printf.sprintf "%s = ft_min(%s, %s);" lhs lhs rhs
-  | Types.R_max, _, _ -> Printf.sprintf "%s = ft_max(%s, %s);" lhs lhs rhs
+  let plain op =
+    match op with
+    | Types.R_add -> Printf.sprintf "%s += %s;" lhs rhs
+    | Types.R_mul -> Printf.sprintf "%s *= %s;" lhs rhs
+    | Types.R_min -> Printf.sprintf "%s = ft_min(%s, %s);" lhs lhs rhs
+    | Types.R_max -> Printf.sprintf "%s = ft_max(%s, %s);" lhs lhs rhs
+  in
+  if not r.Stmt.r_atomic then plain r.Stmt.r_op
+  else if not cuda then
+    match r.Stmt.r_op with
+    | Types.R_add | Types.R_mul ->
+      Printf.sprintf "#pragma omp atomic\n%s" (plain r.Stmt.r_op)
+    | Types.R_min | Types.R_max ->
+      Printf.sprintf "#pragma omp critical\n{ %s }" (plain r.Stmt.r_op)
+  else
+    let dt =
+      match Hashtbl.find_opt dtypes r.Stmt.r_var with
+      | Some dt -> dt
+      | None -> Types.F32
+    in
+    let suffix =
+      match dt with
+      | Types.F32 -> "f"
+      | Types.F64 -> "d"
+      | Types.I32 | Types.Bool -> "i"
+      | Types.I64 -> "ll"
+    in
+    match r.Stmt.r_op, dt with
+    | Types.R_add, _ -> Printf.sprintf "atomicAdd(&%s, %s);" lhs rhs
+    | Types.R_mul, _ ->
+      Printf.sprintf "ft_atomic_mul%s(&%s, %s);" suffix lhs rhs
+    | Types.R_min, (Types.F32 | Types.F64) ->
+      Printf.sprintf "ft_atomic_min%s(&%s, %s);" suffix lhs rhs
+    | Types.R_max, (Types.F32 | Types.F64) ->
+      Printf.sprintf "ft_atomic_max%s(&%s, %s);" suffix lhs rhs
+    | Types.R_min, _ -> Printf.sprintf "atomicMin(&%s, %s);" lhs rhs
+    | Types.R_max, _ -> Printf.sprintf "atomicMax(&%s, %s);" lhs rhs
 
 let numel_cexpr shapes dims =
   match dims with
@@ -153,6 +196,7 @@ let numel_cexpr shapes dims =
 let c_of_func (fn : Stmt.func) : string =
   let buf = Buffer.create 4096 in
   let shapes : shapes = Hashtbl.create 16 in
+  let dtypes : dtypes = Hashtbl.create 16 in
   let indent n = String.make (2 * n) ' ' in
   let line d s = Buffer.add_string buf (indent d ^ s ^ "\n") in
   let rec stmt d (s : Stmt.t) =
@@ -165,10 +209,11 @@ let c_of_func (fn : Stmt.func) : string =
            (linearize shapes st.Stmt.s_var st.Stmt.s_indices)
            (cexpr shapes st.Stmt.s_value))
     | Stmt.Reduce_to r ->
-      String.split_on_char '\n' (reduce_update shapes ~cuda:false r)
+      String.split_on_char '\n' (reduce_update shapes dtypes ~cuda:false r)
       |> List.iter (line d)
     | Stmt.Var_def def ->
       Hashtbl.replace shapes def.Stmt.d_name def.Stmt.d_shape;
+      Hashtbl.replace dtypes def.Stmt.d_name def.Stmt.d_dtype;
       let name = mangle def.Stmt.d_name in
       let ty = ctype def.Stmt.d_dtype in
       let n = numel_cexpr shapes def.Stmt.d_shape in
@@ -185,7 +230,8 @@ let c_of_func (fn : Stmt.func) : string =
        | Types.Cpu_heap | Types.Gpu_global ->
          line d (Printf.sprintf "free(%s);" name)
        | _ -> ());
-      Hashtbl.remove shapes def.Stmt.d_name
+      Hashtbl.remove shapes def.Stmt.d_name;
+      Hashtbl.remove dtypes def.Stmt.d_name
     | Stmt.For f ->
       let p = f.Stmt.f_property in
       if p.parallel = Some Types.Openmp then line d "#pragma omp parallel for";
@@ -222,6 +268,7 @@ let c_of_func (fn : Stmt.func) : string =
         (match p.Stmt.p_shape with
          | Stmt.Fixed es -> Hashtbl.replace shapes p.Stmt.p_name es
          | Stmt.Any_dim -> ());
+        Hashtbl.replace dtypes p.Stmt.p_name p.Stmt.p_dtype;
         let const = if p.Stmt.p_atype = Types.Input then "const " else "" in
         Printf.sprintf "%s%s* %s" const (ctype p.Stmt.p_dtype)
           (mangle p.Stmt.p_name))
@@ -268,19 +315,78 @@ let c_of_func (fn : Stmt.func) : string =
 (* ------------------------------------------------------------------ *)
 (* CUDA backend *)
 
+(* The ft_atomic_* helpers cover the atomic-RMW shapes the hardware has
+   no single instruction for: mul (any dtype) and float/double min/max.
+   Each retries an atomicCAS on the value's bit pattern until the
+   observed old value survives the swap. *)
+let cuda_preamble =
+  String.concat "\n"
+    [ "#define ft_min(a, b) ((a) < (b) ? (a) : (b))";
+      "#define ft_max(a, b) ((a) > (b) ? (a) : (b))";
+      "__device__ static inline int ft_floordiv(int a, int b) {";
+      "  int q = a / b, r = a % b; return (r != 0 && (r < 0) != (b < 0)) ? q - 1 : q;";
+      "}";
+      "__device__ static inline int ft_mod(int a, int b) {";
+      "  int r = a % b; return (r != 0 && (r < 0) != (b < 0)) ? r + b : r;";
+      "}";
+      "#define FT_ATOMIC_CAS_F32(name, combine)                         \\";
+      "__device__ static inline void name(float* a, float v) {          \\";
+      "  unsigned int* p = (unsigned int*)a;                            \\";
+      "  unsigned int old = *p, assumed;                                \\";
+      "  do {                                                           \\";
+      "    assumed = old;                                               \\";
+      "    float cur = __uint_as_float(assumed);                        \\";
+      "    old = atomicCAS(p, assumed, __float_as_uint(combine));       \\";
+      "  } while (assumed != old);                                      \\";
+      "}";
+      "#define FT_ATOMIC_CAS_F64(name, combine)                         \\";
+      "__device__ static inline void name(double* a, double v) {        \\";
+      "  unsigned long long int* p = (unsigned long long int*)a;        \\";
+      "  unsigned long long int old = *p, assumed;                      \\";
+      "  do {                                                           \\";
+      "    assumed = old;                                               \\";
+      "    double cur = __longlong_as_double(assumed);                  \\";
+      "    old = atomicCAS(p, assumed, __double_as_longlong(combine));  \\";
+      "  } while (assumed != old);                                      \\";
+      "}";
+      "FT_ATOMIC_CAS_F32(ft_atomic_mulf, cur * v)";
+      "FT_ATOMIC_CAS_F32(ft_atomic_minf, fminf(cur, v))";
+      "FT_ATOMIC_CAS_F32(ft_atomic_maxf, fmaxf(cur, v))";
+      "FT_ATOMIC_CAS_F64(ft_atomic_muld, cur * v)";
+      "FT_ATOMIC_CAS_F64(ft_atomic_mind, fmin(cur, v))";
+      "FT_ATOMIC_CAS_F64(ft_atomic_maxd, fmax(cur, v))";
+      "__device__ static inline void ft_atomic_muli(int32_t* a, int32_t v) {";
+      "  int* p = (int*)a;";
+      "  int old = *p, assumed;";
+      "  do { assumed = old; old = atomicCAS(p, assumed, assumed * v); }";
+      "  while (assumed != old);";
+      "}";
+      "__device__ static inline void ft_atomic_mulll(int64_t* a, int64_t v) {";
+      "  unsigned long long int* p = (unsigned long long int*)a;";
+      "  unsigned long long int old = *p, assumed;";
+      "  do {";
+      "    assumed = old;";
+      "    long long cur = (long long)assumed;";
+      "    old = atomicCAS(p, assumed, (unsigned long long int)(cur * v));";
+      "  } while (assumed != old);";
+      "}";
+      "" ]
+
 (* A GPU kernel: a top-level statement containing CUDA-parallel loops. *)
 let cuda_of_func (fn : Stmt.func) : string =
   let buf = Buffer.create 4096 in
   let shapes : shapes = Hashtbl.create 16 in
+  let dtypes : dtypes = Hashtbl.create 16 in
   let indent n = String.make (2 * n) ' ' in
   let kernel_count = ref 0 in
   let kernels = Buffer.create 4096 in
   let host = Buffer.create 1024 in
   List.iter
     (fun (p : Stmt.param) ->
-      match p.Stmt.p_shape with
-      | Stmt.Fixed es -> Hashtbl.replace shapes p.Stmt.p_name es
-      | Stmt.Any_dim -> ())
+      (match p.Stmt.p_shape with
+       | Stmt.Fixed es -> Hashtbl.replace shapes p.Stmt.p_name es
+       | Stmt.Any_dim -> ());
+      Hashtbl.replace dtypes p.Stmt.p_name p.Stmt.p_dtype)
     fn.Stmt.fn_params;
   let param_sig =
     List.map
@@ -307,9 +413,12 @@ let cuda_of_func (fn : Stmt.func) : string =
         (Printf.sprintf "%s = %s;"
            (linearize shapes st.Stmt.s_var st.Stmt.s_indices)
            (cexpr shapes st.Stmt.s_value))
-    | Stmt.Reduce_to r -> line d (reduce_update shapes ~cuda:true r)
+    | Stmt.Reduce_to r ->
+      String.split_on_char '\n' (reduce_update shapes dtypes ~cuda:true r)
+      |> List.iter (line d)
     | Stmt.Var_def def ->
       Hashtbl.replace shapes def.Stmt.d_name def.Stmt.d_shape;
+      Hashtbl.replace dtypes def.Stmt.d_name def.Stmt.d_dtype;
       let name = mangle def.Stmt.d_name in
       let ty = ctype def.Stmt.d_dtype in
       let n = numel_cexpr shapes def.Stmt.d_shape in
@@ -318,7 +427,8 @@ let cuda_of_func (fn : Stmt.func) : string =
          line d (Printf.sprintf "__shared__ %s %s[%s];" ty name n)
        | _ -> line d (Printf.sprintf "%s %s[%s];" ty name n));
       kstmt d def.Stmt.d_body;
-      Hashtbl.remove shapes def.Stmt.d_name
+      Hashtbl.remove shapes def.Stmt.d_name;
+      Hashtbl.remove dtypes def.Stmt.d_name
     | Stmt.For f -> (
       let p = f.Stmt.f_property in
       let it = mangle f.Stmt.f_iter in
@@ -388,6 +498,7 @@ let cuda_of_func (fn : Stmt.func) : string =
     | Stmt.Seq ss -> List.iter top ss
     | Stmt.Var_def def ->
       Hashtbl.replace shapes def.Stmt.d_name def.Stmt.d_shape;
+      Hashtbl.replace dtypes def.Stmt.d_name def.Stmt.d_dtype;
       let name = mangle def.Stmt.d_name in
       let ty = ctype def.Stmt.d_dtype in
       Buffer.add_string host
@@ -410,16 +521,10 @@ let cuda_of_func (fn : Stmt.func) : string =
            param_args)
   in
   top fn.Stmt.fn_body;
-  Buffer.add_string buf "#include <cuda_runtime.h>\n#include <math.h>\n\n";
   Buffer.add_string buf
-    "#define ft_min(a, b) ((a) < (b) ? (a) : (b))\n\
-     #define ft_max(a, b) ((a) > (b) ? (a) : (b))\n\
-     __device__ static inline int ft_floordiv(int a, int b) {\n\
-    \  int q = a / b, r = a % b; return (r != 0 && (r < 0) != (b < 0)) ? q - 1 : q;\n\
-     }\n\
-     __device__ static inline int ft_mod(int a, int b) {\n\
-    \  int r = a % b; return (r != 0 && (r < 0) != (b < 0)) ? r + b : r;\n\
-     }\n\n";
+    "#include <cuda_runtime.h>\n#include <math.h>\n#include <stdint.h>\n\n";
+  Buffer.add_string buf cuda_preamble;
+  Buffer.add_string buf "\n";
   Buffer.add_buffer buf kernels;
   Buffer.add_string buf
     (Printf.sprintf "void %s(%s) {\n" (mangle fn.Stmt.fn_name) param_sig);

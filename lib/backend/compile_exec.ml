@@ -41,10 +41,15 @@
 open Ft_ir
 open Ft_runtime
 module Profile = Ft_profile.Profile
+module Race = Ft_analyze.Race
 
 exception Exec_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+(* Where demotion notices go ([`Fallback] policy): one line per parallel
+   loop compiled sequentially, with the reason.  Tests redirect it. *)
+let race_logger : (string -> unit) ref = ref prerr_endline
 
 (* a tensor binding; filled at run time (params) or on scope entry *)
 type cell = { mutable t : Tensor.t option }
@@ -145,6 +150,8 @@ type cenv = {
   mutable psink : psink;
   mutable pctr : Profile.counters option; (* current statement's counters *)
   par : bool;                    (* honor parallel annotations *)
+  verdicts : (int, Race.verdict) Hashtbl.t;
+      (* static race verdict per annotated For sid (parallel mode only) *)
   mutable in_par : bool;         (* compiling inside a region instance *)
   mutable region : region option;
   mutable loops : open_loop list; (* open loops, innermost first *)
@@ -646,7 +653,7 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
           let v = fv () in
           wr (Tensor.byte_size t);
           Tensor.set_flat_i t o v)
-  | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; _ } -> (
+  | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; r_atomic } -> (
     let c = find_cell env r_var in
     let combine =
       match r_op with
@@ -676,14 +683,14 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
           let v = fv () in
           log_push lg site_id o v
       | Some (ctr, rd, wr) ->
-        let rop = r_op in
+        let rop = r_op and atomic = r_atomic in
         fun () ->
           let t = cell_tensor r_var c in
           let o = off () in
           let v = fv () in
           let total = Tensor.byte_size t in
           rd total;
-          Profile.bump_reduce ctr rop;
+          Profile.bump_reduce ~atomic ctr rop;
           wr total;
           log_push lg site_id o v)
     | _ -> (
@@ -697,14 +704,14 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
           let o = off () in
           Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) (fv ()))
       | Some (ctr, rd, wr) ->
-        let rop = r_op in
+        let rop = r_op and atomic = r_atomic in
         fun () ->
           let t = cell_tensor r_var c in
           let o = off () in
           let v = fv () in
           let total = Tensor.byte_size t in
           rd total;
-          Profile.bump_reduce ctr rop;
+          Profile.bump_reduce ~atomic ctr rop;
           wr total;
           Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) v)))
   | Stmt.Var_def d -> (
@@ -754,15 +761,50 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
         release (Tensor.byte_size t);
         c.t <- None)
   | Stmt.For f ->
-    let parallelizable =
-      env.par && (not env.in_par)
-      && (match f.Stmt.f_property.Stmt.parallel with
-          | Some (Types.Openmp | Types.Cuda_block_x | Types.Cuda_block_y) ->
-            true
-          | _ -> false)
-      && par_legal f.Stmt.f_body
+    let pool_scope =
+      match f.Stmt.f_property.Stmt.parallel with
+      | Some (Types.Openmp | Types.Cuda_block_x | Types.Cuda_block_y) -> true
+      | _ -> false
     in
-    if parallelizable then compile_par_for env f else compile_seq_for env f
+    if not (env.par && (not env.in_par) && pool_scope) then
+      compile_seq_for env f
+    else begin
+      (* dispatch on the polyhedral verdict (computed once in [compile]):
+         [Safe] iterations share no element, so reduces update their
+         targets directly; [Safe_with_atomics] shares reduce targets
+         across iterations and goes through the deferred-reduction log,
+         which additionally needs the [par_legal] ordering constraint
+         (no load/store of a deferred target in the body); [Racy] loops
+         are demoted to sequential with a logged reason ([`Raise] was
+         already handled at compile entry). *)
+      let demote reason =
+        !race_logger
+          (Printf.sprintf
+             "race fallback: parallel loop #%d (for %s) runs sequentially: %s"
+             s.Stmt.sid f.Stmt.f_iter reason);
+        compile_seq_for env f
+      in
+      match Hashtbl.find_opt env.verdicts s.Stmt.sid with
+      | Some Race.Safe -> compile_par_for ~defer:false env f
+      | Some (Race.Safe_with_atomics _) ->
+        if par_legal f.Stmt.f_body then compile_par_for ~defer:true env f
+        else
+          demote
+            "reduce targets are shared between iterations and also \
+             loaded/stored in the body (deferred-reduction constraint)"
+      | Some (Race.Racy conflicts) ->
+        demote
+          (Printf.sprintf "static race verdict Racy: %s"
+             (match conflicts with
+              | c :: _ -> Ft_dep.Dep.conflict_to_string c
+              | [] -> "(no conflict detail)"))
+      | None ->
+        (* annotated loop unknown to the verdict table (e.g. a body
+           compiled standalone in tests): keep the conservative
+           syntactic gate *)
+        if par_legal f.Stmt.f_body then compile_par_for ~defer:true env f
+        else demote "reduce target also loaded/stored (syntactic scan)"
+    end
   | Stmt.If i -> (
     let fc = compile_b env i.Stmt.i_cond in
     let ft = compile_stmt env i.Stmt.i_then in
@@ -868,7 +910,8 @@ and compile_seq_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
    contiguous chunk per configured domain; chunk 0 runs on the master.
    After the join the master replays the deferred-reduction logs in
    chunk order (= sequential iteration order) and merges the shards. *)
-and compile_par_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
+and compile_par_for ?(defer = true) (env : cenv) (f : Stmt.for_loop) :
+    unit -> unit =
   let myc = env.pctr in
   let prof = env.prof in
   let fb = compile_i env f.Stmt.f_begin in
@@ -889,7 +932,11 @@ and compile_par_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
     let saved_sink = env.psink in
     (match shard with Some sh -> env.psink <- P_shard sh | None -> ());
     env.in_par <- true;
-    env.region <- Some rg;
+    (* [defer:false] (statically [Safe] loop): no iteration shares an
+       element with another, so reduces write their targets directly and
+       the event log stays empty — no replay cost, still bitwise equal
+       to sequential execution *)
+    env.region <- (if defer then Some rg else None);
     (* hide outer loops: a tracker hoisted outside the region would be
        initialized by the master with a stale worker iterator *)
     let saved_loops = env.loops in
@@ -1026,15 +1073,36 @@ type compiled = {
     different argument tensors (bound by parameter name).  With
     [?profile], the emitted closures count into the given profile on
     every run; with [~parallel:true], annotated loops run on the
-    {!Exec_par} domain pool. *)
-let compile ?profile ?(parallel = false) (fn : Stmt.func) : compiled =
+    {!Exec_par} domain pool, gated by the static race verifier
+    ({!Ft_analyze.Race}): [Safe] loops run parallel with direct reduce
+    updates, [Safe_with_atomics] loops run parallel through the
+    deferred-reduction log, and [Racy] loops follow [on_race] —
+    [`Fallback] (default) compiles them sequentially and reports the
+    reason through {!race_logger}, [`Raise] raises {!Exec_error} at
+    compile time. *)
+let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
+    (fn : Stmt.func) : compiled =
+  let verdicts = Hashtbl.create 8 in
+  if parallel then begin
+    let reports = Race.check_func fn in
+    List.iter
+      (fun (r : Race.loop_report) ->
+        Hashtbl.replace verdicts r.Race.lr_sid r.Race.lr_verdict)
+      reports;
+    match on_race with
+    | `Raise when Race.has_racy reports ->
+      err "race check failed for %s:\n%s" fn.Stmt.fn_name
+        (Race.func_report fn)
+    | _ -> ()
+  end;
   let env =
     { cells = Hashtbl.create 32; orphans = Hashtbl.create 8;
       ints = Hashtbl.create 32; gints = Hashtbl.create 16;
       dtypes = Hashtbl.create 32; mtypes = Hashtbl.create 32;
       shapes = Hashtbl.create 32; prof = profile;
       psink = (match profile with Some p -> P_direct p | None -> P_off);
-      pctr = None; par = parallel; in_par = false; region = None; loops = [] }
+      pctr = None; par = parallel; verdicts; in_par = false; region = None;
+      loops = [] }
   in
   List.iter
     (fun (p : Stmt.param) ->
@@ -1106,6 +1174,6 @@ let compile ?profile ?(parallel = false) (fn : Stmt.func) : compiled =
   { cd_fn = fn; cd_run = run }
 
 (** One-shot convenience mirroring {!Interp.run_func}. *)
-let run_func ?(sizes = []) ?profile ?parallel (fn : Stmt.func)
+let run_func ?(sizes = []) ?profile ?parallel ?on_race (fn : Stmt.func)
     (args : (string * Tensor.t) list) : unit =
-  (compile ?profile ?parallel fn).cd_run args sizes
+  (compile ?profile ?parallel ?on_race fn).cd_run args sizes

@@ -18,6 +18,11 @@ open Ft_runtime
 
 exception Exec_error of string
 
+(** Where [`Fallback]-policy demotion notices go: one line per parallel
+    loop compiled sequentially, with the reason (default: stderr).
+    Tests may redirect or silence it. *)
+val race_logger : (string -> unit) ref
+
 type compiled = {
   cd_fn : Stmt.func;
   cd_run : (string * Tensor.t) list -> (string * int) list -> unit;
@@ -46,16 +51,30 @@ type compiled = {
     per-worker compiled body instances and deferred reductions replayed
     in sequential iteration order — results (and, with [profile],
     observed counters) are bitwise-identical to sequential execution
-    for any pool size.  Loop bodies that read or store a tensor they
-    also reduce into fall back to sequential execution. *)
+    for any pool size.
+
+    Every annotated loop is vetted by the static race verifier
+    ({!Ft_analyze.Race}) at compile time: [Safe] loops run parallel with
+    direct reduce updates (no element is shared between iterations);
+    [Safe_with_atomics] loops run parallel through the deferred-
+    reduction log, provided the body does not also load/store a deferred
+    target (otherwise they are demoted); [Racy] loops follow [on_race] —
+    [`Fallback] (default) compiles them sequentially and reports the
+    reason through {!race_logger}, [`Raise] raises {!Exec_error} at
+    compile time with the full report. *)
 val compile :
-  ?profile:Ft_profile.Profile.t -> ?parallel:bool -> Stmt.func -> compiled
+  ?profile:Ft_profile.Profile.t ->
+  ?parallel:bool ->
+  ?on_race:[ `Fallback | `Raise ] ->
+  Stmt.func ->
+  compiled
 
 (** One-shot convenience mirroring {!Interp.run_func}. *)
 val run_func :
   ?sizes:(string * int) list ->
   ?profile:Ft_profile.Profile.t ->
   ?parallel:bool ->
+  ?on_race:[ `Fallback | `Raise ] ->
   Stmt.func ->
   (string * Tensor.t) list ->
   unit

@@ -93,6 +93,7 @@ let elem_bytes ctx name =
 (* per-kernel accumulation *)
 type kacc = {
   mutable flops : float;
+  mutable atomics : float;    (* atomic RMW updates (Reduce_to r_atomic) *)
   mutable mem_bytes : float;  (* dynamic DRAM-tensor access volume *)
   mutable parallel : float;   (* product of parallel extents *)
   mutable vectorized : bool;
@@ -170,12 +171,13 @@ let rec acc_stmt ctx (k : kacc) fp stack mult (s : Stmt.t) =
     expr_touches ctx fp s_value;
     List.iter (expr_touches ctx fp) s_indices;
     if is_dram_tensor ctx s_var then Hashtbl.replace fp s_var ()
-  | Stmt.Reduce_to { r_var; r_indices; r_value; _ } ->
+  | Stmt.Reduce_to { r_var; r_indices; r_value; r_atomic; _ } ->
     let ops =
       count_expr_ops r_value + 1
       + List.fold_left (fun n e -> n + count_expr_ops e) 0 r_indices
     in
     k.flops <- k.flops +. (mult *. float_of_int ops);
+    if r_atomic then k.atomics <- k.atomics +. mult;
     let target_mem =
       (* the accumulator itself is register-promoted across inner loops
          its indices do not depend on *)
@@ -237,8 +239,8 @@ let rec acc_stmt ctx (k : kacc) fp stack mult (s : Stmt.t) =
 let charge_kernel ctx (m : Machine.metrics) ~live (s : Stmt.t) =
   let fp = Hashtbl.create 8 in
   let k =
-    { flops = 0.; mem_bytes = 0.; parallel = 1.0; vectorized = false;
-      footprint = lazy fp; is_lib = false }
+    { flops = 0.; atomics = 0.; mem_bytes = 0.; parallel = 1.0;
+      vectorized = false; footprint = lazy fp; is_lib = false }
   in
   acc_stmt ctx k fp [] 1.0 s;
   let footprint =
@@ -250,8 +252,9 @@ let charge_kernel ctx (m : Machine.metrics) ~live (s : Stmt.t) =
       (ctx.sp.Machine.parallelism, true, footprint)
     else (int_of_float (Float.min 1e9 k.parallel), k.vectorized, k.mem_bytes)
   in
-  Machine.charge_kernel ctx.sp m ~parallel_iters ~vectorized ~flops:k.flops
-    ~l2_bytes:l2 ~footprint_bytes:footprint ~live_bytes:live
+  Machine.charge_kernel ctx.sp ~atomic_rmws:k.atomics m ~parallel_iters
+    ~vectorized ~flops:k.flops ~l2_bytes:l2 ~footprint_bytes:footprint
+    ~live_bytes:live
 
 (** Estimate the metrics of running [fn] once on [device], along with a
     per-kernel breakdown [(sid of the kernel root statement, metrics)] in

@@ -39,17 +39,197 @@ let as_b = function
   | Vi i -> i <> 0
   | Vf _ -> err "float used as boolean"
 
+(* {1 Dynamic race sanitizer}
+
+   ThreadSanitizer-style shadow state for parallel-annotated loops: while
+   executing (sequentially) inside an annotated loop, every tensor element
+   remembers which iteration of that loop last stored, read, or reduced
+   (per reduce op) it.  An access pair from two different iterations where
+   at least one side is a non-commuting write is a race: the annotation
+   promises the iterations can run concurrently, and concurrent execution
+   of such a pair is unordered.  Commuting pairs — read/read and same-op
+   reduce/reduce — are fine (the latter needs atomics, which the static
+   verifier reports separately).  Being exact on the executed trace, this
+   catches none of the analysis' over-approximation: a clean sanitizer run
+   on a racy-verdict program is evidence the verdict is conservative. *)
+
+type race = {
+  race_tensor : string;
+  race_offset : int;      (** flat element offset *)
+  race_loop : int;        (** sid of the parallel-annotated [For] *)
+  race_iter : string;     (** its iterator name *)
+  race_kind : string;     (** e.g. ["store/store"] *)
+  race_iter_a : int;      (** earlier-observed iteration *)
+  race_iter_b : int;      (** current iteration *)
+}
+
+exception Race_detected of string
+
+let race_to_string r =
+  Printf.sprintf
+    "race on %s[flat %d] across iterations %s=%d and %s=%d of parallel \
+     loop #%d (%s)"
+    r.race_tensor r.race_offset r.race_iter r.race_iter_a r.race_iter
+    r.race_iter_b r.race_loop r.race_kind
+
+type shadow_cell = {
+  mutable sc_store : int option;  (* iteration of last Store *)
+  mutable sc_read : int option;   (* iteration of last Load *)
+  mutable sc_reduces : (Types.reduce_op * int) list;
+      (* last iteration per reduce op — a list because mixed-op reduces
+         to one element must be caught pairwise (at most 4 ops) *)
+}
+
+type san_region = {
+  sr_sid : int;
+  sr_iter_name : string;
+  mutable sr_iter : int;
+  sr_locals : (string, int) Hashtbl.t;
+      (* tensors Var_def'd inside this region: fresh per iteration, so
+         exempt.  Value is a nesting count (Var_def may shadow). *)
+  sr_shadow : (string * int, shadow_cell) Hashtbl.t;
+}
+
+type san_state = {
+  mutable regions : san_region list; (* innermost first *)
+  mutable races : race list;         (* reverse order, capped *)
+  mutable nraces : int;
+}
+
+let san_race_cap = 64
+
 type env = {
   scalars : (string, value) Hashtbl.t;
   tensors : (string, Tensor.t) Hashtbl.t;
   mtypes : (string, Types.mtype) Hashtbl.t; (* for DRAM classification *)
   prof : Profile.t option;
   mutable pcur : Profile.counters option; (* current statement's counters *)
+  san : san_state option;
 }
 
-let make_env ?profile () =
+let make_env ?profile ?(sanitize = false) () =
   { scalars = Hashtbl.create 16; tensors = Hashtbl.create 16;
-    mtypes = Hashtbl.create 16; prof = profile; pcur = None }
+    mtypes = Hashtbl.create 16; prof = profile; pcur = None;
+    san =
+      (if sanitize then Some { regions = []; races = []; nraces = 0 }
+       else None) }
+
+let san_offset t idx =
+  let strides = Tensor.strides t in
+  let off = ref 0 in
+  Array.iteri (fun d i -> off := !off + (i * strides.(d))) idx;
+  !off
+
+let san_report st (rg : san_region) name off kind prev =
+  st.nraces <- st.nraces + 1;
+  if st.nraces <= san_race_cap then
+    st.races <-
+      { race_tensor = name; race_offset = off; race_loop = rg.sr_sid;
+        race_iter = rg.sr_iter_name; race_kind = kind; race_iter_a = prev;
+        race_iter_b = rg.sr_iter }
+      :: st.races
+
+let san_cell (rg : san_region) name off =
+  let key = (name, off) in
+  match Hashtbl.find_opt rg.sr_shadow key with
+  | Some c -> c
+  | None ->
+    let c = { sc_store = None; sc_read = None; sc_reduces = [] } in
+    Hashtbl.replace rg.sr_shadow key c;
+    c
+
+(* One access inside the active parallel regions.  Each enclosing region
+   is checked independently: a race w.r.t. any annotated loop is a race. *)
+let san_access env name t idx (kind : [ `Read | `Store | `Reduce of Types.reduce_op ]) =
+  match env.san with
+  | None -> ()
+  | Some st ->
+    (match st.regions with
+     | [] -> ()
+     | regions ->
+       let off = san_offset t idx in
+       List.iter
+         (fun rg ->
+           if not (Hashtbl.mem rg.sr_locals name) then begin
+             let c = san_cell rg name off in
+             let i = rg.sr_iter in
+             let cross = function
+               | Some j when j <> i -> Some j
+               | _ -> None
+             in
+             (match kind with
+              | `Read ->
+                (match cross c.sc_store with
+                 | Some j -> san_report st rg name off "store/load" j
+                 | None -> ());
+                List.iter
+                  (fun (_, j) ->
+                    if j <> i then
+                      san_report st rg name off "reduce/load" j)
+                  c.sc_reduces;
+                c.sc_read <- Some i
+              | `Store ->
+                (match cross c.sc_store with
+                 | Some j -> san_report st rg name off "store/store" j
+                 | None -> ());
+                (match cross c.sc_read with
+                 | Some j -> san_report st rg name off "load/store" j
+                 | None -> ());
+                List.iter
+                  (fun (_, j) ->
+                    if j <> i then
+                      san_report st rg name off "reduce/store" j)
+                  c.sc_reduces;
+                c.sc_store <- Some i
+              | `Reduce op ->
+                (match cross c.sc_store with
+                 | Some j -> san_report st rg name off "store/reduce" j
+                 | None -> ());
+                (match cross c.sc_read with
+                 | Some j -> san_report st rg name off "load/reduce" j
+                 | None -> ());
+                List.iter
+                  (fun (op', j) ->
+                    if op' <> op && j <> i then
+                      san_report st rg name off
+                        (Printf.sprintf "reduce(%s)/reduce(%s)"
+                           (Types.reduce_op_to_string op')
+                           (Types.reduce_op_to_string op))
+                        j)
+                  c.sc_reduces;
+                c.sc_reduces <-
+                  (op, i) :: List.remove_assoc op c.sc_reduces)
+           end)
+         regions)
+
+(* Var_def inside an active region: the tensor is re-created on every
+   iteration, so cross-iteration matches on its name are false positives.
+   Counted (not flagged) because a nested Var_def may shadow. *)
+let san_def_enter env name =
+  match env.san with
+  | None -> ()
+  | Some st ->
+    List.iter
+      (fun rg ->
+        let n =
+          match Hashtbl.find_opt rg.sr_locals name with
+          | Some n -> n
+          | None -> 0
+        in
+        Hashtbl.replace rg.sr_locals name (n + 1))
+      st.regions
+
+let san_def_exit env name =
+  match env.san with
+  | None -> ()
+  | Some st ->
+    List.iter
+      (fun rg ->
+        match Hashtbl.find_opt rg.sr_locals name with
+        | Some 1 -> Hashtbl.remove rg.sr_locals name
+        | Some n -> Hashtbl.replace rg.sr_locals name (n - 1)
+        | None -> ())
+      st.regions
 
 let tensor env name =
   try Hashtbl.find env.tensors name
@@ -93,6 +273,7 @@ let rec eval env (e : Expr.t) : value =
     (match env.pcur with
      | Some c -> record_access Profile.record_read env c l_var t
      | None -> ());
+    if env.san <> None then san_access env l_var t idx `Read;
     if Types.is_float (Tensor.dtype t) then Vf (Tensor.get_f t idx)
     else Vi (Tensor.get_i t idx)
   | Expr.Unop (op, a) -> eval_unop env op a
@@ -185,18 +366,20 @@ let rec exec env (s : Stmt.t) : unit =
     (match env.pcur with
      | Some c -> record_access Profile.record_write env c s_var t
      | None -> ());
+    if env.san <> None then san_access env s_var t idx `Store;
     if Types.is_float (Tensor.dtype t) then Tensor.set_f t idx (as_f v)
     else Tensor.set_i t idx (as_i v)
-  | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; _ } ->
+  | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; r_atomic } ->
     let t = tensor env r_var in
     let idx = Array.of_list (List.map (fun e -> as_i (eval env e)) r_indices) in
     let v = as_f (eval env r_value) in
     (match env.pcur with
      | Some c ->
        record_access Profile.record_read env c r_var t;
-       Profile.bump_reduce c r_op;
+       Profile.bump_reduce ~atomic:r_atomic c r_op;
        record_access Profile.record_write env c r_var t
      | None -> ());
+    if env.san <> None then san_access env r_var t idx (`Reduce r_op);
     if Types.is_float (Tensor.dtype t) then
       Tensor.set_f t idx (apply_reduce r_op (Tensor.get_f t idx) v)
     else
@@ -215,7 +398,9 @@ let rec exec env (s : Stmt.t) : unit =
        Hashtbl.replace env.mtypes d.d_name d.d_mtype;
        Profile.alloc p (Tensor.byte_size t)
      | None -> ());
+    san_def_enter env d.d_name;
     exec env d.d_body;
+    san_def_exit env d.d_name;
     (match env.prof with
      | Some p ->
        Profile.release p (Tensor.byte_size t);
@@ -236,15 +421,32 @@ let rec exec env (s : Stmt.t) : unit =
      | Some c -> c.Profile.entries <- c.Profile.entries + 1
      | None -> ());
     let saved = Hashtbl.find_opt env.scalars f.f_iter in
+    let region =
+      match env.san, f.f_property.Stmt.parallel with
+      | Some st, Some _ ->
+        let rg =
+          { sr_sid = s.sid; sr_iter_name = f.f_iter; sr_iter = b;
+            sr_locals = Hashtbl.create 8; sr_shadow = Hashtbl.create 64 }
+        in
+        st.regions <- rg :: st.regions;
+        Some (st, rg)
+      | _ -> None
+    in
     let it = ref b in
     while !it < e do
       (match myc with
        | Some c -> c.Profile.trips <- c.Profile.trips + 1
        | None -> ());
+      (match region with
+       | Some (_, rg) -> rg.sr_iter <- !it
+       | None -> ());
       Hashtbl.replace env.scalars f.f_iter (Vi !it);
       exec env f.f_body;
       it := !it + st
     done;
+    (match region with
+     | Some (st, _) -> st.regions <- List.tl st.regions
+     | None -> ());
     (match saved with
      | Some v -> Hashtbl.replace env.scalars f.f_iter v
      | None -> Hashtbl.remove env.scalars f.f_iter)
@@ -292,13 +494,9 @@ let rec exec_host p env (s : Stmt.t) : unit =
     exec env s;
     Profile.exit_kernel p
 
-(** Run a function: [sizes] binds free size parameters appearing in shapes
-    and bounds; [args] binds every tensor parameter by name.  Parameters
-    with [Output]/[Inout] access are mutated in place.  With [?profile]
-    every executed operation and host-level kernel is counted. *)
-let run_func ?(sizes = []) ?profile (fn : Stmt.func)
-    (args : (string * Tensor.t) list) : unit =
-  let env = make_env ?profile () in
+let run_func_env ?(sizes = []) ?profile ?sanitize (fn : Stmt.func)
+    (args : (string * Tensor.t) list) : env =
+  let env = make_env ?profile ?sanitize () in
   List.iter (fun (n, v) -> Hashtbl.replace env.scalars n (Vi v)) sizes;
   List.iter
     (fun (p : Stmt.param) ->
@@ -306,24 +504,59 @@ let run_func ?(sizes = []) ?profile (fn : Stmt.func)
       | Some t -> Hashtbl.replace env.tensors p.p_name t
       | None -> err "missing argument %s" p.p_name)
     fn.fn_params;
-  match profile with
-  | None -> exec env fn.fn_body
-  | Some p ->
-    List.iter
-      (fun (pa : Stmt.param) ->
-        Hashtbl.replace env.mtypes pa.p_name pa.p_mtype)
-      fn.fn_params;
-    let base =
-      List.fold_left
-        (fun acc (pa : Stmt.param) ->
-          match List.assoc_opt pa.p_name args with
-          | Some t -> acc + Tensor.byte_size t
-          | None -> acc)
-        0 fn.fn_params
+  (match profile with
+   | None -> exec env fn.fn_body
+   | Some p ->
+     List.iter
+       (fun (pa : Stmt.param) ->
+         Hashtbl.replace env.mtypes pa.p_name pa.p_mtype)
+       fn.fn_params;
+     let base =
+       List.fold_left
+         (fun acc (pa : Stmt.param) ->
+           match List.assoc_opt pa.p_name args with
+           | Some t -> acc + Tensor.byte_size t
+           | None -> acc)
+         0 fn.fn_params
+     in
+     Profile.alloc p base;
+     exec_host p env fn.fn_body;
+     Profile.release p base);
+  env
+
+(** Run a function: [sizes] binds free size parameters appearing in shapes
+    and bounds; [args] binds every tensor parameter by name.  Parameters
+    with [Output]/[Inout] access are mutated in place.  With [?profile]
+    every executed operation and host-level kernel is counted.  With
+    [~sanitize:true] the dynamic race sanitizer shadow-tracks accesses
+    inside parallel-annotated loops and raises {!Race_detected} after the
+    run if any cross-iteration racing pair was observed. *)
+let run_func ?(sizes = []) ?profile ?(sanitize = false) (fn : Stmt.func)
+    (args : (string * Tensor.t) list) : unit =
+  let env = run_func_env ~sizes ?profile ~sanitize fn args in
+  match env.san with
+  | Some st when st.nraces > 0 ->
+    let shown = List.rev st.races in
+    let suffix =
+      if st.nraces > san_race_cap then
+        Printf.sprintf "\n... and %d more" (st.nraces - san_race_cap)
+      else ""
     in
-    Profile.alloc p base;
-    exec_host p env fn.fn_body;
-    Profile.release p base
+    raise
+      (Race_detected
+         (Printf.sprintf "%d race(s) in %s:\n%s%s" st.nraces fn.fn_name
+            (String.concat "\n" (List.map race_to_string shown))
+            suffix))
+  | _ -> ()
+
+(** Like [run_func ~sanitize:true] but returns the observed races
+    (earliest first, capped) instead of raising. *)
+let sanitize_func ?(sizes = []) (fn : Stmt.func)
+    (args : (string * Tensor.t) list) : race list =
+  let env = run_func_env ~sizes ~sanitize:true fn args in
+  match env.san with
+  | Some st -> List.rev st.races
+  | None -> []
 
 (** Run a bare statement with given bindings (tests).  Under [?profile]
     bound tensors are treated as DRAM-resident, like parameters. *)

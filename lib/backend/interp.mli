@@ -10,6 +10,30 @@ open Ft_runtime
 
 exception Interp_error of string
 
+(** {1 Dynamic race sanitizer}
+
+    ThreadSanitizer-style shadow tracking for parallel-annotated loops:
+    while (sequentially) executing inside an annotated loop, every tensor
+    element remembers which iteration last stored, read, or reduced
+    (per reduce op) it; any cross-iteration pair with a non-commuting
+    write is a race.  Read/read and same-op reduce/reduce pairs commute
+    and are not flagged.  Exact on the executed trace — a complement to
+    the conservative static verifier {!Ft_analyze.Race}. *)
+
+type race = {
+  race_tensor : string;
+  race_offset : int;      (** flat element offset *)
+  race_loop : int;        (** sid of the parallel-annotated [For] *)
+  race_iter : string;     (** its iterator name *)
+  race_kind : string;     (** e.g. ["store/store"], ["reduce(+)/reduce(max)"] *)
+  race_iter_a : int;      (** earlier-observed iteration *)
+  race_iter_b : int;      (** current iteration *)
+}
+
+exception Race_detected of string
+
+val race_to_string : race -> string
+
 (** Run a function.  [sizes] binds free size parameters appearing in
     shapes and bounds; [args] binds every tensor parameter by name.
     [Output]/[Inout] parameters are mutated in place.
@@ -17,13 +41,26 @@ exception Interp_error of string
     [profile] turns on observed-counter collection: every executed
     operation, tensor access, loop trip and host-level kernel is counted
     into the given {!Ft_profile.Profile.t} (see its documentation for the
-    counting conventions, shared with {!Compile_exec}). *)
+    counting conventions, shared with {!Compile_exec}).
+
+    [sanitize:true] turns on the dynamic race sanitizer; if any race is
+    observed, {!Race_detected} is raised after the run completes (outputs
+    are still the sequential-semantics values). *)
 val run_func :
   ?sizes:(string * int) list ->
   ?profile:Ft_profile.Profile.t ->
+  ?sanitize:bool ->
   Stmt.func ->
   (string * Tensor.t) list ->
   unit
+
+(** Like [run_func ~sanitize:true] but returns the observed races
+    (earliest first, capped at an internal limit) instead of raising. *)
+val sanitize_func :
+  ?sizes:(string * int) list ->
+  Stmt.func ->
+  (string * Tensor.t) list ->
+  race list
 
 (** Run a bare statement with the given bindings (for tests).  Under
     [?profile], bound tensors are treated as DRAM-resident. *)

@@ -21,6 +21,7 @@ module Imap = Ft_presburger.Imap
 
 module Access = Ft_dep.Access
 module Dep = Ft_dep.Dep
+module Race = Ft_analyze.Race
 
 module Simplify = Ft_passes.Simplify
 module Dead_code = Ft_passes.Dead_code

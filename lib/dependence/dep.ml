@@ -40,6 +40,10 @@ let conflict_to_string c =
     (Access.to_string c.c_late)
     (Access.to_string c.c_early)
 
+let conflict_tensor c = c.c_late.Access.a_tensor
+
+let conflict_stmts c = (c.c_late.Access.a_stmt, c.c_early.Access.a_stmt)
+
 (* Rename every enclosing iterator in [e] with [suffix]. *)
 let suffix_iters (loops : Access.loop_ctx list) suffix (e : Expr.t) =
   let names =

@@ -32,6 +32,12 @@ type conflict = {
 
 val conflict_to_string : conflict -> string
 
+(** The tensor both endpoints touch (always the same on both sides). *)
+val conflict_tensor : conflict -> string
+
+(** Statement ids of the (late, early) endpoints. *)
+val conflict_stmts : conflict -> int * int
+
 (** [may_conflict ~root ~late ~early ~rel ()] — all potentially
     conflicting access pairs between sub-tree [late] (the instance
     assumed later in the candidate execution order) and sub-tree [early].

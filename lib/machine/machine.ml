@@ -22,6 +22,9 @@ type spec = {
   l2_size : float;        (** bytes *)
   mem_capacity : float;   (** bytes of device memory *)
   launch_overhead : float;(** seconds per kernel launch / parallel region *)
+  atomic_rmw : float;
+  (** seconds per atomic read-modify-write; charged serialized (atomics
+      to one cell contend, the conservative case) *)
 }
 
 (** Dual Xeon E5-2670 v3: 24 cores @ 2.3 GHz, AVX2 (8 f32 lanes x 2 FMA
@@ -36,7 +39,9 @@ let cpu =
     l2_bandwidth = 1.0e12;
     l2_size = 6.0e6;
     mem_capacity = 256.0e9;
-    launch_overhead = 4.0e-6 }
+    launch_overhead = 4.0e-6;
+    (* lock-prefixed RMW bouncing a cache line between sockets *)
+    atomic_rmw = 2.0e-8 }
 
 (** NVIDIA Tesla V100-PCIE-32GB: 14 TFLOP/s fp32, 900 GB/s HBM2,
     6 MB L2, ~5 us kernel launch latency. *)
@@ -50,7 +55,10 @@ let gpu =
     l2_bandwidth = 2.5e12;
     l2_size = 6.0e6;
     mem_capacity = 32.0e9;
-    launch_overhead = 5.0e-6 }
+    launch_overhead = 5.0e-6;
+    (* L2 atomic unit round trip x serialization factor for same-address
+       contention (Fig. 13(e): atomics are charged, not free) *)
+    atomic_rmw = 4.0e-8 }
 
 let of_device = function
   | Types.Cpu -> cpu
@@ -66,6 +74,7 @@ let host_cores () = Domain.recommended_domain_count ()
 type metrics = {
   mutable kernels : int;
   mutable flops : float;
+  mutable atomics : float;
   mutable dram_bytes : float;
   mutable l2_bytes : float;
   mutable peak_mem : float;
@@ -73,12 +82,13 @@ type metrics = {
 }
 
 let fresh_metrics () =
-  { kernels = 0; flops = 0.; dram_bytes = 0.; l2_bytes = 0.; peak_mem = 0.;
-    time = 0. }
+  { kernels = 0; flops = 0.; atomics = 0.; dram_bytes = 0.; l2_bytes = 0.;
+    peak_mem = 0.; time = 0. }
 
 let add_into ~(into : metrics) (m : metrics) =
   into.kernels <- into.kernels + m.kernels;
   into.flops <- into.flops +. m.flops;
+  into.atomics <- into.atomics +. m.atomics;
   into.dram_bytes <- into.dram_bytes +. m.dram_bytes;
   into.l2_bytes <- into.l2_bytes +. m.l2_bytes;
   into.peak_mem <- Float.max into.peak_mem m.peak_mem;
@@ -92,8 +102,8 @@ exception Out_of_memory of { needed : float; capacity : float }
     reachable).  DRAM traffic follows a footprint model: a kernel whose
     working set fits in L2 only pays compulsory traffic (its footprint);
     a larger working set additionally pays for the L2 misses. *)
-let kernel_cost (sp : spec) ~parallel_iters ~vectorized ~flops ~l2_bytes
-    ~footprint_bytes =
+let kernel_cost (sp : spec) ?(atomic_rmws = 0.0) ~parallel_iters ~vectorized
+    ~flops ~l2_bytes ~footprint_bytes () =
   let u_par =
     Float.min 1.0 (float_of_int (max 1 parallel_iters) /. float_of_int sp.parallelism)
   in
@@ -116,23 +126,29 @@ let kernel_cost (sp : spec) ~parallel_iters ~vectorized ~flops ~l2_bytes
   let compute_t = if eff_flops > 0. then flops /. eff_flops else 0. in
   let dram_t = dram_bytes /. eff_dram in
   let l2_t = l2_bytes /. eff_l2 in
+  (* atomics serialize against each other: a separate roofline term that
+     parallelism does not shrink *)
+  let atomic_t = atomic_rmws *. sp.atomic_rmw in
   let time =
-    sp.launch_overhead +. Float.max compute_t (Float.max dram_t l2_t)
+    sp.launch_overhead
+    +. Float.max compute_t (Float.max dram_t (Float.max l2_t atomic_t))
   in
   (time, dram_bytes)
 
 (** Charge one kernel into [m]; raises {!Out_of_memory} if the live
     footprint exceeds device capacity. *)
-let charge_kernel (sp : spec) (m : metrics) ~parallel_iters ~vectorized
-    ~flops ~l2_bytes ~footprint_bytes ~live_bytes =
+let charge_kernel (sp : spec) ?(atomic_rmws = 0.0) (m : metrics)
+    ~parallel_iters ~vectorized ~flops ~l2_bytes ~footprint_bytes
+    ~live_bytes =
   if live_bytes > sp.mem_capacity then
     raise (Out_of_memory { needed = live_bytes; capacity = sp.mem_capacity });
   let time, dram_bytes =
-    kernel_cost sp ~parallel_iters ~vectorized ~flops ~l2_bytes
-      ~footprint_bytes
+    kernel_cost sp ~atomic_rmws ~parallel_iters ~vectorized ~flops ~l2_bytes
+      ~footprint_bytes ()
   in
   m.kernels <- m.kernels + 1;
   m.flops <- m.flops +. flops;
+  m.atomics <- m.atomics +. atomic_rmws;
   m.dram_bytes <- m.dram_bytes +. dram_bytes;
   m.l2_bytes <- m.l2_bytes +. l2_bytes;
   m.peak_mem <- Float.max m.peak_mem live_bytes;
@@ -153,6 +169,7 @@ let time_to_string t =
 let metrics_rows m =
   [ ("kernels", float_of_int m.kernels);
     ("FLOPs", m.flops);
+    ("atomics", m.atomics);
     ("DRAM bytes", m.dram_bytes);
     ("L2 bytes", m.l2_bytes);
     ("peak mem", m.peak_mem);
@@ -160,6 +177,6 @@ let metrics_rows m =
 
 let metrics_to_string m =
   Printf.sprintf
-    "kernels=%d flops=%s dram=%sB l2=%sB peak_mem=%sB time=%s" m.kernels
-    (si m.flops) (si m.dram_bytes) (si m.l2_bytes) (si m.peak_mem)
-    (time_to_string m.time)
+    "kernels=%d flops=%s atomics=%s dram=%sB l2=%sB peak_mem=%sB time=%s"
+    m.kernels (si m.flops) (si m.atomics) (si m.dram_bytes) (si m.l2_bytes)
+    (si m.peak_mem) (time_to_string m.time)

@@ -22,6 +22,8 @@ type spec = {
   l2_size : float;         (** bytes *)
   mem_capacity : float;    (** bytes of device memory *)
   launch_overhead : float; (** seconds per kernel launch *)
+  atomic_rmw : float;
+  (** seconds per atomic read-modify-write, charged serialized *)
 }
 
 (** Dual Xeon E5-2670 v3 (24 cores, AVX2). *)
@@ -43,6 +45,7 @@ val host_cores : unit -> int
 type metrics = {
   mutable kernels : int;
   mutable flops : float;
+  mutable atomics : float; (** atomic RMW updates charged *)
   mutable dram_bytes : float;
   mutable l2_bytes : float;
   mutable peak_mem : float;
@@ -57,23 +60,28 @@ val add_into : into:metrics -> metrics -> unit
 exception Out_of_memory of { needed : float; capacity : float }
 
 (** One kernel's (time, modeled DRAM bytes).  Time is
-    launch overhead + max of the compute / DRAM / L2 roofline terms,
+    launch overhead + max of the compute / DRAM / L2 / atomic roofline
+    terms ([atomic_rmws] atomics are charged serialized, unscaled by
+    parallelism),
     scaled by the bound parallelism and (on CPU) vectorization; DRAM
     traffic is the working-set footprint when it fits in L2, degrading
     toward the raw access volume beyond. *)
 val kernel_cost :
   spec ->
+  ?atomic_rmws:float ->
   parallel_iters:int ->
   vectorized:bool ->
   flops:float ->
   l2_bytes:float ->
   footprint_bytes:float ->
+  unit ->
   float * float
 
 (** Charge one kernel into the metrics; raises {!Out_of_memory} when the
     live footprint exceeds device capacity. *)
 val charge_kernel :
   spec ->
+  ?atomic_rmws:float ->
   metrics ->
   parallel_iters:int ->
   vectorized:bool ->

@@ -20,12 +20,13 @@ type counters = {
   mutable cmps : int;
   mutable entries : int;
   mutable trips : int;
+  mutable atomics : int;  (* atomic RMW updates ([Reduce_to] with [r_atomic]) *)
 }
 
 let zero_counters () =
   { loads = 0; stores = 0; load_bytes = 0; store_bytes = 0; dram_bytes = 0;
     fadd = 0; fmul = 0; fdiv = 0; fspecial = 0; fother = 0; iops = 0;
-    cmps = 0; entries = 0; trips = 0 }
+    cmps = 0; entries = 0; trips = 0; atomics = 0 }
 
 let copy_counters c = { c with loads = c.loads }
 let flops c = c.fadd + c.fmul + c.fdiv + c.fspecial + c.fother
@@ -44,7 +45,8 @@ let add_counters ~into c =
   into.iops <- into.iops + c.iops;
   into.cmps <- into.cmps + c.cmps;
   into.entries <- into.entries + c.entries;
-  into.trips <- into.trips + c.trips
+  into.trips <- into.trips + c.trips;
+  into.atomics <- into.atomics + c.atomics
 
 let diff_counters a b =
   { loads = a.loads - b.loads;
@@ -60,7 +62,8 @@ let diff_counters a b =
     iops = a.iops - b.iops;
     cmps = a.cmps - b.cmps;
     entries = a.entries - b.entries;
-    trips = a.trips - b.trips }
+    trips = a.trips - b.trips;
+    atomics = a.atomics - b.atomics }
 
 let counters_equal (a : counters) (b : counters) = a = b
 let is_zero c = c = zero_counters ()
@@ -68,9 +71,9 @@ let is_zero c = c = zero_counters ()
 let counters_to_string c =
   Printf.sprintf
     "flops=%d (add=%d mul=%d div=%d special=%d other=%d) loads=%d stores=%d \
-     iops=%d cmps=%d dram=%dB trips=%d/%d"
+     iops=%d cmps=%d dram=%dB atomics=%d trips=%d/%d"
     (flops c) c.fadd c.fmul c.fdiv c.fspecial c.fother c.loads c.stores
-    c.iops c.cmps c.dram_bytes c.trips c.entries
+    c.iops c.cmps c.dram_bytes c.atomics c.trips c.entries
 
 (* ------------------------------------------------------------------ *)
 (* Operator classification (syntactic, root node only) *)
@@ -126,7 +129,9 @@ let expr_bump e =
   | C_none -> None
   | k -> Some (fun c -> bump_class c k)
 
-let bump_reduce c = function
+let bump_reduce ?(atomic = false) c op =
+  if atomic then c.atomics <- c.atomics + 1;
+  match op with
   | Types.R_add -> c.fadd <- c.fadd + 1
   | Types.R_mul -> c.fmul <- c.fmul + 1
   | Types.R_min | Types.R_max -> c.fother <- c.fother + 1
@@ -381,7 +386,9 @@ let replay_cost (sp : Machine.spec) p : Machine.metrics =
         if k.k_is_lib then (sp.Machine.parallelism, true, fp)
         else (k.k_parallel, k.k_vectorized, float_of_int k.k_ctr.dram_bytes)
       in
-      Machine.charge_kernel sp m ~parallel_iters ~vectorized
+      Machine.charge_kernel sp m
+        ~atomic_rmws:(float_of_int k.k_ctr.atomics)
+        ~parallel_iters ~vectorized
         ~flops:(float_of_int (flops k.k_ctr))
         ~l2_bytes:l2 ~footprint_bytes:fp
         ~live_bytes:(float_of_int p.peak_live))
@@ -505,7 +512,7 @@ let vs_table ~(spec : Machine.spec) ~(predicted : Machine.metrics)
   let fmt_val name v =
     if name = "time" then Machine.time_to_string v
     else if name = "kernels" then Printf.sprintf "%d" (int_of_float v)
-    else if name = "FLOPs" then Machine.si v
+    else if name = "FLOPs" || name = "atomics" then Machine.si v
     else Machine.si v ^ "B"
   in
   pr "%-12s %14s %14s %10s\n" "metric" "predicted" "observed" "pred/obs";
@@ -533,7 +540,9 @@ let vs_table ~(spec : Machine.spec) ~(predicted : Machine.metrics)
               (k.k_parallel, k.k_vectorized,
                float_of_int k.k_ctr.dram_bytes)
           in
-          Machine.charge_kernel spec om ~parallel_iters ~vectorized
+          Machine.charge_kernel spec om
+            ~atomic_rmws:(float_of_int k.k_ctr.atomics)
+            ~parallel_iters ~vectorized
             ~flops:(float_of_int (flops k.k_ctr))
             ~l2_bytes:l2 ~footprint_bytes:fp ~live_bytes:0.0;
           pr "  #%d [sid %d] %-18s %14s %14s\n" k.k_index k.k_sid
@@ -542,6 +551,27 @@ let vs_table ~(spec : Machine.spec) ~(predicted : Machine.metrics)
             (Machine.time_to_string om.Machine.time))
       (kernels p)
   end;
+  Buffer.contents buf
+
+(* JSON string-body escaping per RFC 8259: quote, backslash, and control
+   characters.  Kernel names embed user-chosen tensor/function names, so
+   hostile names must not produce invalid trace files. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
   Buffer.contents buf
 
 let to_chrome_json p =
@@ -558,9 +588,11 @@ let to_chrome_json p =
         (Printf.sprintf
            "{\"name\":\"kernel sid%d %s\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
             \"ts\":%.3f,\"dur\":%.3f,\"args\":{\"flops\":%d,\"loads\":%d,\
-            \"stores\":%d,\"dram_bytes\":%d}}"
-           k.k_sid (stmt_desc k.k_root) ts dur (flops k.k_ctr) k.k_ctr.loads
-           k.k_ctr.stores k.k_ctr.dram_bytes))
+            \"stores\":%d,\"dram_bytes\":%d,\"atomics\":%d}}"
+           k.k_sid
+           (json_escape (stmt_desc k.k_root))
+           ts dur (flops k.k_ctr) k.k_ctr.loads k.k_ctr.stores
+           k.k_ctr.dram_bytes k.k_ctr.atomics))
     (kernels p);
   Buffer.add_string buf "]}";
   Buffer.contents buf

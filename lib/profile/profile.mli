@@ -42,6 +42,8 @@ type counters = {
   mutable cmps : int;        (** comparisons *)
   mutable entries : int;     (** loop entries *)
   mutable trips : int;       (** loop iterations executed *)
+  mutable atomics : int;
+      (** atomic RMW updates: [Reduce_to] with [r_atomic] executed *)
 }
 
 val zero_counters : unit -> counters
@@ -85,8 +87,9 @@ val bump_expr : counters -> Expr.t -> unit
     needs no counting, so unprofiled thunks pay nothing. *)
 val expr_bump : Expr.t -> (counters -> unit) option
 
-(** +1 op for the read-modify-write combine of a [Reduce_to]. *)
-val bump_reduce : counters -> Types.reduce_op -> unit
+(** +1 op for the read-modify-write combine of a [Reduce_to];
+    [~atomic:true] additionally counts one atomic RMW. *)
+val bump_reduce : ?atomic:bool -> counters -> Types.reduce_op -> unit
 
 (** {1 Kernels} *)
 
@@ -225,6 +228,11 @@ val vs_table :
   ?per_kernel:(int * Machine.metrics) list ->
   t ->
   string
+
+(** JSON string-body escaping per RFC 8259 (quote, backslash, control
+    characters) — applied to every interpolated name in
+    {!to_chrome_json}. *)
+val json_escape : string -> string
 
 (** chrome://tracing -compatible JSON of the kernel timeline. *)
 val to_chrome_json : t -> string

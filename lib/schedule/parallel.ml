@@ -15,13 +15,10 @@ let check_carried root loop what =
 
 (* Which Reduce_to statements inside [body] need atomics when the loop is
    run in parallel: those still conflicting across iterations when
-   reduction commutativity is ignored (Fig. 13(e): a[idx[i]] += b[i]). *)
-let atomic_candidates root loop =
-  Ft_dep.Dep.carried_by ~reduce_commutes:false ~root ~loop ()
-  |> List.concat_map (fun (c : Ft_dep.Dep.conflict) ->
-         [ c.Ft_dep.Dep.c_late.Ft_dep.Access.a_stmt;
-           c.Ft_dep.Dep.c_early.Ft_dep.Access.a_stmt ])
-  |> List.sort_uniq compare
+   reduction commutativity is ignored (Fig. 13(e): a[idx[i]] += b[i]).
+   Shared with the post-hoc race verifier, which reports the same sites
+   as its [Safe_with_atomics] verdict. *)
+let atomic_candidates root loop = Ft_analyze.Race.atomic_sites ~root ~loop
 
 (** [parallelize root sel scope] binds loop [sel] to a hardware parallel
     scope.  Carried dependences make it illegal, except commuting

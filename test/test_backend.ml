@@ -47,18 +47,18 @@ let test_machine_roofline () =
   (* compute-bound kernel: plenty of flops, no memory *)
   let t_compute, _ =
     Machine.kernel_cost sp ~parallel_iters:sp.Machine.parallelism
-      ~vectorized:true ~flops:1e9 ~l2_bytes:0. ~footprint_bytes:0.
+      ~vectorized:true ~flops:1e9 ~l2_bytes:0. ~footprint_bytes:0. ()
   in
   (* memory-bound kernel: same flops, huge traffic *)
   let t_memory, _ =
     Machine.kernel_cost sp ~parallel_iters:sp.Machine.parallelism
-      ~vectorized:true ~flops:1e9 ~l2_bytes:1e10 ~footprint_bytes:1e10
+      ~vectorized:true ~flops:1e9 ~l2_bytes:1e10 ~footprint_bytes:1e10 ()
   in
   Alcotest.(check bool) "memory-bound is slower" true (t_memory > t_compute);
   (* serial execution is slower than parallel *)
   let t_serial, _ =
     Machine.kernel_cost sp ~parallel_iters:1 ~vectorized:false ~flops:1e9
-      ~l2_bytes:0. ~footprint_bytes:0.
+      ~l2_bytes:0. ~footprint_bytes:0. ()
   in
   Alcotest.(check bool) "serial is much slower" true
     (t_serial > t_compute *. 10.)
@@ -68,14 +68,14 @@ let test_machine_cache_model () =
   (* a working set within L2 pays only compulsory DRAM traffic *)
   let _, dram_small =
     Machine.kernel_cost sp ~parallel_iters:5120 ~vectorized:true ~flops:0.
-      ~l2_bytes:1e9 ~footprint_bytes:1e6
+      ~l2_bytes:1e9 ~footprint_bytes:1e6 ()
   in
   Alcotest.(check bool) "fits in L2: DRAM = footprint" true
     (dram_small = 1e6);
   (* a large working set pays close to the access volume *)
   let _, dram_large =
     Machine.kernel_cost sp ~parallel_iters:5120 ~vectorized:true ~flops:0.
-      ~l2_bytes:1e9 ~footprint_bytes:1e8
+      ~l2_bytes:1e9 ~footprint_bytes:1e8 ()
   in
   Alcotest.(check bool) "spills: DRAM >> footprint" true (dram_large > 5e8)
 
@@ -185,6 +185,70 @@ let test_codegen_cuda_atomic () =
   let fn = Auto.run ~device:Types.Gpu fn in
   let src = Codegen.cuda_of_func fn in
   assert_contains "CUDA" src "atomicAdd"
+
+let test_codegen_atomic_matrix () =
+  (* every reduce op with [atomic] must emit a genuinely atomic form on
+     both backends, selected by the target's dtype — not silently fall
+     back to the plain read-modify-write *)
+  let mk dtype op =
+    let loop =
+      Stmt.for_ ~label:"L" "i" (i 0) (i 256)
+        (Stmt.reduce_to ~atomic:true "a"
+           [ ld "idx" [ v "i" ] ]
+           op
+           (ld "b" [ v "i" ]))
+    in
+    Stmt.func "scatter"
+      [ Stmt.param "idx" Types.I32 [ i 256 ];
+        Stmt.param "b" dtype [ i 256 ];
+        Stmt.param ~atype:Types.Inout "a" dtype [ i 256 ] ]
+      loop
+  in
+  List.iter
+    (fun (dt, op, cuda_form, c_form) ->
+      let fn = mk dt op in
+      assert_contains "CUDA atomic" (Codegen.cuda_of_func fn) cuda_form;
+      assert_contains "C atomic" (Codegen.c_of_func fn) c_form)
+    [ (Types.F32, Types.R_add, "atomicAdd(&", "#pragma omp atomic");
+      (Types.F32, Types.R_mul, "ft_atomic_mulf(&", "#pragma omp atomic");
+      (Types.F32, Types.R_min, "ft_atomic_minf(&", "#pragma omp critical");
+      (Types.F32, Types.R_max, "ft_atomic_maxf(&", "#pragma omp critical");
+      (Types.F64, Types.R_mul, "ft_atomic_muld(&", "#pragma omp atomic");
+      (Types.I32, Types.R_min, "atomicMin(&", "#pragma omp critical");
+      (Types.I32, Types.R_max, "atomicMax(&", "#pragma omp critical");
+      (Types.I64, Types.R_mul, "ft_atomic_mulll(&", "#pragma omp atomic") ];
+  (* non-atomic reduces keep the plain update *)
+  let plain_loop op =
+    Stmt.func "acc"
+      [ Stmt.param "b" Types.F32 [ i 256 ];
+        Stmt.param ~atype:Types.Inout "a" Types.F32 [ i 1 ] ]
+      (Stmt.for_ "i" (i 0) (i 256)
+         (Stmt.reduce_to "a" [ i 0 ] op (ld "b" [ v "i" ])))
+  in
+  let src = Codegen.c_of_func (plain_loop Types.R_min) in
+  assert_contains "C plain min" src "= ft_min(";
+  Alcotest.(check bool) "no critical section without atomic" false
+    (contains src "#pragma omp critical");
+  let src = Codegen.c_of_func (plain_loop Types.R_mul) in
+  assert_contains "C plain mul" src "*=";
+  Alcotest.(check bool) "no omp atomic without atomic" false
+    (contains src "#pragma omp atomic")
+
+let test_machine_atomic_cost () =
+  (* atomic RMWs are priced and serialize: they do not shrink with the
+     kernel's parallelism *)
+  let sp = Machine.cpu in
+  let cost ?atomic_rmws par =
+    fst
+      (Machine.kernel_cost sp ?atomic_rmws ~parallel_iters:par
+         ~vectorized:false ~flops:1e6 ~l2_bytes:0. ~footprint_bytes:0. ())
+  in
+  Alcotest.(check bool) "atomics add time" true
+    (cost ~atomic_rmws:1e6 16 > cost 16);
+  let wide = cost ~atomic_rmws:1e7 sp.Machine.parallelism in
+  let narrow = cost ~atomic_rmws:1e7 1 in
+  Alcotest.(check bool) "atomic term does not parallelize" true
+    (wide >= 1e7 *. sp.Machine.atomic_rmw && narrow >= wide)
 
 let test_codegen_shared_memory () =
   (* shared tensors live inside the kernel (per block) *)
@@ -384,6 +448,9 @@ let suite =
     Alcotest.test_case "codegen CUDA structure" `Quick
       test_codegen_cuda_structure;
     Alcotest.test_case "codegen CUDA atomic" `Quick test_codegen_cuda_atomic;
+    Alcotest.test_case "codegen atomic matrix" `Quick
+      test_codegen_atomic_matrix;
+    Alcotest.test_case "machine atomic cost" `Quick test_machine_atomic_cost;
     Alcotest.test_case "codegen shared memory" `Quick
       test_codegen_shared_memory;
     Alcotest.test_case "compile pipeline" `Quick test_compile_pipeline;

@@ -14,5 +14,6 @@ let () =
       ("passes", Test_passes.suite);
       ("random", Test_random.suite);
       ("parallel", Test_par.suite);
+      ("race", Test_race.suite);
       ("profile", Test_profile.suite);
       ("libop", Test_libop.suite) ]

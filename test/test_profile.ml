@@ -251,6 +251,68 @@ let test_chrome_trace () =
   check_contains "complete events" j "\"ph\":\"X\"";
   check_contains "kernel name" j "for i"
 
+let test_atomic_counts () =
+  (* atomic scatter-reduce: the observed atomics counter, the analytic
+     model's prediction, and replay pricing must all see one RMW per
+     iteration — and the RMWs must cost time *)
+  let nn = 32 in
+  let fn =
+    Stmt.func "scatter"
+      [ Stmt.param "idx" Types.I32 [ Expr.int nn ];
+        Stmt.param "b" Types.F32 [ Expr.int nn ];
+        Stmt.param ~atype:Types.Inout "a" Types.F32 [ Expr.int nn ] ]
+      (Stmt.for_ "i" (Expr.int 0) (Expr.int nn)
+         (Stmt.reduce_to ~atomic:true "a"
+            [ Expr.load "idx" [ Expr.var "i" ] ]
+            Types.R_add
+            (Expr.load "b" [ Expr.var "i" ])))
+  in
+  let args () =
+    [ ("idx", Tensor.randint ~seed:4 ~lo:0 ~hi:nn Types.I32 [| nn |]);
+      ("b", Tensor.rand ~seed:5 Types.F32 [| nn |]);
+      ("a", Tensor.zeros Types.F32 [| nn |]) ]
+  in
+  let p = Profile.create () in
+  Interp.run_func ~profile:p fn (args ());
+  checki "one atomic RMW per iteration" nn (Profile.totals p).Profile.atomics;
+  let pc = Profile.create () in
+  Cexec.run_func ~profile:pc fn (args ());
+  checkb "interp == compiled (atomics)" true (Profile.equal_observed p pc);
+  let predicted, per_kernel = Costmodel.estimate_kernels ~device:Types.Cpu fn in
+  checki "cost model predicts the count" nn
+    (int_of_float predicted.Machine.atomics);
+  let observed = Profile.replay_cost Machine.cpu p in
+  checki "replay prices the count" nn (int_of_float observed.Machine.atomics);
+  checkb "atomic RMWs cost time" true
+    (observed.Machine.time
+     >= float_of_int nn *. Machine.cpu.Machine.atomic_rmw);
+  let tbl = Profile.vs_table ~spec:Machine.cpu ~predicted ~per_kernel p in
+  check_contains "vs-table atomics row" tbl "atomics"
+
+let test_json_escape () =
+  check Alcotest.string "quote, backslash, newline, tab, control"
+    "a\\\"b\\\\c\\nd\\te\\u0001f"
+    (Profile.json_escape "a\"b\\c\nd\te\001f");
+  check Alcotest.string "plain strings untouched" "for i"
+    (Profile.json_escape "for i")
+
+let test_chrome_trace_hostile_name () =
+  (* iterator names flow into the trace's "name" field verbatim; a name
+     with quotes/newlines must come out escaped, not break the JSON *)
+  let evil = "i\"</script>\nj\\k" in
+  let fn =
+    Stmt.func "hostile"
+      [ Stmt.param ~atype:Types.Output "y" Types.F32 [ Expr.int 4 ] ]
+      (Stmt.for_ evil (Expr.int 0) (Expr.int 4)
+         (Stmt.store "y" [ Expr.var evil ] (Expr.float 1.0)))
+  in
+  let p = Profile.create () in
+  Interp.run_func ~profile:p fn [ ("y", Tensor.zeros Types.F32 [| 4 |]) ];
+  let j = Profile.to_chrome_json p in
+  checkb "no raw newline survives" false (String.contains j '\n');
+  check_contains "escaped quote" j "i\\\"</script>";
+  check_contains "escaped newline and backslash" j "\\nj\\\\k"
+
 let test_longformer_small_parity () =
   (* a real workload end-to-end at tiny scale, unscheduled *)
   let module Lf = Ft_workloads.Longformer in
@@ -318,6 +380,11 @@ let suite =
     Alcotest.test_case "report and vs-table" `Quick test_report_and_vs_table;
     Alcotest.test_case "replay cost" `Quick test_replay_cost;
     Alcotest.test_case "chrome trace json" `Quick test_chrome_trace;
+    Alcotest.test_case "atomic RMW counts and pricing" `Quick
+      test_atomic_counts;
+    Alcotest.test_case "json escaping" `Quick test_json_escape;
+    Alcotest.test_case "chrome trace hostile names" `Quick
+      test_chrome_trace_hostile_name;
     Alcotest.test_case "longformer small parity" `Quick
       test_longformer_small_parity;
     Alcotest.test_case "golden fig16 table" `Quick test_golden_table ]
