@@ -13,7 +13,10 @@
                                         against the cost model
      ftc check <workload> [-d dev]      static race report for every
                                         parallel-annotated loop; exits 1
-                                        if any loop is Racy              *)
+                                        if any loop is Racy
+     ftc guard <workload>               static bounds-prover report, then
+                                        guarded execution under both
+                                        executors; exits 1 on any fault  *)
 
 open Freetensor
 open Cmdliner
@@ -129,51 +132,56 @@ let exec_arg =
            OpenMP-annotated loops running on the domain pool; pool size \
            honors FT_NUM_DOMAINS).")
 
+(* One concrete instance of a workload: the function, its argument
+   binding (with freshly allocated outputs) and a closure computing
+   max |FT - reference| over the outputs after a run. *)
+let workload_case w :
+    string * Stmt.func * (string * Tensor.t) list * (unit -> float) =
+  match w with
+  | W_subdivnet ->
+    let c = Sub.default in
+    let e, adj = Sub.gen_inputs c in
+    let y = Tensor.zeros Types.F32 [| c.Sub.n_faces; c.Sub.in_feats |] in
+    ( "subdivnet", Sub.ft_func c,
+      [ ("e", e); ("adj", adj); ("y", y) ],
+      fun () -> Tensor.max_abs_diff y (Sub.reference e adj) )
+  | W_longformer ->
+    let c = Lf.default in
+    let q, k, v = Lf.gen_inputs c in
+    let y = Tensor.zeros Types.F32 [| c.Lf.seq_len; c.Lf.feat_len |] in
+    ( "longformer", Lf.ft_func c,
+      [ ("Q", q); ("K", k); ("V", v); ("Y", y) ],
+      fun () -> Tensor.max_abs_diff y (Lf.reference q k v ~w:c.Lf.w) )
+  | W_softras ->
+    let c = Sr.default in
+    let cx, cy, r = Sr.gen_inputs c in
+    let img = Tensor.zeros Types.F32 [| c.Sr.img; c.Sr.img |] in
+    ( "softras", Sr.ft_func c,
+      [ ("cx", cx); ("cy", cy); ("r", r); ("img", img) ],
+      fun () ->
+        Tensor.max_abs_diff img
+          (Sr.reference cx cy r ~img:c.Sr.img ~sigma:c.Sr.sigma) )
+  | W_gat ->
+    let c = Gat.default in
+    let rowptr, colidx, n_edges = Gat.gen_graph c in
+    let x, wt, a1, a2 = Gat.gen_inputs c in
+    let out = Tensor.zeros Types.F32 [| c.Gat.n_nodes; c.Gat.out_feats |] in
+    ( "gat", Gat.ft_func c ~n_edges,
+      [ ("x", x); ("w", wt); ("a1", a1); ("a2", a2); ("rowptr", rowptr);
+        ("colidx", colidx); ("out", out) ],
+      fun () -> Tensor.max_abs_diff out (Gat.reference x wt a1 a2 rowptr colidx)
+    )
+
 let run_cmd =
   let run w exec =
-    let exec_fn fn args =
-      match exec with
-      | `Interp -> Interp.run_func fn args
-      | `Compiled -> Compile_exec.run_func fn args
-      | `Parallel ->
-        Compile_exec.run_func ~parallel:true
-          (Auto.run ~device:Types.Cpu fn)
-          args
-    in
-    let check name a b =
-      Printf.printf "%s: max |FT - reference| = %g\n" name
-        (Tensor.max_abs_diff a b)
-    in
-    (match w with
-     | W_subdivnet ->
-       let c = Sub.default in
-       let e, adj = Sub.gen_inputs c in
-       let y = Tensor.zeros Types.F32 [| c.Sub.n_faces; c.Sub.in_feats |] in
-       exec_fn (Sub.ft_func c) [ ("e", e); ("adj", adj); ("y", y) ];
-       check "subdivnet" y (Sub.reference e adj)
-     | W_longformer ->
-       let c = Lf.default in
-       let q, k, v = Lf.gen_inputs c in
-       let y = Tensor.zeros Types.F32 [| c.Lf.seq_len; c.Lf.feat_len |] in
-       exec_fn (Lf.ft_func c) [ ("Q", q); ("K", k); ("V", v); ("Y", y) ];
-       check "longformer" y (Lf.reference q k v ~w:c.Lf.w)
-     | W_softras ->
-       let c = Sr.default in
-       let cx, cy, r = Sr.gen_inputs c in
-       let img = Tensor.zeros Types.F32 [| c.Sr.img; c.Sr.img |] in
-       exec_fn (Sr.ft_func c) [ ("cx", cx); ("cy", cy); ("r", r); ("img", img) ];
-       check "softras" img
-         (Sr.reference cx cy r ~img:c.Sr.img ~sigma:c.Sr.sigma)
-     | W_gat ->
-       let c = Gat.default in
-       let rowptr, colidx, n_edges = Gat.gen_graph c in
-       let x, wt, a1, a2 = Gat.gen_inputs c in
-       let out = Tensor.zeros Types.F32 [| c.Gat.n_nodes; c.Gat.out_feats |] in
-       exec_fn (Gat.ft_func c ~n_edges)
-         [ ("x", x); ("w", wt); ("a1", a1); ("a2", a2);
-           ("rowptr", rowptr); ("colidx", colidx); ("out", out) ];
-       check "gat" out (Gat.reference x wt a1 a2 rowptr colidx));
-    ()
+    let name, fn, args, diff = workload_case w in
+    (match exec with
+     | `Interp -> Interp.run_func fn args
+     | `Compiled -> Compile_exec.run_func fn args
+     | `Parallel ->
+       Compile_exec.run_func ~parallel:true (Auto.run ~device:Types.Cpu fn)
+         args);
+    Printf.printf "%s: max |FT - reference| = %g\n" name (diff ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute the workload and compare to reference")
@@ -213,6 +221,47 @@ let check_cmd =
           with status 1 if any loop is Racy")
     Term.(const run $ wl_arg $ device_arg)
 
+let guard_cmd =
+  let run w =
+    let _, fn, _, _ = workload_case w in
+    print_string (Boundcheck.func_report fn);
+    print_newline ();
+    (try
+       let _, fn_i, args_i, diff_i = workload_case w in
+       Interp.run_func ~guard:true fn_i args_i;
+       Printf.printf "interp (guarded): max |FT - reference| = %g\n"
+         (diff_i ());
+       let _, fn_c, args_c, diff_c = workload_case w in
+       let cd = Compile_exec.compile ~guard:true fn_c in
+       cd.Compile_exec.cd_run args_c [];
+       Printf.printf "compiled (guarded): max |FT - reference| = %g\n"
+         (diff_c ());
+       match cd.Compile_exec.cd_guard with
+       | Some g ->
+         Printf.printf
+           "guard stats: %d access site(s), %d elided (statically proved), \
+            %d checked, %d runtime check(s) executed\n"
+           g.Compile_exec.gs_sites g.Compile_exec.gs_elided
+           g.Compile_exec.gs_checked g.Compile_exec.gs_checks
+       | None -> ()
+     with
+     | Diag.Diag_error d ->
+       Printf.printf "FAULT: %s\n" (Diag.to_string d);
+       exit 1
+     | Interp.Interp_error msg | Compile_exec.Exec_error msg ->
+       Printf.printf "FAULT: %s\n" msg;
+       exit 1)
+  in
+  Cmd.v
+    (Cmd.info "guard"
+       ~doc:
+         "Guarded execution: print the static bounds-prover report for \
+          every access site, then run the workload under both executors \
+          with the memory sanitizer on (runtime bounds checks on unproved \
+          sites, uninitialized-read and NaN/Inf poison checks) and report \
+          the guard statistics; exits 1 on any fault")
+    Term.(const run $ wl_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -221,4 +270,4 @@ let () =
           (Cmd.info "ftc" ~version:"1.0.0"
              ~doc:"FreeTensor: free-form tensor program compiler")
           [ show_cmd; schedule_cmd; codegen_cmd; grad_cmd; estimate_cmd;
-            run_cmd; profile_cmd; check_cmd ]))
+            run_cmd; profile_cmd; check_cmd; guard_cmd ]))

@@ -1,0 +1,285 @@
+(* Static bounds proving for tensor accesses.  See boundcheck.mli. *)
+
+open Ft_ir
+module Poly = Ft_presburger.Polyhedron
+
+type kind =
+  | K_load
+  | K_store
+  | K_reduce
+
+type witness = {
+  w_dim : int option;
+  w_index : Expr.t option;
+  w_reason : string;
+}
+
+type verdict =
+  | Proved
+  | Unproved of witness
+
+type site = {
+  bs_sid : int;
+  bs_tensor : string;
+  bs_kind : kind;
+  bs_indices : Expr.t list;
+  bs_verdict : verdict;
+}
+
+let kind_to_string = function
+  | K_load -> "load"
+  | K_store -> "store"
+  | K_reduce -> "reduce"
+
+let site_key ~sid ~tensor ~kind ~indices =
+  Printf.sprintf "%d|%s|%s|%s" sid (kind_to_string kind) tensor
+    (String.concat "," (List.map Expr.to_string indices))
+
+(* ---------------------------------------------------------------- *)
+(* Per-dimension proving                                            *)
+
+let has_load e =
+  Expr.fold
+    (fun acc x ->
+      acc
+      ||
+      match x with
+      | Expr.Load _ -> true
+      | _ -> false)
+    false e
+
+(* Lower side: idx >= 0.  Interval prover first, then emptiness of the
+   violation polyhedron [ctx /\ idx <= -1]. *)
+let prove_lower bctx poly e =
+  match Bounds.prove bctx (Expr.ge e (Expr.int 0)) with
+  | Some true -> true
+  | _ -> (
+    match Linear.of_expr e with
+    | None -> false
+    | Some le ->
+      Poly.is_empty (Poly.add_ge poly (Linear.sub (Linear.of_int (-1)) le)))
+
+(* Upper side: idx < extent, violation polyhedron [ctx /\ idx - extent >= 0]. *)
+let prove_upper bctx poly e extent =
+  match Bounds.prove bctx (Expr.lt e extent) with
+  | Some true -> true
+  | _ -> (
+    match Linear.of_expr e, Linear.of_expr extent with
+    | Some le, Some lx -> Poly.is_empty (Poly.add_ge poly (Linear.sub le lx))
+    | _ -> false)
+
+let side_reason e =
+  if has_load e then "data-dependent subscript"
+  else if Linear.of_expr e = None then "non-affine subscript"
+  else "constraints insufficient"
+
+let check_dims bctx poly indices dims =
+  let rec go k idx ext =
+    match idx, ext with
+    | [], [] -> Proved
+    | e :: idx', x :: ext' ->
+      let lo = prove_lower bctx poly e in
+      let hi = lo && prove_upper bctx poly e x in
+      if lo && hi then go (k + 1) idx' ext'
+      else
+        Unproved
+          { w_dim = Some k;
+            w_index = Some e;
+            w_reason =
+              (if lo then
+                 Printf.sprintf "dim %d: cannot prove %s < %s (%s)" k
+                   (Expr.to_string e) (Expr.to_string x) (side_reason e)
+               else
+                 Printf.sprintf "dim %d: cannot prove 0 <= %s (%s)" k
+                   (Expr.to_string e) (side_reason e)) }
+    | _ -> assert false (* rank checked by the caller *)
+  in
+  go 0 indices dims
+
+(* ---------------------------------------------------------------- *)
+(* Walker                                                           *)
+
+type state = {
+  shapes : (string, Expr.t list option) Hashtbl.t;
+      (* tensor -> Some dims | None (dimension-free param); Hashtbl.add
+         shadowing mirrors Var_def scoping *)
+  sites : (string, site) Hashtbl.t;
+  mutable order : string list; (* site keys, reverse program order *)
+}
+
+let check_access st bctx poly ~sid ~tensor ~kind ~indices =
+  let verdict =
+    match Hashtbl.find_opt st.shapes tensor with
+    | None | Some None ->
+      Unproved
+        { w_dim = None;
+          w_index = None;
+          w_reason =
+            Printf.sprintf "shape of %s is not statically known" tensor }
+    | Some (Some dims) ->
+      if List.length indices <> List.length dims then
+        Unproved
+          { w_dim = None;
+            w_index = None;
+            w_reason =
+              Printf.sprintf "rank mismatch: %d subscripts on rank %d tensor"
+                (List.length indices) (List.length dims) }
+      else check_dims bctx poly indices dims
+  in
+  let key = site_key ~sid ~tensor ~kind ~indices in
+  match Hashtbl.find_opt st.sites key with
+  | None ->
+    Hashtbl.replace st.sites key
+      { bs_sid = sid; bs_tensor = tensor; bs_kind = kind;
+        bs_indices = indices; bs_verdict = verdict };
+    st.order <- key :: st.order
+  | Some prev -> (
+    (* A sid cloned by scheduling: merge conservatively. *)
+    match prev.bs_verdict, verdict with
+    | Proved, Unproved _ ->
+      Hashtbl.replace st.sites key { prev with bs_verdict = verdict }
+    | _ -> ())
+
+let rec walk st bctx poly (s : Stmt.t) =
+  let sid = s.Stmt.sid in
+  let check_loads_in e =
+    Expr.iter
+      (fun x ->
+        match x with
+        | Expr.Load { Expr.l_var; l_indices } ->
+          check_access st bctx poly ~sid ~tensor:l_var ~kind:K_load
+            ~indices:l_indices
+        | _ -> ())
+      e
+  in
+  match s.Stmt.node with
+  | Stmt.Store { Stmt.s_var; s_indices; s_value } ->
+    List.iter check_loads_in s_indices;
+    check_loads_in s_value;
+    check_access st bctx poly ~sid ~tensor:s_var ~kind:K_store
+      ~indices:s_indices
+  | Stmt.Reduce_to r ->
+    List.iter check_loads_in r.Stmt.r_indices;
+    check_loads_in r.Stmt.r_value;
+    check_access st bctx poly ~sid ~tensor:r.Stmt.r_var ~kind:K_reduce
+      ~indices:r.Stmt.r_indices
+  | Stmt.Var_def d ->
+    List.iter check_loads_in d.Stmt.d_shape;
+    Hashtbl.add st.shapes d.Stmt.d_name (Some d.Stmt.d_shape);
+    walk st bctx poly d.Stmt.d_body;
+    Hashtbl.remove st.shapes d.Stmt.d_name
+  | Stmt.For f ->
+    check_loads_in f.Stmt.f_begin;
+    check_loads_in f.Stmt.f_end;
+    check_loads_in f.Stmt.f_step;
+    let bctx' = Bounds.bind f.Stmt.f_iter (Bounds.range_of_loop f) bctx in
+    (* Drop any stale constraints on a shadowed iterator name before
+       conjoining the new range (sound: eliminate over-approximates). *)
+    let poly0 = Poly.eliminate [ f.Stmt.f_iter ] poly in
+    let it = Expr.var f.Stmt.f_iter in
+    let poly' =
+      match Poly.of_expr_ge it f.Stmt.f_begin poly0 with
+      | None -> poly0
+      | Some p -> (
+        match
+          Poly.of_expr_ge (Expr.sub f.Stmt.f_end (Expr.int 1)) it p
+        with
+        | None -> p
+        | Some p' -> p')
+    in
+    walk st bctx' poly' f.Stmt.f_body
+  | Stmt.If i ->
+    check_loads_in i.Stmt.i_cond;
+    let refined c =
+      match Poly.constrain_by_cond c poly with
+      | Some p -> p
+      | None -> poly
+    in
+    walk st bctx (refined i.Stmt.i_cond) i.Stmt.i_then;
+    (match i.Stmt.i_else with
+     | None -> ()
+     | Some e -> walk st bctx (refined (Expr.not_ i.Stmt.i_cond)) e)
+  | Stmt.Assert_stmt (cond, body) ->
+    check_loads_in cond;
+    let poly' =
+      match Poly.constrain_by_cond cond poly with
+      | Some p -> p
+      | None -> poly
+    in
+    walk st bctx poly' body
+  | Stmt.Seq ss -> List.iter (walk st bctx poly) ss
+  | Stmt.Eval e -> check_loads_in e
+  | Stmt.Lib_call { body; _ } -> walk st bctx poly body
+  | Stmt.Call { args; _ } ->
+    List.iter
+      (fun a ->
+        match a with
+        | Stmt.Tensor_arg { prefix; _ } -> List.iter check_loads_in prefix
+        | Stmt.Scalar_arg { value; _ } -> check_loads_in value)
+      args
+  | Stmt.Nop -> ()
+
+let check_func (fn : Stmt.func) : site list =
+  let st =
+    { shapes = Hashtbl.create 16; sites = Hashtbl.create 64; order = [] }
+  in
+  List.iter
+    (fun (p : Stmt.param) ->
+      Hashtbl.replace st.shapes p.Stmt.p_name
+        (match p.Stmt.p_shape with
+         | Stmt.Fixed dims -> Some dims
+         | Stmt.Any_dim -> None))
+    fn.Stmt.fn_params;
+  walk st Bounds.empty Poly.universe fn.Stmt.fn_body;
+  List.rev_map (fun key -> Hashtbl.find st.sites key) st.order
+
+let all_proved sites =
+  List.for_all
+    (fun s ->
+      match s.bs_verdict with
+      | Proved -> true
+      | Unproved _ -> false)
+    sites
+
+let unproved sites =
+  List.filter
+    (fun s ->
+      match s.bs_verdict with
+      | Proved -> false
+      | Unproved _ -> true)
+    sites
+
+let proved_keys sites =
+  let tbl = Hashtbl.create (List.length sites) in
+  List.iter
+    (fun s ->
+      match s.bs_verdict with
+      | Proved ->
+        Hashtbl.replace tbl
+          (site_key ~sid:s.bs_sid ~tensor:s.bs_tensor ~kind:s.bs_kind
+             ~indices:s.bs_indices)
+          ()
+      | Unproved _ -> ())
+    sites;
+  tbl
+
+let verdict_to_string = function
+  | Proved -> "Proved"
+  | Unproved w -> Printf.sprintf "Unproved (%s)" w.w_reason
+
+let site_to_string s =
+  Printf.sprintf "  %s %s[%s] at #%d: %s"
+    (kind_to_string s.bs_kind)
+    s.bs_tensor
+    (String.concat ", " (List.map Expr.to_string s.bs_indices))
+    s.bs_sid
+    (verdict_to_string s.bs_verdict)
+
+let func_report (fn : Stmt.func) =
+  let sites = check_func fn in
+  let bad = unproved sites in
+  Printf.sprintf "%s: %d access site(s), %d proved, %d unproved\n%s"
+    fn.Stmt.fn_name (List.length sites)
+    (List.length sites - List.length bad)
+    (List.length bad)
+    (String.concat "\n" (List.map site_to_string sites))

@@ -1,0 +1,72 @@
+(** Static bounds proving for tensor accesses (guarded execution).
+
+    Walks a lowered function and tries to prove, for every [Load],
+    [Store] and [Reduce_to] site, that each subscript lies within the
+    tensor's extent under the constraints of the enclosing loops,
+    branches and asserts.  Two provers are tried per dimension:
+
+    - the symbolic interval analysis ({!Ft_ir.Bounds}) — cheap, and the
+      only one that understands [mod]-by-constant, so data-dependent
+      subscripts wrapped as [e mod k] are still provable;
+    - the Presburger substrate ({!Ft_presburger.Polyhedron}) — the
+      access is proved when the violation polyhedron (enclosing
+      constraints conjoined with [idx < 0] or [idx >= extent]) has no
+      integer point.  This handles symbolic extents ([t] of shape [n]
+      indexed by a loop over [0, n)]).
+
+    Both provers are sound: [Proved] means the access can never fault,
+    so the compiled guarded executor elides its runtime check.  The
+    converse does not hold — [Unproved] carries a witness saying why the
+    proof failed, and the runtime guard remains. *)
+
+open Ft_ir
+
+type kind =
+  | K_load
+  | K_store
+  | K_reduce
+
+(** Why a site could not be proved. *)
+type witness = {
+  w_dim : int option;      (** failing dimension; [None] = whole access *)
+  w_index : Expr.t option; (** subscript under suspicion *)
+  w_reason : string;       (** human-readable justification *)
+}
+
+type verdict =
+  | Proved
+  | Unproved of witness
+
+type site = {
+  bs_sid : int;            (** statement id the access belongs to *)
+  bs_tensor : string;
+  bs_kind : kind;
+  bs_indices : Expr.t list;
+  bs_verdict : verdict;
+}
+
+val kind_to_string : kind -> string
+
+(** Stable key identifying an access site; the compiled executor uses it
+    to decide which runtime checks to elide, so both sides must compute
+    it identically. *)
+val site_key :
+  sid:int -> tensor:string -> kind:kind -> indices:Expr.t list -> string
+
+(** All access sites of the function, in program order.  A statement id
+    cloned by scheduling yields one merged site per distinct access;
+    merging is conservative (any unproved clone makes the site
+    unproved). *)
+val check_func : Stmt.func -> site list
+
+val all_proved : site list -> bool
+val unproved : site list -> site list
+
+(** Set of {!site_key}s whose checks may be elided. *)
+val proved_keys : site list -> (string, unit) Hashtbl.t
+
+val verdict_to_string : verdict -> string
+val site_to_string : site -> string
+
+(** Multi-line human-readable report (used by [ftc guard]). *)
+val func_report : Stmt.func -> string

@@ -42,6 +42,7 @@ open Ft_ir
 open Ft_runtime
 module Profile = Ft_profile.Profile
 module Race = Ft_analyze.Race
+module Boundcheck = Ft_analyze.Boundcheck
 
 exception Exec_error of string
 
@@ -129,6 +130,112 @@ type open_loop = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Guarded execution *)
+
+(* Filled at compile time (sites/checked/elided) and at run time
+   (checks); [ftc guard] prints them and the tests assert that fully
+   proved programs execute zero runtime bounds checks. *)
+type guard_stats = {
+  mutable gs_sites : int;   (* access sites compiled *)
+  mutable gs_checked : int; (* sites carrying a runtime bounds check *)
+  mutable gs_elided : int;  (* statically proved sites, check elided *)
+  mutable gs_checks : int;  (* runtime bounds checks executed *)
+}
+
+(* Compile-time guard state.  [gc_iters] and [gc_stmt] track the
+   enclosing loops / statement of the access being compiled, so every
+   emitted check closure captures its provenance for the diagnostic.
+   Shadow bitmaps are registered lexically like cells; the Bytes ref is
+   (re)filled on each Var_def scope entry. *)
+type gstate = {
+  gc_fn : string;
+  gc_proved : (string, unit) Hashtbl.t; (* Boundcheck.site_key set *)
+  gc_policy : [ `Check | `Elide | `Raise ];
+  gc_shadows : (string, Bytes.t ref) Hashtbl.t;
+  mutable gc_iters : (string * int ref) list; (* innermost first *)
+  mutable gc_stmt : Stmt.t option;
+  gc_stats : guard_stats;
+}
+
+(* Decode a flat offset back to a multi-index for diagnostics on the
+   elided fast path (which never materializes the index vector). *)
+let index_of_offset t o =
+  let strides = Tensor.strides t in
+  let n = Array.length strides in
+  let idx = Array.make n 0 in
+  let rem = ref o in
+  for k = 0 to n - 1 do
+    if strides.(k) > 0 then begin
+      idx.(k) <- !rem / strides.(k);
+      rem := !rem mod strides.(k)
+    end
+  done;
+  idx
+
+(* Capture provenance at compile time; iterator values are read through
+   the refs when (if) the fault fires. *)
+let guard_provenance g =
+  let sid =
+    match g.gc_stmt with
+    | Some s -> Some s.Stmt.sid
+    | None -> None
+  in
+  let ctx =
+    match g.gc_stmt with
+    | Some s -> Diag.context_of_stmt s
+    | None -> ""
+  in
+  let spec = g.gc_iters in
+  let iters () = List.rev_map (fun (n, r) -> (n, !r)) spec in
+  (sid, ctx, iters)
+
+let bc_kind = function
+  | Diag.Acc_load -> Boundcheck.K_load
+  | Diag.Acc_store -> Boundcheck.K_store
+  | Diag.Acc_reduce -> Boundcheck.K_reduce
+
+(* Uninit-read checker for a tensor with a registered shadow bitmap
+   ([None] for parameters: the caller initializes those). *)
+let guard_uninit_check g name (c : cell) =
+  match Hashtbl.find_opt g.gc_shadows name with
+  | None -> None
+  | Some bref ->
+    let sid, ctx, iters = guard_provenance g in
+    Some
+      (fun o idx_opt ->
+        let sh = !bref in
+        if o >= 0 && o < Bytes.length sh && Bytes.get sh o = '\000' then begin
+          let t = cell_tensor name c in
+          let idx =
+            match idx_opt with
+            | Some a -> a
+            | None -> index_of_offset t o
+          in
+          raise
+            (Diag.Diag_error
+               (Diag.uninit ~fn:g.gc_fn ?sid ~context:ctx ~iters:(iters ())
+                  ~tensor:name ~dtype:(Tensor.dtype t)
+                  ~shape:(Tensor.shape t) ~index:idx ()))
+        end)
+
+let guard_mark_shadow g name =
+  match Hashtbl.find_opt g.gc_shadows name with
+  | None -> None
+  | Some bref ->
+    Some
+      (fun o ->
+        let sh = !bref in
+        if o >= 0 && o < Bytes.length sh then Bytes.set sh o '\001')
+
+let guard_nonfinite g ~access name =
+  let sid, ctx, iters = guard_provenance g in
+  fun idx v ->
+    raise
+      (Diag.Diag_error
+         (Diag.nonfinite ~fn:g.gc_fn ?sid ~context:ctx ~iters:(iters ())
+            ~access ~tensor:name ~index:idx ~value:v ()))
+
+(* ------------------------------------------------------------------ *)
 (* Compile environment *)
 
 (* where profiling counters go: directly into the profile (master), into
@@ -155,6 +262,7 @@ type cenv = {
   mutable in_par : bool;         (* compiling inside a region instance *)
   mutable region : region option;
   mutable loops : open_loop list; (* open loops, innermost first *)
+  guard : gstate option;
 }
 
 (* Names are resolved lexically: parameters and Var_defs are the only
@@ -245,24 +353,9 @@ let wrap_bump env e base =
 (* ------------------------------------------------------------------ *)
 (* Compile-time shape/index arithmetic *)
 
-let rec static_int (e : Expr.t) : int option =
-  match e with
-  | Expr.Int_const n -> Some n
-  | Expr.Unop (Expr.Neg, a) -> Option.map Int.neg (static_int a)
-  | Expr.Binop (op, a, b) -> (
-    match (static_int a, static_int b) with
-    | Some x, Some y -> (
-      match op with
-      | Expr.Add -> Some (x + y)
-      | Expr.Sub -> Some (x - y)
-      | Expr.Mul -> Some (x * y)
-      | Expr.Floor_div -> if y = 0 then None else Some (Expr.ifloor_div x y)
-      | Expr.Mod -> if y = 0 then None else Some (Expr.imod x y)
-      | Expr.Min -> Some (min x y)
-      | Expr.Max -> Some (max x y)
-      | _ -> None)
-    | _ -> None)
-  | _ -> None
+(* Shared with the interpreter's entry checks so both executors agree on
+   what is a "compile-time-static" dimension. *)
+let static_int = Expr.static_int
 
 let static_shape (dims : Expr.t list) : int array option =
   let sdims = List.map static_int dims in
@@ -406,15 +499,20 @@ and compile_f_node (env : cenv) (e : Expr.t) : unit -> float =
     fun () -> float_of_int !r
   | Expr.Load { l_var; l_indices } -> (
     let c = find_cell env l_var in
-    let off = compile_offset env l_var c l_indices in
-    match prof_site env l_var with
-    | None -> fun () -> Tensor.unsafe_get_f (cell_tensor l_var c) (off ())
-    | Some (_, rd, _) ->
-      fun () ->
-        let t = cell_tensor l_var c in
-        let o = off () in
-        rd (Tensor.byte_size t);
-        Tensor.unsafe_get_f t o)
+    match env.guard with
+    | Some g ->
+      let off = compile_guarded_load_off env g l_var c l_indices in
+      fun () -> Tensor.unsafe_get_f (cell_tensor l_var c) (off ())
+    | None -> (
+      let off = compile_offset env l_var c l_indices in
+      match prof_site env l_var with
+      | None -> fun () -> Tensor.unsafe_get_f (cell_tensor l_var c) (off ())
+      | Some (_, rd, _) ->
+        fun () ->
+          let t = cell_tensor l_var c in
+          let o = off () in
+          rd (Tensor.byte_size t);
+          Tensor.unsafe_get_f t o))
   | Expr.Unop (op, a) -> (
     let fa = compile_f env a in
     match op with
@@ -464,18 +562,25 @@ and compile_i_node (env : cenv) (e : Expr.t) : unit -> int =
     fun () -> !r
   | Expr.Load { l_var; l_indices } -> (
     let c = find_cell env l_var in
-    let off = compile_offset env l_var c l_indices in
-    let get =
+    match env.guard with
+    | Some g ->
+      let off = compile_guarded_load_off env g l_var c l_indices in
       if Types.is_float (dtype_of env l_var) then fun () ->
         int_of_float (Tensor.unsafe_get_f (cell_tensor l_var c) (off ()))
       else fun () -> Tensor.unsafe_get_i (cell_tensor l_var c) (off ())
-    in
-    match prof_site env l_var with
-    | None -> get
-    | Some (_, rd, _) ->
-      fun () ->
-        rd (Tensor.byte_size (cell_tensor l_var c));
-        get ())
+    | None -> (
+      let off = compile_offset env l_var c l_indices in
+      let get =
+        if Types.is_float (dtype_of env l_var) then fun () ->
+          int_of_float (Tensor.unsafe_get_f (cell_tensor l_var c) (off ()))
+        else fun () -> Tensor.unsafe_get_i (cell_tensor l_var c) (off ())
+      in
+      match prof_site env l_var with
+      | None -> get
+      | Some (_, rd, _) ->
+        fun () ->
+          rd (Tensor.byte_size (cell_tensor l_var c));
+          get ()))
   | Expr.Unop (Expr.Neg, a) ->
     let fa = compile_i env a in
     fun () -> -fa ()
@@ -610,10 +715,110 @@ and compile_offset (env : cenv) name (c : cell) (idx : Expr.t list) :
             !off)
     | _ -> generic ()
 
+(* Guarded access compilation.  Decides at compile time whether this
+   site's bounds check is elided — statically proved by {!Boundcheck},
+   or policy [`Elide] — in which case the regular fast offset path
+   (including strength reduction) is kept, or emitted as an explicit
+   per-dimension check.  Checked sites evaluate their subscripts
+   left-to-right exactly like the interpreter, so the first fault (and
+   its diagnostic) is byte-identical across executors. *)
+and guard_access (env : cenv) (g : gstate) ~(access : Diag.access) name
+    (c : cell) (indices : Expr.t list) =
+  let sid, ctx, iters = guard_provenance g in
+  let st = g.gc_stats in
+  st.gs_sites <- st.gs_sites + 1;
+  let proved =
+    match sid with
+    | Some sid ->
+      Hashtbl.mem g.gc_proved
+        (Boundcheck.site_key ~sid ~tensor:name ~kind:(bc_kind access)
+           ~indices)
+    | None -> false
+  in
+  if proved || g.gc_policy = `Elide then begin
+    if proved then st.gs_elided <- st.gs_elided + 1;
+    `Fast (compile_offset env name c indices)
+  end
+  else begin
+    st.gs_checked <- st.gs_checked + 1;
+    let thunks = Array.of_list (List.map (compile_i env) indices) in
+    let n = Array.length thunks in
+    let eval_idx () =
+      let a = Array.make n 0 in
+      for k = 0 to n - 1 do
+        a.(k) <- thunks.(k) ()
+      done;
+      a
+    in
+    let oob t idx dim =
+      raise
+        (Diag.Diag_error
+           (Diag.oob ~fn:g.gc_fn ?sid ~context:ctx ~iters:(iters ()) ~access
+              ~tensor:name ~dtype:(Tensor.dtype t) ~shape:(Tensor.shape t)
+              ~index:idx ~dim ()))
+    in
+    let check idx =
+      st.gs_checks <- st.gs_checks + 1;
+      let t = cell_tensor name c in
+      let dims = Tensor.dims t in
+      if Array.length dims <> n then oob t idx None;
+      let strides = Tensor.strides t in
+      let off = ref 0 in
+      for k = 0 to n - 1 do
+        let i = idx.(k) in
+        if i < 0 || i >= dims.(k) then oob t idx (Some k);
+        off := !off + (i * strides.(k))
+      done;
+      !off
+    in
+    `Checked (eval_idx, check)
+  end
+
+(* Checked flat offset of a guarded load (used by both the float and the
+   integer load paths): subscripts, profiling read record, bounds check,
+   uninit check — the interpreter's exact order. *)
+and compile_guarded_load_off (env : cenv) (g : gstate) name (c : cell)
+    (indices : Expr.t list) : unit -> int =
+  let acc = guard_access env g ~access:Diag.Acc_load name c indices in
+  let unin = guard_uninit_check g name c in
+  let rd =
+    match prof_site env name with
+    | Some (_, rd, _) -> Some rd
+    | None -> None
+  in
+  match acc with
+  | `Fast off -> (
+    match rd, unin with
+    | None, None -> off
+    | _ ->
+      fun () ->
+        let o = off () in
+        (match rd with
+         | Some rd -> rd (Tensor.byte_size (cell_tensor name c))
+         | None -> ());
+        (match unin with
+         | Some u -> u o None
+         | None -> ());
+        o)
+  | `Checked (eval_idx, check) ->
+    fun () ->
+      let idx = eval_idx () in
+      (match rd with
+       | Some rd -> rd (Tensor.byte_size (cell_tensor name c))
+       | None -> ());
+      let o = check idx in
+      (match unin with
+       | Some u -> u o (Some idx)
+       | None -> ());
+      o
+
 (* ------------------------------------------------------------------ *)
 (* Statement compilation *)
 
 and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
+  (match env.guard with
+   | Some g -> g.gc_stmt <- Some s
+   | None -> ());
   env.pctr <-
     (match s.Stmt.node with
      (* pure Evals are elided below; don't count them (the interpreter
@@ -625,6 +830,9 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
   | Stmt.Seq ss ->
     let fs = Array.of_list (List.map (compile_stmt env) ss) in
     fun () -> Array.iter (fun f -> f ()) fs
+  | Stmt.Store { s_var; s_indices; s_value }
+    when env.guard <> None ->
+    compile_guarded_store env (Option.get env.guard) s_var s_indices s_value
   | Stmt.Store { s_var; s_indices; s_value } -> (
     let c = find_cell env s_var in
     let site = prof_site env s_var in
@@ -653,6 +861,8 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
           let v = fv () in
           wr (Tensor.byte_size t);
           Tensor.set_flat_i t o v)
+  | Stmt.Reduce_to r when env.guard <> None ->
+    compile_guarded_reduce env (Option.get env.guard) r
   | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; r_atomic } -> (
     let c = find_cell env r_var in
     let combine =
@@ -728,7 +938,18 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
     (match env.region with
      | Some rg -> Hashtbl.add rg.rg_locals name ()
      | None -> ());
+    let shadow =
+      match env.guard with
+      | Some g ->
+        let bref = ref Bytes.empty in
+        Hashtbl.add g.gc_shadows name bref;
+        Some bref
+      | None -> None
+    in
     let body = compile_stmt env d.Stmt.d_body in
+    (match shadow, env.guard with
+     | Some _, Some g -> Hashtbl.remove g.gc_shadows name
+     | _ -> ());
     (match env.region with
      | Some rg -> Hashtbl.remove rg.rg_locals name
      | None -> ());
@@ -746,16 +967,25 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
         fun () ->
           Tensor.create dtype (Array.of_list (List.map (fun f -> f ()) dims))
     in
+    let init_shadow =
+      match shadow with
+      | None -> fun (_ : Tensor.t) -> ()
+      | Some bref ->
+        fun t -> bref := Bytes.make (max 1 (Tensor.numel t)) '\000'
+    in
     match sink_alloc env with
     | None ->
       fun () ->
-        c.t <- Some (make ());
+        let t = make () in
+        c.t <- Some t;
+        init_shadow t;
         body ();
         c.t <- None
     | Some (alloc, release) ->
       fun () ->
         let t = make () in
         c.t <- Some t;
+        init_shadow t;
         alloc (Tensor.byte_size t);
         body ();
         release (Tensor.byte_size t);
@@ -825,6 +1055,198 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
   | Stmt.Call { callee; _ } ->
     err "call to %s not inlined; run partial evaluation first" callee
 
+(* Guarded store: subscripts, value, profiling write record, bounds
+   check, NaN/Inf poison check (float dtypes), shadow mark, store — the
+   interpreter's exact order, so the first fault is byte-identical. *)
+and compile_guarded_store (env : cenv) (g : gstate) s_var s_indices s_value :
+    unit -> unit =
+  let c = find_cell env s_var in
+  let wr =
+    match prof_site env s_var with
+    | Some (_, _, wr) -> Some wr
+    | None -> None
+  in
+  let acc = guard_access env g ~access:Diag.Acc_store s_var c s_indices in
+  let mark = guard_mark_shadow g s_var in
+  let nan = guard_nonfinite g ~access:Diag.Acc_store s_var in
+  (* a literal constant stored value (e.g. the -inf identity of a
+     max-reduction) is intentional, not poison *)
+  let nan_check = not (Expr.is_constant s_value) in
+  if Types.is_float (dtype_of env s_var) then
+    let fv = compile_f env s_value in
+    match acc with
+    | `Fast off -> (
+      match wr, mark with
+      | None, None ->
+        (* proved site, unprofiled, non-local target: the common hot
+           path keeps only the poison check on top of the fast offset *)
+        fun () ->
+          let t = cell_tensor s_var c in
+          let o = off () in
+          let v = fv () in
+          if nan_check && Float.is_nan v then
+            nan (index_of_offset t o) v;
+          Tensor.unsafe_set_f t o v
+      | _ ->
+        fun () ->
+          let t = cell_tensor s_var c in
+          let o = off () in
+          let v = fv () in
+          (match wr with
+           | Some wr -> wr (Tensor.byte_size t)
+           | None -> ());
+          if nan_check && Float.is_nan v then
+            nan (index_of_offset t o) v;
+          (match mark with
+           | Some m -> m o
+           | None -> ());
+          Tensor.unsafe_set_f t o v)
+    | `Checked (eval_idx, check) ->
+      fun () ->
+        let idx = eval_idx () in
+        let v = fv () in
+        (match wr with
+         | Some wr -> wr (Tensor.byte_size (cell_tensor s_var c))
+         | None -> ());
+        let o = check idx in
+        if nan_check && Float.is_nan v then nan idx v;
+        (match mark with
+         | Some m -> m o
+         | None -> ());
+        Tensor.unsafe_set_f (cell_tensor s_var c) o v
+  else
+    let fv = compile_i env s_value in
+    match acc with
+    | `Fast off ->
+      fun () ->
+        let t = cell_tensor s_var c in
+        let o = off () in
+        let v = fv () in
+        (match wr with
+         | Some wr -> wr (Tensor.byte_size t)
+         | None -> ());
+        (match mark with
+         | Some m -> m o
+         | None -> ());
+        Tensor.set_flat_i t o v
+    | `Checked (eval_idx, check) ->
+      fun () ->
+        let idx = eval_idx () in
+        let v = fv () in
+        (match wr with
+         | Some wr -> wr (Tensor.byte_size (cell_tensor s_var c))
+         | None -> ());
+        let o = check idx in
+        (match mark with
+         | Some m -> m o
+         | None -> ());
+        Tensor.set_flat_i (cell_tensor s_var c) o v
+
+(* Guarded reduce: subscripts, value, profiling records, bounds check,
+   NaN/Inf poison check (float dtypes, on the operand), uninit check
+   (a reduce reads its target), shadow mark, combine.  Inside a parallel
+   region with a non-local target, the checks run at event-push time and
+   the combine is replayed unguarded by the master. *)
+and compile_guarded_reduce (env : cenv) (g : gstate) (r : Stmt.reduce) :
+    unit -> unit =
+  let { Stmt.r_var; r_indices; r_op; r_value; r_atomic } = r in
+  let c = find_cell env r_var in
+  let combine =
+    match r_op with
+    | Types.R_add -> ( +. )
+    | Types.R_mul -> ( *. )
+    | Types.R_min -> Float.min
+    | Types.R_max -> Float.max
+  in
+  let site = prof_site env r_var in
+  let acc = guard_access env g ~access:Diag.Acc_reduce r_var c r_indices in
+  let unin = guard_uninit_check g r_var c in
+  let mark = guard_mark_shadow g r_var in
+  let nan = guard_nonfinite g ~access:Diag.Acc_reduce r_var in
+  let is_f = Types.is_float (dtype_of env r_var) in
+  let nan_check = is_f && not (Expr.is_constant r_value) in
+  let fv = compile_f env r_value in
+  (* everything between offset availability and the final combine *)
+  let checks t o idx_opt v =
+    if nan_check && Float.is_nan v then
+      nan
+        (match idx_opt with
+         | Some idx -> idx
+         | None -> index_of_offset t o)
+        v;
+    (match unin with
+     | Some u -> u o idx_opt
+     | None -> ());
+    match mark with
+    | Some m -> m o
+    | None -> ()
+  in
+  let prof_bump =
+    match site with
+    | None -> None
+    | Some (ctr, rd, wr) ->
+      let rop = r_op and atomic = r_atomic in
+      Some
+        (fun total ->
+          rd total;
+          Profile.bump_reduce ~atomic ctr rop;
+          wr total)
+  in
+  match env.region with
+  | Some rg when not (Hashtbl.mem rg.rg_locals r_var) -> (
+    let site_id = rg.rg_next in
+    rg.rg_next <- rg.rg_next + 1;
+    if rg.rg_first then
+      rg.rg_sites :=
+        { rs_name = r_var; rs_cell = c; rs_combine = combine }
+        :: !(rg.rg_sites);
+    let lg = rg.rg_log in
+    match acc with
+    | `Fast off ->
+      fun () ->
+        let t = cell_tensor r_var c in
+        let o = off () in
+        let v = fv () in
+        (match prof_bump with
+         | Some pb -> pb (Tensor.byte_size t)
+         | None -> ());
+        checks t o None v;
+        log_push lg site_id o v
+    | `Checked (eval_idx, check) ->
+      fun () ->
+        let idx = eval_idx () in
+        let v = fv () in
+        let t = cell_tensor r_var c in
+        (match prof_bump with
+         | Some pb -> pb (Tensor.byte_size t)
+         | None -> ());
+        let o = check idx in
+        checks t o (Some idx) v;
+        log_push lg site_id o v)
+  | _ -> (
+    match acc with
+    | `Fast off ->
+      fun () ->
+        let t = cell_tensor r_var c in
+        let o = off () in
+        let v = fv () in
+        (match prof_bump with
+         | Some pb -> pb (Tensor.byte_size t)
+         | None -> ());
+        checks t o None v;
+        Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) v)
+    | `Checked (eval_idx, check) ->
+      fun () ->
+        let idx = eval_idx () in
+        let v = fv () in
+        let t = cell_tensor r_var c in
+        (match prof_bump with
+         | Some pb -> pb (Tensor.byte_size t)
+         | None -> ());
+        let o = check idx in
+        checks t o (Some idx) v;
+        Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) v))
+
 and compile_seq_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
   let myc = env.pctr in
   let fb = compile_i env f.Stmt.f_begin in
@@ -834,7 +1256,13 @@ and compile_seq_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
   let ol = { ol_ref = r; ol_trackers = [] } in
   Hashtbl.add env.ints f.Stmt.f_iter r;
   env.loops <- ol :: env.loops;
+  (match env.guard with
+   | Some g -> g.gc_iters <- (f.Stmt.f_iter, r) :: g.gc_iters
+   | None -> ());
   let body = compile_stmt env f.Stmt.f_body in
+  (match env.guard with
+   | Some g -> g.gc_iters <- List.tl g.gc_iters
+   | None -> ());
   env.loops <- List.tl env.loops;
   Hashtbl.remove env.ints f.Stmt.f_iter;
   match myc with
@@ -942,7 +1370,13 @@ and compile_par_for ?(defer = true) (env : cenv) (f : Stmt.for_loop) :
     let saved_loops = env.loops in
     env.loops <- [];
     Hashtbl.add env.ints f.Stmt.f_iter r;
+    (match env.guard with
+     | Some g -> g.gc_iters <- (f.Stmt.f_iter, r) :: g.gc_iters
+     | None -> ());
     let body = compile_stmt env f.Stmt.f_body in
+    (match env.guard with
+     | Some g -> g.gc_iters <- List.tl g.gc_iters
+     | None -> ());
     Hashtbl.remove env.ints f.Stmt.f_iter;
     env.loops <- saved_loops;
     env.region <- None;
@@ -1040,7 +1474,18 @@ let rec compile_host (p : Profile.t) (env : cenv) (s : Stmt.t) : unit -> unit =
     Hashtbl.add env.cells name c;
     Hashtbl.add env.dtypes name d.Stmt.d_dtype;
     Hashtbl.add env.mtypes name d.Stmt.d_mtype;
+    let shadow =
+      match env.guard with
+      | Some g ->
+        let bref = ref Bytes.empty in
+        Hashtbl.add g.gc_shadows name bref;
+        Some bref
+      | None -> None
+    in
     let body = compile_host p env d.Stmt.d_body in
+    (match shadow, env.guard with
+     | Some _, Some g -> Hashtbl.remove g.gc_shadows name
+     | _ -> ());
     Hashtbl.remove env.mtypes name;
     Hashtbl.remove env.dtypes name;
     Hashtbl.remove env.cells name;
@@ -1050,6 +1495,9 @@ let rec compile_host (p : Profile.t) (env : cenv) (s : Stmt.t) : unit -> unit =
         Tensor.create dtype (Array.of_list (List.map (fun f -> f ()) dims))
       in
       c.t <- Some t;
+      (match shadow with
+       | Some bref -> bref := Bytes.make (max 1 (Tensor.numel t)) '\000'
+       | None -> ());
       Profile.alloc p (Tensor.byte_size t);
       body ();
       Profile.release p (Tensor.byte_size t);
@@ -1067,6 +1515,9 @@ let rec compile_host (p : Profile.t) (env : cenv) (s : Stmt.t) : unit -> unit =
 type compiled = {
   cd_fn : Stmt.func;
   cd_run : (string * Tensor.t) list -> (string * int) list -> unit;
+  cd_guard : guard_stats option;
+      (* populated iff compiled with [~guard:true]; counters accumulate
+         across runs *)
 }
 
 (** Compile a function once; the result can be run many times with
@@ -1079,9 +1530,21 @@ type compiled = {
     deferred-reduction log, and [Racy] loops follow [on_race] —
     [`Fallback] (default) compiles them sequentially and reports the
     reason through {!race_logger}, [`Raise] raises {!Exec_error} at
-    compile time. *)
+    compile time.
+
+    With [~guard:true], every access is guarded as in
+    {!Interp.run_func}: accesses the static prover
+    ({!Ft_analyze.Boundcheck}) certifies in-bounds keep the unguarded
+    fast path (no runtime bounds check, strength reduction intact);
+    unproved sites follow [on_unproved] — [`Check] (default) emits a
+    runtime bounds check, [`Elide] keeps the fast path anyway (trust
+    the program), [`Raise] refuses to compile, raising {!Exec_error}
+    listing every unproved site.  Uninitialized-read and NaN/Inf
+    poison checks are always on under guard.  Faults raise
+    {!Ft_ir.Diag.Diag_error} with the same rendering as the
+    interpreter's. *)
 let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
-    (fn : Stmt.func) : compiled =
+    ?(guard = false) ?(on_unproved = `Check) (fn : Stmt.func) : compiled =
   let verdicts = Hashtbl.create 8 in
   if parallel then begin
     let reports = Race.check_func fn in
@@ -1095,6 +1558,29 @@ let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
         (Race.func_report fn)
     | _ -> ()
   end;
+  let gstate =
+    if not guard then None
+    else begin
+      let sites = Boundcheck.check_func fn in
+      (match on_unproved with
+       | `Raise ->
+         let bad = Boundcheck.unproved sites in
+         if bad <> [] then
+           err "bounds check failed for %s: %d unproved access site(s):\n%s"
+             fn.Stmt.fn_name (List.length bad)
+             (String.concat "\n" (List.map Boundcheck.site_to_string bad))
+       | `Check | `Elide -> ());
+      Some
+        { gc_fn = fn.Stmt.fn_name;
+          gc_proved = Boundcheck.proved_keys sites;
+          gc_policy = on_unproved;
+          gc_shadows = Hashtbl.create 8;
+          gc_iters = [];
+          gc_stmt = None;
+          gc_stats =
+            { gs_sites = 0; gs_checked = 0; gs_elided = 0; gs_checks = 0 } }
+    end
+  in
   let env =
     { cells = Hashtbl.create 32; orphans = Hashtbl.create 8;
       ints = Hashtbl.create 32; gints = Hashtbl.create 16;
@@ -1102,7 +1588,7 @@ let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
       shapes = Hashtbl.create 32; prof = profile;
       psink = (match profile with Some p -> P_direct p | None -> P_off);
       pctr = None; par = parallel; verdicts; in_par = false; region = None;
-      loops = [] }
+      loops = []; guard = gstate }
   in
   List.iter
     (fun (p : Stmt.param) ->
@@ -1121,13 +1607,15 @@ let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
     | None -> compile_stmt env fn.Stmt.fn_body
     | Some p -> compile_host p env fn.Stmt.fn_body
   in
+  (* entry errors render through Diag so both executors emit
+     byte-identical messages (see Interp.run_func under guard) *)
+  let entry_err d = raise (Exec_error (Diag.to_string d)) in
   let run args sizes =
     List.iter
       (fun (n, v) ->
         match Hashtbl.find_opt env.gints n with
         | Some r -> r := v
-        | None ->
-          err "size %s is not referenced by %s" n fn.Stmt.fn_name)
+        | None -> entry_err (Diag.unknown_size ~fn:fn.Stmt.fn_name n))
       sizes;
     List.iter
       (fun (n, _) ->
@@ -1136,21 +1624,18 @@ let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
             (List.exists
                (fun (p : Stmt.param) -> p.Stmt.p_name = n)
                fn.Stmt.fn_params)
-        then err "unknown argument %s: not a parameter of %s" n fn.Stmt.fn_name)
+        then entry_err (Diag.unknown_arg ~fn:fn.Stmt.fn_name n))
       args;
     List.iter
       (fun (p : Stmt.param) ->
         match List.assoc_opt p.Stmt.p_name args with
-        | None -> err "missing argument %s" p.Stmt.p_name
+        | None -> entry_err (Diag.missing_arg ~fn:fn.Stmt.fn_name p.Stmt.p_name)
         | Some t ->
           (match Hashtbl.find_opt env.shapes p.Stmt.p_name with
            | Some dims when Tensor.shape t <> dims ->
-             err "argument %s: tensor shape [%s] does not match declared [%s]"
-               p.Stmt.p_name
-               (String.concat ";"
-                  (Array.to_list (Array.map string_of_int (Tensor.shape t))))
-               (String.concat ";"
-                  (Array.to_list (Array.map string_of_int dims)))
+             entry_err
+               (Diag.arg_shape ~fn:fn.Stmt.fn_name p.Stmt.p_name
+                  ~declared:dims ~got:(Tensor.shape t))
            | _ -> ());
           (match Hashtbl.find_opt env.cells p.Stmt.p_name with
            | Some c -> c.t <- Some t
@@ -1171,9 +1656,11 @@ let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
       body ();
       Profile.release p base
   in
-  { cd_fn = fn; cd_run = run }
+  { cd_fn = fn; cd_run = run;
+    cd_guard = Option.map (fun g -> g.gc_stats) gstate }
 
 (** One-shot convenience mirroring {!Interp.run_func}. *)
-let run_func ?(sizes = []) ?profile ?parallel ?on_race (fn : Stmt.func)
-    (args : (string * Tensor.t) list) : unit =
-  (compile ?profile ?parallel ?on_race fn).cd_run args sizes
+let run_func ?(sizes = []) ?profile ?parallel ?on_race ?guard ?on_unproved
+    (fn : Stmt.func) (args : (string * Tensor.t) list) : unit =
+  (compile ?profile ?parallel ?on_race ?guard ?on_unproved fn).cd_run args
+    sizes

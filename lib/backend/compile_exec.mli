@@ -23,6 +23,16 @@ exception Exec_error of string
     Tests may redirect or silence it. *)
 val race_logger : (string -> unit) ref
 
+(** Counters describing what the guard instrumentation compiled to;
+    [gs_checks] additionally counts checks actually executed at run
+    time (accumulating across runs of the same compiled function). *)
+type guard_stats = {
+  mutable gs_sites : int;    (** access sites compiled under guard *)
+  mutable gs_checked : int;  (** sites that got a runtime bounds check *)
+  mutable gs_elided : int;   (** sites statically proved → fast path *)
+  mutable gs_checks : int;   (** runtime bounds checks executed *)
+}
+
 type compiled = {
   cd_fn : Stmt.func;
   cd_run : (string * Tensor.t) list -> (string * int) list -> unit;
@@ -31,7 +41,11 @@ type compiled = {
           function and every [args] entry a declared parameter;
           unknown names raise {!Exec_error} rather than being silently
           ignored, as does a tensor whose shape contradicts the
-          parameter's compile-time-static declared shape. *)
+          parameter's compile-time-static declared shape.  The error
+          messages are the canonical {!Ft_ir.Diag} renderings, shared
+          with {!Interp.run_func} under guard. *)
+  cd_guard : guard_stats option;
+      (** [Some] iff compiled with [~guard:true]. *)
 }
 
 (** Compile once; run many times with different argument tensors.
@@ -61,11 +75,31 @@ type compiled = {
     target (otherwise they are demoted); [Racy] loops follow [on_race] —
     [`Fallback] (default) compiles them sequentially and reports the
     reason through {!race_logger}, [`Raise] raises {!Exec_error} at
-    compile time with the full report. *)
+    compile time with the full report.
+
+    [guard] (default [false]) turns on the memory sanitizer, mirroring
+    {!Interp.run_func}'s [guard]: bounds checks on every access,
+    uninitialized-read checks on [Var_def] locals (per-tensor init
+    bitmap) and NaN poison checks on float stores and reduce operands
+    (+/-inf and literal constant initializers are exempt, as in the
+    interpreter).  First the static prover ({!Ft_analyze.Boundcheck})
+    certifies access sites; proved sites keep the unguarded fast path —
+    no runtime bounds check, compile-time strength reduction intact —
+    and are counted in [gs_elided].  Unproved sites follow
+    [on_unproved]: [`Check] (default) emits a runtime bounds check,
+    [`Elide] keeps the fast path anyway (degrade gracefully, trust the
+    program), [`Raise] refuses to compile, raising {!Exec_error} that
+    lists every unproved site.  A fault raises
+    {!Ft_ir.Diag.Diag_error} carrying the statement id, the enclosing
+    iteration vector, the concrete index and the pretty-printed IR
+    context — byte-identical to the interpreter's diagnostic for the
+    same first fault. *)
 val compile :
   ?profile:Ft_profile.Profile.t ->
   ?parallel:bool ->
   ?on_race:[ `Fallback | `Raise ] ->
+  ?guard:bool ->
+  ?on_unproved:[ `Check | `Elide | `Raise ] ->
   Stmt.func ->
   compiled
 
@@ -75,6 +109,8 @@ val run_func :
   ?profile:Ft_profile.Profile.t ->
   ?parallel:bool ->
   ?on_race:[ `Fallback | `Raise ] ->
+  ?guard:bool ->
+  ?on_unproved:[ `Check | `Elide | `Raise ] ->
   Stmt.func ->
   (string * Tensor.t) list ->
   unit

@@ -31,6 +31,7 @@ type tensor_entry = {
 
 type ctx = {
   sp : Machine.spec;
+  fn_name : string;                  (* for resource-limit diagnostics *)
   sizes : (string, float) Hashtbl.t; (* size params + iterator midpoints *)
   tensors : (string, tensor_entry) Hashtbl.t;
   unknown_extent : float;            (* fallback for data-dependent trips *)
@@ -99,6 +100,9 @@ type kacc = {
   mutable vectorized : bool;
   mutable footprint : (string, unit) Hashtbl.t Lazy.t;
   mutable is_lib : bool;
+  mutable threads : float;     (* product of Cuda_thread_* extents *)
+  mutable shared_live : float; (* Gpu_shared bytes live at this point *)
+  mutable shared_peak : float; (* peak of shared_live over the kernel *)
 }
 
 let count_expr_ops e =
@@ -202,7 +206,15 @@ let rec acc_stmt ctx (k : kacc) fp stack mult (s : Stmt.t) =
     Hashtbl.replace ctx.tensors d.Stmt.d_name
       { te_dtype = d.Stmt.d_dtype; te_mtype = d.Stmt.d_mtype;
         te_shape = d.Stmt.d_shape };
+    let shared_sz =
+      match d.Stmt.d_mtype with
+      | Types.Gpu_shared -> tensor_bytes ctx d.Stmt.d_name
+      | _ -> 0.0
+    in
+    k.shared_live <- k.shared_live +. shared_sz;
+    k.shared_peak <- Float.max k.shared_peak k.shared_live;
     acc_stmt ctx k fp stack mult d.Stmt.d_body;
+    k.shared_live <- k.shared_live -. shared_sz;
     Hashtbl.remove ctx.tensors d.Stmt.d_name
   | Stmt.For f ->
     let lo = try feval ctx f.Stmt.f_begin with Unknown_extent -> 0.0 in
@@ -214,6 +226,10 @@ let rec acc_stmt ctx (k : kacc) fp stack mult (s : Stmt.t) =
     in
     if f.Stmt.f_property.parallel <> None then
       k.parallel <- k.parallel *. Float.max 1.0 n;
+    (match f.Stmt.f_property.parallel with
+     | Some p when Types.is_cuda_thread_scope p ->
+       k.threads <- k.threads *. Float.max 1.0 n
+     | _ -> ());
     if f.Stmt.f_property.vectorize then k.vectorized <- true;
     let saved = Hashtbl.find_opt ctx.sizes f.Stmt.f_iter in
     Hashtbl.replace ctx.sizes f.Stmt.f_iter (lo +. ((n -. 1.0) /. 2.0));
@@ -240,9 +256,16 @@ let charge_kernel ctx (m : Machine.metrics) ~live (s : Stmt.t) =
   let fp = Hashtbl.create 8 in
   let k =
     { flops = 0.; atomics = 0.; mem_bytes = 0.; parallel = 1.0;
-      vectorized = false; footprint = lazy fp; is_lib = false }
+      vectorized = false; footprint = lazy fp; is_lib = false;
+      threads = 1.0; shared_live = 0.0; shared_peak = 0.0 }
   in
   acc_stmt ctx k fp [] 1.0 s;
+  (* a kernel oversubscribing the device's per-block limits could not
+     launch on the real hardware, so refuse to price it *)
+  if ctx.sp.Machine.sp_device = Types.Gpu && not k.is_lib then
+    Machine.validate_kernel ctx.sp ~sid:s.Stmt.sid ~fn:ctx.fn_name
+      ~threads_per_block:(int_of_float (Float.min 1e9 k.threads))
+      ~shared_bytes:k.shared_peak ();
   let footprint =
     Hashtbl.fold (fun name () acc -> acc +. tensor_bytes ctx name) fp 0.0
   in
@@ -270,8 +293,8 @@ let estimate_kernels ?(sizes = []) ?(unknown_extent = 8.0)
     Machine.metrics * (int * Machine.metrics) list =
   let sp = Machine.of_device device in
   let ctx =
-    { sp; sizes = Hashtbl.create 16; tensors = Hashtbl.create 16;
-      unknown_extent }
+    { sp; fn_name = fn.Stmt.fn_name; sizes = Hashtbl.create 16;
+      tensors = Hashtbl.create 16; unknown_extent }
   in
   List.iter (fun (n, v) -> Hashtbl.replace ctx.sizes n (float_of_int v)) sizes;
   List.iter

@@ -98,6 +98,21 @@ type san_state = {
 
 let san_race_cap = 64
 
+(* {1 Memory sanitizer (guarded execution)}
+
+   Shadow state for [~guard:true]: per-local-tensor init bitmaps for
+   uninitialized-read detection, plus the provenance needed to build a
+   {!Diag.t} at the fault point — enclosing iterator names (innermost
+   first) and the statement being executed.  Parameters are considered
+   fully initialized by the caller; only [Var_def] locals get bitmaps. *)
+type gstate = {
+  gi_fn : string;
+  gi_shadows : (string, Bytes.t) Hashtbl.t;
+      (* '\000' = never stored; Hashtbl.add/remove mirrors Var_def scoping *)
+  mutable gi_iters : string list; (* innermost first *)
+  mutable gi_stmt : Stmt.t option;
+}
+
 type env = {
   scalars : (string, value) Hashtbl.t;
   tensors : (string, Tensor.t) Hashtbl.t;
@@ -105,14 +120,85 @@ type env = {
   prof : Profile.t option;
   mutable pcur : Profile.counters option; (* current statement's counters *)
   san : san_state option;
+  guard : gstate option;
 }
 
-let make_env ?profile ?(sanitize = false) () =
+let make_env ?profile ?(sanitize = false) ?guard_fn () =
   { scalars = Hashtbl.create 16; tensors = Hashtbl.create 16;
     mtypes = Hashtbl.create 16; prof = profile; pcur = None;
     san =
       (if sanitize then Some { regions = []; races = []; nraces = 0 }
-       else None) }
+       else None);
+    guard =
+      (match guard_fn with
+       | Some fn ->
+         Some
+           { gi_fn = fn; gi_shadows = Hashtbl.create 16; gi_iters = [];
+             gi_stmt = None }
+       | None -> None) }
+
+let guard_iters env g =
+  List.rev_map
+    (fun n ->
+      ( n,
+        match Hashtbl.find_opt env.scalars n with
+        | Some v -> as_i v
+        | None -> 0 ))
+    g.gi_iters
+
+let guard_sid g =
+  match g.gi_stmt with
+  | Some s -> Some s.Stmt.sid
+  | None -> None
+
+let guard_ctx g =
+  match g.gi_stmt with
+  | Some s -> Diag.context_of_stmt s
+  | None -> ""
+
+(* Checked flat offset: a Tensor fault becomes a structured diagnostic
+   with full provenance. *)
+let guard_offset env g ~access name t idx =
+  match Tensor.flat_index t idx with
+  | off -> off
+  | exception Tensor.Fault f ->
+    let dim =
+      match f with
+      | Tensor.Out_of_bounds { dim; _ } -> Some dim
+      | _ -> None
+    in
+    raise
+      (Diag.Diag_error
+         (Diag.oob ~fn:g.gi_fn ?sid:(guard_sid g) ~context:(guard_ctx g)
+            ~iters:(guard_iters env g) ~access ~tensor:name
+            ~dtype:(Tensor.dtype t) ~shape:(Tensor.shape t) ~index:idx ~dim
+            ()))
+
+let guard_uninit env g ~name t ~off ~idx =
+  match Hashtbl.find_opt g.gi_shadows name with
+  | Some sh when Bytes.get sh off = '\000' ->
+    raise
+      (Diag.Diag_error
+         (Diag.uninit ~fn:g.gi_fn ?sid:(guard_sid g) ~context:(guard_ctx g)
+            ~iters:(guard_iters env g) ~tensor:name ~dtype:(Tensor.dtype t)
+            ~shape:(Tensor.shape t) ~index:idx ()))
+  | _ -> ()
+
+(* NaN is the poison the guard hunts: it propagates silently and never
+   compares equal.  +/-inf is a legitimate IEEE sentinel (softmax-style
+   masking stores -inf and max-reduces over it), so it is not flagged. *)
+let guard_finite env g ~access ~name ~idx v =
+  if Float.is_nan v then
+    raise
+      (Diag.Diag_error
+         (Diag.nonfinite ~fn:g.gi_fn ?sid:(guard_sid g)
+            ~context:(guard_ctx g) ~iters:(guard_iters env g) ~access
+            ~tensor:name ~index:idx ~value:v ()))
+
+let guard_mark g name off =
+  match Hashtbl.find_opt g.gi_shadows name with
+  | Some sh -> Bytes.set sh off '\001'
+  | None -> ()
 
 let san_offset t idx =
   let strides = Tensor.strides t in
@@ -274,8 +360,15 @@ let rec eval env (e : Expr.t) : value =
      | Some c -> record_access Profile.record_read env c l_var t
      | None -> ());
     if env.san <> None then san_access env l_var t idx `Read;
-    if Types.is_float (Tensor.dtype t) then Vf (Tensor.get_f t idx)
-    else Vi (Tensor.get_i t idx)
+    (match env.guard with
+     | None ->
+       if Types.is_float (Tensor.dtype t) then Vf (Tensor.get_f t idx)
+       else Vi (Tensor.get_i t idx)
+     | Some g ->
+       let off = guard_offset env g ~access:Diag.Acc_load l_var t idx in
+       guard_uninit env g ~name:l_var t ~off ~idx;
+       if Types.is_float (Tensor.dtype t) then Vf (Tensor.get_flat_f t off)
+       else Vi (Tensor.get_flat_i t off))
   | Expr.Unop (op, a) -> eval_unop env op a
   | Expr.Binop (op, a, b) -> eval_binop env op a b
   | Expr.Select (c, a, b) -> if as_b (eval env c) then eval env a else eval env b
@@ -348,6 +441,9 @@ let apply_reduce op cur v =
   | Types.R_max -> Float.max cur v
 
 let rec exec env (s : Stmt.t) : unit =
+  (match env.guard with
+   | Some g -> g.gi_stmt <- Some s
+   | None -> ());
   (match env.prof with
    | Some p ->
      env.pcur <-
@@ -367,8 +463,27 @@ let rec exec env (s : Stmt.t) : unit =
      | Some c -> record_access Profile.record_write env c s_var t
      | None -> ());
     if env.san <> None then san_access env s_var t idx `Store;
-    if Types.is_float (Tensor.dtype t) then Tensor.set_f t idx (as_f v)
-    else Tensor.set_i t idx (as_i v)
+    (match env.guard with
+     | None ->
+       if Types.is_float (Tensor.dtype t) then Tensor.set_f t idx (as_f v)
+       else Tensor.set_i t idx (as_i v)
+     | Some g ->
+       (* Fault order matches the unguarded interpreter: indices and
+          value are fully evaluated before any bounds fault fires. *)
+       let off = guard_offset env g ~access:Diag.Acc_store s_var t idx in
+       if Types.is_float (Tensor.dtype t) then begin
+         let x = as_f v in
+         (* a literal constant stored value (e.g. the -inf identity of a
+            max-reduction) is intentional, not poison *)
+         if not (Expr.is_constant s_value) then
+           guard_finite env g ~access:Diag.Acc_store ~name:s_var ~idx x;
+         guard_mark g s_var off;
+         Tensor.set_flat_f t off x
+       end
+       else begin
+         guard_mark g s_var off;
+         Tensor.set_flat_i t off (as_i v)
+       end)
   | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; r_atomic } ->
     let t = tensor env r_var in
     let idx = Array.of_list (List.map (fun e -> as_i (eval env e)) r_indices) in
@@ -380,11 +495,26 @@ let rec exec env (s : Stmt.t) : unit =
        record_access Profile.record_write env c r_var t
      | None -> ());
     if env.san <> None then san_access env r_var t idx (`Reduce r_op);
-    if Types.is_float (Tensor.dtype t) then
-      Tensor.set_f t idx (apply_reduce r_op (Tensor.get_f t idx) v)
-    else
-      Tensor.set_i t idx
-        (int_of_float (apply_reduce r_op (float_of_int (Tensor.get_i t idx)) v))
+    (match env.guard with
+     | None ->
+       if Types.is_float (Tensor.dtype t) then
+         Tensor.set_f t idx (apply_reduce r_op (Tensor.get_f t idx) v)
+       else
+         Tensor.set_i t idx
+           (int_of_float
+              (apply_reduce r_op (float_of_int (Tensor.get_i t idx)) v))
+     | Some g ->
+       let off = guard_offset env g ~access:Diag.Acc_reduce r_var t idx in
+       if Types.is_float (Tensor.dtype t) && not (Expr.is_constant r_value)
+       then guard_finite env g ~access:Diag.Acc_reduce ~name:r_var ~idx v;
+       guard_uninit env g ~name:r_var t ~off ~idx;
+       guard_mark g r_var off;
+       if Types.is_float (Tensor.dtype t) then
+         Tensor.set_flat_f t off (apply_reduce r_op (Tensor.get_flat_f t off) v)
+       else
+         Tensor.set_flat_i t off
+           (int_of_float
+              (apply_reduce r_op (float_of_int (Tensor.get_flat_i t off)) v)))
   | Stmt.Var_def d ->
     let dims =
       Array.of_list (List.map (fun e -> as_i (eval env e)) d.d_shape)
@@ -398,9 +528,17 @@ let rec exec env (s : Stmt.t) : unit =
        Hashtbl.replace env.mtypes d.d_name d.d_mtype;
        Profile.alloc p (Tensor.byte_size t)
      | None -> ());
+    (match env.guard with
+     | Some g ->
+       Hashtbl.add g.gi_shadows d.d_name
+         (Bytes.make (max 1 (Tensor.numel t)) '\000')
+     | None -> ());
     san_def_enter env d.d_name;
     exec env d.d_body;
     san_def_exit env d.d_name;
+    (match env.guard with
+     | Some g -> Hashtbl.remove g.gi_shadows d.d_name
+     | None -> ());
     (match env.prof with
      | Some p ->
        Profile.release p (Tensor.byte_size t);
@@ -421,6 +559,9 @@ let rec exec env (s : Stmt.t) : unit =
      | Some c -> c.Profile.entries <- c.Profile.entries + 1
      | None -> ());
     let saved = Hashtbl.find_opt env.scalars f.f_iter in
+    (match env.guard with
+     | Some g -> g.gi_iters <- f.f_iter :: g.gi_iters
+     | None -> ());
     let region =
       match env.san, f.f_property.Stmt.parallel with
       | Some st, Some _ ->
@@ -446,6 +587,9 @@ let rec exec env (s : Stmt.t) : unit =
     done;
     (match region with
      | Some (st, _) -> st.regions <- List.tl st.regions
+     | None -> ());
+    (match env.guard with
+     | Some g -> g.gi_iters <- List.tl g.gi_iters
      | None -> ());
     (match saved with
      | Some v -> Hashtbl.replace env.scalars f.f_iter v
@@ -494,15 +638,55 @@ let rec exec_host p env (s : Stmt.t) : unit =
     exec env s;
     Profile.exit_kernel p
 
-let run_func_env ?(sizes = []) ?profile ?sanitize (fn : Stmt.func)
-    (args : (string * Tensor.t) list) : env =
-  let env = make_env ?profile ?sanitize () in
+(* Declared static shape of a parameter, when every dimension folds at
+   compile time.  Uses the shared {!Expr.static_int} so the interpreter
+   and the compiled executor agree on what is checkable. *)
+let static_param_shape (p : Stmt.param) =
+  match p.Stmt.p_shape with
+  | Stmt.Any_dim -> None
+  | Stmt.Fixed dims ->
+    let rec go acc = function
+      | [] -> Some (Array.of_list (List.rev acc))
+      | e :: rest -> (
+        match Expr.static_int e with
+        | Some n -> go (n :: acc) rest
+        | None -> None)
+    in
+    go [] dims
+
+let entry_err d = raise (Interp_error (Diag.to_string d))
+
+let run_func_env ?(sizes = []) ?profile ?sanitize ?(guard = false)
+    (fn : Stmt.func) (args : (string * Tensor.t) list) : env =
+  let env =
+    make_env ?profile ?sanitize
+      ?guard_fn:(if guard then Some fn.fn_name else None)
+      ()
+  in
   List.iter (fun (n, v) -> Hashtbl.replace env.scalars n (Vi v)) sizes;
+  if guard then
+    List.iter
+      (fun (n, _) ->
+        if
+          not
+            (List.exists
+               (fun (p : Stmt.param) -> p.Stmt.p_name = n)
+               fn.fn_params)
+        then entry_err (Diag.unknown_arg ~fn:fn.fn_name n))
+      args;
   List.iter
     (fun (p : Stmt.param) ->
       match List.assoc_opt p.p_name args with
-      | Some t -> Hashtbl.replace env.tensors p.p_name t
-      | None -> err "missing argument %s" p.p_name)
+      | Some t ->
+        (if guard then
+           match static_param_shape p with
+           | Some declared when declared <> Tensor.shape t ->
+             entry_err
+               (Diag.arg_shape ~fn:fn.fn_name p.p_name ~declared
+                  ~got:(Tensor.shape t))
+           | _ -> ());
+        Hashtbl.replace env.tensors p.p_name t
+      | None -> entry_err (Diag.missing_arg ~fn:fn.fn_name p.p_name))
     fn.fn_params;
   (match profile with
    | None -> exec env fn.fn_body
@@ -531,9 +715,9 @@ let run_func_env ?(sizes = []) ?profile ?sanitize (fn : Stmt.func)
     [~sanitize:true] the dynamic race sanitizer shadow-tracks accesses
     inside parallel-annotated loops and raises {!Race_detected} after the
     run if any cross-iteration racing pair was observed. *)
-let run_func ?(sizes = []) ?profile ?(sanitize = false) (fn : Stmt.func)
-    (args : (string * Tensor.t) list) : unit =
-  let env = run_func_env ~sizes ?profile ~sanitize fn args in
+let run_func ?(sizes = []) ?profile ?(sanitize = false) ?(guard = false)
+    (fn : Stmt.func) (args : (string * Tensor.t) list) : unit =
+  let env = run_func_env ~sizes ?profile ~sanitize ~guard fn args in
   match env.san with
   | Some st when st.nraces > 0 ->
     let shown = List.rev st.races in

@@ -45,11 +45,24 @@ val race_to_string : race -> string
 
     [sanitize:true] turns on the dynamic race sanitizer; if any race is
     observed, {!Race_detected} is raised after the run completes (outputs
-    are still the sequential-semantics values). *)
+    are still the sequential-semantics values).
+
+    [guard:true] turns on the memory sanitizer: every access is
+    bounds-checked, loads from [Var_def] locals are checked against a
+    per-tensor init bitmap, and float stores/reduce operands are checked
+    for NaN poison (+/-inf is a legitimate IEEE sentinel — softmax-style
+    masking stores -inf — and literal constant initializers are exempt
+    entirely).  The first fault raises {!Ft_ir.Diag.Diag_error}
+    with the statement id, the enclosing iteration vector and the
+    concrete index.  Argument binding is also strict under guard
+    (unknown arguments and statically-checkable shape mismatches raise
+    [Interp_error] with the canonical {!Ft_ir.Diag} message, identical
+    to the compiled executor's). *)
 val run_func :
   ?sizes:(string * int) list ->
   ?profile:Ft_profile.Profile.t ->
   ?sanitize:bool ->
+  ?guard:bool ->
   Stmt.func ->
   (string * Tensor.t) list ->
   unit

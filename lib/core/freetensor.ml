@@ -22,6 +22,8 @@ module Imap = Ft_presburger.Imap
 module Access = Ft_dep.Access
 module Dep = Ft_dep.Dep
 module Race = Ft_analyze.Race
+module Boundcheck = Ft_analyze.Boundcheck
+module Diag = Ft_ir.Diag
 
 module Simplify = Ft_passes.Simplify
 module Dead_code = Ft_passes.Dead_code

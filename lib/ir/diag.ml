@@ -1,0 +1,170 @@
+(* Structured diagnostics for guarded execution.  See diag.mli. *)
+
+type severity =
+  | Warning
+  | Error
+
+type code =
+  | Oob_load
+  | Oob_store
+  | Oob_reduce
+  | Uninit_read
+  | Nonfinite_store
+  | Missing_arg
+  | Unknown_arg
+  | Shape_mismatch
+  | Unknown_size
+  | Gpu_resources
+
+type access =
+  | Acc_load
+  | Acc_store
+  | Acc_reduce
+
+type t = {
+  dg_severity : severity;
+  dg_code : code;
+  dg_fn : string;
+  dg_sid : int option;
+  dg_tensor : string option;
+  dg_index : int array option;
+  dg_iters : (string * int) list;
+  dg_detail : string;
+  dg_context : string;
+}
+
+exception Diag_error of t
+
+let code_to_string = function
+  | Oob_load -> "oob-load"
+  | Oob_store -> "oob-store"
+  | Oob_reduce -> "oob-reduce"
+  | Uninit_read -> "uninit-read"
+  | Nonfinite_store -> "nonfinite-store"
+  | Missing_arg -> "missing-arg"
+  | Unknown_arg -> "unknown-arg"
+  | Shape_mismatch -> "shape-mismatch"
+  | Unknown_size -> "unknown-size"
+  | Gpu_resources -> "gpu-resources"
+
+let severity_to_string = function
+  | Warning -> "warning"
+  | Error -> "error"
+
+let access_to_string = function
+  | Acc_load -> "load"
+  | Acc_store -> "store"
+  | Acc_reduce -> "reduce"
+
+let ints_to_string a =
+  String.concat "," (Array.to_list (Array.map string_of_int a))
+
+(* The context is the innermost enclosing statement, which for a fault in
+   a loop bound is the whole loop: cap the rendering so diagnostics stay
+   readable. *)
+let context_cap = 8
+
+let context_of_stmt s =
+  let full = Printer.stmt_to_string s in
+  let lines = String.split_on_char '\n' (String.trim full) in
+  if List.length lines <= context_cap then String.concat "\n" lines
+  else
+    String.concat "\n"
+      (List.filteri (fun i _ -> i < context_cap) lines @ [ "..." ])
+
+let to_string d =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf "%s[%s] in %s%s: %s"
+       (severity_to_string d.dg_severity)
+       (code_to_string d.dg_code) d.dg_fn
+       (match d.dg_sid with
+        | Some sid -> Printf.sprintf " at statement #%d" sid
+        | None -> "")
+       d.dg_detail);
+  (match d.dg_iters with
+   | [] -> ()
+   | its ->
+     Buffer.add_string b
+       (Printf.sprintf "\n  iteration: %s"
+          (String.concat ", "
+             (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) its))));
+  if d.dg_context <> "" then begin
+    Buffer.add_string b "\n  context:";
+    List.iter
+      (fun line -> Buffer.add_string b ("\n    " ^ line))
+      (String.split_on_char '\n' d.dg_context)
+  end;
+  Buffer.contents b
+
+let () =
+  Printexc.register_printer (function
+    | Diag_error d -> Some (to_string d)
+    | _ -> None)
+
+let make ?(severity = Error) ?sid ?tensor ?index ?(iters = [])
+    ?(context = "") ~code ~fn detail =
+  { dg_severity = severity; dg_code = code; dg_fn = fn; dg_sid = sid;
+    dg_tensor = tensor; dg_index = index; dg_iters = iters;
+    dg_detail = detail; dg_context = context }
+
+let oob ~fn ?sid ?context ?iters ~access ~tensor ~dtype ~shape ~index ~dim
+    () =
+  let code =
+    match access with
+    | Acc_load -> Oob_load
+    | Acc_store -> Oob_store
+    | Acc_reduce -> Oob_reduce
+  in
+  let detail =
+    match dim with
+    | Some k ->
+      Printf.sprintf
+        "%s %s[%s] out of bounds: index %d not in [0, %d) at dim %d \
+         (shape [%s], %s)"
+        (access_to_string access) tensor (ints_to_string index) index.(k)
+        shape.(k) k (ints_to_string shape)
+        (Types.dtype_to_string dtype)
+    | None ->
+      Printf.sprintf
+        "%s %s[%s]: rank %d index on rank %d tensor (shape [%s], %s)"
+        (access_to_string access) tensor (ints_to_string index)
+        (Array.length index) (Array.length shape) (ints_to_string shape)
+        (Types.dtype_to_string dtype)
+  in
+  make ?sid ~tensor ~index ?iters ?context ~code ~fn detail
+
+let uninit ~fn ?sid ?context ?iters ~tensor ~dtype ~shape ~index () =
+  make ?sid ~tensor ~index ?iters ?context ~code:Uninit_read ~fn
+    (Printf.sprintf
+       "load %s[%s] reads an uninitialized element (never stored; shape \
+        [%s], %s)"
+       tensor (ints_to_string index) (ints_to_string shape)
+       (Types.dtype_to_string dtype))
+
+let nonfinite ~fn ?sid ?context ?iters ~access ~tensor ~index ~value () =
+  make ?sid ~tensor ~index ?iters ?context ~code:Nonfinite_store ~fn
+    (Printf.sprintf "%s of non-finite value %g to %s[%s]"
+       (access_to_string access) value tensor (ints_to_string index))
+
+let missing_arg ~fn name =
+  make ~code:Missing_arg ~fn (Printf.sprintf "missing argument %s" name)
+
+let unknown_arg ~fn name =
+  make ~code:Unknown_arg ~fn
+    (Printf.sprintf "unknown argument %s: not a parameter of %s" name fn)
+
+let unknown_size ~fn name =
+  make ~code:Unknown_size ~fn
+    (Printf.sprintf "size %s is not referenced by %s" name fn)
+
+let arg_shape ~fn name ~declared ~got =
+  make ~tensor:name ~code:Shape_mismatch ~fn
+    (Printf.sprintf
+       "argument %s: tensor shape [%s] does not match declared [%s]" name
+       (String.concat ";" (Array.to_list (Array.map string_of_int got)))
+       (String.concat ";"
+          (Array.to_list (Array.map string_of_int declared))))
+
+let gpu_resources ~fn ?sid ~detail () =
+  make ?sid ~code:Gpu_resources ~fn detail

@@ -1,0 +1,122 @@
+(** Structured runtime/compile diagnostics for guarded execution.
+
+    Every failure the guarded executors can detect — out-of-bounds
+    accesses, uninitialized reads, non-finite stores, argument-binding
+    errors, GPU per-kernel resource violations — is described by one
+    value of {!t} carrying full provenance: the statement id, the
+    enclosing loop iteration vector, the concrete index values, and a
+    pretty-printed IR context.  Both executors build their messages
+    through the constructors here, so the same failure renders to a
+    byte-identical string in the interpreter and the compiled backend
+    (a property the test suite asserts). *)
+
+type severity =
+  | Warning
+  | Error
+
+(** What went wrong; the bracketed tag of the rendered message. *)
+type code =
+  | Oob_load
+  | Oob_store
+  | Oob_reduce
+  | Uninit_read
+  | Nonfinite_store
+  | Missing_arg
+  | Unknown_arg
+  | Shape_mismatch
+  | Unknown_size
+  | Gpu_resources
+
+(** Access kinds, for diagnostics that concern one tensor access. *)
+type access =
+  | Acc_load
+  | Acc_store
+  | Acc_reduce
+
+type t = {
+  dg_severity : severity;
+  dg_code : code;
+  dg_fn : string;                (** function being executed/compiled *)
+  dg_sid : int option;           (** statement id of the faulting site *)
+  dg_tensor : string option;     (** tensor involved, when applicable *)
+  dg_index : int array option;   (** concrete index values at the fault *)
+  dg_iters : (string * int) list;
+      (** enclosing loop iteration vector, outermost first *)
+  dg_detail : string;            (** one-line description *)
+  dg_context : string;           (** pretty-printed IR context ("" if none) *)
+}
+
+(** Raised by guarded execution on the first detected fault. *)
+exception Diag_error of t
+
+val code_to_string : code -> string
+val access_to_string : access -> string
+
+(** Deterministic multi-line rendering (no trailing newline). *)
+val to_string : t -> string
+
+(** Pretty-print a statement as diagnostic context, capped to a few
+    lines so a fault inside a large loop nest stays readable. *)
+val context_of_stmt : Stmt.t -> string
+
+(** {1 Constructors}
+
+    Each builds the canonical detail line for its failure class; both
+    executors must use these (never hand-rolled strings) so messages
+    stay byte-identical across backends. *)
+
+(** Out-of-bounds (or, with [dim = None], rank-mismatched) access. *)
+val oob :
+  fn:string ->
+  ?sid:int ->
+  ?context:string ->
+  ?iters:(string * int) list ->
+  access:access ->
+  tensor:string ->
+  dtype:Types.dtype ->
+  shape:int array ->
+  index:int array ->
+  dim:int option ->
+  unit ->
+  t
+
+(** Read of a tensor element never stored since its allocation. *)
+val uninit :
+  fn:string ->
+  ?sid:int ->
+  ?context:string ->
+  ?iters:(string * int) list ->
+  tensor:string ->
+  dtype:Types.dtype ->
+  shape:int array ->
+  index:int array ->
+  unit ->
+  t
+
+(** NaN/Inf poison on a float store or reduce operand. *)
+val nonfinite :
+  fn:string ->
+  ?sid:int ->
+  ?context:string ->
+  ?iters:(string * int) list ->
+  access:access ->
+  tensor:string ->
+  index:int array ->
+  value:float ->
+  unit ->
+  t
+
+(** {2 Argument binding} *)
+
+val missing_arg : fn:string -> string -> t
+val unknown_arg : fn:string -> string -> t
+val unknown_size : fn:string -> string -> t
+
+(** Declared-vs-actual parameter shape conflict. *)
+val arg_shape :
+  fn:string -> string -> declared:int array -> got:int array -> t
+
+(** {2 Machine model} *)
+
+(** Per-kernel GPU resource violation (threads/block, shared memory). *)
+val gpu_resources : fn:string -> ?sid:int -> detail:string -> unit -> t

@@ -365,3 +365,36 @@ let equal (a : t) (b : t) = a = b
 
 (** Count AST nodes; used by cost heuristics in AD and auto-scheduling. *)
 let size e = fold (fun n _ -> n + 1) 0 e
+
+(** True when the expression contains no variable, load or metadata
+    query — its value is fixed at program-construction time.  The
+    guarded executors use it to exempt literal initializers (e.g. the
+    [-inf] identity of a max-reduction) from non-finite poison checks. *)
+let is_constant (e : t) : bool =
+  fold
+    (fun acc x ->
+      acc
+      &&
+      match x with
+      | Var _ | Load _ | Meta_ndim _ | Meta_shape _ -> false
+      | _ -> true)
+    true e
+
+let rec static_int (e : t) : int option =
+  match e with
+  | Int_const n -> Some n
+  | Unop (Neg, a) -> Option.map Int.neg (static_int a)
+  | Binop (op, a, b) -> (
+    match (static_int a, static_int b) with
+    | Some x, Some y -> (
+      match op with
+      | Add -> Some (x + y)
+      | Sub -> Some (x - y)
+      | Mul -> Some (x * y)
+      | Floor_div -> if y = 0 then None else Some (ifloor_div x y)
+      | Mod -> if y = 0 then None else Some (imod x y)
+      | Min -> Some (min x y)
+      | Max -> Some (max x y)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None

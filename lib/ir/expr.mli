@@ -134,5 +134,17 @@ val equal : t -> t -> bool
 (** AST node count (cost heuristics). *)
 val size : t -> int
 
+(** Fold a closed integer expression to its value at compile time;
+    [None] when it contains variables, loads, float operators or a zero
+    divisor.  Shared by both executors so their notions of a
+    "compile-time-static" dimension cannot drift apart. *)
+val static_int : t -> int option
+
+(** True when the expression contains no variable, load or metadata
+    query.  The guarded executors exempt such literal stored values
+    (e.g. the [-inf] identity of a max-reduction) from non-finite
+    poison checks. *)
+val is_constant : t -> bool
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -25,6 +25,11 @@ type spec = {
   atomic_rmw : float;
   (** seconds per atomic read-modify-write; charged serialized (atomics
       to one cell contend, the conservative case) *)
+  shared_mem_per_block : float;
+  (** bytes of scratchpad (GPU shared memory) addressable by one block;
+      [infinity] on CPU where scratchpads are modeled by cache *)
+  max_threads_per_block : int;
+  (** hardware limit on threads per block; [max_int] on CPU *)
 }
 
 (** Dual Xeon E5-2670 v3: 24 cores @ 2.3 GHz, AVX2 (8 f32 lanes x 2 FMA
@@ -41,7 +46,9 @@ let cpu =
     mem_capacity = 256.0e9;
     launch_overhead = 4.0e-6;
     (* lock-prefixed RMW bouncing a cache line between sockets *)
-    atomic_rmw = 2.0e-8 }
+    atomic_rmw = 2.0e-8;
+    shared_mem_per_block = infinity;
+    max_threads_per_block = max_int }
 
 (** NVIDIA Tesla V100-PCIE-32GB: 14 TFLOP/s fp32, 900 GB/s HBM2,
     6 MB L2, ~5 us kernel launch latency. *)
@@ -58,11 +65,42 @@ let gpu =
     launch_overhead = 5.0e-6;
     (* L2 atomic unit round trip x serialization factor for same-address
        contention (Fig. 13(e): atomics are charged, not free) *)
-    atomic_rmw = 4.0e-8 }
+    atomic_rmw = 4.0e-8;
+    (* 96 KB unified shared memory/L1 per SM, all opt-in to one block *)
+    shared_mem_per_block = 98304.0;
+    max_threads_per_block = 1024 }
 
 let of_device = function
   | Types.Cpu -> cpu
   | Types.Gpu -> gpu
+
+(** Check one kernel's per-block resource requests against the device's
+    hard limits (GPU only — the CPU limits are infinite).  Raises
+    {!Ft_ir.Diag.Diag_error} with code [Gpu_resources]: a kernel that
+    oversubscribes shared memory or threads per block would fail to
+    launch on the real device, so the cost model must refuse to price
+    it rather than extrapolate. *)
+let validate_kernel (sp : spec) ?sid ~fn ~threads_per_block ~shared_bytes ()
+    =
+  if threads_per_block > sp.max_threads_per_block then
+    raise
+      (Diag.Diag_error
+         (Diag.gpu_resources ~fn ?sid
+            ~detail:
+              (Printf.sprintf
+                 "kernel requests %d threads per block; %s allows at most %d"
+                 threads_per_block sp.sp_name sp.max_threads_per_block)
+            ()));
+  if shared_bytes > sp.shared_mem_per_block then
+    raise
+      (Diag.Diag_error
+         (Diag.gpu_resources ~fn ?sid
+            ~detail:
+              (Printf.sprintf
+                 "kernel requests %.0f bytes of shared memory per block; \
+                  %s allows at most %.0f"
+                 shared_bytes sp.sp_name sp.shared_mem_per_block)
+            ()))
 
 (** Cores actually available on the host running this process — the
     default worker-pool size for the parallel compiled executor (as

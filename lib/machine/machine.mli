@@ -24,6 +24,11 @@ type spec = {
   launch_overhead : float; (** seconds per kernel launch *)
   atomic_rmw : float;
   (** seconds per atomic read-modify-write, charged serialized *)
+  shared_mem_per_block : float;
+  (** bytes of scratchpad (GPU shared memory) per block; [infinity] on
+      CPU *)
+  max_threads_per_block : int;
+  (** hardware limit on threads per block; [max_int] on CPU *)
 }
 
 (** Dual Xeon E5-2670 v3 (24 cores, AVX2). *)
@@ -33,6 +38,21 @@ val cpu : spec
 val gpu : spec
 
 val of_device : Types.device -> spec
+
+(** Check one kernel's per-block resource requests against the device's
+    hard limits.  A kernel oversubscribing shared memory or threads per
+    block cannot launch on the real device; raises
+    {!Ft_ir.Diag.Diag_error} (code [Gpu_resources]) naming the request,
+    the limit and, when given, the offending statement.  No-op on CPU
+    (its limits are infinite). *)
+val validate_kernel :
+  spec ->
+  ?sid:int ->
+  fn:string ->
+  threads_per_block:int ->
+  shared_bytes:float ->
+  unit ->
+  unit
 
 (** Cores available on the host running this process
     ([Domain.recommended_domain_count]) — the default pool size for the

@@ -295,8 +295,35 @@ let shard_alloc sh bytes =
 
 let shard_release sh bytes = sh.sh_live <- sh.sh_live - bytes
 
+let reset_counters c =
+  c.loads <- 0;
+  c.stores <- 0;
+  c.load_bytes <- 0;
+  c.store_bytes <- 0;
+  c.dram_bytes <- 0;
+  c.fadd <- 0;
+  c.fmul <- 0;
+  c.fdiv <- 0;
+  c.fspecial <- 0;
+  c.fother <- 0;
+  c.iops <- 0;
+  c.cmps <- 0;
+  c.entries <- 0;
+  c.trips <- 0;
+  c.atomics <- 0
+
 let merge_shard p sh =
-  Hashtbl.iter (fun sid c -> add_counters ~into:(ctr p sid) c) sh.sh_ctrs;
+  (* Drain in place: compiled closures hold the counter records captured
+     at compile time, so the records must stay reachable through
+     [sh_ctrs] — dropping the table (rather than zeroing the cells)
+     would silently discard every later run's counts when the same
+     compiled parallel loop executes again (e.g. a parallel loop nested
+     under a demoted or sequential outer loop). *)
+  Hashtbl.iter
+    (fun sid c ->
+      add_counters ~into:(ctr p sid) c;
+      reset_counters c)
+    sh.sh_ctrs;
   (match p.cur with
    | Some (k, _) ->
      Hashtbl.iter (fun n b -> Hashtbl.replace k.k_footprint n b) sh.sh_fp
@@ -307,7 +334,6 @@ let merge_shard p sh =
   if p.live_bytes + sh.sh_peak > p.peak_live then
     p.peak_live <- p.live_bytes + sh.sh_peak;
   p.live_bytes <- p.live_bytes + sh.sh_live;
-  Hashtbl.reset sh.sh_ctrs;
   Hashtbl.reset sh.sh_fp;
   sh.sh_live <- 0;
   sh.sh_peak <- 0

@@ -19,6 +19,54 @@ type t = {
   buf : buffer;
 }
 
+(* Structured access faults: executors wrap these into a Diag.t with
+   provenance (statement id, iteration vector) under guarded execution;
+   the raw exception still carries everything needed to understand the
+   failure on its own. *)
+type fault =
+  | Rank_mismatch of { shape : int array; dtype : Types.dtype; index : int array }
+  | Out_of_bounds of {
+      shape : int array;
+      dtype : Types.dtype;
+      index : int array;
+      dim : int;
+    }
+  | Not_scalar of { op : string; shape : int array }
+  | Size_mismatch of { op : string; expected : int; got : int }
+  | Shape_mismatch of { op : string; a : int array; b : int array }
+
+exception Fault of fault
+
+let ints_to_string a =
+  String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let fault_to_string = function
+  | Rank_mismatch { shape; dtype; index } ->
+    Printf.sprintf "Tensor: rank %d index [%s] on rank %d tensor (shape [%s], %s)"
+      (Array.length index) (ints_to_string index) (Array.length shape)
+      (ints_to_string shape)
+      (Types.dtype_to_string dtype)
+  | Out_of_bounds { shape; dtype; index; dim } ->
+    Printf.sprintf
+      "Tensor: index %d not in [0, %d) at dim %d (index [%s], shape [%s], %s)"
+      index.(dim) shape.(dim) dim (ints_to_string index)
+      (ints_to_string shape)
+      (Types.dtype_to_string dtype)
+  | Not_scalar { op; shape } ->
+    Printf.sprintf "Tensor.%s: not a scalar (shape [%s])" op
+      (ints_to_string shape)
+  | Size_mismatch { op; expected; got } ->
+    Printf.sprintf "Tensor.%s: %d data elements for a shape of %d" op got
+      expected
+  | Shape_mismatch { op; a; b } ->
+    Printf.sprintf "Tensor.%s: shape [%s] vs [%s]" op (ints_to_string a)
+      (ints_to_string b)
+
+let () =
+  Printexc.register_printer (function
+    | Fault f -> Some (fault_to_string f)
+    | _ -> None)
+
 let numel_of_shape shape = Array.fold_left ( * ) 1 shape
 
 let strides_of_shape shape =
@@ -50,16 +98,20 @@ let byte_size t = numel t * Types.dtype_size t.dtype
 let flat_index t idx =
   let n = Array.length idx in
   if n <> Array.length t.shape then
-    invalid_arg
-      (Printf.sprintf "Tensor.flat_index: rank %d index on rank %d tensor" n
-         (Array.length t.shape));
+    raise
+      (Fault
+         (Rank_mismatch
+            { shape = Array.copy t.shape; dtype = t.dtype;
+              index = Array.copy idx }));
   let off = ref 0 in
   for k = 0 to n - 1 do
     let i = idx.(k) in
     if i < 0 || i >= t.shape.(k) then
-      invalid_arg
-        (Printf.sprintf "Tensor.flat_index: index %d out of bound %d at dim %d"
-           i t.shape.(k) k);
+      raise
+        (Fault
+           (Out_of_bounds
+              { shape = Array.copy t.shape; dtype = t.dtype;
+                index = Array.copy idx; dim = k }));
     off := !off + (i * t.strides.(k))
   done;
   !off
@@ -105,7 +157,8 @@ let scalar_i dtype v =
   t
 
 let to_scalar_f t =
-  if numel t <> 1 then invalid_arg "Tensor.to_scalar_f: not a scalar";
+  if numel t <> 1 then
+    raise (Fault (Not_scalar { op = "to_scalar_f"; shape = Array.copy t.shape }));
   get_flat_f t 0
 
 let fill_f t v =
@@ -123,14 +176,22 @@ let copy t =
 
 let of_float_array dtype shape data =
   if Array.length data <> numel_of_shape shape then
-    invalid_arg "Tensor.of_float_array: size mismatch";
+    raise
+      (Fault
+         (Size_mismatch
+            { op = "of_float_array"; expected = numel_of_shape shape;
+              got = Array.length data }));
   let t = create dtype shape in
   Array.iteri (fun k v -> set_flat_f t k v) data;
   t
 
 let of_int_array dtype shape data =
   if Array.length data <> numel_of_shape shape then
-    invalid_arg "Tensor.of_int_array: size mismatch";
+    raise
+      (Fault
+         (Size_mismatch
+            { op = "of_int_array"; expected = numel_of_shape shape;
+              got = Array.length data }));
   let t = create dtype shape in
   Array.iteri (fun k v -> set_flat_i t k v) data;
   t
@@ -164,7 +225,11 @@ let map_f f t =
   r
 
 let map2_f f a b =
-  if a.shape <> b.shape then invalid_arg "Tensor.map2_f: shape mismatch";
+  if a.shape <> b.shape then
+    raise
+      (Fault
+         (Shape_mismatch
+            { op = "map2_f"; a = Array.copy a.shape; b = Array.copy b.shape }));
   let r = create a.dtype a.shape in
   for k = 0 to numel a - 1 do
     set_flat_f r k (f (get_flat_f a k) (get_flat_f b k))
@@ -173,7 +238,12 @@ let map2_f f a b =
 
 (** Max absolute difference; used to compare implementations. *)
 let max_abs_diff a b =
-  if a.shape <> b.shape then invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  if a.shape <> b.shape then
+    raise
+      (Fault
+         (Shape_mismatch
+            { op = "max_abs_diff"; a = Array.copy a.shape;
+              b = Array.copy b.shape }));
   let m = ref 0.0 in
   for k = 0 to numel a - 1 do
     let d = Float.abs (get_flat_f a k -. get_flat_f b k) in
@@ -200,6 +270,10 @@ let to_string ?(max_elems = 16) t =
 (** Row-major strides (elements); exposed for compiled executors that
     precompute flat offsets instead of building index arrays. *)
 let strides t = t.strides
+
+(** The shape without a copy (do not mutate) — the guarded executors
+    validate every index against it on the hot path. *)
+let dims t = t.shape
 
 (** Unchecked flat accessors for compiled code paths: the compiler has
     already validated ranks, and the flat offset is bounds-checked by the

@@ -8,6 +8,33 @@ open Ft_ir
 
 type t
 
+(** {1 Faults}
+
+    Every precondition violation raises [Fault] with a structured payload
+    instead of a formatted string, so guarded executors can wrap the
+    failure into a {!Ft_ir.Diag.t} with provenance (statement id,
+    iteration vector) while the raw exception still prints on its own. *)
+
+type fault =
+  | Rank_mismatch of {
+      shape : int array;
+      dtype : Types.dtype;
+      index : int array;
+    }
+  | Out_of_bounds of {
+      shape : int array;
+      dtype : Types.dtype;
+      index : int array;
+      dim : int;  (** first violating dimension *)
+    }
+  | Not_scalar of { op : string; shape : int array }
+  | Size_mismatch of { op : string; expected : int; got : int }
+  | Shape_mismatch of { op : string; a : int array; b : int array }
+
+exception Fault of fault
+
+val fault_to_string : fault -> string
+
 (** {1 Creation} *)
 
 (** Fresh zero-filled tensor of the given dtype and shape. *)
@@ -48,6 +75,9 @@ val byte_size : t -> int
 
 (** Row-major strides in elements (not a copy; do not mutate). *)
 val strides : t -> int array
+
+(** The shape without a copy (do not mutate) — for guard hot paths. *)
+val dims : t -> int array
 
 (** {1 Element access} *)
 

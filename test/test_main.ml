@@ -16,4 +16,5 @@ let () =
       ("parallel", Test_par.suite);
       ("race", Test_race.suite);
       ("profile", Test_profile.suite);
+      ("guard", Test_guard.suite);
       ("libop", Test_libop.suite) ]
