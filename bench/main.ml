@@ -273,10 +273,14 @@ let wallclock () =
 
 (* ------------------------------------------------------------- *)
 (* wallclock-json: machine-readable medians for the three in-process
-   executors on each workload, written to BENCH_wallclock.json.  All
-   three run the same CPU-auto-scheduled program (so the parallel
-   executor sees the scheduler's OpenMP annotations and the comparison
-   isolates the execution backend, not the schedule). *)
+   executors plus a fault-free supervised run on each workload, written
+   to BENCH_wallclock.json.  All run the same CPU-auto-scheduled program
+   (so the parallel executor sees the scheduler's OpenMP annotations and
+   the comparison isolates the execution backend, not the schedule); the
+   "supervised" row serves through a prepared Supervisor with the
+   default policy and no fault plan, pricing the supervision hooks,
+   argument snapshot, and attempt accounting on the unsupervised hot
+   path. *)
 
 let median_ns f =
   f () (* warm-up *);
@@ -310,11 +314,18 @@ let wallclock_json () =
       (fun (wname, fn, args) ->
         let seq = Cexec.compile fn in
         let par = Cexec.compile ~parallel:true fn in
+        let sv =
+          Ft_backend.Supervisor.prepare
+            ~policy:Ft_backend.Supervisor.default_policy fn
+        in
         [ (wname, "interp", median_ns (fun () -> Interp.run_func fn args));
           (wname, "compiled-seq",
            median_ns (fun () -> seq.Cexec.cd_run args []));
           (wname, "compiled-par",
-           median_ns (fun () -> par.Cexec.cd_run args [])) ])
+           median_ns (fun () -> par.Cexec.cd_run args []));
+          (wname, "supervised",
+           median_ns (fun () ->
+               ignore (Ft_backend.Supervisor.exec sv args))) ])
       [ ("subdivnet", sub_fn, [ ("e", e); ("adj", adj); ("y", sub_y) ]);
         ("longformer", lf_fn,
          [ ("Q", q); ("K", k); ("V", v); ("Y", lf_y) ]) ]
@@ -354,10 +365,16 @@ let wallclock_json () =
           (fun (w, e, ns) -> if w = wname && e = ex then Some ns else None)
           rows
       in
-      match (find "compiled-seq", find "compiled-par") with
-      | Some s, Some p ->
-        Printf.printf "%-12s parallel speedup over sequential: %.2fx\n" wname
-          (s /. p)
+      (match (find "compiled-seq", find "compiled-par") with
+       | Some s, Some p ->
+         Printf.printf "%-12s parallel speedup over sequential: %.2fx\n"
+           wname (s /. p)
+       | _ -> ());
+      (* fault-free supervision cost over its primary backend *)
+      match (find "compiled-par", find "supervised") with
+      | Some p, Some sv ->
+        Printf.printf "%-12s supervised overhead over compiled-par: %.2fx\n"
+          wname (sv /. p)
       | _ -> ())
     [ "subdivnet"; "longformer" ]
 

@@ -16,10 +16,37 @@
                                         if any loop is Racy
      ftc guard <workload>               static bounds-prover report, then
                                         guarded execution under both
-                                        executors; exits 1 on any fault  *)
+                                        executors; exits 1 on any fault
+     ftc soak <workload> [--seed N]     drive the workload through the
+             [--faults K] [--requests R]  execution supervisor under
+                                        randomized fault plans; print an
+                                        availability/degradation report
+
+   Exit codes are uniform across subcommands: 0 = success, 1 = fault
+   (structured diagnostic on stderr), 2 = usage error. *)
 
 open Freetensor
 open Cmdliner
+
+(* Unified fault handling: every subcommand body runs under [guarded],
+   which routes any fault — structured diagnostics and raw executor
+   errors alike — to stderr and exits 1.  Usage errors exit 2 (set via
+   [~term_err] below); success is 0. *)
+exception Cli_fault of string
+
+let faultf fmt = Printf.ksprintf (fun s -> raise (Cli_fault s)) fmt
+
+let guarded (f : unit -> unit) : unit =
+  let fail msg =
+    Printf.eprintf "ftc: fault: %s\n" msg;
+    exit 1
+  in
+  try f () with
+  | Cli_fault m -> fail m
+  | Diag.Diag_error d -> fail (Diag.to_string d)
+  | Interp.Interp_error m | Compile_exec.Exec_error m -> fail m
+  | Interp.Race_detected m -> fail m
+  | Tensor.Fault flt -> fail (Tensor.fault_to_string flt)
 module Sub = Ft_workloads.Subdivnet
 module Lf = Ft_workloads.Longformer
 module Sr = Ft_workloads.Softras
@@ -209,9 +236,12 @@ let profile_cmd =
 
 let check_cmd =
   let run w device =
-    let fn = Auto.run ~device (func_of w) in
-    print_string (Race.func_report fn);
-    if Race.has_racy (Race.check_func fn) then exit 1
+    guarded (fun () ->
+        let fn = Auto.run ~device (func_of w) in
+        print_string (Race.func_report fn);
+        if Race.has_racy (Race.check_func fn) then
+          faultf "race check: racy parallel loop(s) in %s"
+            fn.Stmt.fn_name)
   in
   Cmd.v
     (Cmd.info "check"
@@ -223,34 +253,27 @@ let check_cmd =
 
 let guard_cmd =
   let run w =
-    let _, fn, _, _ = workload_case w in
-    print_string (Boundcheck.func_report fn);
-    print_newline ();
-    (try
-       let _, fn_i, args_i, diff_i = workload_case w in
-       Interp.run_func ~guard:true fn_i args_i;
-       Printf.printf "interp (guarded): max |FT - reference| = %g\n"
-         (diff_i ());
-       let _, fn_c, args_c, diff_c = workload_case w in
-       let cd = Compile_exec.compile ~guard:true fn_c in
-       cd.Compile_exec.cd_run args_c [];
-       Printf.printf "compiled (guarded): max |FT - reference| = %g\n"
-         (diff_c ());
-       match cd.Compile_exec.cd_guard with
-       | Some g ->
-         Printf.printf
-           "guard stats: %d access site(s), %d elided (statically proved), \
-            %d checked, %d runtime check(s) executed\n"
-           g.Compile_exec.gs_sites g.Compile_exec.gs_elided
-           g.Compile_exec.gs_checked g.Compile_exec.gs_checks
-       | None -> ()
-     with
-     | Diag.Diag_error d ->
-       Printf.printf "FAULT: %s\n" (Diag.to_string d);
-       exit 1
-     | Interp.Interp_error msg | Compile_exec.Exec_error msg ->
-       Printf.printf "FAULT: %s\n" msg;
-       exit 1)
+    guarded (fun () ->
+        let _, fn, _, _ = workload_case w in
+        print_string (Boundcheck.func_report fn);
+        print_newline ();
+        let _, fn_i, args_i, diff_i = workload_case w in
+        Interp.run_func ~guard:true fn_i args_i;
+        Printf.printf "interp (guarded): max |FT - reference| = %g\n"
+          (diff_i ());
+        let _, fn_c, args_c, diff_c = workload_case w in
+        let cd = Compile_exec.compile ~guard:true fn_c in
+        cd.Compile_exec.cd_run args_c [];
+        Printf.printf "compiled (guarded): max |FT - reference| = %g\n"
+          (diff_c ());
+        match cd.Compile_exec.cd_guard with
+        | Some g ->
+          Printf.printf
+            "guard stats: %d access site(s), %d elided (statically \
+             proved), %d checked, %d runtime check(s) executed\n"
+            g.Compile_exec.gs_sites g.Compile_exec.gs_elided
+            g.Compile_exec.gs_checked g.Compile_exec.gs_checks
+        | None -> ())
   in
   Cmd.v
     (Cmd.info "guard"
@@ -262,12 +285,186 @@ let guard_cmd =
           the guard statistics; exits 1 on any fault")
     Term.(const run $ wl_arg)
 
+(* Bitwise equality over tensor buffers (NaN-safe, -0.0 distinct): the
+   soak harness's acceptance bar for degraded results. *)
+let bits_equal a b =
+  let fa = Tensor.to_float_array a and fb = Tensor.to_float_array b in
+  Array.length fa = Array.length fb
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i x ->
+           if Int64.bits_of_float x <> Int64.bits_of_float fb.(i) then
+             ok := false)
+         fa;
+       !ok
+     end
+
+let soak_cmd =
+  let run w seed faults requests min_avail =
+    guarded (fun () ->
+        let name, fn0, args, _ = workload_case w in
+        (* auto-schedule so the parallel backend has annotated loops *)
+        let fn = Auto.run ~device:Types.Cpu fn0 in
+        let policy = Supervisor.default_policy in
+        let sv = Supervisor.prepare ~policy fn in
+        let out_names =
+          List.filter_map
+            (fun (p : Stmt.param) ->
+              match p.Stmt.p_atype with
+              | Types.Input -> None
+              | _ -> Some p.Stmt.p_name)
+            fn.Stmt.fn_params
+        in
+        let outputs () =
+          List.filter (fun (n, _) -> List.mem n out_names) args
+        in
+        let pristine = List.map (fun (n, t) -> (n, Tensor.copy t)) args in
+        let restore_all () =
+          List.iter
+            (fun (n, s) ->
+              Tensor.copy_into ~src:s ~dst:(List.assoc n args))
+            pristine
+        in
+        (* Fault-free reference outputs per backend: the bitwise bar a
+           degraded result must clear for the backend that served it. *)
+        let reference =
+          List.map
+            (fun b ->
+              restore_all ();
+              let sv1 =
+                Supervisor.prepare ~policy:{ policy with backends = [ b ] }
+                  fn
+              in
+              let o = Supervisor.exec sv1 args in
+              (match o.Supervisor.result with
+               | Some _ -> ()
+               | None ->
+                 faultf "soak %s: fault-free run on %s failed:\n%s" name
+                   (Supervisor.backend_name b)
+                   (Supervisor.outcome_to_string o));
+              (b, List.map (fun (n, t) -> (n, Tensor.copy t)) (outputs ())))
+            policy.backends
+        in
+        (* One clean supervised request to size the fault horizon. *)
+        restore_all ();
+        let warm = Supervisor.exec sv args in
+        (match warm.Supervisor.result with
+         | Some _ -> ()
+         | None -> faultf "soak %s: clean warm-up request failed" name);
+        (* Span several attempts' worth of kernels so plans can exercise
+           retries and fallbacks, and so some ordinals land beyond what a
+           successful run executes (those requests serve clean). *)
+        let horizon =
+          max 4 (Machine.last_kernels () * (policy.retries + 2))
+        in
+        let clean = ref 0 and degraded = ref 0 and closed = ref 0 in
+        let mismatches = ref 0 and uncaught = ref 0 in
+        let attempts_total = ref 0 and fired_total = ref 0 in
+        for r = 1 to requests do
+          restore_all ();
+          let plan =
+            Machine.Fault_plan.make ~seed:(seed + (r * 7919)) ~faults
+              ~horizon
+          in
+          match Supervisor.exec sv ~plan args with
+          | exception _ -> incr uncaught
+          | o ->
+            attempts_total := !attempts_total + List.length o.Supervisor.attempts;
+            fired_total :=
+              !fired_total + List.length (Machine.Fault_plan.fired plan);
+            (match o.Supervisor.result with
+             | None ->
+               incr closed;
+               if o.Supervisor.diags = [] then incr uncaught
+             | Some b ->
+               if o.Supervisor.degraded then incr degraded else incr clean;
+               let want = List.assoc b reference in
+               if
+                 not
+                   (List.for_all
+                      (fun (n, t) -> bits_equal t (List.assoc n want))
+                      (outputs ()))
+               then incr mismatches)
+        done;
+        let pct n = 100.0 *. float_of_int n /. float_of_int requests in
+        let avail = pct (!clean + !degraded) in
+        Printf.printf "soak %s: seed=%d faults=%d requests=%d horizon=%d\n"
+          name seed faults requests horizon;
+        Printf.printf "  succeeded clean     %4d  (%5.1f%%)\n" !clean
+          (pct !clean);
+        Printf.printf "  succeeded degraded  %4d  (%5.1f%%)\n" !degraded
+          (pct !degraded);
+        Printf.printf "  failed closed       %4d  (%5.1f%%)\n" !closed
+          (pct !closed);
+        Printf.printf "  availability        %5.1f%%  (clean + degraded)\n"
+          avail;
+        Printf.printf
+          "  mean attempts %.2f   injected faults fired %d\n"
+          (float_of_int !attempts_total /. float_of_int requests)
+          !fired_total;
+        Printf.printf "  bitwise mismatches %d   uncaught exceptions %d\n"
+          !mismatches !uncaught;
+        if !uncaught > 0 then
+          faultf "soak %s: %d uncaught exception(s)" name !uncaught;
+        if !mismatches > 0 then
+          faultf
+            "soak %s: %d result(s) not bitwise-identical to the serving \
+             backend's fault-free run"
+            name !mismatches;
+        if avail < min_avail *. 100.0 then
+          faultf "soak %s: availability %.1f%% below the %.1f%% floor"
+            name avail (min_avail *. 100.0))
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "faults" ] ~docv:"K"
+          ~doc:"Injected faults per request (distinct kernel ordinals).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests to serve.")
+  in
+  let min_avail_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "min-availability" ] ~docv:"F"
+          ~doc:
+            "Fail (exit 1) when (clean + degraded) / requests drops below \
+             this fraction.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Serve repeated requests through the execution supervisor under \
+          seeded random fault plans (launch failures, transient compute \
+          faults, simulated OOM) and print an availability/degradation \
+          report; exits 1 on any uncaught exception, bitwise divergence, \
+          or availability below the floor")
+    Term.(
+      const run $ wl_arg $ seed_arg $ faults_arg $ requests_arg
+      $ min_avail_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let group =
+    Cmd.group ~default
+      (Cmd.info "ftc" ~version:"1.0.0"
+         ~doc:"FreeTensor: free-form tensor program compiler")
+      [ show_cmd; schedule_cmd; codegen_cmd; grad_cmd; estimate_cmd;
+        run_cmd; profile_cmd; check_cmd; guard_cmd; soak_cmd ]
+  in
+  (* 0 = ok, 1 = fault (guarded already exited for handled faults; an
+     escaped exception lands here), 2 = usage. *)
   exit
-    (Cmd.eval
-       (Cmd.group ~default
-          (Cmd.info "ftc" ~version:"1.0.0"
-             ~doc:"FreeTensor: free-form tensor program compiler")
-          [ show_cmd; schedule_cmd; codegen_cmd; grad_cmd; estimate_cmd;
-            run_cmd; profile_cmd; check_cmd; guard_cmd ]))
+    (match Cmd.eval_value group with
+     | Ok (`Ok () | `Version | `Help) -> 0
+     | Error (`Parse | `Term) -> 2
+     | Error `Exn -> 1)

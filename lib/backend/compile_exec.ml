@@ -263,6 +263,13 @@ type cenv = {
   mutable region : region option;
   mutable loops : open_loop list; (* open loops, innermost first *)
   guard : gstate option;
+  sup : bool; (* emit supervisor hooks (kernel boundaries, poll points) *)
+  mutable sup_host : bool;
+      (* compiling at host (kernel-boundary) level: the next non-Seq,
+         non-Var_def statement is a kernel root *)
+  mutable sup_poll : bool;
+      (* the next For is a kernel root: emit a per-iteration poll of the
+         supervisor token in that outermost loop only *)
 }
 
 (* Names are resolved lexically: parameters and Var_defs are the only
@@ -815,7 +822,28 @@ and compile_guarded_load_off (env : cenv) (g : gstate) name (c : cell)
 (* ------------------------------------------------------------------ *)
 (* Statement compilation *)
 
+(* Supervision wrapper: with [~hooks:true] every host-level non-Var_def
+   statement (the cost model's kernel segmentation) gets a
+   [Machine.on_kernel] call, and a kernel rooted at a For additionally
+   polls the cancellation/deadline token once per iteration of that
+   outermost loop.  Without hooks this falls straight through, so the
+   unsupervised compiled closures are unchanged. *)
 and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
+  if not env.sup_host then compile_stmt_node env s
+  else
+    match s.Stmt.node with
+    | Stmt.Nop | Stmt.Seq _ | Stmt.Var_def _ -> compile_stmt_node env s
+    | _ ->
+      env.sup_host <- false;
+      env.sup_poll <- (match s.Stmt.node with Stmt.For _ -> true | _ -> false);
+      let f = compile_stmt_node env s in
+      env.sup_poll <- false;
+      env.sup_host <- true;
+      fun () ->
+        Ft_machine.Machine.on_kernel ();
+        f ()
+
+and compile_stmt_node (env : cenv) (s : Stmt.t) : unit -> unit =
   (match env.guard with
    | Some g -> g.gc_stmt <- Some s
    | None -> ());
@@ -980,7 +1008,8 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
         c.t <- Some t;
         init_shadow t;
         body ();
-        c.t <- None
+        c.t <- None;
+        Tensor.arena_free t
     | Some (alloc, release) ->
       fun () ->
         let t = make () in
@@ -989,7 +1018,8 @@ and compile_stmt (env : cenv) (s : Stmt.t) : unit -> unit =
         alloc (Tensor.byte_size t);
         body ();
         release (Tensor.byte_size t);
-        c.t <- None)
+        c.t <- None;
+        Tensor.arena_free t)
   | Stmt.For f ->
     let pool_scope =
       match f.Stmt.f_property.Stmt.parallel with
@@ -1248,6 +1278,8 @@ and compile_guarded_reduce (env : cenv) (g : gstate) (r : Stmt.reduce) :
         Tensor.unsafe_set_f t o (combine (Tensor.unsafe_get_f t o) v))
 
 and compile_seq_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
+  let poll = env.sup_poll in
+  env.sup_poll <- false;
   let myc = env.pctr in
   let fb = compile_i env f.Stmt.f_begin in
   let fe = compile_i env f.Stmt.f_end in
@@ -1265,6 +1297,14 @@ and compile_seq_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
    | None -> ());
   env.loops <- List.tl env.loops;
   Hashtbl.remove env.ints f.Stmt.f_iter;
+  (* kernel-root loop under supervision: one token poll per iteration *)
+  let body =
+    if not poll then body
+    else
+      fun () ->
+        Ft_machine.Machine.poll ();
+        body ()
+  in
   match myc with
   | Some ctr ->
     fun () ->
@@ -1340,6 +1380,9 @@ and compile_seq_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
    chunk order (= sequential iteration order) and merges the shards. *)
 and compile_par_for ?(defer = true) (env : cenv) (f : Stmt.for_loop) :
     unit -> unit =
+  let poll = env.sup_poll in
+  env.sup_poll <- false;
+  let supd = env.sup in
   let myc = env.pctr in
   let prof = env.prof in
   let fb = compile_i env f.Stmt.f_begin in
@@ -1425,6 +1468,7 @@ and compile_par_for ?(defer = true) (env : cenv) (f : Stmt.for_loop) :
       inst.pi_log.lg_len <- 0;
       let i = ref b in
       while !i < e do
+        if poll then Ft_machine.Machine.poll ();
         (match myc with
          | Some c -> c.Profile.trips <- c.Profile.trips + 1
          | None -> ());
@@ -1449,10 +1493,22 @@ and compile_par_for ?(defer = true) (env : cenv) (f : Stmt.for_loop) :
             let lo = (ci * q) + min ci rem in
             let hi = lo + q + if ci < rem then 1 else 0 in
             let r = inst.pi_ref and body = inst.pi_body in
-            for j = lo to hi - 1 do
-              r := b + (j * st);
-              body ()
-            done);
+            if supd then begin
+              (* supervised: poll the token and bail out as soon as a
+                 sibling chunk poisons the region *)
+              let j = ref lo in
+              while !j < hi && not (Exec_par.aborted ()) do
+                if poll then Ft_machine.Machine.poll ();
+                r := b + (!j * st);
+                body ();
+                incr j
+              done
+            end
+            else
+              for j = lo to hi - 1 do
+                r := b + (j * st);
+                body ()
+              done);
         replay chunks;
         merge chunks
       end
@@ -1501,14 +1557,26 @@ let rec compile_host (p : Profile.t) (env : cenv) (s : Stmt.t) : unit -> unit =
       Profile.alloc p (Tensor.byte_size t);
       body ();
       Profile.release p (Tensor.byte_size t);
-      c.t <- None
+      c.t <- None;
+      Tensor.arena_free t
   | _ ->
     let root = s in
+    if env.sup then
+      env.sup_poll <-
+        (match s.Stmt.node with Stmt.For _ -> true | _ -> false);
     let f = compile_stmt env s in
-    fun () ->
-      Profile.enter_kernel p root;
-      f ();
-      Profile.exit_kernel p
+    env.sup_poll <- false;
+    if env.sup then
+      fun () ->
+        Ft_machine.Machine.on_kernel ();
+        Profile.enter_kernel p root;
+        f ();
+        Profile.exit_kernel p
+    else
+      fun () ->
+        Profile.enter_kernel p root;
+        f ();
+        Profile.exit_kernel p
 
 (* ------------------------------------------------------------------ *)
 
@@ -1544,7 +1612,8 @@ type compiled = {
     {!Ft_ir.Diag.Diag_error} with the same rendering as the
     interpreter's. *)
 let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
-    ?(guard = false) ?(on_unproved = `Check) (fn : Stmt.func) : compiled =
+    ?(guard = false) ?(on_unproved = `Check) ?(hooks = false)
+    (fn : Stmt.func) : compiled =
   let verdicts = Hashtbl.create 8 in
   if parallel then begin
     let reports = Race.check_func fn in
@@ -1588,7 +1657,9 @@ let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
       shapes = Hashtbl.create 32; prof = profile;
       psink = (match profile with Some p -> P_direct p | None -> P_off);
       pctr = None; par = parallel; verdicts; in_par = false; region = None;
-      loops = []; guard = gstate }
+      loops = []; guard = gstate; sup = hooks;
+      (* under profiling, compile_host owns the kernel segmentation *)
+      sup_host = hooks && profile = None; sup_poll = false }
   in
   List.iter
     (fun (p : Stmt.param) ->
@@ -1661,6 +1732,6 @@ let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
 
 (** One-shot convenience mirroring {!Interp.run_func}. *)
 let run_func ?(sizes = []) ?profile ?parallel ?on_race ?guard ?on_unproved
-    (fn : Stmt.func) (args : (string * Tensor.t) list) : unit =
-  (compile ?profile ?parallel ?on_race ?guard ?on_unproved fn).cd_run args
-    sizes
+    ?hooks (fn : Stmt.func) (args : (string * Tensor.t) list) : unit =
+  (compile ?profile ?parallel ?on_race ?guard ?on_unproved ?hooks fn).cd_run
+    args sizes

@@ -93,13 +93,24 @@ type compiled = {
     {!Ft_ir.Diag.Diag_error} carrying the statement id, the enclosing
     iteration vector, the concrete index and the pretty-printed IR
     context — byte-identical to the interpreter's diagnostic for the
-    same first fault. *)
+    same first fault.
+
+    [hooks] (default [false]) compiles in the execution supervisor's
+    hooks: a [Machine.on_kernel] call at every kernel boundary (the cost
+    model's segmentation: each host-level non-[Var_def] statement), a
+    [Machine.poll] per iteration of each kernel-root loop, and an
+    abort-flag check per iteration of parallel chunk loops so a failed
+    chunk cancels its siblings.  The hooks are inert no-ops unless a
+    supervisor run context is installed, and with [hooks:false] the
+    emitted closures are exactly the unsupervised ones — the default hot
+    path is unchanged. *)
 val compile :
   ?profile:Ft_profile.Profile.t ->
   ?parallel:bool ->
   ?on_race:[ `Fallback | `Raise ] ->
   ?guard:bool ->
   ?on_unproved:[ `Check | `Elide | `Raise ] ->
+  ?hooks:bool ->
   Stmt.func ->
   compiled
 
@@ -111,6 +122,7 @@ val run_func :
   ?on_race:[ `Fallback | `Raise ] ->
   ?guard:bool ->
   ?on_unproved:[ `Check | `Elide | `Raise ] ->
+  ?hooks:bool ->
   Stmt.func ->
   (string * Tensor.t) list ->
   unit

@@ -108,14 +108,35 @@ let join k =
   Mutex.unlock w.mutex;
   e
 
+(* Region-wide cancellation flag.  Reset at every region entry; set by
+   the first chunk that raises (or observes a supervisor cancellation),
+   so the remaining chunks of the region bail out at their next check
+   instead of finishing useless work.  Compiled parallel loop bodies
+   also consult {!aborted} between iterations. *)
+let abort = Atomic.make false
+
+let aborted () = Atomic.get abort
+
 let run_chunks n (f : int -> unit) =
+  Atomic.set abort false;
   if n <= 1 then (if n = 1 then f 0)
   else begin
     let n = min n max_domains in
+    (* Each chunk polls the supervisor token on entry, skips if another
+       chunk already failed, and poisons the region on any exception. *)
+    let g k =
+      if not (Atomic.get abort) then
+        try
+          Ft_machine.Machine.poll ();
+          f k
+        with e ->
+          Atomic.set abort true;
+          raise e
+    in
     for k = 1 to n - 1 do
-      submit (k - 1) (fun () -> f k)
+      submit (k - 1) (fun () -> g k)
     done;
-    let master_exn = try f 0; None with e -> Some e in
+    let master_exn = try g 0; None with e -> Some e in
     (* Always join every chunk before re-raising, so no worker is still
        touching shared cells when the caller resumes. *)
     let first = ref master_exn in
@@ -124,7 +145,9 @@ let run_chunks n (f : int -> unit) =
       | Some e when !first = None -> first := Some e
       | _ -> ()
     done;
-    match !first with None -> () | Some e -> raise e
+    match !first with
+    | None -> Atomic.set abort false
+    | Some e -> raise e
   end
 
 let shutdown () =

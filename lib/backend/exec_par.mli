@@ -25,8 +25,18 @@ val set_num_domains : int -> unit
     the caller) and returns once all have finished.  [n] is clamped to
     [max_domains]; [n <= 0] is a no-op.  Mutex hand-offs order memory:
     writes made before the call are visible to every chunk, and chunk
-    writes are visible to the caller after the join. *)
+    writes are visible to the caller after the join.
+
+    Cancellation: the first chunk that raises (including a supervisor
+    deadline observed at its entry poll) poisons the region, so chunks
+    not yet started are skipped; the original exception is re-raised
+    after every chunk has joined, and the pool stays reusable. *)
 val run_chunks : int -> (int -> unit) -> unit
+
+(** True while the current parallel region is poisoned by a failed
+    chunk.  Compiled parallel loop bodies check this between iterations
+    to stop early; always false outside/after a successful region. *)
+val aborted : unit -> bool
 
 (** Stop and join all spawned workers (installed as an [at_exit] hook;
     safe to call repeatedly — the pool restarts lazily on next use). *)

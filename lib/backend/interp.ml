@@ -121,11 +121,23 @@ type env = {
   mutable pcur : Profile.counters option; (* current statement's counters *)
   san : san_state option;
   guard : gstate option;
+  sup : bool; (* a supervisor run context is installed *)
+  mutable sup_host : bool;
+      (* currently at host (kernel-boundary) level: the next non-Seq,
+         non-Var_def statement is a kernel root *)
+  mutable sup_poll : bool;
+      (* the next For is a kernel root: poll the supervisor token once
+         per iteration of that outermost loop *)
 }
 
 let make_env ?profile ?(sanitize = false) ?guard_fn () =
+  let sup = Ft_machine.Machine.supervised () in
   { scalars = Hashtbl.create 16; tensors = Hashtbl.create 16;
     mtypes = Hashtbl.create 16; prof = profile; pcur = None;
+    sup;
+    (* under profiling, exec_host owns the kernel segmentation *)
+    sup_host = sup && profile = None;
+    sup_poll = false;
     san =
       (if sanitize then Some { regions = []; races = []; nraces = 0 }
        else None);
@@ -440,7 +452,28 @@ let apply_reduce op cur v =
   | Types.R_min -> Float.min cur v
   | Types.R_max -> Float.max cur v
 
+(* Supervision wrapper: mirror the cost model's kernel segmentation
+   (every host-level non-Var_def statement is one kernel) and fire
+   [Machine.on_kernel] at each boundary; a kernel rooted at a For
+   additionally polls the cancellation/deadline token once per
+   iteration of that outermost loop.  [exec_node] below is the actual
+   interpreter. *)
 let rec exec env (s : Stmt.t) : unit =
+  if not env.sup_host then exec_node env s
+  else
+    match s.node with
+    | Stmt.Nop | Stmt.Seq _ | Stmt.Var_def _ -> exec_node env s
+    | _ ->
+      Ft_machine.Machine.on_kernel ();
+      env.sup_host <- false;
+      env.sup_poll <- (match s.node with Stmt.For _ -> true | _ -> false);
+      Fun.protect
+        ~finally:(fun () ->
+          env.sup_host <- true;
+          env.sup_poll <- false)
+        (fun () -> exec_node env s)
+
+and exec_node env (s : Stmt.t) : unit =
   (match env.guard with
    | Some g -> g.gi_stmt <- Some s
    | None -> ());
@@ -548,8 +581,11 @@ let rec exec env (s : Stmt.t) : unit =
      | None -> ());
     (match saved with
      | Some old -> Hashtbl.replace env.tensors d.d_name old
-     | None -> Hashtbl.remove env.tensors d.d_name)
+     | None -> Hashtbl.remove env.tensors d.d_name);
+    Tensor.arena_free t
   | Stmt.For f ->
+    let poll = env.sup_poll in
+    env.sup_poll <- false;
     let myc = env.pcur in
     let b = as_i (eval env f.f_begin) in
     let e = as_i (eval env f.f_end) in
@@ -575,6 +611,7 @@ let rec exec env (s : Stmt.t) : unit =
     in
     let it = ref b in
     while !it < e do
+      if poll then Ft_machine.Machine.poll ();
       (match myc with
        | Some c -> c.Profile.trips <- c.Profile.trips + 1
        | None -> ());
@@ -632,8 +669,13 @@ let rec exec_host p env (s : Stmt.t) : unit =
      | None -> Hashtbl.remove env.mtypes d.d_name);
     (match saved with
      | Some old -> Hashtbl.replace env.tensors d.d_name old
-     | None -> Hashtbl.remove env.tensors d.d_name)
+     | None -> Hashtbl.remove env.tensors d.d_name);
+    Tensor.arena_free t
   | _ ->
+    if env.sup then begin
+      Ft_machine.Machine.on_kernel ();
+      env.sup_poll <- (match s.Stmt.node with Stmt.For _ -> true | _ -> false)
+    end;
     Profile.enter_kernel p s;
     exec env s;
     Profile.exit_kernel p

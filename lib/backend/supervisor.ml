@@ -1,0 +1,267 @@
+(* Resilient execution supervisor: retry / fallback / fail-closed across
+   backends.  See supervisor.mli. *)
+
+open Ft_ir
+open Ft_runtime
+module Machine = Ft_machine.Machine
+
+type backend =
+  | Parallel
+  | Compiled
+  | Interp_ref
+
+let backend_name = function
+  | Parallel -> "parallel"
+  | Compiled -> "compiled-seq"
+  | Interp_ref -> "interp"
+
+type backoff = {
+  bo_base : int;
+  bo_factor : int;
+  bo_cap : int;
+}
+
+type policy = {
+  backends : backend list;
+  retries : int;
+  backoff : backoff;
+  deadline : Machine.deadline;
+  mem_budget_bytes : int option;
+  guard : bool;
+  on_degrade : string -> unit;
+}
+
+let default_policy =
+  { backends = [ Parallel; Compiled; Interp_ref ];
+    retries = 2;
+    backoff = { bo_base = 1; bo_factor = 2; bo_cap = 8 };
+    deadline = Machine.No_deadline;
+    mem_budget_bytes = None;
+    guard = false;
+    on_degrade = ignore }
+
+type attempt = {
+  at_backend : backend;
+  at_retry : int;
+  at_backoff : int;
+  at_kernels : int;
+  at_fault : Diag.t option;
+}
+
+type outcome = {
+  result : backend option;
+  attempts : attempt list;
+  degraded : bool;
+  diags : Diag.t list;
+}
+
+type runner = (string * Tensor.t) list -> (string * int) list -> unit
+
+type t = {
+  sv_fn : Stmt.func;
+  sv_policy : policy;
+  sv_backends : (backend * (runner, Diag.t) result) list;
+}
+
+(* Capped exponential backoff in simulated-clock ticks: 0 for the first
+   attempt, then base * factor^(retry-1), capped.  Recorded in the
+   attempt log, never slept — tests stay wall-time free. *)
+let backoff_ticks (bo : backoff) retry =
+  if retry <= 0 then 0
+  else begin
+    let v = ref bo.bo_base in
+    for _ = 2 to retry do
+      if !v < bo.bo_cap then v := !v * bo.bo_factor
+    done;
+    min !v bo.bo_cap
+  end
+
+(* Map any exception an attempt can raise to a structured diagnostic.
+   Entry errors travel as [Interp_error]/[Exec_error] strings rendered
+   from a Diag (see the executors' [entry_err]); recover their code from
+   the "error[tag]" prefix so they classify as [Entry] and fail closed
+   instead of walking the chain. *)
+let code_of_message m =
+  if String.length m > 6 && String.sub m 0 6 = "error[" then
+    match String.index_opt m ']' with
+    | Some j -> Diag.code_of_string (String.sub m 6 (j - 6))
+    | None -> None
+  else None
+
+let diag_of_exn ~fn = function
+  | Diag.Diag_error d -> d
+  | Interp.Interp_error m | Compile_exec.Exec_error m -> (
+    match code_of_message m with
+    | Some code -> Diag.make ~code ~fn m
+    | None -> Diag.exec_fault ~fn m)
+  | Interp.Race_detected m -> Diag.race ~fn m
+  | Tensor.Fault f -> Diag.exec_fault ~fn (Tensor.fault_to_string f)
+  | Machine.Out_of_memory { needed; capacity } ->
+    Diag.make ~code:Diag.Oom ~fn
+      (Printf.sprintf
+         "device memory exhausted: %.0f bytes needed of %.0f capacity"
+         needed capacity)
+  | e -> Diag.exec_fault ~fn (Printexc.to_string e)
+
+let prepare ~policy (fn : Stmt.func) : t =
+  let name = fn.Stmt.fn_name in
+  let compile_runner ~parallel =
+    match
+      Compile_exec.compile ~parallel ~guard:policy.guard ~hooks:true fn
+    with
+    | cd -> Ok (fun args sizes -> cd.Compile_exec.cd_run args sizes)
+    | exception e -> Error (diag_of_exn ~fn:name e)
+  in
+  let mk = function
+    | Parallel -> compile_runner ~parallel:true
+    | Compiled -> compile_runner ~parallel:false
+    | Interp_ref ->
+      Ok
+        (fun args sizes ->
+          Interp.run_func ~sizes ~guard:policy.guard fn args)
+  in
+  { sv_fn = fn; sv_policy = policy;
+    sv_backends = List.map (fun b -> (b, mk b)) policy.backends }
+
+(* The memory budget models device memory, so it binds the compiled
+   backends; the interpreter is the host-side eager fallback and runs
+   unbudgeted — the chain's last resort can always serve. *)
+let budgeted = function
+  | Parallel | Compiled -> true
+  | Interp_ref -> false
+
+let exec ?plan ?(sizes = []) (sv : t) (args : (string * Tensor.t) list) :
+    outcome =
+  let p = sv.sv_policy in
+  let fn_name = sv.sv_fn.Stmt.fn_name in
+  (* Snapshot every argument a run can mutate, so each attempt after the
+     first starts from bitwise-pristine inputs — a completed result is
+     then bitwise-identical to a fault-free run of the serving backend. *)
+  let mutated =
+    List.filter_map
+      (fun (pa : Stmt.param) ->
+        match pa.Stmt.p_atype with
+        | Types.Input -> None
+        | _ -> Some pa.Stmt.p_name)
+      sv.sv_fn.Stmt.fn_params
+  in
+  let snapshot =
+    List.filter_map
+      (fun (n, t) ->
+        if List.mem n mutated then Some (n, Tensor.copy t) else None)
+      args
+  in
+  let restore () =
+    List.iter
+      (fun (n, s) ->
+        match List.assoc_opt n args with
+        | Some dst -> Tensor.copy_into ~src:s ~dst
+        | None -> ())
+      snapshot
+  in
+  let attempts = ref [] in
+  let diags = ref [] in
+  let pristine = ref true in
+  let record a = attempts := a :: !attempts in
+  let rec try_chain chain =
+    match chain with
+    | [] -> None
+    | (b, impl) :: rest -> (
+      let fall () =
+        (match rest with
+         | (nb, _) :: _ ->
+           p.on_degrade
+             (Printf.sprintf "%s: degrading %s -> %s" fn_name
+                (backend_name b) (backend_name nb))
+         | [] -> ());
+        try_chain rest
+      in
+      let rec attempt retry =
+        let bo = backoff_ticks p.backoff retry in
+        match impl with
+        | Error d ->
+          record
+            { at_backend = b; at_retry = retry; at_backoff = bo;
+              at_kernels = 0; at_fault = Some d };
+          diags := d :: !diags;
+          `Fall
+        | Ok run ->
+          if not !pristine then restore ();
+          pristine := false;
+          Machine.install ?plan ~deadline:p.deadline ~fn:fn_name ();
+          if budgeted b then
+            Tensor.set_budget ~fn:fn_name p.mem_budget_bytes;
+          let fault =
+            match run args sizes with
+            | () -> None
+            | exception e -> Some (diag_of_exn ~fn:fn_name e)
+          in
+          Tensor.set_budget None;
+          Machine.uninstall ();
+          record
+            { at_backend = b; at_retry = retry; at_backoff = bo;
+              at_kernels = Machine.last_kernels (); at_fault = fault };
+          (match fault with
+           | None -> `Served
+           | Some d ->
+             diags := d :: !diags;
+             (match Diag.classify d.Diag.dg_code with
+              | Diag.Transient when retry < p.retries ->
+                attempt (retry + 1)
+              | Diag.Entry -> `Closed
+              | Diag.Transient | Diag.Resource | Diag.Logic -> `Fall))
+      in
+      match attempt 0 with
+      | `Served -> Some b
+      | `Closed -> None
+      | `Fall -> fall ())
+  in
+  let result = try_chain sv.sv_backends in
+  let attempts = List.rev !attempts in
+  { result;
+    attempts;
+    degraded =
+      result <> None
+      && List.exists (fun a -> a.at_fault <> None) attempts;
+    diags = List.rev !diags }
+
+let run ?plan ?sizes ~policy (fn : Stmt.func)
+    (args : (string * Tensor.t) list) : outcome =
+  exec ?plan ?sizes (prepare ~policy fn) args
+
+(* ------------------------------------------------------------------ *)
+(* Deadline helpers *)
+
+let deadline_of_estimate ?(slack = 8.0) ~device (fn : Stmt.func) =
+  let m = Costmodel.estimate ~device fn in
+  Machine.Seconds (Float.max 1e-6 (m.Machine.time *. slack))
+
+let calibrate_deadline ?(slack = 4) ?sizes (sv : t)
+    (args : (string * Tensor.t) list) =
+  let outcome = exec ?sizes sv args in
+  match outcome.result with
+  | None -> Machine.No_deadline
+  | Some _ -> Machine.Ticks ((Machine.last_ticks () * slack) + 16)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let attempt_to_string a =
+  Printf.sprintf "%-12s try %d  backoff %d  kernels %-4d %s"
+    (backend_name a.at_backend) a.at_retry a.at_backoff a.at_kernels
+    (match a.at_fault with
+     | None -> "ok"
+     | Some d ->
+       Printf.sprintf "fault[%s/%s]"
+         (Diag.code_to_string d.Diag.dg_code)
+         (Diag.fault_class_to_string (Diag.classify d.Diag.dg_code)))
+
+let outcome_to_string o =
+  let status =
+    match o.result with
+    | Some b when o.degraded -> "served degraded by " ^ backend_name b
+    | Some b -> "served clean by " ^ backend_name b
+    | None -> "failed closed"
+  in
+  String.concat "\n"
+    (status :: List.map (fun a -> "  " ^ attempt_to_string a) o.attempts)

@@ -1,0 +1,125 @@
+(** Resilient execution supervisor.
+
+    Executes a lowered function under a declarative {!policy}: attempts
+    run on the primary backend and, on failure, are classified through
+    the {!Ft_ir.Diag.fault_class} taxonomy — [Transient] faults retry on
+    the same backend with capped deterministic backoff (simulated clock,
+    recorded but never slept), [Resource] and [Logic] faults fall down
+    the backend chain ([parallel -> compiled-seq -> interp] by default),
+    and [Entry] faults fail closed immediately, since no backend can
+    serve a malformed call.  When every backend is exhausted the
+    supervisor fails closed with the full attempt log; it never leaks an
+    exception.
+
+    Arguments a run can mutate ([Output]/[Inout] parameters) are
+    snapshotted on entry and rolled back before every attempt after the
+    first, so a completed result is bitwise-identical to a fault-free
+    run of the backend that served it.
+
+    Per attempt the supervisor installs a {!Ft_machine.Machine} run
+    context (fault plan, deadline, cancellation token) and — for the
+    compiled backends — a {!Ft_runtime.Tensor} memory budget; both are
+    removed before the outcome is returned.  The budget models device
+    memory, so the interpreter fallback runs unbudgeted: the chain's
+    host-side last resort can always serve. *)
+
+open Ft_ir
+open Ft_runtime
+
+type backend =
+  | Parallel    (** compiled, parallel annotations on the domain pool *)
+  | Compiled    (** compiled, sequential *)
+  | Interp_ref  (** reference tree-walking interpreter *)
+
+val backend_name : backend -> string
+
+(** Capped exponential backoff, in simulated-clock ticks: attempt 0
+    waits 0, retry [k] waits [min (base * factor^(k-1)) cap]. *)
+type backoff = {
+  bo_base : int;
+  bo_factor : int;
+  bo_cap : int;
+}
+
+type policy = {
+  backends : backend list;  (** fallback chain, primary first *)
+  retries : int;            (** retries per backend for transient faults *)
+  backoff : backoff;
+  deadline : Ft_machine.Machine.deadline;  (** per attempt *)
+  mem_budget_bytes : int option;  (** arena budget, compiled backends *)
+  guard : bool;             (** run backends with guarded execution *)
+  on_degrade : string -> unit;  (** called when falling down the chain *)
+}
+
+(** [parallel -> compiled-seq -> interp], 2 retries, backoff 1/x2/cap 8,
+    no deadline, no budget, unguarded, silent degradation. *)
+val default_policy : policy
+
+type attempt = {
+  at_backend : backend;
+  at_retry : int;    (** 0 for the first try on this backend *)
+  at_backoff : int;  (** simulated backoff ticks before this try *)
+  at_kernels : int;  (** kernels the attempt executed before finishing *)
+  at_fault : Diag.t option;  (** [None] iff the attempt served *)
+}
+
+type outcome = {
+  result : backend option;  (** serving backend; [None] = failed closed *)
+  attempts : attempt list;  (** chronological, one per try *)
+  degraded : bool;  (** served, but not by a clean first attempt *)
+  diags : Diag.t list;  (** every fault observed, chronological *)
+}
+
+(** A prepared supervisor: backends are compiled once (with supervisor
+    hooks) and reused across requests.  A backend that fails to compile
+    is carried as an error and charged one failed attempt per request. *)
+type t
+
+val prepare : policy:policy -> Stmt.func -> t
+
+(** Serve one request.  [plan] installs a deterministic fault-injection
+    plan for this request (shared across its attempts: the kernel
+    ordinal stream continues through retries and fallbacks).  Never
+    raises. *)
+val exec :
+  ?plan:Ft_machine.Machine.Fault_plan.t ->
+  ?sizes:(string * int) list ->
+  t ->
+  (string * Tensor.t) list ->
+  outcome
+
+(** One-shot [prepare] + [exec]. *)
+val run :
+  ?plan:Ft_machine.Machine.Fault_plan.t ->
+  ?sizes:(string * int) list ->
+  policy:policy ->
+  Stmt.func ->
+  (string * Tensor.t) list ->
+  outcome
+
+(** {1 Deadline helpers} *)
+
+(** Wall-clock budget from the analytic cost model: [Seconds] of the
+    modeled run time times [slack] (default 8).  Modeled time prices the
+    paper's evaluation machine, not this host, so pick [slack]
+    accordingly. *)
+val deadline_of_estimate :
+  ?slack:float -> device:Types.device -> Stmt.func -> Ft_machine.Machine.deadline
+
+(** Simulated-clock budget calibrated by serving one fault-free request
+    through [sv] (mutating [args]' outputs): [Ticks] of the observed
+    tick count times [slack] (default 4) plus a small constant.
+    Deterministic for a deterministic program. *)
+val calibrate_deadline :
+  ?slack:int ->
+  ?sizes:(string * int) list ->
+  t ->
+  (string * Tensor.t) list ->
+  Ft_machine.Machine.deadline
+
+(** {1 Rendering} *)
+
+val attempt_to_string : attempt -> string
+
+(** Multi-line: status line plus one line per attempt. *)
+val outcome_to_string : outcome -> string

@@ -45,6 +45,7 @@ module Profile = Ft_profile.Profile
 module Interp = Ft_backend.Interp
 module Compile_exec = Ft_backend.Compile_exec
 module Exec_par = Ft_backend.Exec_par
+module Supervisor = Ft_backend.Supervisor
 module Costmodel = Ft_backend.Costmodel
 module Codegen = Ft_backend.Codegen
 

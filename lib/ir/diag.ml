@@ -15,6 +15,38 @@ type code =
   | Shape_mismatch
   | Unknown_size
   | Gpu_resources
+  | Kernel_launch
+  | Compute_fault
+  | Oom
+  | Deadline_exceeded
+  | Cancelled
+  | Race_fault
+  | Exec_fault
+
+(* Fault taxonomy for the execution supervisor: what a failure implies
+   about retrying.  Transient faults may succeed on the same backend;
+   Resource faults mean this backend cannot serve the request as
+   configured; Logic faults indict the program or compiled code on this
+   backend; Entry faults indict the call itself, so no backend helps. *)
+type fault_class =
+  | Transient
+  | Resource
+  | Logic
+  | Entry
+
+let classify = function
+  | Kernel_launch | Compute_fault -> Transient
+  | Oom | Deadline_exceeded | Cancelled | Gpu_resources -> Resource
+  | Oob_load | Oob_store | Oob_reduce | Uninit_read | Nonfinite_store
+  | Race_fault | Exec_fault ->
+    Logic
+  | Missing_arg | Unknown_arg | Shape_mismatch | Unknown_size -> Entry
+
+let fault_class_to_string = function
+  | Transient -> "transient"
+  | Resource -> "resource"
+  | Logic -> "logic"
+  | Entry -> "entry"
 
 type access =
   | Acc_load
@@ -46,6 +78,22 @@ let code_to_string = function
   | Shape_mismatch -> "shape-mismatch"
   | Unknown_size -> "unknown-size"
   | Gpu_resources -> "gpu-resources"
+  | Kernel_launch -> "kernel-launch"
+  | Compute_fault -> "compute-fault"
+  | Oom -> "oom"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Cancelled -> "cancelled"
+  | Race_fault -> "race"
+  | Exec_fault -> "exec-fault"
+
+let all_codes =
+  [ Oob_load; Oob_store; Oob_reduce; Uninit_read; Nonfinite_store;
+    Missing_arg; Unknown_arg; Shape_mismatch; Unknown_size; Gpu_resources;
+    Kernel_launch; Compute_fault; Oom; Deadline_exceeded; Cancelled;
+    Race_fault; Exec_fault ]
+
+let code_of_string s =
+  List.find_opt (fun c -> code_to_string c = s) all_codes
 
 let severity_to_string = function
   | Warning -> "warning"
@@ -168,3 +216,36 @@ let arg_shape ~fn name ~declared ~got =
 
 let gpu_resources ~fn ?sid ~detail () =
   make ?sid ~code:Gpu_resources ~fn detail
+
+(* Supervisor fault taxonomy constructors: injected faults, resource
+   exhaustion, cooperative cancellation, and wrapped executor failures.
+   Detail lines are canonical so injected faults render identically
+   whichever executor hits them. *)
+
+let kernel_launch ~fn ~ordinal =
+  make ~code:Kernel_launch ~fn
+    (Printf.sprintf "injected kernel-launch failure at kernel #%d" ordinal)
+
+let compute_fault ~fn ~ordinal =
+  make ~code:Compute_fault ~fn
+    (Printf.sprintf "injected transient compute fault at kernel #%d"
+       ordinal)
+
+let injected_oom ~fn ~ordinal =
+  make ~code:Oom ~fn
+    (Printf.sprintf "injected device out-of-memory at kernel #%d" ordinal)
+
+let oom_budget ~fn ~requested ~live ~budget =
+  make ~code:Oom ~fn
+    (Printf.sprintf
+       "allocation of %d bytes exceeds memory budget (%d live of %d \
+        budgeted)"
+       requested live budget)
+
+let deadline ~fn ~detail = make ~code:Deadline_exceeded ~fn detail
+
+let cancelled ~fn ~detail = make ~code:Cancelled ~fn detail
+
+let race ~fn detail = make ~code:Race_fault ~fn detail
+
+let exec_fault ~fn detail = make ~code:Exec_fault ~fn detail

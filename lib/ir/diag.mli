@@ -26,6 +26,27 @@ type code =
   | Shape_mismatch
   | Unknown_size
   | Gpu_resources
+  | Kernel_launch       (** injected: kernel failed to launch *)
+  | Compute_fault       (** injected: transient fault during a kernel *)
+  | Oom                 (** memory budget or device capacity exceeded *)
+  | Deadline_exceeded   (** cooperative deadline tripped at a poll point *)
+  | Cancelled           (** cooperative cancellation token observed *)
+  | Race_fault          (** data race detected at runtime *)
+  | Exec_fault          (** executor failure wrapped from a raw exception *)
+
+(** What a failure implies about retrying (the supervisor's taxonomy):
+    [Transient] may succeed again on the same backend, [Resource] means
+    this backend cannot serve the request as configured (fall back),
+    [Logic] indicts the program/backend (fall back, never retry), and
+    [Entry] indicts the call itself (fail closed — no backend helps). *)
+type fault_class =
+  | Transient
+  | Resource
+  | Logic
+  | Entry
+
+val classify : code -> fault_class
+val fault_class_to_string : fault_class -> string
 
 (** Access kinds, for diagnostics that concern one tensor access. *)
 type access =
@@ -50,6 +71,11 @@ type t = {
 exception Diag_error of t
 
 val code_to_string : code -> string
+
+(** Inverse of {!code_to_string} — used to recover the code from a
+    rendered ["error[tag] ..."] message carried by a string exception. *)
+val code_of_string : string -> code option
+
 val access_to_string : access -> string
 
 (** Deterministic multi-line rendering (no trailing newline). *)
@@ -64,6 +90,20 @@ val context_of_stmt : Stmt.t -> string
     Each builds the canonical detail line for its failure class; both
     executors must use these (never hand-rolled strings) so messages
     stay byte-identical across backends. *)
+
+(** Generic constructor — prefer the specific ones below, which build
+    canonical detail lines. *)
+val make :
+  ?severity:severity ->
+  ?sid:int ->
+  ?tensor:string ->
+  ?index:int array ->
+  ?iters:(string * int) list ->
+  ?context:string ->
+  code:code ->
+  fn:string ->
+  string ->
+  t
 
 (** Out-of-bounds (or, with [dim = None], rank-mismatched) access. *)
 val oob :
@@ -120,3 +160,26 @@ val arg_shape :
 
 (** Per-kernel GPU resource violation (threads/block, shared memory). *)
 val gpu_resources : fn:string -> ?sid:int -> detail:string -> unit -> t
+
+(** {2 Supervisor fault taxonomy}
+
+    Injected faults ({!Kernel_launch}, {!Compute_fault}, {!Oom}) carry
+    the zero-based kernel ordinal they fired at; executors reach them
+    only through [Machine.on_kernel], so the same fault plan renders
+    identically under the interpreter and the compiled backend. *)
+
+val kernel_launch : fn:string -> ordinal:int -> t
+val compute_fault : fn:string -> ordinal:int -> t
+val injected_oom : fn:string -> ordinal:int -> t
+
+(** Allocation pushed the per-run arena over its budget. *)
+val oom_budget : fn:string -> requested:int -> live:int -> budget:int -> t
+
+val deadline : fn:string -> detail:string -> t
+val cancelled : fn:string -> detail:string -> t
+
+(** Runtime-detected data race, wrapped for classification. *)
+val race : fn:string -> string -> t
+
+(** Raw executor exception wrapped for classification. *)
+val exec_fault : fn:string -> string -> t

@@ -218,3 +218,183 @@ let metrics_to_string m =
     "kernels=%d flops=%s atomics=%s dram=%sB l2=%sB peak_mem=%sB time=%s"
     m.kernels (si m.flops) (si m.atomics) (si m.dram_bytes) (si m.l2_bytes)
     (si m.peak_mem) (time_to_string m.time)
+
+(* ------------------------------------------------------------------ *)
+(* Supervised execution: deterministic fault injection, deadlines and
+   cooperative cancellation.
+
+   The supervisor installs a run context before an attempt and removes
+   it afterwards; executors call [on_kernel] at kernel boundaries and
+   [poll] at outer-loop headers / chunk starts.  With no context
+   installed both are a single ref read, so unsupervised runs pay
+   nothing. *)
+
+type fault_kind =
+  | F_launch
+  | F_compute
+  | F_oom
+
+let fault_kind_to_string = function
+  | F_launch -> "launch"
+  | F_compute -> "compute"
+  | F_oom -> "oom"
+
+module Fault_plan = struct
+  type t = {
+    entries : (int * fault_kind) list; (* ordinal-sorted, distinct *)
+    mutable cursor : int;              (* next kernel ordinal in stream *)
+    mutable fired_rev : (int * fault_kind) list;
+  }
+
+  (* splitmix64-style mixer: deterministic across OCaml versions, unlike
+     Random.State whose algorithm changed between releases. *)
+  let mix seed k =
+    let z = Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (k + 1))) in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+
+  let of_list entries =
+    let entries =
+      List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+        (List.filter (fun (o, _) -> o >= 0) entries)
+    in
+    { entries; cursor = 0; fired_rev = [] }
+
+  (* [faults] distinct ordinals in [0, horizon), kinds weighted so the
+     non-retryable simulated OOM stays rare (1 in 16) — a plan whose
+     every fault is a resource fault can exhaust the whole backend
+     chain, and that should be a tail event, not a common one. *)
+  let make ~seed ~faults ~horizon =
+    let horizon = max 1 horizon in
+    let faults = min faults horizon in
+    let chosen = Hashtbl.create 8 in
+    let entries = ref [] in
+    let k = ref 0 in
+    while Hashtbl.length chosen < faults do
+      let o = mix seed !k mod horizon in
+      incr k;
+      if not (Hashtbl.mem chosen o) then begin
+        Hashtbl.add chosen o ();
+        let kind =
+          match mix (seed lxor 0x5DEECE66D) !k mod 16 with
+          | 15 -> F_oom
+          | 12 | 13 | 14 -> F_launch
+          | _ -> F_compute
+        in
+        entries := (o, kind) :: !entries
+      end
+    done;
+    of_list !entries
+
+  let planned p = p.entries
+  let fired p = List.rev p.fired_rev
+
+  (* Advance the stream-global kernel ordinal; fire the planned fault for
+     this ordinal, if any.  The cursor persists across retry attempts, so
+     a retry replays the kernels after a fired ordinal and can succeed. *)
+  let on_kernel p ~fn =
+    let o = p.cursor in
+    p.cursor <- o + 1;
+    match List.assoc_opt o p.entries with
+    | None -> ()
+    | Some kind ->
+      p.fired_rev <- (o, kind) :: p.fired_rev;
+      let d =
+        match kind with
+        | F_launch -> Diag.kernel_launch ~fn ~ordinal:o
+        | F_compute -> Diag.compute_fault ~fn ~ordinal:o
+        | F_oom -> Diag.injected_oom ~fn ~ordinal:o
+      in
+      raise (Diag.Diag_error d)
+end
+
+type deadline =
+  | No_deadline
+  | Ticks of int
+  | Seconds of float
+
+type run_ctx = {
+  cx_fn : string;
+  cx_plan : Fault_plan.t option;
+  cx_deadline : deadline;
+  cx_start : float;
+  cx_ticks : int Atomic.t;
+  cx_kernels : int Atomic.t;
+  cx_cancel : Diag.t option Atomic.t;
+}
+
+let current : run_ctx option ref = ref None
+let last_stats = ref (0, 0) (* (kernels, ticks) of last uninstalled ctx *)
+
+let supervised () = !current <> None
+
+let install ?plan ?(deadline = No_deadline) ~fn () =
+  current :=
+    Some
+      { cx_fn = fn; cx_plan = plan; cx_deadline = deadline;
+        cx_start =
+          (match deadline with
+           | Seconds _ -> Unix.gettimeofday ()
+           | _ -> 0.0);
+        cx_ticks = Atomic.make 0; cx_kernels = Atomic.make 0;
+        cx_cancel = Atomic.make None }
+
+let uninstall () =
+  (match !current with
+   | None -> ()
+   | Some cx ->
+     last_stats := (Atomic.get cx.cx_kernels, Atomic.get cx.cx_ticks));
+  current := None
+
+let last_kernels () = fst !last_stats
+let last_ticks () = snd !last_stats
+
+let request_cancel d =
+  match !current with
+  | None -> ()
+  | Some cx -> Atomic.set cx.cx_cancel (Some d)
+
+let check cx =
+  (match Atomic.get cx.cx_cancel with
+   | Some d -> raise (Diag.Diag_error d)
+   | None -> ());
+  match cx.cx_deadline with
+  | No_deadline -> ()
+  | Ticks limit ->
+    if Atomic.get cx.cx_ticks > limit then
+      raise
+        (Diag.Diag_error
+           (Diag.deadline ~fn:cx.cx_fn
+              ~detail:
+                (Printf.sprintf
+                   "simulated deadline of %d ticks exceeded" limit)))
+  | Seconds s ->
+    if Unix.gettimeofday () -. cx.cx_start > s then
+      raise
+        (Diag.Diag_error
+           (Diag.deadline ~fn:cx.cx_fn
+              ~detail:
+                (Printf.sprintf "wall-clock deadline of %gs exceeded" s)))
+
+let poll () =
+  match !current with
+  | None -> ()
+  | Some cx ->
+    Atomic.incr cx.cx_ticks;
+    check cx
+
+(* Kernel boundaries run on the master domain only (top-level statements
+   are never inside a parallel region), so the plan's mutable cursor
+   needs no synchronization. *)
+let on_kernel () =
+  match !current with
+  | None -> ()
+  | Some cx ->
+    Atomic.incr cx.cx_kernels;
+    Atomic.incr cx.cx_ticks;
+    check cx;
+    (match cx.cx_plan with
+     | None -> ()
+     | Some p -> Fault_plan.on_kernel p ~fn:cx.cx_fn)

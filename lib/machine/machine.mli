@@ -122,3 +122,80 @@ val metrics_to_string : metrics -> string
 (** The metrics as labeled rows, in canonical display order — shared by
     every predicted-vs-observed table so row sets cannot drift apart. *)
 val metrics_rows : metrics -> (string * float) list
+
+(** {1 Supervised execution}
+
+    The execution supervisor installs a per-attempt run context carrying
+    an optional deterministic fault plan, a deadline, and a cooperative
+    cancellation token.  Executors call {!on_kernel} at every kernel
+    boundary and {!poll} at outer-loop headers and parallel-chunk starts;
+    with no context installed both are a single ref read, so the
+    unsupervised hot path is unchanged. *)
+
+(** Injected fault kinds: failed kernel launch and transient compute
+    faults are retryable; simulated device OOM is a resource fault. *)
+type fault_kind =
+  | F_launch
+  | F_compute
+  | F_oom
+
+val fault_kind_to_string : fault_kind -> string
+
+(** A deterministic, seeded schedule of faults keyed by kernel ordinal.
+    The ordinal stream is global to the plan, not per attempt: a retry
+    resumes after the fired ordinal, so it replays the same kernels
+    without re-hitting the fault — exactly how a transient fault
+    behaves. *)
+module Fault_plan : sig
+  type t
+
+  (** [make ~seed ~faults ~horizon] plans [faults] distinct kernel
+      ordinals in [0, horizon) with kinds drawn from a fixed weighting
+      (OOM kept rare).  Deterministic in [seed]. *)
+  val make : seed:int -> faults:int -> horizon:int -> t
+
+  (** Explicit plan from (ordinal, kind) pairs (sorted, deduplicated;
+      negative ordinals dropped). *)
+  val of_list : (int * fault_kind) list -> t
+
+  val planned : t -> (int * fault_kind) list
+
+  (** Faults that actually fired, in firing order. *)
+  val fired : t -> (int * fault_kind) list
+end
+
+type deadline =
+  | No_deadline
+  | Ticks of int      (** simulated clock: poll/kernel events *)
+  | Seconds of float  (** wall-clock budget per attempt *)
+
+(** Install the run context for one attempt.  Any previously installed
+    context is replaced. *)
+val install : ?plan:Fault_plan.t -> ?deadline:deadline -> fn:string -> unit -> unit
+
+(** Remove the context, recording its counters for {!last_kernels} /
+    {!last_ticks}. *)
+val uninstall : unit -> unit
+
+val supervised : unit -> bool
+
+(** Kernels / simulated-clock ticks observed by the most recently
+    uninstalled context. *)
+val last_kernels : unit -> int
+
+val last_ticks : unit -> int
+
+(** Arm the cancellation token: the next {!poll} or {!on_kernel} on any
+    domain raises [Diag_error] with the given diagnostic. *)
+val request_cancel : Diag.t -> unit
+
+(** Tick the simulated clock and check cancellation + deadline.  Raises
+    {!Ft_ir.Diag.Diag_error} (codes [Cancelled] / [Deadline_exceeded]).
+    No-op when unsupervised. *)
+val poll : unit -> unit
+
+(** Kernel boundary: ticks, checks cancellation/deadline, then advances
+    the fault plan — raising [Diag_error] (codes [Kernel_launch],
+    [Compute_fault], [Oom]) if a fault is planned for this ordinal.
+    Master-domain only.  No-op when unsupervised. *)
+val on_kernel : unit -> unit

@@ -77,13 +77,54 @@ let strides_of_shape shape =
   done;
   strides
 
+(* Per-run allocation arena for the execution supervisor's memory
+   budget.  [budget] is installed per attempt (master domain); [live] is
+   atomic because parallel chunk bodies allocate loop-local tensors
+   concurrently.  Without a budget installed, [create] and [arena_free]
+   cost one ref read. *)
+let budget : int option ref = ref None
+let budget_fn = ref "run"
+let live = Atomic.make 0
+
+let set_budget ?(fn = "run") b =
+  budget_fn := fn;
+  Atomic.set live 0;
+  budget := b
+
+let live_bytes () = Atomic.get live
+
+let buf_bytes dtype n = n * Types.dtype_size dtype
+
+let charge dtype shape =
+  match !budget with
+  | None -> ()
+  | Some cap ->
+    let bytes = buf_bytes dtype (numel_of_shape shape) in
+    let before = Atomic.fetch_and_add live bytes in
+    if before + bytes > cap then begin
+      (* Credit back so a fallback attempt under the same budget starts
+         from an honest counter. *)
+      ignore (Atomic.fetch_and_add live (-bytes));
+      raise
+        (Ft_ir.Diag.Diag_error
+           (Ft_ir.Diag.oom_budget ~fn:!budget_fn ~requested:bytes
+              ~live:before ~budget:cap))
+    end
+
 let create dtype shape =
+  charge dtype shape;
   let n = numel_of_shape shape in
   let buf =
     if Types.is_float dtype then Fbuf (Array.make n 0.0)
     else Ibuf (Array.make n 0)
   in
   { shape; strides = strides_of_shape shape; dtype; buf }
+
+let arena_free t =
+  match !budget with
+  | None -> ()
+  | Some _ ->
+    ignore (Atomic.fetch_and_add live (- buf_bytes t.dtype (numel_of_shape t.shape)))
 
 let zeros = create
 
@@ -173,6 +214,26 @@ let copy t =
     | Ibuf a -> Ibuf (Array.copy a)
   in
   { t with buf }
+
+(* Restore [dst]'s contents from [src] in place — the supervisor rolls
+   mutated arguments back to their pre-attempt snapshot with this, so a
+   retry sees bitwise-identical inputs. *)
+let copy_into ~src ~dst =
+  if src.shape <> dst.shape || src.dtype <> dst.dtype then
+    raise
+      (Fault
+         (Shape_mismatch
+            { op = "copy_into"; a = Array.copy src.shape;
+              b = Array.copy dst.shape }));
+  match (src.buf, dst.buf) with
+  | Fbuf a, Fbuf b -> Array.blit a 0 b 0 (Array.length a)
+  | Ibuf a, Ibuf b -> Array.blit a 0 b 0 (Array.length a)
+  | _ ->
+    raise
+      (Fault
+         (Shape_mismatch
+            { op = "copy_into"; a = Array.copy src.shape;
+              b = Array.copy dst.shape }))
 
 let of_float_array dtype shape data =
   if Array.length data <> numel_of_shape shape then

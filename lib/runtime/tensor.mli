@@ -60,6 +60,30 @@ val randint : ?seed:int -> lo:int -> hi:int -> Types.dtype -> int array -> t
 
 val copy : t -> t
 
+(** [copy_into ~src ~dst] overwrites [dst]'s buffer with [src]'s
+    contents (same shape and dtype; raises [Fault Shape_mismatch]
+    otherwise).  The supervisor uses it to roll mutated arguments back
+    to their pre-attempt snapshot before a retry. *)
+val copy_into : src:t -> dst:t -> unit
+
+(** {1 Memory budget}
+
+    Per-run allocation arena for the execution supervisor: when a budget
+    is installed, every {!create} charges the arena and raises
+    {!Ft_ir.Diag.Diag_error} (code [Oom], a [Resource] fault) if the
+    live total would exceed it; executors release loop-local tensors
+    with {!arena_free} when their [Var_def] scope exits.  With no budget
+    installed all three calls are a single ref read. *)
+
+(** Install ([Some bytes]) or clear ([None]) the budget, resetting the
+    live counter; [fn] names the function for diagnostics. *)
+val set_budget : ?fn:string -> int option -> unit
+
+val live_bytes : unit -> int
+
+(** Credit a tensor's bytes back to the arena (scope exit). *)
+val arena_free : t -> unit
+
 (** {1 Metadata} *)
 
 val numel : t -> int

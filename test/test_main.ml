@@ -17,4 +17,5 @@ let () =
       ("race", Test_race.suite);
       ("profile", Test_profile.suite);
       ("guard", Test_guard.suite);
-      ("libop", Test_libop.suite) ]
+      ("libop", Test_libop.suite);
+      ("supervisor", Test_supervisor.suite) ]

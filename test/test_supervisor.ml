@@ -1,0 +1,449 @@
+(* Resilient execution supervisor: fault injection, deadlines, memory
+   budgets, and the retry/fallback chain across backends.
+
+   The load-bearing properties, at fuzz scale (QCHECK_COUNT):
+   - under any random fault plan the supervisor never leaks an
+     exception: every request either serves or fails closed with a
+     structured attempt log;
+   - a served result is *bitwise* identical to a fault-free run of the
+     backend that served it — retries and fallbacks restore mutated
+     arguments, so degradation never corrupts outputs;
+   - every injected fault that fired is recorded in the attempt log, in
+     firing order, with the matching diagnostic code.
+
+   Plus deterministic units: deadlines (simulated and wall-clock) fail
+   closed through the whole chain, a memory budget below a local's
+   footprint degrades to the unbudgeted interpreter, transient-fault
+   retry exhaustion fails closed with the full 3x3 attempt log, backoff
+   sequences are deterministic and capped, entry errors fail closed
+   without walking the chain, cooperative cancellation aborts parallel
+   chunks while keeping the domain pool reusable, and compiled-in hooks
+   are inert without an installed run context. *)
+
+open Ft_ir
+open Ft_runtime
+module Interp = Ft_backend.Interp
+module Cexec = Ft_backend.Compile_exec
+module Exec_par = Ft_backend.Exec_par
+module Supervisor = Ft_backend.Supervisor
+module Machine = Ft_machine.Machine
+module Diag = Ft_ir.Diag
+
+let n = Gen_prog.iterations
+
+(* Reduce-mode random programs legitimately demote to sequential under
+   the race verifier; keep the per-loop notices off stderr. *)
+let () = Cexec.race_logger := ignore
+
+let i = Expr.int
+let v = Expr.var
+
+let bits_equal t1 t2 =
+  Tensor.shape t1 = Tensor.shape t2
+  && (let ok = ref true in
+      for k = 0 to Tensor.numel t1 - 1 do
+        if
+          Int64.bits_of_float (Tensor.get_flat_f t1 k)
+          <> Int64.bits_of_float (Tensor.get_flat_f t2 k)
+        then ok := false
+      done;
+      !ok)
+
+let outs_bits_equal (y1, z1) (y2, z2) = bits_equal y1 y2 && bits_equal z1 z2
+
+let with_domains k f =
+  let saved = Exec_par.num_domains () in
+  Exec_par.set_num_domains k;
+  Fun.protect ~finally:(fun () -> Exec_par.set_num_domains saved) f
+
+(* Diag code of an injected fault kind (the only faults a plan fires). *)
+let injected_kind (d : Diag.t) =
+  match d.Diag.dg_code with
+  | Diag.Kernel_launch -> Some Machine.F_launch
+  | Diag.Compute_fault -> Some Machine.F_compute
+  | Diag.Oom -> Some Machine.F_oom
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Random fault plans x random programs                               *)
+
+let all_backends =
+  [ Supervisor.Parallel; Supervisor.Compiled; Supervisor.Interp_ref ]
+
+(* Fault-free reference outputs per backend, plus the kernel count of
+   one serving run (for sizing plan horizons). *)
+let references fn =
+  List.map
+    (fun b ->
+      let args = Gen_prog.fresh_args () in
+      let policy =
+        { Supervisor.default_policy with Supervisor.backends = [ b ] }
+      in
+      let oc = Supervisor.run ~policy fn args in
+      if oc.Supervisor.result <> Some b then
+        Alcotest.failf "fault-free %s run did not serve"
+          (Supervisor.backend_name b);
+      (b, Gen_prog.outputs args))
+    all_backends
+
+let check_supervised fn (seed, faults) =
+  let refs = references fn in
+  let kernels = max 1 (Machine.last_kernels ()) in
+  let sv = Supervisor.prepare ~policy:Supervisor.default_policy fn in
+  let plan =
+    Machine.Fault_plan.make ~seed ~faults ~horizon:(kernels * 3)
+  in
+  let args = Gen_prog.fresh_args () in
+  let oc = Supervisor.exec ~plan sv args in
+  (* every fired injected fault is in the attempt log, in order *)
+  let recorded =
+    List.filter_map
+      (fun (a : Supervisor.attempt) ->
+        match a.Supervisor.at_fault with
+        | Some d -> injected_kind d
+        | None -> None)
+      oc.Supervisor.attempts
+  in
+  let fired = List.map snd (Machine.Fault_plan.fired plan) in
+  if recorded <> fired then
+    Alcotest.failf "attempt log lost injected faults (%d fired, %d logged)"
+      (List.length fired) (List.length recorded);
+  (* a served result is bitwise that backend's fault-free run *)
+  match oc.Supervisor.result with
+  | Some b ->
+    outs_bits_equal (Gen_prog.outputs args) (List.assoc b refs)
+  | None ->
+    (* failed closed: every attempt carries a fault *)
+    oc.Supervisor.attempts <> []
+    && List.for_all
+         (fun (a : Supervisor.attempt) -> a.Supervisor.at_fault <> None)
+         oc.Supervisor.attempts
+
+let plan_gen = QCheck2.Gen.(pair (int_bound 99999) (int_range 1 4))
+
+let prop_supervised_seq =
+  QCheck2.Test.make ~count:(n 30)
+    ~name:
+      "random programs x fault plans: served results bitwise-match the \
+       serving backend, fired faults all logged"
+    QCheck2.Gen.(pair Gen_prog.gen_func plan_gen)
+    (fun (fn, plan) -> check_supervised fn plan)
+
+let prop_supervised_par =
+  QCheck2.Test.make ~count:(n 30)
+    ~name:
+      "random parallel programs x fault plans: supervised execution is \
+       exception-free and bitwise-faithful"
+    QCheck2.Gen.(pair Gen_prog.gen_par_func plan_gen)
+    (fun (fn, plan) -> with_domains 4 (fun () -> check_supervised fn plan))
+
+(* ------------------------------------------------------------------ *)
+(* Fixed functions for the deterministic units                        *)
+
+(* t[a] = 2*x[a]; y[b] = t[b] + x[b] — two kernels plus a local whose
+   allocation the memory budget can veto. *)
+let local_fn () =
+  Stmt.func "unit_local"
+    [ Stmt.param "x" Types.F32 [ i 8 ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ i 8 ] ]
+    (Stmt.var_def "t" Types.F32 Types.Cpu_heap [ i 8 ]
+       (Stmt.seq
+          [ Stmt.for_ "a" (i 0) (i 8)
+              (Stmt.store "t" [ v "a" ]
+                 (Expr.mul (Expr.load "x" [ v "a" ]) (Expr.float 2.)));
+            Stmt.for_ "b" (i 0) (i 8)
+              (Stmt.store "y" [ v "b" ]
+                 (Expr.add (Expr.load "t" [ v "b" ])
+                    (Expr.load "x" [ v "b" ]))) ]))
+
+let par_property =
+  { Stmt.default_property with Stmt.parallel = Some Types.Openmp }
+
+(* y[a] = 2*x[a], parallel — one kernel on the domain pool. *)
+let par_fn () =
+  Stmt.func "unit_par"
+    [ Stmt.param "x" Types.F32 [ i 64 ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ i 64 ] ]
+    (Stmt.for_ ~property:par_property "a" (i 0) (i 64)
+       (Stmt.store "y" [ v "a" ]
+          (Expr.mul (Expr.load "x" [ v "a" ]) (Expr.float 2.))))
+
+let fresh_unit_args ?(numel = 8) () =
+  [ ("x", Tensor.rand ~seed:3 Types.F32 [| numel |]);
+    ("y", Tensor.zeros Types.F32 [| numel |]) ]
+
+let fault_codes (oc : Supervisor.outcome) =
+  List.filter_map
+    (fun (a : Supervisor.attempt) ->
+      Option.map (fun d -> d.Diag.dg_code) a.Supervisor.at_fault)
+    oc.Supervisor.attempts
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                          *)
+
+let test_deadline () =
+  let fn = local_fn () in
+  List.iter
+    (fun deadline ->
+      let policy = { Supervisor.default_policy with Supervisor.deadline } in
+      let oc = Supervisor.run ~policy fn (fresh_unit_args ()) in
+      Alcotest.(check bool) "failed closed" true (oc.Supervisor.result = None);
+      (* Resource-class: one attempt per backend, no retries *)
+      Alcotest.(check int) "one attempt per backend" 3
+        (List.length oc.Supervisor.attempts);
+      List.iter
+        (fun c ->
+          if c <> Diag.Deadline_exceeded then
+            Alcotest.failf "expected deadline fault, got %s"
+              (Diag.code_to_string c))
+        (fault_codes oc))
+    [ Machine.Ticks 0; Machine.Seconds 1e-9 ]
+
+let test_deadline_generous () =
+  (* a generous simulated deadline does not trip *)
+  let fn = local_fn () in
+  let policy =
+    { Supervisor.default_policy with
+      Supervisor.deadline = Machine.Ticks 1_000_000 }
+  in
+  let oc = Supervisor.run ~policy fn (fresh_unit_args ()) in
+  Alcotest.(check bool) "served clean" true
+    (oc.Supervisor.result = Some Supervisor.Parallel
+     && not oc.Supervisor.degraded)
+
+(* ------------------------------------------------------------------ *)
+(* Memory budget                                                      *)
+
+let test_oom_budget_fallback () =
+  let fn = local_fn () in
+  (* 8 bytes cannot hold the 8-element local on any backend; the budget
+     binds the compiled backends only, so the interpreter serves. *)
+  let policy =
+    { Supervisor.default_policy with Supervisor.mem_budget_bytes = Some 8 }
+  in
+  let args = fresh_unit_args () in
+  let oc = Supervisor.run ~policy fn args in
+  Alcotest.(check bool) "interp served" true
+    (oc.Supervisor.result = Some Supervisor.Interp_ref);
+  Alcotest.(check bool) "degraded" true oc.Supervisor.degraded;
+  Alcotest.(check (list string)) "two budget OOMs then success"
+    [ "oom"; "oom" ]
+    (List.map Diag.code_to_string (fault_codes oc));
+  (* the degraded result is still correct: y = 3x *)
+  let x = List.assoc "x" args and y = List.assoc "y" args in
+  for k = 0 to Tensor.numel y - 1 do
+    let expect = 3. *. Tensor.get_flat_f x k in
+    if
+      Int64.bits_of_float expect
+      <> Int64.bits_of_float (Tensor.get_flat_f y k)
+    then Alcotest.fail "degraded output differs from 3*x"
+  done;
+  Alcotest.(check int) "arena empty after run" 0 (Tensor.live_bytes ())
+
+let test_budget_roomy () =
+  (* a budget with room for the local leaves the primary backend alone *)
+  let fn = local_fn () in
+  let policy =
+    { Supervisor.default_policy with
+      Supervisor.mem_budget_bytes = Some 65536 }
+  in
+  let oc = Supervisor.run ~policy fn (fresh_unit_args ()) in
+  Alcotest.(check bool) "parallel served clean" true
+    (oc.Supervisor.result = Some Supervisor.Parallel
+     && not oc.Supervisor.degraded)
+
+(* ------------------------------------------------------------------ *)
+(* Retry exhaustion and backoff                                       *)
+
+let compute_storm = List.init 64 (fun k -> (k, Machine.F_compute))
+
+let test_retry_exhaustion_fails_closed () =
+  let fn = local_fn () in
+  let plan = Machine.Fault_plan.of_list compute_storm in
+  let sv = Supervisor.prepare ~policy:Supervisor.default_policy fn in
+  let oc = Supervisor.exec ~plan sv (fresh_unit_args ()) in
+  Alcotest.(check bool) "failed closed" true (oc.Supervisor.result = None);
+  (* 3 backends x (1 try + 2 retries) *)
+  Alcotest.(check int) "nine attempts" 9
+    (List.length oc.Supervisor.attempts);
+  List.iter
+    (fun c ->
+      if c <> Diag.Compute_fault then
+        Alcotest.failf "expected compute fault, got %s"
+          (Diag.code_to_string c))
+    (fault_codes oc);
+  (* the pool and the prepared supervisor stay usable afterwards *)
+  let args = fresh_unit_args () in
+  let oc2 = Supervisor.exec sv args in
+  Alcotest.(check bool) "clean run after exhaustion" true
+    (oc2.Supervisor.result = Some Supervisor.Parallel
+     && not oc2.Supervisor.degraded)
+
+let test_backoff_determinism () =
+  let fn = local_fn () in
+  let sv = Supervisor.prepare ~policy:Supervisor.default_policy fn in
+  let run () =
+    let plan = Machine.Fault_plan.of_list compute_storm in
+    Supervisor.exec ~plan sv (fresh_unit_args ())
+  in
+  let a1 = List.map Supervisor.attempt_to_string (run ()).Supervisor.attempts
+  and a2 =
+    List.map Supervisor.attempt_to_string (run ()).Supervisor.attempts
+  in
+  Alcotest.(check (list string)) "identical attempt logs" a1 a2;
+  (* per backend the simulated backoff is 0, base, base*factor capped *)
+  let backoffs =
+    List.map
+      (fun (a : Supervisor.attempt) -> a.Supervisor.at_backoff)
+      (run ()).Supervisor.attempts
+  in
+  Alcotest.(check (list int)) "capped exponential backoff"
+    [ 0; 1; 2; 0; 1; 2; 0; 1; 2 ] backoffs
+
+let test_backoff_cap () =
+  let fn = local_fn () in
+  let policy =
+    { Supervisor.default_policy with
+      Supervisor.backends = [ Supervisor.Compiled ];
+      Supervisor.retries = 3;
+      Supervisor.backoff =
+        { Supervisor.bo_base = 3; Supervisor.bo_factor = 4;
+          Supervisor.bo_cap = 10 } }
+  in
+  let plan = Machine.Fault_plan.of_list compute_storm in
+  let oc =
+    Supervisor.exec ~plan
+      (Supervisor.prepare ~policy fn)
+      (fresh_unit_args ())
+  in
+  let backoffs =
+    List.map
+      (fun (a : Supervisor.attempt) -> a.Supervisor.at_backoff)
+      oc.Supervisor.attempts
+  in
+  Alcotest.(check (list int)) "cap binds" [ 0; 3; 10; 10 ] backoffs
+
+(* ------------------------------------------------------------------ *)
+(* Entry errors fail closed                                           *)
+
+let test_entry_fails_closed () =
+  let fn = local_fn () in
+  let sv = Supervisor.prepare ~policy:Supervisor.default_policy fn in
+  (* missing output argument: no backend can serve this call *)
+  let oc = Supervisor.exec sv [ ("x", Tensor.rand ~seed:3 Types.F32 [| 8 |]) ] in
+  Alcotest.(check bool) "failed closed" true (oc.Supervisor.result = None);
+  Alcotest.(check int) "no chain walk" 1 (List.length oc.Supervisor.attempts);
+  match fault_codes oc with
+  | [ Diag.Missing_arg ] -> ()
+  | cs ->
+    Alcotest.failf "expected [missing-arg], got [%s]"
+      (String.concat "; " (List.map Diag.code_to_string cs))
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation and pool reuse                            *)
+
+let test_cancellation_parallel () =
+  with_domains 4 (fun () ->
+      let fn = par_fn () in
+      let args = fresh_unit_args ~numel:64 () in
+      Machine.install ~fn:"unit_par" ();
+      Machine.request_cancel
+        (Diag.cancelled ~fn:"unit_par" ~detail:"test cancel");
+      (match Cexec.run_func ~parallel:true ~hooks:true fn args with
+       | () -> Alcotest.fail "cancelled run completed"
+       | exception Diag.Diag_error d ->
+         Alcotest.(check string) "cancelled" "cancelled"
+           (Diag.code_to_string d.Diag.dg_code));
+      Machine.uninstall ();
+      (* the pool survives the aborted region: a clean parallel run on
+         the same pool still serves and is correct *)
+      let args2 = fresh_unit_args ~numel:64 () in
+      Cexec.run_func ~parallel:true fn args2;
+      let x = List.assoc "x" args2 and y = List.assoc "y" args2 in
+      for k = 0 to Tensor.numel y - 1 do
+        if
+          Int64.bits_of_float (2. *. Tensor.get_flat_f x k)
+          <> Int64.bits_of_float (Tensor.get_flat_f y k)
+        then Alcotest.fail "post-cancel parallel run incorrect"
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Hooks are inert when unsupervised                                  *)
+
+let test_hooks_inert_without_context () =
+  let fn = local_fn () in
+  let args_h = fresh_unit_args () and args_p = fresh_unit_args () in
+  Cexec.run_func ~hooks:true fn args_h;
+  Cexec.run_func fn args_p;
+  Alcotest.(check bool) "hooked == plain compiled" true
+    (bits_equal (List.assoc "y" args_h) (List.assoc "y" args_p))
+
+(* ------------------------------------------------------------------ *)
+(* Fault-plan and taxonomy plumbing                                   *)
+
+let test_fault_plan_deterministic () =
+  let p1 = Machine.Fault_plan.make ~seed:7 ~faults:4 ~horizon:32
+  and p2 = Machine.Fault_plan.make ~seed:7 ~faults:4 ~horizon:32 in
+  Alcotest.(check bool) "same seed, same plan" true
+    (Machine.Fault_plan.planned p1 = Machine.Fault_plan.planned p2);
+  Alcotest.(check int) "requested fault count" 4
+    (List.length (Machine.Fault_plan.planned p1))
+
+let test_code_roundtrip () =
+  List.iter
+    (fun c ->
+      match Diag.code_of_string (Diag.code_to_string c) with
+      | Some c' when c' = c -> ()
+      | _ ->
+        Alcotest.failf "code %s does not round-trip"
+          (Diag.code_to_string c))
+    [ Diag.Oob_load; Diag.Oob_store; Diag.Oob_reduce; Diag.Uninit_read;
+      Diag.Nonfinite_store; Diag.Missing_arg; Diag.Unknown_arg;
+      Diag.Shape_mismatch; Diag.Unknown_size; Diag.Gpu_resources;
+      Diag.Kernel_launch; Diag.Compute_fault; Diag.Oom;
+      Diag.Deadline_exceeded; Diag.Cancelled; Diag.Race_fault;
+      Diag.Exec_fault ]
+
+let test_classification () =
+  let expect =
+    [ (Diag.Kernel_launch, Diag.Transient);
+      (Diag.Compute_fault, Diag.Transient);
+      (Diag.Oom, Diag.Resource);
+      (Diag.Deadline_exceeded, Diag.Resource);
+      (Diag.Cancelled, Diag.Resource);
+      (Diag.Oob_load, Diag.Logic);
+      (Diag.Race_fault, Diag.Logic);
+      (Diag.Missing_arg, Diag.Entry);
+      (Diag.Shape_mismatch, Diag.Entry) ]
+  in
+  List.iter
+    (fun (c, cls) ->
+      if Diag.classify c <> cls then
+        Alcotest.failf "%s should classify as %s" (Diag.code_to_string c)
+          (Diag.fault_class_to_string cls))
+    expect
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_supervised_seq; prop_supervised_par ]
+  @ [ Alcotest.test_case "deadlines fail closed" `Quick test_deadline;
+      Alcotest.test_case "generous deadline is inert" `Quick
+        test_deadline_generous;
+      Alcotest.test_case "OOM budget falls back to interp" `Quick
+        test_oom_budget_fallback;
+      Alcotest.test_case "roomy budget is inert" `Quick test_budget_roomy;
+      Alcotest.test_case "retry exhaustion fails closed" `Quick
+        test_retry_exhaustion_fails_closed;
+      Alcotest.test_case "backoff is deterministic" `Quick
+        test_backoff_determinism;
+      Alcotest.test_case "backoff cap binds" `Quick test_backoff_cap;
+      Alcotest.test_case "entry errors fail closed" `Quick
+        test_entry_fails_closed;
+      Alcotest.test_case "cancellation aborts chunks, pool reusable" `Quick
+        test_cancellation_parallel;
+      Alcotest.test_case "hooks inert without context" `Quick
+        test_hooks_inert_without_context;
+      Alcotest.test_case "fault plans are deterministic" `Quick
+        test_fault_plan_deterministic;
+      Alcotest.test_case "diag codes round-trip" `Quick test_code_roundtrip;
+      Alcotest.test_case "fault taxonomy" `Quick test_classification ]
