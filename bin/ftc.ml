@@ -21,6 +21,12 @@
              [--faults K] [--requests R]  execution supervisor under
                                         randomized fault plans; print an
                                         availability/degradation report
+     ftc litmus [--depth D] [--stmts S] exhaustively enumerate small
+             [--sched-len K] [--budget N] programs x schedule sequences,
+                                        dedup by canonical hash, and
+                                        differentially verify every pair;
+                                        exits 1 on any mismatch or
+                                        soundness violation
 
    Exit codes are uniform across subcommands: 0 = success, 1 = fault
    (structured diagnostic on stderr), 2 = usage error. *)
@@ -452,6 +458,105 @@ let soak_cmd =
       const run $ wl_arg $ seed_arg $ faults_arg $ requests_arg
       $ min_avail_arg)
 
+(* ftc litmus: the exhaustive transformation-correctness harness.
+   Enumerates every skeleton program within --depth/--stmts, every
+   applicable schedule sequence up to --sched-len, dedups both by
+   canonical hash, and differentially verifies every surviving pair
+   (interp vs compiled, sequential and parallel) while cross-checking
+   the static race/bounds verdicts against the sanitizers.  TransForm-
+   style streaming: one "New hash (unique/total)" line per novel
+   program, "Results,..." summary lines at the end. *)
+let litmus_cmd =
+  let run depth stmts sched_len budget inject corpus_dir progress_every
+      max_failures quiet =
+    guarded (fun () ->
+        let mutation = if inject then `Off_by_one else `None in
+        (match corpus_dir with
+         | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+         | _ -> ());
+        let cfg =
+          { Ft_litmus.Harness.depth; stmts; sched_len; budget; max_failures;
+            mutation; corpus_dir;
+            progress =
+              (if quiet then ignore
+               else fun line ->
+                 print_endline line;
+                 flush stdout);
+            progress_every }
+        in
+        let stats = Ft_litmus.Harness.run cfg in
+        List.iter print_endline (Ft_litmus.Harness.report stats);
+        let n_fail = List.length stats.Ft_litmus.Harness.failures in
+        if n_fail > 0 then
+          faultf "litmus: %d failing pair(s)%s" n_fail
+            (if inject then " (miscompile injection is on)" else ""))
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "depth" ] ~docv:"D" ~doc:"Max loop-nesting depth.")
+  in
+  let stmts_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "stmts" ] ~docv:"S" ~doc:"Max statement-node count.")
+  in
+  let sched_len_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "sched-len" ] ~docv:"K" ~doc:"Max schedule-sequence length.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Stop after checking N pairs (0 = run to exhaustion).")
+  in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-miscompile" ]
+          ~doc:
+            "Compile through a deliberately wrong executor (off-by-one \
+             store index) to validate that the harness catches and \
+             shrinks miscompiles; the run is expected to fail.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:"Write shrunk failing cases as DIR/shrunk-*.litmus.")
+  in
+  let progress_every_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "progress-every" ] ~docv:"N"
+          ~doc:"Status line every N checked pairs (0 = off).")
+  in
+  let max_failures_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "max-failures" ] ~docv:"N"
+          ~doc:"Stop after N failures (0 = keep going).")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress per-hash progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:
+         "Exhaustively enumerate small programs and schedule sequences \
+          to a bound, dedup by canonical hash, and differentially verify \
+          every pair across executors while cross-checking static \
+          race/bounds verdicts against the sanitizers; exits 1 on any \
+          mismatch or soundness violation")
+    Term.(
+      const run $ depth_arg $ stmts_arg $ sched_len_arg $ budget_arg
+      $ inject_arg $ corpus_arg $ progress_every_arg $ max_failures_arg
+      $ quiet_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let group =
@@ -459,7 +564,7 @@ let () =
       (Cmd.info "ftc" ~version:"1.0.0"
          ~doc:"FreeTensor: free-form tensor program compiler")
       [ show_cmd; schedule_cmd; codegen_cmd; grad_cmd; estimate_cmd;
-        run_cmd; profile_cmd; check_cmd; guard_cmd; soak_cmd ]
+        run_cmd; profile_cmd; check_cmd; guard_cmd; soak_cmd; litmus_cmd ]
   in
   (* 0 = ok, 1 = fault (guarded already exited for handled faults; an
      escaped exception lands here), 2 = usage. *)

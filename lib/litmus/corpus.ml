@@ -1,0 +1,119 @@
+(** Self-contained regression cases: the [.litmus] file format.
+
+    A case is a skeleton program, a schedule-step sequence and an
+    expected outcome, serialized line-oriented so failures minimized by
+    the shrinker can be committed under [test/corpus/] and replayed by
+    [dune runtest] forever after:
+
+    {v
+    # free-form notes (ignored)
+    expect pass
+    prog (for 4 par (y+ div x:it))
+    sched split 0 2
+    sched parallelize 0
+    v} *)
+
+type case = {
+  c_name : string;        (** basename, for reporting *)
+  c_note : string list;   (** leading [#] comment lines, without the [#] *)
+  c_expect : Oracle.expect;
+  c_prog : Prog.t;
+  c_steps : Step.t list;
+}
+
+let make ?(name = "case") ?(note = []) ~expect ~prog ~steps () =
+  { c_name = name; c_note = note; c_expect = expect; c_prog = prog;
+    c_steps = steps }
+
+let to_string (c : case) : string =
+  let buf = Buffer.create 256 in
+  List.iter (fun l -> Buffer.add_string buf ("# " ^ l ^ "\n")) c.c_note;
+  Buffer.add_string buf
+    (match c.c_expect with Oracle.Pass -> "expect pass\n"
+                         | Oracle.Fault -> "expect fault\n");
+  Buffer.add_string buf ("prog " ^ Prog.to_string c.c_prog ^ "\n");
+  List.iter
+    (fun s -> Buffer.add_string buf ("sched " ^ Step.to_string s ^ "\n"))
+    c.c_steps;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string ?(name = "case") (text : string) : case =
+  let note = ref [] and expect = ref None and prog = ref None
+  and steps = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun lineno line ->
+         let line = String.trim line in
+         let fail fmt =
+           Printf.ksprintf
+             (fun m ->
+               raise (Parse_error (Printf.sprintf "%s:%d: %s" name (lineno + 1) m)))
+             fmt
+         in
+         if line = "" then ()
+         else if String.length line > 0 && line.[0] = '#' then
+           note := String.trim (String.sub line 1 (String.length line - 1))
+                   :: !note
+         else
+           match String.index_opt line ' ' with
+           | None when line = "expect" -> fail "expect needs pass|fault"
+           | None -> fail "unrecognized line %S" line
+           | Some sp -> (
+             let head = String.sub line 0 sp in
+             let rest =
+               String.trim (String.sub line sp (String.length line - sp))
+             in
+             match head with
+             | "expect" -> (
+               match rest with
+               | "pass" -> expect := Some Oracle.Pass
+               | "fault" -> expect := Some Oracle.Fault
+               | _ -> fail "bad expect %S" rest)
+             | "prog" -> (
+               if !prog <> None then fail "duplicate prog line";
+               match Prog.of_string rest with
+               | p -> prog := Some p
+               | exception Prog.Parse_error m -> fail "%s" m)
+             | "sched" -> (
+               match Step.of_string rest with
+               | s -> steps := s :: !steps
+               | exception Step.Parse_error m -> fail "%s" m)
+             | _ -> fail "unrecognized line %S" line));
+  let expect =
+    match !expect with
+    | Some e -> e
+    | None -> raise (Parse_error (name ^ ": missing expect line"))
+  in
+  let prog =
+    match !prog with
+    | Some p -> p
+    | None -> raise (Parse_error (name ^ ": missing prog line"))
+  in
+  { c_name = name; c_note = List.rev !note; c_expect = expect; c_prog = prog;
+    c_steps = List.rev !steps }
+
+let load (path : string) : case =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~name:(Filename.basename path) text
+
+let save (path : string) (c : case) : unit =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string c))
+
+(** All [*.litmus] files in [dir], sorted by name; missing dir = []. *)
+let load_dir (dir : string) : case list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".litmus")
+    |> List.sort compare
+    |> List.map (fun f -> load (Filename.concat dir f))

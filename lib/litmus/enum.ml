@@ -1,0 +1,101 @@
+(** Bounded exhaustive enumeration of litmus skeletons.
+
+    Enumerates every program over {!alphabet} with statement-node count
+    [<= stmts] and loop-nesting depth [<= depth], lazily and in a fixed
+    deterministic order (leaves in alphabet order, then structured nodes
+    shallowest-first within the budget).  Statement {e order} is
+    semantic, so permutations are distinct programs here; the harness's
+    canonical-hash dedup collapses whatever lowers alpha-equivalently.
+
+    The alphabet is curated, TransForm-style: one representative per
+    access shape the schedule transformations and verifiers actually
+    branch on — regular, strided, non-injective, indirect in both
+    positions, 2-D, min/max reduction, locals, and a
+    deliberately-conflicting constant subscript.  Growing the alphabet
+    grows coverage but multiplies the space; every entry must earn its
+    factor. *)
+
+open Prog
+
+(** Leaf statements, one per interesting access shape. *)
+let alphabet : leaf list =
+  [ L_st_y (Ix_it, V_x Ix_it);        (* regular copy *)
+    L_rd_y (Ix_it, V_x Ix_it);        (* regular reduction *)
+    L_st_y (Ix_it2, V_c);             (* non-unit stride *)
+    L_rd_y (Ix_div, V_x Ix_it);       (* non-injective target: i/2 aliases *)
+    L_st_y (Ix_ind, V_c);             (* indirect store y[idx[i]] *)
+    L_rd_y (Ix_it, V_xi);             (* indirect load x[idx[i]] *)
+    L_st_z (Ix_it, Ix_outer, V_m (Ix_it, Ix_outer));  (* 2-D *)
+    L_rd_z_max (Ix_it, Ix_outer, V_sum);              (* max-reduce *)
+    L_st_t (Ix_it, V_x Ix_it);        (* local write *)
+    L_rd_y (Ix_it, V_t Ix_it);        (* local read *)
+    L_st_y (Ix_c 0, V_x Ix_it) ]      (* every iteration hits y[0] *)
+
+(** Structured-node shapes.  Loop length 4 keeps split factors 2 and 3
+    interesting (even/uneven); the dynamic bound reads [idx[0]]. *)
+type shape =
+  | Sh_loop of bool * bool  (* par, dyn *)
+  | Sh_if
+  | Sh_local
+
+let shapes : shape list =
+  [ Sh_loop (false, false);
+    Sh_loop (true, false);
+    Sh_loop (false, true);
+    Sh_if;
+    Sh_local ]
+
+let loop_len = 4
+let local_dim = 3
+
+let build shape body =
+  match shape with
+  | Sh_loop (par, dyn) -> Loop { len = loop_len; par; dyn; body }
+  | Sh_if -> If { parity = true; body }
+  | Sh_local -> Local { dim = local_dim; body }
+
+(* Every node with size <= budget and loop-depth <= depth, paired with
+   its exact size; then every node list under the same bounds.  Mutually
+   recursive, lazy, terminating because the budget strictly shrinks. *)
+let rec gen_node ~depth ~budget () : (node * int) Seq.node =
+  if budget < 1 then Seq.Nil
+  else
+    let leaves = Seq.map (fun l -> (Leaf l, 1)) (List.to_seq alphabet) in
+    let structured =
+      if budget < 2 then Seq.empty
+      else
+        Seq.concat_map
+          (fun shape ->
+            let sub_depth =
+              match shape with Sh_loop _ -> depth - 1 | _ -> depth
+            in
+            if sub_depth < 0 then Seq.empty
+            else
+              Seq.filter_map
+                (fun (body, sz) ->
+                  if body = [] then None else Some (build shape body, sz + 1))
+                (gen_list ~depth:sub_depth ~budget:(budget - 1)))
+          (List.to_seq shapes)
+    in
+    Seq.append leaves structured ()
+
+and gen_list ~depth ~budget () : (Prog.t * int) Seq.node =
+  Seq.cons ([], 0)
+    (Seq.concat_map
+       (fun (n, sz) ->
+         Seq.map
+           (fun (rest, rsz) -> (n :: rest, sz + rsz))
+           (gen_list ~depth ~budget:(budget - sz)))
+       (gen_node ~depth ~budget))
+    ()
+
+(** All non-empty skeletons with at most [stmts] statement nodes and
+    loop depth at most [depth], in deterministic order. *)
+let programs ~depth ~stmts : Prog.t Seq.t =
+  Seq.filter_map
+    (fun (p, _) -> if p = [] then None else Some p)
+    (gen_list ~depth ~budget:stmts)
+
+(** Space size without building the programs (for progress totals). *)
+let count ~depth ~stmts : int =
+  Seq.fold_left (fun a _ -> a + 1) 0 (programs ~depth ~stmts)

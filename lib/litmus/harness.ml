@@ -1,0 +1,247 @@
+(** The exhaustive litmus driver: enumerate every skeleton within the
+    bounds, dedup by canonical hash, grow every applicable schedule
+    sequence up to the length bound (deduping the {e scheduled} programs
+    too, so convergent sequences are checked once), and push every
+    surviving (program, schedule) pair through the differential +
+    soundness oracle.
+
+    Sharding: the enumerator and the schedule DFS run on the master
+    domain only (fresh-name counters and statement ids are process-global
+    and not thread-safe), buffering checked pairs into batches; each
+    batch's sequential oracle legs ({!Oracle.check_seq}) are striped
+    across the {!Ft_backend.Exec_par} domain pool, then the parallel
+    legs ({!Oracle.check_par}) run on the master — the pool is not
+    reentrant.  Results land in per-item slots of a preallocated array,
+    so counts and failure order are deterministic for any
+    [FT_NUM_DOMAINS].
+
+    Failures are minimized by {!Shrink} and written to the corpus
+    directory in {!Corpus} format, ready to be committed as regression
+    tests. *)
+
+open Ft_backend
+
+type config = {
+  depth : int;          (** max loop-nesting depth *)
+  stmts : int;          (** max statement-node count *)
+  sched_len : int;      (** max schedule-sequence length *)
+  budget : int;         (** max checked pairs; [0] = unlimited *)
+  max_failures : int;   (** stop after this many failures; [0] = unlimited *)
+  mutation : Oracle.mutation;
+  corpus_dir : string option;  (** where shrunk failures are written *)
+  progress : string -> unit;   (** progress-line sink *)
+  progress_every : int;        (** status line every N checked pairs; 0 = off *)
+}
+
+let default_config =
+  { depth = 1;
+    stmts = 2;
+    sched_len = 1;
+    budget = 0;
+    max_failures = 10;
+    mutation = `None;
+    corpus_dir = None;
+    progress = ignore;
+    progress_every = 0 }
+
+type failure_case = {
+  fc_case : Corpus.case;     (** minimized *)
+  fc_failure : Oracle.failure;
+  fc_file : string option;   (** corpus file written, if any *)
+}
+
+type stats = {
+  mutable progs_total : int;    (** programs enumerated *)
+  mutable progs_unique : int;   (** distinct canonical hashes *)
+  mutable scheds_total : int;   (** applicable scheduled programs (incl. dups) *)
+  mutable scheds_unique : int;  (** distinct scheduled canonical hashes *)
+  mutable sched_rejects : int;  (** [Invalid_schedule] rejections (expected) *)
+  mutable checked : int;        (** pairs through the oracle *)
+  mutable failures : failure_case list;  (** newest first *)
+  mutable exhausted : bool;     (** false iff stopped by budget/max_failures *)
+}
+
+let fresh_stats () =
+  { progs_total = 0; progs_unique = 0; scheds_total = 0; scheds_unique = 0;
+    sched_rejects = 0; checked = 0; failures = []; exhausted = true }
+
+(* One (program, schedule) pair awaiting its oracle run. *)
+type item = {
+  it_base : Ft_ir.Stmt.func;
+  it_sched : Ft_ir.Stmt.func;
+  it_prog : Prog.t;
+  it_steps : Step.t list;
+}
+
+exception Stop
+
+let batch_size = 64
+
+let run (cfg : config) : stats =
+  let stats = fresh_stats () in
+  let seen_progs : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let seen_scheds : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let pending : item list ref = ref [] in
+  let n_pending = ref 0 in
+  let failure_budget_left () =
+    cfg.max_failures = 0 || List.length stats.failures < cfg.max_failures
+  in
+  let record_failure (it : item) (f : Oracle.failure) =
+    let case =
+      Corpus.make ~name:"shrinking"
+        ~note:
+          [ Printf.sprintf "stage: %s" f.Oracle.fail_stage;
+            f.Oracle.fail_detail ]
+        ~expect:Oracle.Pass ~prog:it.it_prog ~steps:it.it_steps ()
+    in
+    let case, f =
+      match Shrink.shrink ~mutation:cfg.mutation case with
+      | c, Some f' ->
+        ({ c with
+           Corpus.c_note =
+             [ Printf.sprintf "stage: %s" f'.Oracle.fail_stage;
+               f'.Oracle.fail_detail ] },
+         f')
+      | c, None -> (c, f)  (* non-reproducible on replay; keep original *)
+    in
+    let file =
+      match cfg.corpus_dir with
+      | None -> None
+      | Some dir ->
+        let base_fn = Prog.to_func case.Corpus.c_prog in
+        let h = String.sub (Prog.canonical_hash base_fn) 0 8 in
+        let path =
+          Filename.concat dir (Printf.sprintf "shrunk-%s.litmus" h)
+        in
+        Corpus.save path case;
+        Some path
+    in
+    stats.failures <-
+      { fc_case = case; fc_failure = f; fc_file = file } :: stats.failures;
+    cfg.progress
+      (Printf.sprintf "FAILURE [%s] %s%s" f.Oracle.fail_stage
+         f.Oracle.fail_detail
+         (match file with None -> "" | Some p -> " -> " ^ p));
+    if not (failure_budget_left ()) then begin
+      stats.exhausted <- false;
+      raise Stop
+    end
+  in
+  (* Phase A striped across the pool; phase B + failure handling on the
+     master, in item order, so the run is deterministic for any pool
+     size. *)
+  let flush () =
+    let items = Array.of_list (List.rev !pending) in
+    pending := [];
+    n_pending := 0;
+    let n_items = Array.length items in
+    if n_items > 0 then begin
+      let results = Array.make n_items Oracle.Ok_pass in
+      let n = min (Exec_par.num_domains ()) n_items in
+      Exec_par.run_chunks n (fun c ->
+          let i = ref c in
+          while !i < n_items do
+            let it = items.(!i) in
+            results.(!i) <-
+              Oracle.check_seq ~mutation:cfg.mutation ~base:it.it_base
+                ~sched:it.it_sched Oracle.Pass;
+            i := !i + n
+          done);
+      Array.iteri
+        (fun i it ->
+          let outcome =
+            match results.(i) with
+            | Oracle.Fail _ as f -> f
+            | Oracle.Ok_pass ->
+              Oracle.check_par ~mutation:cfg.mutation ~base:it.it_base
+                ~sched:it.it_sched Oracle.Pass
+          in
+          stats.checked <- stats.checked + 1;
+          if cfg.progress_every > 0 && stats.checked mod cfg.progress_every = 0
+          then
+            cfg.progress
+              (Printf.sprintf
+                 "... checked %d pairs (%d/%d programs, %d/%d schedules, %d \
+                  rejected)"
+                 stats.checked stats.progs_unique stats.progs_total
+                 stats.scheds_unique stats.scheds_total stats.sched_rejects);
+          match outcome with
+          | Oracle.Ok_pass -> ()
+          | Oracle.Fail f -> record_failure items.(i) f)
+        items
+    end
+  in
+  let enqueue it =
+    pending := it :: !pending;
+    incr n_pending;
+    if !n_pending >= batch_size then flush ();
+    if cfg.budget > 0 && stats.checked + !n_pending >= cfg.budget then begin
+      stats.exhausted <- false;
+      raise Stop
+    end
+  in
+  (* DFS over schedule sequences from an already-deduped scheduled
+     state. *)
+  let open Ft_sched in
+  let rec dfs base prog fn steps remaining =
+    enqueue { it_base = base; it_sched = fn; it_prog = prog; it_steps = steps };
+    if remaining > 0 then begin
+      let cands = Step.candidates (Schedule.of_func fn) in
+      List.iter
+        (fun step ->
+          let sch = Schedule.of_func fn in
+          match Step.apply sch step with
+          | exception Schedule.Invalid _ ->
+            stats.sched_rejects <- stats.sched_rejects + 1
+          | () ->
+            let fn' = Schedule.func sch in
+            stats.scheds_total <- stats.scheds_total + 1;
+            let h = Prog.canonical_hash fn' in
+            if not (Hashtbl.mem seen_scheds h) then begin
+              Hashtbl.add seen_scheds h ();
+              stats.scheds_unique <- stats.scheds_unique + 1;
+              dfs base prog fn' (steps @ [ step ]) (remaining - 1)
+            end)
+        cands
+    end
+  in
+  (try
+     Seq.iter
+       (fun prog ->
+         let base = Prog.to_func prog in
+         stats.progs_total <- stats.progs_total + 1;
+         let h = Prog.canonical_hash base in
+         if not (Hashtbl.mem seen_progs h) then begin
+           Hashtbl.add seen_progs h ();
+           stats.progs_unique <- stats.progs_unique + 1;
+           cfg.progress
+             (Printf.sprintf "New hash (%d/%d): %s" stats.progs_unique
+                stats.progs_total h);
+           (* The empty schedule is a pair too: it differentially checks
+              the executors on the raw program. *)
+           stats.scheds_total <- stats.scheds_total + 1;
+           if not (Hashtbl.mem seen_scheds h) then begin
+             Hashtbl.add seen_scheds h ();
+             stats.scheds_unique <- stats.scheds_unique + 1
+           end;
+           dfs base prog base [] cfg.sched_len
+         end)
+       (Enum.programs ~depth:cfg.depth ~stmts:cfg.stmts);
+     flush ()
+   with Stop -> ( try flush () with Stop -> ()));
+  stats.failures <- List.rev stats.failures;
+  stats
+
+(** TransForm-style summary lines. *)
+let report (stats : stats) : string list =
+  [ Printf.sprintf "Programs: %d unique / %d total" stats.progs_unique
+      stats.progs_total;
+    Printf.sprintf "Schedules: %d unique / %d total (%d rejected as invalid)"
+      stats.scheds_unique stats.scheds_total stats.sched_rejects;
+    Printf.sprintf "Checked: %d pairs, %d failures%s" stats.checked
+      (List.length stats.failures)
+      (if stats.exhausted then " (exhausted)" else " (stopped early)");
+    Printf.sprintf "Results,programs,%d,%d" stats.progs_unique
+      stats.progs_total;
+    Printf.sprintf "Results,schedules,%d,%d" stats.scheds_unique
+      stats.scheds_total ]

@@ -1,0 +1,301 @@
+(** Differential + soundness oracle for one (program, schedule) pair.
+
+    A pair that survives schedule application is checked on five legs:
+
+    - {b differential}: the scheduled program through the reference
+      interpreter, the closure compiler (sequential) and the closure
+      compiler with [~parallel:true] must all produce outputs bitwise
+      equal to the interpreter's run of the {e unscheduled} program —
+      schedules are semantics-preserving by contract, and the executors
+      must agree to the last mantissa bit;
+    - {b bound soundness}: {!Ft_analyze.Boundcheck} verdicts are
+      cross-checked against the memory sanitizers — a fault under
+      [~guard:true] from a program whose sites were all [Proved] means
+      the static prover lied;
+    - {b race soundness}: {!Ft_analyze.Race} verdicts are cross-checked
+      against the dynamic race sanitizer — an observed race on a loop
+      the verifier called [Safe]/[Safe_with_atomics] means the verifier
+      lied.  Races on [Racy] loops are expected (the compiled executor
+      demotes those loops to sequential).
+
+    Expect-[Fault] cases (the corpus's out-of-bounds witnesses) instead
+    demand that both guarded executors fault with byte-identical
+    diagnostics.
+
+    The oracle is split in two so the harness can shard it: {!check_seq}
+    is safe to run inside an {!Ft_backend.Exec_par} worker domain (it
+    never touches the domain pool, fresh-name counters or other
+    non-thread-safe global state); {!check_par} runs the
+    [~parallel:true] leg and MUST only be called on the master domain —
+    {!Ft_backend.Exec_par.run_chunks} is not reentrant. *)
+
+open Ft_ir
+open Ft_backend
+open Ft_runtime
+
+type expect =
+  | Pass   (** in-bounds by construction: executors must agree *)
+  | Fault  (** deliberate OOB witness: guarded executors must fault *)
+
+type failure = {
+  fail_stage : string;  (** e.g. ["interp-vs-compiled-seq"] *)
+  fail_detail : string;
+}
+
+type outcome =
+  | Ok_pass
+  | Fail of failure
+
+(** Optional miscompile injection, for validating that the harness
+    actually catches bugs: the mutation is applied to the function
+    handed to the {e compiled} legs only, so the differential legs see
+    an executor that computes something subtly wrong.  [`Off_by_one]
+    rewrites the first store/reduce targeting [y] to hit
+    [(index + 1) mod 12] — in bounds, wrong cell. *)
+type mutation = [ `None | `Off_by_one ]
+
+let mutate_func (m : mutation) (fn : Stmt.func) : Stmt.func =
+  match m with
+  | `None -> fn
+  | `Off_by_one ->
+    let done_ = ref false in
+    let rot e = Expr.mod_ (Expr.add e (Expr.int 1)) (Expr.int Gen_prog.n_x) in
+    let body =
+      Stmt.map_bottom_up
+        (fun s ->
+          match s.Stmt.node with
+          | Stmt.Store ({ Stmt.s_var = "y"; s_indices = [ e ]; _ } as st)
+            when not !done_ ->
+            done_ := true;
+            Stmt.with_node s (Stmt.Store { st with Stmt.s_indices = [ rot e ] })
+          | Stmt.Reduce_to ({ Stmt.r_var = "y"; r_indices = [ e ]; _ } as rd)
+            when not !done_ ->
+            done_ := true;
+            Stmt.with_node s
+              (Stmt.Reduce_to { rd with Stmt.r_indices = [ rot e ] })
+          | _ -> s)
+        fn.Stmt.fn_body
+    in
+    { fn with Stmt.fn_body = body }
+
+(* ------------------------------------------------------------------ *)
+
+let bits_equal (a : Tensor.t) (b : Tensor.t) =
+  let fa = Tensor.to_float_array a and fb = Tensor.to_float_array b in
+  Array.length fa = Array.length fb
+  && (let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if Int64.bits_of_float v <> Int64.bits_of_float fb.(i) then
+            ok := false)
+        fa;
+      !ok)
+
+(* Transformations may legitimately reassociate floating-point
+   reductions (reorder, fuse, parallelize all commute reduction order —
+   the dependence checker treats reductions as commutative), so the
+   base-program-vs-scheduled-program comparison uses a tolerance.  The
+   executor-vs-executor comparison on the *same* scheduled program stays
+   bitwise: executors have no rounding freedom. *)
+let approx_equal (a : Tensor.t) (b : Tensor.t) =
+  let fa = Tensor.to_float_array a and fb = Tensor.to_float_array b in
+  Array.length fa = Array.length fb
+  && (let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          let w = fb.(i) in
+          let tol = 1e-5 *. Float.max 1.0 (Float.max (Float.abs v) (Float.abs w)) in
+          if not (Float.abs (v -. w) <= tol) then ok := false)
+        fa;
+      !ok)
+
+let first_diff (a : Tensor.t) (b : Tensor.t) =
+  let fa = Tensor.to_float_array a and fb = Tensor.to_float_array b in
+  let where = ref (-1) in
+  Array.iteri
+    (fun i v ->
+      if !where < 0 && Int64.bits_of_float v <> Int64.bits_of_float fb.(i)
+      then where := i)
+    fa;
+  if !where < 0 then "no differing element"
+  else
+    Printf.sprintf "element %d: %h vs %h" !where fa.(!where) fb.(!where)
+
+let fresh_args () = Gen_prog.fresh_args ()
+
+let run_quiet f =
+  (* The compiled executor reports `Fallback demotions through
+     [race_logger]; expected demotions of Racy loops would flood the
+     harness's progress stream. *)
+  let saved = !Compile_exec.race_logger in
+  Compile_exec.race_logger := ignore;
+  Fun.protect ~finally:(fun () -> Compile_exec.race_logger := saved) f
+
+let diag_of = function
+  | Diag.Diag_error d -> Some (Diag.to_string d)
+  | _ -> None
+
+(* Interp ~guard rejects argument-binding problems with Interp_error; a
+   litmus program never has those, so only Diag faults are expected. *)
+let guarded_fault (run : unit -> unit) : string option =
+  match run () with
+  | () -> None
+  | exception e -> ( match diag_of e with Some d -> Some d | None -> raise e)
+
+let check_outputs ?(approx = false) ~stage ~refs args =
+  let eq = if approx then approx_equal else bits_equal in
+  let ref_y, ref_z = refs in
+  let y, z = Gen_prog.outputs args in
+  if not (eq ref_y y) then
+    Some { fail_stage = stage;
+           fail_detail = "y diverges: " ^ first_diff ref_y y }
+  else if not (eq ref_z z) then
+    Some { fail_stage = stage;
+           fail_detail = "z diverges: " ^ first_diff ref_z z }
+  else None
+
+(* ------------------------------------------------------------------ *)
+
+(** Stages that are safe inside a worker domain.  [base] is the
+    unscheduled program, [sched] the scheduled one (both already built —
+    the oracle itself never runs [Names.fresh] or schedule application,
+    which are master-only). *)
+let check_seq ?(mutation = `None) ~(base : Stmt.func) ~(sched : Stmt.func)
+    (expect : expect) : outcome =
+  let mutant = mutate_func mutation sched in
+  try
+    run_quiet @@ fun () ->
+    match expect with
+    | Fault -> (
+      (* Both guarded executors must fault, with byte-identical
+         first-fault diagnostics. *)
+      let args_i = fresh_args () in
+      let d_interp =
+        guarded_fault (fun () -> Interp.run_func ~guard:true sched args_i)
+      in
+      let args_c = fresh_args () in
+      let d_comp =
+        guarded_fault (fun () ->
+            Compile_exec.run_func ~guard:true mutant args_c)
+      in
+      match (d_interp, d_comp) with
+      | Some di, Some dc when di = dc -> Ok_pass
+      | Some di, Some dc ->
+        Fail { fail_stage = "guard-diag-differential";
+               fail_detail =
+                 Printf.sprintf "diagnostics differ:\n  interp: %s\n  compiled: %s"
+                   di dc }
+      | None, _ ->
+        Fail { fail_stage = "guard-expect-fault";
+               fail_detail = "interpreter guard did not fault" }
+      | _, None ->
+        Fail { fail_stage = "guard-expect-fault";
+               fail_detail = "compiled guard did not fault" })
+    | Pass -> (
+      (* Semantic reference: interpreter on the unscheduled program. *)
+      let base_args = fresh_args () in
+      Interp.run_func base base_args;
+      let base_refs = Gen_prog.outputs base_args in
+      (* Executor reference: interpreter on the scheduled program. *)
+      let sched_args = fresh_args () in
+      Interp.run_func sched sched_args;
+      let refs = Gen_prog.outputs sched_args in
+      (* Leg 1: the transformation preserved semantics.  Approximate —
+         reorder/fuse/parallelize may reassociate float reductions. *)
+      match
+        check_outputs ~approx:true ~stage:"transform-semantics"
+          ~refs:base_refs sched_args
+      with
+      | Some f -> Fail f
+      | None -> (
+        (* Leg 2: compiled sequential, bitwise against the interpreter
+           on the same scheduled program. *)
+        let args = fresh_args () in
+        Compile_exec.run_func mutant args;
+        match check_outputs ~stage:"interp-vs-compiled-seq" ~refs args with
+        | Some f -> Fail f
+        | None -> (
+          (* Leg 3: bound soundness.  Litmus programs are in-bounds by
+             construction, so any guarded fault is a finding; a fault at
+             a Proved site is a prover-soundness hard failure. *)
+          let sites = Ft_analyze.Boundcheck.check_func sched in
+          let all_proved = Ft_analyze.Boundcheck.all_proved sites in
+          let args = fresh_args () in
+          match
+            guarded_fault (fun () ->
+                Interp.run_func ~guard:true sched args)
+          with
+          | Some d ->
+            let stage =
+              if all_proved then "boundcheck-soundness" else "guard-fault"
+            in
+            Fail { fail_stage = stage;
+                   fail_detail = "interpreter guard fault: " ^ d }
+          | None -> (
+            let args = fresh_args () in
+            match
+              guarded_fault (fun () ->
+                  Compile_exec.run_func ~guard:true mutant args)
+            with
+            | Some d ->
+              let stage =
+                if all_proved then "boundcheck-soundness" else "guard-fault"
+              in
+              Fail { fail_stage = stage;
+                     fail_detail = "compiled guard fault: " ^ d }
+            | None -> (
+              (* Leg 4: race soundness.  Observed race on a loop the
+                 static verifier declared Safe / Safe_with_atomics. *)
+              let reports = Ft_analyze.Race.check_func sched in
+              let races = Interp.sanitize_func sched (fresh_args ()) in
+              let unsound =
+                List.filter
+                  (fun (r : Interp.race) ->
+                    List.exists
+                      (fun (lr : Ft_analyze.Race.loop_report) ->
+                        lr.Ft_analyze.Race.lr_sid = r.Interp.race_loop
+                        && not
+                             (Ft_analyze.Race.is_racy
+                                lr.Ft_analyze.Race.lr_verdict))
+                      reports)
+                  races
+              in
+              match unsound with
+              | r :: _ ->
+                Fail { fail_stage = "race-soundness";
+                       fail_detail =
+                         "sanitizer observed a race on a loop the static \
+                          verifier called safe: "
+                         ^ Interp.race_to_string r }
+              | [] -> Ok_pass)))))
+  with e ->
+    Fail { fail_stage = "exception";
+           fail_detail = Printexc.to_string e }
+
+(** The [~parallel:true] leg.  Master domain only: the parallel executor
+    drives the {!Exec_par} pool, which is not reentrant. *)
+let check_par ?(mutation = `None) ~base:(_ : Stmt.func) ~(sched : Stmt.func)
+    (expect : expect) : outcome =
+  match expect with
+  | Fault -> Ok_pass
+  | Pass -> (
+    let mutant = mutate_func mutation sched in
+    try
+      run_quiet @@ fun () ->
+      let ref_args = fresh_args () in
+      Interp.run_func sched ref_args;
+      let refs = Gen_prog.outputs ref_args in
+      let args = fresh_args () in
+      Compile_exec.run_func ~parallel:true mutant args;
+      match check_outputs ~stage:"interp-vs-compiled-par" ~refs args with
+      | Some f -> Fail f
+      | None -> Ok_pass
+    with e ->
+      Fail { fail_stage = "exception-par";
+             fail_detail = Printexc.to_string e })
+
+(** Full check; master domain only. *)
+let check ?(mutation = `None) ~base ~sched expect : outcome =
+  match check_seq ~mutation ~base ~sched expect with
+  | Fail f -> Fail f
+  | Ok_pass -> check_par ~mutation ~base ~sched expect

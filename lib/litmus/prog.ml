@@ -1,0 +1,559 @@
+(** Litmus program skeletons: the bounded vocabulary the exhaustive
+    transformation-correctness harness enumerates over.
+
+    A skeleton is a tiny, fully serializable program over the shared test
+    signature of {!Gen_prog} (x: f32[12], m: f32[4,6], idx: i32[12],
+    y: f32[12], z: f32[4,6]).  The vocabulary is curated the way
+    TransForm curates litmus-test events: a fixed alphabet of access
+    shapes — regular, strided, non-injective, indirect, data-dependent
+    bounds, locals, reductions — whose closure under nesting covers the
+    corner cases schedule transformations actually disagree on, while
+    staying small enough to enumerate to exhaustion at a bound.
+
+    Every subscript except the deliberate {!L_st_y_oob} witness is
+    mod-wrapped to its dimension, so enumerated programs never fault;
+    under the memory sanitizer, any fault on an enumerated program is
+    itself a finding.  Skeletons are pure data: building the IR twice
+    yields alpha-equivalent functions (fresh iterator names), which is
+    exactly what {!canonical_hash} quotients away. *)
+
+open Ft_ir
+
+(* Dimensions of the fixed signature, shared with Gen_prog. *)
+let n_x = Gen_prog.n_x
+let m_r = Gen_prog.m_r
+let m_c = Gen_prog.m_c
+
+(** Subscript shapes.  [d] in the comments is the dimension the leaf
+    wraps the expression with ([mod d]). *)
+type ix =
+  | Ix_it        (** innermost enclosing iterator *)
+  | Ix_it2       (** [2*i + 1]: strided, non-unit *)
+  | Ix_div       (** [i / 2]: non-injective (aliases adjacent iters) *)
+  | Ix_outer     (** next-outer enclosing iterator *)
+  | Ix_ind       (** [idx[i mod 12]]: indirect, data-dependent *)
+  | Ix_c of int  (** constant *)
+
+(** Value shapes (float expressions). *)
+type value =
+  | V_c           (** the literal 0.5 *)
+  | V_x of ix     (** [x[e mod 12]] *)
+  | V_xi          (** [x[idx[i mod 12]]]: indirect load *)
+  | V_m of ix * ix  (** [m[a mod 4, b mod 6]] *)
+  | V_sum         (** [x[i mod 12] + m[i mod 4, i mod 6]] *)
+  | V_t of ix     (** innermost local [t[e mod dim]]; [x] when no local *)
+
+(** Leaf statements.  Local targets fall back to [y] outside a local. *)
+type leaf =
+  | L_st_y of ix * value         (** [y[e mod 12] = v] *)
+  | L_rd_y of ix * value         (** [y[e mod 12] += v] *)
+  | L_st_z of ix * ix * value    (** [z[a mod 4, b mod 6] = v] *)
+  | L_rd_z_max of ix * ix * value  (** [z[a,b] max= v] *)
+  | L_st_t of ix * value         (** innermost local [t[e mod dim] = v] *)
+  | L_rd_t of ix * value         (** innermost local [t[e mod dim] += v] *)
+  | L_st_y_oob of ix * value
+      (** [y[e + 64] = v], NOT mod-wrapped: the out-of-bounds witness.
+          Never enumerated; reachable only from corpus files. *)
+
+type node =
+  | Leaf of leaf
+  | Loop of { len : int; par : bool; dyn : bool; body : node list }
+      (** [for i in 0..len) body]; [par] annotates [Openmp] (legality
+          deliberately unchecked: that is the verifier's job); [dyn]
+          replaces the bound with the data-dependent
+          [(idx[0] mod len) + 1]. *)
+  | If of { parity : bool; body : node list }
+      (** guard on the innermost iterator: [i mod 2 == 0] when [parity],
+          else [i <= 1] *)
+  | Local of { dim : int; body : node list }
+      (** [t : f32[dim]] zero-initialized local scoped over [body] *)
+
+type t = node list
+
+(* ------------------------------------------------------------------ *)
+(* Size / depth *)
+
+let rec node_size = function
+  | Leaf _ -> 1
+  | Loop { body; _ } | If { body; _ } | Local { body; _ } ->
+    1 + size body
+
+and size (p : t) = List.fold_left (fun a n -> a + node_size n) 0 p
+
+let rec node_depth = function
+  | Leaf _ -> 0
+  | Loop { body; _ } -> 1 + depth body
+  | If { body; _ } | Local { body; _ } -> depth body
+
+and depth (p : t) = List.fold_left (fun a n -> max a (node_depth n)) 0 p
+
+(* ------------------------------------------------------------------ *)
+(* Lowering to IR *)
+
+let par_property =
+  { Stmt.default_property with Stmt.parallel = Some Types.Openmp }
+
+(* [iters] is innermost-first; a missing iterator degrades to a
+   distinct constant so the same leaf stays meaningful (and distinct
+   leaves stay distinct) at top level. *)
+let it iters d =
+  match List.nth_opt iters d with
+  | Some v -> Expr.var v
+  | None -> Expr.int (d + 1)
+
+let ix_expr iters = function
+  | Ix_it -> it iters 0
+  | Ix_it2 -> Expr.add (Expr.mul (Expr.int 2) (it iters 0)) (Expr.int 1)
+  | Ix_div -> Expr.floor_div (it iters 0) (Expr.int 2)
+  | Ix_outer -> it iters 1
+  | Ix_ind ->
+    Expr.load "idx" [ Expr.mod_ (it iters 0) (Expr.int n_x) ]
+  | Ix_c k -> Expr.int k
+
+let wrap iters dim e = Expr.mod_ (ix_expr iters e) (Expr.int dim)
+
+(* innermost local in scope: (name, dim) *)
+let value_expr iters (local : (string * int) option) = function
+  | V_c -> Expr.float 0.5
+  | V_x e -> Expr.load "x" [ wrap iters n_x e ]
+  | V_xi ->
+    Expr.load "x"
+      [ Expr.load "idx" [ Expr.mod_ (it iters 0) (Expr.int n_x) ] ]
+  | V_m (a, b) -> Expr.load "m" [ wrap iters m_r a; wrap iters m_c b ]
+  | V_sum ->
+    Expr.add
+      (Expr.load "x" [ Expr.mod_ (it iters 0) (Expr.int n_x) ])
+      (Expr.load "m"
+         [ Expr.mod_ (it iters 0) (Expr.int m_r);
+           Expr.mod_ (it iters 0) (Expr.int m_c) ])
+  | V_t e -> (
+    match local with
+    | Some (t, dim) -> Expr.load t [ wrap iters dim e ]
+    | None -> Expr.load "x" [ wrap iters n_x e ])
+
+let leaf_stmt iters local leaf =
+  let v value = value_expr iters local value in
+  match leaf with
+  | L_st_y (e, value) -> Stmt.store "y" [ wrap iters n_x e ] (v value)
+  | L_rd_y (e, value) ->
+    Stmt.reduce_to "y" [ wrap iters n_x e ] Types.R_add (v value)
+  | L_st_z (a, b, value) ->
+    Stmt.store "z" [ wrap iters m_r a; wrap iters m_c b ] (v value)
+  | L_rd_z_max (a, b, value) ->
+    Stmt.reduce_to "z"
+      [ wrap iters m_r a; wrap iters m_c b ]
+      Types.R_max (v value)
+  | L_st_t (e, value) -> (
+    match local with
+    | Some (t, dim) -> Stmt.store t [ wrap iters dim e ] (v value)
+    | None -> Stmt.store "y" [ wrap iters n_x e ] (v value))
+  | L_rd_t (e, value) -> (
+    match local with
+    | Some (t, dim) ->
+      Stmt.reduce_to t [ wrap iters dim e ] Types.R_add (v value)
+    | None -> Stmt.reduce_to "y" [ wrap iters n_x e ] Types.R_add (v value))
+  | L_st_y_oob (e, value) ->
+    Stmt.store "y" [ Expr.add (ix_expr iters e) (Expr.int 64) ] (v value)
+
+let rec node_stmt iters local = function
+  | Leaf l -> leaf_stmt iters local l
+  | Loop { len; par; dyn; body } ->
+    let iter = Names.fresh "li" in
+    let f_end =
+      if dyn then
+        Expr.add
+          (Expr.mod_ (Expr.load "idx" [ Expr.int 0 ]) (Expr.int len))
+          (Expr.int 1)
+      else Expr.int len
+    in
+    let property = if par then par_property else Stmt.default_property in
+    Stmt.for_ ~property iter (Expr.int 0) f_end
+      (body_stmt (iter :: iters) local body)
+  | If { parity; body } ->
+    let cond =
+      if parity then Expr.eq (Expr.mod_ (it iters 0) (Expr.int 2)) (Expr.int 0)
+      else Expr.le (it iters 0) (Expr.int 1)
+    in
+    Stmt.if_ cond (body_stmt iters local body) None
+  | Local { dim; body } ->
+    let t = Names.fresh "lt" in
+    let zi = Names.fresh "lz" in
+    let init =
+      Stmt.for_ zi (Expr.int 0) (Expr.int dim)
+        (Stmt.store t [ Expr.var zi ] (Expr.float 0.))
+    in
+    Stmt.var_def t Types.F32 Types.Cpu_stack [ Expr.int dim ]
+      (Stmt.seq [ init; body_stmt iters (Some (t, dim)) body ])
+
+and body_stmt iters local body =
+  Stmt.seq (List.map (node_stmt iters local) body)
+
+(** Lower a skeleton to an IR function over the shared signature. *)
+let to_func ?(name = "litmus") (p : t) : Stmt.func =
+  Stmt.func name Gen_prog.params (body_stmt [] None p)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical hash *)
+
+(* Canonical form: statement ids and labels dropped, every bound name
+   (iterators, locals, schedule-introduced caches) renamed to v0, v1...
+   in order of first binding, expressions printed after smart-constructor
+   normalization.  Two alpha-equivalent programs print identically; the
+   hash is the hex MD5 of the printout. *)
+
+let canonical_string (fn : Stmt.func) : string =
+  let tbl : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let ctr = ref 0 in
+  let bind n =
+    match Hashtbl.find_opt tbl n with
+    | Some c -> c
+    | None ->
+      let c = Printf.sprintf "v%d" !ctr in
+      incr ctr;
+      Hashtbl.add tbl n c;
+      c
+  in
+  let name n = match Hashtbl.find_opt tbl n with Some c -> c | None -> n in
+  let buf = Buffer.create 256 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rec expr e =
+    match e with
+    | Expr.Int_const _ | Expr.Float_const _ | Expr.Bool_const _ ->
+      Buffer.add_string buf (Expr.to_string e)
+    | Expr.Var x -> Buffer.add_string buf (name x)
+    | Expr.Load { l_var; l_indices } ->
+      bpf "%s[" (name l_var);
+      List.iteri
+        (fun i ie ->
+          if i > 0 then Buffer.add_char buf ',';
+          expr ie)
+        l_indices;
+      Buffer.add_char buf ']'
+    | Expr.Unop (op, a) ->
+      bpf "%s(" (Expr.unop_to_string op);
+      expr a;
+      Buffer.add_char buf ')'
+    | Expr.Binop (op, a, b) ->
+      bpf "(%s " (Expr.binop_to_string op);
+      expr a;
+      Buffer.add_char buf ' ';
+      expr b;
+      Buffer.add_char buf ')'
+    | Expr.Select (c, a, b) ->
+      Buffer.add_string buf "(sel ";
+      expr c;
+      Buffer.add_char buf ' ';
+      expr a;
+      Buffer.add_char buf ' ';
+      expr b;
+      Buffer.add_char buf ')'
+    | Expr.Cast (dt, a) ->
+      bpf "%s(" (Types.dtype_to_string dt);
+      expr a;
+      Buffer.add_char buf ')'
+    | Expr.Meta_ndim p -> bpf "%s.ndim" (name p)
+    | Expr.Meta_shape (p, k) -> bpf "%s.shape(%d)" (name p) k
+  in
+  let property (pr : Stmt.for_property) =
+    bpf "{par=%s,unroll=%b,vec=%b,nodeps=[%s]}"
+      (match pr.Stmt.parallel with
+       | None -> "-"
+       | Some s -> Types.parallel_scope_to_string s)
+      pr.Stmt.unroll pr.Stmt.vectorize
+      (String.concat ";" (List.map name pr.Stmt.no_deps))
+  in
+  let rec stmt (s : Stmt.t) =
+    (match s.Stmt.node with
+     | Stmt.Store { s_var; s_indices; s_value } ->
+       bpf "(store %s[" (name s_var);
+       List.iter
+         (fun e ->
+           expr e;
+           Buffer.add_char buf ',')
+         s_indices;
+       Buffer.add_string buf "]=";
+       expr s_value;
+       Buffer.add_char buf ')'
+     | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; r_atomic } ->
+       bpf "(reduce %s %s[" (Types.reduce_op_to_string r_op) (name r_var);
+       List.iter
+         (fun e ->
+           expr e;
+           Buffer.add_char buf ',')
+         r_indices;
+       bpf "] atomic=%b " r_atomic;
+       expr r_value;
+       Buffer.add_char buf ')'
+     | Stmt.Var_def d ->
+       bpf "(def %s %s %s [" (bind d.Stmt.d_name)
+         (Types.dtype_to_string d.Stmt.d_dtype)
+         (Types.mtype_to_string d.Stmt.d_mtype);
+       List.iter
+         (fun e ->
+           expr e;
+           Buffer.add_char buf ',')
+         d.Stmt.d_shape;
+       bpf "] %s " (Types.access_to_string d.Stmt.d_atype);
+       stmt d.Stmt.d_body;
+       Buffer.add_char buf ')'
+     | Stmt.For f ->
+       bpf "(for %s " (bind f.Stmt.f_iter);
+       expr f.Stmt.f_begin;
+       Buffer.add_char buf ' ';
+       expr f.Stmt.f_end;
+       Buffer.add_char buf ' ';
+       expr f.Stmt.f_step;
+       Buffer.add_char buf ' ';
+       property f.Stmt.f_property;
+       Buffer.add_char buf ' ';
+       stmt f.Stmt.f_body;
+       Buffer.add_char buf ')'
+     | Stmt.If i ->
+       Buffer.add_string buf "(if ";
+       expr i.Stmt.i_cond;
+       Buffer.add_char buf ' ';
+       stmt i.Stmt.i_then;
+       (match i.Stmt.i_else with
+        | Some e ->
+          Buffer.add_string buf " else ";
+          stmt e
+        | None -> ());
+       Buffer.add_char buf ')'
+     | Stmt.Assert_stmt (c, b) ->
+       Buffer.add_string buf "(assert ";
+       expr c;
+       Buffer.add_char buf ' ';
+       stmt b;
+       Buffer.add_char buf ')'
+     | Stmt.Seq ss ->
+       Buffer.add_string buf "(seq";
+       List.iter
+         (fun s ->
+           Buffer.add_char buf ' ';
+           stmt s)
+         ss;
+       Buffer.add_char buf ')'
+     | Stmt.Eval e ->
+       Buffer.add_string buf "(eval ";
+       expr e;
+       Buffer.add_char buf ')'
+     | Stmt.Lib_call { lib; body } ->
+       bpf "(lib %s " lib;
+       stmt body;
+       Buffer.add_char buf ')'
+     | Stmt.Call { callee; args } ->
+       bpf "(call %s" callee;
+       List.iter
+         (function
+           | Stmt.Tensor_arg { param; actual; prefix } ->
+             bpf " (t %s %s [" param (name actual);
+             List.iter
+               (fun e ->
+                 expr e;
+                 Buffer.add_char buf ',')
+               prefix;
+             Buffer.add_string buf "])"
+           | Stmt.Scalar_arg { param; value } ->
+             bpf " (s %s " param;
+             expr value;
+             Buffer.add_char buf ')')
+         args;
+       Buffer.add_char buf ')'
+     | Stmt.Nop -> Buffer.add_string buf "(nop)");
+    ()
+  in
+  List.iter
+    (fun (p : Stmt.param) ->
+      bpf "(param %s %s %s %s)" p.Stmt.p_name
+        (Types.dtype_to_string p.Stmt.p_dtype)
+        (Types.access_to_string p.Stmt.p_atype)
+        (match p.Stmt.p_shape with
+         | Stmt.Any_dim -> "any"
+         | Stmt.Fixed es -> String.concat "," (List.map Expr.to_string es)))
+    fn.Stmt.fn_params;
+  stmt fn.Stmt.fn_body;
+  Buffer.contents buf
+
+(** Hex MD5 of {!canonical_string}: collides exactly for
+    alpha-equivalent programs. *)
+let canonical_hash (fn : Stmt.func) : string =
+  Digest.to_hex (Digest.string (canonical_string fn))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus text format *)
+
+exception Parse_error of string
+
+let parse_fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let ix_to_string = function
+  | Ix_it -> "it"
+  | Ix_it2 -> "it2"
+  | Ix_div -> "div"
+  | Ix_outer -> "outer"
+  | Ix_ind -> "ind"
+  | Ix_c k -> "c" ^ string_of_int k
+
+let ix_of_string = function
+  | "it" -> Ix_it
+  | "it2" -> Ix_it2
+  | "div" -> Ix_div
+  | "outer" -> Ix_outer
+  | "ind" -> Ix_ind
+  | s
+    when String.length s > 1
+         && s.[0] = 'c'
+         && Option.is_some
+              (int_of_string_opt (String.sub s 1 (String.length s - 1))) ->
+    Ix_c (int_of_string (String.sub s 1 (String.length s - 1)))
+  | s -> parse_fail "bad subscript %S" s
+
+let value_to_string = function
+  | V_c -> "c"
+  | V_x e -> "x:" ^ ix_to_string e
+  | V_xi -> "xi"
+  | V_m (a, b) -> Printf.sprintf "m:%s:%s" (ix_to_string a) (ix_to_string b)
+  | V_sum -> "sum"
+  | V_t e -> "t:" ^ ix_to_string e
+
+let value_of_string s =
+  match String.split_on_char ':' s with
+  | [ "c" ] -> V_c
+  | [ "x"; e ] -> V_x (ix_of_string e)
+  | [ "xi" ] -> V_xi
+  | [ "m"; a; b ] -> V_m (ix_of_string a, ix_of_string b)
+  | [ "sum" ] -> V_sum
+  | [ "t"; e ] -> V_t (ix_of_string e)
+  | _ -> parse_fail "bad value %S" s
+
+let rec node_to_string = function
+  | Leaf (L_st_y (e, v)) ->
+    Printf.sprintf "(y= %s %s)" (ix_to_string e) (value_to_string v)
+  | Leaf (L_rd_y (e, v)) ->
+    Printf.sprintf "(y+ %s %s)" (ix_to_string e) (value_to_string v)
+  | Leaf (L_st_z (a, b, v)) ->
+    Printf.sprintf "(z= %s %s %s)" (ix_to_string a) (ix_to_string b)
+      (value_to_string v)
+  | Leaf (L_rd_z_max (a, b, v)) ->
+    Printf.sprintf "(zmax %s %s %s)" (ix_to_string a) (ix_to_string b)
+      (value_to_string v)
+  | Leaf (L_st_t (e, v)) ->
+    Printf.sprintf "(t= %s %s)" (ix_to_string e) (value_to_string v)
+  | Leaf (L_rd_t (e, v)) ->
+    Printf.sprintf "(t+ %s %s)" (ix_to_string e) (value_to_string v)
+  | Leaf (L_st_y_oob (e, v)) ->
+    Printf.sprintf "(yoob %s %s)" (ix_to_string e) (value_to_string v)
+  | Loop { len; par; dyn; body } ->
+    Printf.sprintf "(for %d%s%s %s)" len
+      (if par then " par" else "")
+      (if dyn then " dyn" else "")
+      (to_string body)
+  | If { parity; body } ->
+    Printf.sprintf "(if %s %s)" (if parity then "even" else "le1")
+      (to_string body)
+  | Local { dim; body } ->
+    Printf.sprintf "(local %d %s)" dim (to_string body)
+
+and to_string (p : t) = String.concat " " (List.map node_to_string p)
+
+(* s-expression reader: '(' atom* ... ')' nested *)
+type sexp =
+  | Atom of string
+  | List of sexp list
+
+let tokenize (s : string) : string list =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | ')' ->
+        flush ();
+        out := String.make 1 c :: !out
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !out
+
+let parse_sexps (tokens : string list) : sexp list =
+  let rec parse_list acc = function
+    | [] -> (List.rev acc, [])
+    | ")" :: rest -> (List.rev acc, rest)
+    | "(" :: rest ->
+      let inner, rest = parse_inner rest in
+      parse_list (List inner :: acc) rest
+    | tok :: rest -> parse_list (Atom tok :: acc) rest
+  and parse_inner tokens =
+    let rec go acc = function
+      | [] -> parse_fail "unterminated '('"
+      | ")" :: rest -> (List.rev acc, rest)
+      | "(" :: rest ->
+        let inner, rest = parse_inner rest in
+        go (List inner :: acc) rest
+      | tok :: rest -> go (Atom tok :: acc) rest
+    in
+    go [] tokens
+  in
+  let sexps, rest = parse_list [] tokens in
+  (match rest with
+   | [] -> ()
+   | _ -> parse_fail "unbalanced ')'");
+  sexps
+
+let rec node_of_sexp = function
+  | Atom a -> parse_fail "expected a statement, got atom %S" a
+  | List (Atom "y=" :: [ Atom e; Atom v ]) ->
+    Leaf (L_st_y (ix_of_string e, value_of_string v))
+  | List (Atom "y+" :: [ Atom e; Atom v ]) ->
+    Leaf (L_rd_y (ix_of_string e, value_of_string v))
+  | List (Atom "z=" :: [ Atom a; Atom b; Atom v ]) ->
+    Leaf (L_st_z (ix_of_string a, ix_of_string b, value_of_string v))
+  | List (Atom "zmax" :: [ Atom a; Atom b; Atom v ]) ->
+    Leaf (L_rd_z_max (ix_of_string a, ix_of_string b, value_of_string v))
+  | List (Atom "t=" :: [ Atom e; Atom v ]) ->
+    Leaf (L_st_t (ix_of_string e, value_of_string v))
+  | List (Atom "t+" :: [ Atom e; Atom v ]) ->
+    Leaf (L_rd_t (ix_of_string e, value_of_string v))
+  | List (Atom "yoob" :: [ Atom e; Atom v ]) ->
+    Leaf (L_st_y_oob (ix_of_string e, value_of_string v))
+  | List (Atom "for" :: Atom len :: rest) ->
+    let len =
+      match int_of_string_opt len with
+      | Some n when n > 0 -> n
+      | _ -> parse_fail "bad loop length %S" len
+    in
+    let rec flags par dyn = function
+      | Atom "par" :: rest -> flags true dyn rest
+      | Atom "dyn" :: rest -> flags par true rest
+      | rest -> (par, dyn, rest)
+    in
+    let par, dyn, body = flags false false rest in
+    Loop { len; par; dyn; body = List.map node_of_sexp body }
+  | List (Atom "if" :: Atom g :: body) ->
+    let parity =
+      match g with
+      | "even" -> true
+      | "le1" -> false
+      | _ -> parse_fail "bad guard %S" g
+    in
+    If { parity; body = List.map node_of_sexp body }
+  | List (Atom "local" :: Atom dim :: body) ->
+    let dim =
+      match int_of_string_opt dim with
+      | Some n when n > 0 -> n
+      | _ -> parse_fail "bad local dim %S" dim
+    in
+    Local { dim; body = List.map node_of_sexp body }
+  | List (Atom a :: _) -> parse_fail "unknown statement head %S" a
+  | List _ -> parse_fail "malformed statement"
+
+(** Parse the output of {!to_string}; raises {!Parse_error}. *)
+let of_string (s : string) : t =
+  List.map node_of_sexp (parse_sexps (tokenize s))

@@ -1,0 +1,27 @@
+(** Rebuild and re-check a corpus case: skeleton -> IR, steps -> schedule
+    application, then the full differential oracle.  Master domain only
+    (schedule application allocates fresh names; the oracle's parallel
+    leg drives the domain pool). *)
+
+open Ft_sched
+
+(** Lower the skeleton and apply the steps.  Raises {!Schedule.Invalid}
+    when a step is inapplicable — for a committed corpus case that means
+    the case is stale, which the replay test reports as a failure. *)
+let funcs_of ~(prog : Prog.t) ~(steps : Step.t list) :
+    Ft_ir.Stmt.func * Ft_ir.Stmt.func =
+  let base = Prog.to_func prog in
+  let sch = Schedule.of_func base in
+  Step.apply_all sch steps;
+  (base, Schedule.func sch)
+
+(** [Error msg] = the step sequence is inapplicable; [Ok None] = the
+    case passes; [Ok (Some f)] = the oracle failed at stage [f]. *)
+let check ?(mutation = `None) (c : Corpus.case) :
+    (Oracle.failure option, string) result =
+  match funcs_of ~prog:c.Corpus.c_prog ~steps:c.Corpus.c_steps with
+  | exception Schedule.Invalid m -> Error m
+  | base, sched -> (
+    match Oracle.check ~mutation ~base ~sched c.Corpus.c_expect with
+    | Oracle.Ok_pass -> Ok None
+    | Oracle.Fail f -> Ok (Some f))

@@ -1,0 +1,86 @@
+(** Greedy failure minimizer.
+
+    Given a (program, steps) pair the oracle rejects, repeatedly try
+    strictly-smaller candidates — truncate or drop schedule steps, drop
+    a statement, splice a structured node's body into its place, shrink
+    a loop bound, demote a dynamic bound or a parallel annotation — and
+    commit to the first candidate that {e still fails}; stop at a local
+    fixpoint.  Every accepted candidate strictly decreases
+    (statement count, loop lengths, flag count, step count), so the loop
+    terminates.  The result is the self-contained regression case the
+    harness writes to the corpus.
+
+    Runs the full oracle per candidate, so: master domain only. *)
+
+open Prog
+
+(* All strictly-simpler variants of a program: node dropped, structured
+   body spliced inline, loop shrunk/demoted — innermost candidates
+   last so big cuts are tried first. *)
+let rec prog_cands (p : Prog.t) : Prog.t list =
+  match p with
+  | [] -> []
+  | n :: rest ->
+    (rest
+     ::
+     (match n with
+      | Loop { body; _ } | If { body; _ } | Local { body; _ } ->
+        [ body @ rest ]
+      | Leaf _ -> []))
+    @ List.map (fun n' -> n' :: rest) (node_cands n)
+    @ List.map (fun rest' -> n :: rest') (prog_cands rest)
+
+and node_cands (n : node) : node list =
+  match n with
+  | Leaf _ -> []
+  | Loop { len; par; dyn; body } ->
+    (if len > 2 then [ Loop { len = 2; par; dyn; body } ] else [])
+    @ (if dyn then [ Loop { len; par; dyn = false; body } ] else [])
+    @ (if par then [ Loop { len; par = false; dyn; body } ] else [])
+    @ List.map (fun b -> Loop { len; par; dyn; body = b }) (prog_cands body)
+  | If { parity; body } ->
+    List.map (fun b -> If { parity; body = b }) (prog_cands body)
+  | Local { dim; body } ->
+    List.map (fun b -> Local { dim; body = b }) (prog_cands body)
+
+(* Step-sequence shrinks: empty first (biggest cut), then suffix
+   truncation, then each single step removed (end first). *)
+let steps_cands (steps : Step.t list) : Step.t list list =
+  match steps with
+  | [] -> []
+  | _ ->
+    let n = List.length steps in
+    let without i = List.filteri (fun j _ -> j <> i) steps in
+    ([] :: (if n > 1 then [ without (n - 1) ] else []))
+    @ List.init (n - 1) (fun k -> without (n - 2 - k))
+
+(** Minimize a failing case.  Returns the fixpoint case and the failure
+    it still exhibits.  If [case] does not actually fail, returns it
+    unchanged with [None]. *)
+let shrink ?(mutation = `None) (c : Corpus.case) :
+    Corpus.case * Oracle.failure option =
+  let fails cand =
+    match Replay.check ~mutation cand with
+    | Ok (Some f) -> Some f
+    | Ok None | Error _ -> None
+  in
+  match fails c with
+  | None -> (c, None)
+  | Some f0 ->
+    let rec go c f =
+      let cands =
+        List.map (fun s -> { c with Corpus.c_steps = s })
+          (steps_cands c.Corpus.c_steps)
+        @ List.map (fun p -> { c with Corpus.c_prog = p })
+            (prog_cands c.Corpus.c_prog)
+      in
+      let rec first = function
+        | [] -> (c, Some f)
+        | cand :: rest -> (
+          match fails cand with
+          | Some f' -> go cand f'
+          | None -> first rest)
+      in
+      first cands
+    in
+    go c f0

@@ -1,0 +1,202 @@
+(** Schedule steps for the litmus harness: a serializable, positional
+    encoding of the {!Ft_sched.Schedule} primitives.
+
+    Statement ids are process-global and change every time a skeleton is
+    rebuilt, so a replayable step cannot name a statement by id.  Steps
+    instead address loops by their {e index} into {!Schedule.all_loops}
+    (pre-order over the current, possibly already-transformed program)
+    and statement pairs by their index among consecutive [Seq] pairs.
+    That makes a step sequence a pure value: applying the same sequence
+    to alpha-equivalent programs performs the same transformations.
+
+    [apply] raises {!Schedule.Invalid} for every inapplicable step —
+    including out-of-range positions — which the enumerator records as
+    an expected rejection, never a crash. *)
+
+open Ft_ir
+open Ft_sched
+
+type t =
+  | Split of int * int  (** loop index, factor *)
+  | Merge of int        (** loop index; partner is its directly-nested loop *)
+  | Reorder of int      (** loop index; partner is its directly-nested loop *)
+  | Fission of int      (** loop index; cut after the first body statement *)
+  | Fuse of int         (** index among consecutive (For, For) Seq pairs *)
+  | Swap of int         (** index among consecutive Seq statement pairs *)
+  | Unroll of int       (** loop index *)
+  | Parallelize of int  (** loop index, [Openmp] scope *)
+  | Vectorize of int    (** loop index *)
+  | Cache of int * string         (** loop index, tensor *)
+  | Cache_reduce of int * string  (** loop index, tensor *)
+
+let to_string = function
+  | Split (i, f) -> Printf.sprintf "split %d %d" i f
+  | Merge i -> Printf.sprintf "merge %d" i
+  | Reorder i -> Printf.sprintf "reorder %d" i
+  | Fission i -> Printf.sprintf "fission %d" i
+  | Fuse k -> Printf.sprintf "fuse %d" k
+  | Swap k -> Printf.sprintf "swap %d" k
+  | Unroll i -> Printf.sprintf "unroll %d" i
+  | Parallelize i -> Printf.sprintf "parallelize %d" i
+  | Vectorize i -> Printf.sprintf "vectorize %d" i
+  | Cache (i, tensor) -> Printf.sprintf "cache %d %s" i tensor
+  | Cache_reduce (i, tensor) -> Printf.sprintf "cache_reduce %d %s" i tensor
+
+exception Parse_error of string
+
+let of_string (s : string) : t =
+  let num w =
+    match int_of_string_opt w with
+    | Some n -> n
+    | None -> raise (Parse_error (Printf.sprintf "bad number %S in %S" w s))
+  in
+  match
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun w -> w <> "")
+  with
+  | [ "split"; i; f ] -> Split (num i, num f)
+  | [ "merge"; i ] -> Merge (num i)
+  | [ "reorder"; i ] -> Reorder (num i)
+  | [ "fission"; i ] -> Fission (num i)
+  | [ "fuse"; k ] -> Fuse (num k)
+  | [ "swap"; k ] -> Swap (num k)
+  | [ "unroll"; i ] -> Unroll (num i)
+  | [ "parallelize"; i ] -> Parallelize (num i)
+  | [ "vectorize"; i ] -> Vectorize (num i)
+  | [ "cache"; i; tensor ] -> Cache (num i, tensor)
+  | [ "cache_reduce"; i; tensor ] -> Cache_reduce (num i, tensor)
+  | _ -> raise (Parse_error (Printf.sprintf "bad schedule step %S" s))
+
+(* ------------------------------------------------------------------ *)
+(* Positional resolution *)
+
+let nth_loop sch i =
+  match List.nth_opt (Schedule.all_loops sch) i with
+  | Some l -> l
+  | None -> Select.fail "litmus step: no loop #%d in current program" i
+
+let sel_of (s : Stmt.t) = Schedule.By_id s.Stmt.sid
+
+(* The loop directly nested in [l] (possibly through a singleton Seq),
+   as merge/reorder require. *)
+let inner_loop (l : Stmt.t) : Stmt.t =
+  match l.Stmt.node with
+  | Stmt.For f -> (
+    match Select.directly_nested_loop f with
+    | Some (inner, _) -> inner
+    | None -> Select.fail "litmus step: loop %d has no directly nested loop"
+                l.Stmt.sid)
+  | _ -> Select.fail "litmus step: statement %d is not a loop" l.Stmt.sid
+
+(* First statement of the loop's Seq body — the fission cut point. *)
+let first_of_seq_body (l : Stmt.t) : Stmt.t =
+  match l.Stmt.node with
+  | Stmt.For { Stmt.f_body = { Stmt.node = Stmt.Seq (s :: _ :: _); _ }; _ } ->
+    s
+  | _ ->
+    Select.fail "litmus step: loop %d body is not a multi-statement sequence"
+      l.Stmt.sid
+
+(* All consecutive statement pairs inside Seq nodes, pre-order. *)
+let seq_pairs (root : Stmt.t) : (Stmt.t * Stmt.t) list =
+  let out = ref [] in
+  Stmt.iter
+    (fun s ->
+      match s.Stmt.node with
+      | Stmt.Seq ss ->
+        let rec go = function
+          | a :: (b :: _ as rest) ->
+            out := (a, b) :: !out;
+            go rest
+          | _ -> ()
+        in
+        go ss
+      | _ -> ())
+    root;
+  List.rev !out
+
+let is_for (s : Stmt.t) =
+  match s.Stmt.node with Stmt.For _ -> true | _ -> false
+
+let nth_pair sch ~loops_only k =
+  let pairs = seq_pairs (Schedule.body sch) in
+  let pairs =
+    if loops_only then
+      List.filter (fun (a, b) -> is_for a && is_for b) pairs
+    else pairs
+  in
+  match List.nth_opt pairs k with
+  | Some p -> p
+  | None ->
+    Select.fail "litmus step: no %s pair #%d in current program"
+      (if loops_only then "consecutive-loop" else "consecutive-statement")
+      k
+
+(* ------------------------------------------------------------------ *)
+
+(** Apply one step to the schedule's current state.  Raises
+    {!Schedule.Invalid} when inapplicable (including positional
+    out-of-range); the program is left unchanged in that case. *)
+let apply (sch : Schedule.t) (step : t) : unit =
+  match step with
+  | Split (i, factor) ->
+    ignore (Schedule.split sch (sel_of (nth_loop sch i)) ~factor)
+  | Merge i ->
+    let l = nth_loop sch i in
+    ignore (Schedule.merge sch (sel_of l) (sel_of (inner_loop l)))
+  | Reorder i ->
+    let l = nth_loop sch i in
+    Schedule.reorder sch (sel_of l) (sel_of (inner_loop l))
+  | Fission i ->
+    let l = nth_loop sch i in
+    ignore (Schedule.fission sch (sel_of l) ~after:(sel_of (first_of_seq_body l)))
+  | Fuse k ->
+    let a, b = nth_pair sch ~loops_only:true k in
+    ignore (Schedule.fuse sch (sel_of a) (sel_of b))
+  | Swap k ->
+    let a, b = nth_pair sch ~loops_only:false k in
+    Schedule.swap sch (sel_of a) (sel_of b)
+  | Unroll i -> Schedule.unroll sch (sel_of (nth_loop sch i))
+  | Parallelize i ->
+    Schedule.parallelize sch (sel_of (nth_loop sch i)) Types.Openmp
+  | Vectorize i -> Schedule.vectorize sch (sel_of (nth_loop sch i))
+  | Cache (i, tensor) ->
+    ignore (Schedule.cache sch (sel_of (nth_loop sch i)) tensor Types.Cpu_stack)
+  | Cache_reduce (i, tensor) ->
+    ignore
+      (Schedule.cache_reduce sch (sel_of (nth_loop sch i)) tensor
+         Types.Cpu_stack)
+
+let apply_all (sch : Schedule.t) (steps : t list) : unit =
+  List.iter (apply sch) steps
+
+(* ------------------------------------------------------------------ *)
+
+(** Candidate steps against the schedule's current state, in a fixed
+    deterministic order.  Purely positional — applicability is decided
+    by actually applying each one to a copy, so this is a superset of
+    the applicable steps, not a promise. *)
+let candidates (sch : Schedule.t) : t list =
+  let n_loops = List.length (Schedule.all_loops sch) in
+  let pairs = seq_pairs (Schedule.body sch) in
+  let n_pairs = List.length pairs in
+  let n_loop_pairs =
+    List.length (List.filter (fun (a, b) -> is_for a && is_for b) pairs)
+  in
+  let per_loop i =
+    [ Split (i, 2);
+      Split (i, 3);
+      Merge i;
+      Reorder i;
+      Fission i;
+      Unroll i;
+      Parallelize i;
+      Vectorize i;
+      Cache (i, "x");
+      Cache_reduce (i, "y");
+      Cache_reduce (i, "z") ]
+  in
+  let loops = List.init n_loops per_loop |> List.concat in
+  let fuses = List.init n_loop_pairs (fun k -> Fuse k) in
+  let swaps = List.init n_pairs (fun k -> Swap k) in
+  loops @ fuses @ swaps

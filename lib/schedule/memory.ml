@@ -45,8 +45,19 @@ let local_accesses tensor s =
     (Ft_dep.Access.collect s)
 
 (* Per-dimension [lb, ub] bounds over all accesses; each access uses its
-   own inner-loop context.  Fails when a bound cannot be derived. *)
-let infer_bounds tensor s =
+   own inner-loop context.  Fails when a bound cannot be derived.
+
+   The context covers loop ranges only, not enclosing [If] guards (e.g.
+   the remainder guard [split] emits), so the inferred box can exceed
+   the guarded access set.  That over-approximation is semantically
+   harmless — cache fetches-then-stores-back untouched cells, and
+   cache_reduce's extra cells hold the reduction's neutral element — but
+   it must never leave the tensor's allocation, so [clamp] (the declared
+   shape, when known) bounds each dimension to [0, dim-1].  A dimension
+   is left unclamped when [outer] (the ranges of the loops enclosing the
+   region) already proves it inside the allocation, keeping extents that
+   were exact in the first place free of min/max noise. *)
+let infer_bounds ?(clamp = []) ?(outer = Bounds.empty) tensor s =
   let accs = local_accesses tensor s in
   if accs = [] then fail "cache: tensor %s is not accessed in the region" tensor;
   let rank = List.length (List.hd accs).Ft_dep.Access.a_indices in
@@ -94,7 +105,64 @@ let infer_bounds tensor s =
             (fun (lo, hi) (l, h) -> (Expr.min_ lo l, Expr.max_ hi h))
             (lo0, hi0) rest
         in
+        let lo, hi =
+          match List.nth_opt clamp d with
+          | Some extent ->
+            (* e >= 0 on every point of the enclosing loops?  Bound from
+               below eliminating the outer iterators (size parameters
+               stay symbolic) and check the residue folds to a
+               non-negative constant. *)
+            let provably_nonneg e =
+              match
+                Bounds.lower_bound outer
+                  ~keep:(fun x -> Option.is_none (Bounds.find x outer))
+                  e
+              with
+              | Some b -> (
+                match Linear.simplify_expr b with
+                | Expr.Int_const n -> n >= 0
+                | _ -> false)
+              | None -> false
+            in
+            let last = Expr.sub extent (Expr.int 1) in
+            ( (if provably_nonneg lo then lo else Expr.max_ lo (Expr.int 0)),
+              if provably_nonneg (Expr.sub last hi) then hi
+              else Expr.min_ hi last )
+          | None -> (lo, hi)
+        in
         (Linear.simplify_expr lo, Linear.simplify_expr hi))
+
+(* Ranges of the loops enclosing [region] inside [root]: the context the
+   in-bounds proof above runs under.  [If] guards on the path are
+   ignored — that only loses proofs, never soundness. *)
+let outer_ctx root (region : Stmt.t) =
+  match Stmt.path_to_sid root region.Stmt.sid with
+  | None -> Bounds.empty
+  | Some path ->
+    List.fold_left
+      (fun ctx (s : Stmt.t) ->
+        match s.Stmt.node with
+        | Stmt.For f -> Bounds.bind f.Stmt.f_iter (Bounds.range_of_loop f) ctx
+        | _ -> ctx)
+      Bounds.empty path
+
+(* The fetch/init/writeback loops the cache transformations emit access
+   [tensor] *outside* the region; if the tensor's Var_def lies inside
+   the region those loops would reference it out of scope, silently
+   producing an unbound-tensor program.  Precondition, not a crash. *)
+let check_defined_outside what region tensor =
+  if
+    Option.is_some
+      (Stmt.find_opt
+         (fun s ->
+           match s.Stmt.node with
+           | Stmt.Var_def d -> String.equal d.Stmt.d_name tensor
+           | _ -> false)
+         region)
+  then
+    fail "%s: %s is defined inside the region; cache it from a scope that \
+          encloses its definition"
+      what tensor
 
 (* Nested loop nest [for c0 < n0: ... body(c0..ck)] with fresh iters. *)
 let loop_nest prefix (extents : Expr.t list) body_of =
@@ -108,9 +176,12 @@ let loop_nest prefix (extents : Expr.t list) body_of =
     region of [tensor] accessed inside statement [sel] (Fig. 14): fetch
     before, redirect all accesses, store back after (when writes exist).
     Returns [(root', cache_name)]. *)
-let cache root sel tensor ~dtype mtype =
+let cache root sel tensor ~dtype ?(shape = []) mtype =
   let region = resolve root sel in
-  let bounds = infer_bounds tensor region in
+  check_defined_outside "cache" region tensor;
+  let bounds =
+    infer_bounds ~clamp:shape ~outer:(outer_ctx root region) tensor region
+  in
   let lbs = List.map fst bounds in
   let extents =
     List.map
@@ -159,8 +230,9 @@ let neutral_element op dtype =
     neutral element, the region reduces into it, and it is reduced back
     into [tensor] afterwards.  All accesses in the region must be
     [Reduce_to] with one operator.  Returns [(root', cache_name)]. *)
-let cache_reduce root sel tensor ~dtype mtype =
+let cache_reduce root sel tensor ~dtype ?(shape = []) mtype =
   let region = resolve root sel in
+  check_defined_outside "cache_reduce" region tensor;
   let accs = local_accesses tensor region in
   let op =
     match accs with
@@ -177,7 +249,9 @@ let cache_reduce root sel tensor ~dtype mtype =
         fail "cache_reduce: %s has non-reduction accesses in the region"
           tensor)
   in
-  let bounds = infer_bounds tensor region in
+  let bounds =
+    infer_bounds ~clamp:shape ~outer:(outer_ctx root region) tensor region
+  in
   let lbs = List.map fst bounds in
   let extents =
     List.map

@@ -102,15 +102,39 @@ let vectorize t sel = set_body t (Parallel.vectorize (body t) sel)
 
 (* -- memory transformations -- *)
 
+(* Declared extents of a tensor, for clamping inferred cache regions to
+   the allocation; [] when unknown (dimension-free parameters). *)
+let shape_of t tensor =
+  let from_def =
+    Stmt.find_opt
+      (fun s ->
+        match s.Stmt.node with
+        | Stmt.Var_def d -> String.equal d.Stmt.d_name tensor
+        | _ -> false)
+      (body t)
+  in
+  match from_def with
+  | Some { Stmt.node = Stmt.Var_def d; _ } -> d.Stmt.d_shape
+  | _ -> (
+    match
+      List.find_opt
+        (fun (p : Stmt.param) -> String.equal p.Stmt.p_name tensor)
+        t.fn.Stmt.fn_params
+    with
+    | Some { Stmt.p_shape = Stmt.Fixed es; _ } -> es
+    | _ -> [])
+
 let cache t sel tensor mtype =
   let dtype = dtype_of t tensor in
-  let b, name = Memory.cache (body t) sel tensor ~dtype mtype in
+  let shape = shape_of t tensor in
+  let b, name = Memory.cache (body t) sel tensor ~dtype ~shape mtype in
   set_body t b;
   name
 
 let cache_reduce t sel tensor mtype =
   let dtype = dtype_of t tensor in
-  let b, name = Memory.cache_reduce (body t) sel tensor ~dtype mtype in
+  let shape = shape_of t tensor in
+  let b, name = Memory.cache_reduce (body t) sel tensor ~dtype ~shape mtype in
   set_body t b;
   name
 

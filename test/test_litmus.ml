@@ -1,0 +1,223 @@
+(* The litmus harness's own correctness: canonical hashing quotients
+   exactly alpha-equivalence, the corpus format round-trips, the
+   shrinker converges on an injected miscompile, enumeration counts are
+   deterministic across runs and pool sizes, every corpus case replays
+   clean, and no schedule primitive escapes with anything but
+   Schedule.Invalid on enumerator-shaped inputs. *)
+
+open Ft_ir
+open Ft_sched
+module Prog = Ft_litmus.Prog
+module Step = Ft_litmus.Step
+module Enum = Ft_litmus.Enum
+module Oracle = Ft_litmus.Oracle
+module Corpus = Ft_litmus.Corpus
+module Shrink = Ft_litmus.Shrink
+module Replay = Ft_litmus.Replay
+module Harness = Ft_litmus.Harness
+
+(* -------- canonical hash -------- *)
+
+let test_hash_alpha_equiv () =
+  (* Lowering the same skeleton twice draws fresh iterator/local names;
+     the canonical hash must not see the difference. *)
+  let p =
+    Prog.of_string "(for 4 (local 3 (t= it x:it) (y+ it t:it)))"
+  in
+  let h1 = Prog.canonical_hash (Prog.to_func p) in
+  let h2 = Prog.canonical_hash (Prog.to_func p) in
+  Alcotest.(check string) "fresh names hash equal" h1 h2;
+  (* Hand-built alpha-variants: same structure, different iterator names,
+     different labels. *)
+  let mk iter label =
+    Stmt.func "f" Gen_prog.params
+      (Stmt.for_ ?label iter (Expr.int 0) (Expr.int 4)
+         (Stmt.store "y" [ Expr.var iter ] (Expr.load "x" [ Expr.var iter ])))
+  in
+  Alcotest.(check string) "iterator name and label are quotiented"
+    (Prog.canonical_hash (mk "i" None))
+    (Prog.canonical_hash (mk "qq" (Some "lbl")))
+
+let test_hash_distinguishes () =
+  let h s = Prog.canonical_hash (Prog.to_func (Prog.of_string s)) in
+  let distinct =
+    [ "(y= it x:it)";        (* store vs *)
+      "(y+ it x:it)";        (* reduce *)
+      "(for 4 (y= it x:it))";        (* loop len 4 vs *)
+      "(for 6 (y= it x:it))";        (* loop len 6 *)
+      "(for 4 par (y= it x:it))";    (* parallel annotation is semantic *)
+      "(for 4 (y= it2 x:it))" ]      (* different subscript *)
+  in
+  let hashes = List.map h distinct in
+  let sorted = List.sort_uniq compare hashes in
+  Alcotest.(check int) "semantically distinct programs get distinct hashes"
+    (List.length distinct) (List.length sorted)
+
+(* -------- corpus format -------- *)
+
+let test_roundtrip () =
+  let progs =
+    [ "(y= it x:it)";
+      "(for 4 par dyn (if even (y+ div xi)) (z= it outer m:it:outer))";
+      "(local 3 (t+ it sum) (y= ind t:c1))";
+      "(for 4 (yoob it2 c))" ]
+  in
+  List.iter
+    (fun s ->
+      let p = Prog.of_string s in
+      Alcotest.(check string) ("prog roundtrip " ^ s) s (Prog.to_string p))
+    progs;
+  let case =
+    Corpus.make ~name:"rt" ~note:[ "a note" ] ~expect:Oracle.Pass
+      ~prog:(Prog.of_string "(for 4 (y+ it x:it))")
+      ~steps:[ Step.Split (0, 2); Step.Parallelize 0; Step.Cache (1, "x") ]
+      ()
+  in
+  let case' = Corpus.of_string ~name:"rt" (Corpus.to_string case) in
+  Alcotest.(check string) "case roundtrip"
+    (Corpus.to_string case) (Corpus.to_string case');
+  Alcotest.(check bool) "steps survive" true
+    (case.Corpus.c_steps = case'.Corpus.c_steps)
+
+(* -------- shrinker -------- *)
+
+let test_shrinker_converges () =
+  (* Inject the off-by-one miscompile into the compiled legs of a
+     deliberately bloated case; the shrinker must reproduce, then strip
+     the schedule and the irrelevant statements down to (nearly) a
+     single leaf. *)
+  let case =
+    Corpus.make ~name:"inject" ~expect:Oracle.Pass
+      ~prog:
+        (Prog.of_string
+           "(for 4 (y= it x:it) (z= it outer m:it:outer)) (for 4 (z= it \
+            outer c))")
+      ~steps:[ Step.Split (0, 2) ] ()
+  in
+  (match Replay.check ~mutation:`Off_by_one case with
+   | Ok (Some _) -> ()
+   | _ -> Alcotest.fail "injected miscompile was not caught");
+  let shrunk, f = Shrink.shrink ~mutation:`Off_by_one case in
+  (match f with
+   | Some f ->
+     Alcotest.(check string) "caught at the executor differential"
+       "interp-vs-compiled-seq" f.Oracle.fail_stage
+   | None -> Alcotest.fail "shrinker lost the failure");
+  Alcotest.(check int) "schedule stripped" 0
+    (List.length shrunk.Corpus.c_steps);
+  Alcotest.(check bool) "converged to <= 2 statements" true
+    (Prog.size shrunk.Corpus.c_prog <= 2);
+  (* and the minimized case still fails under the mutation... *)
+  (match Replay.check ~mutation:`Off_by_one shrunk with
+   | Ok (Some _) -> ()
+   | _ -> Alcotest.fail "shrunk case does not reproduce");
+  (* ...and passes without it: the bug is in the executor, not the case. *)
+  match Replay.check shrunk with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "shrunk case should pass without the mutation"
+
+(* -------- enumerator determinism -------- *)
+
+let run_bounded () =
+  let cfg =
+    { Harness.default_config with Harness.depth = 1; stmts = 2; sched_len = 1 }
+  in
+  let s = Harness.run cfg in
+  ( s.Harness.progs_total, s.Harness.progs_unique, s.Harness.scheds_total,
+    s.Harness.scheds_unique, s.Harness.sched_rejects, s.Harness.checked,
+    List.length s.Harness.failures, s.Harness.exhausted )
+
+let test_determinism_across_runs () =
+  let a = run_bounded () in
+  let b = run_bounded () in
+  Alcotest.(check bool) "two runs, identical stats" true (a = b);
+  let _, _, _, _, _, _, fails, exhausted = a in
+  Alcotest.(check int) "no failures" 0 fails;
+  Alcotest.(check bool) "ran to exhaustion" true exhausted
+
+let test_determinism_across_domains () =
+  let open Ft_backend in
+  let saved = Exec_par.num_domains () in
+  Fun.protect
+    ~finally:(fun () -> Exec_par.set_num_domains saved)
+    (fun () ->
+      Exec_par.set_num_domains 1;
+      let a = run_bounded () in
+      Exec_par.set_num_domains 4;
+      let b = run_bounded () in
+      Alcotest.(check bool) "pool size does not change the counts" true
+        (a = b))
+
+(* -------- corpus replay -------- *)
+
+let test_corpus_replays () =
+  let cases = Corpus.load_dir "corpus" in
+  Alcotest.(check bool)
+    (Printf.sprintf "committed corpus found (%d cases)" (List.length cases))
+    true
+    (List.length cases >= 4);
+  List.iter
+    (fun (c : Corpus.case) ->
+      match Replay.check c with
+      | Ok None -> ()
+      | Ok (Some f) ->
+        Alcotest.fail
+          (Printf.sprintf "%s: %s: %s" c.Corpus.c_name f.Oracle.fail_stage
+             f.Oracle.fail_detail)
+      | Error m ->
+        Alcotest.fail
+          (Printf.sprintf "%s: stale schedule steps: %s" c.Corpus.c_name m))
+    cases
+
+(* -------- primitive audit sweep -------- *)
+
+let test_only_invalid_escapes () =
+  (* Every candidate step against every small skeleton, plus a pile of
+     deliberately out-of-range / ill-typed steps: the only exception any
+     schedule primitive may raise is Schedule.Invalid. *)
+  let junk =
+    [ Step.Split (99, 2); Step.Split (0, 0); Step.Merge 99; Step.Reorder 99;
+      Step.Fission 99; Step.Fuse 99; Step.Swap 99; Step.Unroll 99;
+      Step.Parallelize 99; Step.Vectorize 99; Step.Cache (0, "ghost");
+      Step.Cache (99, "x"); Step.Cache_reduce (0, "x");
+      Step.Cache_reduce (99, "y") ]
+  in
+  let tried = ref 0 and rejected = ref 0 in
+  Seq.iter
+    (fun prog ->
+      let fn = Prog.to_func prog in
+      let steps = Step.candidates (Schedule.of_func fn) @ junk in
+      List.iter
+        (fun step ->
+          let sch = Schedule.of_func fn in
+          incr tried;
+          match Step.apply sch step with
+          | () -> ()
+          | exception Schedule.Invalid _ -> incr rejected
+          | exception e ->
+            Alcotest.fail
+              (Printf.sprintf "step [%s] on %s escaped with %s"
+                 (Step.to_string step) (Prog.to_string prog)
+                 (Printexc.to_string e)))
+        steps)
+    (Enum.programs ~depth:2 ~stmts:2);
+  Alcotest.(check bool)
+    (Printf.sprintf "swept %d applications (%d rejected)" !tried !rejected)
+    true
+    (!tried > 500 && !rejected > 0)
+
+let suite =
+  [ Alcotest.test_case "hash: alpha-equivalent collide" `Quick
+      test_hash_alpha_equiv;
+    Alcotest.test_case "hash: distinct stay distinct" `Quick
+      test_hash_distinguishes;
+    Alcotest.test_case "corpus format roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "shrinker converges on injected miscompile" `Quick
+      test_shrinker_converges;
+    Alcotest.test_case "determinism across runs" `Quick
+      test_determinism_across_runs;
+    Alcotest.test_case "determinism across pool sizes" `Quick
+      test_determinism_across_domains;
+    Alcotest.test_case "corpus replay" `Quick test_corpus_replays;
+    Alcotest.test_case "audit: only Invalid escapes" `Quick
+      test_only_invalid_escapes ]

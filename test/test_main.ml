@@ -18,4 +18,5 @@ let () =
       ("profile", Test_profile.suite);
       ("guard", Test_guard.suite);
       ("libop", Test_libop.suite);
-      ("supervisor", Test_supervisor.suite) ]
+      ("supervisor", Test_supervisor.suite);
+      ("litmus", Test_litmus.suite) ]

@@ -809,8 +809,45 @@ let test_separate_tail_requires_guard () =
   expect_invalid "no guard" (fun () ->
       ignore (Schedule.separate_tail s (By_label "Li")))
 
+let test_cache_rejects_region_local () =
+  (* t is defined *inside* the cached region: the fetch/writeback loops
+     the transformation would emit access t outside its Var_def scope,
+     so the request must be rejected, not silently miscompiled. *)
+  let body =
+    Stmt.var_def "t" Types.F32 Types.Cpu_stack [ i 4 ]
+      (Stmt.seq
+         [ Stmt.store "t" [ v "i" ] (i 1);
+           Stmt.store "y" [ v "i" ] (Expr.load "t" [ v "i" ]) ])
+  in
+  let loop = Stmt.for_ ~label:"L" "i" (i 0) (i 4) body in
+  let fn =
+    Stmt.func "local_in_region"
+      [ Stmt.param ~atype:Types.Output "y" Types.F32 [ i 4 ] ]
+      loop
+  in
+  let s = sched_of fn in
+  expect_invalid "cache region-local tensor" (fun () ->
+      ignore (Schedule.cache s (By_label "L") "t" Types.Cpu_stack));
+  let body_r =
+    Stmt.var_def "t" Types.F32 Types.Cpu_stack [ i 4 ]
+      (Stmt.seq
+         [ Stmt.store "t" [ v "i" ] (i 0);
+           Stmt.reduce_to "t" [ v "i" ] Types.R_add (i 1) ])
+  in
+  let loop_r = Stmt.for_ ~label:"L" "i" (i 0) (i 4) body_r in
+  let fn_r =
+    Stmt.func "local_in_region_r"
+      [ Stmt.param ~atype:Types.Output "y" Types.F32 [ i 4 ] ]
+      (Stmt.seq [ loop_r; Stmt.store "y" [ i 0 ] (i 0) ])
+  in
+  let s_r = sched_of fn_r in
+  expect_invalid "cache_reduce region-local tensor" (fun () ->
+      ignore (Schedule.cache_reduce s_r (By_label "L") "t" Types.Cpu_stack))
+
 let error_suite =
   [ Alcotest.test_case "selector errors" `Quick test_selector_errors;
+    Alcotest.test_case "cache region-local tensor" `Quick
+      test_cache_rejects_region_local;
     Alcotest.test_case "split bad factor" `Quick test_split_bad_factor;
     Alcotest.test_case "merge perfect nesting" `Quick
       test_merge_requires_perfect_nesting;
