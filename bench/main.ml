@@ -4,7 +4,12 @@
 
    Usage: main.exe
      [fig16a|fig16b|fig17|fig18|table2|ablation|profile|wallclock
-      |wallclock-json|all]  *)
+      |wallclock-json|wallclock-check|all]
+
+   wallclock-json writes BENCH_wallclock.json (seeded inputs, medians,
+   host metadata) for the four runnable workloads; wallclock-check
+   re-measures the compiled-seq rows and exits 1 if any regresses more
+   than 25% against that committed baseline.  *)
 
 open Ft_ir
 module E = Ft_workloads.Experiments
@@ -14,6 +19,8 @@ module Grad = Ft_ad.Grad
 module Interp = Ft_backend.Interp
 module Sub = Ft_workloads.Subdivnet
 module Lf = Ft_workloads.Longformer
+module Sr = Ft_workloads.Softras
+module Tvm = Ft_workloads.Tvmlike
 module Fw = Ft_baselines.Fw
 module Tensor = Ft_runtime.Tensor
 
@@ -273,14 +280,15 @@ let wallclock () =
 
 (* ------------------------------------------------------------- *)
 (* wallclock-json: machine-readable medians for the three in-process
-   executors plus a fault-free supervised run on each workload, written
-   to BENCH_wallclock.json.  All run the same CPU-auto-scheduled program
-   (so the parallel executor sees the scheduler's OpenMP annotations and
-   the comparison isolates the execution backend, not the schedule); the
-   "supervised" row serves through a prepared Supervisor with the
-   default policy and no fault plan, pricing the supervision hooks,
-   argument snapshot, and attempt accounting on the unsupervised hot
-   path. *)
+   executors plus a fault-free supervised run and a lowering-disabled
+   compile on each of the four runnable workloads, written to
+   BENCH_wallclock.json.  All rows of a workload run the same CPU-auto-
+   scheduled program (so the parallel executor sees the scheduler's
+   OpenMP annotations and each comparison isolates exactly one thing:
+   the execution backend, the supervision hooks, or — via the
+   "compiled-seq-nolower" row, compiled with FT_LOWER=0 — the IR
+   lowering pipeline).  Inputs are the workloads' deterministic seeded
+   generators, so the numbers are reproducible up to host noise. *)
 
 let median_ns f =
   f () (* warm-up *);
@@ -297,8 +305,10 @@ let median_ns f =
   Array.sort compare a;
   a.(Array.length a / 2) *. 1e9
 
-let wallclock_json () =
-  let module Cexec = Ft_backend.Compile_exec in
+(* The four runnable wall-clock workloads: CPU-auto-scheduled function
+   plus its seeded argument binding (outputs freshly allocated). *)
+let wallclock_cases () : (string * Stmt.func * (string * Tensor.t) list) list
+    =
   let sub_c = Sub.default in
   let e, adj = Sub.gen_inputs sub_c in
   let sub_fn = Ft_auto.Auto.run ~device:Types.Cpu (Sub.ft_func sub_c) in
@@ -309,29 +319,63 @@ let wallclock_json () =
   let q, k, v = Lf.gen_inputs lf_c in
   let lf_fn = Ft_auto.Auto.run ~device:Types.Cpu (Lf.ft_func lf_c) in
   let lf_y = Tensor.zeros Types.F32 [| lf_c.Lf.seq_len; lf_c.Lf.feat_len |] in
-  let rows =
-    List.concat_map
-      (fun (wname, fn, args) ->
-        let seq = Cexec.compile fn in
-        let par = Cexec.compile ~parallel:true fn in
-        let sv =
-          Ft_backend.Supervisor.prepare
-            ~policy:Ft_backend.Supervisor.default_policy fn
-        in
-        [ (wname, "interp", median_ns (fun () -> Interp.run_func fn args));
-          (wname, "compiled-seq",
-           median_ns (fun () -> seq.Cexec.cd_run args []));
-          (wname, "compiled-par",
-           median_ns (fun () -> par.Cexec.cd_run args []));
-          (wname, "supervised",
-           median_ns (fun () ->
-               ignore (Ft_backend.Supervisor.exec sv args))) ])
-      [ ("subdivnet", sub_fn, [ ("e", e); ("adj", adj); ("y", sub_y) ]);
-        ("longformer", lf_fn,
-         [ ("Q", q); ("K", k); ("V", v); ("Y", lf_y) ]) ]
-  in
+  let sr_c = Sr.default in
+  let cx, cy, r = Sr.gen_inputs sr_c in
+  let sr_fn = Ft_auto.Auto.run ~device:Types.Cpu (Sr.ft_func sr_c) in
+  let img = Tensor.zeros Types.F32 [| sr_c.Sr.img; sr_c.Sr.img |] in
+  let tvm_c = Tvm.mm_default in
+  let a, b = Tvm.mm_inputs tvm_c in
+  let tvm_fn = Ft_auto.Auto.run ~device:Types.Cpu (Tvm.mm_func tvm_c) in
+  let c_out = Tensor.zeros Types.F32 [| tvm_c.Tvm.mm_m; tvm_c.Tvm.mm_n |] in
+  [ ("subdivnet", sub_fn, [ ("e", e); ("adj", adj); ("y", sub_y) ]);
+    ("longformer", lf_fn, [ ("Q", q); ("K", k); ("V", v); ("Y", lf_y) ]);
+    ("softras", sr_fn, [ ("cx", cx); ("cy", cy); ("r", r); ("img", img) ]);
+    ("tvmlike", tvm_fn, [ ("A", a); ("B", b); ("C", c_out) ]) ]
+
+let all_wallclock_workloads = [ "subdivnet"; "longformer"; "softras"; "tvmlike" ]
+
+(* Compile with the IR lowering pipeline off (FT_LOWER is read once at
+   compile entry, so scoping the environment variable around the call is
+   race-free in this single-threaded harness). *)
+let compile_nolower fn =
+  Unix.putenv "FT_LOWER" "0";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "FT_LOWER" "1")
+    (fun () -> Ft_backend.Compile_exec.compile fn)
+
+let measure_rows () =
+  let module Cexec = Ft_backend.Compile_exec in
+  List.concat_map
+    (fun (wname, fn, args) ->
+      let seq = Cexec.compile fn in
+      let nolower = compile_nolower fn in
+      let par = Cexec.compile ~parallel:true fn in
+      let sv =
+        Ft_backend.Supervisor.prepare
+          ~policy:Ft_backend.Supervisor.default_policy fn
+      in
+      [ (wname, "interp", median_ns (fun () -> Interp.run_func fn args));
+        (wname, "compiled-seq",
+         median_ns (fun () -> seq.Cexec.cd_run args []));
+        (wname, "compiled-seq-nolower",
+         median_ns (fun () -> nolower.Cexec.cd_run args []));
+        (wname, "compiled-par",
+         median_ns (fun () -> par.Cexec.cd_run args []));
+        (wname, "supervised",
+         median_ns (fun () -> ignore (Ft_backend.Supervisor.exec sv args)))
+      ])
+    (wallclock_cases ())
+
+let wallclock_json () =
+  let rows = measure_rows () in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"hostname\": %S,\n" (Unix.gethostname ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"os\": %S,\n" Sys.os_type);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"ocaml\": %S,\n" Sys.ocaml_version);
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (Machine.host_cores ()));
   Buffer.add_string buf
@@ -356,7 +400,7 @@ let wallclock_json () =
     (Machine.host_cores ());
   List.iter
     (fun (wname, ex, ns) ->
-      Printf.printf "%-12s %-14s %14.0f ns/run\n" wname ex ns)
+      Printf.printf "%-12s %-20s %14.0f ns/run\n" wname ex ns)
     rows;
   List.iter
     (fun wname ->
@@ -365,6 +409,11 @@ let wallclock_json () =
           (fun (w, e, ns) -> if w = wname && e = ex then Some ns else None)
           rows
       in
+      (match (find "compiled-seq-nolower", find "compiled-seq") with
+       | Some no, Some yes ->
+         Printf.printf "%-12s lowering-pipeline speedup: %.2fx\n" wname
+           (no /. yes)
+       | _ -> ());
       (match (find "compiled-seq", find "compiled-par") with
        | Some s, Some p ->
          Printf.printf "%-12s parallel speedup over sequential: %.2fx\n"
@@ -376,7 +425,80 @@ let wallclock_json () =
         Printf.printf "%-12s supervised overhead over compiled-par: %.2fx\n"
           wname (sv /. p)
       | _ -> ())
-    [ "subdivnet"; "longformer" ]
+    all_wallclock_workloads
+
+(* ------------------------------------------------------------- *)
+(* wallclock-check: CI regression gate.  Parse the committed
+   BENCH_wallclock.json baseline (the writer above is the only producer,
+   so a line-oriented scan is enough — no JSON dependency), re-measure
+   the compiled-seq medians, and fail when any workload regresses more
+   than 25% against its baseline. *)
+
+let parse_baseline path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         Scanf.sscanf line
+           " { \"workload\": %S, \"executor\": %S, \"median_ns\": %f"
+           (fun w e ns -> (w, e, ns))
+       with
+       | row -> rows := row :: !rows
+       | exception Scanf.Scan_failure _ | exception End_of_file ->
+         (* End_of_file from sscanf = the line ran out mid-pattern *)
+         ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let wallclock_check () =
+  let path = "BENCH_wallclock.json" in
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf
+      "wallclock-check: %s not found; run `bench wallclock-json` and \
+       commit it first\n"
+      path;
+    exit 1
+  end;
+  let baseline = parse_baseline path in
+  let module Cexec = Ft_backend.Compile_exec in
+  let fresh =
+    List.map
+      (fun (wname, fn, args) ->
+        let seq = Cexec.compile fn in
+        (wname, median_ns (fun () -> seq.Cexec.cd_run args [])))
+      (wallclock_cases ())
+  in
+  Printf.printf "== wallclock-check: compiled-seq vs committed baseline ==\n";
+  let failed = ref [] in
+  List.iter
+    (fun (wname, ns) ->
+      match
+        List.find_map
+          (fun (w, e, b) ->
+            if w = wname && e = "compiled-seq" then Some b else None)
+          baseline
+      with
+      | None ->
+        Printf.printf "%-12s %14.0f ns/run  (no baseline row — skipped)\n"
+          wname ns
+      | Some base ->
+        let ratio = ns /. base in
+        Printf.printf "%-12s %14.0f ns/run  baseline %14.0f  ratio %.2fx%s\n"
+          wname ns base ratio
+          (if ratio > 1.25 then "  REGRESSION" else "");
+        if ratio > 1.25 then failed := wname :: !failed)
+    fresh;
+  if !failed <> [] then begin
+    Printf.eprintf
+      "wallclock-check: compiled-seq regressed >25%% on: %s\n"
+      (String.concat ", " (List.rev !failed));
+    exit 1
+  end;
+  print_endline "wallclock-check: ok"
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -391,6 +513,7 @@ let () =
    | "profile" -> profile ()
    | "wallclock" -> wallclock ()
    | "wallclock-json" -> wallclock_json ()
+   | "wallclock-check" -> wallclock_check ()
    | "all" | _ ->
      fig16a ();
      fig16b ();

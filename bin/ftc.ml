@@ -17,6 +17,11 @@
      ftc guard <workload>               static bounds-prover report, then
                                         guarded execution under both
                                         executors; exits 1 on any fault
+     ftc lower <workload>               run the IR lowering pipeline
+             [--dump-after PASS]        standalone, dump IR between
+             [--dump-all] [--check]     stages, count blockized nests;
+                                        --check verifies the lowered
+                                        program bitwise under the interp
      ftc soak <workload> [--seed N]     drive the workload through the
              [--faults K] [--requests R]  execution supervisor under
                                         randomized fault plans; print an
@@ -57,17 +62,19 @@ module Sub = Ft_workloads.Subdivnet
 module Lf = Ft_workloads.Longformer
 module Sr = Ft_workloads.Softras
 module Gat = Ft_workloads.Gat
+module Tvm = Ft_workloads.Tvmlike
 
 type wl =
   | W_subdivnet
   | W_longformer
   | W_softras
   | W_gat
+  | W_tvmlike
 
 let wl_conv =
   Arg.enum
     [ ("subdivnet", W_subdivnet); ("longformer", W_longformer);
-      ("softras", W_softras); ("gat", W_gat) ]
+      ("softras", W_softras); ("gat", W_gat); ("tvmlike", W_tvmlike) ]
 
 let func_of = function
   | W_subdivnet -> Sub.ft_func Sub.default
@@ -76,6 +83,7 @@ let func_of = function
   | W_gat ->
     let _, _, n_edges = Gat.gen_graph Gat.default in
     Gat.ft_func Gat.default ~n_edges
+  | W_tvmlike -> Tvm.mm_func Tvm.mm_default
 
 let device_conv = Arg.enum [ ("cpu", Types.Cpu); ("gpu", Types.Gpu) ]
 
@@ -84,7 +92,9 @@ let wl_arg =
     required
     & pos 0 (some wl_conv) None
     & info [] ~docv:"WORKLOAD"
-        ~doc:"One of subdivnet, longformer, softras, gat.")
+        ~doc:
+          "One of subdivnet, longformer, softras, gat, tvmlike (the \
+           runnable dense-matmul operator).")
 
 let device_arg =
   Arg.(
@@ -204,6 +214,13 @@ let workload_case w :
         ("colidx", colidx); ("out", out) ],
       fun () -> Tensor.max_abs_diff out (Gat.reference x wt a1 a2 rowptr colidx)
     )
+  | W_tvmlike ->
+    let c = Tvm.mm_default in
+    let a, b = Tvm.mm_inputs c in
+    let out = Tensor.zeros Types.F32 [| c.Tvm.mm_m; c.Tvm.mm_n |] in
+    ( "tvmlike", Tvm.mm_func c,
+      [ ("A", a); ("B", b); ("C", out) ],
+      fun () -> Tensor.max_abs_diff out (Tvm.mm_reference a b) )
 
 let run_cmd =
   let run w exec =
@@ -222,16 +239,22 @@ let run_cmd =
 
 let profile_cmd =
   let run w device =
-    let e_wl =
-      match w with
-      | W_subdivnet -> Ft_workloads.Experiments.Subdiv
-      | W_longformer -> Ft_workloads.Experiments.Longf
-      | W_softras -> Ft_workloads.Experiments.Softr
-      | W_gat -> Ft_workloads.Experiments.Gatw
-    in
-    print_string
-      (Ft_workloads.Tables.profile_workload ~device
-         Ft_workloads.Experiments.small_scale e_wl)
+    guarded (fun () ->
+        let e_wl =
+          match w with
+          | W_subdivnet -> Ft_workloads.Experiments.Subdiv
+          | W_longformer -> Ft_workloads.Experiments.Longf
+          | W_softras -> Ft_workloads.Experiments.Softr
+          | W_gat -> Ft_workloads.Experiments.Gatw
+          | W_tvmlike ->
+            faultf
+              "profile: tvmlike is a wall-clock workload with no paper \
+               experiment entry; use `ftc run tvmlike` or `ftc lower \
+               tvmlike`"
+        in
+        print_string
+          (Ft_workloads.Tables.profile_workload ~device
+             Ft_workloads.Experiments.small_scale e_wl))
   in
   Cmd.v
     (Cmd.info "profile"
@@ -305,6 +328,96 @@ let bits_equal a b =
          fa;
        !ok
      end
+
+(* ftc lower: run the IR-to-IR lowering pipeline standalone — dump the
+   IR between stages, report how many nests blockized, and (--check)
+   hold interp(lowered) to bitwise equality against interp(original).
+   Honors FT_LOWER_INJECT=1, which appends the deliberately broken pass:
+   --check is then expected to fail (the CI must-fail probe). *)
+let lower_cmd =
+  let run w dump_after dump_all check =
+    guarded (fun () ->
+        let name, fn, _, _ = workload_case w in
+        let names = Lower.pass_names () in
+        (match dump_after with
+         | Some p when not (List.mem p names) ->
+           faultf "lower: unknown pass %S (pipeline: %s)" p
+             (String.concat ", " names)
+         | _ -> ());
+        let dump pname fn' =
+          if dump_all || dump_after = Some pname then begin
+            Printf.printf "==== after %s ====\n" pname;
+            print_string (Printer.func_to_string fn')
+          end
+        in
+        let lowered = Lower.lower ~dump fn in
+        let rec count_mk (s : Stmt.t) =
+          (match s.Stmt.node with Stmt.Microkernel _ -> 1 | _ -> 0)
+          + List.fold_left (fun a c -> a + count_mk c) 0 (Stmt.children s)
+        in
+        Printf.printf "%s: pipeline [%s]; %d microkernel nest(s)\n" name
+          (String.concat " -> " names)
+          (count_mk lowered.Stmt.fn_body);
+        if check then begin
+          let _, fn_a, args_a, _ = workload_case w in
+          let _, fn_b, args_b, _ = workload_case w in
+          let lowered_b = Lower.lower fn_b in
+          Interp.run_func fn_a args_a;
+          Interp.run_func lowered_b args_b;
+          let outs =
+            List.filter_map
+              (fun (p : Stmt.param) ->
+                match p.Stmt.p_atype with
+                | Types.Input -> None
+                | _ -> Some p.Stmt.p_name)
+              fn_a.Stmt.fn_params
+          in
+          List.iter
+            (fun n ->
+              if not (bits_equal (List.assoc n args_a) (List.assoc n args_b))
+              then
+                faultf
+                  "lower %s: interp(lowered) output %s diverges bitwise \
+                   from interp(original)"
+                  name n)
+            outs;
+          Printf.printf
+            "%s: interp(lowered) bitwise-equal to interp(original) on %d \
+             output(s)\n"
+            name (List.length outs)
+        end)
+  in
+  let dump_after_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-after" ] ~docv:"PASS"
+          ~doc:
+            "Print the IR after the named pipeline pass (one of \
+             normalize, hoist, blockize).")
+  in
+  let dump_all_arg =
+    Arg.(
+      value & flag
+      & info [ "dump-all" ] ~doc:"Print the IR after every pass.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run the reference interpreter on the original and the \
+             lowered program and require bitwise-equal outputs; exits 1 \
+             on divergence.")
+  in
+  Cmd.v
+    (Cmd.info "lower"
+       ~doc:
+         "Run the IR lowering pipeline (normalize, hoist, blockize) \
+          standalone: dump the IR between stages, count blockized \
+          microkernel nests, and optionally verify the lowered program \
+          bitwise against the original under the reference interpreter")
+    Term.(const run $ wl_arg $ dump_after_arg $ dump_all_arg $ check_arg)
 
 let soak_cmd =
   let run w seed faults requests min_avail =
@@ -564,7 +677,8 @@ let () =
       (Cmd.info "ftc" ~version:"1.0.0"
          ~doc:"FreeTensor: free-form tensor program compiler")
       [ show_cmd; schedule_cmd; codegen_cmd; grad_cmd; estimate_cmd;
-        run_cmd; profile_cmd; check_cmd; guard_cmd; soak_cmd; litmus_cmd ]
+        run_cmd; profile_cmd; check_cmd; guard_cmd; lower_cmd; soak_cmd;
+        litmus_cmd ]
   in
   (* 0 = ok, 1 = fault (guarded already exited for handled faults; an
      escaped exception lands here), 2 = usage. *)

@@ -210,6 +210,7 @@ let rec walk st bctx poly (s : Stmt.t) =
   | Stmt.Seq ss -> List.iter (walk st bctx poly) ss
   | Stmt.Eval e -> check_loads_in e
   | Stmt.Lib_call { body; _ } -> walk st bctx poly body
+  | Stmt.Microkernel { body; _ } -> walk st bctx poly body
   | Stmt.Call { args; _ } ->
     List.iter
       (fun a ->

@@ -352,6 +352,8 @@ let collect_needs ?(materialize_uses = false) (fn : Stmt.func) :
         i.Stmt.i_else
     | Stmt.Assert_stmt (_, b) -> walk_scope env ~tracked:[] b ~on_def go
     | Stmt.Lib_call { body; _ } -> walk_scope env ~tracked:[] body ~on_def go
+    | Stmt.Microkernel { body; _ } ->
+      walk_scope env ~tracked:[] body ~on_def go
     | Stmt.Call _ -> err "AD requires Call nodes to be inlined first"
     | Stmt.Store _ | Stmt.Reduce_to _ | Stmt.Eval _ | Stmt.Nop -> ()
   in
@@ -646,6 +648,9 @@ let instrument_forward (fn : Stmt.func) (needs : Needs.t)
     | Stmt.Lib_call { lib; body } ->
       Stmt.with_node s
         (Stmt.Lib_call { lib; body = rebuild_scope ~tracked:[] body })
+    | Stmt.Microkernel { mk; body } ->
+      Stmt.with_node s
+        (Stmt.Microkernel { mk; body = rebuild_scope ~tracked:[] body })
     | Stmt.Seq _ -> rebuild_scope ~tracked:[] s
     | Stmt.Store _ | Stmt.Reduce_to _ | Stmt.Eval _ | Stmt.Nop
     | Stmt.Call _ -> s
@@ -995,6 +1000,7 @@ let build_backward (fn : Stmt.func) (needs : Needs.t) (logs : use_logs)
       Stmt.assert_ (sigma ~stmt:s.Stmt.sid c) (adjoint_scope ~tracked:[] b)
     | Stmt.Seq _ -> adjoint_scope ~tracked:[] s
     | Stmt.Lib_call { body; _ } -> adjoint_scope ~tracked:[] body
+    | Stmt.Microkernel { body; _ } -> adjoint_scope ~tracked:[] body
     | Stmt.Var_def _ -> assert false (* consumed by adjoint_scope *)
   in
   let param_names =

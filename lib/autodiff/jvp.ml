@@ -110,6 +110,8 @@ let rec transform env (s : Stmt.t) : Stmt.t =
     Stmt.with_node s (Stmt.Assert_stmt (c, transform env b))
   | Stmt.Lib_call { lib; body } ->
     Stmt.with_node s (Stmt.Lib_call { lib; body = transform env body })
+  | Stmt.Microkernel { mk; body } ->
+    Stmt.with_node s (Stmt.Microkernel { mk; body = transform env body })
   | Stmt.Call { callee; _ } ->
     err "call to %s not inlined; run partial evaluation first" callee
 

@@ -259,6 +259,9 @@ let c_of_func (fn : Stmt.func) : string =
       line d (Printf.sprintf "/* vendor library: %s */" lib);
       (* emit a cblas-style call comment plus the fallback loop nest *)
       stmt d body
+    | Stmt.Microkernel { mk; body } ->
+      line d (Printf.sprintf "/* microkernel: %s */" mk);
+      stmt d body
     | Stmt.Call { callee; _ } ->
       failwith ("codegen: unresolved call to " ^ callee)
   in
@@ -464,6 +467,9 @@ let cuda_of_func (fn : Stmt.func) : string =
       line d (Printf.sprintf "(void)(%s);" (cexpr shapes e))
     | Stmt.Lib_call { lib; body } ->
       line d (Printf.sprintf "/* cuBLAS: %s */" lib);
+      kstmt d body
+    | Stmt.Microkernel { mk; body } ->
+      line d (Printf.sprintf "/* microkernel: %s */" mk);
       kstmt d body
     | Stmt.Call { callee; _ } ->
       failwith ("codegen: unresolved call to " ^ callee)

@@ -17,9 +17,18 @@
       register reads — or, when an index is affine in an enclosing
       loop's iterator, to a strength-reduced running offset that the
       loop advances by [stride * step] per trip instead of re-evaluating
-      the full dot product.  Only active when not profiling: the
-      profiled closures keep the generic per-node evaluation so observed
-      counters match {!Interp} exactly.
+      the full dot product.  The affine analysis lives in
+      {!Ft_lower.Address} and is shared by the plain, profiled and
+      guarded paths: profiled closures statically replicate the replaced
+      arithmetic's per-node operation counts (exact on the affine
+      domain, which contains no short-circuit or select node), so
+      observed counters still match {!Interp} exactly.
+
+    Before closure compilation, unprofiled unguarded functions run
+    through the {!Ft_lower.Pass} pipeline (normalize, hoist, blockize);
+    [Microkernel] nests the pipeline marked compile to hand-written flat
+    kernels from {!Kernels} when nothing needs the scalar body's
+    per-access effects.
 
     - {b Domain-pool parallel loops.}  With [~parallel:true], loops
       annotated [Openmp] / [Cuda_block_*] by the scheduler execute their
@@ -43,6 +52,8 @@ open Ft_runtime
 module Profile = Ft_profile.Profile
 module Race = Ft_analyze.Race
 module Boundcheck = Ft_analyze.Boundcheck
+module Address = Ft_lower.Address
+module Blockize = Ft_lower.Blockize
 
 exception Exec_error of string
 
@@ -464,6 +475,7 @@ let par_legal (body : Stmt.t) =
     | Stmt.Seq ss -> List.iter scan ss
     | Stmt.Eval e -> scan_expr e
     | Stmt.Lib_call { body; _ } -> scan body
+    | Stmt.Microkernel { body; _ } -> scan body
     | Stmt.Call _ -> ok := false
     | Stmt.Nop -> ()
   in
@@ -666,32 +678,38 @@ and compile_b_node (env : cenv) (e : Expr.t) : unit -> bool =
     fun () -> if fc () then fa () else fb ()
   | _ -> err "expression %s is not boolean" (Expr.to_string e)
 
-(* Flat-offset compilation.  Profiled code always takes the generic path
-   (per-node counting must match Interp); unprofiled code with a
-   compile-time-static shape gets constant strides, constant folding
-   through {!Linear}, and strength-reduced running offsets for indices
-   affine in an enclosing loop's iterator. *)
+(* Flat-offset compilation.  A compile-time-static shape gets constant
+   strides, constant folding through {!Ft_lower.Address}, and
+   strength-reduced running offsets for indices affine in an enclosing
+   loop's iterator.  Profiled code shares the same fast path: the plan
+   carries the op classes of every counted node of the replaced index
+   arithmetic, bumped once per offset evaluation — exact on the affine
+   domain, where the interpreter evaluates every node exactly once (see
+   {!Ft_lower.Address}). *)
 and compile_offset (env : cenv) name (c : cell) (idx : Expr.t list) :
     unit -> int =
   let generic () = offset_thunk name c (List.map (compile_i env) idx) in
   if idx = [] then fun () -> 0
-  else if env.prof <> None then generic ()
   else
     match Hashtbl.find_opt env.shapes name with
     | Some dims when Array.length dims = List.length idx -> (
       let ss = static_strides dims in
-      let forms = List.map Linear.of_expr idx in
-      if List.for_all Option.is_some forms then (
-        let total, _ =
-          List.fold_left
-            (fun (acc, k) f ->
-              (Linear.add acc (Linear.scale ss.(k) (Option.get f)), k + 1))
-            (Linear.zero, 0) forms
-        in
+      match Address.plan ~strides:ss idx with
+      | Some pl -> (
         let terms =
-          Linear.fold_terms (fun acc v a -> (find_int env v, a) :: acc) [] total
+          List.map (fun (v, a) -> (find_int env v, a)) pl.Address.pl_terms
         in
-        let cst = total.Linear.const in
+        let cst = pl.Address.pl_const in
+        (* Replicate the replaced arithmetic's per-access counts. *)
+        let counted f =
+          match env.pctr with
+          | Some ctr when Array.length pl.Address.pl_bumps > 0 ->
+            let bumps = pl.Address.pl_bumps in
+            fun () ->
+              Array.iter (Profile.bump_class ctr) bumps;
+              f ()
+          | _ -> f
+        in
         match
           List.find_opt
             (fun ol -> List.exists (fun (r, _) -> r == ol.ol_ref) terms)
@@ -706,9 +724,9 @@ and compile_offset (env : cenv) name (c : cell) (idx : Expr.t list) :
             { tk_cell = cellr; tk_base = emit_affine terms cst;
               tk_coeff = coeff }
             :: ol.ol_trackers;
-          fun () -> !cellr
-        | None -> emit_affine terms cst)
-      else
+          counted (fun () -> !cellr)
+        | None -> counted (emit_affine terms cst))
+      | None ->
         (* static strides, non-affine indices *)
         let thunks = List.mapi (fun k e -> (compile_i env e, ss.(k))) idx in
         match thunks with
@@ -1082,8 +1100,108 @@ and compile_stmt_node (env : cenv) (s : Stmt.t) : unit -> unit =
       fb ()
   | Stmt.Eval _ -> fun () -> ()
   | Stmt.Lib_call { body; _ } -> compile_stmt env body
+  | Stmt.Microkernel { body; _ } -> compile_microkernel env s body
   | Stmt.Call { callee; _ } ->
     err "call to %s not inlined; run partial evaluation first" callee
+
+(* Microkernel node: the blockization pass asserted the body matches a
+   hand-written flat kernel.  The tensorized closure is only legal when
+   nothing needs the scalar loop nest's per-access effects: profiling
+   counts per access, guards fault per access, and parallel regions
+   replay stores from logs — in all three cases fall back to compiling
+   the body (semantics are defined by the body, so this is always
+   sound).  The actual kernel emission lives lower in the file, next to
+   compile_stmt's other helpers; see [emit_microkernel]. *)
+and compile_microkernel (env : cenv) (s : Stmt.t) (body : Stmt.t) :
+    unit -> unit =
+  if env.prof <> None || env.guard <> None || env.region <> None then
+    compile_stmt env body
+  else
+    match emit_microkernel env s body with
+    | Some f -> f
+    | None -> compile_stmt env body
+
+(* Kernel emission: re-derive the operand layout from the wrapped nest
+   with this compilation's own shape/dtype tables (a disagreement with
+   the pass's view just returns [None] — scalar fallback).  Base
+   offsets compile through [compile_offset], so bases affine in an
+   {e enclosing} loop's iterator still get running-offset trackers;
+   per-kernel-loop strides are compile-time constants from the
+   descriptor.  The closure re-fetches each operand's float buffer per
+   invocation (cells rebind per run) and drops to the precompiled
+   scalar body when operands alias at run time — register accumulation
+   is only bitwise-safe when the destination is a distinct buffer. *)
+and emit_microkernel (env : cenv) (_s : Stmt.t) (body : Stmt.t) :
+    (unit -> unit) option =
+  match
+    Blockize.recognize
+      ~shape_of:(fun v -> Hashtbl.find_opt env.shapes v)
+      ~dtype_of:(fun v -> Hashtbl.find_opt env.dtypes v)
+      body
+  with
+  | None -> None
+  | Some d ->
+    let operand (ac : Blockize.access) =
+      let c = find_cell env ac.Blockize.ac_var in
+      let off = compile_offset env ac.Blockize.ac_var c ac.Blockize.ac_base in
+      (ac.Blockize.ac_var, c, off, ac.Blockize.ac_strides)
+    in
+    let buf name c =
+      match Tensor.float_data (cell_tensor name c) with
+      | Some arr -> arr
+      | None -> err "microkernel operand %s is not float-buffered" name
+    in
+    let scalar = compile_stmt env body in
+    (match d with
+     | Blockize.Matmul { mm_i; mm_j; mm_k; mm_c; mm_a; mm_b; mm_init } ->
+       let m = mm_i.Blockize.bl_len
+       and n = mm_j.Blockize.bl_len
+       and kdim = mm_k.Blockize.bl_len in
+       let cn, cc, cf, cs = operand mm_c in
+       let an, ca, af, sa = operand mm_a in
+       let bn, cb, bf, sb = operand mm_b in
+       Some
+         (fun () ->
+           let c = buf cn cc and a = buf an ca and b = buf bn cb in
+           if c == a || c == b then scalar ()
+           else
+             Kernels.matmul ~m ~n ~kdim ~init:mm_init ~c ~cb:(cf ())
+               ~csi:cs.(0) ~csj:cs.(1) ~a ~ab:(af ()) ~asi:sa.(0)
+               ~asj:sa.(1) ~ask:sa.(2) ~b ~bb:(bf ()) ~bsi:sb.(0)
+               ~bsj:sb.(1) ~bsk:sb.(2))
+     | Blockize.Dot { d_k; d_dst; d_a; d_b } ->
+       let kdim = d_k.Blockize.bl_len in
+       let dn, dc, df, _ = operand d_dst in
+       let an, ca, af, sa = operand d_a in
+       let bn, cb, bf, sb = operand d_b in
+       Some
+         (fun () ->
+           let dd = buf dn dc and a = buf an ca and b = buf bn cb in
+           if dd == a || dd == b then scalar ()
+           else
+             Kernels.dot ~kdim ~d:dd ~db:(df ()) ~a ~ab:(af ()) ~as_:sa.(0)
+               ~b ~bb:(bf ()) ~bs:sb.(0))
+     | Blockize.Axpy { x_k; x_dst; x_a; x_b } ->
+       let kdim = x_k.Blockize.bl_len in
+       let dn, dc, df, ds = operand x_dst in
+       let an, ca, af, sa = operand x_a in
+       let bn, cb, bf, sb = operand x_b in
+       Some
+         (fun () ->
+           let dd = buf dn dc and a = buf an ca and b = buf bn cb in
+           if dd == a || dd == b then scalar ()
+           else
+             Kernels.axpy ~kdim ~d:dd ~db:(df ()) ~ds:ds.(0) ~a ~ab:(af ())
+               ~as_:sa.(0) ~b ~bb:(bf ()) ~bs:sb.(0))
+     | Blockize.Reduce { r_k; r_dst; r_src } ->
+       let kdim = r_k.Blockize.bl_len in
+       let dn, dc, df, _ = operand r_dst in
+       let an, ca, af, sa = operand r_src in
+       Some
+         (fun () ->
+           let dd = buf dn dc and a = buf an ca in
+           if dd == a then scalar ()
+           else Kernels.reduce ~kdim ~d:dd ~db:(df ()) ~a ~ab:(af ()) ~as_:sa.(0)))
 
 (* Guarded store: subscripts, value, profiling write record, bounds
    check, NaN/Inf poison check (float dtypes), shadow mark, store — the
@@ -1306,18 +1424,50 @@ and compile_seq_for (env : cenv) (f : Stmt.for_loop) : unit -> unit =
         body ()
   in
   match myc with
-  | Some ctr ->
-    fun () ->
-      let b = fb () in
-      let e = fe () and st = fs () in
-      ctr.Profile.entries <- ctr.Profile.entries + 1;
-      let i = ref b in
-      while !i < e do
-        ctr.Profile.trips <- ctr.Profile.trips + 1;
-        r := !i;
-        body ();
-        i := !i + st
-      done
+  | Some ctr -> (
+    (* Profiled loops advance running-offset trackers too — the shared
+       strength-reduced addressing registers them on every path. *)
+    match ol.ol_trackers with
+    | [] ->
+      fun () ->
+        let b = fb () in
+        let e = fe () and st = fs () in
+        ctr.Profile.entries <- ctr.Profile.entries + 1;
+        let i = ref b in
+        while !i < e do
+          ctr.Profile.trips <- ctr.Profile.trips + 1;
+          r := !i;
+          body ();
+          i := !i + st
+        done
+    | tks ->
+      let tks = Array.of_list tks in
+      let n = Array.length tks in
+      fun () ->
+        let b = fb () in
+        let e = fe () and st = fs () in
+        ctr.Profile.entries <- ctr.Profile.entries + 1;
+        let i = ref b in
+        if !i < e then begin
+          ctr.Profile.trips <- ctr.Profile.trips + 1;
+          r := !i;
+          for k = 0 to n - 1 do
+            let tk = tks.(k) in
+            tk.tk_cell := tk.tk_base ()
+          done;
+          body ();
+          i := !i + st;
+          while !i < e do
+            ctr.Profile.trips <- ctr.Profile.trips + 1;
+            r := !i;
+            for k = 0 to n - 1 do
+              let tk = tks.(k) in
+              tk.tk_cell := !(tk.tk_cell) + (tk.tk_coeff * st)
+            done;
+            body ();
+            i := !i + st
+          done
+        end)
   | None -> (
     match ol.ol_trackers with
     | [] ->
@@ -1614,6 +1764,17 @@ type compiled = {
 let compile ?profile ?(parallel = false) ?(on_race = `Fallback)
     ?(guard = false) ?(on_unproved = `Check) ?(hooks = false)
     (fn : Stmt.func) : compiled =
+  (* IR-to-IR lowering before closure compilation.  Profiled
+     compilation keeps the original tree (the pipeline legitimately
+     changes op counts — e.g. hoisted guards — and observed counters
+     must stay comparable to the interpreter on the same tree), and
+     guarded compilation keeps the tree the bounds prover certified;
+     both still share the strength-reduced addressing below. *)
+  let fn =
+    if profile = None && not guard && Ft_lower.Pass.enabled () then
+      Ft_lower.Pass.lower fn
+    else fn
+  in
   let verdicts = Hashtbl.create 8 in
   if parallel then begin
     let reports = Race.check_func fn in

@@ -54,10 +54,12 @@ type compiled = {
     closures: every executed operation, tensor access, loop trip and
     host-level kernel is counted into the given {!Ft_profile.Profile.t}
     on every run, using the same counting conventions as {!Interp} (see
-    {!Ft_profile.Profile} for the shared rules).  Without it the
-    closures pay nothing for profiling and additionally get the
-    compile-time access optimizations (profiled closures keep generic
-    per-node evaluation so observed counters match {!Interp} exactly).
+    {!Ft_profile.Profile} for the shared rules).  Profiled closures
+    share the strength-reduced affine addressing of the unprofiled path
+    (the replaced index arithmetic's op counts are replicated exactly,
+    so observed counters still match {!Interp}), but skip the IR
+    lowering pipeline: its rewrites legitimately change op counts, and
+    profiles must stay comparable to the interpreter on the same tree.
 
     [parallel] (default [false]) honors the scheduler's parallel
     annotations: the outermost loop marked [Openmp] / [Cuda_block_*]

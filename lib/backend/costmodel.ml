@@ -100,6 +100,7 @@ type kacc = {
   mutable vectorized : bool;
   mutable footprint : (string, unit) Hashtbl.t Lazy.t;
   mutable is_lib : bool;
+  mutable is_mk : bool;       (* contains a blockized Microkernel nest *)
   mutable threads : float;     (* product of Cuda_thread_* extents *)
   mutable shared_live : float; (* Gpu_shared bytes live at this point *)
   mutable shared_peak : float; (* peak of shared_live over the kernel *)
@@ -250,6 +251,9 @@ let rec acc_stmt ctx (k : kacc) fp stack mult (s : Stmt.t) =
   | Stmt.Lib_call { body; _ } ->
     k.is_lib <- true;
     acc_stmt ctx k fp stack mult body
+  | Stmt.Microkernel { body; _ } ->
+    k.is_mk <- true;
+    acc_stmt ctx k fp stack mult body
 
 (* Charge one kernel rooted at [s]. *)
 let charge_kernel ctx (m : Machine.metrics) ~live (s : Stmt.t) =
@@ -257,7 +261,7 @@ let charge_kernel ctx (m : Machine.metrics) ~live (s : Stmt.t) =
   let k =
     { flops = 0.; atomics = 0.; mem_bytes = 0.; parallel = 1.0;
       vectorized = false; footprint = lazy fp; is_lib = false;
-      threads = 1.0; shared_live = 0.0; shared_peak = 0.0 }
+      is_mk = false; threads = 1.0; shared_live = 0.0; shared_peak = 0.0 }
   in
   acc_stmt ctx k fp [] 1.0 s;
   (* a kernel oversubscribing the device's per-block limits could not
@@ -275,9 +279,13 @@ let charge_kernel ctx (m : Machine.metrics) ~live (s : Stmt.t) =
       (ctx.sp.Machine.parallelism, true, footprint)
     else (int_of_float (Float.min 1e9 k.parallel), k.vectorized, k.mem_bytes)
   in
-  Machine.charge_kernel ctx.sp ~atomic_rmws:k.atomics m ~parallel_iters
-    ~vectorized ~flops:k.flops ~l2_bytes:l2 ~footprint_bytes:footprint
-    ~live_bytes:live
+  (* blockized microkernel nests ([is_mk]) run register-tiled flat
+     loops: [Machine.mk_lanes] of the SIMD width plus [mk_overhead]
+     launch latency, but they keep the nest's own memory traffic — they
+     are not cache-oblivious like a vendor BLAS *)
+  Machine.charge_kernel ctx.sp ~atomic_rmws:k.atomics
+    ~microkernel:(k.is_mk && not k.is_lib) m ~parallel_iters ~vectorized
+    ~flops:k.flops ~l2_bytes:l2 ~footprint_bytes:footprint ~live_bytes:live
 
 (** Estimate the metrics of running [fn] once on [device], along with a
     per-kernel breakdown [(sid of the kernel root statement, metrics)] in

@@ -641,6 +641,7 @@ and exec_node env (s : Stmt.t) : unit =
   | Stmt.Seq ss -> List.iter (exec env) ss
   | Stmt.Eval e -> ignore (eval env e)
   | Stmt.Lib_call { body; _ } -> exec env body
+  | Stmt.Microkernel { body; _ } -> exec env body
   | Stmt.Call { callee; _ } ->
     err "call to %s survived inlining; run partial evaluation first" callee
 

@@ -42,6 +42,9 @@ module Tensor = Ft_runtime.Tensor
 module Machine = Ft_machine.Machine
 module Profile = Ft_profile.Profile
 
+module Lower = Ft_lower.Pass
+module Blockize = Ft_lower.Blockize
+
 module Interp = Ft_backend.Interp
 module Compile_exec = Ft_backend.Compile_exec
 module Exec_par = Ft_backend.Exec_par

@@ -107,6 +107,7 @@ let collect (root : Stmt.t) : t list =
     | Stmt.Seq ss -> List.iter (go loops guards) ss
     | Stmt.Eval e -> emit_reads s.sid loops guards e
     | Stmt.Lib_call { body; _ } -> go loops guards body
+    | Stmt.Microkernel { body; _ } -> go loops guards body
     | Stmt.Call _ ->
       invalid_arg "Access.collect: Call nodes must be inlined first"
   in

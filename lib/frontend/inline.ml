@@ -144,6 +144,8 @@ let substitute (tenv : (string * binding) list) (senv : (string * Expr.t) list)
     | Stmt.Nop -> s
     | Stmt.Lib_call { lib; body } ->
       Stmt.with_node s (Stmt.Lib_call { lib; body = go body })
+    | Stmt.Microkernel { mk; body } ->
+      Stmt.with_node s (Stmt.Microkernel { mk; body = go body })
     | Stmt.Call { callee; args } ->
       let fix_arg = function
         | Stmt.Tensor_arg { param; actual; prefix } -> (

@@ -1,14 +1,21 @@
 (** Fresh-name generation for compiler-introduced variables and iterators. *)
 
 let counter = Hashtbl.create 16
+let lock = Mutex.create ()
 
 (** [fresh "t"] returns ["t.0"], ["t.1"], ... — distinct per prefix and
     guaranteed not to collide with user names, which never contain ['.']
-    followed by a number in our frontend. *)
+    followed by a number in our frontend.  Mutex-protected: the litmus
+    oracle lowers programs inside worker domains. *)
 let fresh prefix =
+  Mutex.lock lock;
   let n = try Hashtbl.find counter prefix with Not_found -> 0 in
   Hashtbl.replace counter prefix (n + 1);
+  Mutex.unlock lock;
   Printf.sprintf "%s.%d" prefix n
 
 (** Reset counters; used by tests that want deterministic names. *)
-let reset () = Hashtbl.reset counter
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset counter;
+  Mutex.unlock lock

@@ -90,6 +90,9 @@ let rec print_into buf indent (s : Stmt.t) =
   | Lib_call { lib; body } ->
     line (Printf.sprintf "%slib_call(\"%s\"):" label_prefix lib);
     print_into buf (indent + 1) body
+  | Microkernel { mk; body } ->
+    line (Printf.sprintf "%smicrokernel(\"%s\"):" label_prefix mk);
+    print_into buf (indent + 1) body
   | Call { callee; args } ->
     let arg_str = function
       | Stmt.Tensor_arg { param; actual; prefix } ->

@@ -40,6 +40,13 @@ and node =
       (the [as_lib] schedule).  The original loop nest is kept as [body]
       for the reference interpreter; the executor charges library cost. *)
   | Lib_call of { lib : string; body : t }
+  (** [Microkernel] marks a loop nest the blockization pass matched
+      against a hand-written flat kernel ([mk] names the pattern, e.g.
+      ["matmul"] or ["dot"]).  Exactly like [Lib_call], the original
+      nest is kept as [body] and defines the semantics: the reference
+      interpreter executes [body], analyses recurse into it, and only
+      the compiled backend may swap in the tensorized kernel. *)
+  | Microkernel of { mk : string; body : t }
   (** Call to a named IR function, inlined away by partial evaluation.
       Each tensor argument is a view [caller var, index prefix]. *)
   | Call of { callee : string; args : arg list }
@@ -90,12 +97,12 @@ and arg =
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let counter = ref 0
+let counter = Atomic.make 0
 
-(** Fresh statement id.  Ids are unique within a process. *)
-let fresh_id () =
-  incr counter;
-  !counter
+(** Fresh statement id.  Ids are unique within a process and safe to
+    draw from any domain (the litmus oracle lowers programs inside
+    worker domains). *)
+let fresh_id () = Atomic.fetch_and_add counter 1 + 1
 
 let make ?label node = { sid = fresh_id (); label; node }
 
@@ -148,6 +155,7 @@ let eval ?label e = make ?label (Eval e)
 let assert_ ?label cond body = make ?label (Assert_stmt (cond, body))
 let call ?label callee args = make ?label (Call { callee; args })
 let lib_call ?label lib body = make ?label (Lib_call { lib; body })
+let microkernel ?label mk body = make ?label (Microkernel { mk; body })
 
 (** Rebuild a statement with a new node but the same id and label, so
     selectors keep working across transformations. *)
@@ -166,6 +174,7 @@ let children s =
   | Assert_stmt (_, b) -> [ b ]
   | Seq ss -> ss
   | Lib_call { body; _ } -> [ body ]
+  | Microkernel { body; _ } -> [ body ]
 
 (** Rebuild with the given children (same order as {!children}). *)
 let with_children s cs =
@@ -178,6 +187,7 @@ let with_children s cs =
   | Assert_stmt (c, _), [ b ] -> with_node s (Assert_stmt (c, b))
   | Seq _, ss -> with_node s (Seq ss)
   | Lib_call l, [ b ] -> with_node s (Lib_call { l with body = b })
+  | Microkernel m, [ b ] -> with_node s (Microkernel { m with body = b })
   | _ -> invalid_arg "Stmt.with_children: arity mismatch"
 
 (** Pre-order iteration over all statements. *)
@@ -240,7 +250,7 @@ let map_exprs f s =
           | Scalar_arg a -> Scalar_arg { a with value = g a.value }
         in
         with_node s (Call { c with args = List.map arg c.args })
-      | Seq _ | Nop | Lib_call _ -> s)
+      | Seq _ | Nop | Lib_call _ | Microkernel _ -> s)
     s
 
 (** Iterate [f] over every expression in the tree. *)
@@ -268,7 +278,7 @@ let iter_exprs f s =
             | Tensor_arg a -> List.iter f a.prefix
             | Scalar_arg a -> f a.value)
           c.args
-      | Seq _ | Nop | Lib_call _ -> ())
+      | Seq _ | Nop | Lib_call _ | Microkernel _ -> ())
     s
 
 (** Substitute a plain variable by an expression everywhere. *)
@@ -371,6 +381,7 @@ let rec equal_structure a b =
     | Assert_stmt (c1, _), Assert_stmt (c2, _) -> c1 = c2
     | Seq _, Seq _ -> true
     | Lib_call x, Lib_call y -> x.lib = y.lib
+    | Microkernel x, Microkernel y -> x.mk = y.mk
     | _ -> false
   in
   nodes_equal

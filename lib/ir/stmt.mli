@@ -38,6 +38,10 @@ and node =
   | Lib_call of { lib : string; body : t }
       (** a sub-program replaced by a vendor-library call ([as_lib]); the
           body is kept for the reference interpreter *)
+  | Microkernel of { mk : string; body : t }
+      (** a loop nest matched by blockization against a hand-written flat
+          kernel named [mk]; [body] defines the semantics and remains the
+          reference — only the compiled backend may swap in the kernel *)
   | Call of { callee : string; args : arg list }
       (** call to a named IR function, removed by partial evaluation *)
   | Nop
@@ -141,6 +145,7 @@ val eval : ?label:string -> Expr.t -> t
 val assert_ : ?label:string -> Expr.t -> t -> t
 val call : ?label:string -> string -> arg list -> t
 val lib_call : ?label:string -> string -> t -> t
+val microkernel : ?label:string -> string -> t -> t
 
 (** Rebuild with a new node but the same id and label, so selectors keep
     working across transformations. *)

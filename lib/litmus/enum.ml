@@ -25,6 +25,8 @@ let alphabet : leaf list =
     L_rd_y (Ix_div, V_x Ix_it);       (* non-injective target: i/2 aliases *)
     L_st_y (Ix_ind, V_c);             (* indirect store y[idx[i]] *)
     L_rd_y (Ix_it, V_xi);             (* indirect load x[idx[i]] *)
+    L_rd_y (Ix_it, V_prod);           (* multi-tensor product reduction:
+                                         the shape blockization keys on *)
     L_st_z (Ix_it, Ix_outer, V_m (Ix_it, Ix_outer));  (* 2-D *)
     L_rd_z_max (Ix_it, Ix_outer, V_sum);              (* max-reduce *)
     L_st_t (Ix_it, V_x Ix_it);        (* local write *)

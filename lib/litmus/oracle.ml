@@ -8,6 +8,10 @@
       equal to the interpreter's run of the {e unscheduled} program —
       schedules are semantics-preserving by contract, and the executors
       must agree to the last mantissa bit;
+    - {b lowering}: the {!Ft_lower.Pass} pipeline applied to the
+      scheduled program, run through the interpreter, must be bitwise
+      equal to the interpreter on the unlowered scheduled program — the
+      IR-to-IR passes preserve per-element accumulation order exactly;
     - {b bound soundness}: {!Ft_analyze.Boundcheck} verdicts are
       cross-checked against the memory sanitizers — a fault under
       [~guard:true] from a program whose sites were all [Proved] means
@@ -215,6 +219,20 @@ let check_seq ?(mutation = `None) ~(base : Stmt.func) ~(sched : Stmt.func)
         match check_outputs ~stage:"interp-vs-compiled-seq" ~refs args with
         | Some f -> Fail f
         | None -> (
+        (* Leg 2b: the IR lowering pipeline is bitwise
+           semantics-preserving on its own — interpret the lowered tree
+           and compare against the interpreter on the unlowered
+           scheduled program.  Bitwise, not approximate: every lowering
+           pass (normalize, guard hoisting, blockization) keeps the
+           per-output-element accumulation order. *)
+        let lowered = Ft_lower.Pass.lower sched in
+        let args = fresh_args () in
+        Interp.run_func lowered args;
+        match
+          check_outputs ~stage:"interp-vs-interp-lowered" ~refs args
+        with
+        | Some f -> Fail f
+        | None -> (
           (* Leg 3: bound soundness.  Litmus programs are in-bounds by
              construction, so any guarded fault is a finding; a fault at
              a Proved site is a prover-soundness hard failure. *)
@@ -267,7 +285,7 @@ let check_seq ?(mutation = `None) ~(base : Stmt.func) ~(sched : Stmt.func)
                          "sanitizer observed a race on a loop the static \
                           verifier called safe: "
                          ^ Interp.race_to_string r }
-              | [] -> Ok_pass)))))
+              | [] -> Ok_pass))))))
   with e ->
     Fail { fail_stage = "exception";
            fail_detail = Printexc.to_string e }

@@ -41,6 +41,8 @@ type value =
   | V_xi          (** [x[idx[i mod 12]]]: indirect load *)
   | V_m of ix * ix  (** [m[a mod 4, b mod 6]] *)
   | V_sum         (** [x[i mod 12] + m[i mod 4, i mod 6]] *)
+  | V_prod        (** [x[i mod 12] * m[i mod 4, i mod 6]]: the
+                      multi-tensor product shape blockization keys on *)
   | V_t of ix     (** innermost local [t[e mod dim]]; [x] when no local *)
 
 (** Leaf statements.  Local targets fall back to [y] outside a local. *)
@@ -122,6 +124,12 @@ let value_expr iters (local : (string * int) option) = function
   | V_m (a, b) -> Expr.load "m" [ wrap iters m_r a; wrap iters m_c b ]
   | V_sum ->
     Expr.add
+      (Expr.load "x" [ Expr.mod_ (it iters 0) (Expr.int n_x) ])
+      (Expr.load "m"
+         [ Expr.mod_ (it iters 0) (Expr.int m_r);
+           Expr.mod_ (it iters 0) (Expr.int m_c) ])
+  | V_prod ->
+    Expr.mul
       (Expr.load "x" [ Expr.mod_ (it iters 0) (Expr.int n_x) ])
       (Expr.load "m"
          [ Expr.mod_ (it iters 0) (Expr.int m_r);
@@ -341,6 +349,10 @@ let canonical_string (fn : Stmt.func) : string =
        bpf "(lib %s " lib;
        stmt body;
        Buffer.add_char buf ')'
+     | Stmt.Microkernel { mk; body } ->
+       bpf "(mk %s " mk;
+       stmt body;
+       Buffer.add_char buf ')'
      | Stmt.Call { callee; args } ->
        bpf "(call %s" callee;
        List.iter
@@ -414,6 +426,7 @@ let value_to_string = function
   | V_xi -> "xi"
   | V_m (a, b) -> Printf.sprintf "m:%s:%s" (ix_to_string a) (ix_to_string b)
   | V_sum -> "sum"
+  | V_prod -> "prod"
   | V_t e -> "t:" ^ ix_to_string e
 
 let value_of_string s =
@@ -423,6 +436,7 @@ let value_of_string s =
   | [ "xi" ] -> V_xi
   | [ "m"; a; b ] -> V_m (ix_of_string a, ix_of_string b)
   | [ "sum" ] -> V_sum
+  | [ "prod" ] -> V_prod
   | [ "t"; e ] -> V_t (ix_of_string e)
   | _ -> parse_fail "bad value %S" s
 

@@ -1,0 +1,74 @@
+(** Pipeline pass 2: hoist loop-invariant guards (loop unswitching).
+
+    [for i: if c: S] becomes [if c: for i: S] when [c] is independent of
+    [i] and safe to evaluate unconditionally:
+
+    - no [Load] nodes — tensor reads could fault under the memory
+      sanitizer if the loop body never executed them;
+    - no division or modulo — those raise [Division_by_zero] on a zero
+      divisor the zero-trip loop would never have evaluated;
+    - the loop iterator is not free in [c].
+
+    Under those conditions [c] is pure and total, so evaluating it once
+    before the loop (even when the loop would have run zero trips) is
+    observationally identical to evaluating it every trip.  Only the
+    else-less form is rewritten: duplicating the loop into both branches
+    would duplicate statement ids, which must stay unique (profilers and
+    race verdicts key on them).
+
+    Statement ids are preserved: the [If] keeps its id as the new outer
+    statement and the [For] keeps its id inside, so sid-keyed analyses
+    (race verdicts, bound-check sites) still find their loops.
+
+    Loop-invariant {e index} subexpressions need no statement-level
+    hoisting here: the {!Address} strength reduction folds affine index
+    arithmetic into per-loop running offsets at offset-compilation time,
+    which subsumes scalar hoisting for every index the backend can
+    accelerate. *)
+
+open Ft_ir
+
+(* Pure and total: no tensor reads, no partial operators. *)
+let safe_cond (e : Expr.t) =
+  let ok = ref true in
+  Expr.iter
+    (fun n ->
+      match n with
+      | Expr.Load _ -> ok := false
+      | Expr.Binop ((Expr.Div | Expr.Floor_div | Expr.Mod), _, _) ->
+        ok := false
+      | _ -> ())
+    e;
+  !ok
+
+let unswitch_once (s : Stmt.t) : Stmt.t =
+  Stmt.map_bottom_up
+    (fun s ->
+      match s.Stmt.node with
+      | Stmt.For f -> (
+        match f.Stmt.f_body.Stmt.node with
+        | Stmt.If { i_cond; i_then; i_else = None }
+          when safe_cond i_cond
+               && not (List.mem f.Stmt.f_iter (Expr.free_vars i_cond)) ->
+          let loop = Stmt.with_node s (Stmt.For { f with f_body = i_then }) in
+          Stmt.with_node f.Stmt.f_body
+            (Stmt.If { i_cond; i_then = loop; i_else = None })
+        | _ -> s)
+      | _ -> s)
+    s
+
+(* One bottom-up sweep can expose a new unswitching opportunity (a
+   hoisted [If] may leave another invariant [If] directly under the
+   loop), so iterate to a fixpoint; the nesting depth bounds the number
+   of sweeps.  The fixpoint makes the pass idempotent by construction. *)
+let run_stmt (s : Stmt.t) : Stmt.t =
+  let rec fix n s =
+    if n = 0 then s
+    else
+      let s' = unswitch_once s in
+      if Stmt.equal_structure s s' then s else fix (n - 1) s'
+  in
+  fix 64 s
+
+let run (fn : Stmt.func) : Stmt.func =
+  { fn with Stmt.fn_body = run_stmt fn.Stmt.fn_body }

@@ -1,0 +1,12 @@
+(** Pipeline pass 1: normalize/simplify.
+
+    Delegates to {!Ft_passes.Simplify}: constant folding through the
+    smart constructors, branch elimination via the symbolic bound
+    analysis, degenerate-loop removal and sequence flattening.  Running
+    it first gives the later passes a canonical tree to match against
+    (e.g. single-statement [Seq]s are already unwrapped, so blockization
+    sees the bare loop nest). *)
+
+open Ft_ir
+
+let run (fn : Stmt.func) : Stmt.func = Ft_passes.Simplify.run fn

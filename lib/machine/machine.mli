@@ -29,6 +29,13 @@ type spec = {
       CPU *)
   max_threads_per_block : int;
   (** hardware limit on threads per block; [max_int] on CPU *)
+  mk_lanes : int;
+  (** effective vector lanes a blockized microkernel sustains (register
+      tiling keeps several accumulator chains in flight); capped by
+      [simd_width], 1 on GPU *)
+  mk_overhead : float;
+  (** seconds of prologue per microkernel invocation, on top of
+      [launch_overhead] *)
 }
 
 (** Dual Xeon E5-2670 v3 (24 cores, AVX2). *)
@@ -85,10 +92,13 @@ exception Out_of_memory of { needed : float; capacity : float }
     parallelism),
     scaled by the bound parallelism and (on CPU) vectorization; DRAM
     traffic is the working-set footprint when it fits in L2, degrading
-    toward the raw access volume beyond. *)
+    toward the raw access volume beyond.  [~microkernel:true] prices a
+    blockized {!Ft_ir.Stmt.Microkernel} nest: [mk_lanes] of the SIMD
+    width and [mk_overhead] extra launch latency. *)
 val kernel_cost :
   spec ->
   ?atomic_rmws:float ->
+  ?microkernel:bool ->
   parallel_iters:int ->
   vectorized:bool ->
   flops:float ->
@@ -102,6 +112,7 @@ val kernel_cost :
 val charge_kernel :
   spec ->
   ?atomic_rmws:float ->
+  ?microkernel:bool ->
   metrics ->
   parallel_iters:int ->
   vectorized:bool ->

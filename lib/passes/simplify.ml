@@ -24,6 +24,8 @@ let rec simp (ctx : Bounds.ctx) (s : Stmt.t) : Stmt.t =
     | _ -> Stmt.with_node s (Stmt.Assert_stmt (c, simp ctx b)))
   | Stmt.Lib_call l ->
     Stmt.with_node s (Stmt.Lib_call { l with body = simp ctx l.body })
+  | Stmt.Microkernel m ->
+    Stmt.with_node s (Stmt.Microkernel { m with body = simp ctx m.body })
   | Stmt.If i -> (
     let cond = Expr.map Fun.id i.i_cond in
     match Bounds.prove ctx cond with

@@ -438,6 +438,7 @@ let stmt_desc (s : Stmt.t) =
   | Stmt.Seq _ -> "seq"
   | Stmt.Eval _ -> "eval"
   | Stmt.Lib_call { lib; _ } -> "lib " ^ lib
+  | Stmt.Microkernel { mk; _ } -> "microkernel " ^ mk
   | Stmt.Call { callee; _ } -> "call " ^ callee
   | Stmt.Nop -> "nop"
 

@@ -358,3 +358,8 @@ let unsafe_set_i t k v =
   match t.buf with
   | Ibuf a -> Array.unsafe_set a k v
   | Fbuf a -> Array.unsafe_set a k (float_of_int v)
+
+(** The raw float buffer, without a copy, for tensorized microkernels
+    that loop over flat arrays directly.  [None] for integer-buffered
+    tensors — callers must fall back to the per-element accessors. *)
+let float_data t = match t.buf with Fbuf a -> Some a | Ibuf _ -> None

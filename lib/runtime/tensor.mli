@@ -127,6 +127,10 @@ val unsafe_set_f : t -> int -> float -> unit
 val unsafe_get_i : t -> int -> int
 val unsafe_set_i : t -> int -> int -> unit
 
+(** The raw float buffer without a copy ([None] for integer-buffered
+    tensors) — for tensorized microkernels looping over flat arrays. *)
+val float_data : t -> float array option
+
 (** Value of a one-element tensor. *)
 val to_scalar_f : t -> float
 

@@ -157,6 +157,60 @@ let longformer ~device (c : Longformer.config) : result =
 let softras ~device (c : Softras.config) : result =
   tune_chain ~device [ Softras.ft_func c ]
 
+(* ---- Runnable dense matmul: TVM's bread-and-butter operator.  Unlike
+   the cost-model chains above this one actually executes, as the
+   wall-clock workload exercising the blockization pass: the k-nest
+   below is exactly the shape {!Ft_lower.Blockize} rewrites to a
+   register-tiled microkernel. ---- *)
+
+module Tensor = Ft_runtime.Tensor
+
+type mm_config = {
+  mm_m : int;
+  mm_n : int;
+  mm_k : int;
+}
+
+let mm_default = { mm_m = 64; mm_n = 64; mm_k = 64 }
+
+let mm_func (c : mm_config) : Stmt.func =
+  let m = c.mm_m and n = c.mm_n and kd = c.mm_k in
+  Dsl.func "tvm_matmul"
+    [ Dsl.input "A" [ i m; i kd ] Types.F32;
+      Dsl.input "B" [ i kd; i n ] Types.F32;
+      Dsl.output "C" [ i m; i n ] Types.F32 ]
+    (fun views ->
+      match views with
+      | [ a; b; cc ] ->
+        Dsl.for_ "i" (i 0) (i m) (fun fi ->
+            Dsl.for_ "j" (i 0) (i n) (fun fj ->
+                Dsl.set cc [ fi; fj ] (Expr.float 0.);
+                Dsl.for_ "k" (i 0) (i kd) (fun fk ->
+                    Dsl.reduce Types.R_add cc [ fi; fj ]
+                      (Expr.mul (Dsl.get a [ fi; fk ])
+                         (Dsl.get b [ fk; fj ])))))
+      | _ -> assert false)
+
+let mm_inputs (c : mm_config) =
+  ( Tensor.rand ~seed:11 Types.F32 [| c.mm_m; c.mm_k |],
+    Tensor.rand ~seed:13 Types.F32 [| c.mm_k; c.mm_n |] )
+
+(* Same accumulation order as [mm_func], so the comparison is bitwise. *)
+let mm_reference (a : Tensor.t) (b : Tensor.t) : Tensor.t =
+  let m = (Tensor.shape a).(0) and kd = (Tensor.shape a).(1) in
+  let n = (Tensor.shape b).(1) in
+  let out = Tensor.zeros Types.F32 [| m; n |] in
+  for fi = 0 to m - 1 do
+    for fj = 0 to n - 1 do
+      let s = ref 0.0 in
+      for fk = 0 to kd - 1 do
+        s := !s +. (Tensor.get_f a [| fi; fk |] *. Tensor.get_f b [| fk; fj |])
+      done;
+      Tensor.set_f out [| fi; fj |] !s
+    done
+  done;
+  out
+
 (* ---- GAT: internal compiler error (Table 2) ---- *)
 
 exception Ice of string

@@ -15,6 +15,30 @@ type result = {
 
 exception Ice of string
 
+(** {1 Runnable dense matmul}
+
+    TVM's bread-and-butter operator as an actually-executable FreeTensor
+    function — the wall-clock workload exercising the blockization pass
+    (its k-nest is exactly the shape {!Ft_lower.Blockize} rewrites to a
+    register-tiled microkernel). *)
+
+type mm_config = {
+  mm_m : int;
+  mm_n : int;
+  mm_k : int;
+}
+
+val mm_default : mm_config
+
+(** [C[i,j] = 0; for k: C[i,j] += A[i,k] * B[k,j]]. *)
+val mm_func : mm_config -> Stmt.func
+
+(** Deterministic seeded inputs [(A, B)]. *)
+val mm_inputs : mm_config -> Ft_runtime.Tensor.t * Ft_runtime.Tensor.t
+
+(** Plain-OCaml matmul in the same accumulation order (bitwise bar). *)
+val mm_reference : Ft_runtime.Tensor.t -> Ft_runtime.Tensor.t -> Ft_runtime.Tensor.t
+
 val subdivnet : device:Types.device -> Subdivnet.config -> result
 val longformer : device:Types.device -> Longformer.config -> result
 val softras : device:Types.device -> Softras.config -> result

@@ -19,4 +19,5 @@ let () =
       ("guard", Test_guard.suite);
       ("libop", Test_libop.suite);
       ("supervisor", Test_supervisor.suite);
-      ("litmus", Test_litmus.suite) ]
+      ("litmus", Test_litmus.suite);
+      ("lower", Test_lower.suite) ]
