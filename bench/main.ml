@@ -8,8 +8,9 @@
 
    wallclock-json writes BENCH_wallclock.json (seeded inputs, medians,
    host metadata) for the four runnable workloads; wallclock-check
-   re-measures the compiled-seq rows and exits 1 if any regresses more
-   than 25% against that committed baseline.  *)
+   re-measures the compiled-seq and served (serving-layer cache-hit)
+   rows and exits 1 if any regresses more than 25% against that
+   committed baseline.  *)
 
 open Ft_ir
 module E = Ft_workloads.Experiments
@@ -23,6 +24,7 @@ module Sr = Ft_workloads.Softras
 module Tvm = Ft_workloads.Tvmlike
 module Fw = Ft_baselines.Fw
 module Tensor = Ft_runtime.Tensor
+module Serve = Ft_serve.Serve
 
 let scale = E.paper_scale
 
@@ -280,9 +282,9 @@ let wallclock () =
 
 (* ------------------------------------------------------------- *)
 (* wallclock-json: machine-readable medians for the three in-process
-   executors plus a fault-free supervised run and a lowering-disabled
-   compile on each of the four runnable workloads, written to
-   BENCH_wallclock.json.  All rows of a workload run the same CPU-auto-
+   executors plus a fault-free supervised run, a lowering-disabled
+   compile, and a steady-state serving-layer request (cache hit) on each
+   of the four runnable workloads, written to BENCH_wallclock.json.  All rows of a workload run the same CPU-auto-
    scheduled program (so the parallel executor sees the scheduler's
    OpenMP annotations and each comparison isolates exactly one thing:
    the execution backend, the supervision hooks, or — via the
@@ -343,6 +345,12 @@ let compile_nolower fn =
     ~finally:(fun () -> Unix.putenv "FT_LOWER" "1")
     (fun () -> Ft_backend.Compile_exec.compile fn)
 
+(* Steady-state request through the serving layer: cache primed, so the
+   row prices a hit (key lookup + guard snapshots + supervised exec),
+   not a compile. *)
+let serve_request srv fn args =
+  ignore (Serve.serve srv (Serve.request ~id:0 fn args))
+
 let measure_rows () =
   let module Cexec = Ft_backend.Compile_exec in
   List.concat_map
@@ -354,6 +362,10 @@ let measure_rows () =
         Ft_backend.Supervisor.prepare
           ~policy:Ft_backend.Supervisor.default_policy fn
       in
+      let srv =
+        Serve.create ~policy:Ft_backend.Supervisor.default_policy ()
+      in
+      serve_request srv fn args;
       [ (wname, "interp", median_ns (fun () -> Interp.run_func fn args));
         (wname, "compiled-seq",
          median_ns (fun () -> seq.Cexec.cd_run args []));
@@ -362,8 +374,9 @@ let measure_rows () =
         (wname, "compiled-par",
          median_ns (fun () -> par.Cexec.cd_run args []));
         (wname, "supervised",
-         median_ns (fun () -> ignore (Ft_backend.Supervisor.exec sv args)))
-      ])
+         median_ns (fun () -> ignore (Ft_backend.Supervisor.exec sv args)));
+        (wname, "served",
+         median_ns (fun () -> serve_request srv fn args)) ])
     (wallclock_cases ())
 
 let wallclock_json () =
@@ -420,10 +433,16 @@ let wallclock_json () =
            wname (s /. p)
        | _ -> ());
       (* fault-free supervision cost over its primary backend *)
-      match (find "compiled-par", find "supervised") with
-      | Some p, Some sv ->
-        Printf.printf "%-12s supervised overhead over compiled-par: %.2fx\n"
-          wname (sv /. p)
+      (match (find "compiled-par", find "supervised") with
+       | Some p, Some sv ->
+         Printf.printf "%-12s supervised overhead over compiled-par: %.2fx\n"
+           wname (sv /. p)
+       | _ -> ());
+      (* serving-layer cost (cache hit path) over bare supervision *)
+      match (find "supervised", find "served") with
+      | Some sv, Some sr ->
+        Printf.printf "%-12s serving overhead over supervised: %.2fx\n"
+          wname (sr /. sv)
       | _ -> ())
     all_wallclock_workloads
 
@@ -431,8 +450,9 @@ let wallclock_json () =
 (* wallclock-check: CI regression gate.  Parse the committed
    BENCH_wallclock.json baseline (the writer above is the only producer,
    so a line-oriented scan is enough — no JSON dependency), re-measure
-   the compiled-seq medians, and fail when any workload regresses more
-   than 25% against its baseline. *)
+   the compiled-seq and served (cache-hit serving path) medians, and
+   fail when any workload regresses more than 25% against its
+   baseline. *)
 
 let parse_baseline path =
   let ic = open_in path in
@@ -466,35 +486,42 @@ let wallclock_check () =
   let baseline = parse_baseline path in
   let module Cexec = Ft_backend.Compile_exec in
   let fresh =
-    List.map
+    List.concat_map
       (fun (wname, fn, args) ->
         let seq = Cexec.compile fn in
-        (wname, median_ns (fun () -> seq.Cexec.cd_run args [])))
+        let srv =
+          Serve.create ~policy:Ft_backend.Supervisor.default_policy ()
+        in
+        serve_request srv fn args;
+        [ (wname, "compiled-seq",
+           median_ns (fun () -> seq.Cexec.cd_run args []));
+          (wname, "served",
+           median_ns (fun () -> serve_request srv fn args)) ])
       (wallclock_cases ())
   in
-  Printf.printf "== wallclock-check: compiled-seq vs committed baseline ==\n";
+  Printf.printf
+    "== wallclock-check: compiled-seq + served vs committed baseline ==\n";
   let failed = ref [] in
   List.iter
-    (fun (wname, ns) ->
+    (fun (wname, ex, ns) ->
+      let row = Printf.sprintf "%s/%s" wname ex in
       match
         List.find_map
-          (fun (w, e, b) ->
-            if w = wname && e = "compiled-seq" then Some b else None)
+          (fun (w, e, b) -> if w = wname && e = ex then Some b else None)
           baseline
       with
       | None ->
-        Printf.printf "%-12s %14.0f ns/run  (no baseline row — skipped)\n"
-          wname ns
+        Printf.printf "%-24s %14.0f ns/run  (no baseline row — skipped)\n"
+          row ns
       | Some base ->
         let ratio = ns /. base in
-        Printf.printf "%-12s %14.0f ns/run  baseline %14.0f  ratio %.2fx%s\n"
-          wname ns base ratio
+        Printf.printf "%-24s %14.0f ns/run  baseline %14.0f  ratio %.2fx%s\n"
+          row ns base ratio
           (if ratio > 1.25 then "  REGRESSION" else "");
-        if ratio > 1.25 then failed := wname :: !failed)
+        if ratio > 1.25 then failed := row :: !failed)
     fresh;
   if !failed <> [] then begin
-    Printf.eprintf
-      "wallclock-check: compiled-seq regressed >25%% on: %s\n"
+    Printf.eprintf "wallclock-check: regressed >25%% on: %s\n"
       (String.concat ", " (List.rev !failed));
     exit 1
   end;

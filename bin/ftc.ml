@@ -26,6 +26,13 @@
              [--faults K] [--requests R]  execution supervisor under
                                         randomized fault plans; print an
                                         availability/degradation report
+     ftc serve <workload> [--seed N]    seeded open-loop load through the
+             [--requests R] [--rate F]  multi-tenant serving layer
+             [--batch B] [--faults K]   (artifact cache + batching);
+             [--guard] [--budget BYTES] report throughput, p50/p99,
+                                        cache-hit-rate, batch histogram;
+                                        gates on availability, hit-rate,
+                                        recompiles and bitwise identity
      ftc litmus [--depth D] [--stmts S] exhaustively enumerate small
              [--sched-len K] [--budget N] programs x schedule sequences,
                                         dedup by canonical hash, and
@@ -477,7 +484,8 @@ let soak_cmd =
         let horizon =
           max 4 (Machine.last_kernels () * (policy.retries + 2))
         in
-        let clean = ref 0 and degraded = ref 0 and closed = ref 0 in
+        let clean = ref 0 and retried = ref 0 and degraded = ref 0 in
+        let closed = ref 0 in
         let mismatches = ref 0 and uncaught = ref 0 in
         let attempts_total = ref 0 and fired_total = ref 0 in
         for r = 1 to requests do
@@ -497,7 +505,11 @@ let soak_cmd =
                incr closed;
                if o.Supervisor.diags = [] then incr uncaught
              | Some b ->
-               if o.Supervisor.degraded then incr degraded else incr clean;
+               (* degraded = actually demoted down the chain; a transient
+                  absorbed by a retry on the primary counts separately. *)
+               if o.Supervisor.degraded then incr degraded
+               else if o.Supervisor.retried then incr retried
+               else incr clean;
                let want = List.assoc b reference in
                if
                  not
@@ -507,16 +519,19 @@ let soak_cmd =
                then incr mismatches)
         done;
         let pct n = 100.0 *. float_of_int n /. float_of_int requests in
-        let avail = pct (!clean + !degraded) in
+        let avail = pct (!clean + !retried + !degraded) in
         Printf.printf "soak %s: seed=%d faults=%d requests=%d horizon=%d\n"
           name seed faults requests horizon;
         Printf.printf "  succeeded clean     %4d  (%5.1f%%)\n" !clean
           (pct !clean);
+        Printf.printf "  succeeded w/ retry  %4d  (%5.1f%%)\n" !retried
+          (pct !retried);
         Printf.printf "  succeeded degraded  %4d  (%5.1f%%)\n" !degraded
           (pct !degraded);
         Printf.printf "  failed closed       %4d  (%5.1f%%)\n" !closed
           (pct !closed);
-        Printf.printf "  availability        %5.1f%%  (clean + degraded)\n"
+        Printf.printf
+          "  availability        %5.1f%%  (clean + retried + degraded)\n"
           avail;
         Printf.printf
           "  mean attempts %.2f   injected faults fired %d\n"
@@ -570,6 +585,228 @@ let soak_cmd =
     Term.(
       const run $ wl_arg $ seed_arg $ faults_arg $ requests_arg
       $ min_avail_arg)
+
+(* ftc serve: drive the workload through the multi-tenant serving layer
+   under seeded open-loop load — compiled-artifact cache, request
+   batching, supervisor resilience — and gate on availability,
+   steady-state cache-hit-rate, zero recompiles after warmup (fault-free
+   runs) and bitwise identity against per-backend fresh compiles. *)
+let serve_cmd =
+  let run w seed requests rate batch faults guard budget capacity
+      min_avail min_hit =
+    guarded (fun () ->
+        let name, fn0, args, _ = workload_case w in
+        (* auto-schedule so the parallel backend has annotated loops *)
+        let fn = Auto.run ~device:Types.Cpu fn0 in
+        let policy =
+          { Supervisor.default_policy with
+            Supervisor.guard;
+            mem_budget_bytes = (if budget > 0 then Some budget else None) }
+        in
+        let out_names =
+          List.filter_map
+            (fun (p : Stmt.param) ->
+              match p.Stmt.p_atype with
+              | Types.Input -> None
+              | _ -> Some p.Stmt.p_name)
+            fn.Stmt.fn_params
+        in
+        let outputs () =
+          List.filter (fun (n, _) -> List.mem n out_names) args
+        in
+        let pristine = List.map (fun (n, t) -> (n, Tensor.copy t)) args in
+        let restore_all () =
+          List.iter
+            (fun (n, s) ->
+              Tensor.copy_into ~src:s ~dst:(List.assoc n args))
+            pristine
+        in
+        (* Fresh-compile fault-free reference outputs per backend: the
+           bitwise bar every cached-artifact result must clear for the
+           backend that served it. *)
+        let reference =
+          List.map
+            (fun b ->
+              restore_all ();
+              let sv1 =
+                Supervisor.prepare
+                  ~policy:{ policy with Supervisor.backends = [ b ] } fn
+              in
+              let o = Supervisor.exec sv1 args in
+              (match o.Supervisor.result with
+               | Some _ -> ()
+               | None ->
+                 faultf "serve %s: fault-free run on %s failed:\n%s" name
+                   (Supervisor.backend_name b)
+                   (Supervisor.outcome_to_string o));
+              (b, List.map (fun (n, t) -> (n, Tensor.copy t)) (outputs ())))
+            policy.Supervisor.backends
+        in
+        (* Size the fault horizon from one clean supervised run (its
+           supervisor is separate: the serving cache stays cold, so the
+           soak observes the compulsory first miss). *)
+        let horizon =
+          if faults = 0 then 0
+          else begin
+            restore_all ();
+            let sv = Supervisor.prepare ~policy fn in
+            let warm = Supervisor.exec sv args in
+            (match warm.Supervisor.result with
+             | Some _ -> ()
+             | None -> faultf "serve %s: clean warm-up request failed" name);
+            max 4 (Machine.last_kernels ()
+                   * (policy.Supervisor.retries + 2))
+          end
+        in
+        let srv = Serve.create ~capacity ~policy () in
+        let make_request j =
+          restore_all ();
+          let plan =
+            if faults = 0 then None
+            else
+              Some
+                (Machine.Fault_plan.make ~seed:(seed + (j * 7919)) ~faults
+                   ~horizon)
+          in
+          Serve.request ?plan ~id:j fn args
+        in
+        let mismatches = ref 0 in
+        let on_response _ r =
+          match r.Serve.rs_status with
+          | Serve.Rejected _ -> ()
+          | Serve.Completed o ->
+            (match o.Supervisor.result with
+             | None -> ()
+             | Some b ->
+               let want = List.assoc b reference in
+               if
+                 not
+                   (List.for_all
+                      (fun (n, t) -> bits_equal t (List.assoc n want))
+                      (outputs ()))
+               then incr mismatches)
+        in
+        let cfg =
+          { Serve.so_seed = seed; so_requests = requests; so_rate = rate;
+            so_batch = batch }
+        in
+        let r = Serve.soak ~on_response srv ~cfg ~make_request in
+        Printf.printf
+          "serve %s: seed=%d rate=%.0f/s batch<=%d faults=%d%s%s\n" name
+          seed rate batch faults
+          (if guard then " guard" else "")
+          (if budget > 0 then Printf.sprintf " budget=%dB" budget else "");
+        print_endline (Serve.soak_report_to_string r);
+        Printf.printf "  bitwise mismatches vs fresh compile: %d\n"
+          !mismatches;
+        let avail =
+          float_of_int
+            (r.Serve.sk_served_clean + r.Serve.sk_retried
+           + r.Serve.sk_degraded)
+          /. float_of_int requests
+        in
+        if !mismatches > 0 then
+          faultf
+            "serve %s: %d result(s) not bitwise-identical to the serving \
+             backend's fresh compile"
+            name !mismatches;
+        if avail < min_avail then
+          faultf "serve %s: availability %.1f%% below the %.1f%% floor"
+            name (100.0 *. avail) (100.0 *. min_avail);
+        if r.Serve.sk_hit_rate < min_hit then
+          faultf
+            "serve %s: steady-state cache-hit-rate %.1f%% below the \
+             %.1f%% floor"
+            name
+            (100.0 *. r.Serve.sk_hit_rate)
+            (100.0 *. min_hit);
+        if faults = 0 && r.Serve.sk_recompiles_after_warmup > 0 then
+          faultf
+            "serve %s: %d recompile(s) after warmup in a fault-free soak"
+            name r.Serve.sk_recompiles_after_warmup)
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Arrival-process and fault-plan seed.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests to serve.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 500.0
+      & info [ "rate" ] ~docv:"F"
+          ~doc:"Mean open-loop arrival rate, requests/second.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Max queued requests drained per batch.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "faults" ] ~docv:"K"
+          ~doc:"Injected faults per request (0 = fault-free).")
+  in
+  let guard_arg =
+    Arg.(
+      value & flag
+      & info [ "guard" ]
+          ~doc:
+            "Serve with guarded execution; the report counts per-request \
+             runtime bounds checks via guard-counter snapshots.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"BYTES"
+          ~doc:
+            "Memory budget shared by each batch (0 = none); admission \
+             control rejects requests whose arguments alone exceed it.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "cache-capacity" ] ~docv:"C"
+          ~doc:"Artifact-cache LRU capacity.")
+  in
+  let min_avail_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "min-availability" ] ~docv:"F"
+          ~doc:
+            "Fail (exit 1) when served / requests drops below this \
+             fraction.")
+  in
+  let min_hit_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "min-hit-rate" ] ~docv:"F"
+          ~doc:
+            "Fail (exit 1) when the steady-state cache-hit-rate drops \
+             below this fraction.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the workload through the multi-tenant serving layer \
+          under seeded open-loop load: compiled-artifact cache with \
+          shape specialization and LRU bounds, request batching over the \
+          execution supervisor, admission control against the memory \
+          budget.  Reports throughput, p50/p99 latency, cache-hit-rate \
+          and the batch-size histogram; exits 1 on bitwise divergence \
+          from fresh compiles, availability or hit-rate below their \
+          floors, or any recompile after warmup in a fault-free soak")
+    Term.(
+      const run $ wl_arg $ seed_arg $ requests_arg $ rate_arg $ batch_arg
+      $ faults_arg $ guard_arg $ budget_arg $ capacity_arg $ min_avail_arg
+      $ min_hit_arg)
 
 (* ftc litmus: the exhaustive transformation-correctness harness.
    Enumerates every skeleton program within --depth/--stmts, every
@@ -678,7 +915,7 @@ let () =
          ~doc:"FreeTensor: free-form tensor program compiler")
       [ show_cmd; schedule_cmd; codegen_cmd; grad_cmd; estimate_cmd;
         run_cmd; profile_cmd; check_cmd; guard_cmd; lower_cmd; soak_cmd;
-        litmus_cmd ]
+        serve_cmd; litmus_cmd ]
   in
   (* 0 = ok, 1 = fault (guarded already exited for handled faults; an
      escaped exception lands here), 2 = usage. *)

@@ -153,6 +153,17 @@ type guard_stats = {
   mutable gs_checks : int;  (* runtime bounds checks executed *)
 }
 
+(* [gs_checks] accumulates across every run of one compiled artifact,
+   which is the right lifetime total but meaningless per request once
+   artifacts are cached and reused.  The snapshot/delta pair reads a
+   consistent per-interval count without resetting the counter (resets
+   would race concurrent readers and lose the lifetime total). *)
+type guard_snapshot = int
+
+let guard_snapshot (g : guard_stats) : guard_snapshot = g.gs_checks
+let guard_checks_since (g : guard_stats) (s : guard_snapshot) =
+  g.gs_checks - s
+
 (* Compile-time guard state.  [gc_iters] and [gc_stmt] track the
    enclosing loops / statement of the access being compiled, so every
    emitted check closure captures its provenance for the diagnostic.

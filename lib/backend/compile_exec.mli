@@ -33,6 +33,23 @@ type guard_stats = {
   mutable gs_checks : int;   (** runtime bounds checks executed *)
 }
 
+(** A point-in-time reading of [gs_checks].  The raw counter accumulates
+    across every run of one compiled artifact — the right lifetime
+    total, but meaningless per request once artifacts are cached and
+    reused.  Take a snapshot before a run and ask for the delta after:
+
+    {[
+      let s = Compile_exec.guard_snapshot g in
+      cd.cd_run args sizes;
+      let per_request = Compile_exec.guard_checks_since g s in
+    ]} *)
+type guard_snapshot
+
+val guard_snapshot : guard_stats -> guard_snapshot
+
+(** Runtime bounds checks executed since the snapshot was taken. *)
+val guard_checks_since : guard_stats -> guard_snapshot -> int
+
 type compiled = {
   cd_fn : Stmt.func;
   cd_run : (string * Tensor.t) list -> (string * int) list -> unit;

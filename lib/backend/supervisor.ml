@@ -51,16 +51,23 @@ type attempt = {
 type outcome = {
   result : backend option;
   attempts : attempt list;
+  retried : bool;
   degraded : bool;
   diags : Diag.t list;
 }
 
 type runner = (string * Tensor.t) list -> (string * int) list -> unit
 
+type prepared_backend = {
+  pb_backend : backend;
+  pb_impl : (runner, Diag.t) result;
+  pb_guard : Compile_exec.guard_stats option;
+}
+
 type t = {
   sv_fn : Stmt.func;
   sv_policy : policy;
-  sv_backends : (backend * (runner, Diag.t) result) list;
+  sv_backends : prepared_backend list;
 }
 
 (* Capped exponential backoff in simulated-clock ticks: 0 for the first
@@ -109,19 +116,34 @@ let prepare ~policy (fn : Stmt.func) : t =
     match
       Compile_exec.compile ~parallel ~guard:policy.guard ~hooks:true fn
     with
-    | cd -> Ok (fun args sizes -> cd.Compile_exec.cd_run args sizes)
-    | exception e -> Error (diag_of_exn ~fn:name e)
+    | cd ->
+      ( Ok (fun args sizes -> cd.Compile_exec.cd_run args sizes),
+        cd.Compile_exec.cd_guard )
+    | exception e -> (Error (diag_of_exn ~fn:name e), None)
   in
-  let mk = function
-    | Parallel -> compile_runner ~parallel:true
-    | Compiled -> compile_runner ~parallel:false
-    | Interp_ref ->
-      Ok
-        (fun args sizes ->
-          Interp.run_func ~sizes ~guard:policy.guard fn args)
+  let mk b =
+    let impl, guard =
+      match b with
+      | Parallel -> compile_runner ~parallel:true
+      | Compiled -> compile_runner ~parallel:false
+      | Interp_ref ->
+        ( Ok
+            (fun args sizes ->
+              Interp.run_func ~sizes ~guard:policy.guard fn args),
+          None )
+    in
+    { pb_backend = b; pb_impl = impl; pb_guard = guard }
   in
   { sv_fn = fn; sv_policy = policy;
-    sv_backends = List.map (fun b -> (b, mk b)) policy.backends }
+    sv_backends = List.map mk policy.backends }
+
+(* Guard statistics of the prepared compiled backends (empty unless the
+   policy compiled with [guard]) — the serving layer snapshots these
+   around each request to report per-request check counts. *)
+let guard_stats (sv : t) =
+  List.filter_map
+    (fun pb -> Option.map (fun g -> (pb.pb_backend, g)) pb.pb_guard)
+    sv.sv_backends
 
 (* The memory budget models device memory, so it binds the compiled
    backends; the interpreter is the host-side eager fallback and runs
@@ -163,14 +185,19 @@ let exec ?plan ?(sizes = []) (sv : t) (args : (string * Tensor.t) list) :
   let diags = ref [] in
   let pristine = ref true in
   let record a = attempts := a :: !attempts in
+  (* [on_degrade] is a notification callback; a poisoned one must not be
+     able to abort serving or leak the installed run context, so it runs
+     fenced — after the attempt's context is torn down — and any
+     exception it raises is swallowed. *)
+  let notify_degrade msg = try p.on_degrade msg with _ -> () in
   let rec try_chain chain =
     match chain with
     | [] -> None
-    | (b, impl) :: rest -> (
+    | { pb_backend = b; pb_impl = impl; _ } :: rest -> (
       let fall () =
         (match rest with
-         | (nb, _) :: _ ->
-           p.on_degrade
+         | { pb_backend = nb; _ } :: _ ->
+           notify_degrade
              (Printf.sprintf "%s: degrading %s -> %s" fn_name
                 (backend_name b) (backend_name nb))
          | [] -> ());
@@ -188,16 +215,40 @@ let exec ?plan ?(sizes = []) (sv : t) (args : (string * Tensor.t) list) :
         | Ok run ->
           if not !pristine then restore ();
           pristine := false;
+          (* Everything that happens between installing the run context
+             and recording the attempt is fenced by [Fun.protect]: if
+             the run, [diag_of_exn], or the restore path raises, the
+             context and budget still come down before the exception
+             travels — a failed attempt can never leak supervision state
+             into the next request. *)
           Machine.install ?plan ~deadline:p.deadline ~fn:fn_name ();
-          if budgeted b then
-            Tensor.set_budget ~fn:fn_name p.mem_budget_bytes;
-          let fault =
-            match run args sizes with
-            | () -> None
-            | exception e -> Some (diag_of_exn ~fn:fn_name e)
+          let budget =
+            (* Scoped: when an enclosing scope (a serving-layer batch
+               budget) is active, it binds and we must not stack ours. *)
+            if budgeted b && not (Tensor.budget_active ()) then
+              Option.map
+                (fun cap -> Tensor.install_budget ~fn:fn_name cap)
+                p.mem_budget_bytes
+            else None
           in
-          Tensor.set_budget None;
-          Machine.uninstall ();
+          let fault =
+            Fun.protect
+              ~finally:(fun () ->
+                Option.iter Tensor.release_budget budget;
+                Machine.uninstall ())
+              (fun () ->
+                let body () = run args sizes in
+                let body =
+                  (* The interpreter is the unbudgeted host-side last
+                     resort, even under an externally installed batch
+                     budget. *)
+                  if budgeted b then body
+                  else fun () -> Tensor.unbudgeted body
+                in
+                match body () with
+                | () -> None
+                | exception e -> Some (diag_of_exn ~fn:fn_name e))
+          in
           record
             { at_backend = b; at_retry = retry; at_backoff = bo;
               at_kernels = Machine.last_kernels (); at_fault = fault };
@@ -218,11 +269,26 @@ let exec ?plan ?(sizes = []) (sv : t) (args : (string * Tensor.t) list) :
   in
   let result = try_chain sv.sv_backends in
   let attempts = List.rev !attempts in
+  let primary =
+    match sv.sv_backends with
+    | { pb_backend = b; _ } :: _ -> Some b
+    | [] -> None
+  in
   { result;
     attempts;
-    degraded =
-      result <> None
-      && List.exists (fun a -> a.at_fault <> None) attempts;
+    (* [retried]: the serving backend needed more than one try — some
+       attempt on it faulted before it served.  [degraded]: the request
+       was actually demoted down the chain; a transient fault absorbed
+       by a retry on the primary is not degradation, and serving metrics
+       must not report it as such. *)
+    retried =
+      (match result with
+       | None -> false
+       | Some b ->
+         List.exists
+           (fun a -> a.at_backend = b && a.at_fault <> None)
+           attempts);
+    degraded = (match result with None -> false | Some b -> Some b <> primary);
     diags = List.rev !diags }
 
 let run ?plan ?sizes ~policy (fn : Stmt.func)
@@ -260,6 +326,7 @@ let outcome_to_string o =
   let status =
     match o.result with
     | Some b when o.degraded -> "served degraded by " ^ backend_name b
+    | Some b when o.retried -> "served after retry by " ^ backend_name b
     | Some b -> "served clean by " ^ backend_name b
     | None -> "failed closed"
   in

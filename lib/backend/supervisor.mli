@@ -18,10 +18,15 @@
 
     Per attempt the supervisor installs a {!Ft_machine.Machine} run
     context (fault plan, deadline, cancellation token) and — for the
-    compiled backends — a {!Ft_runtime.Tensor} memory budget; both are
-    removed before the outcome is returned.  The budget models device
-    memory, so the interpreter fallback runs unbudgeted: the chain's
-    host-side last resort can always serve. *)
+    compiled backends — a scoped {!Ft_runtime.Tensor} memory budget;
+    teardown is fenced ([Fun.protect]), so a fault anywhere in the
+    attempt — including while building its diagnostic — can never leak
+    the run context or budget into the next request.  When an enclosing
+    budget scope is already active (the serving layer installs one
+    around a whole batch), the supervisor uses it instead of stacking
+    its own.  The budget models device memory, so the interpreter
+    fallback runs unbudgeted (via {!Ft_runtime.Tensor.unbudgeted}): the
+    chain's host-side last resort can always serve. *)
 
 open Ft_ir
 open Ft_runtime
@@ -48,7 +53,11 @@ type policy = {
   deadline : Ft_machine.Machine.deadline;  (** per attempt *)
   mem_budget_bytes : int option;  (** arena budget, compiled backends *)
   guard : bool;             (** run backends with guarded execution *)
-  on_degrade : string -> unit;  (** called when falling down the chain *)
+  on_degrade : string -> unit;
+      (** notification when falling down the chain; runs after the
+          failed attempt's context is torn down, and any exception it
+          raises is swallowed — a poisoned callback cannot abort serving
+          or leak supervision state *)
 }
 
 (** [parallel -> compiled-seq -> interp], 2 retries, backoff 1/x2/cap 8,
@@ -66,7 +75,14 @@ type attempt = {
 type outcome = {
   result : backend option;  (** serving backend; [None] = failed closed *)
   attempts : attempt list;  (** chronological, one per try *)
-  degraded : bool;  (** served, but not by a clean first attempt *)
+  retried : bool;
+      (** served, but an attempt on the serving backend faulted first —
+          a transient absorbed by a retry, not a demotion *)
+  degraded : bool;
+      (** served by a backend below the chain's primary: the request
+          was actually demoted.  Disjoint from a transient retry that
+          the primary absorbed, so serving metrics don't over-report
+          degradation. *)
   diags : Diag.t list;  (** every fault observed, chronological *)
 }
 
@@ -76,6 +92,13 @@ type outcome = {
 type t
 
 val prepare : policy:policy -> Stmt.func -> t
+
+(** Guard statistics of the prepared compiled backends — non-empty only
+    when the policy compiled with [guard].  Pair with
+    {!Compile_exec.guard_snapshot} / {!Compile_exec.guard_checks_since}
+    to report per-request runtime check counts for a cached artifact
+    (the raw counters accumulate across every run of the artifact). *)
+val guard_stats : t -> (backend * Compile_exec.guard_stats) list
 
 (** Serve one request.  [plan] installs a deterministic fault-injection
     plan for this request (shared across its attempts: the kernel

@@ -52,6 +52,9 @@ module Supervisor = Ft_backend.Supervisor
 module Costmodel = Ft_backend.Costmodel
 module Codegen = Ft_backend.Codegen
 
+module Canon = Ft_ir.Canon
+module Serve = Ft_serve.Serve
+
 (** The end-to-end compilation pipeline of Section 4: cleanup passes,
     rule-based auto-scheduling for a target device, backend code
     generation, and performance estimation on the abstract machine. *)

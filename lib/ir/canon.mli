@@ -1,0 +1,19 @@
+(** Canonical form and hash of a function.
+
+    The canonical form drops statement ids and labels and alpha-renames
+    every bound name (iterators, locals, schedule-introduced caches) to
+    [v0], [v1], ... in order of first binding, printing expressions
+    after smart-constructor normalization.  Two alpha-equivalent
+    programs therefore print identically, and {!canonical_hash} collides
+    exactly for alpha-equivalent programs.
+
+    Shared by the litmus harness (deduplicating enumerated programs) and
+    the serving layer (keying the compiled-artifact cache on the program
+    rather than on its accidental name choices). *)
+
+(** The canonical printout: parameters (names, dtypes, access classes,
+    declared shapes) followed by the alpha-renamed body. *)
+val canonical_string : Stmt.func -> string
+
+(** Hex MD5 of {!canonical_string}. *)
+val canonical_hash : Stmt.func -> string

@@ -203,193 +203,15 @@ let to_func ?(name = "litmus") (p : t) : Stmt.func =
 (* ------------------------------------------------------------------ *)
 (* Canonical hash *)
 
-(* Canonical form: statement ids and labels dropped, every bound name
-   (iterators, locals, schedule-introduced caches) renamed to v0, v1...
-   in order of first binding, expressions printed after smart-constructor
-   normalization.  Two alpha-equivalent programs print identically; the
-   hash is the hex MD5 of the printout. *)
+(* The canonical form/hash is shared infrastructure now: the serving
+   layer keys its compiled-artifact cache on the same quotient the
+   harness dedups by.  The implementation lives in {!Ft_ir.Canon}. *)
 
-let canonical_string (fn : Stmt.func) : string =
-  let tbl : (string, string) Hashtbl.t = Hashtbl.create 32 in
-  let ctr = ref 0 in
-  let bind n =
-    match Hashtbl.find_opt tbl n with
-    | Some c -> c
-    | None ->
-      let c = Printf.sprintf "v%d" !ctr in
-      incr ctr;
-      Hashtbl.add tbl n c;
-      c
-  in
-  let name n = match Hashtbl.find_opt tbl n with Some c -> c | None -> n in
-  let buf = Buffer.create 256 in
-  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let rec expr e =
-    match e with
-    | Expr.Int_const _ | Expr.Float_const _ | Expr.Bool_const _ ->
-      Buffer.add_string buf (Expr.to_string e)
-    | Expr.Var x -> Buffer.add_string buf (name x)
-    | Expr.Load { l_var; l_indices } ->
-      bpf "%s[" (name l_var);
-      List.iteri
-        (fun i ie ->
-          if i > 0 then Buffer.add_char buf ',';
-          expr ie)
-        l_indices;
-      Buffer.add_char buf ']'
-    | Expr.Unop (op, a) ->
-      bpf "%s(" (Expr.unop_to_string op);
-      expr a;
-      Buffer.add_char buf ')'
-    | Expr.Binop (op, a, b) ->
-      bpf "(%s " (Expr.binop_to_string op);
-      expr a;
-      Buffer.add_char buf ' ';
-      expr b;
-      Buffer.add_char buf ')'
-    | Expr.Select (c, a, b) ->
-      Buffer.add_string buf "(sel ";
-      expr c;
-      Buffer.add_char buf ' ';
-      expr a;
-      Buffer.add_char buf ' ';
-      expr b;
-      Buffer.add_char buf ')'
-    | Expr.Cast (dt, a) ->
-      bpf "%s(" (Types.dtype_to_string dt);
-      expr a;
-      Buffer.add_char buf ')'
-    | Expr.Meta_ndim p -> bpf "%s.ndim" (name p)
-    | Expr.Meta_shape (p, k) -> bpf "%s.shape(%d)" (name p) k
-  in
-  let property (pr : Stmt.for_property) =
-    bpf "{par=%s,unroll=%b,vec=%b,nodeps=[%s]}"
-      (match pr.Stmt.parallel with
-       | None -> "-"
-       | Some s -> Types.parallel_scope_to_string s)
-      pr.Stmt.unroll pr.Stmt.vectorize
-      (String.concat ";" (List.map name pr.Stmt.no_deps))
-  in
-  let rec stmt (s : Stmt.t) =
-    (match s.Stmt.node with
-     | Stmt.Store { s_var; s_indices; s_value } ->
-       bpf "(store %s[" (name s_var);
-       List.iter
-         (fun e ->
-           expr e;
-           Buffer.add_char buf ',')
-         s_indices;
-       Buffer.add_string buf "]=";
-       expr s_value;
-       Buffer.add_char buf ')'
-     | Stmt.Reduce_to { r_var; r_indices; r_op; r_value; r_atomic } ->
-       bpf "(reduce %s %s[" (Types.reduce_op_to_string r_op) (name r_var);
-       List.iter
-         (fun e ->
-           expr e;
-           Buffer.add_char buf ',')
-         r_indices;
-       bpf "] atomic=%b " r_atomic;
-       expr r_value;
-       Buffer.add_char buf ')'
-     | Stmt.Var_def d ->
-       bpf "(def %s %s %s [" (bind d.Stmt.d_name)
-         (Types.dtype_to_string d.Stmt.d_dtype)
-         (Types.mtype_to_string d.Stmt.d_mtype);
-       List.iter
-         (fun e ->
-           expr e;
-           Buffer.add_char buf ',')
-         d.Stmt.d_shape;
-       bpf "] %s " (Types.access_to_string d.Stmt.d_atype);
-       stmt d.Stmt.d_body;
-       Buffer.add_char buf ')'
-     | Stmt.For f ->
-       bpf "(for %s " (bind f.Stmt.f_iter);
-       expr f.Stmt.f_begin;
-       Buffer.add_char buf ' ';
-       expr f.Stmt.f_end;
-       Buffer.add_char buf ' ';
-       expr f.Stmt.f_step;
-       Buffer.add_char buf ' ';
-       property f.Stmt.f_property;
-       Buffer.add_char buf ' ';
-       stmt f.Stmt.f_body;
-       Buffer.add_char buf ')'
-     | Stmt.If i ->
-       Buffer.add_string buf "(if ";
-       expr i.Stmt.i_cond;
-       Buffer.add_char buf ' ';
-       stmt i.Stmt.i_then;
-       (match i.Stmt.i_else with
-        | Some e ->
-          Buffer.add_string buf " else ";
-          stmt e
-        | None -> ());
-       Buffer.add_char buf ')'
-     | Stmt.Assert_stmt (c, b) ->
-       Buffer.add_string buf "(assert ";
-       expr c;
-       Buffer.add_char buf ' ';
-       stmt b;
-       Buffer.add_char buf ')'
-     | Stmt.Seq ss ->
-       Buffer.add_string buf "(seq";
-       List.iter
-         (fun s ->
-           Buffer.add_char buf ' ';
-           stmt s)
-         ss;
-       Buffer.add_char buf ')'
-     | Stmt.Eval e ->
-       Buffer.add_string buf "(eval ";
-       expr e;
-       Buffer.add_char buf ')'
-     | Stmt.Lib_call { lib; body } ->
-       bpf "(lib %s " lib;
-       stmt body;
-       Buffer.add_char buf ')'
-     | Stmt.Microkernel { mk; body } ->
-       bpf "(mk %s " mk;
-       stmt body;
-       Buffer.add_char buf ')'
-     | Stmt.Call { callee; args } ->
-       bpf "(call %s" callee;
-       List.iter
-         (function
-           | Stmt.Tensor_arg { param; actual; prefix } ->
-             bpf " (t %s %s [" param (name actual);
-             List.iter
-               (fun e ->
-                 expr e;
-                 Buffer.add_char buf ',')
-               prefix;
-             Buffer.add_string buf "])"
-           | Stmt.Scalar_arg { param; value } ->
-             bpf " (s %s " param;
-             expr value;
-             Buffer.add_char buf ')')
-         args;
-       Buffer.add_char buf ')'
-     | Stmt.Nop -> Buffer.add_string buf "(nop)");
-    ()
-  in
-  List.iter
-    (fun (p : Stmt.param) ->
-      bpf "(param %s %s %s %s)" p.Stmt.p_name
-        (Types.dtype_to_string p.Stmt.p_dtype)
-        (Types.access_to_string p.Stmt.p_atype)
-        (match p.Stmt.p_shape with
-         | Stmt.Any_dim -> "any"
-         | Stmt.Fixed es -> String.concat "," (List.map Expr.to_string es)))
-    fn.Stmt.fn_params;
-  stmt fn.Stmt.fn_body;
-  Buffer.contents buf
+let canonical_string = Canon.canonical_string
 
 (** Hex MD5 of {!canonical_string}: collides exactly for
     alpha-equivalent programs. *)
-let canonical_hash (fn : Stmt.func) : string =
-  Digest.to_hex (Digest.string (canonical_string fn))
+let canonical_hash = Canon.canonical_hash
 
 (* ------------------------------------------------------------------ *)
 (* Corpus text format *)

@@ -335,6 +335,11 @@ type deadline =
   | Ticks of int
   | Seconds of float
 
+let deadline_to_string = function
+  | No_deadline -> "none"
+  | Ticks t -> Printf.sprintf "%d ticks" t
+  | Seconds s -> Printf.sprintf "%gs" s
+
 type run_ctx = {
   cx_fn : string;
   cx_plan : Fault_plan.t option;

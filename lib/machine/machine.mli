@@ -180,6 +180,8 @@ type deadline =
   | Ticks of int      (** simulated clock: poll/kernel events *)
   | Seconds of float  (** wall-clock budget per attempt *)
 
+val deadline_to_string : deadline -> string
+
 (** Install the run context for one attempt.  Any previously installed
     context is replaced. *)
 val install : ?plan:Fault_plan.t -> ?deadline:deadline -> fn:string -> unit -> unit

@@ -78,37 +78,83 @@ let strides_of_shape shape =
   strides
 
 (* Per-run allocation arena for the execution supervisor's memory
-   budget.  [budget] is installed per attempt (master domain); [live] is
+   budget, as a *scoped context*: installing a budget mints a handle
+   carrying its own live counter, and only the handle that is currently
+   installed can be released.  Nested installs error instead of silently
+   zeroing the live-bytes accounting of allocations still outstanding
+   under the enclosing scope — the serving layer installs one budget
+   around a whole batch of requests, and a per-attempt install inside it
+   must be a loud bug, not a quiet counter wipe.
+
+   Scopes are installed/released on the master domain only; [live] is
    atomic because parallel chunk bodies allocate loop-local tensors
    concurrently.  Without a budget installed, [create] and [arena_free]
    cost one ref read. *)
-let budget : int option ref = ref None
-let budget_fn = ref "run"
-let live = Atomic.make 0
+type budget = {
+  bg_cap : int;
+  bg_fn : string;
+  bg_live : int Atomic.t;
+}
 
-let set_budget ?(fn = "run") b =
-  budget_fn := fn;
-  Atomic.set live 0;
-  budget := b
+let scope : budget option ref = ref None
 
-let live_bytes () = Atomic.get live
+let install_budget ?(fn = "run") cap =
+  match !scope with
+  | Some cur ->
+    invalid_arg
+      (Printf.sprintf
+         "Tensor.install_budget(%s): a budget is already installed \
+          (fn=%s, %d bytes, %d live) — budgets are scoped, not stacked"
+         fn cur.bg_fn cur.bg_cap (Atomic.get cur.bg_live))
+  | None ->
+    let b = { bg_cap = cap; bg_fn = fn; bg_live = Atomic.make 0 } in
+    scope := Some b;
+    b
+
+let release_budget b =
+  match !scope with
+  | Some cur when cur == b -> scope := None
+  | Some _ ->
+    invalid_arg
+      "Tensor.release_budget: handle is not the installed budget"
+  | None -> invalid_arg "Tensor.release_budget: no budget installed"
+
+let budget_active () = !scope <> None
+
+let with_budget ?fn cap f =
+  let b = install_budget ?fn cap in
+  Fun.protect ~finally:(fun () -> release_budget b) f
+
+(* Escape hatch for the supervisor's interpreter fallback: the budget
+   models device memory, and the interpreter is the unbudgeted host-side
+   last resort — it must be able to serve even under a serving-layer
+   batch budget.  Master-domain only (like install/release). *)
+let unbudgeted f =
+  let saved = !scope in
+  scope := None;
+  Fun.protect ~finally:(fun () -> scope := saved) f
+
+let live_bytes () =
+  match !scope with
+  | None -> 0
+  | Some b -> Atomic.get b.bg_live
 
 let buf_bytes dtype n = n * Types.dtype_size dtype
 
 let charge dtype shape =
-  match !budget with
+  match !scope with
   | None -> ()
-  | Some cap ->
+  | Some b ->
     let bytes = buf_bytes dtype (numel_of_shape shape) in
-    let before = Atomic.fetch_and_add live bytes in
-    if before + bytes > cap then begin
+    let before = Atomic.fetch_and_add b.bg_live bytes in
+    if before + bytes > b.bg_cap then begin
       (* Credit back so a fallback attempt under the same budget starts
          from an honest counter. *)
-      ignore (Atomic.fetch_and_add live (-bytes));
+      ignore (Atomic.fetch_and_add b.bg_live (-bytes));
       raise
         (Ft_ir.Diag.Diag_error
-           (Ft_ir.Diag.oom_budget ~fn:!budget_fn ~requested:bytes
-              ~live:before ~budget:cap))
+           (Ft_ir.Diag.oom_budget ~fn:b.bg_fn ~requested:bytes
+              ~live:before ~budget:b.bg_cap))
     end
 
 let create dtype shape =
@@ -121,10 +167,12 @@ let create dtype shape =
   { shape; strides = strides_of_shape shape; dtype; buf }
 
 let arena_free t =
-  match !budget with
+  match !scope with
   | None -> ()
-  | Some _ ->
-    ignore (Atomic.fetch_and_add live (- buf_bytes t.dtype (numel_of_shape t.shape)))
+  | Some b ->
+    ignore
+      (Atomic.fetch_and_add b.bg_live
+         (- buf_bytes t.dtype (numel_of_shape t.shape)))
 
 let zeros = create
 

@@ -68,17 +68,51 @@ val copy_into : src:t -> dst:t -> unit
 
 (** {1 Memory budget}
 
-    Per-run allocation arena for the execution supervisor: when a budget
-    is installed, every {!create} charges the arena and raises
-    {!Ft_ir.Diag.Diag_error} (code [Oom], a [Resource] fault) if the
-    live total would exceed it; executors release loop-local tensors
-    with {!arena_free} when their [Var_def] scope exits.  With no budget
-    installed all three calls are a single ref read. *)
+    Per-run allocation arena for the execution supervisor and the
+    serving layer, as a *scoped context*: {!install_budget} mints a
+    handle with its own live counter, and only the installed handle can
+    be released.  While a budget is installed, every {!create} charges
+    the arena and raises {!Ft_ir.Diag.Diag_error} (code [Oom], a
+    [Resource] fault) if the live total would exceed the cap; executors
+    release loop-local tensors with {!arena_free} when their [Var_def]
+    scope exits.  With no budget installed, {!create}, {!arena_free} and
+    {!live_bytes} are a single ref read.
 
-(** Install ([Some bytes]) or clear ([None]) the budget, resetting the
-    live counter; [fn] names the function for diagnostics. *)
-val set_budget : ?fn:string -> int option -> unit
+    Budgets do not nest: installing while one is active raises
+    [Invalid_argument] instead of silently zeroing the enclosing scope's
+    live accounting (the serving layer installs one budget around a
+    whole batch of requests; a nested per-attempt install inside it is a
+    bug).  Install/release happen on the master domain only; the live
+    counter itself is atomic, so parallel chunk bodies may allocate
+    concurrently under one scope. *)
 
+(** A budget scope handle.  Identity matters: only the handle returned
+    by the active {!install_budget} can release it. *)
+type budget
+
+(** Install a budget of [cap] bytes with a fresh live counter; [fn]
+    names the function for diagnostics.  Raises [Invalid_argument] if a
+    budget is already installed. *)
+val install_budget : ?fn:string -> int -> budget
+
+(** Release the installed budget.  Raises [Invalid_argument] when [b]
+    is not the currently installed handle (stale or foreign handles
+    cannot release someone else's scope). *)
+val release_budget : budget -> unit
+
+val budget_active : unit -> bool
+
+(** [with_budget ?fn cap f] — install around [f], releasing on any
+    exit. *)
+val with_budget : ?fn:string -> int -> (unit -> 'a) -> 'a
+
+(** Run [f] with the installed budget (if any) suspended — the
+    supervisor's interpreter fallback is the unbudgeted host-side last
+    resort and must serve even under a serving-layer batch budget.
+    Master-domain only; restores the scope on any exit. *)
+val unbudgeted : (unit -> 'a) -> 'a
+
+(** Live bytes of the installed scope (0 when none is installed). *)
 val live_bytes : unit -> int
 
 (** Credit a tensor's bytes back to the arena (scope exit). *)

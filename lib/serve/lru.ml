@@ -1,0 +1,70 @@
+(* Bounded LRU: hash table of entries stamped with a monotonically
+   increasing use tick; eviction scans for the minimum stamp.  Eviction
+   is O(n), which is the right trade at artifact-cache sizes (tens of
+   entries, each worth a compile) — recency updates, the hot-path
+   operation, stay O(1). *)
+
+type 'a entry = {
+  mutable value : 'a;
+  mutable stamp : int;
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { cap = capacity; tbl = Hashtbl.create (2 * capacity); tick = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some e ->
+    touch t e;
+    Some e.value
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let oldest t =
+  Hashtbl.fold
+    (fun k e acc ->
+      match acc with
+      | Some (_, e') when e'.stamp <= e.stamp -> acc
+      | _ -> Some (k, e))
+    t.tbl None
+
+let add t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some e ->
+    e.value <- v;
+    touch t e;
+    None
+  | None ->
+    let e = { value = v; stamp = 0 } in
+    touch t e;
+    Hashtbl.replace t.tbl k e;
+    if Hashtbl.length t.tbl <= t.cap then None
+    else
+      (match oldest t with
+       | None -> None
+       | Some (k', e') ->
+         Hashtbl.remove t.tbl k';
+         Some (k', e'.value))
+
+let remove t k = Hashtbl.remove t.tbl k
+
+let to_list t =
+  let all = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl [] in
+  List.map
+    (fun (k, e) -> (k, e.value))
+    (List.sort (fun (_, a) (_, b) -> compare b.stamp a.stamp) all)

@@ -1,0 +1,31 @@
+(** Bounded LRU map with string keys.
+
+    The serving layer's artifact cache: [find] marks an entry
+    most-recently-used, [add] evicts the least-recently-used entry once
+    [capacity] is exceeded and returns the casualty so the caller can
+    account for it.  Not thread-safe — the serving layer runs cache
+    operations on the master domain only. *)
+
+type 'a t
+
+(** [create ~capacity] with [capacity >= 1] (else [Invalid_argument]). *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** Lookup; a hit becomes the most-recently-used entry. *)
+val find : 'a t -> string -> 'a option
+
+val mem : 'a t -> string -> bool
+
+(** Insert or replace as most-recently-used.  Returns the evicted
+    least-recently-used binding when the insert pushed the map over
+    capacity ([None] on replace or when still under capacity). *)
+val add : 'a t -> string -> 'a -> (string * 'a) option
+
+(** Drop the binding if present. *)
+val remove : 'a t -> string -> unit
+
+(** Bindings from most- to least-recently used. *)
+val to_list : 'a t -> (string * 'a) list

@@ -1,0 +1,440 @@
+(* Multi-tenant serving layer.  See serve.mli for the design; the short
+   version: LRU of prepared Supervisor artifacts keyed on
+   (canonical hash, size binding, policy knobs, lowering gate), shape
+   specialization on miss, per-group shared budget scopes, sequential
+   drain on the master domain with per-request parallel fan-out. *)
+
+open Ft_ir
+open Ft_runtime
+module Machine = Ft_machine.Machine
+module Supervisor = Ft_backend.Supervisor
+module Compile_exec = Ft_backend.Compile_exec
+
+type stats = {
+  mutable st_hits : int;
+  mutable st_misses : int;
+  mutable st_compiles : int;
+  mutable st_evictions : int;
+  mutable st_invalidations : int;
+  mutable st_served_clean : int;
+  mutable st_retried : int;
+  mutable st_degraded : int;
+  mutable st_failed : int;
+  mutable st_rejected : int;
+  mutable st_guard_checks : int;
+}
+
+let stats_make () =
+  { st_hits = 0; st_misses = 0; st_compiles = 0; st_evictions = 0;
+    st_invalidations = 0; st_served_clean = 0; st_retried = 0;
+    st_degraded = 0; st_failed = 0; st_rejected = 0; st_guard_checks = 0 }
+
+let stats_copy s = { s with st_hits = s.st_hits }
+
+type entry = { e_sv : Supervisor.t }
+
+type t = {
+  policy : Supervisor.policy;
+  cache : entry Lru.t;
+  st : stats;
+  seen : (string, unit) Hashtbl.t;  (* every key ever, beyond the LRU *)
+  batches : (int, int) Hashtbl.t;   (* batch size -> count *)
+  (* Single-entry canonical-hash memo, keyed by physical equality: a
+     soak serves the same function value thousands of times and must not
+     re-print + re-hash the AST per request. *)
+  mutable hash_memo : (Stmt.func * string) option;
+}
+
+let create ?(capacity = 16) ~policy () =
+  { policy;
+    cache = Lru.create ~capacity;
+    st = stats_make ();
+    seen = Hashtbl.create 64;
+    batches = Hashtbl.create 8;
+    hash_memo = None }
+
+let stats t = t.st
+let distinct_keys t = Hashtbl.length t.seen
+let cache_length t = Lru.length t.cache
+
+let canonical_hash t (fn : Stmt.func) =
+  match t.hash_memo with
+  | Some (fn', h) when fn' == fn -> h
+  | _ ->
+    let h = Canon.canonical_hash fn in
+    t.hash_memo <- Some (fn, h);
+    h
+
+(* Everything that affects the compiled closures goes in the key; the
+   supervisor always compiles with hooks, so that flag is fixed. *)
+let key_of t ?(sizes = []) (fn : Stmt.func) =
+  let sizes =
+    List.sort (fun (a, _) (b, _) -> compare a b) sizes
+    |> List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+    |> String.concat ","
+  in
+  let chain =
+    String.concat ">" (List.map Supervisor.backend_name t.policy.backends)
+  in
+  Printf.sprintf "%s;sizes=%s;chain=%s;retries=%d;guard=%b;lower=%b"
+    (canonical_hash t fn) sizes chain t.policy.retries t.policy.guard
+    (Ft_lower.Pass.enabled ())
+
+(* Shape specialization: substitute the size binding into the body and
+   the declared parameter shapes, then simplify — loop bounds and shape
+   arithmetic fold to constants, so the compiled artifact gets constant
+   strides and the strength-reduced fast path.  The specialized function
+   runs with an empty size binding. *)
+let specialize (fn : Stmt.func) (sizes : (string * int) list) : Stmt.func =
+  if sizes = [] then fn
+  else begin
+    let env n = Option.map Expr.int (List.assoc_opt n sizes) in
+    let subst = Expr.subst_var env in
+    let params =
+      List.map
+        (fun (p : Stmt.param) ->
+          match p.Stmt.p_shape with
+          | Stmt.Any_dim -> p
+          | Stmt.Fixed es ->
+            { p with Stmt.p_shape = Stmt.Fixed (List.map subst es) })
+        fn.Stmt.fn_params
+    in
+    Ft_passes.Simplify.run
+      { fn with
+        Stmt.fn_params = params;
+        Stmt.fn_body = Stmt.map_exprs subst fn.Stmt.fn_body }
+  end
+
+type request = {
+  rq_id : int;
+  rq_fn : Stmt.func;
+  rq_sizes : (string * int) list;
+  rq_args : (string * Tensor.t) list;
+  rq_plan : Machine.Fault_plan.t option;
+}
+
+let request ?(sizes = []) ?plan ~id fn args =
+  { rq_id = id; rq_fn = fn; rq_sizes = sizes; rq_args = args;
+    rq_plan = plan }
+
+type status =
+  | Completed of Supervisor.outcome
+  | Rejected of Diag.t
+
+type response = {
+  rs_id : int;
+  rs_key : string;
+  rs_hit : bool;
+  rs_guard_checks : int;
+  rs_status : status;
+}
+
+let served r =
+  match r.rs_status with
+  | Completed o -> o.Supervisor.result <> None
+  | Rejected _ -> false
+
+let lookup t (rq : request) : string * entry * bool =
+  let key = key_of t ~sizes:rq.rq_sizes rq.rq_fn in
+  match Lru.find t.cache key with
+  | Some e ->
+    t.st.st_hits <- t.st.st_hits + 1;
+    (key, e, true)
+  | None ->
+    t.st.st_misses <- t.st.st_misses + 1;
+    t.st.st_compiles <- t.st.st_compiles + 1;
+    if not (Hashtbl.mem t.seen key) then Hashtbl.add t.seen key ();
+    let fn = specialize rq.rq_fn rq.rq_sizes in
+    let e = { e_sv = Supervisor.prepare ~policy:t.policy fn } in
+    (match Lru.add t.cache key e with
+     | None -> ()
+     | Some _ -> t.st.st_evictions <- t.st.st_evictions + 1);
+    (key, e, false)
+
+(* Admission control: a request whose argument footprint alone exceeds
+   the memory budget can never complete on a budgeted backend — reject
+   it up front instead of letting it churn through the chain. *)
+let admit t (rq : request) : Diag.t option =
+  match t.policy.Supervisor.mem_budget_bytes with
+  | None -> None
+  | Some cap ->
+    let footprint =
+      List.fold_left (fun a (_, x) -> a + Tensor.byte_size x) 0 rq.rq_args
+    in
+    if footprint <= cap then None
+    else
+      Some
+        (Diag.make ~code:Diag.Oom ~fn:rq.rq_fn.Stmt.fn_name
+           (Printf.sprintf
+              "admission: request footprint %d bytes exceeds the %d-byte \
+               memory budget"
+              footprint cap))
+
+let serve_one t (rq : request) : response =
+  match admit t rq with
+  | Some d ->
+    t.st.st_rejected <- t.st.st_rejected + 1;
+    { rs_id = rq.rq_id;
+      rs_key = key_of t ~sizes:rq.rq_sizes rq.rq_fn;
+      rs_hit = false; rs_guard_checks = 0; rs_status = Rejected d }
+  | None ->
+    let key, e, hit = lookup t rq in
+    (* Artifacts are cached and reused, so raw guard counters accumulate
+       across requests; report this request's work as a snapshot delta. *)
+    let snaps =
+      List.map
+        (fun (_, g) -> (g, Compile_exec.guard_snapshot g))
+        (Supervisor.guard_stats e.e_sv)
+    in
+    let o = Supervisor.exec ?plan:rq.rq_plan e.e_sv rq.rq_args in
+    let checks =
+      List.fold_left
+        (fun a (g, s) -> a + Compile_exec.guard_checks_since g s)
+        0 snaps
+    in
+    t.st.st_guard_checks <- t.st.st_guard_checks + checks;
+    (match o.Supervisor.result with
+     | None ->
+       t.st.st_failed <- t.st.st_failed + 1
+     | Some _ when o.Supervisor.degraded ->
+       t.st.st_degraded <- t.st.st_degraded + 1
+     | Some _ when o.Supervisor.retried ->
+       t.st.st_retried <- t.st.st_retried + 1
+     | Some _ -> t.st.st_served_clean <- t.st.st_served_clean + 1);
+    (* A demotion or fail-closed taints the artifact's primary: drop the
+       entry so the next request compiles fresh instead of replaying a
+       degraded closure. *)
+    if o.Supervisor.result = None || o.Supervisor.degraded then begin
+      if Lru.mem t.cache key then begin
+        Lru.remove t.cache key;
+        t.st.st_invalidations <- t.st.st_invalidations + 1
+      end
+    end;
+    { rs_id = rq.rq_id; rs_key = key; rs_hit = hit;
+      rs_guard_checks = checks; rs_status = Completed o }
+
+let record_batch t size =
+  if size > 0 then
+    Hashtbl.replace t.batches size
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.batches size))
+
+let batch_histogram t =
+  List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) t.batches [])
+
+(* One batch group shares a single budget scope; the supervisor sees it
+   active and uses it instead of stacking per-attempt budgets. *)
+let in_group_scope t f =
+  match t.policy.Supervisor.mem_budget_bytes with
+  | Some cap when not (Tensor.budget_active ()) ->
+    Tensor.with_budget ~fn:"serve-batch" cap f
+  | _ -> f ()
+
+let serve t rq =
+  record_batch t 1;
+  serve_one t rq
+
+let serve_batch t (rqs : request list) : response list =
+  (* Stable grouping by cache key: first arrival decides group order,
+     members keep arrival order inside their group. *)
+  let order = ref [] in
+  let groups : (string, request list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun rq ->
+      let key = key_of t ~sizes:rq.rq_sizes rq.rq_fn in
+      match Hashtbl.find_opt groups key with
+      | Some l -> l := rq :: !l
+      | None ->
+        Hashtbl.add groups key (ref [ rq ]);
+        order := key :: !order)
+    rqs;
+  let responses =
+    List.concat_map
+      (fun key ->
+        let members = List.rev !(Hashtbl.find groups key) in
+        record_batch t (List.length members);
+        in_group_scope t (fun () -> List.map (serve_one t) members))
+      (List.rev !order)
+  in
+  (* Back to request order. *)
+  let by_id = Hashtbl.create (List.length responses) in
+  List.iter (fun r -> Hashtbl.replace by_id r.rs_id r) responses;
+  List.map (fun rq -> Hashtbl.find by_id rq.rq_id) rqs
+
+(* ------------------------------------------------------------------ *)
+(* Soak driver *)
+
+type soak_config = {
+  so_seed : int;
+  so_requests : int;
+  so_rate : float;
+  so_batch : int;
+}
+
+type soak_report = {
+  sk_requests : int;
+  sk_served_clean : int;
+  sk_retried : int;
+  sk_degraded : int;
+  sk_failed : int;
+  sk_rejected : int;
+  sk_makespan_s : float;
+  sk_throughput_rps : float;
+  sk_p50_ms : float;
+  sk_p99_ms : float;
+  sk_hit_rate : float;
+  sk_compiles : int;
+  sk_distinct_keys : int;
+  sk_recompiles_after_warmup : int;
+  sk_evictions : int;
+  sk_invalidations : int;
+  sk_guard_checks : int;
+  sk_batch_hist : (int * int) list;
+}
+
+(* splitmix64-style mixer, shared idiom with Machine.Fault_plan:
+   deterministic across OCaml versions, unlike Random.State. *)
+let mix seed k =
+  let z =
+    Int64.add (Int64.of_int seed)
+      (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (k + 1)))
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+
+(* Uniform in (0, 1]: never 0, so [log] below is safe. *)
+let u01 seed k = (float_of_int (mix seed k) +. 1.0) /. 0x1p62
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(int_of_float (q *. float_of_int (n - 1)))
+
+let soak ?(on_response = fun _ _ -> ()) t ~(cfg : soak_config)
+    ~(make_request : int -> request) : soak_report =
+  if cfg.so_requests < 1 then invalid_arg "Serve.soak: requests must be >= 1";
+  if cfg.so_rate <= 0.0 then invalid_arg "Serve.soak: rate must be > 0";
+  if cfg.so_batch < 1 then invalid_arg "Serve.soak: batch must be >= 1";
+  let n = cfg.so_requests in
+  (* Open-loop: exponential inter-arrivals at [so_rate] req/s. *)
+  let arrivals = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (-.log (u01 cfg.so_seed i) /. cfg.so_rate);
+    arrivals.(i) <- !acc
+  done;
+  let before = stats_copy t.st in
+  let keys_before = distinct_keys t in
+  let hist_before = batch_histogram t in
+  let latencies = Array.make n 0.0 in
+  let clean = ref 0 and retried = ref 0 and degraded = ref 0 in
+  let failed = ref 0 and rejected = ref 0 in
+  let now = ref 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    (* Idle until the next arrival, then drain up to [so_batch] queued
+       requests as one batch.  Requests are materialized lazily, one at
+       a time, so batch members may share argument buffers. *)
+    if arrivals.(!i) > !now then now := arrivals.(!i);
+    let first = !i in
+    while !i < n && !i - first < cfg.so_batch && arrivals.(!i) <= !now do
+      incr i
+    done;
+    let count = !i - first in
+    record_batch t count;
+    let t0 = Unix.gettimeofday () in
+    in_group_scope t (fun () ->
+        for j = first to !i - 1 do
+          let r = serve_one t (make_request j) in
+          (match r.rs_status with
+           | Rejected _ -> incr rejected
+           | Completed o ->
+             (match o.Supervisor.result with
+              | None -> incr failed
+              | Some _ when o.Supervisor.degraded -> incr degraded
+              | Some _ when o.Supervisor.retried -> incr retried
+              | Some _ -> incr clean));
+          on_response j r
+        done);
+    let service = Unix.gettimeofday () -. t0 in
+    now := !now +. service;
+    (* The batch completes as a unit on the simulated timeline. *)
+    for j = first to !i - 1 do
+      latencies.(j) <- !now -. arrivals.(j)
+    done
+  done;
+  let makespan = !now in
+  Array.sort compare latencies;
+  let d get = get t.st - get before in
+  let hits = d (fun s -> s.st_hits) in
+  let compiles = d (fun s -> s.st_compiles) in
+  let new_keys = distinct_keys t - keys_before in
+  (* Steady state: discount each key's compulsory first miss. *)
+  let steady_lookups = hits + compiles - new_keys in
+  let hit_rate =
+    if steady_lookups <= 0 then 1.0
+    else float_of_int hits /. float_of_int steady_lookups
+  in
+  let hist_delta =
+    List.filter_map
+      (fun (size, count) ->
+        let prior =
+          Option.value ~default:0 (List.assoc_opt size hist_before)
+        in
+        if count > prior then Some (size, count - prior) else None)
+      (batch_histogram t)
+  in
+  { sk_requests = n;
+    sk_served_clean = !clean;
+    sk_retried = !retried;
+    sk_degraded = !degraded;
+    sk_failed = !failed;
+    sk_rejected = !rejected;
+    sk_makespan_s = makespan;
+    sk_throughput_rps = float_of_int n /. Float.max 1e-9 makespan;
+    sk_p50_ms = 1e3 *. percentile latencies 0.50;
+    sk_p99_ms = 1e3 *. percentile latencies 0.99;
+    sk_hit_rate = hit_rate;
+    sk_compiles = compiles;
+    sk_distinct_keys = new_keys;
+    sk_recompiles_after_warmup = compiles - new_keys;
+    sk_evictions = d (fun s -> s.st_evictions);
+    sk_invalidations = d (fun s -> s.st_invalidations);
+    sk_guard_checks = d (fun s -> s.st_guard_checks);
+    sk_batch_hist = hist_delta }
+
+let soak_report_to_string r =
+  let pct x = 100.0 *. float_of_int x /. float_of_int r.sk_requests in
+  String.concat "\n"
+    [ Printf.sprintf
+        "%d request(s) drained in %.3fs simulated  (%.1f req/s)"
+        r.sk_requests r.sk_makespan_s r.sk_throughput_rps;
+      Printf.sprintf
+        "  served clean %4d (%5.1f%%)   retried %d   degraded %d   \
+         failed %d   rejected %d"
+        r.sk_served_clean (pct r.sk_served_clean) r.sk_retried
+        r.sk_degraded r.sk_failed r.sk_rejected;
+      Printf.sprintf "  latency p50 %.3fms   p99 %.3fms" r.sk_p50_ms
+        r.sk_p99_ms;
+      Printf.sprintf
+        "  cache: steady-state hit-rate %.1f%%   %d compile(s) for %d \
+         distinct key(s)   %d recompile(s) after warmup"
+        (100.0 *. r.sk_hit_rate) r.sk_compiles r.sk_distinct_keys
+        r.sk_recompiles_after_warmup;
+      Printf.sprintf "  cache: %d eviction(s)   %d invalidation(s)"
+        r.sk_evictions r.sk_invalidations;
+      Printf.sprintf "  guard checks executed: %d" r.sk_guard_checks;
+      Printf.sprintf "  batches (size x count): %s"
+        (if r.sk_batch_hist = [] then "-"
+         else
+           String.concat "  "
+             (List.map
+                (fun (s, c) -> Printf.sprintf "%dx%d" s c)
+                r.sk_batch_hist)) ]

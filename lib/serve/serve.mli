@@ -1,0 +1,185 @@
+(** Multi-tenant serving layer: a persistent compiled-artifact cache in
+    front of the execution supervisor, with request batching and an
+    open-loop soak driver.
+
+    {2 Artifact cache}
+
+    Compiling a function (twice: parallel and sequential backends, with
+    supervisor hooks) dominates small-request latency, so a server keeps
+    prepared {!Ft_backend.Supervisor} artifacts in a bounded LRU keyed on
+    everything that affects the compiled closures:
+
+    - the function's canonical hash ({!Ft_ir.Canon} — alpha-equivalent
+      programs share artifacts),
+    - the static-shape binding (the request's size-variable values; a
+      miss {e shape-specializes} the function by substituting the sizes
+      and simplifying, so the cached artifact runs with constant shapes),
+    - the backend chain, retry count and guard flag of the policy,
+    - the lowering-pipeline gate ([FT_LOWER]) in effect at compile time.
+
+    Entries are invalidated when serving through them demotes the
+    request down the backend chain or fails closed — the artifact's
+    primary is suspect, so the next request recompiles fresh rather than
+    replaying a degraded closure.
+
+    {2 Batching and budgets}
+
+    [serve_batch] groups compatible requests (same cache key) and serves
+    each group under one shared scoped {!Ft_runtime.Tensor} memory
+    budget ([policy.mem_budget_bytes]); the supervisor detects the
+    enclosing scope and does not stack its own.  Group members drain
+    {e sequentially} on the master domain — the supervisor's run context
+    is process-global and compiled closures bind arguments through
+    shared cells, so concurrent [Supervisor.exec] calls would race —
+    while each member's parallel loops fan out on the {!Exec_par} domain
+    pool.  Admission control rejects (never executes) a request whose
+    argument footprint alone exceeds the budget.
+
+    All serving runs on the master domain; a server is not thread-safe. *)
+
+open Ft_ir
+open Ft_runtime
+module Machine = Ft_machine.Machine
+module Supervisor = Ft_backend.Supervisor
+
+(** {1 Server} *)
+
+(** Monotonic counters.  Cache counters ([hits] .. [invalidations])
+    count lookups; request counters ([served_clean] .. [rejected]) count
+    requests; [guard_checks] totals per-request runtime bounds-check
+    deltas (meaningful only under a [guard] policy). *)
+type stats = {
+  mutable st_hits : int;
+  mutable st_misses : int;        (** lookups that shape-specialized + compiled *)
+  mutable st_compiles : int;      (** = misses; kept distinct for clarity *)
+  mutable st_evictions : int;     (** LRU casualties *)
+  mutable st_invalidations : int; (** entries dropped after demotion / fail-closed *)
+  mutable st_served_clean : int;
+  mutable st_retried : int;       (** served after transient retry on the primary *)
+  mutable st_degraded : int;      (** served by a backend below the primary *)
+  mutable st_failed : int;        (** failed closed *)
+  mutable st_rejected : int;      (** refused by admission control *)
+  mutable st_guard_checks : int;
+}
+
+val stats_copy : stats -> stats
+
+type t
+
+(** [create ~policy ()] with an artifact cache of [capacity] entries
+    (default 16). *)
+val create : ?capacity:int -> policy:Supervisor.policy -> unit -> t
+
+val stats : t -> stats
+
+(** Cache keys ever observed (not bounded by the LRU): the denominator
+    for "recompiles after warmup". *)
+val distinct_keys : t -> int
+
+(** Current cache occupancy. *)
+val cache_length : t -> int
+
+(** The cache key [serve] would use — exposed for tests and reports. *)
+val key_of : t -> ?sizes:(string * int) list -> Stmt.func -> string
+
+(** {1 Requests} *)
+
+type request = {
+  rq_id : int;
+  rq_fn : Stmt.func;
+  rq_sizes : (string * int) list;  (** size-variable binding, specialized away *)
+  rq_args : (string * Tensor.t) list;
+  rq_plan : Machine.Fault_plan.t option;  (** per-request fault injection *)
+}
+
+val request :
+  ?sizes:(string * int) list ->
+  ?plan:Machine.Fault_plan.t ->
+  id:int ->
+  Stmt.func ->
+  (string * Tensor.t) list ->
+  request
+
+type status =
+  | Completed of Supervisor.outcome
+  | Rejected of Diag.t  (** admission control; the request never executed *)
+
+type response = {
+  rs_id : int;
+  rs_key : string;
+  rs_hit : bool;  (** served through an already-cached artifact *)
+  rs_guard_checks : int;
+      (** runtime bounds checks this request executed (guard policies) *)
+  rs_status : status;
+}
+
+(** [true] iff the request completed with a serving backend. *)
+val served : response -> bool
+
+(** Serve one request (admission check, cache lookup or
+    specialize+compile, supervised execution, invalidation on
+    demotion).  Never raises. *)
+val serve : t -> request -> response
+
+(** Serve a batch: requests are grouped by cache key (stable — first
+    arrival decides group order), each group runs under one shared
+    budget scope, and responses come back in request order.  The
+    batch-size histogram records one entry per group. *)
+val serve_batch : t -> request list -> response list
+
+(** Batch-size histogram observed so far: [(size, count)] sorted by
+    size.  [serve] counts as a batch of 1. *)
+val batch_histogram : t -> (int * int) list
+
+(** {1 Soak driver}
+
+    Seeded open-loop load: arrival times are drawn from an exponential
+    inter-arrival distribution (splitmix64 mixer — deterministic across
+    OCaml versions) at [so_rate] requests/second and requests queue for
+    a single batching server.  Service time is measured wall-clock;
+    latency is completion minus arrival on the simulated timeline, so
+    percentiles reflect queueing as well as execution. *)
+
+type soak_config = {
+  so_seed : int;
+  so_requests : int;
+  so_rate : float;   (** mean arrivals per second, > 0 *)
+  so_batch : int;    (** max requests drained per batch, >= 1 *)
+}
+
+type soak_report = {
+  sk_requests : int;
+  sk_served_clean : int;
+  sk_retried : int;
+  sk_degraded : int;
+  sk_failed : int;
+  sk_rejected : int;
+  sk_makespan_s : float;     (** simulated time to drain the load *)
+  sk_throughput_rps : float; (** requests / makespan *)
+  sk_p50_ms : float;
+  sk_p99_ms : float;
+  sk_hit_rate : float;
+      (** steady-state: hits / (lookups - each key's compulsory first
+          miss); 1.0 when every request after warmup hit *)
+  sk_compiles : int;
+  sk_distinct_keys : int;    (** new cache keys this soak introduced *)
+  sk_recompiles_after_warmup : int;  (** compiles - distinct keys *)
+  sk_evictions : int;
+  sk_invalidations : int;
+  sk_guard_checks : int;
+  sk_batch_hist : (int * int) list;  (** batches formed, by size *)
+}
+
+(** [soak t ~cfg ~make_request] drains [cfg.so_requests] requests.
+    [make_request i] is called immediately before request [i] executes
+    (requests may share argument buffers: restore them there), and
+    [on_response] right after each response — e.g. for bitwise checks
+    against fresh-compile references. *)
+val soak :
+  ?on_response:(int -> response -> unit) ->
+  t ->
+  cfg:soak_config ->
+  make_request:(int -> request) ->
+  soak_report
+
+val soak_report_to_string : soak_report -> string

@@ -19,5 +19,6 @@ let () =
       ("guard", Test_guard.suite);
       ("libop", Test_libop.suite);
       ("supervisor", Test_supervisor.suite);
+      ("serve", Test_serve.suite);
       ("litmus", Test_litmus.suite);
       ("lower", Test_lower.suite) ]

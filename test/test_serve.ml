@@ -1,0 +1,392 @@
+(* Multi-tenant serving layer: artifact cache, batching, budgets.
+
+   Load-bearing properties, at fuzz scale (QCHECK_COUNT):
+   - N domains allocating under one shared scoped budget never observe
+     the live counter above the cap, and it returns to zero once every
+     chunk has freed its allocations;
+   - random parallel programs served through a *cached* artifact at pool
+     sizes {1, 2, 8} stay bitwise-identical to fresh fault-free compiles
+     of the serving backend.
+
+   Plus deterministic units: LRU bounds and recency, shape
+   specialization and per-size-binding cache keys, hit/miss accounting,
+   invalidation on demotion, batch grouping with responses in request
+   order, admission control against the memory budget, and per-request
+   guard-check deltas for reused artifacts. *)
+
+open Ft_ir
+open Ft_runtime
+module Exec_par = Ft_backend.Exec_par
+module Supervisor = Ft_backend.Supervisor
+module Machine = Ft_machine.Machine
+module Serve = Ft_serve.Serve
+module Lru = Ft_serve.Lru
+
+let n = Gen_prog.iterations
+let () = Ft_backend.Compile_exec.race_logger := ignore
+
+let i = Expr.int
+let v = Expr.var
+
+let bits_equal t1 t2 =
+  Tensor.shape t1 = Tensor.shape t2
+  && (let ok = ref true in
+      for k = 0 to Tensor.numel t1 - 1 do
+        if
+          Int64.bits_of_float (Tensor.get_flat_f t1 k)
+          <> Int64.bits_of_float (Tensor.get_flat_f t2 k)
+        then ok := false
+      done;
+      !ok)
+
+let outs_bits_equal (y1, z1) (y2, z2) = bits_equal y1 y2 && bits_equal z1 z2
+
+let with_domains k f =
+  let saved = Exec_par.num_domains () in
+  Exec_par.set_num_domains k;
+  Fun.protect ~finally:(fun () -> Exec_par.set_num_domains saved) f
+
+let completed (r : Serve.response) =
+  match r.Serve.rs_status with
+  | Serve.Completed o -> o
+  | Serve.Rejected d -> Alcotest.failf "rejected: %s" (Diag.to_string d)
+
+(* ------------------------------------------------------------------ *)
+(* Shared budget across domains                                       *)
+
+(* Chunk bodies allocate concurrently under one scoped budget, freeing
+   at chunk end.  The cap must never be (observably) exceeded, an OOM
+   refusal must credit back what it charged, and draining every chunk
+   must return the counter to exactly zero. *)
+let check_shared_budget (domains, chunks, seed) =
+  with_domains domains (fun () ->
+      let cap = 4096 in
+      let violated = Atomic.make false in
+      Tensor.with_budget ~fn:"prop" cap (fun () ->
+          Exec_par.run_chunks chunks (fun c ->
+              let allocs = ref [] in
+              let k = 1 + ((seed + (c * 37)) mod 8) in
+              for a = 0 to k - 1 do
+                let len = 16 * (1 + ((seed + (c * 13) + (a * 7)) mod 16)) in
+                (match Tensor.create Types.F32 [| len |] with
+                 | t -> allocs := t :: !allocs
+                 | exception Diag.Diag_error _ -> ());
+                if Tensor.live_bytes () > cap then Atomic.set violated true
+              done;
+              List.iter Tensor.arena_free !allocs);
+          (not (Atomic.get violated)) && Tensor.live_bytes () = 0))
+
+let prop_shared_budget =
+  QCheck2.Test.make ~count:(n 50)
+    ~name:
+      "N domains under one shared budget: cap never exceeded, counter \
+       drains to zero"
+    QCheck2.Gen.(triple (int_range 1 4) (int_range 2 16) (int_bound 99999))
+    check_shared_budget
+
+(* ------------------------------------------------------------------ *)
+(* Cached artifacts across pool sizes                                 *)
+
+let all_backends =
+  [ Supervisor.Parallel; Supervisor.Compiled; Supervisor.Interp_ref ]
+
+let references fn =
+  List.map
+    (fun b ->
+      let args = Gen_prog.fresh_args () in
+      let policy =
+        { Supervisor.default_policy with Supervisor.backends = [ b ] }
+      in
+      let oc = Supervisor.run ~policy fn args in
+      if oc.Supervisor.result <> Some b then
+        Alcotest.failf "fault-free %s run did not serve"
+          (Supervisor.backend_name b);
+      (b, Gen_prog.outputs args))
+    all_backends
+
+let check_cached_pool_sizes fn =
+  let refs = references fn in
+  let srv = Serve.create ~policy:Supervisor.default_policy () in
+  List.for_all
+    (fun d ->
+      with_domains d (fun () ->
+          let args = Gen_prog.fresh_args () in
+          let r = Serve.serve srv (Serve.request ~id:d fn args) in
+          let o = completed r in
+          (* first pool size compiles; the rest must reuse the artifact *)
+          r.Serve.rs_hit = (d <> 1)
+          &&
+          match o.Supervisor.result with
+          | Some b ->
+            outs_bits_equal (Gen_prog.outputs args) (List.assoc b refs)
+          | None -> false))
+    [ 1; 2; 8 ]
+
+let prop_cached_pool_sizes =
+  QCheck2.Test.make ~count:(n 15)
+    ~name:
+      "random parallel programs: cached artifacts at pool sizes {1,2,8} \
+       bitwise-match fresh compiles"
+    Gen_prog.gen_par_func check_cached_pool_sizes
+
+(* ------------------------------------------------------------------ *)
+(* LRU units                                                          *)
+
+let test_lru () =
+  let l = Lru.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Lru.capacity l);
+  Alcotest.(check bool) "no eviction under capacity" true
+    (Lru.add l "a" 1 = None && Lru.add l "b" 2 = None);
+  (* touching [a] makes [b] the LRU casualty of the next insert *)
+  Alcotest.(check (option int)) "find touches" (Some 1) (Lru.find l "a");
+  (match Lru.add l "c" 3 with
+   | Some ("b", 2) -> ()
+   | Some (k, _) -> Alcotest.failf "evicted %s, wanted b" k
+   | None -> Alcotest.fail "no eviction at capacity");
+  Alcotest.(check bool) "b gone, a and c live" true
+    ((not (Lru.mem l "b")) && Lru.mem l "a" && Lru.mem l "c");
+  (* replacing is not an insert: no eviction, value updated, MRU *)
+  Alcotest.(check bool) "replace evicts nothing" true
+    (Lru.add l "a" 10 = None);
+  Alcotest.(check (option int)) "replaced value" (Some 10) (Lru.find l "a");
+  Alcotest.(check (list (pair string int))) "MRU order"
+    [ ("a", 10); ("c", 3) ] (Lru.to_list l);
+  Lru.remove l "a";
+  Alcotest.(check int) "remove drops" 1 (Lru.length l);
+  (match Lru.create ~capacity:0 with
+   | _ -> Alcotest.fail "capacity 0 accepted"
+   | exception Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Shape specialization and cache keys                                *)
+
+(* y[a] = 2*x[a] over a free size variable n. *)
+let sized_fn () =
+  Stmt.func "sized"
+    [ Stmt.param "x" Types.F32 [ v "n" ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n" ] ]
+    (Stmt.for_ "a" (i 0) (v "n")
+       (Stmt.store "y" [ v "a" ]
+          (Expr.mul (Expr.load "x" [ v "a" ]) (Expr.float 2.))))
+
+let sized_args numel =
+  [ ("x", Tensor.rand ~seed:5 Types.F32 [| numel |]);
+    ("y", Tensor.zeros Types.F32 [| numel |]) ]
+
+let check_doubled args =
+  let x = List.assoc "x" args and y = List.assoc "y" args in
+  for k = 0 to Tensor.numel y - 1 do
+    if
+      Int64.bits_of_float (2. *. Tensor.get_flat_f x k)
+      <> Int64.bits_of_float (Tensor.get_flat_f y k)
+    then Alcotest.fail "served result is not 2*x"
+  done
+
+let test_specialization () =
+  let fn = sized_fn () in
+  let srv = Serve.create ~policy:Supervisor.default_policy () in
+  Alcotest.(check bool) "size bindings key separately" true
+    (Serve.key_of srv ~sizes:[ ("n", 8) ] fn
+     <> Serve.key_of srv ~sizes:[ ("n", 16) ] fn);
+  let serve numel sizes =
+    let args = sized_args numel in
+    let r = Serve.serve srv (Serve.request ~sizes ~id:numel fn args) in
+    ignore (completed r);
+    check_doubled args;
+    r
+  in
+  let r1 = serve 8 [ ("n", 8) ] in
+  let r2 = serve 8 [ ("n", 8) ] in
+  let r3 = serve 16 [ ("n", 16) ] in
+  Alcotest.(check bool) "miss, hit, miss" true
+    ((not r1.Serve.rs_hit) && r2.Serve.rs_hit && not r3.Serve.rs_hit);
+  let st = Serve.stats srv in
+  Alcotest.(check int) "hits" 1 st.Serve.st_hits;
+  Alcotest.(check int) "compiles" 2 st.Serve.st_compiles;
+  Alcotest.(check int) "distinct keys" 2 (Serve.distinct_keys srv);
+  Alcotest.(check int) "all served clean" 3 st.Serve.st_served_clean
+
+let test_lru_eviction_recompiles () =
+  let fn = sized_fn () in
+  let srv = Serve.create ~capacity:1 ~policy:Supervisor.default_policy () in
+  let serve numel =
+    ignore
+      (completed
+         (Serve.serve srv
+            (Serve.request ~sizes:[ ("n", numel) ] ~id:numel fn
+               (sized_args numel))))
+  in
+  serve 8;
+  serve 16;  (* evicts n=8 *)
+  serve 8;   (* recompiles *)
+  let st = Serve.stats srv in
+  Alcotest.(check int) "evictions" 2 st.Serve.st_evictions;
+  Alcotest.(check int) "compiles" 3 st.Serve.st_compiles;
+  Alcotest.(check int) "distinct keys stay 2" 2 (Serve.distinct_keys srv)
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation on demotion                                           *)
+
+let test_invalidate_on_demotion () =
+  let fn = sized_fn () in
+  let srv = Serve.create ~policy:Supervisor.default_policy () in
+  let serve ?plan id =
+    completed
+      (Serve.serve srv
+         (Serve.request ~sizes:[ ("n", 8) ] ?plan ~id fn (sized_args 8)))
+  in
+  ignore (serve 0);
+  (* an injected OOM on the first kernel demotes parallel -> compiled:
+     the artifact's primary is suspect, so the entry is dropped *)
+  let o =
+    serve ~plan:(Machine.Fault_plan.of_list [ (0, Machine.F_oom) ]) 1
+  in
+  Alcotest.(check bool) "demoted" true o.Supervisor.degraded;
+  let st = Serve.stats srv in
+  Alcotest.(check int) "invalidated" 1 st.Serve.st_invalidations;
+  (* next request recompiles fresh, then the one after hits again *)
+  ignore (serve 2);
+  ignore (serve 3);
+  Alcotest.(check int) "compiles" 2 st.Serve.st_compiles;
+  Alcotest.(check int) "hits" 2 st.Serve.st_hits;
+  Alcotest.(check int) "degraded count" 1 st.Serve.st_degraded
+
+(* ------------------------------------------------------------------ *)
+(* Batching                                                           *)
+
+let test_batch_grouping () =
+  let fn = sized_fn () in
+  let srv = Serve.create ~policy:Supervisor.default_policy () in
+  (* interleaved size bindings: grouping is by cache key, responses come
+     back in request order *)
+  let mk id numel =
+    Serve.request ~sizes:[ ("n", numel) ] ~id fn (sized_args numel)
+  in
+  let rqs = [ mk 0 8; mk 1 16; mk 2 8; mk 3 16; mk 4 8 ] in
+  let rs = Serve.serve_batch srv rqs in
+  Alcotest.(check (list int)) "request order preserved" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun r -> r.Serve.rs_id) rs);
+  List.iter (fun r -> ignore (completed r)) rs;
+  Alcotest.(check (list (pair int int))) "two groups: sizes 3 and 2"
+    [ (2, 1); (3, 1) ]
+    (Serve.batch_histogram srv);
+  let st = Serve.stats srv in
+  (* one compile per group, the rest hits *)
+  Alcotest.(check int) "compiles" 2 st.Serve.st_compiles;
+  Alcotest.(check int) "hits" 3 st.Serve.st_hits
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                  *)
+
+let test_admission_control () =
+  let fn = sized_fn () in
+  let policy =
+    { Supervisor.default_policy with Supervisor.mem_budget_bytes = Some 16 }
+  in
+  let srv = Serve.create ~policy () in
+  let r =
+    Serve.serve srv
+      (Serve.request ~sizes:[ ("n", 8) ] ~id:0 fn (sized_args 8))
+  in
+  (match r.Serve.rs_status with
+   | Serve.Rejected d ->
+     Alcotest.(check string) "oom diagnostic" "oom"
+       (Diag.code_to_string d.Diag.dg_code)
+   | Serve.Completed _ -> Alcotest.fail "oversized request admitted");
+  let st = Serve.stats srv in
+  Alcotest.(check int) "rejected" 1 st.Serve.st_rejected;
+  Alcotest.(check int) "never compiled" 0 st.Serve.st_compiles;
+  Alcotest.(check bool) "not served" false (Serve.served r)
+
+(* ------------------------------------------------------------------ *)
+(* Guard-check deltas for reused artifacts                            *)
+
+(* Indirect store through idx (no mod: a bare loaded index is beyond the
+   static prover, so the site keeps a runtime check that fires every
+   request; idx values are generated in-bounds). *)
+let indirect_fn () =
+  Stmt.func "indirect"
+    [ Stmt.param "x" Types.F32 [ i 12 ];
+      Stmt.param "idx" Types.I32 [ i 12 ];
+      Stmt.param ~atype:Types.Output "y" Types.F32 [ i 12 ] ]
+    (Stmt.for_ "a" (i 0) (i 12)
+       (Stmt.store "y"
+          [ Expr.load "idx" [ v "a" ] ]
+          (Expr.load "x" [ v "a" ])))
+
+let test_guard_delta_per_request () =
+  let fn = indirect_fn () in
+  let policy = { Supervisor.default_policy with Supervisor.guard = true } in
+  let srv = Serve.create ~policy () in
+  let args () =
+    [ ("x", Tensor.rand ~seed:7 Types.F32 [| 12 |]);
+      ("idx", Tensor.randint ~seed:8 ~lo:0 ~hi:12 Types.I32 [| 12 |]);
+      ("y", Tensor.zeros Types.F32 [| 12 |]) ]
+  in
+  let r1 = Serve.serve srv (Serve.request ~id:0 fn (args ())) in
+  let r2 = Serve.serve srv (Serve.request ~id:1 fn (args ())) in
+  ignore (completed r1);
+  ignore (completed r2);
+  Alcotest.(check bool) "runtime checks executed" true
+    (r1.Serve.rs_guard_checks > 0);
+  (* regression: the raw counter accumulates across runs of the cached
+     artifact; the per-request report must be a snapshot delta, not the
+     ever-growing total *)
+  Alcotest.(check int) "second request reports its own work, not the total"
+    r1.Serve.rs_guard_checks r2.Serve.rs_guard_checks;
+  Alcotest.(check bool) "second request hit the cache" true
+    r2.Serve.rs_hit
+
+(* ------------------------------------------------------------------ *)
+(* Soak determinism                                                   *)
+
+let test_soak_deterministic_arrivals () =
+  let fn = sized_fn () in
+  let run () =
+    let srv = Serve.create ~policy:Supervisor.default_policy () in
+    let args = sized_args 8 in
+    let pristine = List.map (fun (n, t) -> (n, Tensor.copy t)) args in
+    let make_request j =
+      List.iter
+        (fun (n, s) -> Tensor.copy_into ~src:s ~dst:(List.assoc n args))
+        pristine;
+      Serve.request ~sizes:[ ("n", 8) ] ~id:j fn args
+    in
+    let cfg =
+      { Serve.so_seed = 42; so_requests = 60; so_rate = 1000.0;
+        so_batch = 4 }
+    in
+    Serve.soak srv ~cfg ~make_request
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check int) "all served" 60 r1.Serve.sk_served_clean;
+  Alcotest.(check int) "one compile" 1 r1.Serve.sk_compiles;
+  Alcotest.(check int) "no recompiles after warmup" 0
+    r1.Serve.sk_recompiles_after_warmup;
+  Alcotest.(check bool) "steady-state hit rate 1.0" true
+    (r1.Serve.sk_hit_rate = 1.0);
+  (* wall-clock service times differ run to run, but the seeded arrival
+     process and everything derived from counters must not *)
+  Alcotest.(check int) "deterministic clean count"
+    r1.Serve.sk_served_clean r2.Serve.sk_served_clean;
+  Alcotest.(check int) "deterministic compiles" r1.Serve.sk_compiles
+    r2.Serve.sk_compiles
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_shared_budget; prop_cached_pool_sizes ]
+  @ [ Alcotest.test_case "LRU bounds and recency" `Quick test_lru;
+      Alcotest.test_case "shape specialization and per-size keys" `Quick
+        test_specialization;
+      Alcotest.test_case "eviction forces recompiles" `Quick
+        test_lru_eviction_recompiles;
+      Alcotest.test_case "demotion invalidates the artifact" `Quick
+        test_invalidate_on_demotion;
+      Alcotest.test_case "batch grouping keeps request order" `Quick
+        test_batch_grouping;
+      Alcotest.test_case "admission control rejects oversized requests"
+        `Quick test_admission_control;
+      Alcotest.test_case "guard checks are per-request deltas" `Quick
+        test_guard_delta_per_request;
+      Alcotest.test_case "soak is deterministic in its seed" `Quick
+        test_soak_deterministic_arrivals ]

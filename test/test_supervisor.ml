@@ -253,6 +253,109 @@ let test_budget_roomy () =
      && not oc.Supervisor.degraded)
 
 (* ------------------------------------------------------------------ *)
+(* Scoped budget API (regression: the old [set_budget] unconditionally
+   zeroed the live counter, silently forgiving leaks and double-charging
+   frees across runs)                                                  *)
+
+let test_budget_scoped () =
+  (* no nesting: a second install while one is active is refused, and
+     the refusal must not disturb the installed scope's live counter *)
+  let b = Tensor.install_budget ~fn:"outer" 65536 in
+  Alcotest.(check bool) "active" true (Tensor.budget_active ());
+  let t = Tensor.zeros Types.F32 [| 16 |] in
+  let live = Tensor.live_bytes () in
+  Alcotest.(check bool) "allocation charged" true (live > 0);
+  (match Tensor.install_budget ~fn:"inner" 1024 with
+   | _ -> Alcotest.fail "nested install_budget did not raise"
+   | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "live counter survives the rejected install" live
+    (Tensor.live_bytes ());
+  (* freeing returns the counter to zero — not because anything reset
+     it, but because the credit-back balances the charge *)
+  Tensor.arena_free t;
+  Alcotest.(check int) "live zero after arena_free" 0 (Tensor.live_bytes ());
+  Tensor.release_budget b;
+  Alcotest.(check bool) "inactive after release" false
+    (Tensor.budget_active ());
+  (* stale handles are refused in both directions *)
+  (match Tensor.release_budget b with
+   | () -> Alcotest.fail "double release did not raise"
+   | exception Invalid_argument _ -> ());
+  let b2 = Tensor.install_budget 1024 in
+  (match Tensor.release_budget b with
+   | () -> Alcotest.fail "releasing a stale handle did not raise"
+   | exception Invalid_argument _ -> ());
+  Tensor.release_budget b2
+
+let test_budget_unbudgeted () =
+  Tensor.with_budget 1024 (fun () ->
+      (* inside [unbudgeted] allocations bypass the scope entirely *)
+      Tensor.unbudgeted (fun () ->
+          let t = Tensor.zeros Types.F32 [| 4096 |] in
+          Alcotest.(check int) "no charge under unbudgeted" 0
+            (Tensor.live_bytes ());
+          Tensor.arena_free t);
+      Alcotest.(check bool) "scope restored" true (Tensor.budget_active ()));
+  Alcotest.(check bool) "scope closed" false (Tensor.budget_active ())
+
+(* ------------------------------------------------------------------ *)
+(* Teardown fencing (regression: teardown ran outside the exception
+   protection, so a fault while building the diagnostic — or a poisoned
+   [on_degrade] — could leak the run context into the next request)    *)
+
+let test_poisoned_on_degrade_leaks_nothing () =
+  let fn = local_fn () in
+  let policy =
+    { Supervisor.default_policy with
+      (* 8 bytes force OOM demotion through both compiled backends *)
+      Supervisor.mem_budget_bytes = Some 8;
+      Supervisor.on_degrade = (fun _ -> failwith "poisoned callback") }
+  in
+  let oc = Supervisor.run ~policy fn (fresh_unit_args ()) in
+  Alcotest.(check bool) "interp still serves" true
+    (oc.Supervisor.result = Some Supervisor.Interp_ref);
+  Alcotest.(check bool) "no run context left installed" false
+    (Machine.supervised ());
+  Alcotest.(check bool) "no budget left installed" false
+    (Tensor.budget_active ());
+  (* the next, fault-free request sees pristine supervision state *)
+  let oc2 =
+    Supervisor.run ~policy:Supervisor.default_policy fn (fresh_unit_args ())
+  in
+  Alcotest.(check bool) "next request serves clean" true
+    (oc2.Supervisor.result = Some Supervisor.Parallel
+     && not oc2.Supervisor.degraded)
+
+(* ------------------------------------------------------------------ *)
+(* retried vs degraded (regression: any absorbed transient used to be
+   reported as degradation)                                           *)
+
+let test_retried_vs_degraded () =
+  let fn = local_fn () in
+  let sv = Supervisor.prepare ~policy:Supervisor.default_policy fn in
+  (* one transient on the first kernel: the primary absorbs it with a
+     retry — served, retried, NOT degraded *)
+  let plan = Machine.Fault_plan.of_list [ (0, Machine.F_compute) ] in
+  let oc = Supervisor.exec ~plan sv (fresh_unit_args ()) in
+  Alcotest.(check bool) "primary served" true
+    (oc.Supervisor.result = Some Supervisor.Parallel);
+  Alcotest.(check bool) "retried" true oc.Supervisor.retried;
+  Alcotest.(check bool) "not degraded" false oc.Supervisor.degraded;
+  (* budget OOM demotes to the interpreter: degraded, not retried *)
+  let policy =
+    { Supervisor.default_policy with Supervisor.mem_budget_bytes = Some 8 }
+  in
+  let oc2 = Supervisor.run ~policy fn (fresh_unit_args ()) in
+  Alcotest.(check bool) "demoted to interp" true
+    (oc2.Supervisor.result = Some Supervisor.Interp_ref);
+  Alcotest.(check bool) "degraded" true oc2.Supervisor.degraded;
+  Alcotest.(check bool) "not retried" false oc2.Supervisor.retried;
+  (* clean run: neither *)
+  let oc3 = Supervisor.exec sv (fresh_unit_args ()) in
+  Alcotest.(check bool) "clean is neither" true
+    ((not oc3.Supervisor.retried) && not oc3.Supervisor.degraded)
+
+(* ------------------------------------------------------------------ *)
 (* Retry exhaustion and backoff                                       *)
 
 let compute_storm = List.init 64 (fun k -> (k, Machine.F_compute))
@@ -432,6 +535,14 @@ let suite =
       Alcotest.test_case "OOM budget falls back to interp" `Quick
         test_oom_budget_fallback;
       Alcotest.test_case "roomy budget is inert" `Quick test_budget_roomy;
+      Alcotest.test_case "budget scope: no nesting, handle-checked release"
+        `Quick test_budget_scoped;
+      Alcotest.test_case "unbudgeted escapes the scope" `Quick
+        test_budget_unbudgeted;
+      Alcotest.test_case "poisoned on_degrade leaks no supervision state"
+        `Quick test_poisoned_on_degrade_leaks_nothing;
+      Alcotest.test_case "retried vs degraded are disjoint" `Quick
+        test_retried_vs_degraded;
       Alcotest.test_case "retry exhaustion fails closed" `Quick
         test_retry_exhaustion_fails_closed;
       Alcotest.test_case "backoff is deterministic" `Quick
