@@ -4,7 +4,7 @@
 
    Usage: main.exe
      [fig16a|fig16b|fig17|fig18|table2|ablation|profile|wallclock
-      |wallclock-json|wallclock-check|all]
+      |wallclock-json|wallclock-check|overload|all]
 
    wallclock-json writes BENCH_wallclock.json (seeded inputs, medians,
    host metadata) for the four runnable workloads; wallclock-check
@@ -527,6 +527,50 @@ let wallclock_check () =
   end;
   print_endline "wallclock-check: ok"
 
+(* overload: offered load vs goodput / shed rate / p99 / deadline misses
+   through the serving layer in virtual time (timeline advances by the
+   cost model's service estimate, so the sweep is deterministic and the
+   x-axis is load relative to modeled saturation).  Default deadlines
+   (slack x modeled service) and queue watermarks are active: past
+   saturation the server sheds instead of building unbounded queues, so
+   goodput plateaus and the p99 of served requests stays bounded. *)
+let overload () =
+  Printf.printf
+    "\n== Overload sweep: serving layer, virtual time, 200 requests ==\n";
+  Printf.printf "%-12s %6s %12s %12s %8s %10s %8s %6s\n" "workload" "load"
+    "offered/s" "goodput/s" "shed" "p99-ms" "dl-miss" "adm/dl";
+  List.iter
+    (fun (wname, fn, args) ->
+      let policy = Ft_backend.Supervisor.default_policy in
+      List.iter
+        (fun mult ->
+          let ov =
+            { Serve.default_overload with
+              Serve.ov_queue_high = 64;
+              ov_queue_low = 16 }
+          in
+          let srv = Serve.create ~overload:ov ~policy () in
+          let est = Serve.modeled_service srv fn in
+          let est = if est > 0.0 then est else 1e-6 in
+          let rate = mult /. est in
+          let cfg =
+            Serve.soak_cfg ~virtual_time:true ~seed:42 ~requests:200
+              ~rate ~batch:8 ()
+          in
+          let r =
+            Serve.soak srv ~cfg
+              ~make_request:(fun j -> Serve.request ~id:j fn args)
+          in
+          let shed = r.Serve.sk_shed_admission + r.Serve.sk_shed_deadline in
+          Printf.printf
+            "%-12s %5.2fx %12.0f %12.0f %7.1f%% %10.4f %8d %3d/%d\n" wname
+            mult rate r.Serve.sk_throughput_rps
+            (100.0 *. float_of_int shed /. 200.0)
+            r.Serve.sk_p99_ms r.Serve.sk_deadline_miss
+            r.Serve.sk_shed_admission r.Serve.sk_shed_deadline)
+        [ 0.5; 1.0; 2.0; 4.0; 8.0 ])
+    (wallclock_cases ())
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let t0 = Unix.gettimeofday () in
@@ -541,6 +585,7 @@ let () =
    | "wallclock" -> wallclock ()
    | "wallclock-json" -> wallclock_json ()
    | "wallclock-check" -> wallclock_check ()
+   | "overload" -> overload ()
    | "all" | _ ->
      fig16a ();
      fig16b ();

@@ -588,12 +588,17 @@ let soak_cmd =
 
 (* ftc serve: drive the workload through the multi-tenant serving layer
    under seeded open-loop load — compiled-artifact cache, request
-   batching, supervisor resilience — and gate on availability,
-   steady-state cache-hit-rate, zero recompiles after warmup (fault-free
-   runs) and bitwise identity against per-backend fresh compiles. *)
+   batching, supervisor resilience, overload control — and gate on
+   availability of admitted requests, structured rejections, steady-state
+   cache-hit-rate, zero recompiles after warmup (fault-free runs) and
+   bitwise identity against per-backend fresh compiles.  Chaos modes:
+   --burst overload phases, --crash-restart with snapshot warm-start,
+   --corrupt-snapshot fault injection on the snapshot file. *)
 let serve_cmd =
   let run w seed requests rate batch faults guard budget capacity
-      min_avail min_hit =
+      min_avail min_hit burst virtual_time deadline_slack queue_high
+      queue_low breaker_k breaker_cooldown snapshot_path crash_restart
+      corrupt min_warm =
     guarded (fun () ->
         let name, fn0, args, _ = workload_case w in
         (* auto-schedule so the parallel backend has annotated loops *)
@@ -602,6 +607,13 @@ let serve_cmd =
           { Supervisor.default_policy with
             Supervisor.guard;
             mem_budget_bytes = (if budget > 0 then Some budget else None) }
+        in
+        let overload =
+          { Serve.ov_queue_high = queue_high;
+            ov_queue_low = queue_low;
+            ov_breaker_k = breaker_k;
+            ov_breaker_cooldown = breaker_cooldown;
+            ov_deadline_slack = deadline_slack }
         in
         let out_names =
           List.filter_map
@@ -658,7 +670,13 @@ let serve_cmd =
                    * (policy.Supervisor.retries + 2))
           end
         in
-        let srv = Serve.create ~capacity ~policy () in
+        (* Snapshot records resolve back to the one workload function. *)
+        let fn_hash = Canon.canonical_hash fn in
+        let resolve h = if h = fn_hash then Some fn else None in
+        let phases =
+          if burst > 1.0 then [ (0.25, 1.0); (0.5, burst); (0.25, 1.0) ]
+          else []
+        in
         let make_request j =
           restore_all ();
           let plan =
@@ -671,9 +689,17 @@ let serve_cmd =
           Serve.request ?plan ~id:j fn args
         in
         let mismatches = ref 0 in
+        let responses = ref 0 in
+        let unstructured = ref 0 in
         let on_response _ r =
+          incr responses;
           match r.Serve.rs_status with
-          | Serve.Rejected _ -> ()
+          | Serve.Rejected d ->
+            (* Every refusal must carry a structured admission or
+               overload diagnostic — sheds are never silent drops. *)
+            (match d.Diag.dg_code with
+             | Diag.Oom | Diag.Overload -> ()
+             | _ -> incr unstructured)
           | Serve.Completed o ->
             (match o.Supervisor.result with
              | None -> ()
@@ -686,44 +712,171 @@ let serve_cmd =
                       (outputs ()))
                then incr mismatches)
         in
-        let cfg =
-          { Serve.so_seed = seed; so_requests = requests; so_rate = rate;
-            so_batch = batch }
+        (* Request ids (and hence fault-plan seeds) are global across
+           phases, so a crash-restart run replays the same chaos a
+           single-phase run of the same seed would. *)
+        let soak_on srv ~first ~count =
+          let cfg =
+            Serve.soak_cfg ~phases ~virtual_time ~seed:(seed + first)
+              ~requests:count ~rate ~batch ()
+          in
+          Serve.soak ~on_response srv ~cfg
+            ~make_request:(fun j -> make_request (first + j))
         in
-        let r = Serve.soak ~on_response srv ~cfg ~make_request in
         Printf.printf
-          "serve %s: seed=%d rate=%.0f/s batch<=%d faults=%d%s%s\n" name
-          seed rate batch faults
+          "serve %s: seed=%d rate=%.0f/s batch<=%d faults=%d%s%s%s%s%s\n"
+          name seed rate batch faults
           (if guard then " guard" else "")
-          (if budget > 0 then Printf.sprintf " budget=%dB" budget else "");
-        print_endline (Serve.soak_report_to_string r);
+          (if budget > 0 then Printf.sprintf " budget=%dB" budget else "")
+          (if burst > 1.0 then Printf.sprintf " burst=%gx" burst else "")
+          (if virtual_time then " virtual-time" else "")
+          (if crash_restart then " crash-restart" else "");
+        let reports = ref [] in
+        (if crash_restart then begin
+           let path =
+             match snapshot_path with
+             | Some p -> p
+             | None ->
+               let p = Filename.temp_file "ftc-serve" ".snap" in
+               (* temp_file creates the file; phase A must start cold *)
+               (try Sys.remove p with Sys_error _ -> ());
+               p
+           in
+           let half = max 1 (requests / 2) in
+           let rest = requests - half in
+           let srv1 = Serve.create ~capacity ~overload ~policy () in
+           let r1 = soak_on srv1 ~first:0 ~count:half in
+           reports := ("phase A (before crash)", r1) :: !reports;
+           let saved = Serve.save_snapshot srv1 ~path in
+           Printf.printf "  snapshot: saved %d record(s) to %s\n" saved path;
+           (match corrupt with
+            | `None -> ()
+            | `Truncate ->
+              Snapshot.corrupt_truncate ~path ();
+              print_endline "  snapshot: injected truncation";
+            | `Bitflip ->
+              Snapshot.corrupt_bitflip ~path;
+              print_endline "  snapshot: injected bit-flip");
+           (* The "crash": srv1 and all its in-memory state are gone. *)
+           let srv2 = Serve.create ~capacity ~overload ~policy () in
+           let wr = Serve.load_snapshot srv2 ~path ~resolve in
+           Printf.printf "  restart: %s\n" (Serve.warm_report_to_string wr);
+           (match corrupt with
+            | `None ->
+              (match wr.Serve.ws_corrupt with
+               | Some reason ->
+                 faultf
+                   "serve %s: snapshot reported corrupt with no injected \
+                    corruption: %s"
+                   name reason
+               | None -> ());
+              if rest > 0 then begin
+                let r2 = soak_on srv2 ~first:half ~count:rest in
+                reports := ("phase B (warm restart)", r2) :: !reports;
+                if r2.Serve.sk_warm_rate < min_warm then
+                  faultf
+                    "serve %s: warm-start rate %.1f%% after restart below \
+                     the %.1f%% floor"
+                    name
+                    (100.0 *. r2.Serve.sk_warm_rate)
+                    (100.0 *. min_warm)
+              end
+            | `Truncate | `Bitflip ->
+              (match wr.Serve.ws_corrupt with
+               | Some _ -> ()
+               | None ->
+                 faultf
+                   "serve %s: injected snapshot corruption went undetected"
+                   name);
+              if wr.Serve.ws_loaded <> 0 then
+                faultf
+                  "serve %s: %d entr(ies) loaded from a corrupt snapshot"
+                  name wr.Serve.ws_loaded;
+              if rest > 0 then begin
+                let r2 = soak_on srv2 ~first:half ~count:rest in
+                reports := ("phase B (cold rebuild)", r2) :: !reports
+              end);
+           (* Don't leave throwaway snapshot files behind. *)
+           if snapshot_path = None then
+             (try Sys.remove path with Sys_error _ -> ())
+         end
+         else begin
+           let srv = Serve.create ~capacity ~overload ~policy () in
+           (match snapshot_path with
+            | Some p ->
+              let wr = Serve.load_snapshot srv ~path:p ~resolve in
+              Printf.printf "  %s\n" (Serve.warm_report_to_string wr)
+            | None -> ());
+           let r = soak_on srv ~first:0 ~count:requests in
+           reports := ("soak", r) :: !reports;
+           match snapshot_path with
+           | Some p ->
+             let saved = Serve.save_snapshot srv ~path:p in
+             Printf.printf "  snapshot: saved %d record(s) to %s\n" saved p
+           | None -> ()
+         end);
+        let reports = List.rev !reports in
+        List.iter
+          (fun (lbl, r) ->
+            Printf.printf "-- %s --\n%s\n" lbl
+              (Serve.soak_report_to_string r))
+          reports;
         Printf.printf "  bitwise mismatches vs fresh compile: %d\n"
           !mismatches;
-        let avail =
-          float_of_int
-            (r.Serve.sk_served_clean + r.Serve.sk_retried
-           + r.Serve.sk_degraded)
-          /. float_of_int requests
+        let sum f = List.fold_left (fun a (_, r) -> a + f r) 0 reports in
+        let served =
+          sum (fun r ->
+              r.Serve.sk_served_clean + r.Serve.sk_retried
+              + r.Serve.sk_degraded)
         in
+        let shed =
+          sum (fun r -> r.Serve.sk_shed_admission + r.Serve.sk_shed_deadline)
+        in
+        let admitted = requests - shed in
+        if !responses <> requests then
+          faultf "serve %s: %d request(s) vanished without a response"
+            name (requests - !responses);
+        if !unstructured > 0 then
+          faultf
+            "serve %s: %d rejection(s) without an admission/overload \
+             diagnostic"
+            name !unstructured;
         if !mismatches > 0 then
           faultf
             "serve %s: %d result(s) not bitwise-identical to the serving \
              backend's fresh compile"
             name !mismatches;
-        if avail < min_avail then
-          faultf "serve %s: availability %.1f%% below the %.1f%% floor"
-            name (100.0 *. avail) (100.0 *. min_avail);
-        if r.Serve.sk_hit_rate < min_hit then
+        if virtual_time && sum (fun r -> r.Serve.sk_deadline_miss) > 0 then
           faultf
-            "serve %s: steady-state cache-hit-rate %.1f%% below the \
-             %.1f%% floor"
-            name
-            (100.0 *. r.Serve.sk_hit_rate)
-            (100.0 *. min_hit);
-        if faults = 0 && r.Serve.sk_recompiles_after_warmup > 0 then
+            "serve %s: deadline miss(es) under virtual time — shedding \
+             should have refused those requests"
+            name;
+        let avail =
+          float_of_int served /. float_of_int (max 1 admitted)
+        in
+        if avail < min_avail then
+          faultf
+            "serve %s: availability %.1f%% of %d admitted request(s) \
+             below the %.1f%% floor"
+            name (100.0 *. avail) admitted (100.0 *. min_avail);
+        List.iter
+          (fun (lbl, r) ->
+            if r.Serve.sk_hit_rate < min_hit then
+              faultf
+                "serve %s: steady-state cache-hit-rate %.1f%% (%s) below \
+                 the %.1f%% floor"
+                name
+                (100.0 *. r.Serve.sk_hit_rate)
+                lbl (100.0 *. min_hit))
+          reports;
+        if
+          faults = 0
+          && sum (fun r -> r.Serve.sk_recompiles_after_warmup) > 0
+        then
           faultf
             "serve %s: %d recompile(s) after warmup in a fault-free soak"
-            name r.Serve.sk_recompiles_after_warmup)
+            name
+            (sum (fun r -> r.Serve.sk_recompiles_after_warmup)))
   in
   let seed_arg =
     Arg.(
@@ -792,21 +945,128 @@ let serve_cmd =
             "Fail (exit 1) when the steady-state cache-hit-rate drops \
              below this fraction.")
   in
+  let burst_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "burst" ] ~docv:"M"
+          ~doc:
+            "Overload burst: the middle half of the soak arrives at M x \
+             the base rate (phases 25%/50%/25%).  1.0 = steady load.")
+  in
+  let virtual_arg =
+    Arg.(
+      value & flag
+      & info [ "virtual-time" ]
+          ~doc:
+            "Advance the soak timeline by the cost model's service \
+             estimate per request instead of measured wall-clock: fully \
+             deterministic, and enables modeled default deadlines.")
+  in
+  let slack_arg =
+    Arg.(
+      value & opt float 8.0
+      & info [ "deadline-slack" ] ~docv:"S"
+          ~doc:
+            "Default relative deadline = S x the modeled service time \
+             (takes effect under $(b,--virtual-time), where the \
+             timeline shares the model's units).")
+  in
+  let queue_high_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "queue-high" ] ~docv:"N"
+          ~doc:
+            "Queue depth that triggers admission shedding (0 = \
+             unbounded queue).")
+  in
+  let queue_low_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "queue-low" ] ~docv:"N"
+          ~doc:
+            "Queue depth at which admission shedding stops again \
+             (hysteresis; must be below $(b,--queue-high)).")
+  in
+  let breaker_k_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-k" ] ~docv:"K"
+          ~doc:
+            "Consecutive primary failures on a cache key that trip its \
+             circuit breaker (0 disables breakers).")
+  in
+  let breaker_cooldown_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "breaker-cooldown" ] ~docv:"N"
+          ~doc:
+            "Fallback-served requests on a tripped key before the \
+             half-open probe.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snapshot" ] ~docv:"PATH"
+          ~doc:
+            "Cache-metadata snapshot file: loaded (warm start) before \
+             the soak if present, saved after it.  With \
+             $(b,--crash-restart) this is the file the restart reloads.")
+  in
+  let crash_arg =
+    Arg.(
+      value & flag
+      & info [ "crash-restart" ]
+          ~doc:
+            "Chaos mode: serve the first half of the load, snapshot the \
+             cache, discard the server (simulated crash), warm-start a \
+             fresh one from the snapshot and serve the rest.  Gates on \
+             the warm-start rate ($(b,--min-warm-hit)).")
+  in
+  let corrupt_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("none", `None); ("truncate", `Truncate);
+               ("bitflip", `Bitflip) ])
+          `None
+      & info [ "corrupt-snapshot" ] ~docv:"MODE"
+          ~doc:
+            "With $(b,--crash-restart): damage the snapshot between \
+             crash and restart (truncate = torn write, bitflip = silent \
+             media corruption).  The gate then requires detection plus \
+             a clean cold rebuild.")
+  in
+  let min_warm_arg =
+    Arg.(
+      value & opt float 0.8
+      & info [ "min-warm-hit" ] ~docv:"F"
+          ~doc:
+            "Fail (exit 1) when the warm-start rate after a \
+             crash-restart drops below this fraction.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve the workload through the multi-tenant serving layer \
           under seeded open-loop load: compiled-artifact cache with \
-          shape specialization and LRU bounds, request batching over the \
-          execution supervisor, admission control against the memory \
-          budget.  Reports throughput, p50/p99 latency, cache-hit-rate \
-          and the batch-size histogram; exits 1 on bitwise divergence \
-          from fresh compiles, availability or hit-rate below their \
-          floors, or any recompile after warmup in a fault-free soak")
+          shape specialization and LRU bounds, EDF request scheduling \
+          with deadline-aware load shedding, bounded-queue admission, \
+          per-key circuit breakers, crash-safe cache snapshots, request \
+          batching over the execution supervisor, admission control \
+          against the memory budget.  Reports throughput, p50/p99 \
+          latency, shed/deadline-miss counts, cache-hit and warm-start \
+          rates, breaker activity and the batch-size histogram; exits 1 \
+          on bitwise divergence from fresh compiles, unstructured \
+          rejections, missing responses, availability or hit-rate below \
+          their floors, undetected snapshot corruption, or any recompile \
+          after warmup in a fault-free soak")
     Term.(
       const run $ wl_arg $ seed_arg $ requests_arg $ rate_arg $ batch_arg
       $ faults_arg $ guard_arg $ budget_arg $ capacity_arg $ min_avail_arg
-      $ min_hit_arg)
+      $ min_hit_arg $ burst_arg $ virtual_arg $ slack_arg $ queue_high_arg
+      $ queue_low_arg $ breaker_k_arg $ breaker_cooldown_arg $ snapshot_arg
+      $ crash_arg $ corrupt_arg $ min_warm_arg)
 
 (* ftc litmus: the exhaustive transformation-correctness harness.
    Enumerates every skeleton program within --depth/--stmts, every

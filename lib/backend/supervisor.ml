@@ -152,8 +152,15 @@ let budgeted = function
   | Parallel | Compiled -> true
   | Interp_ref -> false
 
-let exec ?plan ?(sizes = []) (sv : t) (args : (string * Tensor.t) list) :
-    outcome =
+(* Drop the first [skip] prepared backends: the serving layer's circuit
+   breaker routes requests on a tripped key straight to the fallback
+   chain, without paying (or re-failing) the broken primary. *)
+let rec drop_backends k l =
+  if k <= 0 then l
+  else match l with [] -> [] | _ :: rest -> drop_backends (k - 1) rest
+
+let exec ?plan ?(sizes = []) ?(skip = 0) (sv : t)
+    (args : (string * Tensor.t) list) : outcome =
   let p = sv.sv_policy in
   let fn_name = sv.sv_fn.Stmt.fn_name in
   (* Snapshot every argument a run can mutate, so each attempt after the
@@ -267,8 +274,11 @@ let exec ?plan ?(sizes = []) (sv : t) (args : (string * Tensor.t) list) :
       | `Closed -> None
       | `Fall -> fall ())
   in
-  let result = try_chain sv.sv_backends in
+  let result = try_chain (drop_backends skip sv.sv_backends) in
   let attempts = List.rev !attempts in
+  (* [degraded] is always judged against the full chain's primary: a
+     breaker-routed request served by a fallback backend was demoted,
+     even though the primary never got an attempt. *)
   let primary =
     match sv.sv_backends with
     | { pb_backend = b; _ } :: _ -> Some b

@@ -102,11 +102,17 @@ val guard_stats : t -> (backend * Compile_exec.guard_stats) list
 
 (** Serve one request.  [plan] installs a deterministic fault-injection
     plan for this request (shared across its attempts: the kernel
-    ordinal stream continues through retries and fallbacks).  Never
-    raises. *)
+    ordinal stream continues through retries and fallbacks).  [skip]
+    (default 0) drops that many leading backends from the chain for this
+    request — the serving layer's circuit breaker routes requests on a
+    tripped key straight to the fallback without re-failing the broken
+    primary; [degraded] in the outcome is still judged against the full
+    chain's primary.  Skipping the whole chain fails closed with an
+    empty attempt log.  Never raises. *)
 val exec :
   ?plan:Ft_machine.Machine.Fault_plan.t ->
   ?sizes:(string * int) list ->
+  ?skip:int ->
   t ->
   (string * Tensor.t) list ->
   outcome

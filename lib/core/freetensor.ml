@@ -54,6 +54,8 @@ module Codegen = Ft_backend.Codegen
 
 module Canon = Ft_ir.Canon
 module Serve = Ft_serve.Serve
+module Snapshot = Ft_serve.Snapshot
+module Breaker = Ft_serve.Breaker
 
 (** The end-to-end compilation pipeline of Section 4: cleanup passes,
     rule-based auto-scheduling for a target device, backend code

@@ -18,6 +18,7 @@ type code =
   | Kernel_launch
   | Compute_fault
   | Oom
+  | Overload
   | Deadline_exceeded
   | Cancelled
   | Race_fault
@@ -36,7 +37,8 @@ type fault_class =
 
 let classify = function
   | Kernel_launch | Compute_fault -> Transient
-  | Oom | Deadline_exceeded | Cancelled | Gpu_resources -> Resource
+  | Oom | Overload | Deadline_exceeded | Cancelled | Gpu_resources ->
+    Resource
   | Oob_load | Oob_store | Oob_reduce | Uninit_read | Nonfinite_store
   | Race_fault | Exec_fault ->
     Logic
@@ -81,6 +83,7 @@ let code_to_string = function
   | Kernel_launch -> "kernel-launch"
   | Compute_fault -> "compute-fault"
   | Oom -> "oom"
+  | Overload -> "overload"
   | Deadline_exceeded -> "deadline-exceeded"
   | Cancelled -> "cancelled"
   | Race_fault -> "race"
@@ -89,8 +92,8 @@ let code_to_string = function
 let all_codes =
   [ Oob_load; Oob_store; Oob_reduce; Uninit_read; Nonfinite_store;
     Missing_arg; Unknown_arg; Shape_mismatch; Unknown_size; Gpu_resources;
-    Kernel_launch; Compute_fault; Oom; Deadline_exceeded; Cancelled;
-    Race_fault; Exec_fault ]
+    Kernel_launch; Compute_fault; Oom; Overload; Deadline_exceeded;
+    Cancelled; Race_fault; Exec_fault ]
 
 let code_of_string s =
   List.find_opt (fun c -> code_to_string c = s) all_codes
@@ -241,6 +244,8 @@ let oom_budget ~fn ~requested ~live ~budget =
        "allocation of %d bytes exceeds memory budget (%d live of %d \
         budgeted)"
        requested live budget)
+
+let overload ~fn detail = make ~code:Overload ~fn detail
 
 let deadline ~fn ~detail = make ~code:Deadline_exceeded ~fn detail
 

@@ -29,6 +29,8 @@ type code =
   | Kernel_launch       (** injected: kernel failed to launch *)
   | Compute_fault       (** injected: transient fault during a kernel *)
   | Oom                 (** memory budget or device capacity exceeded *)
+  | Overload            (** shed by the serving layer: queue saturated or
+                            deadline unmeetable; the request never ran *)
   | Deadline_exceeded   (** cooperative deadline tripped at a poll point *)
   | Cancelled           (** cooperative cancellation token observed *)
   | Race_fault          (** data race detected at runtime *)
@@ -174,6 +176,11 @@ val injected_oom : fn:string -> ordinal:int -> t
 
 (** Allocation pushed the per-run arena over its budget. *)
 val oom_budget : fn:string -> requested:int -> live:int -> budget:int -> t
+
+(** Load shed by the serving layer (admission rejection at a saturated
+    queue, or an EDF-queued request whose deadline is already
+    unmeetable).  The request never executed. *)
+val overload : fn:string -> string -> t
 
 val deadline : fn:string -> detail:string -> t
 val cancelled : fn:string -> detail:string -> t

@@ -1,0 +1,58 @@
+(** Per-key circuit breakers for the serving layer.
+
+    A cache entry whose chain primary keeps failing (demotions down the
+    backend chain, or fail-closed) would otherwise be invalidated and
+    recompiled on every request — a recompile-and-fail loop that burns
+    compile time without ever serving off the primary.  The breaker
+    bounds that loop: after [k] {e consecutive} primary failures on a
+    key it {e trips} ([Open]), and subsequent requests on the key route
+    straight to the fallback chain (skipping the primary entirely, and
+    never invalidating the artifact — compile count stays flat while
+    tripped).  After [cooldown] fallback-served requests on the key, the
+    next request becomes a {e half-open probe} through the full chain:
+    if the primary serves it, the breaker closes (recovery); if not, it
+    re-opens for another cooldown.
+
+    The cooldown is counted in requests on the key, not wall time, so
+    breaker behavior is deterministic under the seeded soak drivers.
+    Not thread-safe — serving runs on the master domain only. *)
+
+type t
+
+(** Observable per-key state.  Keys never seen are [Closed]. *)
+type state =
+  | Closed     (** primary in use; consecutive-failure count below [k] *)
+  | Open       (** tripped: requests route to the fallback chain *)
+  | Half_open  (** cooldown expired: the next result decides *)
+
+(** [create ~k ~cooldown] trips after [k] consecutive primary failures
+    and probes after [cooldown] fallback-served requests.  [k <= 0]
+    disables the breaker entirely ([route] always grants the primary,
+    [record] is a no-op). *)
+val create : k:int -> cooldown:int -> t
+
+val state : t -> string -> state
+
+(** Routing decision for the next request on [key] — call exactly once
+    per request, before executing it (an [Open] key's cooldown counts
+    down per call):
+    - [`Primary]: breaker closed, use the full chain;
+    - [`Fallback]: tripped, skip the primary (and skip [record]);
+    - [`Probe]: half-open, use the full chain and [record] the result. *)
+val route : t -> string -> [ `Primary | `Fallback | `Probe ]
+
+(** Outcome of a request that was routed [`Primary] or [`Probe]:
+    [primary_ok] iff the chain's primary served it (no demotion, no
+    fail-closed).  Never call for [`Fallback] routes — a fallback result
+    says nothing about the primary's health. *)
+val record : t -> string -> primary_ok:bool -> unit
+
+(** Times any key transitioned into [Open] (including re-opens after a
+    failed probe). *)
+val trips : t -> int
+
+(** Times a half-open probe closed a breaker. *)
+val recoveries : t -> int
+
+(** Keys currently [Open] or [Half_open]. *)
+val tripped_keys : t -> int

@@ -1,0 +1,76 @@
+(* EDF priority queue: array-backed binary min-heap ordered by
+   (deadline, insertion sequence) — the sequence number makes ties FIFO
+   and the ordering total, so pop order is deterministic. *)
+
+type 'a entry = {
+  en_deadline : float;
+  en_seq : int;
+  en_value : 'a;
+}
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable seq : int;
+}
+
+let create () = { heap = [||]; size = 0; seq = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let before a b =
+  a.en_deadline < b.en_deadline
+  || (a.en_deadline = b.en_deadline && a.en_seq < b.en_seq)
+
+let swap q i j =
+  let t = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- t
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(p) then begin
+      swap q i p;
+      sift_up q p
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < q.size && before q.heap.(l) q.heap.(!m) then m := l;
+  if r < q.size && before q.heap.(r) q.heap.(!m) then m := r;
+  if !m <> i then begin
+    swap q i !m;
+    sift_down q !m
+  end
+
+let push q ~deadline v =
+  let e = { en_deadline = deadline; en_seq = q.seq; en_value = v } in
+  q.seq <- q.seq + 1;
+  if q.size = Array.length q.heap then begin
+    let cap = max 8 (2 * q.size) in
+    let heap = Array.make cap e in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let e = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (e.en_deadline, e.en_value)
+  end
+
+let peek q =
+  if q.size = 0 then None
+  else Some (q.heap.(0).en_deadline, q.heap.(0).en_value)

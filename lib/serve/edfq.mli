@@ -1,0 +1,25 @@
+(** Earliest-deadline-first priority queue.
+
+    The serving layer's pending-request queue: [pop] returns the entry
+    with the smallest deadline; entries with equal deadlines come back
+    in insertion (FIFO) order, so a load of deadline-free requests
+    (deadline = [infinity]) degrades exactly to the old FIFO drain.
+    Not thread-safe — queue operations run on the master domain only. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push q ~deadline v] enqueues [v].  [deadline] is an absolute time
+    on whatever timeline the caller runs (simulated seconds in the soak
+    driver); [Float.infinity] means "no deadline". *)
+val push : 'a t -> deadline:float -> 'a -> unit
+
+(** Remove and return the (deadline, value) with the earliest deadline,
+    FIFO among ties; [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Earliest deadline without removing it. *)
+val peek : 'a t -> (float * 'a) option

@@ -1,6 +1,6 @@
 (** Multi-tenant serving layer: a persistent compiled-artifact cache in
-    front of the execution supervisor, with request batching and an
-    open-loop soak driver.
+    front of the execution supervisor, with request batching, overload
+    resilience, and an open-loop soak driver.
 
     {2 Artifact cache}
 
@@ -18,9 +18,47 @@
     - the lowering-pipeline gate ([FT_LOWER]) in effect at compile time.
 
     Entries are invalidated when serving through them demotes the
-    request down the backend chain or fails closed — the artifact's
-    primary is suspect, so the next request recompiles fresh rather than
-    replaying a degraded closure.
+    request down the backend chain or fails closed — unless the key's
+    circuit breaker holds it (below), in which case the artifact is
+    kept and the breaker, not recompilation, handles the broken primary.
+
+    {2 Overload resilience}
+
+    Three mechanisms keep the server deterministic and structured under
+    load it cannot absorb; all rejections carry a {!Ft_ir.Diag.t} with
+    the [overload] fault code — requests are never silently dropped.
+
+    {e Deadline-aware EDF + shedding}: requests may carry a relative
+    deadline (seconds from arrival); absent one, the default is
+    [ov_deadline_slack] times the modeled service time (the
+    [Supervisor.deadline_of_estimate] model at slack 1), where the
+    timeline has matching units — the soak's virtual-time mode, and
+    [serve_batch]'s modeled backlog.  Queued work drains
+    earliest-deadline-first (FIFO among equal deadlines), and a request
+    whose deadline cannot be met given the predicted backlog ahead of it
+    is shed at dispatch instead of served late.
+
+    {e Bounded queue with watermarks}: when [ov_queue_high > 0], the
+    soak's queue saturating to the high watermark sheds new arrivals at
+    admission until it drains to [ov_queue_low] (hysteresis, so the
+    server does not flap at the boundary).
+
+    {e Per-key circuit breakers} ({!Breaker}): [ov_breaker_k]
+    consecutive primary failures on a key trip it; tripped keys route
+    straight to the fallback chain — skipping the suspect primary, and
+    keeping the cached artifact so the compile count stays flat — until
+    [ov_breaker_cooldown] fallback-served requests later a half-open
+    probe decides between recovery and another cooldown.
+
+    {2 Crash-safe persistence}
+
+    [save_snapshot] persists cache {e metadata} (not compiled code):
+    per-entry canonical hash, size binding, and policy fingerprint,
+    under {!Snapshot}'s checksummed, atomically-renamed framing.
+    [load_snapshot] verifies the file and re-prepares each entry through
+    a caller-supplied hash resolver — a warm start.  Any corruption
+    (truncation, bit-flip, bad version) is detected, reported in the
+    {!warm_report}, and treated as a cold start; it never raises.
 
     {2 Batching and budgets}
 
@@ -45,30 +83,58 @@ module Supervisor = Ft_backend.Supervisor
 (** {1 Server} *)
 
 (** Monotonic counters.  Cache counters ([hits] .. [invalidations])
-    count lookups; request counters ([served_clean] .. [rejected]) count
+    count lookups; request counters ([served_clean] .. [shed]) count
     requests; [guard_checks] totals per-request runtime bounds-check
     deltas (meaningful only under a [guard] policy). *)
 type stats = {
   mutable st_hits : int;
-  mutable st_misses : int;        (** lookups that shape-specialized + compiled *)
-  mutable st_compiles : int;      (** = misses; kept distinct for clarity *)
+  mutable st_misses : int;   (** lookups that shape-specialized + compiled *)
+  mutable st_compiles : int;
+      (** actual [Supervisor.prepare] calls: misses {e plus} warm-start
+          re-preparations from [load_snapshot] — equal to [st_misses]
+          only on a server that never warm-started *)
   mutable st_evictions : int;     (** LRU casualties *)
   mutable st_invalidations : int; (** entries dropped after demotion / fail-closed *)
   mutable st_served_clean : int;
   mutable st_retried : int;       (** served after transient retry on the primary *)
   mutable st_degraded : int;      (** served by a backend below the primary *)
   mutable st_failed : int;        (** failed closed *)
-  mutable st_rejected : int;      (** refused by admission control *)
+  mutable st_rejected : int;      (** refused by admission control (footprint) *)
+  mutable st_shed : int;          (** refused by overload control (queue/deadline) *)
   mutable st_guard_checks : int;
 }
 
 val stats_copy : stats -> stats
 
+(** Overload-control knobs; see the header for semantics. *)
+type overload_policy = {
+  ov_queue_high : int;
+      (** soak queue depth that triggers admission shedding; [0] =
+          unbounded queue (no admission shedding) *)
+  ov_queue_low : int;
+      (** depth at which shedding stops again (must be below high) *)
+  ov_breaker_k : int;
+      (** consecutive primary failures that trip a key's breaker;
+          [<= 0] disables breakers *)
+  ov_breaker_cooldown : int;
+      (** fallback-served requests on a tripped key before the
+          half-open probe *)
+  ov_deadline_slack : float;
+      (** default deadline = slack x modeled service time *)
+}
+
+(** Unbounded queue, breaker [k = 3] / cooldown [8], deadline slack 8. *)
+val default_overload : overload_policy
+
 type t
 
 (** [create ~policy ()] with an artifact cache of [capacity] entries
-    (default 16). *)
-val create : ?capacity:int -> policy:Supervisor.policy -> unit -> t
+    (default 16) and [overload] knobs (default {!default_overload};
+    breakers are forced off for single-backend policies — there is no
+    fallback to route to). *)
+val create :
+  ?capacity:int -> ?overload:overload_policy -> policy:Supervisor.policy ->
+  unit -> t
 
 val stats : t -> stats
 
@@ -82,6 +148,17 @@ val cache_length : t -> int
 (** The cache key [serve] would use — exposed for tests and reports. *)
 val key_of : t -> ?sizes:(string * int) list -> Stmt.func -> string
 
+(** Modeled service seconds for a request's specialized program (the
+    quantity default deadlines and backlog predictions are built from);
+    [0.] when the cost model has no estimate.  Memoized per cache key. *)
+val modeled_service : t -> ?sizes:(string * int) list -> Stmt.func -> float
+
+(** {1 Circuit-breaker observability} *)
+
+val breaker_state : t -> string -> Breaker.state
+val breaker_trips : t -> int
+val breaker_recoveries : t -> int
+
 (** {1 Requests} *)
 
 type request = {
@@ -90,11 +167,16 @@ type request = {
   rq_sizes : (string * int) list;  (** size-variable binding, specialized away *)
   rq_args : (string * Tensor.t) list;
   rq_plan : Machine.Fault_plan.t option;  (** per-request fault injection *)
+  rq_deadline : float option;
+      (** relative deadline in seconds from arrival; [None] = the
+          modeled default where the timeline has matching units
+          (virtual-time soak, [serve_batch] backlog), else unbounded *)
 }
 
 val request :
   ?sizes:(string * int) list ->
   ?plan:Machine.Fault_plan.t ->
+  ?deadline:float ->
   id:int ->
   Stmt.func ->
   (string * Tensor.t) list ->
@@ -102,7 +184,9 @@ val request :
 
 type status =
   | Completed of Supervisor.outcome
-  | Rejected of Diag.t  (** admission control; the request never executed *)
+  | Rejected of Diag.t
+      (** refused without executing: admission control ([oom] code) or
+          overload shedding ([overload] code) *)
 
 type response = {
   rs_id : int;
@@ -117,63 +201,135 @@ type response = {
 val served : response -> bool
 
 (** Serve one request (admission check, cache lookup or
-    specialize+compile, supervised execution, invalidation on
-    demotion).  Never raises. *)
+    specialize+compile, breaker routing, supervised execution,
+    invalidation on demotion).  Never raises. *)
 val serve : t -> request -> response
 
-(** Serve a batch: requests are grouped by cache key (stable — first
-    arrival decides group order), each group runs under one shared
+(** Serve a batch under EDF: requests order by relative deadline
+    (explicit, else the modeled default), with the stable key-grouping
+    applied among equal deadlines — so a deadline-free batch groups and
+    serves exactly as it always did.  A member whose deadline the
+    modeled backlog ahead of it makes unmeetable is shed with a
+    structured [overload] rejection.  Each group runs under one shared
     budget scope, and responses come back in request order.  The
-    batch-size histogram records one entry per group. *)
+    batch-size histogram records one entry per group (served members
+    only). *)
 val serve_batch : t -> request list -> response list
 
 (** Batch-size histogram observed so far: [(size, count)] sorted by
     size.  [serve] counts as a batch of 1. *)
 val batch_histogram : t -> (int * int) list
 
+(** {1 Cache persistence} *)
+
+(** Outcome of a warm-start attempt. *)
+type warm_report = {
+  ws_present : bool;           (** a snapshot file existed *)
+  ws_corrupt : string option;  (** verification failure, for the log *)
+  ws_records : int;            (** records in a verified snapshot *)
+  ws_loaded : int;             (** entries re-prepared into the cache *)
+  ws_skipped : int;
+      (** verified records not loaded: unresolvable hash, policy
+          fingerprint mismatch, already cached, or re-prepare failure *)
+}
+
+(** Persist the cache's metadata (canonical hash, size binding, policy
+    fingerprint per entry — no compiled code) to an atomic, checksummed
+    {!Snapshot} file.  Returns the record count.  Entries are written
+    LRU-first so a reload restores recency order. *)
+val save_snapshot : t -> path:string -> int
+
+(** Warm-start from [path]: verify the snapshot, resolve each record's
+    canonical hash back to a function via [resolve] (return [None] for
+    unknown hashes), and specialize + re-prepare the artifact.  Each
+    load counts in [st_compiles] but {e not} [st_misses] — no request
+    missed.  Corruption of any kind yields [ws_corrupt = Some reason]
+    and an untouched cache (cold start); this function never raises. *)
+val load_snapshot :
+  t -> path:string -> resolve:(string -> Stmt.func option) -> warm_report
+
+val warm_report_to_string : warm_report -> string
+
 (** {1 Soak driver}
 
     Seeded open-loop load: arrival times are drawn from an exponential
     inter-arrival distribution (splitmix64 mixer — deterministic across
-    OCaml versions) at [so_rate] requests/second and requests queue for
-    a single batching server.  Service time is measured wall-clock;
-    latency is completion minus arrival on the simulated timeline, so
-    percentiles reflect queueing as well as execution. *)
+    OCaml versions) at [so_rate] requests/second, scaled per-phase by
+    [so_phases] rate multipliers (bursty/overload episodes), and
+    requests queue for a single batching server that drains in EDF
+    order.  Latency is completion minus arrival on the simulated
+    timeline, so percentiles reflect queueing as well as execution.
+
+    Two clocks are available.  {e Wall-clock} (default): service time
+    is measured [Unix.gettimeofday] around each request; default
+    deadlines are infinite (the cost model prices the paper's machine,
+    not this host) and backlog prediction uses a per-key EWMA of
+    observed service.  {e Virtual time} ([so_virtual]): the timeline
+    advances by the modeled service time per request — fully
+    deterministic (used by the chaos CI gate), with default deadlines
+    from [ov_deadline_slack] x the model. *)
 
 type soak_config = {
   so_seed : int;
   so_requests : int;
   so_rate : float;   (** mean arrivals per second, > 0 *)
   so_batch : int;    (** max requests drained per batch, >= 1 *)
+  so_phases : (float * float) list;
+      (** [(fraction, rate multiplier)] arrival phases; [[]] = one
+          steady phase.  Fractions are normalized over the request
+          count; all entries must be positive. *)
+  so_virtual : bool; (** virtual-time clock (deterministic) *)
 }
 
+(** Construct a {!soak_config}; [phases] defaults to steady,
+    [virtual_time] to wall-clock. *)
+val soak_cfg :
+  ?phases:(float * float) list ->
+  ?virtual_time:bool ->
+  seed:int -> requests:int -> rate:float -> batch:int -> unit ->
+  soak_config
+
 type soak_report = {
-  sk_requests : int;
+  sk_requests : int;          (** offered load (served + shed + rejected) *)
   sk_served_clean : int;
   sk_retried : int;
   sk_degraded : int;
   sk_failed : int;
-  sk_rejected : int;
-  sk_makespan_s : float;     (** simulated time to drain the load *)
-  sk_throughput_rps : float; (** requests / makespan *)
-  sk_p50_ms : float;
+  sk_rejected : int;          (** footprint admission rejections *)
+  sk_shed_admission : int;    (** shed at the queue's high watermark *)
+  sk_shed_deadline : int;     (** shed at dispatch: deadline unmeetable *)
+  sk_deadline_miss : int;
+      (** served but completed past the deadline (wall-clock mode only;
+          virtual time sheds instead of serving late) *)
+  sk_makespan_s : float;      (** simulated time to drain the load *)
+  sk_throughput_rps : float;  (** goodput: requests served / makespan *)
+  sk_p50_ms : float;          (** latency percentiles over served requests *)
   sk_p99_ms : float;
   sk_hit_rate : float;
       (** steady-state: hits / (lookups - each key's compulsory first
           miss); 1.0 when every request after warmup hit *)
+  sk_warm_rate : float;
+      (** of the keys served this soak, the fraction already known to
+          the server — 1.0 right after a successful warm start, 0.0 on
+          a cold start *)
   sk_compiles : int;
   sk_distinct_keys : int;    (** new cache keys this soak introduced *)
   sk_recompiles_after_warmup : int;  (** compiles - distinct keys *)
   sk_evictions : int;
   sk_invalidations : int;
   sk_guard_checks : int;
+  sk_queue_peak : int;
+  sk_breaker_trips : int;
+  sk_breaker_recoveries : int;
   sk_batch_hist : (int * int) list;  (** batches formed, by size *)
 }
 
 (** [soak t ~cfg ~make_request] drains [cfg.so_requests] requests.
-    [make_request i] is called immediately before request [i] executes
-    (requests may share argument buffers: restore them there), and
-    [on_response] right after each response — e.g. for bitwise checks
+    [make_request i] materializes request [i]; it is called once at
+    admission (for the key and deadline) and again immediately before
+    the request executes (requests may share argument buffers: restore
+    them there), so it must be idempotent.  [on_response] fires right
+    after each response — served or shed — e.g. for bitwise checks
     against fresh-compile references. *)
 val soak :
   ?on_response:(int -> response -> unit) ->
@@ -183,3 +339,7 @@ val soak :
   soak_report
 
 val soak_report_to_string : soak_report -> string
+
+(** Nearest-rank percentile over a sorted array ([0.] when empty) —
+    exposed for report tooling and tests. *)
+val percentile : float array -> float -> float

@@ -1,0 +1,159 @@
+(* Checksummed, length-prefixed, atomically-renamed record files.  See
+   snapshot.mli for the framing. *)
+
+let magic = "FTSN"
+let version = 1
+
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the standard
+   zlib/PNG checksum, implemented here so persistence needs no deps. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 (s : string) : int32 =
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int
+          (Int32.logand
+             (Int32.logxor !c (Int32.of_int (Char.code ch)))
+             0xFFl)
+      in
+      c := Int32.logxor t.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let write ~path records =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b magic;
+  Buffer.add_int32_le b (Int32.of_int version);
+  Buffer.add_int32_le b (Int32.of_int (List.length records));
+  List.iter
+    (fun r ->
+      Buffer.add_int32_le b (Int32.of_int (String.length r));
+      Buffer.add_int32_le b (crc32 r);
+      Buffer.add_string b r)
+    records;
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Buffer.output_buffer oc b;
+      Out_channel.flush oc);
+  Sys.rename tmp path
+
+type load =
+  | Loaded of string list
+  | Corrupt of string
+  | Absent
+
+let header_len = 4 + 4 + 4
+let record_hdr_len = 4 + 4
+
+(* Snapshots are metadata files (tens of entries); cap their size so a
+   mangled length field cannot make the reader allocate gigabytes. *)
+let max_record_len = 1 lsl 20
+
+let read ~path =
+  if not (Sys.file_exists path) then Absent
+  else begin
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error m -> Corrupt (Printf.sprintf "unreadable: %s" m)
+    | data ->
+      let len = String.length data in
+      let bytes = Bytes.unsafe_of_string data in
+      let u32 off = Int32.to_int (Bytes.get_int32_le bytes off) in
+      if len < header_len then
+        Corrupt
+          (Printf.sprintf "truncated header: %d byte(s), need %d" len
+             header_len)
+      else if String.sub data 0 4 <> magic then
+        Corrupt (Printf.sprintf "bad magic %S" (String.sub data 0 4))
+      else if u32 4 <> version then
+        Corrupt
+          (Printf.sprintf "unsupported version %d (this build reads %d)"
+             (u32 4) version)
+      else begin
+        let count = u32 8 in
+        if count < 0 then Corrupt "negative record count"
+        else begin
+          let rec go i off acc =
+            if i = count then
+              if off = len then Loaded (List.rev acc)
+              else
+                Corrupt
+                  (Printf.sprintf "%d trailing byte(s) after record %d"
+                     (len - off) count)
+            else if off + record_hdr_len > len then
+              Corrupt
+                (Printf.sprintf
+                   "truncated at record %d/%d: header needs %d byte(s), \
+                    %d left"
+                   (i + 1) count record_hdr_len (len - off))
+            else begin
+              let rlen = u32 off in
+              let rcrc = Bytes.get_int32_le bytes (off + 4) in
+              if rlen < 0 || rlen > max_record_len then
+                Corrupt
+                  (Printf.sprintf "record %d/%d: implausible length %d"
+                     (i + 1) count rlen)
+              else if off + record_hdr_len + rlen > len then
+                Corrupt
+                  (Printf.sprintf
+                     "truncated at record %d/%d: payload needs %d \
+                      byte(s), %d left"
+                     (i + 1) count rlen (len - off - record_hdr_len))
+              else begin
+                let payload =
+                  String.sub data (off + record_hdr_len) rlen
+                in
+                if crc32 payload <> rcrc then
+                  Corrupt
+                    (Printf.sprintf
+                       "record %d/%d: CRC mismatch (stored %08lx, \
+                        computed %08lx)"
+                       (i + 1) count rcrc (crc32 payload))
+                else
+                  go (i + 1)
+                    (off + record_hdr_len + rlen)
+                    (payload :: acc)
+              end
+            end
+          in
+          go 0 header_len []
+        end
+      end
+  end
+
+(* -------------------------------------------------------------- *)
+(* Corruption injection (tests / chaos gate)                       *)
+
+let read_all path = In_channel.with_open_bin path In_channel.input_all
+
+let write_raw path data =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+
+let corrupt_truncate ?(bytes = 7) ~path () =
+  let data = read_all path in
+  let keep = max 0 (String.length data - max 1 bytes) in
+  write_raw path (String.sub data 0 keep)
+
+let corrupt_bitflip ~path =
+  let data = read_all path in
+  let len = String.length data in
+  if len <= header_len + record_hdr_len then
+    raise (Sys_error (path ^ ": too small to bit-flip a record payload"));
+  (* Last byte of the file is inside the last record's payload (records
+     end flush with EOF), so flipping it must trip that record's CRC. *)
+  let b = Bytes.of_string data in
+  let i = len - 1 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+  write_raw path (Bytes.unsafe_to_string b)

@@ -1,0 +1,52 @@
+(** Crash-safe record files for cache persistence.
+
+    A snapshot is a flat file of opaque string records under a
+    checksummed binary framing:
+
+    {v
+    header:  magic "FTSN" | version (u32 LE) | record count (u32 LE)
+    record:  payload length (u32 LE) | CRC-32 of payload (u32 LE) | payload
+    v}
+
+    Writes are atomic: the file is assembled in [path ^ ".tmp"] and
+    renamed over [path], so a crash mid-write can never leave a
+    half-written snapshot under the live name — readers see either the
+    old complete file or the new one.
+
+    Reads are paranoid: a short header, wrong magic, unknown version,
+    record-count/length inconsistency, trailing garbage, or any CRC
+    mismatch yields [Corrupt reason] — never an exception, and never a
+    silently truncated record list.  The caller's contract is
+    detect-log-and-rebuild: treat [Corrupt] like an empty cache and
+    start cold.
+
+    [corrupt_truncate] / [corrupt_bitflip] are fault-injection helpers
+    for tests and the chaos gate. *)
+
+(** The on-disk format version this build writes and accepts. *)
+val version : int
+
+(** Atomic write: records become one snapshot file at [path].  Raises
+    [Sys_error] only for environmental failures (permissions, ENOSPC) —
+    never for any records value. *)
+val write : path:string -> string list -> unit
+
+type load =
+  | Loaded of string list  (** verified: every record's CRC checked *)
+  | Corrupt of string      (** structural damage; reason for the log *)
+  | Absent                 (** no file at [path] — a normal cold start *)
+
+val read : path:string -> load
+
+(** {1 Corruption injection}
+
+    Both require an existing, non-trivial snapshot (raise [Sys_error]
+    on a missing file). *)
+
+(** Drop the final [bytes] (default 7) of the file: a torn write /
+    short copy.  Detected via the record-count/length framing. *)
+val corrupt_truncate : ?bytes:int -> path:string -> unit -> unit
+
+(** Flip one bit inside the last record's payload: silent media
+    corruption.  Detected via the per-record CRC. *)
+val corrupt_bitflip : path:string -> unit

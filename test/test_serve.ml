@@ -21,6 +21,8 @@ module Supervisor = Ft_backend.Supervisor
 module Machine = Ft_machine.Machine
 module Serve = Ft_serve.Serve
 module Lru = Ft_serve.Lru
+module Breaker = Ft_serve.Breaker
+module Snapshot = Ft_serve.Snapshot
 
 let n = Gen_prog.iterations
 let () = Ft_backend.Compile_exec.race_logger := ignore
@@ -353,8 +355,7 @@ let test_soak_deterministic_arrivals () =
       Serve.request ~sizes:[ ("n", 8) ] ~id:j fn args
     in
     let cfg =
-      { Serve.so_seed = 42; so_requests = 60; so_rate = 1000.0;
-        so_batch = 4 }
+      Serve.soak_cfg ~seed:42 ~requests:60 ~rate:1000.0 ~batch:4 ()
     in
     Serve.soak srv ~cfg ~make_request
   in
@@ -372,9 +373,347 @@ let test_soak_deterministic_arrivals () =
   Alcotest.(check int) "deterministic compiles" r1.Serve.sk_compiles
     r2.Serve.sk_compiles
 
+(* ------------------------------------------------------------------ *)
+(* LRU edge cases                                                     *)
+
+let test_lru_edge_cases () =
+  (* capacity 1: every insert evicts the previous entry *)
+  let l = Lru.create ~capacity:1 in
+  Alcotest.(check bool) "first insert no eviction" true
+    (Lru.add l "a" 1 = None);
+  (match Lru.add l "b" 2 with
+   | Some ("a", 1) -> ()
+   | _ -> Alcotest.fail "capacity-1 insert must evict the previous entry");
+  Alcotest.(check (list (pair string int))) "only b" [ ("b", 2) ]
+    (Lru.to_list l);
+  Lru.remove l "b";
+  Alcotest.(check bool) "insert after remove evicts nothing" true
+    (Lru.add l "c" 3 = None);
+  (* interleaved touch / invalidate: eviction tracks recency exactly *)
+  let l = Lru.create ~capacity:3 in
+  ignore (Lru.add l "a" 1);
+  ignore (Lru.add l "b" 2);
+  ignore (Lru.add l "c" 3);
+  ignore (Lru.find l "a");  (* order: a, c, b *)
+  Lru.remove l "c";         (* invalidation: a, b *)
+  ignore (Lru.add l "d" 4); (* under capacity again: d, a, b *)
+  ignore (Lru.find l "b");  (* b, d, a *)
+  (match Lru.add l "e" 5 with
+   | Some ("a", 1) -> ()
+   | Some (k, _) -> Alcotest.failf "evicted %s, wanted a" k
+   | None -> Alcotest.fail "expected an eviction");
+  Alcotest.(check (list (pair string int))) "MRU order after churn"
+    [ ("e", 5); ("b", 2); ("d", 4) ]
+    (Lru.to_list l)
+
+let check_lru_occupancy (cap, ops) =
+  let l = Lru.create ~capacity:cap in
+  List.for_all
+    (fun op ->
+      let key = "k" ^ string_of_int (op mod 7) in
+      (match op mod 3 with
+       | 0 -> ignore (Lru.add l key op)
+       | 1 -> ignore (Lru.find l key)
+       | _ -> Lru.remove l key);
+      let len = Lru.length l in
+      len <= cap && List.length (Lru.to_list l) = len)
+    ops
+
+let prop_lru_occupancy =
+  QCheck2.Test.make ~count:(n 100)
+    ~name:
+      "LRU occupancy never exceeds capacity under random add/find/remove"
+    QCheck2.Gen.(
+      pair (int_range 1 4) (list_size (int_range 1 40) (int_bound 1000)))
+    check_lru_occupancy
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                    *)
+
+(* K = 2 consecutive demotions trip the key; while tripped, requests are
+   fallback-served off the *cached* artifact (compile count flat, no
+   invalidations); after cooldown = 2 fallback requests a probe decides:
+   still faulty -> re-trip, healthy -> recovery and primary service. *)
+let test_breaker_trip_and_recovery () =
+  let fn = sized_fn () in
+  let overload =
+    { Serve.default_overload with
+      Serve.ov_breaker_k = 2;
+      ov_breaker_cooldown = 2 }
+  in
+  let srv = Serve.create ~overload ~policy:Supervisor.default_policy () in
+  let key = Serve.key_of srv ~sizes:[ ("n", 8) ] fn in
+  let oom () = Machine.Fault_plan.of_list [ (0, Machine.F_oom) ] in
+  let serve ?plan id =
+    completed
+      (Serve.serve srv
+         (Serve.request ~sizes:[ ("n", 8) ] ?plan ~id fn (sized_args 8)))
+  in
+  let st = Serve.stats srv in
+  (* demotion 1: breaker still closed, so the artifact is invalidated *)
+  let o0 = serve ~plan:(oom ()) 0 in
+  Alcotest.(check bool) "r0 demoted" true o0.Supervisor.degraded;
+  Alcotest.(check int) "r0 invalidated" 1 st.Serve.st_invalidations;
+  (* demotion 2 (on the recompiled artifact): trips; artifact kept *)
+  let o1 = serve ~plan:(oom ()) 1 in
+  Alcotest.(check bool) "r1 demoted" true o1.Supervisor.degraded;
+  Alcotest.(check bool) "tripped" true
+    (Serve.breaker_state srv key = Breaker.Open);
+  Alcotest.(check int) "the trip keeps the artifact" 1
+    st.Serve.st_invalidations;
+  Alcotest.(check int) "one trip" 1 (Serve.breaker_trips srv);
+  Alcotest.(check int) "compiles before fallback phase" 2
+    st.Serve.st_compiles;
+  (* cooldown: two fallback-served cache hits, no recompiles *)
+  let o2 = serve 2 in
+  let o3 = serve 3 in
+  Alcotest.(check bool) "fallback serves below the primary" true
+    (o2.Supervisor.degraded && o3.Supervisor.degraded
+    && o2.Supervisor.result <> None
+    && o3.Supervisor.result <> None);
+  Alcotest.(check int) "compile count flat while tripped" 2
+    st.Serve.st_compiles;
+  Alcotest.(check int) "fallbacks hit the cached artifact" 2
+    st.Serve.st_hits;
+  (* probe still faulting: re-trip, still no invalidation *)
+  let o4 = serve ~plan:(oom ()) 4 in
+  Alcotest.(check bool) "probe demoted" true o4.Supervisor.degraded;
+  Alcotest.(check int) "re-trip" 2 (Serve.breaker_trips srv);
+  Alcotest.(check int) "probe failure keeps the artifact" 1
+    st.Serve.st_invalidations;
+  (* second cooldown, then a healthy probe recovers the primary *)
+  ignore (serve 5);
+  ignore (serve 6);
+  let o7 = serve 7 in
+  Alcotest.(check bool) "probe served clean by the primary" true
+    ((not o7.Supervisor.degraded) && o7.Supervisor.result <> None);
+  Alcotest.(check int) "one recovery" 1 (Serve.breaker_recoveries srv);
+  Alcotest.(check bool) "closed again" true
+    (Serve.breaker_state srv key = Breaker.Closed);
+  let o8 = serve 8 in
+  Alcotest.(check bool) "primary service restored" true
+    (not o8.Supervisor.degraded);
+  Alcotest.(check int) "total compiles across the whole episode" 2
+    st.Serve.st_compiles
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot framing                                                   *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "ft-snap" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_snapshot_roundtrip_and_corruption () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      (match Snapshot.read ~path with
+       | Snapshot.Absent -> ()
+       | _ -> Alcotest.fail "missing file must read Absent");
+      let records = [ "alpha"; ""; "third\trecord" ] in
+      Snapshot.write ~path records;
+      (match Snapshot.read ~path with
+       | Snapshot.Loaded l ->
+         Alcotest.(check (list string)) "roundtrip" records l
+       | _ -> Alcotest.fail "verified roundtrip failed");
+      (* single bit flipped in a payload: the record CRC catches it *)
+      Snapshot.corrupt_bitflip ~path;
+      (match Snapshot.read ~path with
+       | Snapshot.Corrupt reason ->
+         Alcotest.(check bool) "reason mentions CRC" true
+           (String.length reason > 0)
+       | _ -> Alcotest.fail "bit flip went undetected");
+      (* torn write: framing catches the truncation *)
+      Snapshot.write ~path records;
+      Snapshot.corrupt_truncate ~bytes:3 ~path ();
+      (match Snapshot.read ~path with
+       | Snapshot.Corrupt _ -> ()
+       | _ -> Alcotest.fail "truncation went undetected");
+      (* wrong magic *)
+      Snapshot.write ~path records;
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      let b = Bytes.of_string data in
+      Bytes.set b 0 'X';
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc b);
+      (match Snapshot.read ~path with
+       | Snapshot.Corrupt _ -> ()
+       | _ -> Alcotest.fail "bad magic went undetected"))
+
+(* ------------------------------------------------------------------ *)
+(* Warm start from a snapshot                                         *)
+
+let test_snapshot_warm_start () =
+  with_temp_file (fun path ->
+      let fn = sized_fn () in
+      let policy = Supervisor.default_policy in
+      let srv1 = Serve.create ~policy () in
+      ignore
+        (completed
+           (Serve.serve srv1
+              (Serve.request ~sizes:[ ("n", 8) ] ~id:0 fn (sized_args 8))));
+      ignore
+        (completed
+           (Serve.serve srv1
+              (Serve.request ~sizes:[ ("n", 16) ] ~id:1 fn (sized_args 16))));
+      Alcotest.(check int) "two records saved" 2
+        (Serve.save_snapshot srv1 ~path);
+      let hash = Canon.canonical_hash fn in
+      let resolve h = if h = hash then Some fn else None in
+      (* warm start re-prepares both entries *)
+      let srv2 = Serve.create ~policy () in
+      let w = Serve.load_snapshot srv2 ~path ~resolve in
+      Alcotest.(check bool) "present and verified" true
+        (w.Serve.ws_present && w.Serve.ws_corrupt = None);
+      Alcotest.(check int) "both loaded" 2 w.Serve.ws_loaded;
+      Alcotest.(check int) "cache occupancy" 2 (Serve.cache_length srv2);
+      let st = Serve.stats srv2 in
+      (* compiles counts actual prepares (warm start included); misses
+         counts lookups, and no request has missed yet *)
+      Alcotest.(check int) "warm-start compiles" 2 st.Serve.st_compiles;
+      Alcotest.(check int) "no misses" 0 st.Serve.st_misses;
+      (* first request after warm start is a hit and serves correctly *)
+      let args = sized_args 8 in
+      let r =
+        Serve.serve srv2 (Serve.request ~sizes:[ ("n", 8) ] ~id:0 fn args)
+      in
+      ignore (completed r);
+      check_doubled args;
+      Alcotest.(check bool) "first request hits warm cache" true
+        r.Serve.rs_hit;
+      Alcotest.(check int) "still no misses" 0 st.Serve.st_misses;
+      (* an unresolvable hash is skipped, never fatal *)
+      let srv3 = Serve.create ~policy () in
+      let w3 = Serve.load_snapshot srv3 ~path ~resolve:(fun _ -> None) in
+      Alcotest.(check int) "all skipped" 2 w3.Serve.ws_skipped;
+      Alcotest.(check int) "none loaded" 0 w3.Serve.ws_loaded;
+      (* corruption is detected and yields a cold start, not a crash *)
+      Snapshot.corrupt_bitflip ~path;
+      let srv4 = Serve.create ~policy () in
+      let w4 = Serve.load_snapshot srv4 ~path ~resolve in
+      Alcotest.(check bool) "corruption detected" true
+        (w4.Serve.ws_corrupt <> None);
+      Alcotest.(check int) "cold cache" 0 (Serve.cache_length srv4))
+
+(* ------------------------------------------------------------------ *)
+(* EDF ordering and deadline shedding                                 *)
+
+let test_edf_and_shedding () =
+  let fn = sized_fn () in
+  let srv = Serve.create ~policy:Supervisor.default_policy () in
+  let est = Serve.modeled_service srv ~sizes:[ ("n", 8) ] fn in
+  Alcotest.(check bool) "model has a service estimate" true (est > 0.0);
+  let mk id deadline =
+    Serve.request ~sizes:[ ("n", 8) ] ~deadline ~id fn (sized_args 8)
+  in
+  (* Arrival order: loose, tight, medium, barely-too-tight.  EDF serves
+     the tight deadline first (backlog est), then medium (2 est); the
+     2.6 est deadline would complete at 3 est -> shed; the loose one
+     serves last.  Under FIFO the tight deadline would be missed
+     instead. *)
+  let rs =
+    Serve.serve_batch srv
+      [ mk 0 (10.0 *. est); mk 1 (1.5 *. est); mk 2 (2.5 *. est);
+        mk 3 (2.6 *. est) ]
+  in
+  Alcotest.(check (list int)) "responses in request order" [ 0; 1; 2; 3 ]
+    (List.map (fun r -> r.Serve.rs_id) rs);
+  List.iteri
+    (fun idx r ->
+      if idx < 3 then
+        match r.Serve.rs_status with
+        | Serve.Completed o when o.Supervisor.result <> None -> ()
+        | _ -> Alcotest.failf "request %d should have served" idx)
+    rs;
+  (match (List.nth rs 3).Serve.rs_status with
+   | Serve.Rejected d ->
+     Alcotest.(check string) "structured overload diagnostic" "overload"
+       (Diag.code_to_string d.Diag.dg_code)
+   | Serve.Completed _ -> Alcotest.fail "unmeetable deadline not shed");
+  Alcotest.(check int) "one shed" 1 (Serve.stats srv).Serve.st_shed
+
+(* ------------------------------------------------------------------ *)
+(* Virtual-time overload soak: watermarks, accounting, determinism    *)
+
+let test_soak_overload_virtual () =
+  let fn = sized_fn () in
+  let run () =
+    let overload =
+      { Serve.default_overload with
+        Serve.ov_queue_high = 8;
+        ov_queue_low = 2 }
+    in
+    let srv = Serve.create ~overload ~policy:Supervisor.default_policy () in
+    let est = Serve.modeled_service srv ~sizes:[ ("n", 8) ] fn in
+    let rate = 4.0 /. Float.max est 1e-9 in  (* 4x modeled saturation *)
+    let args = sized_args 8 in
+    let pristine = List.map (fun (n, t) -> (n, Tensor.copy t)) args in
+    let make_request j =
+      List.iter
+        (fun (n, s) -> Tensor.copy_into ~src:s ~dst:(List.assoc n args))
+        pristine;
+      Serve.request ~sizes:[ ("n", 8) ] ~id:j fn args
+    in
+    let responses = ref 0 and sheds = ref 0 in
+    let on_response _ r =
+      incr responses;
+      match r.Serve.rs_status with
+      | Serve.Rejected d when d.Diag.dg_code = Diag.Overload -> incr sheds
+      | Serve.Rejected d ->
+        Alcotest.failf "unexpected rejection: %s" (Diag.to_string d)
+      | Serve.Completed _ -> ()
+    in
+    let cfg =
+      Serve.soak_cfg ~virtual_time:true
+        ~phases:[ (0.25, 1.0); (0.5, 4.0); (0.25, 1.0) ]
+        ~seed:7 ~requests:120 ~rate ~batch:4 ()
+    in
+    let r = Serve.soak ~on_response srv ~cfg ~make_request in
+    (r, !responses, !sheds)
+  in
+  let r1, resp1, sheds1 = run () in
+  Alcotest.(check int) "every request answered" 120 resp1;
+  let shed_total = r1.Serve.sk_shed_admission + r1.Serve.sk_shed_deadline in
+  Alcotest.(check bool) "overload shed some requests" true (shed_total > 0);
+  Alcotest.(check int) "every shed carried an overload diagnostic"
+    shed_total sheds1;
+  Alcotest.(check int) "virtual time sheds instead of serving late" 0
+    r1.Serve.sk_deadline_miss;
+  Alcotest.(check int) "accounting: served + failed + refused = offered"
+    120
+    (r1.Serve.sk_served_clean + r1.Serve.sk_retried + r1.Serve.sk_degraded
+   + r1.Serve.sk_failed + r1.Serve.sk_rejected + shed_total);
+  let r2, _, _ = run () in
+  Alcotest.(check bool) "virtual-time soak is fully deterministic" true
+    (r1 = r2)
+
+(* ------------------------------------------------------------------ *)
+(* Percentile math                                                    *)
+
+let test_percentile_exact () =
+  (* the soak report's percentile on a known sequence: nearest-rank over
+     the sorted array, index floor(q * (n-1)) *)
+  let lat = Array.init 100 (fun k -> float_of_int (k + 1)) in
+  Alcotest.(check (float 0.0)) "p50 of 1..100" 50.0
+    (Serve.percentile lat 0.50);
+  Alcotest.(check (float 0.0)) "p99 of 1..100" 99.0
+    (Serve.percentile lat 0.99);
+  Alcotest.(check (float 0.0)) "p0 is the minimum" 1.0
+    (Serve.percentile lat 0.0);
+  Alcotest.(check (float 0.0)) "p100 is the maximum" 100.0
+    (Serve.percentile lat 1.0);
+  Alcotest.(check (float 0.0)) "empty sample is 0" 0.0
+    (Serve.percentile [||] 0.99);
+  let five = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  Alcotest.(check (float 0.0)) "p50 of 5 samples" 30.0
+    (Serve.percentile five 0.50);
+  Alcotest.(check (float 0.0)) "p99 of 5 samples" 40.0
+    (Serve.percentile five 0.99)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_shared_budget; prop_cached_pool_sizes ]
+    [ prop_shared_budget; prop_cached_pool_sizes; prop_lru_occupancy ]
   @ [ Alcotest.test_case "LRU bounds and recency" `Quick test_lru;
       Alcotest.test_case "shape specialization and per-size keys" `Quick
         test_specialization;
@@ -389,4 +728,18 @@ let suite =
       Alcotest.test_case "guard checks are per-request deltas" `Quick
         test_guard_delta_per_request;
       Alcotest.test_case "soak is deterministic in its seed" `Quick
-        test_soak_deterministic_arrivals ]
+        test_soak_deterministic_arrivals;
+      Alcotest.test_case "LRU edge cases: capacity 1, touch/invalidate"
+        `Quick test_lru_edge_cases;
+      Alcotest.test_case "breaker trips, fallback-serves, and recovers"
+        `Quick test_breaker_trip_and_recovery;
+      Alcotest.test_case "snapshot roundtrip and corruption detection"
+        `Quick test_snapshot_roundtrip_and_corruption;
+      Alcotest.test_case "snapshot warm start re-prepares the cache"
+        `Quick test_snapshot_warm_start;
+      Alcotest.test_case "EDF ordering sheds the unmeetable deadline"
+        `Quick test_edf_and_shedding;
+      Alcotest.test_case "virtual-time overload soak sheds structurally"
+        `Quick test_soak_overload_virtual;
+      Alcotest.test_case "soak percentiles are exact on known samples"
+        `Quick test_percentile_exact ]
