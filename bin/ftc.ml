@@ -482,7 +482,7 @@ let soak_cmd =
            retries and fallbacks, and so some ordinals land beyond what a
            successful run executes (those requests serve clean). *)
         let horizon =
-          max 4 (Machine.last_kernels () * (policy.retries + 2))
+          max 4 (Supervisor.served_kernels warm * (policy.retries + 2))
         in
         let clean = ref 0 and retried = ref 0 and degraded = ref 0 in
         let closed = ref 0 in
@@ -598,8 +598,16 @@ let serve_cmd =
   let run w seed requests rate batch faults guard budget capacity
       min_avail min_hit burst virtual_time deadline_slack queue_high
       queue_low breaker_k breaker_cooldown snapshot_path crash_restart
-      corrupt min_warm =
+      corrupt min_warm tenants verify_isolation =
     guarded (fun () ->
+        if tenants < 1 then faultf "serve: --tenants must be >= 1";
+        if verify_isolation && crash_restart then
+          faultf
+            "serve: --verify-isolation and --crash-restart do not compose";
+        if verify_isolation && not virtual_time then
+          faultf
+            "serve: --verify-isolation requires --virtual-time (wall-clock \
+             timelines are not deterministic)";
         let name, fn0, args, _ = workload_case w in
         (* auto-schedule so the parallel backend has annotated loops *)
         let fn = Auto.run ~device:Types.Cpu fn0 in
@@ -613,7 +621,8 @@ let serve_cmd =
             ov_queue_low = queue_low;
             ov_breaker_k = breaker_k;
             ov_breaker_cooldown = breaker_cooldown;
-            ov_deadline_slack = deadline_slack }
+            ov_deadline_slack = deadline_slack;
+            ov_ewma_warmup = Serve.default_overload.Serve.ov_ewma_warmup }
         in
         let out_names =
           List.filter_map
@@ -623,35 +632,67 @@ let serve_cmd =
               | _ -> Some p.Stmt.p_name)
             fn.Stmt.fn_params
         in
-        let outputs () =
-          List.filter (fun (n, _) -> List.mem n out_names) args
+        let outputs_of a =
+          List.filter (fun (n, _) -> List.mem n out_names) a
         in
         let pristine = List.map (fun (n, t) -> (n, Tensor.copy t)) args in
-        let restore_all () =
-          List.iter
-            (fun (n, s) ->
-              Tensor.copy_into ~src:s ~dst:(List.assoc n args))
-            pristine
+        let fresh_args () =
+          List.map (fun (n, s) -> (n, Tensor.copy s)) pristine
         in
-        (* Fresh-compile fault-free reference outputs per backend: the
-           bitwise bar every cached-artifact result must clear for the
-           backend that served it. *)
+        (* Tenant fan-out: request [j] carries a dummy size binding
+           [__t = j mod tenants].  The variable is absent from the
+           program, so every tenant computes the same function, but the
+           binding is part of the cache key — each tenant gets its own
+           artifact instance, and a batch mixes keys, which is what the
+           concurrent dispatcher fans out across domains. *)
+        let sizes_of j =
+          if tenants <= 1 then [] else [ ("__t", j mod tenants) ]
+        in
+        (* Per-request argument buffers: requests under different keys
+           execute concurrently, so they cannot share tensors.  A
+           request's buffers live in this table from materialization
+           until its response is consumed. *)
+        let req_args : (int, (string * Tensor.t) list) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        let materialize j =
+          match Hashtbl.find_opt req_args j with
+          | Some a ->
+            (* Second call for the same id ([make_request] is called at
+               admission and again at dispatch): restore pristine
+               contents rather than allocating anew. *)
+            List.iter
+              (fun (n, s) -> Tensor.copy_into ~src:s ~dst:(List.assoc n a))
+              pristine;
+            a
+          | None ->
+            let a = fresh_args () in
+            Hashtbl.add req_args j a;
+            a
+        in
+        (* Fresh-compile fault-free reference outputs per backend,
+           obtained through the serving path itself (shape
+           specialization included, sizes as tenant 0 — every tenant
+           runs the same program): the bitwise bar every soak result
+           must clear for the backend that served it. *)
         let reference =
           List.map
             (fun b ->
-              restore_all ();
-              let sv1 =
-                Supervisor.prepare
-                  ~policy:{ policy with Supervisor.backends = [ b ] } fn
+              let srv1 =
+                Serve.create
+                  ~policy:{ policy with Supervisor.backends = [ b ] } ()
               in
-              let o = Supervisor.exec sv1 args in
-              (match o.Supervisor.result with
-               | Some _ -> ()
-               | None ->
-                 faultf "serve %s: fault-free run on %s failed:\n%s" name
-                   (Supervisor.backend_name b)
-                   (Supervisor.outcome_to_string o));
-              (b, List.map (fun (n, t) -> (n, Tensor.copy t)) (outputs ())))
+              let a = fresh_args () in
+              let r =
+                Serve.serve srv1
+                  (Serve.request ~sizes:(sizes_of 0) ~id:0 fn a)
+              in
+              (match r.Serve.rs_status with
+               | Serve.Completed { Supervisor.result = Some _; _ } -> ()
+               | _ ->
+                 faultf "serve %s: fault-free reference run on %s failed"
+                   name (Supervisor.backend_name b));
+              (b, List.map (fun (n, t) -> (n, Tensor.copy t)) (outputs_of a)))
             policy.Supervisor.backends
         in
         (* Size the fault horizon from one clean supervised run (its
@@ -660,13 +701,12 @@ let serve_cmd =
         let horizon =
           if faults = 0 then 0
           else begin
-            restore_all ();
             let sv = Supervisor.prepare ~policy fn in
-            let warm = Supervisor.exec sv args in
+            let warm = Supervisor.exec sv (fresh_args ()) in
             (match warm.Supervisor.result with
              | Some _ -> ()
              | None -> faultf "serve %s: clean warm-up request failed" name);
-            max 4 (Machine.last_kernels ()
+            max 4 (Supervisor.served_kernels warm
                    * (policy.Supervisor.retries + 2))
           end
         in
@@ -678,7 +718,7 @@ let serve_cmd =
           else []
         in
         let make_request j =
-          restore_all ();
+          let a = materialize j in
           let plan =
             if faults = 0 then None
             else
@@ -686,36 +726,83 @@ let serve_cmd =
                 (Machine.Fault_plan.make ~seed:(seed + (j * 7919)) ~faults
                    ~horizon)
           in
-          Serve.request ?plan ~id:j fn args
+          Serve.request ?plan ~sizes:(sizes_of j) ~id:j fn a
         in
         let mismatches = ref 0 in
         let responses = ref 0 in
         let unstructured = ref 0 in
-        let on_response _ r =
-          incr responses;
-          match r.Serve.rs_status with
-          | Serve.Rejected d ->
-            (* Every refusal must carry a structured admission or
-               overload diagnostic — sheds are never silent drops. *)
-            (match d.Diag.dg_code with
-             | Diag.Oom | Diag.Overload -> ()
-             | _ -> incr unstructured)
-          | Serve.Completed o ->
-            (match o.Supervisor.result with
-             | None -> ()
-             | Some b ->
-               let want = List.assoc b reference in
-               if
-                 not
-                   (List.for_all
-                      (fun (n, t) -> bits_equal t (List.assoc n want))
-                      (outputs ()))
-               then incr mismatches)
+        (* Per-request isolation signature: everything the per-request
+           run context and budget account for — status, serving backend,
+           cache hit, guard-check delta, and the attempt log with each
+           attempt's kernel and tick counters.  Identical between the
+           concurrent soak and a one-domain sequential drain of the same
+           seed iff no state leaked across requests. *)
+        let signature (r : Serve.response) =
+          let status =
+            match r.Serve.rs_status with
+            | Serve.Rejected d ->
+              "rejected:" ^ Diag.code_to_string d.Diag.dg_code
+            | Serve.Completed o ->
+              Printf.sprintf "completed:%s:%b:%b"
+                (match o.Supervisor.result with
+                 | None -> "closed"
+                 | Some b -> Supervisor.backend_name b)
+                o.Supervisor.retried o.Supervisor.degraded
+          in
+          let attempts =
+            match r.Serve.rs_status with
+            | Serve.Rejected _ -> ""
+            | Serve.Completed o ->
+              String.concat ";"
+                (List.map
+                   (fun (a : Supervisor.attempt) ->
+                     Printf.sprintf "%s/r%d/k%d/t%d/%s"
+                       (Supervisor.backend_name a.Supervisor.at_backend)
+                       a.Supervisor.at_retry a.Supervisor.at_kernels
+                       a.Supervisor.at_ticks
+                       (match a.Supervisor.at_fault with
+                        | None -> "ok"
+                        | Some d -> Diag.code_to_string d.Diag.dg_code))
+                   o.Supervisor.attempts)
+          in
+          Printf.sprintf "%s|hit=%b|guards=%d|%s" status r.Serve.rs_hit
+            r.Serve.rs_guard_checks attempts
         in
+        let handle_response ~count sigs (r : Serve.response) =
+          let j = r.Serve.rs_id in
+          if count then incr responses;
+          (match sigs with
+           | Some a when j >= 0 && j < Array.length a -> a.(j) <- signature r
+           | _ -> ());
+          (match r.Serve.rs_status with
+           | Serve.Rejected d ->
+             (* Every refusal must carry a structured admission or
+                overload diagnostic — sheds are never silent drops. *)
+             (match d.Diag.dg_code with
+              | Diag.Oom | Diag.Overload -> ()
+              | _ -> incr unstructured)
+           | Serve.Completed o ->
+             (match o.Supervisor.result with
+              | None -> ()
+              | Some b ->
+                let want = List.assoc b reference in
+                let a =
+                  Option.value ~default:[] (Hashtbl.find_opt req_args j)
+                in
+                if
+                  not
+                    (List.for_all
+                       (fun (n, t) -> bits_equal t (List.assoc n want))
+                       (outputs_of a))
+                then incr mismatches));
+          Hashtbl.remove req_args j
+        in
+        let sigs_main = Array.make (max 1 requests) "" in
+        let on_response _ r = handle_response ~count:true (Some sigs_main) r in
         (* Request ids (and hence fault-plan seeds) are global across
            phases, so a crash-restart run replays the same chaos a
            single-phase run of the same seed would. *)
-        let soak_on srv ~first ~count =
+        let soak_on ?(on_response = on_response) srv ~first ~count =
           let cfg =
             Serve.soak_cfg ~phases ~virtual_time ~seed:(seed + first)
               ~requests:count ~rate ~batch ()
@@ -724,13 +811,16 @@ let serve_cmd =
             ~make_request:(fun j -> make_request (first + j))
         in
         Printf.printf
-          "serve %s: seed=%d rate=%.0f/s batch<=%d faults=%d%s%s%s%s%s\n"
+          "serve %s: seed=%d rate=%.0f/s batch<=%d faults=%d workers=%d%s%s%s%s%s%s%s\n"
           name seed rate batch faults
+          (Exec_par.num_domains ())
+          (if tenants > 1 then Printf.sprintf " tenants=%d" tenants else "")
           (if guard then " guard" else "")
           (if budget > 0 then Printf.sprintf " budget=%dB" budget else "")
           (if burst > 1.0 then Printf.sprintf " burst=%gx" burst else "")
           (if virtual_time then " virtual-time" else "")
-          (if crash_restart then " crash-restart" else "");
+          (if crash_restart then " crash-restart" else "")
+          (if verify_isolation then " verify-isolation" else "");
         let reports = ref [] in
         (if crash_restart then begin
            let path =
@@ -809,11 +899,68 @@ let serve_cmd =
             | None -> ());
            let r = soak_on srv ~first:0 ~count:requests in
            reports := ("soak", r) :: !reports;
-           match snapshot_path with
-           | Some p ->
-             let saved = Serve.save_snapshot srv ~path:p in
-             Printf.printf "  snapshot: saved %d record(s) to %s\n" saved p
-           | None -> ()
+           (match snapshot_path with
+            | Some p ->
+              let saved = Serve.save_snapshot srv ~path:p in
+              Printf.printf "  snapshot: saved %d record(s) to %s\n" saved p
+            | None -> ());
+           (* Containment verification: drain the identical load
+              through a fresh server that dispatches groups one at a
+              time (same pool size and chunking — dispatch concurrency
+              is the only variable) and require every per-request
+              signature, and the aggregate counters, to match the
+              concurrent run.  Any cross-request state leak (a shared
+              run context's fault plan, deadline clock or cost
+              counters, a shared budget, a clobbered guard delta)
+              drifts a signature.  Under FT_ISOLATION_INJECT=1 the run
+              context is deliberately process-global, and this gate
+              must fail. *)
+           if verify_isolation then begin
+             let sigs_seq = Array.make (max 1 requests) "" in
+             let r_seq =
+               let srv2 =
+                 Serve.create ~capacity ~overload ~sequential_dispatch:true
+                   ~policy ()
+               in
+               soak_on srv2
+                 ~on_response:(fun _ r ->
+                   handle_response ~count:false (Some sigs_seq) r)
+                 ~first:0 ~count:requests
+             in
+             let violations = ref [] in
+             for j = requests - 1 downto 0 do
+               if sigs_seq.(j) <> sigs_main.(j) then
+                 violations := j :: !violations
+             done;
+             Printf.printf
+               "  isolation: %d/%d per-request signatures match the \
+                sequential drain\n"
+               (requests - List.length !violations)
+               requests;
+             (match !violations with
+              | [] -> ()
+              | j :: _ ->
+                faultf
+                  "serve %s: %d request(s) diverge from the sequential \
+                   drain (isolation violation); first at request %d:\n\
+                  \  concurrent: %s\n\
+                  \  sequential: %s"
+                  name
+                  (List.length !violations)
+                  j sigs_main.(j) sigs_seq.(j));
+             let agg (x : Serve.soak_report) =
+               ( x.Serve.sk_served_clean, x.Serve.sk_retried,
+                 x.Serve.sk_degraded, x.Serve.sk_failed,
+                 x.Serve.sk_rejected, x.Serve.sk_shed_admission,
+                 x.Serve.sk_shed_deadline, x.Serve.sk_compiles,
+                 x.Serve.sk_guard_checks, x.Serve.sk_makespan_s )
+             in
+             if agg r_seq <> agg r then
+               faultf
+                 "serve %s: aggregate soak counters diverge from the \
+                  sequential drain (isolation violation)"
+                 name
+           end
          end);
         let reports = List.rev !reports in
         List.iter
@@ -1045,6 +1192,32 @@ let serve_cmd =
             "Fail (exit 1) when the warm-start rate after a \
              crash-restart drops below this fraction.")
   in
+  let tenants_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "tenants" ] ~docv:"T"
+          ~doc:
+            "Fan the workload out as T tenants: request j carries a \
+             dummy size binding (__t = j mod T), so each tenant gets \
+             its own cache key and artifact instance while computing \
+             the same function — a batch then mixes keys, and the \
+             concurrent dispatcher fans the groups out across the \
+             domain pool.")
+  in
+  let verify_isolation_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-isolation" ]
+          ~doc:
+            "After the soak, drain the identical load through a fresh \
+             server that dispatches groups one at a time (same pool \
+             size — dispatch concurrency is the only variable) and \
+             require every per-request signature — status, backend, \
+             cache hit, guard checks, and the attempt log's kernel/tick \
+             counters — plus the aggregate soak counters to match the \
+             concurrent run; exits 1 on any divergence.  Requires \
+             $(b,--virtual-time).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1054,19 +1227,23 @@ let serve_cmd =
           with deadline-aware load shedding, bounded-queue admission, \
           per-key circuit breakers, crash-safe cache snapshots, request \
           batching over the execution supervisor, admission control \
-          against the memory budget.  Reports throughput, p50/p99 \
-          latency, shed/deadline-miss counts, cache-hit and warm-start \
-          rates, breaker activity and the batch-size histogram; exits 1 \
-          on bitwise divergence from fresh compiles, unstructured \
-          rejections, missing responses, availability or hit-rate below \
-          their floors, undetected snapshot corruption, or any recompile \
+          against the memory budget, concurrent batch dispatch across \
+          the domain pool with per-request fault isolation \
+          ($(b,--tenants), $(b,--verify-isolation)).  Reports \
+          throughput, p50/p99 latency, shed/deadline-miss counts, \
+          cache-hit and warm-start rates, breaker activity and the \
+          batch-size histogram; exits 1 on bitwise divergence from \
+          fresh compiles, unstructured rejections, missing responses, \
+          availability or hit-rate below their floors, undetected \
+          snapshot corruption, isolation violations, or any recompile \
           after warmup in a fault-free soak")
     Term.(
       const run $ wl_arg $ seed_arg $ requests_arg $ rate_arg $ batch_arg
       $ faults_arg $ guard_arg $ budget_arg $ capacity_arg $ min_avail_arg
       $ min_hit_arg $ burst_arg $ virtual_arg $ slack_arg $ queue_high_arg
       $ queue_low_arg $ breaker_k_arg $ breaker_cooldown_arg $ snapshot_arg
-      $ crash_arg $ corrupt_arg $ min_warm_arg)
+      $ crash_arg $ corrupt_arg $ min_warm_arg $ tenants_arg
+      $ verify_isolation_arg)
 
 (* ftc litmus: the exhaustive transformation-correctness harness.
    Enumerates every skeleton program within --depth/--stmts, every

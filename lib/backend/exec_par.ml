@@ -108,47 +108,140 @@ let join k =
   Mutex.unlock w.mutex;
   e
 
-(* Region-wide cancellation flag.  Reset at every region entry; set by
-   the first chunk that raises (or observes a supervisor cancellation),
-   so the remaining chunks of the region bail out at their next check
-   instead of finishing useless work.  Compiled parallel loop bodies
-   also consult {!aborted} between iterations. *)
-let abort = Atomic.make false
+(* Region-scoped cancellation flag, carried in domain-local storage: a
+   fresh atomic is minted per region and installed on every domain that
+   executes one of its chunks, so concurrently-running regions (separate
+   requests on separate domains) cannot poison each other.  The first
+   chunk that raises sets its region's flag and the region's remaining
+   chunks bail out at their next check; compiled parallel loop bodies
+   also consult {!aborted} between iterations.  The per-domain default
+   is a dummy that is never set, so [aborted] outside any region is
+   false. *)
+let region_abort : bool Atomic.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Atomic.make false)
 
-let aborted () = Atomic.get abort
+let aborted () = Atomic.get (Domain.DLS.get region_abort)
+
+(* True while the calling domain is executing pool work (a chunk or a
+   task).  A [run_chunks] issued from such a domain cannot borrow the
+   worker slots — they may be busy with other regions' work — so it runs
+   its chunks inline instead (bitwise-safe: parallel execution is
+   deterministically identical to sequential chunk order). *)
+let busy_here : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let with_dls key v f =
+  let saved = Domain.DLS.get key in
+  Domain.DLS.set key v;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key saved) f
+
+(* Chunks poll the supervisor token on entry, skip if another chunk of
+   the same region already failed, and poison the region on any
+   exception. *)
+let chunk_body region f k =
+  if not (Atomic.get region) then
+    try
+      Ft_machine.Machine.poll ();
+      f k
+    with e ->
+      Atomic.set region true;
+      raise e
+
+let run_chunks_inline n f =
+  let region = Atomic.make false in
+  with_dls region_abort region (fun () ->
+    for k = 0 to n - 1 do
+      chunk_body region f k
+    done)
 
 let run_chunks n (f : int -> unit) =
-  Atomic.set abort false;
   if n <= 1 then (if n = 1 then f 0)
   else begin
     let n = min n max_domains in
-    (* Each chunk polls the supervisor token on entry, skips if another
-       chunk already failed, and poisons the region on any exception. *)
-    let g k =
-      if not (Atomic.get abort) then
+    if Domain.DLS.get busy_here then run_chunks_inline n f
+    else begin
+      let region = Atomic.make false in
+      (* Workers inherit the master's supervision context and memory
+         budget for the duration of their chunk: polls tick the caller's
+         deadline clock and chunk-local allocations charge the caller's
+         budget, exactly as chunk 0 does inline on the master. *)
+      let ctx = Ft_machine.Machine.Ctx.current () in
+      let bud = Ft_runtime.Tensor.current_budget () in
+      let worker_chunk k () =
+        with_dls busy_here true (fun () ->
+          with_dls region_abort region (fun () ->
+            Ft_machine.Machine.Ctx.with_current ctx (fun () ->
+              Ft_runtime.Tensor.with_adopted bud (fun () ->
+                chunk_body region f k))))
+      in
+      for k = 1 to n - 1 do
+        submit (k - 1) (worker_chunk k)
+      done;
+      let master_exn =
         try
-          Ft_machine.Machine.poll ();
-          f k
-        with e ->
-          Atomic.set abort true;
-          raise e
-    in
-    for k = 1 to n - 1 do
-      submit (k - 1) (fun () -> g k)
-    done;
-    let master_exn = try g 0; None with e -> Some e in
-    (* Always join every chunk before re-raising, so no worker is still
-       touching shared cells when the caller resumes. *)
-    let first = ref master_exn in
-    for k = 1 to n - 1 do
-      match join (k - 1) with
-      | Some e when !first = None -> first := Some e
-      | _ -> ()
-    done;
-    match !first with
-    | None -> Atomic.set abort false
-    | Some e -> raise e
+          with_dls busy_here true (fun () ->
+            with_dls region_abort region (fun () -> chunk_body region f 0));
+          None
+        with e -> Some e
+      in
+      (* Always join every chunk before re-raising, so no worker is
+         still touching shared cells when the caller resumes. *)
+      let first = ref master_exn in
+      for k = 1 to n - 1 do
+        match join (k - 1) with
+        | Some e when !first = None -> first := Some e
+        | _ -> ()
+      done;
+      match !first with
+      | None -> ()
+      | Some e -> raise e
+    end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Task scheduler for the serving layer: run [tasks] to completion
+   across the pool (master included), each task claimed from a shared
+   atomic counter.  Unlike [run_chunks] there is no fixed task->domain
+   mapping — tasks are independent requests, and a long task must not
+   leave domains idle while short ones queue behind it.
+
+   Each task is a fault domain: an exception is captured into the
+   result slot for that task alone, every other task still runs, and
+   the pool remains reusable afterwards.  Tasks execute with
+   [busy_here] set, so parallel regions inside a task run their chunks
+   inline on the task's domain rather than contending for worker
+   slots. *)
+let run_tasks ?(max_workers = max_int) (tasks : (unit -> unit) array) :
+    exn option array =
+  let n = Array.length tasks in
+  let exns = Array.make n None in
+  if n > 0 then begin
+    let d = min (max 1 max_workers) (min (num_domains ()) n) in
+    let next = Atomic.make 0 in
+    let runner () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try with_dls busy_here true tasks.(i)
+           with e -> exns.(i) <- Some e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    if d <= 1 then runner ()
+    else begin
+      for k = 1 to d - 1 do
+        submit (k - 1) runner
+      done;
+      runner ();
+      for k = 1 to d - 1 do
+        (* The runner never raises (task exceptions are captured), but a
+           defensive join keeps the pool sane if it somehow does. *)
+        ignore (join (k - 1))
+      done
+    end
+  end;
+  exns
 
 let shutdown () =
   Array.iter

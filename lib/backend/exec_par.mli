@@ -27,15 +27,45 @@ val set_num_domains : int -> unit
     writes made before the call are visible to every chunk, and chunk
     writes are visible to the caller after the join.
 
+    Worker chunks inherit the caller's supervision context
+    ({!Ft_machine.Machine.Ctx}) and memory budget
+    ({!Ft_runtime.Tensor.current_budget}) for their duration, so entry
+    polls tick the caller's deadline clock and chunk-local allocations
+    charge the caller's budget.
+
+    Reentrancy: a [run_chunks] issued from inside pool work (a chunk or
+    a {!run_tasks} task) runs its chunks inline sequentially on the
+    calling domain — bitwise-identical by the deterministic-reduction
+    property, and free of worker-slot contention with other in-flight
+    regions.
+
     Cancellation: the first chunk that raises (including a supervisor
     deadline observed at its entry poll) poisons the region, so chunks
     not yet started are skipped; the original exception is re-raised
     after every chunk has joined, and the pool stays reusable. *)
 val run_chunks : int -> (int -> unit) -> unit
 
-(** True while the current parallel region is poisoned by a failed
-    chunk.  Compiled parallel loop bodies check this between iterations
-    to stop early; always false outside/after a successful region. *)
+(** [run_tasks tasks] runs every task to completion across the pool
+    (master domain included), each task claimed from a shared counter —
+    the serving layer's dispatch primitive for independent requests.
+    Slot [i] of the result is the exception task [i] raised, if any:
+    one task failing never prevents the others from running, and the
+    pool stays reusable.  Tasks run with pool-work status set, so
+    parallel regions inside a task execute inline on its domain.
+
+    Tasks do NOT inherit the caller's supervision context or budget —
+    each task is its own fault domain and installs what it needs.
+
+    [max_workers] caps the domains used (default: the pool size);
+    [~max_workers:1] runs every task on the caller, in order, in the
+    same per-task environment — the isolation verifier's sequential
+    baseline, with everything but dispatch concurrency held fixed. *)
+val run_tasks : ?max_workers:int -> (unit -> unit) array -> exn option array
+
+(** True while the current parallel region (the one whose chunk or task
+    this domain is executing) is poisoned by a failed chunk.  Compiled
+    parallel loop bodies check this between iterations to stop early;
+    always false outside a region. *)
 val aborted : unit -> bool
 
 (** Stop and join all spawned workers (installed as an [at_exit] hook;

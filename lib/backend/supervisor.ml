@@ -45,6 +45,7 @@ type attempt = {
   at_retry : int;
   at_backoff : int;
   at_kernels : int;
+  at_ticks : int;
   at_fault : Diag.t option;
 }
 
@@ -216,49 +217,56 @@ let exec ?plan ?(sizes = []) ?(skip = 0) (sv : t)
         | Error d ->
           record
             { at_backend = b; at_retry = retry; at_backoff = bo;
-              at_kernels = 0; at_fault = Some d };
+              at_kernels = 0; at_ticks = 0; at_fault = Some d };
           diags := d :: !diags;
           `Fall
         | Ok run ->
           if not !pristine then restore ();
           pristine := false;
           (* Everything that happens between installing the run context
-             and recording the attempt is fenced by [Fun.protect]: if
-             the run, [diag_of_exn], or the restore path raises, the
-             context and budget still come down before the exception
-             travels — a failed attempt can never leak supervision state
-             into the next request. *)
-          Machine.install ?plan ~deadline:p.deadline ~fn:fn_name ();
-          let budget =
-            (* Scoped: when an enclosing scope (a serving-layer batch
-               budget) is active, it binds and we must not stack ours. *)
-            if budgeted b && not (Tensor.budget_active ()) then
-              Option.map
-                (fun cap -> Tensor.install_budget ~fn:fn_name cap)
-                p.mem_budget_bytes
-            else None
-          in
+             and recording the attempt is fenced by [Fun.protect] inside
+             [Ctx.with_installed]: if the run, [diag_of_exn], or the
+             restore path raises, the context and budget still come down
+             before the exception travels — a failed attempt can never
+             leak supervision state into the next request.  The context
+             is a per-attempt value installed on this domain only, so
+             concurrent requests on other domains are untouched. *)
+          let cx = Machine.Ctx.make ?plan ~deadline:p.deadline ~fn:fn_name () in
           let fault =
-            Fun.protect
-              ~finally:(fun () ->
-                Option.iter Tensor.release_budget budget;
-                Machine.uninstall ())
-              (fun () ->
-                let body () = run args sizes in
-                let body =
-                  (* The interpreter is the unbudgeted host-side last
-                     resort, even under an externally installed batch
-                     budget. *)
-                  if budgeted b then body
-                  else fun () -> Tensor.unbudgeted body
+            Machine.Ctx.with_installed cx (fun () ->
+                let budget =
+                  (* Per-request child budget: when an enclosing scope (a
+                     serving-layer batch-group cap) is active, chain
+                     under it — the request keeps its own accounting and
+                     the group keeps its aggregate bound. *)
+                  if budgeted b then
+                    Option.map
+                      (fun cap ->
+                        Tensor.install_budget ~fn:fn_name
+                          ?parent:(Tensor.current_budget ()) cap)
+                      p.mem_budget_bytes
+                  else None
                 in
-                match body () with
-                | () -> None
-                | exception e -> Some (diag_of_exn ~fn:fn_name e))
+                Fun.protect
+                  ~finally:(fun () ->
+                    Option.iter Tensor.release_budget budget)
+                  (fun () ->
+                    let body () = run args sizes in
+                    let body =
+                      (* The interpreter is the unbudgeted host-side last
+                         resort, even under an externally installed batch
+                         budget. *)
+                      if budgeted b then body
+                      else fun () -> Tensor.unbudgeted body
+                    in
+                    match body () with
+                    | () -> None
+                    | exception e -> Some (diag_of_exn ~fn:fn_name e)))
           in
           record
             { at_backend = b; at_retry = retry; at_backoff = bo;
-              at_kernels = Machine.last_kernels (); at_fault = fault };
+              at_kernels = Machine.Ctx.kernels cx;
+              at_ticks = Machine.Ctx.ticks cx; at_fault = fault };
           (match fault with
            | None -> `Served
            | Some d ->
@@ -312,12 +320,23 @@ let deadline_of_estimate ?(slack = 8.0) ~device (fn : Stmt.func) =
   let m = Costmodel.estimate ~device fn in
   Machine.Seconds (Float.max 1e-6 (m.Machine.time *. slack))
 
+let served_attempt (o : outcome) =
+  match o.result with
+  | None -> None
+  | Some b ->
+    List.find_opt
+      (fun a -> a.at_backend = b && a.at_fault = None)
+      o.attempts
+
+let served_kernels o =
+  match served_attempt o with None -> 0 | Some a -> a.at_kernels
+
 let calibrate_deadline ?(slack = 4) ?sizes (sv : t)
     (args : (string * Tensor.t) list) =
   let outcome = exec ?sizes sv args in
-  match outcome.result with
+  match served_attempt outcome with
   | None -> Machine.No_deadline
-  | Some _ -> Machine.Ticks ((Machine.last_ticks () * slack) + 16)
+  | Some a -> Machine.Ticks ((a.at_ticks * slack) + 16)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering *)

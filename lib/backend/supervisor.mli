@@ -16,17 +16,22 @@
     first, so a completed result is bitwise-identical to a fault-free
     run of the backend that served it.
 
-    Per attempt the supervisor installs a {!Ft_machine.Machine} run
-    context (fault plan, deadline, cancellation token) and — for the
-    compiled backends — a scoped {!Ft_runtime.Tensor} memory budget;
-    teardown is fenced ([Fun.protect]), so a fault anywhere in the
-    attempt — including while building its diagnostic — can never leak
-    the run context or budget into the next request.  When an enclosing
-    budget scope is already active (the serving layer installs one
-    around a whole batch), the supervisor uses it instead of stacking
-    its own.  The budget models device memory, so the interpreter
-    fallback runs unbudgeted (via {!Ft_runtime.Tensor.unbudgeted}): the
-    chain's host-side last resort can always serve. *)
+    Per attempt the supervisor mints a per-request
+    {!Ft_machine.Machine.Ctx} run context (fault plan, deadline,
+    cancellation token, cost counters) and installs it on the executing
+    domain only, and — for the compiled backends — a scoped
+    {!Ft_runtime.Tensor} memory budget; teardown is fenced
+    ([Fun.protect]), so a fault anywhere in the attempt — including
+    while building its diagnostic — can never leak the run context or
+    budget into the next request, and concurrent requests on other
+    domains are isolated by construction.  When an enclosing budget
+    scope is already active (the serving layer adopts one shared
+    batch-group cap on each executing domain), the per-attempt budget
+    chains under it as a child: the request keeps its own accounting
+    while the group keeps its aggregate bound.  The budget models device
+    memory, so the interpreter fallback runs unbudgeted (via
+    {!Ft_runtime.Tensor.unbudgeted}): the chain's host-side last resort
+    can always serve. *)
 
 open Ft_ir
 open Ft_runtime
@@ -69,6 +74,10 @@ type attempt = {
   at_retry : int;    (** 0 for the first try on this backend *)
   at_backoff : int;  (** simulated backoff ticks before this try *)
   at_kernels : int;  (** kernels the attempt executed before finishing *)
+  at_ticks : int;
+      (** simulated-clock ticks the attempt accumulated — read from the
+          attempt's own run context, so concurrent requests can never
+          clobber each other's counters *)
   at_fault : Diag.t option;  (** [None] iff the attempt served *)
 }
 
@@ -85,6 +94,16 @@ type outcome = {
           degradation. *)
   diags : Diag.t list;  (** every fault observed, chronological *)
 }
+
+(** The fault-free attempt on the serving backend, when the outcome
+    served — its [at_kernels]/[at_ticks] are the request's cost
+    counters (the replacement for the old process-global "last run"
+    stats, which one concurrent request could overwrite under
+    another). *)
+val served_attempt : outcome -> attempt option
+
+(** Kernels of the serving attempt; 0 when failed closed. *)
+val served_kernels : outcome -> int
 
 (** A prepared supervisor: backends are compiled once (with supervisor
     hooks) and reused across requests.  A backend that fails to compile

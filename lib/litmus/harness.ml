@@ -10,8 +10,9 @@
     and not thread-safe), buffering checked pairs into batches; each
     batch's sequential oracle legs ({!Oracle.check_seq}) are striped
     across the {!Ft_backend.Exec_par} domain pool, then the parallel
-    legs ({!Oracle.check_par}) run on the master — the pool is not
-    reentrant.  Results land in per-item slots of a preallocated array,
+    legs ({!Oracle.check_par}) run on the master, where their parallel
+    regions really use the pool (from a worker they would run inline).
+    Results land in per-item slots of a preallocated array,
     so counts and failure order are deterministic for any
     [FT_NUM_DOMAINS].
 

@@ -30,8 +30,11 @@
     is safe to run inside an {!Ft_backend.Exec_par} worker domain (it
     never touches the domain pool, fresh-name counters or other
     non-thread-safe global state); {!check_par} runs the
-    [~parallel:true] leg and MUST only be called on the master domain —
-    {!Ft_backend.Exec_par.run_chunks} is not reentrant. *)
+    [~parallel:true] leg and is kept on the master domain so its
+    parallel regions actually exercise the worker pool — a
+    {!Ft_backend.Exec_par.run_chunks} issued from inside pool work runs
+    its chunks inline on one domain (bitwise-identical, but not the leg
+    this oracle is for). *)
 
 open Ft_ir
 open Ft_backend
@@ -290,8 +293,9 @@ let check_seq ?(mutation = `None) ~(base : Stmt.func) ~(sched : Stmt.func)
     Fail { fail_stage = "exception";
            fail_detail = Printexc.to_string e }
 
-(** The [~parallel:true] leg.  Master domain only: the parallel executor
-    drives the {!Exec_par} pool, which is not reentrant. *)
+(** The [~parallel:true] leg.  Master domain only: issued from a worker,
+    its parallel regions would run inline on that one domain instead of
+    exercising the {!Exec_par} pool. *)
 let check_par ?(mutation = `None) ~base:(_ : Stmt.func) ~(sched : Stmt.func)
     (expect : expect) : outcome =
   match expect with

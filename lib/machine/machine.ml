@@ -243,11 +243,15 @@ let metrics_to_string m =
 (* Supervised execution: deterministic fault injection, deadlines and
    cooperative cancellation.
 
-   The supervisor installs a run context before an attempt and removes
-   it afterwards; executors call [on_kernel] at kernel boundaries and
-   [poll] at outer-loop headers / chunk starts.  With no context
-   installed both are a single ref read, so unsupervised runs pay
-   nothing. *)
+   A run context is a first-class value ([Ctx.t]) carrying the fault
+   plan, deadline, tick/kernel counters and cancellation flag for ONE
+   request attempt.  The supervisor installs it for the duration of an
+   attempt via [Ctx.with_installed]; installation is per-domain
+   ([Domain.DLS]), so concurrent requests on separate domains each see
+   only their own context.  Executors call [on_kernel] at kernel
+   boundaries and [poll] at outer-loop headers / chunk starts.  With no
+   context installed both are a single DLS read, so unsupervised runs
+   pay almost nothing. *)
 
 type fault_kind =
   | F_launch
@@ -350,36 +354,64 @@ type run_ctx = {
   cx_cancel : Diag.t option Atomic.t;
 }
 
-let current : run_ctx option ref = ref None
-let last_stats = ref (0, 0) (* (kernels, ticks) of last uninstalled ctx *)
+module Ctx = struct
+  type t = run_ctx
 
-let supervised () = !current <> None
+  (* FT_ISOLATION_INJECT=1 deliberately breaks per-request isolation:
+     every [make] returns ONE shared context, so counters accumulate
+     across requests and the first caller's plan/deadline stick.  The
+     serving layer's isolation verifier must detect the resulting
+     per-request stat drift and fail — this is the CI canary proving
+     the verifier has teeth. *)
+  let inject_leak =
+    match Sys.getenv_opt "FT_ISOLATION_INJECT" with
+    | Some "1" -> true
+    | _ -> false
 
-let install ?plan ?(deadline = No_deadline) ~fn () =
-  current :=
-    Some
-      { cx_fn = fn; cx_plan = plan; cx_deadline = deadline;
-        cx_start =
-          (match deadline with
-           | Seconds _ -> Unix.gettimeofday ()
-           | _ -> 0.0);
-        cx_ticks = Atomic.make 0; cx_kernels = Atomic.make 0;
-        cx_cancel = Atomic.make None }
+  let leaky : t option Atomic.t = Atomic.make None
 
-let uninstall () =
-  (match !current with
-   | None -> ()
-   | Some cx ->
-     last_stats := (Atomic.get cx.cx_kernels, Atomic.get cx.cx_ticks));
-  current := None
+  let fresh ?plan ?(deadline = No_deadline) ~fn () =
+    { cx_fn = fn; cx_plan = plan; cx_deadline = deadline;
+      cx_start =
+        (match deadline with
+         | Seconds _ -> Unix.gettimeofday ()
+         | _ -> 0.0);
+      cx_ticks = Atomic.make 0; cx_kernels = Atomic.make 0;
+      cx_cancel = Atomic.make None }
 
-let last_kernels () = fst !last_stats
-let last_ticks () = snd !last_stats
+  let make ?plan ?(deadline = No_deadline) ~fn () =
+    if not inject_leak then fresh ?plan ~deadline ~fn ()
+    else begin
+      (match Atomic.get leaky with
+       | Some _ -> ()
+       | None ->
+         let cx = fresh ?plan ~deadline ~fn () in
+         ignore (Atomic.compare_and_set leaky None (Some cx)));
+      Option.get (Atomic.get leaky)
+    end
 
-let request_cancel d =
-  match !current with
-  | None -> ()
-  | Some cx -> Atomic.set cx.cx_cancel (Some d)
+  let fn cx = cx.cx_fn
+  let kernels cx = Atomic.get cx.cx_kernels
+  let ticks cx = Atomic.get cx.cx_ticks
+  let cancel cx d = Atomic.set cx.cx_cancel (Some d)
+  let cancelled cx = Atomic.get cx.cx_cancel
+
+  (* Per-domain installation slot.  Each domain sees only the context
+     installed on it, so concurrent requests are isolated by
+     construction. *)
+  let slot : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let current () = Domain.DLS.get slot
+
+  let with_current copt f =
+    let saved = Domain.DLS.get slot in
+    Domain.DLS.set slot copt;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set slot saved) f
+
+  let with_installed cx f = with_current (Some cx) f
+end
+
+let supervised () = Ctx.current () <> None
 
 let check cx =
   (match Atomic.get cx.cx_cancel with
@@ -404,17 +436,19 @@ let check cx =
                 (Printf.sprintf "wall-clock deadline of %gs exceeded" s)))
 
 let poll () =
-  match !current with
+  match Domain.DLS.get Ctx.slot with
   | None -> ()
   | Some cx ->
     Atomic.incr cx.cx_ticks;
     check cx
 
-(* Kernel boundaries run on the master domain only (top-level statements
-   are never inside a parallel region), so the plan's mutable cursor
-   needs no synchronization. *)
+(* Kernel boundaries of a request execute on one domain at a time (the
+   domain serving that request — top-level statements are never inside a
+   parallel region), so the plan's mutable cursor needs no
+   synchronization even under cross-request concurrency: each request
+   carries its own plan. *)
 let on_kernel () =
-  match !current with
+  match Domain.DLS.get Ctx.slot with
   | None -> ()
   | Some cx ->
     Atomic.incr cx.cx_kernels;

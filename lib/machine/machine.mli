@@ -136,12 +136,16 @@ val metrics_rows : metrics -> (string * float) list
 
 (** {1 Supervised execution}
 
-    The execution supervisor installs a per-attempt run context carrying
-    an optional deterministic fault plan, a deadline, and a cooperative
-    cancellation token.  Executors call {!on_kernel} at every kernel
-    boundary and {!poll} at outer-loop headers and parallel-chunk starts;
-    with no context installed both are a single ref read, so the
-    unsupervised hot path is unchanged. *)
+    A run context ({!Ctx.t}) is a first-class value carrying an optional
+    deterministic fault plan, a deadline, tick/kernel counters, and a
+    cooperative cancellation token — the full supervision state of ONE
+    request attempt.  The supervisor installs it for the attempt's
+    duration with {!Ctx.with_installed}; installation is per-domain
+    ([Domain.DLS]), so concurrent requests executing on separate domains
+    are isolated by construction.  Executors call {!on_kernel} at every
+    kernel boundary and {!poll} at outer-loop headers and parallel-chunk
+    starts; with no context installed both are a single DLS read, so the
+    unsupervised hot path is essentially unchanged. *)
 
 (** Injected fault kinds: failed kernel launch and transient compute
     faults are retryable; simulated device OOM is a resource fault. *)
@@ -182,33 +186,63 @@ type deadline =
 
 val deadline_to_string : deadline -> string
 
-(** Install the run context for one attempt.  Any previously installed
-    context is replaced. *)
-val install : ?plan:Fault_plan.t -> ?deadline:deadline -> fn:string -> unit -> unit
+(** Per-request execution contexts. *)
+module Ctx : sig
+  type t
 
-(** Remove the context, recording its counters for {!last_kernels} /
-    {!last_ticks}. *)
-val uninstall : unit -> unit
+  (** Mint a fresh context for one attempt.  Counters start at zero; a
+      [Seconds] deadline starts its wall clock now.
+
+      Under [FT_ISOLATION_INJECT=1] this deliberately returns one shared
+      process-global context for every call — a cross-request state leak
+      the serving layer's isolation verifier must catch (the CI canary
+      proving the verifier works). *)
+  val make : ?plan:Fault_plan.t -> ?deadline:deadline -> fn:string -> unit -> t
+
+  val fn : t -> string
+
+  (** Kernel / simulated-clock tick counters of this context — read them
+      from the context value itself (there is no process-global "last
+      run" slot, so concurrent attempts cannot clobber each other's
+      stats). *)
+  val kernels : t -> int
+
+  val ticks : t -> int
+
+  (** Arm this context's cancellation token: the next {!poll} or
+      {!on_kernel} on any domain where it is installed raises
+      [Diag_error] with the given diagnostic. *)
+  val cancel : t -> Diag.t -> unit
+
+  val cancelled : t -> Diag.t option
+
+  (** The context installed on the calling domain, if any. *)
+  val current : unit -> t option
+
+  (** [with_installed cx f] runs [f] with [cx] installed on the calling
+      domain, restoring the previous installation on exit (normal or
+      exceptional).  Nesting installs a fresh context for the inner
+      scope. *)
+  val with_installed : t -> (unit -> 'a) -> 'a
+
+  (** Like {!with_installed} but takes an option — used by the parallel
+      executor to propagate the master's installation (possibly absent)
+      onto worker domains for the duration of a chunk. *)
+  val with_current : t option -> (unit -> 'a) -> 'a
+end
 
 val supervised : unit -> bool
 
-(** Kernels / simulated-clock ticks observed by the most recently
-    uninstalled context. *)
-val last_kernels : unit -> int
-
-val last_ticks : unit -> int
-
-(** Arm the cancellation token: the next {!poll} or {!on_kernel} on any
-    domain raises [Diag_error] with the given diagnostic. *)
-val request_cancel : Diag.t -> unit
-
-(** Tick the simulated clock and check cancellation + deadline.  Raises
-    {!Ft_ir.Diag.Diag_error} (codes [Cancelled] / [Deadline_exceeded]).
-    No-op when unsupervised. *)
+(** Tick the simulated clock and check cancellation + deadline of the
+    calling domain's installed context.  Raises {!Ft_ir.Diag.Diag_error}
+    (codes [Cancelled] / [Deadline_exceeded]).  No-op when
+    unsupervised. *)
 val poll : unit -> unit
 
 (** Kernel boundary: ticks, checks cancellation/deadline, then advances
     the fault plan — raising [Diag_error] (codes [Kernel_launch],
     [Compute_fault], [Oom]) if a fault is planned for this ordinal.
-    Master-domain only.  No-op when unsupervised. *)
+    A request's kernel boundaries all execute on the single domain
+    serving that request, so the plan cursor needs no locking.  No-op
+    when unsupervised. *)
 val on_kernel : unit -> unit

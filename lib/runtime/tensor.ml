@@ -82,80 +82,115 @@ let strides_of_shape shape =
    carrying its own live counter, and only the handle that is currently
    installed can be released.  Nested installs error instead of silently
    zeroing the live-bytes accounting of allocations still outstanding
-   under the enclosing scope — the serving layer installs one budget
-   around a whole batch of requests, and a per-attempt install inside it
-   must be a loud bug, not a quiet counter wipe.
+   under the enclosing scope — UNLESS the enclosing scope is named as
+   the new budget's [?parent], which chains the handles: a request's
+   allocations then charge its own counter AND the shared parent cap, so
+   batch groups can bound their aggregate footprint while each request
+   keeps per-request accounting.
 
-   Scopes are installed/released on the master domain only; [live] is
-   atomic because parallel chunk bodies allocate loop-local tensors
-   concurrently.  Without a budget installed, [create] and [arena_free]
-   cost one ref read. *)
+   The installed scope is per-domain ([Domain.DLS]): concurrent requests
+   on separate domains each see only their own budget.  The parallel
+   executor adopts the master's scope onto worker domains for the
+   duration of a chunk ([with_adopted]), so loop-local allocations in
+   parallel chunks keep charging the master's budget; [live] counters
+   are atomic for exactly that reason.  Without a budget installed,
+   [create] and [arena_free] cost one DLS read. *)
 type budget = {
   bg_cap : int;
   bg_fn : string;
   bg_live : int Atomic.t;
+  bg_parent : budget option;
 }
 
-let scope : budget option ref = ref None
+let scope : budget option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install_budget ?(fn = "run") cap =
-  match !scope with
-  | Some cur ->
+let install_budget ?(fn = "run") ?parent cap =
+  let cur = Domain.DLS.get scope in
+  match cur, parent with
+  | Some cur, Some p when cur == p ->
+    let b = { bg_cap = cap; bg_fn = fn; bg_live = Atomic.make 0;
+              bg_parent = Some p } in
+    Domain.DLS.set scope (Some b);
+    b
+  | Some cur, _ ->
     invalid_arg
       (Printf.sprintf
          "Tensor.install_budget(%s): a budget is already installed \
-          (fn=%s, %d bytes, %d live) — budgets are scoped, not stacked"
+          (fn=%s, %d bytes, %d live) — budgets are scoped, not stacked \
+          (pass it as ~parent to chain a per-request child under it)"
          fn cur.bg_fn cur.bg_cap (Atomic.get cur.bg_live))
-  | None ->
-    let b = { bg_cap = cap; bg_fn = fn; bg_live = Atomic.make 0 } in
-    scope := Some b;
+  | None, Some _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Tensor.install_budget(%s): ~parent is not the installed budget"
+         fn)
+  | None, None ->
+    let b = { bg_cap = cap; bg_fn = fn; bg_live = Atomic.make 0;
+              bg_parent = None } in
+    Domain.DLS.set scope (Some b);
     b
 
 let release_budget b =
-  match !scope with
-  | Some cur when cur == b -> scope := None
+  match Domain.DLS.get scope with
+  | Some cur when cur == b -> Domain.DLS.set scope b.bg_parent
   | Some _ ->
     invalid_arg
       "Tensor.release_budget: handle is not the installed budget"
   | None -> invalid_arg "Tensor.release_budget: no budget installed"
 
-let budget_active () = !scope <> None
+let budget_active () = Domain.DLS.get scope <> None
+let current_budget () = Domain.DLS.get scope
 
 let with_budget ?fn cap f =
   let b = install_budget ?fn cap in
   Fun.protect ~finally:(fun () -> release_budget b) f
 
+(* Adopt an already-minted scope (possibly [None]) on the calling domain
+   for the duration of [f] — how worker domains inherit the master's
+   budget during a parallel region, and how batch-group jobs inherit the
+   shared parent cap. *)
+let with_adopted b f =
+  let saved = Domain.DLS.get scope in
+  Domain.DLS.set scope b;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope saved) f
+
 (* Escape hatch for the supervisor's interpreter fallback: the budget
    models device memory, and the interpreter is the unbudgeted host-side
    last resort — it must be able to serve even under a serving-layer
-   batch budget.  Master-domain only (like install/release). *)
-let unbudgeted f =
-  let saved = !scope in
-  scope := None;
-  Fun.protect ~finally:(fun () -> scope := saved) f
+   batch budget.  Per-domain (like install/release). *)
+let unbudgeted f = with_adopted None f
 
 let live_bytes () =
-  match !scope with
+  match Domain.DLS.get scope with
   | None -> 0
   | Some b -> Atomic.get b.bg_live
 
 let buf_bytes dtype n = n * Types.dtype_size dtype
 
-let charge dtype shape =
-  match !scope with
+(* Charge [bytes] to [b] and every ancestor; on overflow anywhere in the
+   chain, credit back the levels already charged so a fallback attempt
+   under the same budgets starts from an honest counter. *)
+let rec charge_chain b bytes =
+  let before = Atomic.fetch_and_add b.bg_live bytes in
+  if before + bytes > b.bg_cap then begin
+    ignore (Atomic.fetch_and_add b.bg_live (-bytes));
+    raise
+      (Ft_ir.Diag.Diag_error
+         (Ft_ir.Diag.oom_budget ~fn:b.bg_fn ~requested:bytes
+            ~live:before ~budget:b.bg_cap))
+  end;
+  match b.bg_parent with
   | None -> ()
-  | Some b ->
-    let bytes = buf_bytes dtype (numel_of_shape shape) in
-    let before = Atomic.fetch_and_add b.bg_live bytes in
-    if before + bytes > b.bg_cap then begin
-      (* Credit back so a fallback attempt under the same budget starts
-         from an honest counter. *)
-      ignore (Atomic.fetch_and_add b.bg_live (-bytes));
-      raise
-        (Ft_ir.Diag.Diag_error
-           (Ft_ir.Diag.oom_budget ~fn:b.bg_fn ~requested:bytes
-              ~live:before ~budget:b.bg_cap))
-    end
+  | Some p ->
+    (try charge_chain p bytes
+     with e ->
+       ignore (Atomic.fetch_and_add b.bg_live (-bytes));
+       raise e)
+
+let charge dtype shape =
+  match Domain.DLS.get scope with
+  | None -> ()
+  | Some b -> charge_chain b (buf_bytes dtype (numel_of_shape shape))
 
 let create dtype shape =
   charge dtype shape;
@@ -167,12 +202,15 @@ let create dtype shape =
   { shape; strides = strides_of_shape shape; dtype; buf }
 
 let arena_free t =
-  match !scope with
+  match Domain.DLS.get scope with
   | None -> ()
   | Some b ->
-    ignore
-      (Atomic.fetch_and_add b.bg_live
-         (- buf_bytes t.dtype (numel_of_shape t.shape)))
+    let bytes = buf_bytes t.dtype (numel_of_shape t.shape) in
+    let rec credit b =
+      ignore (Atomic.fetch_and_add b.bg_live (-bytes));
+      Option.iter credit b.bg_parent
+    in
+    credit b
 
 let zeros = create
 

@@ -76,15 +76,21 @@ val copy_into : src:t -> dst:t -> unit
     [Resource] fault) if the live total would exceed the cap; executors
     release loop-local tensors with {!arena_free} when their [Var_def]
     scope exits.  With no budget installed, {!create}, {!arena_free} and
-    {!live_bytes} are a single ref read.
+    {!live_bytes} are a single domain-local read.
 
-    Budgets do not nest: installing while one is active raises
+    Budgets do not nest blindly: installing while one is active raises
     [Invalid_argument] instead of silently zeroing the enclosing scope's
-    live accounting (the serving layer installs one budget around a
-    whole batch of requests; a nested per-attempt install inside it is a
-    bug).  Install/release happen on the master domain only; the live
-    counter itself is atomic, so parallel chunk bodies may allocate
-    concurrently under one scope. *)
+    live accounting — unless the enclosing scope is passed as [?parent],
+    which *chains* the handles: charges then hit the child's counter AND
+    every ancestor's cap, so a batch group can bound its aggregate
+    footprint while each request keeps its own per-request accounting.
+
+    The installed scope is per-domain ([Domain.DLS]); concurrent
+    requests on separate domains are isolated by construction.  The
+    parallel executor adopts the caller's scope onto worker domains for
+    the duration of a chunk, so chunk-local allocations keep charging
+    the caller's budget; the live counters are atomic for exactly that
+    reason. *)
 
 (** A budget scope handle.  Identity matters: only the handle returned
     by the active {!install_budget} can release it. *)
@@ -92,8 +98,11 @@ type budget
 
 (** Install a budget of [cap] bytes with a fresh live counter; [fn]
     names the function for diagnostics.  Raises [Invalid_argument] if a
-    budget is already installed. *)
-val install_budget : ?fn:string -> int -> budget
+    budget is already installed, unless that installed budget is given
+    as [?parent] — then the new budget chains under it (charges bubble
+    up the chain) and releasing restores the parent as the installed
+    scope. *)
+val install_budget : ?fn:string -> ?parent:budget -> int -> budget
 
 (** Release the installed budget.  Raises [Invalid_argument] when [b]
     is not the currently installed handle (stale or foreign handles
@@ -102,14 +111,26 @@ val release_budget : budget -> unit
 
 val budget_active : unit -> bool
 
+(** The budget installed on the calling domain, if any — pass it as
+    [?parent] to chain a per-request child under a shared cap. *)
+val current_budget : unit -> budget option
+
 (** [with_budget ?fn cap f] — install around [f], releasing on any
     exit. *)
 val with_budget : ?fn:string -> int -> (unit -> 'a) -> 'a
 
+(** [with_adopted b f] runs [f] with [b] as the calling domain's
+    installed scope, restoring the previous scope on any exit.  Used by
+    the parallel executor to propagate the master's budget onto worker
+    domains, and by the serving layer to share one batch-group parent
+    cap across the domains executing its members.  Adoption does not
+    mint or release anything — the handle's counters are shared. *)
+val with_adopted : budget option -> (unit -> 'a) -> 'a
+
 (** Run [f] with the installed budget (if any) suspended — the
     supervisor's interpreter fallback is the unbudgeted host-side last
     resort and must serve even under a serving-layer batch budget.
-    Master-domain only; restores the scope on any exit. *)
+    Per-domain; restores the scope on any exit. *)
 val unbudgeted : (unit -> 'a) -> 'a
 
 (** Live bytes of the installed scope (0 when none is installed). *)

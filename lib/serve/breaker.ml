@@ -1,6 +1,12 @@
 (* Per-key circuit breakers.  See breaker.mli for the protocol; the
    internal state machine adds the failure count (Closed) and the
-   cooldown countdown (Open), which the public [state] view drops. *)
+   cooldown countdown (Open), which the public [state] view drops.
+
+   Every operation runs under one internal mutex: concurrent serving
+   domains route and record through the same breaker, and the
+   read-modify-write transitions (cooldown countdown, half-open probe
+   claim) must be atomic — in particular, exactly one of several
+   concurrent requests on a half-open key may claim the probe. *)
 
 type st =
   | S_closed of int   (* consecutive primary failures so far *)
@@ -18,11 +24,16 @@ type t = {
   tbl : (string, st ref) Hashtbl.t;
   mutable trips : int;
   mutable recoveries : int;
+  mu : Mutex.t;
 }
 
 let create ~k ~cooldown =
   { k; cooldown = max 0 cooldown; tbl = Hashtbl.create 16;
-    trips = 0; recoveries = 0 }
+    trips = 0; recoveries = 0; mu = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let cell t key =
   match Hashtbl.find_opt t.tbl key with
@@ -35,55 +46,62 @@ let cell t key =
 let state t key =
   if t.k <= 0 then Closed
   else
-    match Hashtbl.find_opt t.tbl key with
-    | None | Some { contents = S_closed _ } -> Closed
-    | Some { contents = S_open _ } -> Open
-    | Some { contents = S_half_open } -> Half_open
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None | Some { contents = S_closed _ } -> Closed
+        | Some { contents = S_open _ } -> Open
+        | Some { contents = S_half_open } -> Half_open)
 
 let route t key =
   if t.k <= 0 then `Primary
-  else begin
-    let r = cell t key in
-    match !r with
-    | S_closed _ -> `Primary
-    | S_open n when n > 0 ->
-      r := S_open (n - 1);
-      `Fallback
-    | S_open _ ->
-      r := S_half_open;
-      `Probe
-    | S_half_open ->
-      (* Only reachable if a probe's result was never recorded (e.g. the
-         probe request was rejected before executing): stay cautious. *)
-      `Fallback
-  end
+  else
+    locked t (fun () ->
+        let r = cell t key in
+        match !r with
+        | S_closed _ -> `Primary
+        | S_open n when n > 0 ->
+          r := S_open (n - 1);
+          `Fallback
+        | S_open _ ->
+          (* The half-open probe claim: the transition happens under the
+             lock, so of any number of concurrent requests on the key
+             exactly one gets [`Probe] — contemporaries observe
+             [S_half_open] below and fall back. *)
+          r := S_half_open;
+          `Probe
+        | S_half_open ->
+          (* A probe is in flight (or its result was never recorded,
+             e.g. the probe request was rejected before executing):
+             stay cautious. *)
+          `Fallback)
 
 let trip t r =
   r := S_open t.cooldown;
   t.trips <- t.trips + 1
 
 let record t key ~primary_ok =
-  if t.k > 0 then begin
-    let r = cell t key in
-    match !r with
-    | S_closed c ->
-      if primary_ok then (if c <> 0 then r := S_closed 0)
-      else if c + 1 >= t.k then trip t r
-      else r := S_closed (c + 1)
-    | S_half_open ->
-      if primary_ok then begin
-        r := S_closed 0;
-        t.recoveries <- t.recoveries + 1
-      end
-      else trip t r
-    | S_open _ -> ()
-  end
+  if t.k > 0 then
+    locked t (fun () ->
+        let r = cell t key in
+        match !r with
+        | S_closed c ->
+          if primary_ok then (if c <> 0 then r := S_closed 0)
+          else if c + 1 >= t.k then trip t r
+          else r := S_closed (c + 1)
+        | S_half_open ->
+          if primary_ok then begin
+            r := S_closed 0;
+            t.recoveries <- t.recoveries + 1
+          end
+          else trip t r
+        | S_open _ -> ())
 
-let trips t = t.trips
-let recoveries t = t.recoveries
+let trips t = locked t (fun () -> t.trips)
+let recoveries t = locked t (fun () -> t.recoveries)
 
 let tripped_keys t =
-  Hashtbl.fold
-    (fun _ r acc ->
-      match !r with S_closed _ -> acc | S_open _ | S_half_open -> acc + 1)
-    t.tbl 0
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ r acc ->
+          match !r with S_closed _ -> acc | S_open _ | S_half_open -> acc + 1)
+        t.tbl 0)

@@ -15,7 +15,11 @@
 
     The cooldown is counted in requests on the key, not wall time, so
     breaker behavior is deterministic under the seeded soak drivers.
-    Not thread-safe — serving runs on the master domain only. *)
+
+    Thread-safe: every operation is atomic under an internal mutex, so
+    concurrent serving domains can route and record through one
+    breaker.  In particular, when several requests race on a half-open
+    key, exactly one claims the [`Probe]; the rest route [`Fallback]. *)
 
 type t
 

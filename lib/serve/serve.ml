@@ -1,17 +1,27 @@
 (* Multi-tenant serving layer.  See serve.mli for the design; the short
    version: LRU of prepared Supervisor artifacts keyed on
    (canonical hash, size binding, policy knobs, lowering gate), shape
-   specialization on miss, per-group shared budget scopes, sequential
-   drain on the master domain with per-request parallel fan-out.
-   Overload resilience on top: EDF ordering with deadline-aware load
-   shedding, bounded-queue admission with watermark hysteresis, per-key
-   circuit breakers, and crash-safe cache-metadata snapshots. *)
+   specialization on miss, per-group shared budget scopes, and
+   CONCURRENT batch dispatch: the master tags/orders/sheds, then
+   key-groups execute as independent tasks across the domain pool, each
+   request under its own per-request run context and budget (same-key
+   members stay sequential within their group — a compiled artifact's
+   closures are not reentrant).  Overload resilience on top: EDF
+   ordering with deadline-aware load shedding, bounded-queue admission
+   with watermark hysteresis, per-key circuit breakers, and crash-safe
+   cache-metadata snapshots.
+
+   Thread-safety: the server's shared mutable state (stats, LRU, seen
+   set, estimate tables) is guarded by [t.mu]; the canonical-hash memo
+   by its own [t.hash_mu]; the breaker carries an internal mutex.
+   Artifact execution — the long part — runs outside every lock. *)
 
 open Ft_ir
 open Ft_runtime
 module Machine = Ft_machine.Machine
 module Supervisor = Ft_backend.Supervisor
 module Compile_exec = Ft_backend.Compile_exec
+module Exec_par = Ft_backend.Exec_par
 
 type stats = {
   mutable st_hits : int;
@@ -48,6 +58,10 @@ type overload_policy = {
   ov_breaker_k : int;
   ov_breaker_cooldown : int;
   ov_deadline_slack : float;
+  ov_ewma_warmup : int;
+      (* wall-clock shedding trusts the EWMA service predictor only
+         after this many observations of a key; below it, the
+         cost-model estimate is used instead *)
 }
 
 let default_overload =
@@ -55,7 +69,8 @@ let default_overload =
     ov_queue_low = 0;
     ov_breaker_k = 3;
     ov_breaker_cooldown = 8;
-    ov_deadline_slack = 8.0 }
+    ov_deadline_slack = 8.0;
+    ov_ewma_warmup = 5 }
 
 type t = {
   policy : Supervisor.policy;
@@ -67,13 +82,27 @@ type t = {
   breaker : Breaker.t;
   est : (string, float) Hashtbl.t;      (* key -> modeled service seconds *)
   wall_est : (string, float) Hashtbl.t; (* key -> EWMA of wall service *)
+  wall_obs : (string, int) Hashtbl.t;   (* key -> EWMA observation count *)
+  (* Guards every shared mutable table above plus the stats record:
+     concurrent batch members mutate them from pool domains.  Artifact
+     execution never runs under it. *)
+  mu : Mutex.t;
   (* Single-entry canonical-hash memo, keyed by physical equality: a
      soak serves the same function value thousands of times and must not
-     re-print + re-hash the AST per request. *)
+     re-print + re-hash the AST per request.  Own lock so key hashing
+     (needed even on reject paths) never contends with [mu]. *)
+  hash_mu : Mutex.t;
   mutable hash_memo : (Stmt.func * string) option;
+  (* Dispatch groups one at a time on the master instead of fanning
+     them across the pool.  Everything else — pool size, chunking,
+     per-request contexts and budgets — is unchanged, so a sequential
+     server is the isolation verifier's baseline: concurrency is the
+     only variable. *)
+  seq_dispatch : bool;
 }
 
-let create ?(capacity = 16) ?(overload = default_overload) ~policy () =
+let create ?(capacity = 16) ?(overload = default_overload)
+    ?(sequential_dispatch = false) ~policy () =
   if overload.ov_queue_high > 0 && overload.ov_queue_low >= overload.ov_queue_high
   then invalid_arg "Serve.create: queue low watermark must be below high";
   (* A breaker needs a fallback chain to route to; with a single-backend
@@ -91,7 +120,15 @@ let create ?(capacity = 16) ?(overload = default_overload) ~policy () =
     breaker = Breaker.create ~k ~cooldown:overload.ov_breaker_cooldown;
     est = Hashtbl.create 16;
     wall_est = Hashtbl.create 16;
-    hash_memo = None }
+    wall_obs = Hashtbl.create 16;
+    mu = Mutex.create ();
+    hash_mu = Mutex.create ();
+    hash_memo = None;
+    seq_dispatch = sequential_dispatch }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let stats t = t.st
 let distinct_keys t = Hashtbl.length t.seen
@@ -100,11 +137,19 @@ let breaker_trips t = Breaker.trips t.breaker
 let breaker_recoveries t = Breaker.recoveries t.breaker
 
 let canonical_hash t (fn : Stmt.func) =
+  Mutex.lock t.hash_mu;
   match t.hash_memo with
-  | Some (fn', h) when fn' == fn -> h
+  | Some (fn', h) when fn' == fn ->
+    Mutex.unlock t.hash_mu;
+    h
   | _ ->
+    Mutex.unlock t.hash_mu;
+    (* Hash outside the lock — it walks the whole AST and concurrent
+       lookups for different functions must not serialize on it. *)
     let h = Canon.canonical_hash fn in
+    Mutex.lock t.hash_mu;
     t.hash_memo <- Some (fn, h);
+    Mutex.unlock t.hash_mu;
     h
 
 let sizes_str sizes =
@@ -154,7 +199,7 @@ let specialize (fn : Stmt.func) (sizes : (string * int) list) : Stmt.func =
    supervisor's deadline helper at slack 1 (= raw modeled time).  The
    cost model walks the whole AST, so memoize per key. *)
 let model_estimate t key (fn : Stmt.func) sizes =
-  match Hashtbl.find_opt t.est key with
+  match locked t (fun () -> Hashtbl.find_opt t.est key) with
   | Some e -> e
   | None ->
     let e =
@@ -166,7 +211,7 @@ let model_estimate t key (fn : Stmt.func) sizes =
       | _ -> 0.0
       | exception _ -> 0.0
     in
-    Hashtbl.replace t.est key e;
+    locked t (fun () -> Hashtbl.replace t.est key e);
     e
 
 (* Default relative deadline: [ov_deadline_slack] times the modeled
@@ -178,6 +223,29 @@ let default_deadline t key (fn : Stmt.func) sizes =
 
 let modeled_service t ?(sizes = []) (fn : Stmt.func) =
   model_estimate t (key_of t ~sizes fn) fn sizes
+
+(* Wall-clock service prediction with EWMA warmup: shed on the per-key
+   EWMA only once it has at least [ov_ewma_warmup] observations; before
+   that fall back to the caller's cost-model estimate, so one or two
+   cold-cache outliers can't start shedding a key the server barely
+   knows. *)
+let predicted_service t key ~est =
+  locked t (fun () ->
+      let obs = Option.value ~default:0 (Hashtbl.find_opt t.wall_obs key) in
+      if obs >= t.ov.ov_ewma_warmup then
+        Option.value ~default:est (Hashtbl.find_opt t.wall_est key)
+      else est)
+
+(* Record one observed wall service time for [key]: EWMA update plus the
+   observation count that gates {!predicted_service}. *)
+let note_service t key wall =
+  locked t (fun () ->
+      let prev =
+        Option.value ~default:wall (Hashtbl.find_opt t.wall_est key)
+      in
+      Hashtbl.replace t.wall_est key ((0.7 *. prev) +. (0.3 *. wall));
+      Hashtbl.replace t.wall_obs key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.wall_obs key)))
 
 type request = {
   rq_id : int;
@@ -210,30 +278,36 @@ let served r =
   | Rejected _ -> false
 
 let shed_response t (rq : request) key detail =
-  t.st.st_shed <- t.st.st_shed + 1;
+  locked t (fun () -> t.st.st_shed <- t.st.st_shed + 1);
   { rs_id = rq.rq_id; rs_key = key; rs_hit = false; rs_guard_checks = 0;
     rs_status = Rejected (Diag.overload ~fn:rq.rq_fn.Stmt.fn_name detail) }
 
+(* Lookup-or-compile under [t.mu]: the lock also serializes compiles, so
+   two concurrent first requests for one key build the artifact once.
+   Compiles are rare after warmup, so holding the lock across [prepare]
+   costs contention only on the cold path. *)
 let lookup t (rq : request) : string * entry * bool =
   let key = key_of t ~sizes:rq.rq_sizes rq.rq_fn in
-  match Lru.find t.cache key with
-  | Some e ->
-    t.st.st_hits <- t.st.st_hits + 1;
-    (key, e, true)
-  | None ->
-    t.st.st_misses <- t.st.st_misses + 1;
-    t.st.st_compiles <- t.st.st_compiles + 1;
-    if not (Hashtbl.mem t.seen key) then Hashtbl.add t.seen key ();
-    let fn = specialize rq.rq_fn rq.rq_sizes in
-    let e =
-      { e_sv = Supervisor.prepare ~policy:t.policy fn;
-        e_hash = canonical_hash t rq.rq_fn;
-        e_sizes = rq.rq_sizes }
-    in
-    (match Lru.add t.cache key e with
-     | None -> ()
-     | Some _ -> t.st.st_evictions <- t.st.st_evictions + 1);
-    (key, e, false)
+  let hash = canonical_hash t rq.rq_fn in
+  locked t (fun () ->
+      match Lru.find t.cache key with
+      | Some e ->
+        t.st.st_hits <- t.st.st_hits + 1;
+        (key, e, true)
+      | None ->
+        t.st.st_misses <- t.st.st_misses + 1;
+        t.st.st_compiles <- t.st.st_compiles + 1;
+        if not (Hashtbl.mem t.seen key) then Hashtbl.add t.seen key ();
+        let fn = specialize rq.rq_fn rq.rq_sizes in
+        let e =
+          { e_sv = Supervisor.prepare ~policy:t.policy fn;
+            e_hash = hash;
+            e_sizes = rq.rq_sizes }
+        in
+        (match Lru.add t.cache key e with
+         | None -> ()
+         | Some _ -> t.st.st_evictions <- t.st.st_evictions + 1);
+        (key, e, false))
 
 (* Admission control: a request whose argument footprint alone exceeds
    the memory budget can never complete on a budgeted backend — reject
@@ -257,7 +331,7 @@ let admit t (rq : request) : Diag.t option =
 let serve_one t (rq : request) : response =
   match admit t rq with
   | Some d ->
-    t.st.st_rejected <- t.st.st_rejected + 1;
+    locked t (fun () -> t.st.st_rejected <- t.st.st_rejected + 1);
     { rs_id = rq.rq_id;
       rs_key = key_of t ~sizes:rq.rq_sizes rq.rq_fn;
       rs_hit = false; rs_guard_checks = 0; rs_status = Rejected d }
@@ -268,69 +342,143 @@ let serve_one t (rq : request) : response =
     let route = Breaker.route t.breaker key in
     let skip = match route with `Fallback -> 1 | `Primary | `Probe -> 0 in
     (* Artifacts are cached and reused, so raw guard counters accumulate
-       across requests; report this request's work as a snapshot delta. *)
+       across requests; report this request's work as a snapshot delta.
+       Same-key requests serialize (concurrent dispatch keeps a key's
+       members in one group), so the delta is this request's alone. *)
     let snaps =
       List.map
         (fun (_, g) -> (g, Compile_exec.guard_snapshot g))
         (Supervisor.guard_stats e.e_sv)
     in
+    (* The execution itself — the long part — runs outside every server
+       lock, under the request's own run context and budget. *)
     let o = Supervisor.exec ?plan:rq.rq_plan ~skip e.e_sv rq.rq_args in
     let checks =
       List.fold_left
         (fun a (g, s) -> a + Compile_exec.guard_checks_since g s)
         0 snaps
     in
-    t.st.st_guard_checks <- t.st.st_guard_checks + checks;
-    (match o.Supervisor.result with
-     | None ->
-       t.st.st_failed <- t.st.st_failed + 1
-     | Some _ when o.Supervisor.degraded ->
-       t.st.st_degraded <- t.st.st_degraded + 1
-     | Some _ when o.Supervisor.retried ->
-       t.st.st_retried <- t.st.st_retried + 1
-     | Some _ -> t.st.st_served_clean <- t.st.st_served_clean + 1);
-    let primary_ok =
-      skip = 0 && o.Supervisor.result <> None && not o.Supervisor.degraded
-    in
-    (match route with
-     | `Primary | `Probe -> Breaker.record t.breaker key ~primary_ok
-     | `Fallback -> ());
-    (* A demotion or fail-closed taints the artifact's primary: drop the
-       entry so the next request compiles fresh instead of replaying a
-       degraded closure.  But only while the breaker stays closed — the
-       failure that trips it (and every fallback/probe under it) keeps
-       the artifact, so fallback requests hit the cache and the compile
-       count stays flat for the whole time the key is tripped. *)
-    (if (o.Supervisor.result = None || o.Supervisor.degraded)
-        && (match route with `Primary -> true | `Fallback | `Probe -> false)
-        && Breaker.state t.breaker key = Breaker.Closed
-     then
-       if Lru.mem t.cache key then begin
-         Lru.remove t.cache key;
-         t.st.st_invalidations <- t.st.st_invalidations + 1
-       end);
+    locked t (fun () ->
+        t.st.st_guard_checks <- t.st.st_guard_checks + checks;
+        (match o.Supervisor.result with
+         | None ->
+           t.st.st_failed <- t.st.st_failed + 1
+         | Some _ when o.Supervisor.degraded ->
+           t.st.st_degraded <- t.st.st_degraded + 1
+         | Some _ when o.Supervisor.retried ->
+           t.st.st_retried <- t.st.st_retried + 1
+         | Some _ -> t.st.st_served_clean <- t.st.st_served_clean + 1);
+        let primary_ok =
+          skip = 0 && o.Supervisor.result <> None && not o.Supervisor.degraded
+        in
+        (match route with
+         | `Primary | `Probe -> Breaker.record t.breaker key ~primary_ok
+         | `Fallback -> ());
+        (* A demotion or fail-closed taints the artifact's primary: drop
+           the entry so the next request compiles fresh instead of
+           replaying a degraded closure.  But only while the breaker
+           stays closed — the failure that trips it (and every
+           fallback/probe under it) keeps the artifact, so fallback
+           requests hit the cache and the compile count stays flat for
+           the whole time the key is tripped. *)
+        if (o.Supervisor.result = None || o.Supervisor.degraded)
+           && (match route with `Primary -> true | `Fallback | `Probe -> false)
+           && Breaker.state t.breaker key = Breaker.Closed
+        then
+          if Lru.mem t.cache key then begin
+            Lru.remove t.cache key;
+            t.st.st_invalidations <- t.st.st_invalidations + 1
+          end);
     { rs_id = rq.rq_id; rs_key = key; rs_hit = hit;
       rs_guard_checks = checks; rs_status = Completed o }
 
 let record_batch t size =
   if size > 0 then
-    Hashtbl.replace t.batches size
-      (1 + Option.value ~default:0 (Hashtbl.find_opt t.batches size))
+    locked t (fun () ->
+        Hashtbl.replace t.batches size
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.batches size)))
 
 let batch_histogram t =
   List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) t.batches [])
 
-(* One batch group shares a single budget scope; the supervisor sees it
-   active and uses it instead of stacking per-attempt budgets. *)
+(* One batch shares a single parent budget scope: the master installs
+   it, each group job adopts it on its executing domain, and the
+   supervisor chains its per-request budget under it as a child — the
+   group keeps its aggregate cap while every request keeps per-request
+   accounting.  [f] receives the scope to adopt (possibly [None]). *)
 let in_group_scope t f =
   match t.policy.Supervisor.mem_budget_bytes with
   | Some cap when not (Tensor.budget_active ()) ->
-    Tensor.with_budget ~fn:"serve-batch" cap f
-  | _ -> f ()
+    Tensor.with_budget ~fn:"serve-batch" cap (fun () ->
+        f (Tensor.current_budget ()))
+  | _ -> f (Tensor.current_budget ())
 
 let serve t rq =
   record_batch t 1;
   serve_one t rq
+
+(* Concurrent group dispatch: each group (same-key members, order
+   preserved) becomes one task on the domain pool; independent groups
+   run concurrently, each member under its own run context and
+   per-request budget (chained under [parent] when a batch cap is set).
+   Same-key members stay sequential inside their group task because a
+   compiled artifact's closures bind shared argument cells — the
+   per-key serialization is what keeps guard-check deltas and fault
+   ordinals per-request exact.  Returns responses in the same nested
+   order as [groups], plus each member's measured wall service time.
+
+   Fault containment: a task exception (which [serve_one] should never
+   produce — the supervisor fails closed) marks only that group's
+   unfinished members as structured failures; every other group still
+   runs and the pool stays reusable. *)
+let run_groups t parent (groups : request list list) :
+    (response * float) list list =
+  let groups_a = Array.of_list (List.map Array.of_list groups) in
+  let results =
+    Array.map (fun g -> Array.make (Array.length g) None) groups_a
+  in
+  let job gi () =
+    Tensor.with_adopted parent (fun () ->
+        Array.iteri
+          (fun mi rq ->
+            let t0 = Unix.gettimeofday () in
+            let r = serve_one t rq in
+            let wall = Unix.gettimeofday () -. t0 in
+            results.(gi).(mi) <- Some (r, wall))
+          groups_a.(gi))
+  in
+  let exns =
+    Exec_par.run_tasks
+      ?max_workers:(if t.seq_dispatch then Some 1 else None)
+      (Array.init (Array.length groups_a) (fun gi () -> job gi ()))
+  in
+  Array.to_list
+    (Array.mapi
+       (fun gi slots ->
+         Array.to_list
+           (Array.mapi
+              (fun mi slot ->
+                match slot with
+                | Some rw -> rw
+                | None ->
+                  let rq = groups_a.(gi).(mi) in
+                  let detail =
+                    match exns.(gi) with
+                    | Some e -> Printexc.to_string e
+                    | None -> "group task aborted"
+                  in
+                  locked t (fun () ->
+                      t.st.st_rejected <- t.st.st_rejected + 1);
+                  ( { rs_id = rq.rq_id;
+                      rs_key = key_of t ~sizes:rq.rq_sizes rq.rq_fn;
+                      rs_hit = false; rs_guard_checks = 0;
+                      rs_status =
+                        Rejected
+                          (Diag.exec_fault ~fn:rq.rq_fn.Stmt.fn_name
+                             ("worker-domain exception: " ^ detail)) },
+                    0.0 ))
+              slots))
+       results)
 
 (* EDF + shedding batch drain.  Requests are ordered earliest-deadline-
    first (relative deadlines: explicit [rq_deadline], else the modeled
@@ -382,38 +530,85 @@ let serve_batch t (rqs : request list) : response list =
     |> List.rev
   in
   let grouped = List.concat_map group_run runs in
+  (* Shed pass on the master, with exactly the sequential-drain
+     semantics (backlog accrues only for members that will execute, in
+     group order) — decisions are therefore identical whatever the pool
+     size, which the isolation verifier depends on. *)
   let backlog = ref 0.0 in
+  let decided =
+    List.map
+      (fun members ->
+        List.map
+          (fun (rq, key, est, dl) ->
+            if dl < Float.infinity && !backlog +. est > dl then
+              `Shed
+                ( rq, key,
+                  Printf.sprintf
+                    "deadline: %.3g s of estimated backlog ahead makes \
+                     the %.3g s deadline unmeetable"
+                    !backlog dl )
+            else begin
+              backlog := !backlog +. est;
+              `Run rq
+            end)
+          members)
+      grouped
+  in
+  let to_run =
+    List.filter_map
+      (fun members ->
+        match
+          List.filter_map
+            (function `Run rq -> Some rq | `Shed _ -> None)
+            members
+        with
+        | [] -> None
+        | rqs -> Some rqs)
+      decided
+  in
+  (* Execute the surviving groups concurrently across the pool, under
+     one shared batch-parent budget. *)
+  let executed =
+    in_group_scope t (fun parent -> run_groups t parent to_run)
+  in
+  let remaining = ref executed in
   let responses =
-    in_group_scope t (fun () ->
-        List.concat_map
-          (fun members ->
-            let out =
-              List.map
-                (fun (rq, key, est, dl) ->
-                  if dl < Float.infinity && !backlog +. est > dl then
-                    shed_response t rq key
-                      (Printf.sprintf
-                         "deadline: %.3g s of estimated backlog ahead makes \
-                          the %.3g s deadline unmeetable"
-                         !backlog dl)
-                  else begin
-                    backlog := !backlog +. est;
-                    serve_one t rq
-                  end)
-                members
-            in
-            let served_n =
-              List.length
-                (List.filter
-                   (fun r ->
-                     match r.rs_status with
-                     | Rejected d -> d.Diag.dg_code <> Diag.Overload
-                     | Completed _ -> true)
-                   out)
-            in
-            record_batch t served_n;
-            out)
-          grouped)
+    List.concat_map
+      (fun members ->
+        let exec_rs =
+          if List.exists (function `Run _ -> true | `Shed _ -> false) members
+          then (
+            match !remaining with
+            | g :: rest ->
+              remaining := rest;
+              ref (List.map fst g)
+            | [] -> ref [])
+          else ref []
+        in
+        let out =
+          List.map
+            (function
+              | `Shed (rq, key, detail) -> shed_response t rq key detail
+              | `Run _ -> (
+                match !exec_rs with
+                | r :: rest ->
+                  exec_rs := rest;
+                  r
+                | [] -> assert false))
+            members
+        in
+        let served_n =
+          List.length
+            (List.filter
+               (fun r ->
+                 match r.rs_status with
+                 | Rejected d -> d.Diag.dg_code <> Diag.Overload
+                 | Completed _ -> true)
+               out)
+        in
+        record_batch t served_n;
+        out)
+      decided
   in
   (* Back to request order. *)
   let by_id = Hashtbl.create (List.length responses) in
@@ -720,57 +915,111 @@ let soak ?(on_response = fun _ _ -> ()) t ~(cfg : soak_config)
         | None -> ()
       done;
       let batch = List.rev !batch in
-      let served_in_batch = ref 0 in
-      in_group_scope t (fun () ->
-          List.iter
-            (fun (dl, (j, key, fname, est)) ->
-              (* Predicted service: the model in virtual time, the
-                 observed EWMA in wall-clock mode (0 until observed —
-                 never shed on a key we know nothing about). *)
-              let svc_pred =
-                if cfg.so_virtual then Float.max est 1e-9
-                else
-                  Option.value ~default:0.0 (Hashtbl.find_opt t.wall_est key)
+      (* Pass 1 — shed decisions and the virtual-time simulation, on
+         the master only.  Predicted service: the model in virtual
+         time, the warmed-up per-key EWMA (else the model estimate) in
+         wall-clock mode.  In virtual time the simulated clock advances
+         member by member exactly as the sequential drain's did, so
+         every decision and completion stamp is identical for every
+         pool size — the isolation verifier's determinism gate.  In
+         wall-clock mode all of a batch's decisions use the clock at
+         batch start (the members run concurrently; there is no
+         sequential backlog to price), which is honest but — like every
+         wall measurement — not deterministic. *)
+      let sim_now = ref !now in
+      let decisions =
+        List.map
+          (fun (dl, (j, key, fname, est)) ->
+            let svc_pred =
+              if cfg.so_virtual then Float.max est 1e-9
+              else predicted_service t key ~est
+            in
+            if dl < Float.infinity && !sim_now +. svc_pred > dl then begin
+              incr shed_deadline;
+              locked t (fun () -> t.st.st_shed <- t.st.st_shed + 1);
+              let r =
+                { rs_id = j; rs_key = key; rs_hit = false;
+                  rs_guard_checks = 0;
+                  rs_status =
+                    Rejected
+                      (Diag.overload ~fn:fname
+                         (Printf.sprintf
+                            "deadline: %.3g s backlog at dispatch makes \
+                             the deadline (t=%.3g s) unmeetable"
+                            (!sim_now -. arrivals.(j)) dl)) }
               in
-              if dl < Float.infinity && !now +. svc_pred > dl then begin
-                incr shed_deadline;
-                t.st.st_shed <- t.st.st_shed + 1;
-                let r =
-                  { rs_id = j; rs_key = key; rs_hit = false;
-                    rs_guard_checks = 0;
-                    rs_status =
-                      Rejected
-                        (Diag.overload ~fn:fname
-                           (Printf.sprintf
-                              "deadline: %.3g s backlog at dispatch makes \
-                               the deadline (t=%.3g s) unmeetable"
-                              (!now -. arrivals.(j)) dl)) }
-                in
-                on_response j r
-              end
-              else begin
-                let rq = make_request j in
-                incr served_in_batch;
-                Hashtbl.replace touched key ();
-                let t0 = Unix.gettimeofday () in
-                let r = serve_one t rq in
-                let wall = Unix.gettimeofday () -. t0 in
-                let prev =
-                  Option.value ~default:wall
-                    (Hashtbl.find_opt t.wall_est key)
-                in
-                Hashtbl.replace t.wall_est key
-                  ((0.7 *. prev) +. (0.3 *. wall));
-                let svc =
-                  if cfg.so_virtual then Float.max est 1e-9 else wall
-                in
-                now := !now +. svc;
-                latencies := (!now -. arrivals.(j)) :: !latencies;
-                if dl < Float.infinity && !now > dl then incr deadline_miss;
-                count_status r;
-                on_response j r
-              end)
-            batch);
+              `Shed (j, r)
+            end
+            else begin
+              Hashtbl.replace touched key ();
+              if cfg.so_virtual then
+                sim_now := !sim_now +. Float.max est 1e-9;
+              `Run (j, key, dl, !sim_now)
+            end)
+          batch
+      in
+      (* Pass 2 — materialize and execute.  Requests are materialized
+         on the master in dispatch order ([make_request] may be
+         stateful), grouped by cache key (same-key members stay
+         sequential inside one group task), and the groups dispatched
+         concurrently across the domain pool. *)
+      let to_run =
+        List.filter_map
+          (function `Run (j, key, _, _) -> Some (j, key) | `Shed _ -> None)
+          decisions
+      in
+      let by_id = Hashtbl.create 16 in
+      let batch_elapsed = ref 0.0 in
+      if to_run <> [] then begin
+        let order = ref [] in
+        let groups = Hashtbl.create 8 in
+        List.iter
+          (fun (j, key) ->
+            let rq = make_request j in
+            match Hashtbl.find_opt groups key with
+            | Some l -> l := rq :: !l
+            | None ->
+              Hashtbl.add groups key (ref [ rq ]);
+              order := key :: !order)
+          to_run;
+        let grouped =
+          List.rev_map (fun key -> List.rev !(Hashtbl.find groups key)) !order
+        in
+        let t0 = Unix.gettimeofday () in
+        let executed =
+          in_group_scope t (fun parent -> run_groups t parent grouped)
+        in
+        batch_elapsed := Unix.gettimeofday () -. t0;
+        List.iter
+          (List.iter (fun ((r : response), wall) ->
+               Hashtbl.replace by_id r.rs_id (r, wall)))
+          executed
+      end;
+      (* Pass 3 — accounting and callbacks, on the master, in the
+         canonical EDF dispatch order (so [on_response] ordering and
+         the EWMA update sequence match the sequential drain).  Wall
+         time advances by the measured elapsed of the whole concurrent
+         batch; virtual time was already advanced by the pass-1
+         simulation. *)
+      let now_after =
+        if cfg.so_virtual then !sim_now else !now +. !batch_elapsed
+      in
+      let served_in_batch = ref 0 in
+      List.iter
+        (function
+          | `Shed (j, r) -> on_response j r
+          | `Run (j, key, dl, done_at) ->
+            let r, wall = Hashtbl.find by_id j in
+            incr served_in_batch;
+            note_service t key wall;
+            let completion = if cfg.so_virtual then done_at else now_after in
+            latencies := (completion -. arrivals.(j)) :: !latencies;
+            if dl < Float.infinity && completion > dl then
+              incr deadline_miss;
+            count_status r;
+            on_response j r)
+        decisions;
+      now := now_after;
       if !served_in_batch > 0 then record_batch t !served_in_batch
     end
   done;

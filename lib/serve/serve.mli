@@ -60,20 +60,35 @@
     (truncation, bit-flip, bad version) is detected, reported in the
     {!warm_report}, and treated as a cold start; it never raises.
 
-    {2 Batching and budgets}
+    {2 Concurrent batching, isolation, budgets}
 
-    [serve_batch] groups compatible requests (same cache key) and serves
-    each group under one shared scoped {!Ft_runtime.Tensor} memory
-    budget ([policy.mem_budget_bytes]); the supervisor detects the
-    enclosing scope and does not stack its own.  Group members drain
-    {e sequentially} on the master domain — the supervisor's run context
-    is process-global and compiled closures bind arguments through
-    shared cells, so concurrent [Supervisor.exec] calls would race —
-    while each member's parallel loops fan out on the {!Exec_par} domain
-    pool.  Admission control rejects (never executes) a request whose
-    argument footprint alone exceeds the budget.
+    [serve_batch] groups compatible requests (same cache key) and
+    dispatches the groups {e concurrently} across the {!Ft_backend.Exec_par}
+    domain pool — each group one pool task, independent requests on
+    separate domains.  Every request is its own fault domain: the
+    supervisor mints it a per-request {!Ft_machine.Machine.Ctx} run
+    context (fault plan, deadline clock, cancellation, cost counters)
+    and a per-request memory budget on its executing domain, so
+    retries, fallback demotions, OOM unwinds and cancellations are
+    contained to the request that suffered them; even an unexpected
+    worker-domain exception marks only that group's remaining members
+    failed, and the pool stays reusable.  Same-key members stay
+    sequential inside their group task (compiled artifacts bind
+    arguments through shared cells and are not reentrant), which also
+    keeps per-request guard-check deltas and fault ordinals exact.
+    All shedding/admission decisions run on the master before dispatch,
+    so they are independent of the pool size.
 
-    All serving runs on the master domain; a server is not thread-safe. *)
+    When [policy.mem_budget_bytes] is set, a batch serves under one
+    shared parent budget scope: each executing domain adopts it and the
+    supervisor chains a per-request child budget under it — requests
+    keep their own accounting while the group keeps its aggregate cap.
+    Admission control rejects (never executes) a request whose argument
+    footprint alone exceeds the budget.
+
+    A server value is thread-safe: cache, stats, histograms and the
+    hash memo are guarded by internal mutexes, breakers by their own
+    lock, and execution always runs outside every server lock. *)
 
 open Ft_ir
 open Ft_runtime
@@ -121,9 +136,14 @@ type overload_policy = {
           half-open probe *)
   ov_deadline_slack : float;
       (** default deadline = slack x modeled service time *)
+  ov_ewma_warmup : int;
+      (** observations of a key's wall service before the EWMA is
+          trusted for shedding; below it the cost-model estimate is
+          used instead *)
 }
 
-(** Unbounded queue, breaker [k = 3] / cooldown [8], deadline slack 8. *)
+(** Unbounded queue, breaker [k = 3] / cooldown [8], deadline slack 8,
+    EWMA warmup 5. *)
 val default_overload : overload_policy
 
 type t
@@ -131,10 +151,15 @@ type t
 (** [create ~policy ()] with an artifact cache of [capacity] entries
     (default 16) and [overload] knobs (default {!default_overload};
     breakers are forced off for single-backend policies — there is no
-    fallback to route to). *)
+    fallback to route to).  [sequential_dispatch] (default false)
+    drains batch groups one at a time on the calling domain instead of
+    fanning them across the pool, with everything else — pool size,
+    chunking, per-request contexts and budgets — unchanged: the
+    isolation verifier's baseline, where dispatch concurrency is the
+    only variable. *)
 val create :
-  ?capacity:int -> ?overload:overload_policy -> policy:Supervisor.policy ->
-  unit -> t
+  ?capacity:int -> ?overload:overload_policy -> ?sequential_dispatch:bool ->
+  policy:Supervisor.policy -> unit -> t
 
 val stats : t -> stats
 
@@ -152,6 +177,15 @@ val key_of : t -> ?sizes:(string * int) list -> Stmt.func -> string
     quantity default deadlines and backlog predictions are built from);
     [0.] when the cost model has no estimate.  Memoized per cache key. *)
 val modeled_service : t -> ?sizes:(string * int) list -> Stmt.func -> float
+
+(** Wall-clock service prediction for [key]: the per-key EWMA of
+    observed service once it has at least [ov_ewma_warmup] observations,
+    else the caller's cost-model estimate [est]. *)
+val predicted_service : t -> string -> est:float -> float
+
+(** Record one observed wall service time for [key] (EWMA update plus
+    the observation count gating {!predicted_service}). *)
+val note_service : t -> string -> float -> unit
 
 (** {1 Circuit-breaker observability} *)
 
@@ -207,13 +241,17 @@ val serve : t -> request -> response
 
 (** Serve a batch under EDF: requests order by relative deadline
     (explicit, else the modeled default), with the stable key-grouping
-    applied among equal deadlines — so a deadline-free batch groups and
-    serves exactly as it always did.  A member whose deadline the
-    modeled backlog ahead of it makes unmeetable is shed with a
-    structured [overload] rejection.  Each group runs under one shared
-    budget scope, and responses come back in request order.  The
-    batch-size histogram records one entry per group (served members
-    only). *)
+    applied among equal deadlines — so a deadline-free batch groups
+    exactly as it always did.  A member whose deadline the modeled
+    backlog ahead of it makes unmeetable is shed with a structured
+    [overload] rejection; shed decisions are made on the master before
+    any execution, with the sequential drain's backlog accounting, so
+    they do not depend on the pool size.  Surviving groups then
+    dispatch concurrently across the domain pool (one task per group,
+    same-key members sequential within it), each request under its own
+    run context and per-request budget chained under the batch's shared
+    scope.  Responses come back in request order.  The batch-size
+    histogram records one entry per group (served members only). *)
 val serve_batch : t -> request list -> response list
 
 (** Batch-size histogram observed so far: [(size, count)] sorted by
@@ -260,14 +298,21 @@ val warm_report_to_string : warm_report -> string
     order.  Latency is completion minus arrival on the simulated
     timeline, so percentiles reflect queueing as well as execution.
 
-    Two clocks are available.  {e Wall-clock} (default): service time
-    is measured [Unix.gettimeofday] around each request; default
-    deadlines are infinite (the cost model prices the paper's machine,
-    not this host) and backlog prediction uses a per-key EWMA of
-    observed service.  {e Virtual time} ([so_virtual]): the timeline
-    advances by the modeled service time per request — fully
-    deterministic (used by the chaos CI gate), with default deadlines
-    from [ov_deadline_slack] x the model. *)
+    Batches drain concurrently (the [serve_batch] machinery: shed
+    decisions and accounting on the master, key-groups dispatched
+    across the domain pool).
+
+    Two clocks are available.  {e Wall-clock} (default): the timeline
+    advances by the measured elapsed of each concurrent batch drain;
+    default deadlines are infinite (the cost model prices the paper's
+    machine, not this host) and backlog prediction uses a per-key EWMA
+    of observed service once warmed up ([ov_ewma_warmup] observations),
+    the cost-model estimate before that.  {e Virtual time}
+    ([so_virtual]): the timeline advances by the modeled service time
+    per request, simulated on the master exactly as the sequential
+    drain would — fully deterministic for every pool size (used by the
+    chaos CI gate), with default deadlines from [ov_deadline_slack] x
+    the model. *)
 
 type soak_config = {
   so_seed : int;
@@ -326,11 +371,14 @@ type soak_report = {
 
 (** [soak t ~cfg ~make_request] drains [cfg.so_requests] requests.
     [make_request i] materializes request [i]; it is called once at
-    admission (for the key and deadline) and again immediately before
-    the request executes (requests may share argument buffers: restore
-    them there), so it must be idempotent.  [on_response] fires right
-    after each response — served or shed — e.g. for bitwise checks
-    against fresh-compile references. *)
+    admission (for the key and deadline) and again — always on the
+    master, in dispatch order — just before the request's batch
+    executes, so it must be idempotent.  Because a batch's groups run
+    concurrently, requests that can land in one batch under different
+    keys must not share argument buffers (same-key members may: they
+    serialize).  [on_response] fires on the master after each batch, in
+    EDF dispatch order, for served and shed requests alike — e.g. for
+    bitwise checks against fresh-compile references. *)
 val soak :
   ?on_response:(int -> response -> unit) ->
   t ->

@@ -22,6 +22,7 @@ module Machine = Ft_machine.Machine
 module Serve = Ft_serve.Serve
 module Lru = Ft_serve.Lru
 module Breaker = Ft_serve.Breaker
+module Edfq = Ft_serve.Edfq
 module Snapshot = Ft_serve.Snapshot
 
 let n = Gen_prog.iterations
@@ -711,9 +712,239 @@ let test_percentile_exact () =
   Alcotest.(check (float 0.0)) "p99 of 5 samples" 40.0
     (Serve.percentile five 0.99)
 
+(* ------------------------------------------------------------------ *)
+(* Hash-memo under concurrent lookups (regression: the canonical-hash
+   memo in [Serve] is consulted by every worker domain that executes a
+   batch group; before it was mutex-guarded, concurrent first-touch
+   lookups could corrupt the table) *)
+
+let test_hash_memo_concurrent () =
+  (* y[a] = c*x[a]: distinct multipliers give distinct canonical hashes,
+     so the memo holds several entries that the tasks race on. *)
+  let fn_mult c =
+    Stmt.func "memo"
+      [ Stmt.param "x" Types.F32 [ v "n" ];
+        Stmt.param ~atype:Types.Output "y" Types.F32 [ v "n" ] ]
+      (Stmt.for_ "a" (i 0) (v "n")
+         (Stmt.store "y" [ v "a" ]
+            (Expr.mul (Expr.load "x" [ v "a" ]) (Expr.float c))))
+  in
+  let fns = Array.init 6 (fun k -> fn_mult (float_of_int (k + 2))) in
+  let expected =
+    (* keys computed on a throwaway server, sequentially *)
+    let probe = Serve.create ~policy:Supervisor.default_policy () in
+    Array.map (fun fn -> Serve.key_of probe ~sizes:[ ("n", 8) ] fn) fns
+  in
+  let srv = Serve.create ~policy:Supervisor.default_policy () in
+  let mismatch = Atomic.make false in
+  with_domains 4 (fun () ->
+      let tasks =
+        Array.init 32 (fun t () ->
+            for r = 0 to 7 do
+              let k = (t + r) mod Array.length fns in
+              let key = Serve.key_of srv ~sizes:[ ("n", 8) ] fns.(k) in
+              if key <> expected.(k) then Atomic.set mismatch true
+            done)
+      in
+      let exns = Exec_par.run_tasks tasks in
+      Array.iteri
+        (fun t -> function
+          | Some e ->
+            Alcotest.failf "key_of task %d raised: %s" t
+              (Printexc.to_string e)
+          | None -> ())
+        exns);
+  Alcotest.(check bool) "every concurrent lookup saw the memoized key"
+    false (Atomic.get mismatch)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker: concurrent requests on a half-open key claim one probe     *)
+
+let test_breaker_half_open_single_probe () =
+  let b = Breaker.create ~k:2 ~cooldown:2 in
+  let key = "artifact" in
+  (* trip: two consecutive primary failures *)
+  for _ = 1 to 2 do
+    (match Breaker.route b key with
+     | `Primary -> ()
+     | _ -> Alcotest.fail "closed breaker must grant the primary");
+    Breaker.record b key ~primary_ok:false
+  done;
+  Alcotest.(check bool) "tripped" true (Breaker.state b key = Breaker.Open);
+  (* drain the cooldown: two fallback-served requests *)
+  for _ = 1 to 2 do
+    match Breaker.route b key with
+    | `Fallback -> ()
+    | _ -> Alcotest.fail "open breaker must route fallback during cooldown"
+  done;
+  (* cooldown expired: of N concurrent routes on the key, exactly one
+     claims the probe; the rest observe the in-flight probe and fall
+     back *)
+  let routes = Array.make 16 `Fallback in
+  with_domains 4 (fun () ->
+      let tasks =
+        Array.init (Array.length routes) (fun t () ->
+            routes.(t) <- Breaker.route b key)
+      in
+      Array.iter
+        (function
+          | Some e ->
+            Alcotest.failf "route task raised: %s" (Printexc.to_string e)
+          | None -> ())
+        (Exec_par.run_tasks tasks));
+  let probes =
+    Array.fold_left
+      (fun acc r -> match r with `Probe -> acc + 1 | _ -> acc)
+      0 routes
+  in
+  Alcotest.(check int) "exactly one probe" 1 probes;
+  Alcotest.(check int) "everyone else fell back"
+    (Array.length routes - 1)
+    (Array.fold_left
+       (fun acc r -> match r with `Fallback -> acc + 1 | _ -> acc)
+       0 routes);
+  Alcotest.(check bool) "probe in flight" true
+    (Breaker.state b key = Breaker.Half_open);
+  (* the probe's success closes the breaker *)
+  Breaker.record b key ~primary_ok:true;
+  Alcotest.(check bool) "recovered" true
+    (Breaker.state b key = Breaker.Closed);
+  Alcotest.(check int) "one recovery" 1 (Breaker.recoveries b)
+
+(* ------------------------------------------------------------------ *)
+(* EDF queue: heap-order property                                      *)
+
+(* Pops come out in nondecreasing deadline order, FIFO among ties, and
+   nothing is lost or invented. *)
+let check_edfq_order deadlines =
+  let q = Edfq.create () in
+  List.iteri
+    (fun idx d -> Edfq.push q ~deadline:(float_of_int d) idx)
+    deadlines;
+  let popped = ref [] in
+  let rec drain () =
+    match Edfq.pop q with
+    | Some (d, v) ->
+      popped := (d, v) :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let popped = List.rev !popped in
+  List.length popped = List.length deadlines
+  && Edfq.is_empty q
+  && (let ok = ref true in
+      List.fold_left
+        (fun prev (d, v) ->
+          (match prev with
+           | Some (pd, pv) ->
+             if d < pd then ok := false
+             else if d = pd && v < pv then ok := false (* FIFO among ties *)
+           | None -> ());
+          Some (d, v))
+        None popped
+      |> ignore;
+      !ok)
+  && List.sort compare (List.map fst popped)
+     = List.sort compare (List.map float_of_int deadlines)
+
+let prop_edfq_order =
+  QCheck2.Test.make ~count:(n 200)
+    ~name:
+      "EDF queue: pops nondecreasing in deadline, FIFO among ties, \
+       multiset preserved"
+    QCheck2.Gen.(list_size (int_range 0 64) (int_bound 15))
+    check_edfq_order
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock EWMA warmup gating                                       *)
+
+let test_ewma_warmup_gating () =
+  let srv = Serve.create ~policy:Supervisor.default_policy () in
+  let warmup = Serve.default_overload.Serve.ov_ewma_warmup in
+  Alcotest.(check bool) "default warmup is positive" true (warmup > 0);
+  let est = 7.0 in
+  (* cold key: the cost-model estimate stands in *)
+  Alcotest.(check (float 0.0)) "no observations -> model estimate" est
+    (Serve.predicted_service srv "key" ~est);
+  (* observations below the warmup threshold still defer to the model,
+     even though an EWMA exists already *)
+  for _ = 1 to warmup - 1 do
+    Serve.note_service srv "key" 1.0
+  done;
+  Alcotest.(check (float 0.0)) "below warmup -> still model estimate" est
+    (Serve.predicted_service srv "key" ~est);
+  (* the warmup-th observation switches the key to its EWMA *)
+  Serve.note_service srv "key" 1.0;
+  Alcotest.(check (float 1e-9)) "warmed up -> observed EWMA" 1.0
+    (Serve.predicted_service srv "key" ~est);
+  (* gating is per-key: a different key on the same server stays cold *)
+  Alcotest.(check (float 0.0)) "other keys unaffected" est
+    (Serve.predicted_service srv "other" ~est)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent batch dispatch parity                                    *)
+
+(* The same batch served under concurrent dispatch (pool of 4), under
+   sequential dispatch (the isolation verifier's baseline), and on a
+   1-domain pool yields identical statuses, hit flags, response order,
+   and bitwise-identical outputs. *)
+let test_batch_parity_workers () =
+  let fn = sized_fn () in
+  let serve_once ~sequential_dispatch ~domains =
+    with_domains domains (fun () ->
+        let srv =
+          Serve.create ~sequential_dispatch
+            ~policy:Supervisor.default_policy ()
+        in
+        let per_req = Array.init 8 (fun j -> sized_args (8 + (8 * (j mod 2))))
+        in
+        let rs =
+          Serve.serve_batch srv
+            (List.init 8 (fun j ->
+                 Serve.request
+                   ~sizes:[ ("n", 8 + (8 * (j mod 2))) ]
+                   ~id:j fn per_req.(j)))
+        in
+        (srv, rs, per_req))
+  in
+  let _, rs_con, args_con = serve_once ~sequential_dispatch:false ~domains:4 in
+  let _, rs_seq, args_seq = serve_once ~sequential_dispatch:true ~domains:4 in
+  let _, rs_one, args_one = serve_once ~sequential_dispatch:false ~domains:1 in
+  let fingerprint rs =
+    List.map
+      (fun r ->
+        ( r.Serve.rs_id, r.Serve.rs_hit,
+          match r.Serve.rs_status with
+          | Serve.Completed o -> (
+            match o.Supervisor.result with
+            | Some b -> Supervisor.backend_name b
+            | None -> "fail-closed")
+          | Serve.Rejected d -> Diag.code_to_string d.Diag.dg_code ))
+      rs
+  in
+  Alcotest.(check (list (triple int bool string)))
+    "concurrent dispatch matches the sequential baseline"
+    (fingerprint rs_seq) (fingerprint rs_con);
+  Alcotest.(check (list (triple int bool string)))
+    "1-domain pool matches too" (fingerprint rs_seq) (fingerprint rs_one);
+  Alcotest.(check (list int)) "responses in request order"
+    (List.init 8 Fun.id)
+    (List.map (fun r -> r.Serve.rs_id) rs_con);
+  Array.iteri
+    (fun j args ->
+      check_doubled args;
+      let y = List.assoc "y" args in
+      Alcotest.(check bool) "outputs bitwise-identical across dispatch modes"
+        true
+        (bits_equal y (List.assoc "y" args_seq.(j))
+        && bits_equal y (List.assoc "y" args_one.(j))))
+    args_con
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_shared_budget; prop_cached_pool_sizes; prop_lru_occupancy ]
+    [ prop_shared_budget; prop_cached_pool_sizes; prop_lru_occupancy;
+      prop_edfq_order ]
   @ [ Alcotest.test_case "LRU bounds and recency" `Quick test_lru;
       Alcotest.test_case "shape specialization and per-size keys" `Quick
         test_specialization;
@@ -742,4 +973,12 @@ let suite =
       Alcotest.test_case "virtual-time overload soak sheds structurally"
         `Quick test_soak_overload_virtual;
       Alcotest.test_case "soak percentiles are exact on known samples"
-        `Quick test_percentile_exact ]
+        `Quick test_percentile_exact;
+      Alcotest.test_case "canonical-hash memo survives concurrent lookups"
+        `Quick test_hash_memo_concurrent;
+      Alcotest.test_case "half-open breaker grants exactly one probe"
+        `Quick test_breaker_half_open_single_probe;
+      Alcotest.test_case "EWMA warmup gates wall-clock shedding" `Quick
+        test_ewma_warmup_gating;
+      Alcotest.test_case "batch dispatch parity across pool sizes" `Quick
+        test_batch_parity_workers ]

@@ -73,22 +73,27 @@ let all_backends =
 (* Fault-free reference outputs per backend, plus the kernel count of
    one serving run (for sizing plan horizons). *)
 let references fn =
-  List.map
-    (fun b ->
-      let args = Gen_prog.fresh_args () in
-      let policy =
-        { Supervisor.default_policy with Supervisor.backends = [ b ] }
-      in
-      let oc = Supervisor.run ~policy fn args in
-      if oc.Supervisor.result <> Some b then
-        Alcotest.failf "fault-free %s run did not serve"
-          (Supervisor.backend_name b);
-      (b, Gen_prog.outputs args))
-    all_backends
+  let kernels = ref 0 in
+  let refs =
+    List.map
+      (fun b ->
+        let args = Gen_prog.fresh_args () in
+        let policy =
+          { Supervisor.default_policy with Supervisor.backends = [ b ] }
+        in
+        let oc = Supervisor.run ~policy fn args in
+        if oc.Supervisor.result <> Some b then
+          Alcotest.failf "fault-free %s run did not serve"
+            (Supervisor.backend_name b);
+        kernels := max !kernels (Supervisor.served_kernels oc);
+        (b, Gen_prog.outputs args))
+      all_backends
+  in
+  (refs, !kernels)
 
 let check_supervised fn (seed, faults) =
-  let refs = references fn in
-  let kernels = max 1 (Machine.last_kernels ()) in
+  let refs, ref_kernels = references fn in
+  let kernels = max 1 ref_kernels in
   let sv = Supervisor.prepare ~policy:Supervisor.default_policy fn in
   let plan =
     Machine.Fault_plan.make ~seed ~faults ~horizon:(kernels * 3)
@@ -449,15 +454,17 @@ let test_cancellation_parallel () =
   with_domains 4 (fun () ->
       let fn = par_fn () in
       let args = fresh_unit_args ~numel:64 () in
-      Machine.install ~fn:"unit_par" ();
-      Machine.request_cancel
+      let cx = Machine.Ctx.make ~fn:"unit_par" () in
+      Machine.Ctx.cancel cx
         (Diag.cancelled ~fn:"unit_par" ~detail:"test cancel");
-      (match Cexec.run_func ~parallel:true ~hooks:true fn args with
+      (match
+         Machine.Ctx.with_installed cx (fun () ->
+             Cexec.run_func ~parallel:true ~hooks:true fn args)
+       with
        | () -> Alcotest.fail "cancelled run completed"
        | exception Diag.Diag_error d ->
          Alcotest.(check string) "cancelled" "cancelled"
            (Diag.code_to_string d.Diag.dg_code));
-      Machine.uninstall ();
       (* the pool survives the aborted region: a clean parallel run on
          the same pool still serves and is correct *)
       let args2 = fresh_unit_args ~numel:64 () in
